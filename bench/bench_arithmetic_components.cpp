@@ -1,0 +1,62 @@
+/*! \file bench_arithmetic_components.cpp
+ *  \brief Experiment E12 (extension): manual components vs automatic flow.
+ *
+ *  Paper Sec. IV: "the current quantum programming flow depends on
+ *  predefined library components for which manually derived quantum
+ *  circuits exist.  Such a manual flow is time-consuming, not flexible,
+ *  and not scalable."  This ablation quantifies the gap on +c mod 2^n:
+ *  the hand-crafted CDKM constant adder against the automatic flows
+ *  (TBS, DBS on the same permutation; LUT-based hierarchical synthesis
+ *  of the output functions), comparing lines, MCT gates and T-count.
+ */
+#include "mapping/clifford_t.hpp"
+#include "optimization/revsimp.hpp"
+#include "synthesis/arithmetic.hpp"
+#include "synthesis/decomposition_based.hpp"
+#include "synthesis/lut_based.hpp"
+#include "synthesis/revgen.hpp"
+#include "synthesis/transformation_based.hpp"
+
+#include <cstdio>
+
+namespace
+{
+
+using namespace qda;
+
+void report( const char* method, uint32_t n, const rev_circuit& circuit )
+{
+  const auto mapped = map_to_clifford_t( circuit );
+  const auto stats = compute_statistics( mapped.circuit );
+  std::printf( "%-4u %-12s %-7u %-8zu %-9llu %-8llu\n", n, method, circuit.num_lines(),
+               circuit.num_gates(), static_cast<unsigned long long>( stats.t_count ),
+               static_cast<unsigned long long>( stats.cnot_count ) );
+}
+
+} // namespace
+
+int main()
+{
+  std::printf( "E12: +c mod 2^n -- manual CDKM component vs automatic synthesis\n" );
+  std::printf( "%-4s %-12s %-7s %-8s %-9s %-8s\n", "n", "method", "lines", "MCT", "T-count",
+               "CNOT" );
+
+  for ( const uint32_t n : { 4u, 5u, 6u } )
+  {
+    const uint64_t constant = ( uint64_t{ 1 } << ( n - 1u ) ) | 3u;
+    const auto manual = constant_adder( n, constant );
+    report( "cdkm", n, manual );
+
+    const auto target = modular_adder_permutation( n, constant );
+    report( "tbs", n, revsimp( transformation_based_synthesis( target ) ) );
+    report( "tbs-bidi", n,
+            revsimp( transformation_based_synthesis_bidirectional( target ) ) );
+    report( "dbs", n, revsimp( decomposition_based_synthesis( target ) ) );
+    std::printf( "\n" );
+  }
+
+  std::printf( "reading: the manual component uses helper lines but linear gate count;\n"
+               "ancilla-free automatic synthesis pays exponentially growing MCT cascades\n"
+               "-- the scalability tension of paper Sec. IV/V.\n" );
+  return 0;
+}

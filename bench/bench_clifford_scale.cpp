@@ -1,0 +1,53 @@
+/*! \file bench_clifford_scale.cpp
+ *  \brief Experiment E11 (extension): hidden shift at stabilizer scale.
+ *
+ *  The paper's Sec. VI cites Bravyi-Gosset [72], who study hidden shift
+ *  circuits precisely because they are dominated by Clifford gates and
+ *  hence classically simulable far beyond the state-vector limit.  The
+ *  plain inner-product instances are entirely Clifford, so our CHP
+ *  tableau backend recovers shifts on hundreds of qubits -- while the
+ *  state-vector backend caps out below 30.
+ */
+#include "core/hidden_shift.hpp"
+#include "simulator/stabilizer.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+int main()
+{
+  using namespace qda;
+  using clock = std::chrono::steady_clock;
+
+  std::printf( "E11: Clifford hidden shift on the stabilizer backend\n" );
+  std::printf( "%-7s %-8s %-8s %-12s %-10s\n", "qubits", "gates", "2q", "solve-ms", "recovered" );
+
+  bool all_ok = true;
+  std::mt19937_64 rng( 2018u );
+  for ( const uint32_t half : { 4u, 8u, 16u, 32u, 64u, 128u } )
+  {
+    std::vector<bool> shift( 2u * half );
+    for ( auto&& bit : shift )
+    {
+      bit = ( rng() & 1u ) != 0u;
+    }
+    const auto circuit = clifford_hidden_shift_circuit( half, shift );
+    const auto stats = compute_statistics( circuit );
+
+    const auto start = clock::now();
+    const auto recovered = solve_hidden_shift_stabilizer( circuit );
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>( clock::now() - start ).count();
+
+    const bool ok = recovered == shift;
+    all_ok = all_ok && ok;
+    std::printf( "%-7u %-8llu %-8llu %-12.2f %-10s\n", 2u * half,
+                 static_cast<unsigned long long>( stats.num_gates ),
+                 static_cast<unsigned long long>( stats.two_qubit_count ), elapsed_ms,
+                 ok ? "yes" : "NO" );
+  }
+  std::printf( "\nreading: all-Clifford hidden shift instances scale to hundreds of qubits\n"
+               "classically (paper ref [72]); the state-vector backend stops below 30.\n" );
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+/*! \file bench_simulator_scaling.cpp
+ *  \brief Experiment E9: state-vector simulator throughput.
+ *
+ *  Context for the paper's Sec. I discussion of classical simulability
+ *  (45 qubits needed 0.5 PB on a supercomputer): we measure gate
+ *  throughput of the full state-vector simulator as qubit count grows,
+ *  using google-benchmark for the timing loop.  Memory doubles per
+ *  qubit; time per gate grows as O(2^n).
+ */
+#include "quantum/qcircuit.hpp"
+#include "simulator/statevector.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+namespace
+{
+
+using namespace qda;
+
+qcircuit random_layered_circuit( uint32_t num_qubits, uint32_t num_layers, uint64_t seed )
+{
+  std::mt19937_64 rng( seed );
+  qcircuit circuit( num_qubits );
+  for ( uint32_t layer = 0u; layer < num_layers; ++layer )
+  {
+    for ( uint32_t q = 0u; q < num_qubits; ++q )
+    {
+      switch ( rng() % 3u )
+      {
+      case 0u: circuit.h( q ); break;
+      case 1u: circuit.t( q ); break;
+      default: circuit.rz( q, 0.3 ); break;
+      }
+    }
+    for ( uint32_t q = 0u; q + 1u < num_qubits; q += 2u )
+    {
+      if ( layer & 1u )
+      {
+        circuit.cx( q + 1u, q );
+      }
+      else
+      {
+        circuit.cx( q, q + 1u );
+      }
+    }
+  }
+  return circuit;
+}
+
+void simulate_random_circuit( benchmark::State& state )
+{
+  const uint32_t num_qubits = static_cast<uint32_t>( state.range( 0 ) );
+  const auto circuit = random_layered_circuit( num_qubits, 4u, 42u );
+  for ( auto _ : state )
+  {
+    statevector_simulator simulator( num_qubits );
+    simulator.run( circuit );
+    benchmark::DoNotOptimize( simulator.state().data() );
+  }
+  state.counters["gates_per_s"] = benchmark::Counter(
+      static_cast<double>( circuit.num_gates() * state.iterations() ),
+      benchmark::Counter::kIsRate );
+  state.counters["amplitudes"] = static_cast<double>( uint64_t{ 1 } << num_qubits );
+}
+
+} // namespace
+
+BENCHMARK( simulate_random_circuit )->DenseRange( 8, 20, 2 )->Unit( benchmark::kMillisecond );
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+/*! \file grover_search.cpp
+ *  \brief Grover search with an automatically compiled predicate oracle.
+ *
+ *  Paper Sec. I: Grover's algorithm needs its defining predicate
+ *  "recognized efficiently" as a reversible circuit, and the overhead
+ *  of compiling it "can be quite substantial" [6].  Here a SAT-style
+ *  predicate is compiled by the same ESOP phase-oracle machinery as the
+ *  hidden shift demos and amplified to near-certainty.
+ */
+#include "core/grover.hpp"
+#include "kernel/expression.hpp"
+#include "simulator/statevector.hpp"
+
+#include <cstdio>
+
+int main()
+{
+  using namespace qda;
+
+  /* a small constraint-satisfaction predicate over 5 variables */
+  const auto predicate = boolean_expression::parse(
+      "(a | b) & (!b | c) & (c ^ d) & (d | !e) & (a & e)" );
+  const auto f = predicate.to_truth_table();
+
+  std::printf( "predicate: %s\n", predicate.to_string().c_str() );
+  std::printf( "marked elements: %llu of %llu\n",
+               static_cast<unsigned long long>( f.count_ones() ),
+               static_cast<unsigned long long>( f.num_bits() ) );
+
+  const uint32_t iterations = grover_optimal_iterations( f );
+  std::printf( "optimal iterations: %u\n", iterations );
+  for ( uint32_t round = 0u; round <= iterations + 2u; ++round )
+  {
+    std::printf( "  success probability after %u iteration(s): %.4f\n", round,
+                 grover_success_probability( f, round ) );
+  }
+
+  const uint64_t found = grover_search( f );
+  std::printf( "sampled element: %s -> f = %d\n", format_outcome( found, 5u ).c_str(),
+               f.get_bit( found ) ? 1 : 0 );
+  return f.get_bit( found ) ? 0 : 1;
+}

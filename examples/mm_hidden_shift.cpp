@@ -1,0 +1,47 @@
+/*! \file mm_hidden_shift.cpp
+ *  \brief The paper's Fig. 7 scenario: hidden shift for a
+ *         Maiorana-McFarland bent function with a nontrivial permutation.
+ *
+ *  f(x, y) = x . pi(y) with pi = [0, 2, 3, 5, 7, 1, 4, 6] on six qubits
+ *  (x on even, y on odd lines) and hidden shift s = 5.  The permutation
+ *  oracle for pi is compiled with transformation-based synthesis, its
+ *  inverse with decomposition-based synthesis wrapped in a Dagger block
+ *  -- exactly the `PermutationOracle(pi, synth=revkit.dbs)` choice of
+ *  the paper.  The final circuit exhibits the four dashed permutation
+ *  boxes of Fig. 8.
+ */
+#include "core/bent.hpp"
+#include "core/hidden_shift.hpp"
+#include "quantum/qcircuit.hpp"
+
+#include <cstdio>
+
+int main()
+{
+  using namespace qda;
+
+  const auto f = mm_bent_function::paper_fig7();
+  constexpr uint64_t hidden_shift = 5u;
+
+  const auto circuit = hidden_shift_circuit_mm( f, hidden_shift,
+                                                permutation_synthesis::tbs,
+                                                permutation_synthesis::dbs );
+
+  const uint64_t recovered = solve_hidden_shift( circuit );
+  std::printf( "Shift is %llu\n", static_cast<unsigned long long>( recovered ) );
+
+  const auto stats = compute_statistics( circuit );
+  std::printf( "circuit: %s\n", format_statistics( stats ).c_str() );
+
+  /* sweep all 64 shifts to show the recovery is exact everywhere */
+  uint32_t correct = 0u;
+  for ( uint64_t s = 0u; s < 64u; ++s )
+  {
+    if ( solve_hidden_shift( hidden_shift_circuit_mm( f, s ) ) == s )
+    {
+      ++correct;
+    }
+  }
+  std::printf( "all-shift sweep: %u/64 recovered exactly\n", correct );
+  return recovered == hidden_shift && correct == 64u ? 0 : 1;
+}

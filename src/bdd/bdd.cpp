@@ -1,0 +1,225 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace qda
+{
+
+bdd_manager::bdd_manager( uint32_t num_vars ) : num_vars_( num_vars )
+{
+  /* terminals: var field is the sentinel num_vars_ */
+  nodes_.push_back( { num_vars_, 0u, 0u } ); /* constant 0 */
+  nodes_.push_back( { num_vars_, 1u, 1u } ); /* constant 1 */
+}
+
+bdd_node bdd_manager::variable( uint32_t var )
+{
+  if ( var >= num_vars_ )
+  {
+    throw std::invalid_argument( "bdd_manager::variable: variable out of range" );
+  }
+  return make_node( var, constant( false ), constant( true ) );
+}
+
+bdd_node bdd_manager::make_node( uint32_t var, bdd_node low, bdd_node high )
+{
+  if ( low == high )
+  {
+    return low;
+  }
+  const unique_key key{ var, low, high };
+  if ( const auto it = unique_table_.find( key ); it != unique_table_.end() )
+  {
+    return it->second;
+  }
+  const bdd_node index = static_cast<bdd_node>( nodes_.size() );
+  nodes_.push_back( { var, low, high } );
+  unique_table_.emplace( key, index );
+  return index;
+}
+
+bdd_node bdd_manager::cofactor( bdd_node f, uint32_t var, bool value ) const
+{
+  if ( is_terminal( f ) || nodes_[f].var > var )
+  {
+    return f;
+  }
+  /* ordered BDD: nodes_[f].var == var here */
+  return value ? nodes_[f].high : nodes_[f].low;
+}
+
+bdd_node bdd_manager::ite( bdd_node f, bdd_node g, bdd_node h )
+{
+  /* terminal cases */
+  if ( f == constant( true ) )
+  {
+    return g;
+  }
+  if ( f == constant( false ) )
+  {
+    return h;
+  }
+  if ( g == h )
+  {
+    return g;
+  }
+  if ( g == constant( true ) && h == constant( false ) )
+  {
+    return f;
+  }
+
+  const ite_key key{ f, g, h };
+  if ( const auto it = computed_table_.find( key ); it != computed_table_.end() )
+  {
+    return it->second;
+  }
+
+  const uint32_t top = std::min( { nodes_[f].var, nodes_[g].var, nodes_[h].var } );
+  const bdd_node low = ite( cofactor( f, top, false ), cofactor( g, top, false ),
+                            cofactor( h, top, false ) );
+  const bdd_node high = ite( cofactor( f, top, true ), cofactor( g, top, true ),
+                             cofactor( h, top, true ) );
+  const bdd_node result = make_node( top, low, high );
+  computed_table_.emplace( key, result );
+  return result;
+}
+
+namespace
+{
+
+using table_cache = std::unordered_map<std::vector<uint64_t>, bdd_node, words_hash>;
+
+} // namespace
+
+bdd_node bdd_manager::from_truth_table( const truth_table& function )
+{
+  if ( function.num_vars() != num_vars_ )
+  {
+    throw std::invalid_argument( "bdd_manager::from_truth_table: variable count mismatch" );
+  }
+  table_cache cache;
+  /* Shannon-expand from the top variable downwards.  Decompose on the
+   * highest variable index last so that variable 0 ends up at the top. */
+  struct builder
+  {
+    bdd_manager& mgr;
+    table_cache& cache;
+
+    bdd_node operator()( const truth_table& f, uint32_t next_var )
+    {
+      if ( f.is_constant0() )
+      {
+        return mgr.constant( false );
+      }
+      if ( f.is_constant1() )
+      {
+        return mgr.constant( true );
+      }
+      if ( const auto it = cache.find( f.words() ); it != cache.end() )
+      {
+        return it->second;
+      }
+      /* find first variable >= next_var in the support */
+      uint32_t var = next_var;
+      while ( var < mgr.num_vars() && !f.depends_on( var ) )
+      {
+        ++var;
+      }
+      const bdd_node low = ( *this )( f.cofactor0( var ), var + 1u );
+      const bdd_node high = ( *this )( f.cofactor1( var ), var + 1u );
+      const bdd_node result = mgr.make_node( var, low, high );
+      cache.emplace( f.words(), result );
+      return result;
+    }
+  };
+  return builder{ *this, cache }( function, 0u );
+}
+
+truth_table bdd_manager::to_truth_table( bdd_node f ) const
+{
+  truth_table result( num_vars_ );
+  for ( uint64_t x = 0u; x < result.num_bits(); ++x )
+  {
+    result.set_bit( x, evaluate( f, x ) );
+  }
+  return result;
+}
+
+bool bdd_manager::evaluate( bdd_node f, uint64_t assignment ) const
+{
+  while ( !is_terminal( f ) )
+  {
+    const auto& node = nodes_[f];
+    f = ( ( assignment >> node.var ) & 1u ) ? node.high : node.low;
+  }
+  return f == 1u;
+}
+
+uint64_t bdd_manager::count_nodes( bdd_node f ) const
+{
+  return topological_order( f ).size();
+}
+
+uint64_t bdd_manager::count_satisfying( bdd_node f ) const
+{
+  if ( is_terminal( f ) )
+  {
+    return f == 1u ? ( uint64_t{ 1 } << num_vars_ ) : 0u;
+  }
+  std::unordered_map<bdd_node, uint64_t> counts;
+  const auto order = topological_order( f );
+  const auto lookup = [&]( bdd_node g, uint32_t var_above ) -> uint64_t
+  {
+    uint64_t base;
+    uint32_t var;
+    if ( is_terminal( g ) )
+    {
+      base = g == 1u ? 1u : 0u;
+      var = num_vars_;
+    }
+    else
+    {
+      base = counts.at( g );
+      var = nodes_[g].var;
+    }
+    /* scale by skipped variables between var_above+1 and var-1 */
+    return base << ( var - var_above - 1u );
+  };
+  for ( const auto node : order )
+  {
+    const auto& data = nodes_[node];
+    counts[node] = lookup( data.low, data.var ) + lookup( data.high, data.var );
+  }
+  /* account for variables above the root */
+  return counts.at( f ) << nodes_[f].var;
+}
+
+std::vector<bdd_node> bdd_manager::topological_order( bdd_node f ) const
+{
+  std::vector<bdd_node> order;
+  std::unordered_set<bdd_node> visited;
+  struct visitor
+  {
+    const bdd_manager& mgr;
+    std::vector<bdd_node>& order;
+    std::unordered_set<bdd_node>& visited;
+
+    void operator()( bdd_node g )
+    {
+      if ( mgr.is_terminal( g ) || visited.count( g ) )
+      {
+        return;
+      }
+      visited.insert( g );
+      ( *this )( mgr.nodes_[g].low );
+      ( *this )( mgr.nodes_[g].high );
+      order.push_back( g );
+    }
+  };
+  visitor{ *this, order, visited }( f );
+  return order;
+}
+
+} // namespace qda

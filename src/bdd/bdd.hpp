@@ -1,0 +1,153 @@
+/*! \file bdd.hpp
+ *  \brief A reduced ordered binary decision diagram (ROBDD) package.
+ *
+ *  BDDs give a symbolic function representation that scales past the
+ *  explicit truth table limit (paper Sec. V, refs [45], [46], [51]) and
+ *  drive the hierarchical BDD-based reversible synthesis in
+ *  synthesis/bdd_based.hpp, where every internal BDD node is mapped onto
+ *  an ancilla qubit.
+ *
+ *  Design: a single manager owns all nodes in an arena; node handles are
+ *  32-bit indices.  Index 0 and 1 are the constant terminals.  Nodes are
+ *  hash-consed through a unique table, so structural equality is pointer
+ *  equality.  No complement edges, fixed variable order 0 < 1 < ... < n-1
+ *  (variable 0 at the top).
+ */
+#pragma once
+
+#include "kernel/truth_table.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief Handle to a BDD node inside a bdd_manager. */
+using bdd_node = uint32_t;
+
+/*! \brief Manager owning all BDD nodes of a fixed variable count. */
+class bdd_manager
+{
+public:
+  explicit bdd_manager( uint32_t num_vars );
+
+  uint32_t num_vars() const noexcept { return num_vars_; }
+
+  /*! \brief Terminal nodes. */
+  bdd_node constant( bool value ) const noexcept { return value ? 1u : 0u; }
+
+  /*! \brief The projection function x_var. */
+  bdd_node variable( uint32_t var );
+
+  /*! \brief If-then-else: the universal ternary connective. */
+  bdd_node ite( bdd_node f, bdd_node g, bdd_node h );
+
+  bdd_node land( bdd_node f, bdd_node g ) { return ite( f, g, constant( false ) ); }
+  bdd_node lor( bdd_node f, bdd_node g ) { return ite( f, constant( true ), g ); }
+  bdd_node lnot( bdd_node f ) { return ite( f, constant( false ), constant( true ) ); }
+  bdd_node lxor( bdd_node f, bdd_node g ) { return ite( f, lnot( g ), g ); }
+
+  /*! \brief Builds the BDD of a complete truth table. */
+  bdd_node from_truth_table( const truth_table& function );
+
+  /*! \brief Expands a BDD into a complete truth table. */
+  truth_table to_truth_table( bdd_node f ) const;
+
+  /*! \brief Evaluates under an integer-encoded assignment. */
+  bool evaluate( bdd_node f, uint64_t assignment ) const;
+
+  /*! \brief Number of internal (non-terminal) nodes reachable from f. */
+  uint64_t count_nodes( bdd_node f ) const;
+
+  /*! \brief Number of satisfying assignments over all num_vars variables. */
+  uint64_t count_satisfying( bdd_node f ) const;
+
+  /*! \brief Internal nodes reachable from f in topological order
+   *         (children before parents); excludes terminals.
+   */
+  std::vector<bdd_node> topological_order( bdd_node f ) const;
+
+  /*! \brief Decision variable of a node (num_vars() for terminals). */
+  uint32_t node_var( bdd_node f ) const { return nodes_[f].var; }
+
+  /*! \brief Low (else) child; only valid for internal nodes. */
+  bdd_node node_low( bdd_node f ) const { return nodes_[f].low; }
+
+  /*! \brief High (then) child; only valid for internal nodes. */
+  bdd_node node_high( bdd_node f ) const { return nodes_[f].high; }
+
+  bool is_terminal( bdd_node f ) const noexcept { return f <= 1u; }
+
+  /*! \brief Total number of nodes ever allocated (including terminals). */
+  uint64_t size() const noexcept { return nodes_.size(); }
+
+private:
+  struct node_data
+  {
+    uint32_t var;
+    bdd_node low;
+    bdd_node high;
+  };
+
+  struct unique_key
+  {
+    uint32_t var;
+    bdd_node low;
+    bdd_node high;
+    bool operator==( const unique_key& other ) const = default;
+  };
+
+  struct unique_key_hash
+  {
+    size_t operator()( const unique_key& key ) const noexcept
+    {
+      uint64_t h = key.var;
+      h = h * 0x9e3779b97f4a7c15ull + key.low;
+      h = h * 0x9e3779b97f4a7c15ull + key.high;
+      return static_cast<size_t>( h ^ ( h >> 32u ) );
+    }
+  };
+
+  struct ite_key
+  {
+    bdd_node f, g, h;
+    bool operator==( const ite_key& other ) const = default;
+  };
+
+  struct ite_key_hash
+  {
+    size_t operator()( const ite_key& key ) const noexcept
+    {
+      uint64_t h = key.f;
+      h = h * 0x9e3779b97f4a7c15ull + key.g;
+      h = h * 0x9e3779b97f4a7c15ull + key.h;
+      return static_cast<size_t>( h ^ ( h >> 32u ) );
+    }
+  };
+
+  bdd_node make_node( uint32_t var, bdd_node low, bdd_node high );
+  bdd_node cofactor( bdd_node f, uint32_t var, bool value ) const;
+
+  uint32_t num_vars_;
+  std::vector<node_data> nodes_;
+  std::unordered_map<unique_key, bdd_node, unique_key_hash> unique_table_;
+  std::unordered_map<ite_key, bdd_node, ite_key_hash> computed_table_;
+};
+
+/*! \brief Hash for vectors of words (shared by BDD construction caches). */
+struct words_hash
+{
+  size_t operator()( const std::vector<uint64_t>& words ) const noexcept
+  {
+    uint64_t h = 0xcbf29ce484222325ull;
+    for ( const auto word : words )
+    {
+      h = ( h ^ word ) * 0x100000001b3ull;
+    }
+    return static_cast<size_t>( h );
+  }
+};
+
+} // namespace qda

@@ -1,0 +1,85 @@
+#include "core/bent.hpp"
+
+#include "kernel/bits.hpp"
+#include "synthesis/revgen.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace qda
+{
+
+mm_bent_function::mm_bent_function( permutation pi_, truth_table h_, bool interleaved_ )
+    : pi( std::move( pi_ ) ), h( std::move( h_ ) ), interleaved( interleaved_ )
+{
+  if ( h.num_vars() != pi.num_vars() )
+  {
+    throw std::invalid_argument( "mm_bent_function: h and pi arities differ" );
+  }
+}
+
+namespace
+{
+
+/*! Extracts the x and y register values from a full assignment. */
+std::pair<uint64_t, uint64_t> split_registers( const mm_bent_function& f, uint64_t assignment )
+{
+  uint64_t x = 0u;
+  uint64_t y = 0u;
+  for ( uint32_t i = 0u; i < f.half_vars(); ++i )
+  {
+    if ( ( assignment >> f.x_var( i ) ) & 1u )
+    {
+      x |= uint64_t{ 1 } << i;
+    }
+    if ( ( assignment >> f.y_var( i ) ) & 1u )
+    {
+      y |= uint64_t{ 1 } << i;
+    }
+  }
+  return { x, y };
+}
+
+} // namespace
+
+truth_table mm_bent_function::to_truth_table() const
+{
+  truth_table result( num_vars() );
+  for ( uint64_t a = 0u; a < result.num_bits(); ++a )
+  {
+    const auto [x, y] = split_registers( *this, a );
+    result.set_bit( a, parity64( x & pi.apply( y ) ) != h.get_bit( y ) );
+  }
+  return result;
+}
+
+truth_table mm_bent_function::dual_truth_table() const
+{
+  const auto pi_inverse = pi.inverse();
+  truth_table result( num_vars() );
+  for ( uint64_t a = 0u; a < result.num_bits(); ++a )
+  {
+    const auto [x, y] = split_registers( *this, a );
+    const uint64_t xp = pi_inverse.apply( x );
+    result.set_bit( a, parity64( xp & y ) != h.get_bit( xp ) );
+  }
+  return result;
+}
+
+mm_bent_function mm_bent_function::inner_product( uint32_t half_vars, bool interleaved )
+{
+  return mm_bent_function( permutation( half_vars ), truth_table( half_vars ), interleaved );
+}
+
+mm_bent_function mm_bent_function::paper_fig7()
+{
+  return mm_bent_function( paper_fig7_permutation(), truth_table( 3u ), /*interleaved=*/true );
+}
+
+mm_bent_function mm_bent_function::random( uint32_t half_vars, uint64_t seed, bool interleaved )
+{
+  return mm_bent_function( permutation::random( half_vars, seed ),
+                           random_truth_table( half_vars, seed ^ 0x9e3779b9u ), interleaved );
+}
+
+} // namespace qda

@@ -1,0 +1,72 @@
+/*! \file bent.hpp
+ *  \brief Maiorana-McFarland bent functions (paper Sec. VI-B).
+ *
+ *  The hidden shift instances of the paper are built from the
+ *  Maiorana-McFarland family
+ *
+ *      f(x, y) = x . pi(y)  xor  h(y)
+ *
+ *  over 2n variables, with pi a permutation of B^n and h arbitrary.
+ *  The dual bent function has the closed form
+ *
+ *      f~(x, y) = pi^{-1}(x) . y  xor  h(pi^{-1}(x))
+ *
+ *  which is what makes the family attractive for the algorithm: both f
+ *  and f~ have efficient circuits whenever pi does.
+ *
+ *  Qubit layout: the paper's ProjectQ listing (Fig. 7) interleaves the
+ *  registers -- x_i on qubit 2i, y_i on qubit 2i+1 ("qubits on odd/even
+ *  lines"); the `interleaved` flag selects that layout, otherwise x
+ *  occupies the low n variables.
+ */
+#pragma once
+
+#include "kernel/permutation.hpp"
+#include "kernel/truth_table.hpp"
+
+#include <cstdint>
+
+namespace qda
+{
+
+/*! \brief A Maiorana-McFarland bent function instance. */
+struct mm_bent_function
+{
+  permutation pi;        /*!< permutation over the y register (n vars) */
+  truth_table h;         /*!< additive function of y (n vars) */
+  bool interleaved = true; /*!< paper Fig. 7 qubit layout */
+
+  mm_bent_function( permutation pi_, truth_table h_, bool interleaved_ = true );
+
+  /*! \brief Number of variables of each register. */
+  uint32_t half_vars() const noexcept { return pi.num_vars(); }
+
+  /*! \brief Total number of variables (2n). */
+  uint32_t num_vars() const noexcept { return 2u * pi.num_vars(); }
+
+  /*! \brief Variable index of x_i in the chosen layout. */
+  uint32_t x_var( uint32_t i ) const noexcept { return interleaved ? 2u * i : i; }
+
+  /*! \brief Variable index of y_i in the chosen layout. */
+  uint32_t y_var( uint32_t i ) const noexcept
+  {
+    return interleaved ? 2u * i + 1u : half_vars() + i;
+  }
+
+  /*! \brief Expands f(x, y) = x . pi(y) xor h(y) into a truth table. */
+  truth_table to_truth_table() const;
+
+  /*! \brief Expands the dual f~(x, y) = pi^{-1}(x) . y xor h(pi^{-1}(x)). */
+  truth_table dual_truth_table() const;
+
+  /*! \brief The plain inner product instance (pi = identity, h = 0). */
+  static mm_bent_function inner_product( uint32_t half_vars, bool interleaved = true );
+
+  /*! \brief The paper's Fig. 7 instance: n = 3, pi = [0,2,3,5,7,1,4,6], h = 0. */
+  static mm_bent_function paper_fig7();
+
+  /*! \brief Random instance: random permutation and random h. */
+  static mm_bent_function random( uint32_t half_vars, uint64_t seed, bool interleaved = true );
+};
+
+} // namespace qda

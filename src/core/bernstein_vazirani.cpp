@@ -1,0 +1,72 @@
+#include "core/bernstein_vazirani.hpp"
+
+#include "simulator/stabilizer.hpp"
+#include "simulator/statevector.hpp"
+
+#include <stdexcept>
+
+namespace qda
+{
+
+qcircuit bernstein_vazirani_circuit( uint32_t num_qubits, uint64_t secret )
+{
+  if ( num_qubits < 64u && secret >= ( uint64_t{ 1 } << num_qubits ) )
+  {
+    throw std::invalid_argument( "bernstein_vazirani_circuit: secret out of range" );
+  }
+  qcircuit circuit( num_qubits );
+  for ( uint32_t q = 0u; q < num_qubits; ++q )
+  {
+    circuit.h( q );
+  }
+  /* the phase oracle of the linear function a.x is a Z on every set bit */
+  for ( uint32_t q = 0u; q < num_qubits; ++q )
+  {
+    if ( ( secret >> q ) & 1u )
+    {
+      circuit.z( q );
+    }
+  }
+  for ( uint32_t q = 0u; q < num_qubits; ++q )
+  {
+    circuit.h( q );
+  }
+  circuit.measure_all();
+  return circuit;
+}
+
+namespace
+{
+
+uint64_t outcome_of( const std::vector<std::pair<uint32_t, bool>>& record )
+{
+  uint64_t outcome = 0u;
+  for ( uint32_t i = 0u; i < record.size() && i < 64u; ++i )
+  {
+    if ( record[i].second )
+    {
+      outcome |= uint64_t{ 1 } << i;
+    }
+  }
+  return outcome;
+}
+
+} // namespace
+
+uint64_t solve_bernstein_vazirani( uint32_t num_qubits, uint64_t secret )
+{
+  const auto circuit = bernstein_vazirani_circuit( num_qubits, secret );
+  statevector_simulator simulator( num_qubits );
+  simulator.run( circuit );
+  return outcome_of( simulator.measurement_record() );
+}
+
+uint64_t solve_bernstein_vazirani_stabilizer( uint32_t num_qubits, uint64_t secret )
+{
+  const auto circuit = bernstein_vazirani_circuit( num_qubits, secret );
+  stabilizer_simulator simulator( num_qubits );
+  simulator.run( circuit );
+  return outcome_of( simulator.measurement_record() );
+}
+
+} // namespace qda

@@ -1,0 +1,33 @@
+/*! \file bernstein_vazirani.hpp
+ *  \brief Bernstein-Vazirani: the linear special case of hidden shift.
+ *
+ *  For a linear "bent-like" oracle f(x) = a . x the Fig. 3 circuit
+ *  degenerates to the Bernstein-Vazirani algorithm, recovering the
+ *  secret string a with a single query.  Included both as a sanity
+ *  anchor for the hidden shift machinery and as another consumer of the
+ *  automatic phase-oracle compilation; the circuit is all-Clifford and
+ *  also runs on the stabilizer backend at large scale.
+ */
+#pragma once
+
+#include "quantum/qcircuit.hpp"
+
+#include <cstdint>
+
+namespace qda
+{
+
+/*! \brief Builds the BV circuit for the secret string `secret` over
+ *         `num_qubits` qubits: H^n, U_{a.x}, H^n, measure.
+ */
+qcircuit bernstein_vazirani_circuit( uint32_t num_qubits, uint64_t secret );
+
+/*! \brief Recovers the secret on the statevector backend (n <= 24). */
+uint64_t solve_bernstein_vazirani( uint32_t num_qubits, uint64_t secret );
+
+/*! \brief Recovers the secret on the stabilizer backend (hundreds of
+ *         qubits; the circuit is Clifford).
+ */
+uint64_t solve_bernstein_vazirani_stabilizer( uint32_t num_qubits, uint64_t secret );
+
+} // namespace qda

@@ -1,0 +1,49 @@
+#include "core/deutsch_jozsa.hpp"
+
+#include "core/engine.hpp"
+#include "core/oracles.hpp"
+#include "simulator/statevector.hpp"
+
+#include <stdexcept>
+
+namespace qda
+{
+
+qcircuit deutsch_jozsa_circuit( const truth_table& function )
+{
+  const uint32_t n = function.num_vars();
+  main_engine engine( n );
+  std::vector<uint32_t> qubits( n );
+  for ( uint32_t q = 0u; q < n; ++q )
+  {
+    qubits[q] = q;
+  }
+  engine.all_h();
+  phase_oracle( engine, function, qubits );
+  engine.all_h();
+  engine.measure_all();
+  return engine.circuit();
+}
+
+bool deutsch_jozsa_is_constant( const truth_table& function )
+{
+  const uint64_t ones = function.count_ones();
+  if ( ones != 0u && ones != function.num_bits() && ones != function.num_bits() / 2u )
+  {
+    throw std::invalid_argument( "deutsch_jozsa_is_constant: promise violated" );
+  }
+  const auto circuit = deutsch_jozsa_circuit( function );
+  statevector_simulator simulator( circuit.num_qubits() );
+  simulator.run( circuit );
+  /* constant functions return |0...0> with certainty */
+  for ( const auto& [qubit, bit] : simulator.measurement_record() )
+  {
+    if ( bit )
+    {
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace qda

@@ -1,0 +1,26 @@
+/*! \file deutsch_jozsa.hpp
+ *  \brief Deutsch-Jozsa on compiled phase oracles.
+ *
+ *  The simplest member of the oracle-algorithm family the paper's flow
+ *  serves: decide with a single query whether a promise function is
+ *  constant or balanced.  The oracle is compiled by the same ESOP
+ *  phase-oracle machinery as the hidden shift instances.
+ */
+#pragma once
+
+#include "kernel/truth_table.hpp"
+#include "quantum/qcircuit.hpp"
+
+namespace qda
+{
+
+/*! \brief Builds the DJ circuit: H^n, U_f (phase form), H^n, measure. */
+qcircuit deutsch_jozsa_circuit( const truth_table& function );
+
+/*! \brief True if the promise function is constant (single query,
+ *         noiseless simulation).  Throws std::invalid_argument if the
+ *         function is neither constant nor balanced.
+ */
+bool deutsch_jozsa_is_constant( const truth_table& function );
+
+} // namespace qda

@@ -1,0 +1,335 @@
+#include "core/engine.hpp"
+
+#include "simulator/statevector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qda
+{
+
+meta_scope::meta_scope( meta_scope&& other ) noexcept
+    : engine_( other.engine_ ), depth_( other.depth_ )
+{
+  other.engine_ = nullptr;
+}
+
+meta_scope::~meta_scope()
+{
+  try
+  {
+    close();
+  }
+  catch ( ... )
+  {
+    /* destructors must not throw; call close() explicitly to observe
+     * errors such as unsupported gates inside a Control block */
+  }
+}
+
+void meta_scope::close()
+{
+  if ( engine_ != nullptr )
+  {
+    main_engine* engine = engine_;
+    engine_ = nullptr; /* disarm first: a throwing close must not re-run */
+    engine->close_scope( depth_ );
+  }
+}
+
+main_engine::main_engine( uint32_t num_qubits )
+    : num_qubits_( num_qubits ), circuit_( num_qubits )
+{
+}
+
+void main_engine::rz( uint32_t qubit, double angle )
+{
+  qgate gate;
+  gate.kind = gate_kind::rz;
+  gate.target = qubit;
+  gate.angle = angle;
+  emit( std::move( gate ) );
+}
+
+void main_engine::cx( uint32_t control, uint32_t target )
+{
+  qgate gate;
+  gate.kind = gate_kind::cx;
+  gate.controls = { control };
+  gate.target = target;
+  emit( std::move( gate ) );
+}
+
+void main_engine::cz( uint32_t control, uint32_t target )
+{
+  qgate gate;
+  gate.kind = gate_kind::cz;
+  gate.controls = { control };
+  gate.target = target;
+  emit( std::move( gate ) );
+}
+
+void main_engine::mcx( std::vector<uint32_t> controls, uint32_t target )
+{
+  if ( controls.empty() )
+  {
+    emit_simple( gate_kind::x, target );
+    return;
+  }
+  qgate gate;
+  gate.kind = controls.size() == 1u ? gate_kind::cx : gate_kind::mcx;
+  gate.controls = std::move( controls );
+  gate.target = target;
+  emit( std::move( gate ) );
+}
+
+void main_engine::mcz( std::vector<uint32_t> controls, uint32_t target )
+{
+  if ( controls.empty() )
+  {
+    emit_simple( gate_kind::z, target );
+    return;
+  }
+  qgate gate;
+  gate.kind = controls.size() == 1u ? gate_kind::cz : gate_kind::mcz;
+  gate.controls = std::move( controls );
+  gate.target = target;
+  emit( std::move( gate ) );
+}
+
+void main_engine::global_phase( double angle )
+{
+  qgate gate;
+  gate.kind = gate_kind::global_phase;
+  gate.angle = angle;
+  emit( std::move( gate ) );
+}
+
+void main_engine::measure( uint32_t qubit )
+{
+  qgate gate;
+  gate.kind = gate_kind::measure;
+  gate.target = qubit;
+  emit( std::move( gate ) );
+}
+
+void main_engine::measure_all()
+{
+  for ( uint32_t qubit = 0u; qubit < num_qubits_; ++qubit )
+  {
+    measure( qubit );
+  }
+}
+
+void main_engine::all_h()
+{
+  for ( uint32_t qubit = 0u; qubit < num_qubits_; ++qubit )
+  {
+    h( qubit );
+  }
+}
+
+void main_engine::apply( const qcircuit& sub_circuit, const std::vector<uint32_t>& mapping )
+{
+  if ( mapping.size() < sub_circuit.num_qubits() )
+  {
+    throw std::invalid_argument( "main_engine::apply: mapping too short" );
+  }
+  for ( auto gate : sub_circuit.gates() )
+  {
+    if ( gate.kind == gate_kind::barrier )
+    {
+      continue;
+    }
+    if ( gate.kind != gate_kind::global_phase )
+    {
+      for ( auto& control : gate.controls )
+      {
+        control = mapping[control];
+      }
+      gate.target = mapping[gate.target];
+      if ( gate.kind == gate_kind::swap )
+      {
+        gate.target2 = mapping[gate.target2];
+      }
+    }
+    emit( std::move( gate ) );
+  }
+}
+
+void main_engine::apply( const qcircuit& sub_circuit )
+{
+  std::vector<uint32_t> identity( sub_circuit.num_qubits() );
+  for ( uint32_t i = 0u; i < identity.size(); ++i )
+  {
+    identity[i] = i;
+  }
+  apply( sub_circuit, identity );
+}
+
+meta_scope main_engine::compute()
+{
+  scopes_.push_back( { scope_kind::compute, 0u, {} } );
+  return meta_scope( *this, scopes_.size() );
+}
+
+meta_scope main_engine::dagger()
+{
+  scopes_.push_back( { scope_kind::dagger, 0u, {} } );
+  return meta_scope( *this, scopes_.size() );
+}
+
+meta_scope main_engine::control( uint32_t control_qubit )
+{
+  if ( control_qubit >= num_qubits_ )
+  {
+    throw std::invalid_argument( "main_engine::control: qubit out of range" );
+  }
+  scopes_.push_back( { scope_kind::control, control_qubit, {} } );
+  return meta_scope( *this, scopes_.size() );
+}
+
+void main_engine::uncompute()
+{
+  if ( pending_uncompute_.empty() )
+  {
+    throw std::logic_error( "main_engine::uncompute: no compute block pending" );
+  }
+  auto gates = std::move( pending_uncompute_.back() );
+  pending_uncompute_.pop_back();
+  for ( auto it = gates.rbegin(); it != gates.rend(); ++it )
+  {
+    emit( it->adjoint() );
+  }
+}
+
+const qcircuit& main_engine::circuit() const
+{
+  if ( !scopes_.empty() )
+  {
+    throw std::logic_error( "main_engine::circuit: meta scope still open" );
+  }
+  return circuit_;
+}
+
+uint64_t main_engine::run( uint64_t seed ) const
+{
+  const auto& final_circuit = circuit();
+  statevector_simulator simulator( num_qubits_, seed );
+  simulator.run( final_circuit );
+  uint64_t outcome = 0u;
+  const auto& record = simulator.measurement_record();
+  for ( uint32_t i = 0u; i < record.size(); ++i )
+  {
+    if ( record[i].second )
+    {
+      outcome |= uint64_t{ 1 } << i;
+    }
+  }
+  return outcome;
+}
+
+void main_engine::emit_simple( gate_kind kind, uint32_t qubit )
+{
+  qgate gate;
+  gate.kind = kind;
+  gate.target = qubit;
+  emit( std::move( gate ) );
+}
+
+void main_engine::emit( qgate gate )
+{
+  if ( !scopes_.empty() )
+  {
+    if ( gate.kind == gate_kind::measure )
+    {
+      throw std::logic_error( "main_engine: measurement inside a meta block" );
+    }
+    scopes_.back().buffer.push_back( std::move( gate ) );
+    return;
+  }
+  circuit_.add_gate( std::move( gate ) );
+}
+
+void main_engine::close_scope( size_t depth )
+{
+  if ( depth != scopes_.size() || scopes_.empty() )
+  {
+    throw std::logic_error( "main_engine: meta scopes closed out of order" );
+  }
+  scope_frame frame = std::move( scopes_.back() );
+  scopes_.pop_back();
+
+  std::vector<qgate> transformed;
+  transformed.reserve( frame.buffer.size() );
+  switch ( frame.kind )
+  {
+  case scope_kind::compute:
+    transformed = frame.buffer;
+    break;
+  case scope_kind::dagger:
+    for ( auto it = frame.buffer.rbegin(); it != frame.buffer.rend(); ++it )
+    {
+      transformed.push_back( it->adjoint() );
+    }
+    break;
+  case scope_kind::control:
+    for ( auto gate : frame.buffer )
+    {
+      switch ( gate.kind )
+      {
+      case gate_kind::x:
+        gate.kind = gate_kind::cx;
+        gate.controls = { frame.control_qubit };
+        break;
+      case gate_kind::z:
+        gate.kind = gate_kind::cz;
+        gate.controls = { frame.control_qubit };
+        break;
+      case gate_kind::cx:
+        gate.kind = gate_kind::mcx;
+        gate.controls.push_back( frame.control_qubit );
+        break;
+      case gate_kind::cz:
+        gate.kind = gate_kind::mcz;
+        gate.controls.push_back( frame.control_qubit );
+        break;
+      case gate_kind::mcx:
+      case gate_kind::mcz:
+        gate.controls.push_back( frame.control_qubit );
+        break;
+      case gate_kind::global_phase:
+        /* a controlled global phase is a Z rotation on the control */
+        gate.kind = gate_kind::rz;
+        gate.target = frame.control_qubit;
+        /* diag(1, e^{i a}) = e^{i a/2} Rz(a) on the control */
+        gate.controls.clear();
+        {
+          const double angle = gate.angle;
+          emit( [&] {
+            qgate compensation;
+            compensation.kind = gate_kind::global_phase;
+            compensation.angle = angle / 2.0;
+            return compensation;
+          }() );
+        }
+        break;
+      default:
+        throw std::logic_error( "main_engine: gate kind not supported inside Control block" );
+      }
+      transformed.push_back( std::move( gate ) );
+    }
+    break;
+  }
+
+  if ( frame.kind == scope_kind::compute )
+  {
+    pending_uncompute_.push_back( transformed );
+  }
+  for ( auto& gate : transformed )
+  {
+    emit( std::move( gate ) );
+  }
+}
+
+} // namespace qda

@@ -1,0 +1,141 @@
+/*! \file engine.hpp
+ *  \brief ProjectQ-style programming engine with meta-blocks.
+ *
+ *  The C++ counterpart of the paper's ProjectQ front end (Sec. VII):
+ *  gates are streamed into an engine, and the meta-constructs
+ *  Compute/Uncompute, Dagger and Control wrap gate sequences the same
+ *  way the Python `with` statements do in Fig. 4 and Fig. 7:
+ *
+ *      main_engine eng( 4 );
+ *      {
+ *        auto computed = eng.compute();   // with Compute(eng):
+ *        eng.all_h();
+ *        eng.x( 0 );                      //   X | x1  (shift s = 1)
+ *      }                                  // block closes
+ *      phase_oracle( eng, f, ... );       // PhaseOracle(f) | qubits
+ *      eng.uncompute();                   // Uncompute(eng)
+ *
+ *  Scopes buffer their gates; closing a dagger scope commits the
+ *  adjoint in reverse order, closing a control scope commits each gate
+ *  with an extra control, closing a compute scope commits verbatim and
+ *  remembers the gates so a later uncompute() can append the inverse.
+ */
+#pragma once
+
+#include "quantum/qcircuit.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace qda
+{
+
+class main_engine;
+
+/*! \brief RAII handle closing a meta-block on destruction. */
+class meta_scope
+{
+public:
+  meta_scope( meta_scope&& other ) noexcept;
+  meta_scope& operator=( meta_scope&& ) = delete;
+  meta_scope( const meta_scope& ) = delete;
+  ~meta_scope();
+
+  /*! \brief Closes the scope early (idempotent). */
+  void close();
+
+private:
+  friend class main_engine;
+  meta_scope( main_engine& engine, size_t depth ) : engine_( &engine ), depth_( depth ) {}
+
+  main_engine* engine_;
+  size_t depth_;
+};
+
+/*! \brief The gate-stream engine (ProjectQ MainEngine stand-in). */
+class main_engine
+{
+public:
+  explicit main_engine( uint32_t num_qubits );
+
+  uint32_t num_qubits() const noexcept { return num_qubits_; }
+
+  /* gate builders mirror qcircuit's */
+  void h( uint32_t qubit ) { emit_simple( gate_kind::h, qubit ); }
+  void x( uint32_t qubit ) { emit_simple( gate_kind::x, qubit ); }
+  void y( uint32_t qubit ) { emit_simple( gate_kind::y, qubit ); }
+  void z( uint32_t qubit ) { emit_simple( gate_kind::z, qubit ); }
+  void s( uint32_t qubit ) { emit_simple( gate_kind::s, qubit ); }
+  void t( uint32_t qubit ) { emit_simple( gate_kind::t, qubit ); }
+  void rz( uint32_t qubit, double angle );
+  void cx( uint32_t control, uint32_t target );
+  void cz( uint32_t control, uint32_t target );
+  void mcx( std::vector<uint32_t> controls, uint32_t target );
+  void mcz( std::vector<uint32_t> controls, uint32_t target );
+  void global_phase( double angle );
+  void measure( uint32_t qubit );
+  void measure_all();
+
+  /*! \brief Hadamard on every qubit (the `All(H) | qubits` idiom). */
+  void all_h();
+
+  /*! \brief Streams a prebuilt circuit with qubit i -> mapping[i]. */
+  void apply( const qcircuit& sub_circuit, const std::vector<uint32_t>& mapping );
+
+  /*! \brief Streams a prebuilt circuit on qubits 0..k-1. */
+  void apply( const qcircuit& sub_circuit );
+
+  /* ---- meta blocks (paper Figs. 4 and 7) ---- */
+
+  /*! \brief Opens a Compute block; close it before calling uncompute(). */
+  [[nodiscard]] meta_scope compute();
+
+  /*! \brief Opens a Dagger block: its gates commit inverted, reversed. */
+  [[nodiscard]] meta_scope dagger();
+
+  /*! \brief Opens a Control block: its gates commit with `control` added. */
+  [[nodiscard]] meta_scope control( uint32_t control_qubit );
+
+  /*! \brief Appends the adjoint of the most recent closed, not yet
+   *         uncomputed Compute block.  Throws if none is pending.
+   */
+  void uncompute();
+
+  /*! \brief The accumulated circuit; all scopes must be closed. */
+  const qcircuit& circuit() const;
+
+  /*! \brief Simulates the circuit and returns the sampled measurement
+   *         outcome (bit i = i-th measure gate), deterministic states
+   *         yield deterministic outcomes.
+   */
+  uint64_t run( uint64_t seed = 1u ) const;
+
+private:
+  friend class meta_scope;
+
+  enum class scope_kind
+  {
+    compute,
+    dagger,
+    control
+  };
+
+  struct scope_frame
+  {
+    scope_kind kind;
+    uint32_t control_qubit = 0u;
+    std::vector<qgate> buffer;
+  };
+
+  void emit( qgate gate );
+  void emit_simple( gate_kind kind, uint32_t qubit );
+  void close_scope( size_t depth );
+
+  uint32_t num_qubits_;
+  qcircuit circuit_;
+  std::vector<scope_frame> scopes_;
+  std::vector<std::vector<qgate>> pending_uncompute_;
+};
+
+} // namespace qda

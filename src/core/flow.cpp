@@ -1,0 +1,148 @@
+#include "core/flow.hpp"
+
+#include "optimization/peephole.hpp"
+#include "optimization/phase_folding.hpp"
+#include "optimization/revsimp.hpp"
+#include "simulator/unitary.hpp"
+#include "synthesis/decomposition_based.hpp"
+#include "synthesis/revgen.hpp"
+#include "synthesis/transformation_based.hpp"
+
+#include <stdexcept>
+
+namespace qda
+{
+
+flow& flow::revgen_hwb( uint32_t num_vars )
+{
+  return revgen( hwb_permutation( num_vars ) );
+}
+
+flow& flow::revgen( permutation target )
+{
+  permutation_ = std::move( target );
+  reversible_.reset();
+  quantum_.reset();
+  return *this;
+}
+
+namespace
+{
+
+const permutation& require_permutation( const std::optional<permutation>& p )
+{
+  if ( !p )
+  {
+    throw std::logic_error( "flow: no permutation; run revgen first" );
+  }
+  return *p;
+}
+
+const rev_circuit& require_reversible( const std::optional<rev_circuit>& c )
+{
+  if ( !c )
+  {
+    throw std::logic_error( "flow: no reversible circuit; run a synthesis command first" );
+  }
+  return *c;
+}
+
+const clifford_t_result& require_quantum( const std::optional<clifford_t_result>& c )
+{
+  if ( !c )
+  {
+    throw std::logic_error( "flow: no quantum circuit; run rptm first" );
+  }
+  return *c;
+}
+
+} // namespace
+
+flow& flow::tbs()
+{
+  reversible_ = transformation_based_synthesis( require_permutation( permutation_ ) );
+  quantum_.reset();
+  return *this;
+}
+
+flow& flow::tbs_bidirectional()
+{
+  reversible_ = transformation_based_synthesis_bidirectional( require_permutation( permutation_ ) );
+  quantum_.reset();
+  return *this;
+}
+
+flow& flow::dbs()
+{
+  reversible_ = decomposition_based_synthesis( require_permutation( permutation_ ) );
+  quantum_.reset();
+  return *this;
+}
+
+flow& flow::revsimp()
+{
+  reversible_ = qda::revsimp( require_reversible( reversible_ ) );
+  quantum_.reset();
+  return *this;
+}
+
+flow& flow::rptm( bool use_relative_phase )
+{
+  clifford_t_options options;
+  options.use_relative_phase = use_relative_phase;
+  quantum_ = map_to_clifford_t( require_reversible( reversible_ ), options );
+  return *this;
+}
+
+flow& flow::tpar()
+{
+  require_quantum( quantum_ );
+  quantum_->circuit = phase_folding( quantum_->circuit );
+  return *this;
+}
+
+flow& flow::peephole()
+{
+  require_quantum( quantum_ );
+  quantum_->circuit = peephole_optimize( quantum_->circuit );
+  return *this;
+}
+
+circuit_statistics flow::ps() const
+{
+  return compute_statistics( require_quantum( quantum_ ).circuit );
+}
+
+std::string flow::ps_line() const
+{
+  return format_statistics( ps() );
+}
+
+const permutation& flow::current_permutation() const
+{
+  return require_permutation( permutation_ );
+}
+
+const rev_circuit& flow::reversible() const
+{
+  return require_reversible( reversible_ );
+}
+
+const qcircuit& flow::quantum() const
+{
+  return require_quantum( quantum_ ).circuit;
+}
+
+bool flow::verify() const
+{
+  const auto& target = require_permutation( permutation_ );
+  const auto& result = require_quantum( quantum_ );
+  if ( result.circuit.num_qubits() > 14u )
+  {
+    throw std::invalid_argument( "flow::verify: circuit too large for explicit verification" );
+  }
+  return circuit_implements_permutation_with_helpers(
+      result.circuit, target.num_vars(), target.images(), /*up_to_phase=*/true );
+}
+
+} // namespace qda

@@ -1,0 +1,81 @@
+/*! \file flow.hpp
+ *  \brief RevKit-style command pipeline (paper Eq. (5)).
+ *
+ *  The paper drives RevKit through command sequences such as
+ *
+ *      revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c
+ *
+ *  This class replays such pipelines programmatically with the same
+ *  command vocabulary:
+ *
+ *      auto stats = flow()
+ *          .revgen_hwb( 4 )   // revgen --hwb 4
+ *          .tbs()             // transformation-based synthesis
+ *          .revsimp()         // reversible simplification
+ *          .rptm()            // relative-phase Toffoli mapping
+ *          .tpar()            // phase folding T-count optimization
+ *          .ps();             // print statistics
+ *
+ *  The pipeline is staged: a permutation (after revgen), a reversible
+ *  circuit (after a synthesis command) and a quantum circuit (after
+ *  rptm); commands check they are invoked in a valid stage.
+ */
+#pragma once
+
+#include "kernel/permutation.hpp"
+#include "mapping/clifford_t.hpp"
+#include "quantum/qcircuit.hpp"
+#include "reversible/rev_circuit.hpp"
+
+#include <optional>
+#include <string>
+
+namespace qda
+{
+
+/*! \brief Staged compilation pipeline mirroring the RevKit shell. */
+class flow
+{
+public:
+  /* ---- generators ---- */
+  flow& revgen_hwb( uint32_t num_vars );
+  flow& revgen( permutation target );
+
+  /* ---- reversible synthesis ---- */
+  flow& tbs();
+  flow& tbs_bidirectional();
+  flow& dbs();
+
+  /* ---- reversible optimization ---- */
+  flow& revsimp();
+
+  /* ---- mapping ---- */
+  flow& rptm( bool use_relative_phase = true );
+
+  /* ---- quantum optimization ---- */
+  flow& tpar();
+  flow& peephole();
+
+  /* ---- inspection ---- */
+  /*! \brief Statistics of the current quantum circuit (`ps -c`). */
+  circuit_statistics ps() const;
+
+  /*! \brief One-line formatted statistics. */
+  std::string ps_line() const;
+
+  const permutation& current_permutation() const;
+  const rev_circuit& reversible() const;
+  const qcircuit& quantum() const;
+
+  /*! \brief Verifies the quantum circuit still implements the generated
+   *         permutation (helpers clean), for n small enough to expand.
+   */
+  bool verify() const;
+
+private:
+  std::optional<permutation> permutation_;
+  std::optional<rev_circuit> reversible_;
+  std::optional<clifford_t_result> quantum_;
+};
+
+} // namespace qda

@@ -1,0 +1,120 @@
+#include "core/grover.hpp"
+
+#include "core/engine.hpp"
+#include "core/oracles.hpp"
+#include "simulator/statevector.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qda
+{
+
+namespace
+{
+
+/*! Appends the diffusion operator 2|s><s| - I (up to global phase):
+ *  H^n X^n (multi-controlled Z) X^n H^n.
+ */
+void append_diffusion( main_engine& engine, uint32_t num_qubits )
+{
+  engine.all_h();
+  for ( uint32_t q = 0u; q < num_qubits; ++q )
+  {
+    engine.x( q );
+  }
+  std::vector<uint32_t> controls;
+  for ( uint32_t q = 0u; q + 1u < num_qubits; ++q )
+  {
+    controls.push_back( q );
+  }
+  engine.mcz( controls, num_qubits - 1u );
+  for ( uint32_t q = 0u; q < num_qubits; ++q )
+  {
+    engine.x( q );
+  }
+  engine.all_h();
+}
+
+} // namespace
+
+qcircuit grover_circuit( const truth_table& predicate, uint32_t iterations )
+{
+  const uint32_t n = predicate.num_vars();
+  if ( n == 0u )
+  {
+    throw std::invalid_argument( "grover_circuit: need at least one variable" );
+  }
+  main_engine engine( n );
+  std::vector<uint32_t> qubits( n );
+  for ( uint32_t q = 0u; q < n; ++q )
+  {
+    qubits[q] = q;
+  }
+
+  engine.all_h();
+  for ( uint32_t round = 0u; round < iterations; ++round )
+  {
+    phase_oracle( engine, predicate, qubits );
+    append_diffusion( engine, n );
+  }
+  engine.measure_all();
+  return engine.circuit();
+}
+
+uint32_t grover_optimal_iterations( const truth_table& predicate )
+{
+  const uint64_t marked = predicate.count_ones();
+  if ( marked == 0u )
+  {
+    throw std::invalid_argument( "grover_optimal_iterations: no marked element" );
+  }
+  const double total = static_cast<double>( predicate.num_bits() );
+  const double angle = std::asin( std::sqrt( static_cast<double>( marked ) / total ) );
+  const double optimum = std::numbers::pi / ( 4.0 * angle ) - 0.5;
+  return std::max<uint32_t>( 1u, static_cast<uint32_t>( std::lround( optimum ) ) );
+}
+
+double grover_success_probability( const truth_table& predicate, uint32_t iterations )
+{
+  const auto circuit = grover_circuit( predicate, iterations );
+  qcircuit unitary_part( circuit.num_qubits() );
+  for ( const auto& gate : circuit.gates() )
+  {
+    if ( gate.kind != gate_kind::measure )
+    {
+      unitary_part.add_gate( gate );
+    }
+  }
+  statevector_simulator simulator( circuit.num_qubits() );
+  simulator.run( unitary_part );
+  double success = 0.0;
+  for ( uint64_t x = 0u; x < predicate.num_bits(); ++x )
+  {
+    if ( predicate.get_bit( x ) )
+    {
+      success += simulator.probability_of( x );
+    }
+  }
+  return success;
+}
+
+uint64_t grover_search( const truth_table& predicate, uint64_t seed )
+{
+  const auto circuit = grover_circuit( predicate, grover_optimal_iterations( predicate ) );
+  statevector_simulator simulator( circuit.num_qubits(), seed );
+  simulator.run( circuit );
+  uint64_t outcome = 0u;
+  const auto& record = simulator.measurement_record();
+  for ( uint32_t i = 0u; i < record.size(); ++i )
+  {
+    if ( record[i].second )
+    {
+      outcome |= uint64_t{ 1 } << i;
+    }
+  }
+  return outcome;
+}
+
+} // namespace qda

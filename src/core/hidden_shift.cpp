@@ -1,0 +1,287 @@
+#include "core/hidden_shift.hpp"
+
+#include "kernel/spectral.hpp"
+#include "simulator/stabilizer.hpp"
+#include "simulator/statevector.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace qda
+{
+
+qcircuit hidden_shift_circuit( const hidden_shift_instance& instance )
+{
+  if ( !is_bent( instance.f ) )
+  {
+    throw std::invalid_argument( "hidden_shift_circuit: f must be bent" );
+  }
+  const uint32_t n = instance.f.num_vars();
+  if ( instance.shift >= ( uint64_t{ 1 } << n ) )
+  {
+    throw std::invalid_argument( "hidden_shift_circuit: shift out of range" );
+  }
+  const auto dual = dual_bent_function( instance.f );
+
+  main_engine engine( n );
+  std::vector<uint32_t> qubits( n );
+  for ( uint32_t i = 0u; i < n; ++i )
+  {
+    qubits[i] = i;
+  }
+
+  /* with Compute(eng): All(H); X on shift bits  (Fig. 4 lines 14-16) */
+  {
+    auto computed = engine.compute();
+    engine.all_h();
+    for ( uint32_t i = 0u; i < n; ++i )
+    {
+      if ( ( instance.shift >> i ) & 1u )
+      {
+        engine.x( qubits[i] );
+      }
+    }
+  }
+  /* PhaseOracle(f): together with the sandwich this applies H U_g H */
+  phase_oracle( engine, instance.f, qubits );
+  engine.uncompute();
+
+  /* PhaseOracle(dual); All(H); Measure  (Fig. 4 lines 20-22) */
+  phase_oracle( engine, dual, qubits );
+  engine.all_h();
+  engine.measure_all();
+  return engine.circuit();
+}
+
+qcircuit hidden_shift_circuit_mm( const mm_bent_function& f, uint64_t shift,
+                                  permutation_synthesis pi_synthesis,
+                                  permutation_synthesis dual_synthesis )
+{
+  const uint32_t n = f.half_vars();
+  const uint32_t total = f.num_vars();
+  if ( shift >= ( uint64_t{ 1 } << total ) )
+  {
+    throw std::invalid_argument( "hidden_shift_circuit_mm: shift out of range" );
+  }
+
+  main_engine engine( total );
+  std::vector<uint32_t> x_qubits( n );
+  std::vector<uint32_t> y_qubits( n );
+  for ( uint32_t i = 0u; i < n; ++i )
+  {
+    x_qubits[i] = f.x_var( i );
+    y_qubits[i] = f.y_var( i );
+  }
+
+  /* the inner-product phase: CZ(x_i, y_i) ladder */
+  const auto inner_product_phase = [&]() {
+    for ( uint32_t i = 0u; i < n; ++i )
+    {
+      engine.cz( x_qubits[i], y_qubits[i] );
+    }
+  };
+  /* phase oracle for an h-type additive term on one register */
+  const auto h_phase = [&]( const truth_table& h, const std::vector<uint32_t>& reg ) {
+    if ( !h.is_constant0() )
+    {
+      phase_oracle( engine, h, reg );
+    }
+  };
+  /* h o sigma as a truth table */
+  const auto compose = [&]( const truth_table& h, const permutation& sigma ) {
+    truth_table result( h.num_vars() );
+    for ( uint64_t y = 0u; y < result.num_bits(); ++y )
+    {
+      result.set_bit( y, h.get_bit( sigma.apply( y ) ) );
+    }
+    return result;
+  };
+
+  /* first sandwich: H, shift, pi on y  |  IP phase, h part  |  uncompute
+   * (realizes steps 1-3 of Fig. 3; see Fig. 7 lines 20-25).  The phases
+   * are applied inside the pi-conjugation, so the h part must be
+   * pre-composed with pi^{-1} to come out as h(y). */
+  {
+    auto computed = engine.compute();
+    engine.all_h();
+    for ( uint32_t i = 0u; i < total; ++i )
+    {
+      if ( ( shift >> i ) & 1u )
+      {
+        engine.x( i );
+      }
+    }
+    permutation_oracle( engine, f.pi, y_qubits, pi_synthesis );
+  }
+  inner_product_phase();
+  h_phase( compose( f.h, f.pi.inverse() ), y_qubits );
+  engine.uncompute();
+
+  /* second sandwich: pi^{-1} on x as a Dagger block  |  IP phase, h
+   * (realizes step 4, the dual f~(x,y) = pi^{-1}(x).y xor h(pi^{-1}(x));
+   * Fig. 7 lines 27-31).  Inside the pi^{-1}-conjugation the x register
+   * holds pi^{-1}(x), so plain h gives h(pi^{-1}(x)). */
+  {
+    auto computed = engine.compute();
+    {
+      auto daggered = engine.dagger();
+      permutation_oracle( engine, f.pi, x_qubits, dual_synthesis );
+    }
+  }
+  inner_product_phase();
+  h_phase( f.h, x_qubits );
+  engine.uncompute();
+
+  /* step 5 and 6 */
+  engine.all_h();
+  engine.measure_all();
+  return engine.circuit();
+}
+
+uint64_t solve_hidden_shift( const qcircuit& circuit, uint64_t seed )
+{
+  statevector_simulator simulator( circuit.num_qubits(), seed );
+  simulator.run( circuit );
+  uint64_t outcome = 0u;
+  const auto& record = simulator.measurement_record();
+  for ( uint32_t i = 0u; i < record.size(); ++i )
+  {
+    if ( record[i].second )
+    {
+      outcome |= uint64_t{ 1 } << i;
+    }
+  }
+  return outcome;
+}
+
+qcircuit clifford_hidden_shift_circuit( uint32_t half_vars, const std::vector<bool>& shift )
+{
+  const uint32_t total = 2u * half_vars;
+  if ( shift.size() != total )
+  {
+    throw std::invalid_argument( "clifford_hidden_shift_circuit: shift length must be 2n" );
+  }
+  qcircuit circuit( total );
+  const auto all_h = [&]() {
+    for ( uint32_t q = 0u; q < total; ++q )
+    {
+      circuit.h( q );
+    }
+  };
+  const auto inner_product_phase = [&]() {
+    for ( uint32_t i = 0u; i < half_vars; ++i )
+    {
+      circuit.cz( 2u * i, 2u * i + 1u );
+    }
+  };
+  const auto shift_x = [&]() {
+    for ( uint32_t q = 0u; q < total; ++q )
+    {
+      if ( shift[q] )
+      {
+        circuit.x( q );
+      }
+    }
+  };
+
+  /* compute [H, X_s], U_f, uncompute, U_f~ (= U_f), H, measure */
+  all_h();
+  shift_x();
+  inner_product_phase();
+  shift_x();
+  all_h(); /* closes the first sandwich (uncompute of H, X) */
+  inner_product_phase();
+  all_h();
+  circuit.measure_all();
+  return circuit;
+}
+
+std::vector<bool> solve_hidden_shift_stabilizer( const qcircuit& circuit )
+{
+  stabilizer_simulator simulator( circuit.num_qubits() );
+  simulator.run( circuit );
+  const auto& record = simulator.measurement_record();
+  std::vector<bool> outcome( record.size() );
+  for ( uint32_t i = 0u; i < record.size(); ++i )
+  {
+    outcome[i] = record[i].second;
+  }
+  return outcome;
+}
+
+std::pair<uint64_t, uint64_t> classical_hidden_shift( const truth_table& f, const truth_table& g )
+{
+  if ( f.num_vars() != g.num_vars() )
+  {
+    throw std::invalid_argument( "classical_hidden_shift: arities differ" );
+  }
+  uint64_t queries = 0u;
+  for ( uint64_t candidate = 0u; candidate < f.num_bits(); ++candidate )
+  {
+    bool matches = true;
+    for ( uint64_t x = 0u; x < f.num_bits(); ++x )
+    {
+      queries += 2u; /* one query to g, one to f */
+      if ( g.get_bit( x ) != f.get_bit( x ^ candidate ) )
+      {
+        matches = false;
+        break;
+      }
+    }
+    if ( matches )
+    {
+      return { candidate, queries };
+    }
+  }
+  throw std::invalid_argument( "classical_hidden_shift: no shift exists" );
+}
+
+std::pair<uint64_t, uint64_t> classical_hidden_shift_sampling( const truth_table& f,
+                                                               const truth_table& g,
+                                                               uint64_t seed )
+{
+  if ( f.num_vars() != g.num_vars() )
+  {
+    throw std::invalid_argument( "classical_hidden_shift_sampling: arities differ" );
+  }
+  std::mt19937_64 rng( seed );
+  const uint64_t mask = f.num_bits() - 1u;
+  uint64_t queries = 0u;
+  for ( uint64_t candidate = 0u; candidate < f.num_bits(); ++candidate )
+  {
+    /* cheap random probes first: a wrong candidate fails fast because a
+     * bent function's shifted versions disagree on half the points */
+    bool plausible = true;
+    for ( uint32_t probe = 0u; probe < 8u; ++probe )
+    {
+      const uint64_t x = rng() & mask;
+      queries += 2u;
+      if ( g.get_bit( x ) != f.get_bit( x ^ candidate ) )
+      {
+        plausible = false;
+        break;
+      }
+    }
+    if ( !plausible )
+    {
+      continue;
+    }
+    bool matches = true;
+    for ( uint64_t x = 0u; x < f.num_bits(); ++x )
+    {
+      queries += 2u;
+      if ( g.get_bit( x ) != f.get_bit( x ^ candidate ) )
+      {
+        matches = false;
+        break;
+      }
+    }
+    if ( matches )
+    {
+      return { candidate, queries };
+    }
+  }
+  throw std::invalid_argument( "classical_hidden_shift_sampling: no shift exists" );
+}
+
+} // namespace qda

@@ -1,0 +1,83 @@
+/*! \file hidden_shift.hpp
+ *  \brief The Boolean hidden shift algorithm (paper Sec. VI, Fig. 3).
+ *
+ *  Given oracle access to g(x) = f(x + s) and to the dual bent function
+ *  f~, the quantum algorithm
+ *
+ *      |0^n> --H^n--[U_g]--H^n--[U_f~]--H^n--measure--> |s>
+ *
+ *  recovers the hidden shift s deterministically with a single query to
+ *  each oracle.  The circuit builders below reproduce the two paper
+ *  flows: the generic one compiles U_g and U_f~ straight from truth
+ *  tables (Fig. 4), the Maiorana-McFarland one uses permutation oracles
+ *  and CZ inner-product phases with compute/uncompute sandwiches
+ *  (Fig. 7 / Fig. 8).
+ */
+#pragma once
+
+#include "core/bent.hpp"
+#include "core/oracles.hpp"
+#include "kernel/truth_table.hpp"
+#include "quantum/qcircuit.hpp"
+
+#include <cstdint>
+
+namespace qda
+{
+
+/*! \brief A hidden shift problem instance over a generic bent function. */
+struct hidden_shift_instance
+{
+  truth_table f;  /*!< the bent function (must pass is_bent) */
+  uint64_t shift; /*!< the hidden shift s */
+};
+
+/*! \brief Fig. 4 flow: shift realized by an X-conjugated compute block,
+ *         U_f and U_f~ compiled through the ESOP phase oracle.
+ *         Throws std::invalid_argument if f is not bent.
+ */
+qcircuit hidden_shift_circuit( const hidden_shift_instance& instance );
+
+/*! \brief Fig. 7 flow for Maiorana-McFarland instances: permutation
+ *         oracles (pi via `pi_synthesis`, its inverse realized as a
+ *         Dagger block around `dual_synthesis`, exactly like
+ *         `PermutationOracle(pi, synth=revkit.dbs)` in the paper) and
+ *         CZ ladders for the inner product.
+ */
+qcircuit hidden_shift_circuit_mm( const mm_bent_function& f, uint64_t shift,
+                                  permutation_synthesis pi_synthesis = permutation_synthesis::tbs,
+                                  permutation_synthesis dual_synthesis = permutation_synthesis::dbs );
+
+/*! \brief Runs the noiseless simulation and returns the measured shift. */
+uint64_t solve_hidden_shift( const qcircuit& circuit, uint64_t seed = 1u );
+
+/*! \brief Builds the inner-product hidden shift circuit structurally
+ *         (no truth tables), so instances with hundreds of qubits can
+ *         be generated.  The result is all-Clifford (H, X, CZ) -- the
+ *         regime Bravyi-Gosset [72] exploit for classical simulation --
+ *         and can be run on the stabilizer backend.
+ *         `half_vars` may exceed 32; qubits are laid out interleaved.
+ */
+qcircuit clifford_hidden_shift_circuit( uint32_t half_vars, const std::vector<bool>& shift );
+
+/*! \brief Solves a Clifford hidden shift instance on the stabilizer
+ *         simulator; returns the recovered shift as a bit vector.
+ */
+std::vector<bool> solve_hidden_shift_stabilizer( const qcircuit& circuit );
+
+/*! \brief Classical baseline: recovers s from black-box access to g and
+ *         f by brute force, counting oracle queries (the quantum
+ *         algorithm needs exactly two).  Returns (shift, queries).
+ */
+std::pair<uint64_t, uint64_t> classical_hidden_shift( const truth_table& f,
+                                                      const truth_table& g );
+
+/*! \brief Sampling-based classical baseline: tests candidate shifts on
+ *         random probes first (early abort), still exponential on
+ *         average for bent functions.  Returns (shift, queries).
+ */
+std::pair<uint64_t, uint64_t> classical_hidden_shift_sampling( const truth_table& f,
+                                                               const truth_table& g,
+                                                               uint64_t seed = 1u );
+
+} // namespace qda

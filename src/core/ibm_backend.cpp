@@ -1,0 +1,23 @@
+#include "core/ibm_backend.hpp"
+
+#include "mapping/clifford_t.hpp"
+#include "mapping/router.hpp"
+#include "optimization/peephole.hpp"
+
+namespace qda
+{
+
+ibm_execution run_on_ibm_model( const qcircuit& logical, const coupling_map& device,
+                                const noise_model& model, uint64_t shots, uint64_t seed )
+{
+  /* legalize gate set first: expand any multi-controlled gates */
+  const auto lowered = lower_multi_controlled_gates( logical );
+  auto routed = route_circuit( lowered.circuit, device );
+  /* clean up the H-conjugation debris the router leaves behind */
+  const auto polished = peephole_optimize( routed.circuit );
+  ibm_execution result{ sample_counts_noisy( polished, model, shots, seed ), polished,
+                        routed.added_swaps, routed.added_direction_fixes };
+  return result;
+}
+
+} // namespace qda

@@ -1,0 +1,40 @@
+/*! \file ibm_backend.hpp
+ *  \brief The "IBM Quantum Experience" backend of the ProjectQ flow.
+ *
+ *  The paper switches the ProjectQ backend from the local simulator to
+ *  the IBM QE chip by "changing two lines of code" (Sec. VII).  This
+ *  module provides the equivalent switch for our flow: it takes a
+ *  logical circuit, legalizes it for the device coupling map
+ *  (mapping/router.hpp), then executes shots on the calibrated noisy
+ *  device model (simulator/noise.hpp).
+ */
+#pragma once
+
+#include "mapping/coupling_map.hpp"
+#include "quantum/qcircuit.hpp"
+#include "simulator/noise.hpp"
+
+#include <map>
+
+namespace qda
+{
+
+/*! \brief One backend execution: histogram plus mapping statistics. */
+struct ibm_execution
+{
+  std::map<uint64_t, uint64_t> counts; /*!< outcome (by measure order) -> shots */
+  qcircuit routed;                     /*!< the device-level circuit */
+  uint64_t added_swaps = 0u;
+  uint64_t added_direction_fixes = 0u;
+};
+
+/*! \brief Routes `logical` onto `device` and runs `shots` noisy shots.
+ *
+ *  The outcome key's bit i corresponds to the i-th measure gate of the
+ *  logical circuit (routing preserves the order), so results read back
+ *  in logical qubit order.
+ */
+ibm_execution run_on_ibm_model( const qcircuit& logical, const coupling_map& device,
+                                const noise_model& model, uint64_t shots, uint64_t seed = 1u );
+
+} // namespace qda

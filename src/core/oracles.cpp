@@ -1,0 +1,168 @@
+#include "core/oracles.hpp"
+
+#include "esop/esop.hpp"
+#include "kernel/bits.hpp"
+#include "synthesis/decomposition_based.hpp"
+#include "synthesis/transformation_based.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+namespace qda
+{
+
+namespace
+{
+
+/*! Emits one ESOP cube as a phase flip (-1)^{cube(x)}. */
+void emit_cube_phase( main_engine& engine, const cube& term,
+                      const std::vector<uint32_t>& qubits )
+{
+  if ( term.mask == 0u )
+  {
+    /* empty cube: constant -1 */
+    engine.global_phase( std::numbers::pi );
+    return;
+  }
+  std::vector<uint32_t> lines;
+  std::vector<uint32_t> negatives;
+  for ( uint32_t var = 0u; var < qubits.size(); ++var )
+  {
+    if ( ( term.mask >> var ) & 1u )
+    {
+      lines.push_back( qubits[var] );
+      if ( !( ( term.polarity >> var ) & 1u ) )
+      {
+        negatives.push_back( qubits[var] );
+      }
+    }
+  }
+  for ( const auto line : negatives )
+  {
+    engine.x( line );
+  }
+  const uint32_t target = lines.back();
+  lines.pop_back();
+  engine.mcz( lines, target );
+  for ( const auto line : negatives )
+  {
+    engine.x( line );
+  }
+}
+
+rev_circuit synthesize( const permutation& pi, permutation_synthesis synthesis )
+{
+  switch ( synthesis )
+  {
+  case permutation_synthesis::tbs:
+    return transformation_based_synthesis( pi );
+  case permutation_synthesis::tbs_bidirectional:
+    return transformation_based_synthesis_bidirectional( pi );
+  case permutation_synthesis::dbs:
+    return decomposition_based_synthesis( pi );
+  }
+  throw std::invalid_argument( "permutation_oracle: unknown synthesis method" );
+}
+
+/*! Streams one MCT gate as (X-conjugated) mcx. */
+template<typename EmitX, typename EmitMcx>
+void stream_mct_gate( const rev_gate& gate, const std::vector<uint32_t>& qubits, EmitX&& emit_x,
+                      EmitMcx&& emit_mcx )
+{
+  std::vector<uint32_t> controls;
+  std::vector<uint32_t> negatives;
+  for ( uint32_t line = 0u; line < qubits.size(); ++line )
+  {
+    if ( ( gate.controls >> line ) & 1u )
+    {
+      controls.push_back( qubits[line] );
+      if ( !( ( gate.polarity >> line ) & 1u ) )
+      {
+        negatives.push_back( qubits[line] );
+      }
+    }
+  }
+  for ( const auto line : negatives )
+  {
+    emit_x( line );
+  }
+  emit_mcx( controls, qubits[gate.target] );
+  for ( const auto line : negatives )
+  {
+    emit_x( line );
+  }
+}
+
+} // namespace
+
+void phase_oracle( main_engine& engine, const truth_table& function,
+                   const std::vector<uint32_t>& qubits )
+{
+  if ( function.num_vars() != qubits.size() )
+  {
+    throw std::invalid_argument( "phase_oracle: qubit count must match function arity" );
+  }
+  const auto cover = esop_for_function( function );
+  for ( const auto& term : cover )
+  {
+    emit_cube_phase( engine, term, qubits );
+  }
+}
+
+void phase_oracle( main_engine& engine, const boolean_expression& predicate,
+                   const std::vector<uint32_t>& qubits )
+{
+  phase_oracle( engine, predicate.to_truth_table(), qubits );
+}
+
+void permutation_oracle( main_engine& engine, const permutation& pi,
+                         const std::vector<uint32_t>& qubits, permutation_synthesis synthesis )
+{
+  if ( pi.num_vars() != qubits.size() )
+  {
+    throw std::invalid_argument( "permutation_oracle: qubit count must match permutation arity" );
+  }
+  const auto reversible = synthesize( pi, synthesis );
+  for ( const auto& gate : reversible.gates() )
+  {
+    stream_mct_gate(
+        gate, qubits, [&]( uint32_t line ) { engine.x( line ); },
+        [&]( std::vector<uint32_t> controls, uint32_t target ) {
+          engine.mcx( std::move( controls ), target );
+        } );
+  }
+}
+
+qcircuit permutation_oracle_circuit( const permutation& pi, permutation_synthesis synthesis )
+{
+  const auto reversible = synthesize( pi, synthesis );
+  qcircuit circuit( pi.num_vars() );
+  std::vector<uint32_t> identity( pi.num_vars() );
+  for ( uint32_t i = 0u; i < identity.size(); ++i )
+  {
+    identity[i] = i;
+  }
+  for ( const auto& gate : reversible.gates() )
+  {
+    stream_mct_gate(
+        gate, identity, [&]( uint32_t line ) { circuit.x( line ); },
+        [&]( std::vector<uint32_t> controls, uint32_t target ) {
+          circuit.mcx( std::move( controls ), target );
+        } );
+  }
+  return circuit;
+}
+
+qcircuit phase_oracle_circuit( const truth_table& function )
+{
+  main_engine engine( function.num_vars() );
+  std::vector<uint32_t> qubits( function.num_vars() );
+  for ( uint32_t i = 0u; i < qubits.size(); ++i )
+  {
+    qubits[i] = i;
+  }
+  phase_oracle( engine, function, qubits );
+  return engine.circuit();
+}
+
+} // namespace qda

@@ -1,0 +1,66 @@
+/*! \file oracles.hpp
+ *  \brief PhaseOracle and PermutationOracle (paper Sec. VII).
+ *
+ *  The two automatic compilation entry points of the ProjectQ/RevKit
+ *  interop:
+ *
+ *   - phase_oracle(f): implements the diagonal operator
+ *       U_f = sum_x (-1)^{f(x)} |x><x|
+ *     from a Boolean predicate.  The predicate is ESOP-decomposed and
+ *     every cube becomes one (multi-controlled) Z gate, with X
+ *     conjugation for negative literals.
+ *
+ *   - permutation_oracle(pi): implements |x> -> |pi(x)> by reversible
+ *     synthesis (`tbs` [43] or `dbs` [47], selectable like the paper's
+ *     `PermutationOracle(pi, synth=revkit.dbs)`), streaming the MCT
+ *     gates into the engine.
+ */
+#pragma once
+
+#include "core/engine.hpp"
+#include "kernel/expression.hpp"
+#include "kernel/permutation.hpp"
+#include "kernel/truth_table.hpp"
+
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief Reversible synthesis algorithm selection for oracles. */
+enum class permutation_synthesis
+{
+  tbs,               /*!< transformation-based [43] (RevKit default) */
+  tbs_bidirectional, /*!< bidirectional transformation-based */
+  dbs                /*!< decomposition-based, Young subgroups [47] */
+};
+
+/*! \brief Streams U_f = (-1)^{f(x)} on the given qubits.
+ *
+ *  `qubits[i]` carries variable i of `function`.
+ */
+void phase_oracle( main_engine& engine, const truth_table& function,
+                   const std::vector<uint32_t>& qubits );
+
+/*! \brief Predicate front end: parses the expression first (Fig. 4). */
+void phase_oracle( main_engine& engine, const boolean_expression& predicate,
+                   const std::vector<uint32_t>& qubits );
+
+/*! \brief Streams |x> -> |pi(x)> on the given qubits.
+ *
+ *  `qubits[i]` carries bit i of the permutation domain.
+ */
+void permutation_oracle( main_engine& engine, const permutation& pi,
+                         const std::vector<uint32_t>& qubits,
+                         permutation_synthesis synthesis = permutation_synthesis::tbs );
+
+/*! \brief Compiles a permutation into a standalone quantum circuit
+ *         (mcx-level, one gate per MCT gate).
+ */
+qcircuit permutation_oracle_circuit( const permutation& pi,
+                                     permutation_synthesis synthesis = permutation_synthesis::tbs );
+
+/*! \brief Compiles U_f into a standalone circuit over f's variables. */
+qcircuit phase_oracle_circuit( const truth_table& function );
+
+} // namespace qda

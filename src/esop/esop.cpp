@@ -1,0 +1,350 @@
+#include "esop/esop.hpp"
+
+#include "kernel/bits.hpp"
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+
+namespace qda
+{
+
+namespace
+{
+
+/*! Literal encoding per variable: 0 = negative literal, 1 = positive
+ *  literal, 2 = absent (don't care).
+ */
+uint32_t literal_value( const cube& c, uint32_t var )
+{
+  if ( !( ( c.mask >> var ) & 1u ) )
+  {
+    return 2u;
+  }
+  return ( c.polarity >> var ) & 1u;
+}
+
+void set_literal_value( cube& c, uint32_t var, uint32_t value )
+{
+  if ( value == 2u )
+  {
+    c.remove_literal( var );
+  }
+  else
+  {
+    c.add_literal( var, value == 1u );
+  }
+}
+
+/*! XOR-merge of two distinct literal values: the unique third value with
+ *  chi(a) xor chi(b) = chi(merge(a,b)) over {0,1} (e.g. !x xor x = 1).
+ */
+uint32_t merge_literal( uint32_t a, uint32_t b )
+{
+  return 3u - a - b;
+}
+
+/*! Merges two cubes at distance 1 into the single equivalent cube. */
+cube merge_distance_one( const cube& a, const cube& b )
+{
+  const uint32_t occurrence_diff = a.mask ^ b.mask;
+  const uint32_t phase_diff = ( a.polarity ^ b.polarity ) & a.mask & b.mask;
+  const uint32_t var = least_significant_bit( occurrence_diff | phase_diff );
+  cube result = a;
+  set_literal_value( result, var, merge_literal( literal_value( a, var ), literal_value( b, var ) ) );
+  return result;
+}
+
+std::vector<uint32_t> differing_variables( const cube& a, const cube& b )
+{
+  const uint32_t occurrence_diff = a.mask ^ b.mask;
+  const uint32_t phase_diff = ( a.polarity ^ b.polarity ) & a.mask & b.mask;
+  uint32_t diff = occurrence_diff | phase_diff;
+  std::vector<uint32_t> vars;
+  while ( diff != 0u )
+  {
+    const uint32_t var = least_significant_bit( diff );
+    vars.push_back( var );
+    diff &= diff - 1u;
+  }
+  return vars;
+}
+
+/*! One sweep of distance-0 cancellation and distance-1 merging.
+ *  Returns true if the cover changed.
+ */
+bool sweep_merge( esop_cover& cover )
+{
+  bool changed = false;
+  for ( size_t i = 0u; i < cover.size(); ++i )
+  {
+    for ( size_t j = i + 1u; j < cover.size(); ++j )
+    {
+      const uint32_t d = cover[i].distance( cover[j] );
+      if ( d == 0u )
+      {
+        cover.erase( cover.begin() + static_cast<ptrdiff_t>( j ) );
+        cover.erase( cover.begin() + static_cast<ptrdiff_t>( i ) );
+        --i;
+        changed = true;
+        break;
+      }
+      if ( d == 1u )
+      {
+        cover[i] = merge_distance_one( cover[i], cover[j] );
+        cover.erase( cover.begin() + static_cast<ptrdiff_t>( j ) );
+        changed = true;
+        --j; /* re-examine from the merged cube */
+      }
+    }
+  }
+  return changed;
+}
+
+/*! The four exorlink-2 rewrites of a distance-2 pair (a, b): each is an
+ *  equivalent pair of cubes.
+ */
+std::vector<std::pair<cube, cube>> exorlink2_rewrites( const cube& a, const cube& b )
+{
+  const auto vars = differing_variables( a, b );
+  const uint32_t u = vars[0];
+  const uint32_t v = vars[1];
+
+  std::vector<std::pair<cube, cube>> rewrites;
+  for ( const auto& [first, second] : { std::pair{ a, b }, std::pair{ b, a } } )
+  {
+    for ( const auto pivot : { u, v } )
+    {
+      const uint32_t other = pivot == u ? v : u;
+      cube c1 = first;
+      set_literal_value( c1, pivot,
+                         merge_literal( literal_value( first, pivot ), literal_value( second, pivot ) ) );
+      cube c2 = first;
+      set_literal_value( c2, pivot, literal_value( second, pivot ) );
+      set_literal_value( c2, other,
+                         merge_literal( literal_value( first, other ), literal_value( second, other ) ) );
+      rewrites.emplace_back( c1, c2 );
+    }
+  }
+  return rewrites;
+}
+
+/*! Tries exorlink-2 rewrites that enable a later cancellation or merge.
+ *  Returns true if a beneficial rewrite was applied.
+ */
+bool sweep_exorlink2( esop_cover& cover )
+{
+  for ( size_t i = 0u; i < cover.size(); ++i )
+  {
+    for ( size_t j = i + 1u; j < cover.size(); ++j )
+    {
+      if ( cover[i].distance( cover[j] ) != 2u )
+      {
+        continue;
+      }
+      for ( const auto& [c1, c2] : exorlink2_rewrites( cover[i], cover[j] ) )
+      {
+        /* beneficial iff one of the new cubes is at distance <= 1 to a
+         * third cube of the cover */
+        for ( size_t k = 0u; k < cover.size(); ++k )
+        {
+          if ( k == i || k == j )
+          {
+            continue;
+          }
+          if ( c1.distance( cover[k] ) <= 1u || c2.distance( cover[k] ) <= 1u )
+          {
+            cover[i] = c1;
+            cover[j] = c2;
+            return true;
+          }
+        }
+      }
+    }
+  }
+  return false;
+}
+
+class pkrm_builder
+{
+public:
+  explicit pkrm_builder( uint32_t num_vars ) : num_vars_( num_vars ) {}
+
+  esop_cover build( const truth_table& function )
+  {
+    if ( function.is_constant0() )
+    {
+      return {};
+    }
+    if ( function.is_constant1() )
+    {
+      return { cube::one() };
+    }
+    if ( const auto it = cache_.find( function.words() ); it != cache_.end() )
+    {
+      return it->second;
+    }
+
+    /* decompose on the highest support variable */
+    uint32_t var = 0u;
+    for ( uint32_t v = num_vars_; v-- > 0u; )
+    {
+      if ( function.depends_on( v ) )
+      {
+        var = v;
+        break;
+      }
+    }
+
+    const auto f0 = function.cofactor0( var );
+    const auto f1 = function.cofactor1( var );
+    const auto f2 = f0 ^ f1;
+
+    const auto c0 = build( f0 );
+    const auto c1 = build( f1 );
+    const auto c2 = build( f2 );
+
+    /* build all three candidates and keep the one with the fewest cubes,
+     * breaking ties on literal count (fewer controls per phase gate) */
+    esop_cover shannon = with_literal( c0, var, false );
+    append_with_literal( shannon, c1, var, true );
+
+    esop_cover positive_davio = c0;
+    append_with_literal( positive_davio, c2, var, true );
+
+    esop_cover negative_davio = c1;
+    append_with_literal( negative_davio, c2, var, false );
+
+    const auto cost = []( const esop_cover& cover ) {
+      return std::pair<size_t, uint64_t>{ cover.size(), esop_literal_count( cover ) };
+    };
+    esop_cover result = std::move( positive_davio );
+    if ( cost( negative_davio ) < cost( result ) )
+    {
+      result = std::move( negative_davio );
+    }
+    if ( cost( shannon ) < cost( result ) )
+    {
+      result = std::move( shannon );
+    }
+    cache_.emplace( function.words(), result );
+    return result;
+  }
+
+private:
+  static esop_cover with_literal( const esop_cover& cover, uint32_t var, bool positive )
+  {
+    esop_cover result;
+    result.reserve( cover.size() );
+    append_with_literal( result, cover, var, positive );
+    return result;
+  }
+
+  static void append_with_literal( esop_cover& out, const esop_cover& cover, uint32_t var,
+                                   bool positive )
+  {
+    for ( auto c : cover )
+    {
+      c.add_literal( var, positive );
+      out.push_back( c );
+    }
+  }
+
+  uint32_t num_vars_;
+  std::map<std::vector<uint64_t>, esop_cover> cache_;
+};
+
+} // namespace
+
+esop_cover esop_from_pprm( const truth_table& function )
+{
+  if ( function.num_vars() > 32u )
+  {
+    throw std::invalid_argument( "esop_from_pprm: too many variables for cubes" );
+  }
+  /* Moebius transform: coefficient[m] = xor of f over all x subseteq m */
+  std::vector<uint64_t> words = function.words();
+  const uint32_t num_vars = function.num_vars();
+  for ( uint32_t var = 0u; var < num_vars; ++var )
+  {
+    if ( var < 6u )
+    {
+      const uint64_t low_mask = ~projection_masks[var];
+      const uint32_t shift = 1u << var;
+      for ( auto& word : words )
+      {
+        word ^= ( word & low_mask ) << shift;
+      }
+    }
+    else
+    {
+      const uint32_t block = 1u << ( var - 6u );
+      for ( uint32_t w = 0u; w < words.size(); ++w )
+      {
+        if ( ( w / block ) & 1u )
+        {
+          words[w] ^= words[w - block];
+        }
+      }
+    }
+  }
+
+  esop_cover cover;
+  for ( uint64_t m = 0u; m < function.num_bits(); ++m )
+  {
+    if ( test_bit( words[m >> 6u], static_cast<uint32_t>( m & 63u ) ) )
+    {
+      cover.push_back( cube( static_cast<uint32_t>( m ), static_cast<uint32_t>( m ) ) );
+    }
+  }
+  return cover;
+}
+
+esop_cover esop_from_pkrm( const truth_table& function )
+{
+  pkrm_builder builder( function.num_vars() );
+  return builder.build( function );
+}
+
+esop_cover minimize_esop( esop_cover cover, uint32_t max_rounds )
+{
+  for ( uint32_t round = 0u; round < max_rounds; ++round )
+  {
+    bool changed = false;
+    while ( sweep_merge( cover ) )
+    {
+      changed = true;
+    }
+    if ( sweep_exorlink2( cover ) )
+    {
+      changed = true;
+    }
+    if ( !changed )
+    {
+      break;
+    }
+  }
+  return cover;
+}
+
+esop_cover esop_for_function( const truth_table& function )
+{
+  constexpr uint32_t pkrm_limit = 14u;
+  if ( function.num_vars() <= pkrm_limit )
+  {
+    return minimize_esop( esop_from_pkrm( function ) );
+  }
+  return minimize_esop( esop_from_pprm( function ) );
+}
+
+truth_table esop_to_truth_table( const esop_cover& cover, uint32_t num_vars )
+{
+  truth_table result( num_vars );
+  for ( uint64_t x = 0u; x < result.num_bits(); ++x )
+  {
+    result.set_bit( x, evaluate_esop( cover, x ) );
+  }
+  return result;
+}
+
+} // namespace qda

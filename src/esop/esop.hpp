@@ -1,0 +1,58 @@
+/*! \file esop.hpp
+ *  \brief ESOP (exclusive sum-of-products) covers of Boolean functions.
+ *
+ *  ESOP covers are the bridge between Boolean functions and reversible
+ *  circuits: every cube of an ESOP for f becomes one multiple-controlled
+ *  Toffoli gate in the Bennett-embedded circuit |x>|y> -> |x>|y xor f(x)>
+ *  (paper Sec. V, refs [56]-[58]), and one multiple-controlled Z gate in
+ *  the phase oracle (-1)^{f(x)} used by the hidden shift algorithm.
+ *
+ *  Three generators are provided:
+ *    - PPRM: positive-polarity Reed-Muller (algebraic normal form);
+ *      canonical, positive literals only.
+ *    - PKRM: pseudo-Kronecker expressions chosen per-variable among
+ *      Shannon / positive Davio / negative Davio decompositions
+ *      (Drechsler [59]); usually much smaller than PPRM.
+ *    - exorcism-style minimization: distance-based cube-pair rewriting
+ *      applied on top of any initial cover ([60]).
+ */
+#pragma once
+
+#include "kernel/cube.hpp"
+#include "kernel/truth_table.hpp"
+
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief An ESOP cover: XOR of product terms. */
+using esop_cover = std::vector<cube>;
+
+/*! \brief PPRM / algebraic normal form of f via the Moebius transform.
+ *
+ *  The returned cubes have positive literals only and are canonical for f.
+ */
+esop_cover esop_from_pprm( const truth_table& function );
+
+/*! \brief Optimum pseudo-Kronecker cover by dynamic programming over the
+ *         three expansion rules per variable.  Exponential in the number
+ *         of support variables but memoized; intended for n <= 16.
+ */
+esop_cover esop_from_pkrm( const truth_table& function );
+
+/*! \brief Distance-based cube-pair minimization (exorcism-lite).
+ *
+ *  Repeatedly cancels distance-0 pairs, merges distance-1 pairs and
+ *  applies exorlink-2 rewrites while the cover shrinks; at most
+ *  `max_rounds` sweeps.  The result computes the same function.
+ */
+esop_cover minimize_esop( esop_cover cover, uint32_t max_rounds = 8u );
+
+/*! \brief Convenience: PKRM for small functions, minimized PPRM otherwise. */
+esop_cover esop_for_function( const truth_table& function );
+
+/*! \brief Expands a cover back into a truth table (for verification). */
+truth_table esop_to_truth_table( const esop_cover& cover, uint32_t num_vars );
+
+} // namespace qda

@@ -1,0 +1,100 @@
+/*! \file bits.hpp
+ *  \brief Low-level bit manipulation helpers shared across the kernel.
+ *
+ *  These are the word-level primitives underneath truth tables and
+ *  permutation handling.  All functions are constexpr-friendly and
+ *  branch-light so they can be used in hot synthesis loops.
+ */
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace qda
+{
+
+/*! \brief Number of set bits in a 64-bit word. */
+constexpr inline uint32_t popcount64( uint64_t word ) noexcept
+{
+  return static_cast<uint32_t>( std::popcount( word ) );
+}
+
+/*! \brief Parity (XOR of all bits) of a 64-bit word. */
+constexpr inline bool parity64( uint64_t word ) noexcept
+{
+  return ( std::popcount( word ) & 1u ) != 0u;
+}
+
+/*! \brief Inner product of two bit vectors packed into words: parity of x & y. */
+constexpr inline bool inner_product_bits( uint64_t x, uint64_t y ) noexcept
+{
+  return parity64( x & y );
+}
+
+/*! \brief Index of the least significant set bit; undefined for 0. */
+constexpr inline uint32_t least_significant_bit( uint64_t word ) noexcept
+{
+  return static_cast<uint32_t>( std::countr_zero( word ) );
+}
+
+/*! \brief Index of the most significant set bit; undefined for 0. */
+constexpr inline uint32_t most_significant_bit( uint64_t word ) noexcept
+{
+  return 63u - static_cast<uint32_t>( std::countl_zero( word ) );
+}
+
+/*! \brief Returns true if `value` is a power of two (and non-zero). */
+constexpr inline bool is_power_of_two( uint64_t value ) noexcept
+{
+  return value != 0u && ( value & ( value - 1u ) ) == 0u;
+}
+
+/*! \brief Ceiling of log2; log2_ceil(1) == 0. */
+constexpr inline uint32_t log2_ceil( uint64_t value ) noexcept
+{
+  if ( value <= 1u )
+  {
+    return 0u;
+  }
+  return 64u - static_cast<uint32_t>( std::countl_zero( value - 1u ) );
+}
+
+/*! \brief Extracts bit `index` of `word`. */
+constexpr inline bool test_bit( uint64_t word, uint32_t index ) noexcept
+{
+  return ( ( word >> index ) & 1u ) != 0u;
+}
+
+/*! \brief Returns `word` with bit `index` set to `value`. */
+constexpr inline uint64_t assign_bit( uint64_t word, uint32_t index, bool value ) noexcept
+{
+  return ( word & ~( uint64_t{ 1 } << index ) ) | ( uint64_t{ value } << index );
+}
+
+/*! \brief Returns `word` with bit `index` flipped. */
+constexpr inline uint64_t flip_bit( uint64_t word, uint32_t index ) noexcept
+{
+  return word ^ ( uint64_t{ 1 } << index );
+}
+
+/*! \brief Swaps bit positions `i` and `j` in `word`. */
+constexpr inline uint64_t swap_bits( uint64_t word, uint32_t i, uint32_t j ) noexcept
+{
+  const uint64_t x = ( ( word >> i ) ^ ( word >> j ) ) & 1u;
+  return word ^ ( ( x << i ) | ( x << j ) );
+}
+
+/*! \brief The six canonical single-word projection masks x_0 .. x_5.
+ *
+ *  `projection_masks[i]` holds the truth table of variable i within one
+ *  64-bit word (covering functions of up to 6 variables).
+ */
+inline constexpr uint64_t projection_masks[6] = {
+    0xaaaaaaaaaaaaaaaaull,
+    0xccccccccccccccccull,
+    0xf0f0f0f0f0f0f0f0ull,
+    0xff00ff00ff00ff00ull,
+    0xffff0000ffff0000ull,
+    0xffffffff00000000ull };
+
+} // namespace qda

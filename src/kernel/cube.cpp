@@ -1,0 +1,114 @@
+#include "kernel/cube.hpp"
+
+#include "kernel/bits.hpp"
+
+#include <stdexcept>
+
+namespace qda
+{
+
+cube cube::literal( uint32_t var, bool positive )
+{
+  if ( var >= 32u )
+  {
+    throw std::invalid_argument( "cube::literal: variable out of range" );
+  }
+  cube result;
+  result.add_literal( var, positive );
+  return result;
+}
+
+uint32_t cube::num_literals() const
+{
+  return popcount64( mask );
+}
+
+bool cube::contains( uint64_t assignment ) const
+{
+  return ( ( static_cast<uint32_t>( assignment ) ^ polarity ) & mask ) == 0u;
+}
+
+void cube::add_literal( uint32_t var, bool positive )
+{
+  if ( var >= 32u )
+  {
+    throw std::invalid_argument( "cube::add_literal: variable out of range" );
+  }
+  mask |= 1u << var;
+  polarity = static_cast<uint32_t>( assign_bit( polarity, var, positive ) );
+}
+
+void cube::remove_literal( uint32_t var )
+{
+  if ( var >= 32u )
+  {
+    throw std::invalid_argument( "cube::remove_literal: variable out of range" );
+  }
+  mask &= ~( 1u << var );
+  polarity &= mask;
+}
+
+uint32_t cube::distance( const cube& other ) const
+{
+  /* differ where occurrence differs, or both occur with opposite phase */
+  const uint32_t occurrence_diff = mask ^ other.mask;
+  const uint32_t phase_diff = ( polarity ^ other.polarity ) & mask & other.mask;
+  return popcount64( occurrence_diff | phase_diff );
+}
+
+bool cube::operator<( const cube& other ) const
+{
+  if ( mask != other.mask )
+  {
+    return mask < other.mask;
+  }
+  return polarity < other.polarity;
+}
+
+std::string cube::to_string( uint32_t num_vars ) const
+{
+  if ( mask == 0u )
+  {
+    return "1";
+  }
+  std::string result;
+  for ( uint32_t v = 0u; v < num_vars; ++v )
+  {
+    if ( ( mask >> v ) & 1u )
+    {
+      if ( !result.empty() )
+      {
+        result += ' ';
+      }
+      if ( !( ( polarity >> v ) & 1u ) )
+      {
+        result += '!';
+      }
+      result += 'x';
+      result += std::to_string( v );
+    }
+  }
+  return result;
+}
+
+bool evaluate_esop( const std::vector<cube>& cover, uint64_t assignment )
+{
+  bool value = false;
+  for ( const auto& term : cover )
+  {
+    value ^= term.contains( assignment );
+  }
+  return value;
+}
+
+uint64_t esop_literal_count( const std::vector<cube>& cover )
+{
+  uint64_t total = 0u;
+  for ( const auto& term : cover )
+  {
+    total += term.num_literals();
+  }
+  return total;
+}
+
+} // namespace qda

@@ -1,0 +1,66 @@
+/*! \file cube.hpp
+ *  \brief Product-term cubes for ESOP/SOP covers.
+ *
+ *  A cube is a conjunction of literals over up to 32 variables, stored
+ *  as a (mask, polarity) pair of 32-bit words: bit i of `mask` says
+ *  variable i occurs, bit i of `polarity` gives its phase (1 =
+ *  positive literal).  Cubes are the unit of ESOP-based reversible
+ *  synthesis: each cube becomes one multiple-controlled Toffoli gate.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief A product term (conjunction of literals). */
+struct cube
+{
+  uint32_t mask = 0u;     /*!< which variables occur */
+  uint32_t polarity = 0u; /*!< phase of each occurring variable */
+
+  cube() = default;
+  cube( uint32_t mask_, uint32_t polarity_ ) : mask( mask_ ), polarity( polarity_ & mask_ ) {}
+
+  /*! \brief The constant-one cube (empty product). */
+  static cube one() { return cube{}; }
+
+  /*! \brief Single-literal cube. */
+  static cube literal( uint32_t var, bool positive );
+
+  /*! \brief Number of literals. */
+  uint32_t num_literals() const;
+
+  /*! \brief True if the cube evaluates to 1 under the given assignment. */
+  bool contains( uint64_t assignment ) const;
+
+  /*! \brief Adds or overwrites a literal. */
+  void add_literal( uint32_t var, bool positive );
+
+  /*! \brief Removes a literal if present. */
+  void remove_literal( uint32_t var );
+
+  /*! \brief Distance: number of variables in which the cubes differ
+   *         (different occurrence or different polarity).
+   */
+  uint32_t distance( const cube& other ) const;
+
+  bool operator==( const cube& other ) const = default;
+
+  /*! \brief Total order for canonical cover sorting. */
+  bool operator<( const cube& other ) const;
+
+  /*! \brief Human-readable form like "x0 !x2 x3" ("1" for the empty cube). */
+  std::string to_string( uint32_t num_vars ) const;
+};
+
+/*! \brief Evaluates an ESOP (XOR of cubes) on one assignment. */
+bool evaluate_esop( const std::vector<cube>& cover, uint64_t assignment );
+
+/*! \brief Number of literals summed over the cover. */
+uint64_t esop_literal_count( const std::vector<cube>& cover );
+
+} // namespace qda

@@ -1,0 +1,384 @@
+#include "kernel/expression.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace qda
+{
+
+namespace
+{
+
+enum class token_kind
+{
+  identifier,
+  constant0,
+  constant1,
+  op_and,
+  op_or,
+  op_xor,
+  op_not,
+  lparen,
+  rparen,
+  end
+};
+
+struct token
+{
+  token_kind kind;
+  std::string text;
+};
+
+class lexer
+{
+public:
+  explicit lexer( std::string_view text ) : text_( text ) { advance(); }
+
+  const token& current() const { return current_; }
+
+  void advance()
+  {
+    while ( pos_ < text_.size() && std::isspace( static_cast<unsigned char>( text_[pos_] ) ) )
+    {
+      ++pos_;
+    }
+    if ( pos_ >= text_.size() )
+    {
+      current_ = { token_kind::end, "" };
+      return;
+    }
+    const char c = text_[pos_];
+    switch ( c )
+    {
+    case '&':
+      ++pos_;
+      if ( pos_ < text_.size() && text_[pos_] == '&' )
+      {
+        ++pos_;
+      }
+      current_ = { token_kind::op_and, "&" };
+      return;
+    case '|':
+      ++pos_;
+      if ( pos_ < text_.size() && text_[pos_] == '|' )
+      {
+        ++pos_;
+      }
+      current_ = { token_kind::op_or, "|" };
+      return;
+    case '^':
+      ++pos_;
+      current_ = { token_kind::op_xor, "^" };
+      return;
+    case '!':
+    case '~':
+      ++pos_;
+      current_ = { token_kind::op_not, "!" };
+      return;
+    case '(':
+      ++pos_;
+      current_ = { token_kind::lparen, "(" };
+      return;
+    case ')':
+      ++pos_;
+      current_ = { token_kind::rparen, ")" };
+      return;
+    case '0':
+      ++pos_;
+      current_ = { token_kind::constant0, "0" };
+      return;
+    case '1':
+      ++pos_;
+      current_ = { token_kind::constant1, "1" };
+      return;
+    default:
+      break;
+    }
+    if ( std::isalpha( static_cast<unsigned char>( c ) ) || c == '_' )
+    {
+      size_t start = pos_;
+      while ( pos_ < text_.size() &&
+              ( std::isalnum( static_cast<unsigned char>( text_[pos_] ) ) || text_[pos_] == '_' ) )
+      {
+        ++pos_;
+      }
+      const std::string word( text_.substr( start, pos_ - start ) );
+      if ( word == "and" || word == "AND" )
+      {
+        current_ = { token_kind::op_and, word };
+      }
+      else if ( word == "or" || word == "OR" )
+      {
+        current_ = { token_kind::op_or, word };
+      }
+      else if ( word == "xor" || word == "XOR" )
+      {
+        current_ = { token_kind::op_xor, word };
+      }
+      else if ( word == "not" || word == "NOT" )
+      {
+        current_ = { token_kind::op_not, word };
+      }
+      else
+      {
+        current_ = { token_kind::identifier, word };
+      }
+      return;
+    }
+    throw std::invalid_argument( std::string( "boolean_expression: unexpected character '" ) + c + "'" );
+  }
+
+private:
+  std::string_view text_;
+  size_t pos_ = 0u;
+  token current_{ token_kind::end, "" };
+};
+
+class parser
+{
+public:
+  parser( std::string_view text, std::vector<std::string>& variables, bool fixed_variables )
+      : lex_( text ), variables_( variables ), fixed_variables_( fixed_variables )
+  {
+  }
+
+  std::unique_ptr<expr_node> parse()
+  {
+    auto result = parse_or();
+    if ( lex_.current().kind != token_kind::end )
+    {
+      throw std::invalid_argument( "boolean_expression: trailing input after expression" );
+    }
+    return result;
+  }
+
+private:
+  std::unique_ptr<expr_node> make_binary( expr_kind kind, std::unique_ptr<expr_node> left,
+                                          std::unique_ptr<expr_node> right )
+  {
+    auto node = std::make_unique<expr_node>();
+    node->kind = kind;
+    node->left = std::move( left );
+    node->right = std::move( right );
+    return node;
+  }
+
+  std::unique_ptr<expr_node> parse_or()
+  {
+    auto left = parse_xor();
+    while ( lex_.current().kind == token_kind::op_or )
+    {
+      lex_.advance();
+      left = make_binary( expr_kind::or_op, std::move( left ), parse_xor() );
+    }
+    return left;
+  }
+
+  std::unique_ptr<expr_node> parse_xor()
+  {
+    auto left = parse_and();
+    while ( lex_.current().kind == token_kind::op_xor )
+    {
+      lex_.advance();
+      left = make_binary( expr_kind::xor_op, std::move( left ), parse_and() );
+    }
+    return left;
+  }
+
+  std::unique_ptr<expr_node> parse_and()
+  {
+    auto left = parse_unary();
+    while ( lex_.current().kind == token_kind::op_and )
+    {
+      lex_.advance();
+      left = make_binary( expr_kind::and_op, std::move( left ), parse_unary() );
+    }
+    return left;
+  }
+
+  std::unique_ptr<expr_node> parse_unary()
+  {
+    if ( lex_.current().kind == token_kind::op_not )
+    {
+      lex_.advance();
+      auto node = std::make_unique<expr_node>();
+      node->kind = expr_kind::not_op;
+      node->left = parse_unary();
+      return node;
+    }
+    return parse_primary();
+  }
+
+  std::unique_ptr<expr_node> parse_primary()
+  {
+    const token tok = lex_.current();
+    switch ( tok.kind )
+    {
+    case token_kind::constant0:
+    case token_kind::constant1:
+    {
+      lex_.advance();
+      auto node = std::make_unique<expr_node>();
+      node->kind = expr_kind::constant;
+      node->constant_value = tok.kind == token_kind::constant1;
+      return node;
+    }
+    case token_kind::identifier:
+    {
+      lex_.advance();
+      auto node = std::make_unique<expr_node>();
+      node->kind = expr_kind::variable;
+      node->variable = variable_index( tok.text );
+      return node;
+    }
+    case token_kind::lparen:
+    {
+      lex_.advance();
+      auto node = parse_or();
+      if ( lex_.current().kind != token_kind::rparen )
+      {
+        throw std::invalid_argument( "boolean_expression: missing ')'" );
+      }
+      lex_.advance();
+      return node;
+    }
+    default:
+      throw std::invalid_argument( "boolean_expression: unexpected token '" + tok.text + "'" );
+    }
+  }
+
+  uint32_t variable_index( const std::string& name )
+  {
+    const auto it = std::find( variables_.begin(), variables_.end(), name );
+    if ( it != variables_.end() )
+    {
+      return static_cast<uint32_t>( std::distance( variables_.begin(), it ) );
+    }
+    if ( fixed_variables_ )
+    {
+      throw std::invalid_argument( "boolean_expression: unknown variable '" + name + "'" );
+    }
+    variables_.push_back( name );
+    return static_cast<uint32_t>( variables_.size() - 1u );
+  }
+
+  lexer lex_;
+  std::vector<std::string>& variables_;
+  bool fixed_variables_;
+};
+
+bool evaluate_node( const expr_node& node, uint64_t assignment )
+{
+  switch ( node.kind )
+  {
+  case expr_kind::constant:
+    return node.constant_value;
+  case expr_kind::variable:
+    return ( ( assignment >> node.variable ) & 1u ) != 0u;
+  case expr_kind::not_op:
+    return !evaluate_node( *node.left, assignment );
+  case expr_kind::and_op:
+    return evaluate_node( *node.left, assignment ) && evaluate_node( *node.right, assignment );
+  case expr_kind::or_op:
+    return evaluate_node( *node.left, assignment ) || evaluate_node( *node.right, assignment );
+  case expr_kind::xor_op:
+    return evaluate_node( *node.left, assignment ) != evaluate_node( *node.right, assignment );
+  }
+  return false;
+}
+
+truth_table node_to_table( const expr_node& node, uint32_t num_vars )
+{
+  switch ( node.kind )
+  {
+  case expr_kind::constant:
+    return truth_table::constant( num_vars, node.constant_value );
+  case expr_kind::variable:
+    return truth_table::projection( num_vars, node.variable );
+  case expr_kind::not_op:
+    return ~node_to_table( *node.left, num_vars );
+  case expr_kind::and_op:
+    return node_to_table( *node.left, num_vars ) & node_to_table( *node.right, num_vars );
+  case expr_kind::or_op:
+    return node_to_table( *node.left, num_vars ) | node_to_table( *node.right, num_vars );
+  case expr_kind::xor_op:
+    return node_to_table( *node.left, num_vars ) ^ node_to_table( *node.right, num_vars );
+  }
+  return truth_table( num_vars );
+}
+
+void node_to_string( const expr_node& node, const std::vector<std::string>& variables,
+                     std::string& out )
+{
+  switch ( node.kind )
+  {
+  case expr_kind::constant:
+    out += node.constant_value ? '1' : '0';
+    return;
+  case expr_kind::variable:
+    out += variables[node.variable];
+    return;
+  case expr_kind::not_op:
+    out += '!';
+    node_to_string( *node.left, variables, out );
+    return;
+  case expr_kind::and_op:
+  case expr_kind::or_op:
+  case expr_kind::xor_op:
+    out += '(';
+    node_to_string( *node.left, variables, out );
+    out += node.kind == expr_kind::and_op ? " & " : node.kind == expr_kind::or_op ? " | " : " ^ ";
+    node_to_string( *node.right, variables, out );
+    out += ')';
+    return;
+  }
+}
+
+} // namespace
+
+boolean_expression boolean_expression::parse( std::string_view text )
+{
+  boolean_expression result;
+  parser p( text, result.variables_, /*fixed_variables=*/false );
+  result.root_ = p.parse();
+  return result;
+}
+
+boolean_expression boolean_expression::parse( std::string_view text,
+                                              const std::vector<std::string>& variables )
+{
+  boolean_expression result;
+  result.variables_ = variables;
+  parser p( text, result.variables_, /*fixed_variables=*/true );
+  result.root_ = p.parse();
+  return result;
+}
+
+bool boolean_expression::evaluate( uint64_t assignment ) const
+{
+  return evaluate_node( *root_, assignment );
+}
+
+truth_table boolean_expression::to_truth_table() const
+{
+  return to_truth_table( num_variables() );
+}
+
+truth_table boolean_expression::to_truth_table( uint32_t num_vars ) const
+{
+  if ( num_vars < num_variables() )
+  {
+    throw std::invalid_argument( "boolean_expression::to_truth_table: too few variables" );
+  }
+  return node_to_table( *root_, num_vars );
+}
+
+std::string boolean_expression::to_string() const
+{
+  std::string out;
+  node_to_string( *root_, variables_, out );
+  return out;
+}
+
+} // namespace qda

@@ -1,0 +1,95 @@
+/*! \file expression.hpp
+ *  \brief Boolean expression front end.
+ *
+ *  The paper's ProjectQ flow passes a Python predicate such as
+ *
+ *      def f(a, b, c, d):
+ *          return (a and b) ^ (c and d)
+ *
+ *  to the PhaseOracle, which converts it into a Boolean expression and
+ *  hands it to RevKit.  This module is the C++ stand-in for that front
+ *  end: it parses textual Boolean expressions into an AST and evaluates
+ *  them into truth tables.
+ *
+ *  Grammar (precedence low to high: or < xor < and < not):
+ *
+ *      or_expr  := xor_expr (("|" | "or") xor_expr)*
+ *      xor_expr := and_expr (("^" | "xor") and_expr)*
+ *      and_expr := unary (("&" | "and") unary)*
+ *      unary    := ("!" | "~" | "not") unary | primary
+ *      primary  := identifier | "0" | "1" | "(" or_expr ")"
+ */
+#pragma once
+
+#include "kernel/truth_table.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief AST node kinds for Boolean expressions. */
+enum class expr_kind
+{
+  constant,
+  variable,
+  not_op,
+  and_op,
+  or_op,
+  xor_op
+};
+
+/*! \brief A node in a parsed Boolean expression. */
+struct expr_node
+{
+  expr_kind kind = expr_kind::constant;
+  bool constant_value = false;                 /*!< for expr_kind::constant */
+  uint32_t variable = 0u;                      /*!< for expr_kind::variable */
+  std::unique_ptr<expr_node> left;             /*!< operand / left operand */
+  std::unique_ptr<expr_node> right;            /*!< right operand for binary ops */
+};
+
+/*! \brief A parsed Boolean expression together with its variable names. */
+class boolean_expression
+{
+public:
+  /*! \brief Parses `text`; variables are numbered in order of first
+   *         appearance.  Throws std::invalid_argument on syntax errors.
+   */
+  static boolean_expression parse( std::string_view text );
+
+  /*! \brief Parses `text` against a fixed variable ordering; unknown
+   *         identifiers are an error.
+   */
+  static boolean_expression parse( std::string_view text,
+                                   const std::vector<std::string>& variables );
+
+  uint32_t num_variables() const noexcept { return static_cast<uint32_t>( variables_.size() ); }
+  const std::vector<std::string>& variables() const noexcept { return variables_; }
+
+  /*! \brief Evaluates under an integer-encoded assignment (variable i = bit i). */
+  bool evaluate( uint64_t assignment ) const;
+
+  /*! \brief Expands the expression into a complete truth table. */
+  truth_table to_truth_table() const;
+
+  /*! \brief Expands over `num_vars >= num_variables()` variables
+   *         (extra variables are irrelevant).
+   */
+  truth_table to_truth_table( uint32_t num_vars ) const;
+
+  const expr_node& root() const { return *root_; }
+
+  /*! \brief Canonical text form with explicit parentheses. */
+  std::string to_string() const;
+
+private:
+  std::unique_ptr<expr_node> root_;
+  std::vector<std::string> variables_;
+};
+
+} // namespace qda

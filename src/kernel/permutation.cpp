@@ -1,0 +1,134 @@
+#include "kernel/permutation.hpp"
+
+#include "kernel/bits.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace qda
+{
+
+permutation::permutation( uint32_t num_vars )
+    : num_vars_( num_vars ), images_( uint64_t{ 1 } << num_vars )
+{
+  std::iota( images_.begin(), images_.end(), uint64_t{ 0 } );
+}
+
+permutation permutation::from_vector( std::vector<uint64_t> images )
+{
+  if ( !is_power_of_two( images.size() ) )
+  {
+    throw std::invalid_argument( "permutation::from_vector: length must be a power of two" );
+  }
+  std::vector<bool> seen( images.size(), false );
+  for ( const auto image : images )
+  {
+    if ( image >= images.size() || seen[image] )
+    {
+      throw std::invalid_argument( "permutation::from_vector: not a bijection" );
+    }
+    seen[image] = true;
+  }
+  permutation result( log2_ceil( images.size() ) );
+  result.images_ = std::move( images );
+  return result;
+}
+
+permutation permutation::from_vector( std::initializer_list<uint64_t> images )
+{
+  return from_vector( std::vector<uint64_t>( images ) );
+}
+
+permutation permutation::random( uint32_t num_vars, uint64_t seed )
+{
+  permutation result( num_vars );
+  std::mt19937_64 rng( seed );
+  std::shuffle( result.images_.begin(), result.images_.end(), rng );
+  return result;
+}
+
+permutation permutation::xor_constant( uint32_t num_vars, uint64_t constant )
+{
+  permutation result( num_vars );
+  for ( uint64_t x = 0u; x < result.size(); ++x )
+  {
+    result.images_[x] = x ^ constant;
+  }
+  return result;
+}
+
+permutation permutation::inverse() const
+{
+  permutation result( num_vars_ );
+  for ( uint64_t x = 0u; x < size(); ++x )
+  {
+    result.images_[images_[x]] = x;
+  }
+  return result;
+}
+
+permutation permutation::compose( const permutation& other ) const
+{
+  if ( num_vars_ != other.num_vars_ )
+  {
+    throw std::invalid_argument( "permutation::compose: size mismatch" );
+  }
+  permutation result( num_vars_ );
+  for ( uint64_t x = 0u; x < size(); ++x )
+  {
+    result.images_[x] = images_[other.images_[x]];
+  }
+  return result;
+}
+
+bool permutation::is_identity() const noexcept
+{
+  for ( uint64_t x = 0u; x < size(); ++x )
+  {
+    if ( images_[x] != x )
+    {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<uint64_t>> permutation::cycles() const
+{
+  std::vector<std::vector<uint64_t>> result;
+  std::vector<bool> visited( size(), false );
+  for ( uint64_t start = 0u; start < size(); ++start )
+  {
+    if ( visited[start] || images_[start] == start )
+    {
+      continue;
+    }
+    std::vector<uint64_t> cycle;
+    uint64_t current = start;
+    while ( !visited[current] )
+    {
+      visited[current] = true;
+      cycle.push_back( current );
+      current = images_[current];
+    }
+    result.push_back( std::move( cycle ) );
+  }
+  return result;
+}
+
+bool permutation::is_odd() const
+{
+  bool odd = false;
+  for ( const auto& cycle : cycles() )
+  {
+    if ( cycle.size() % 2u == 0u )
+    {
+      odd = !odd;
+    }
+  }
+  return odd;
+}
+
+} // namespace qda

@@ -1,0 +1,74 @@
+/*! \file permutation.hpp
+ *  \brief Permutations over the Boolean cube B^n.
+ *
+ *  Reversible single-output-free circuits compute permutations of the
+ *  2^n basis states; every reversible synthesis algorithm in this
+ *  library consumes or produces this representation.  The class keeps
+ *  the image vector pi with pi[x] = image of x.
+ */
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief A permutation of the 2^n bit strings over n variables. */
+class permutation
+{
+public:
+  /*! \brief Identity permutation over `num_vars` variables. */
+  explicit permutation( uint32_t num_vars );
+
+  /*! \brief Builds from an image vector; validates bijectivity.
+   *
+   *  The table length must be a power of two.  Throws
+   *  std::invalid_argument if the mapping is not a bijection.
+   */
+  static permutation from_vector( std::vector<uint64_t> images );
+
+  static permutation from_vector( std::initializer_list<uint64_t> images );
+
+  /*! \brief Uniformly random permutation (Fisher–Yates). */
+  static permutation random( uint32_t num_vars, uint64_t seed );
+
+  /*! \brief The permutation x -> x xor constant. */
+  static permutation xor_constant( uint32_t num_vars, uint64_t constant );
+
+  uint32_t num_vars() const noexcept { return num_vars_; }
+  uint64_t size() const noexcept { return images_.size(); }
+
+  uint64_t operator[]( uint64_t index ) const { return images_.at( index ); }
+  uint64_t apply( uint64_t index ) const { return images_.at( index ); }
+
+  const std::vector<uint64_t>& images() const noexcept { return images_; }
+
+  permutation inverse() const;
+
+  /*! \brief Functional composition: (this ∘ other)(x) = this(other(x)). */
+  permutation compose( const permutation& other ) const;
+
+  bool is_identity() const noexcept;
+
+  /*! \brief Cycle decomposition; fixed points are omitted. */
+  std::vector<std::vector<uint64_t>> cycles() const;
+
+  /*! \brief Parity of the permutation: true if odd. */
+  bool is_odd() const;
+
+  bool operator==( const permutation& other ) const = default;
+
+  /*! \brief Writes the value `value` at position `index` (used by
+   *         algorithms building permutations incrementally; the caller
+   *         is responsible for restoring bijectivity).
+   */
+  void set_image( uint64_t index, uint64_t value ) { images_.at( index ) = value; }
+
+private:
+  uint32_t num_vars_;
+  std::vector<uint64_t> images_;
+};
+
+} // namespace qda

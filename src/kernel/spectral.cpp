@@ -1,0 +1,126 @@
+#include "kernel/spectral.hpp"
+
+#include "kernel/bits.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace qda
+{
+
+void fast_walsh_hadamard( std::vector<int64_t>& data )
+{
+  if ( !is_power_of_two( data.size() ) )
+  {
+    throw std::invalid_argument( "fast_walsh_hadamard: length must be a power of two" );
+  }
+  for ( uint64_t len = 1u; len < data.size(); len <<= 1u )
+  {
+    for ( uint64_t block = 0u; block < data.size(); block += 2u * len )
+    {
+      for ( uint64_t i = block; i < block + len; ++i )
+      {
+        const int64_t a = data[i];
+        const int64_t b = data[i + len];
+        data[i] = a + b;
+        data[i + len] = a - b;
+      }
+    }
+  }
+}
+
+std::vector<int64_t> walsh_spectrum( const truth_table& function )
+{
+  std::vector<int64_t> data( function.num_bits() );
+  for ( uint64_t x = 0u; x < function.num_bits(); ++x )
+  {
+    data[x] = function.get_bit( x ) ? -1 : 1;
+  }
+  fast_walsh_hadamard( data );
+  return data;
+}
+
+bool is_bent( const truth_table& function )
+{
+  if ( function.num_vars() % 2u != 0u )
+  {
+    return false;
+  }
+  const int64_t flat = int64_t{ 1 } << ( function.num_vars() / 2u );
+  const auto spectrum = walsh_spectrum( function );
+  for ( const auto coefficient : spectrum )
+  {
+    if ( std::llabs( coefficient ) != flat )
+    {
+      return false;
+    }
+  }
+  return true;
+}
+
+truth_table dual_bent_function( const truth_table& function )
+{
+  if ( function.num_vars() % 2u != 0u )
+  {
+    throw std::invalid_argument( "dual_bent_function: bent functions need an even number of variables" );
+  }
+  const int64_t flat = int64_t{ 1 } << ( function.num_vars() / 2u );
+  const auto spectrum = walsh_spectrum( function );
+  truth_table dual( function.num_vars() );
+  for ( uint64_t w = 0u; w < function.num_bits(); ++w )
+  {
+    if ( spectrum[w] == flat )
+    {
+      /* dual value 0 */
+    }
+    else if ( spectrum[w] == -flat )
+    {
+      dual.set_bit( w, true );
+    }
+    else
+    {
+      throw std::invalid_argument( "dual_bent_function: function is not bent" );
+    }
+  }
+  return dual;
+}
+
+uint64_t nonlinearity( const truth_table& function )
+{
+  const auto spectrum = walsh_spectrum( function );
+  int64_t max_abs = 0;
+  for ( const auto coefficient : spectrum )
+  {
+    max_abs = std::max<int64_t>( max_abs, std::llabs( coefficient ) );
+  }
+  return ( function.num_bits() - static_cast<uint64_t>( max_abs ) ) / 2u;
+}
+
+truth_table shift_function( const truth_table& function, uint64_t shift )
+{
+  truth_table result( function.num_vars() );
+  for ( uint64_t x = 0u; x < function.num_bits(); ++x )
+  {
+    result.set_bit( x, function.get_bit( x ^ shift ) );
+  }
+  return result;
+}
+
+std::vector<int64_t> autocorrelation_spectrum( const truth_table& function )
+{
+  /* r_f = 2^-n WHT( W_f^2 ) by the Wiener–Khinchin relation over GF(2). */
+  auto spectrum = walsh_spectrum( function );
+  for ( auto& coefficient : spectrum )
+  {
+    coefficient *= coefficient;
+  }
+  fast_walsh_hadamard( spectrum );
+  const int64_t scale = static_cast<int64_t>( function.num_bits() );
+  for ( auto& coefficient : spectrum )
+  {
+    coefficient /= scale;
+  }
+  return spectrum;
+}
+
+} // namespace qda

@@ -1,0 +1,61 @@
+/*! \file spectral.hpp
+ *  \brief Walsh–Hadamard spectra, bent functions and their duals.
+ *
+ *  The hidden shift algorithm of the paper relies on *bent* Boolean
+ *  functions: functions whose Walsh spectrum is perfectly flat
+ *  (|W_f(w)| = 2^{n/2} for every w).  This header provides the spectral
+ *  machinery: fast Walsh–Hadamard transform, bentness checks, and the
+ *  computation of the dual bent function f~ defined by
+ *  W_f(w) = 2^{n/2} (-1)^{f~(w)}.
+ */
+#pragma once
+
+#include "kernel/truth_table.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief Walsh–Hadamard spectrum of f.
+ *
+ *  Returns the vector W with W[w] = sum_x (-1)^{f(x) xor (w . x)}.
+ *  Computed by a radix-2 in-place fast transform in O(n 2^n).
+ */
+std::vector<int64_t> walsh_spectrum( const truth_table& function );
+
+/*! \brief In-place fast Walsh–Hadamard transform of an arbitrary integer
+ *         vector whose length must be a power of two.
+ */
+void fast_walsh_hadamard( std::vector<int64_t>& data );
+
+/*! \brief True if the function is bent (flat Walsh spectrum).
+ *
+ *  Bent functions exist only for an even number of variables; for odd n
+ *  the result is always false.
+ */
+bool is_bent( const truth_table& function );
+
+/*! \brief Dual bent function f~ with W_f(w) = 2^{n/2} (-1)^{f~(w)}.
+ *
+ *  Throws std::invalid_argument if `function` is not bent.
+ */
+truth_table dual_bent_function( const truth_table& function );
+
+/*! \brief Nonlinearity of f: distance to the closest affine function,
+ *         2^{n-1} - max_w |W_f(w)| / 2.
+ */
+uint64_t nonlinearity( const truth_table& function );
+
+/*! \brief The function x -> f(x xor shift). */
+truth_table shift_function( const truth_table& function, uint64_t shift );
+
+/*! \brief Autocorrelation spectrum r_f(s) = sum_x (-1)^{f(x) xor f(x xor s)}.
+ *
+ *  For a bent function, r_f(s) = 0 for all s != 0 — the property that
+ *  makes the hidden shift problem classically hard.
+ */
+std::vector<int64_t> autocorrelation_spectrum( const truth_table& function );
+
+} // namespace qda

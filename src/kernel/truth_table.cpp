@@ -1,0 +1,478 @@
+#include "kernel/truth_table.hpp"
+
+#include "kernel/bits.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace qda
+{
+
+namespace
+{
+
+uint32_t words_for_vars( uint32_t num_vars )
+{
+  return num_vars <= 6u ? 1u : ( 1u << ( num_vars - 6u ) );
+}
+
+} // namespace
+
+truth_table::truth_table( uint32_t num_vars )
+    : num_vars_( num_vars ), words_( words_for_vars( num_vars ), 0u )
+{
+  if ( num_vars > max_num_vars )
+  {
+    throw std::invalid_argument( "truth_table: too many variables" );
+  }
+}
+
+truth_table truth_table::constant( uint32_t num_vars, bool value )
+{
+  truth_table tt( num_vars );
+  if ( value )
+  {
+    std::fill( tt.words_.begin(), tt.words_.end(), ~uint64_t{ 0 } );
+    tt.mask_off_excess();
+  }
+  return tt;
+}
+
+truth_table truth_table::projection( uint32_t num_vars, uint32_t var )
+{
+  if ( var >= num_vars )
+  {
+    throw std::invalid_argument( "truth_table::projection: variable out of range" );
+  }
+  truth_table tt( num_vars );
+  if ( var < 6u )
+  {
+    std::fill( tt.words_.begin(), tt.words_.end(), projection_masks[var] );
+  }
+  else
+  {
+    /* whole words alternate in blocks of 2^(var-6) */
+    const uint32_t block = 1u << ( var - 6u );
+    for ( uint32_t w = 0u; w < tt.words_.size(); ++w )
+    {
+      if ( ( w / block ) & 1u )
+      {
+        tt.words_[w] = ~uint64_t{ 0 };
+      }
+    }
+  }
+  tt.mask_off_excess();
+  return tt;
+}
+
+truth_table truth_table::from_binary_string( std::string_view bits )
+{
+  if ( !is_power_of_two( bits.size() ) )
+  {
+    throw std::invalid_argument( "truth_table::from_binary_string: length must be a power of two" );
+  }
+  const uint32_t num_vars = log2_ceil( bits.size() );
+  truth_table tt( num_vars );
+  for ( uint64_t i = 0u; i < bits.size(); ++i )
+  {
+    const char c = bits[i];
+    if ( c != '0' && c != '1' )
+    {
+      throw std::invalid_argument( "truth_table::from_binary_string: invalid character" );
+    }
+    tt.set_bit( i, c == '1' );
+  }
+  return tt;
+}
+
+truth_table truth_table::from_hex_string( uint32_t num_vars, std::string_view hex )
+{
+  const uint64_t expected_digits = std::max<uint64_t>( 1u, ( uint64_t{ 1 } << num_vars ) / 4u );
+  if ( hex.size() != expected_digits )
+  {
+    throw std::invalid_argument( "truth_table::from_hex_string: wrong number of digits" );
+  }
+  truth_table tt( num_vars );
+  for ( uint64_t d = 0u; d < hex.size(); ++d )
+  {
+    const char c = hex[hex.size() - 1u - d];
+    uint32_t value = 0u;
+    if ( c >= '0' && c <= '9' )
+    {
+      value = static_cast<uint32_t>( c - '0' );
+    }
+    else if ( c >= 'a' && c <= 'f' )
+    {
+      value = static_cast<uint32_t>( c - 'a' ) + 10u;
+    }
+    else if ( c >= 'A' && c <= 'F' )
+    {
+      value = static_cast<uint32_t>( c - 'A' ) + 10u;
+    }
+    else
+    {
+      throw std::invalid_argument( "truth_table::from_hex_string: invalid digit" );
+    }
+    for ( uint32_t b = 0u; b < 4u; ++b )
+    {
+      const uint64_t index = d * 4u + b;
+      if ( index < tt.num_bits() )
+      {
+        tt.set_bit( index, ( value >> b ) & 1u );
+      }
+    }
+  }
+  return tt;
+}
+
+truth_table truth_table::from_words( uint32_t num_vars, std::vector<uint64_t> words )
+{
+  truth_table tt( num_vars );
+  if ( words.size() != tt.words_.size() )
+  {
+    throw std::invalid_argument( "truth_table::from_words: wrong number of words" );
+  }
+  tt.words_ = std::move( words );
+  tt.mask_off_excess();
+  return tt;
+}
+
+bool truth_table::get_bit( uint64_t index ) const
+{
+  if ( index >= num_bits() )
+  {
+    throw std::out_of_range( "truth_table::get_bit: index out of range" );
+  }
+  return test_bit( words_[index >> 6u], static_cast<uint32_t>( index & 63u ) );
+}
+
+void truth_table::set_bit( uint64_t index, bool value )
+{
+  if ( index >= num_bits() )
+  {
+    throw std::out_of_range( "truth_table::set_bit: index out of range" );
+  }
+  words_[index >> 6u] = assign_bit( words_[index >> 6u], static_cast<uint32_t>( index & 63u ), value );
+}
+
+void truth_table::flip_bit( uint64_t index )
+{
+  set_bit( index, !get_bit( index ) );
+}
+
+uint64_t truth_table::count_ones() const noexcept
+{
+  uint64_t total = 0u;
+  for ( const auto word : words_ )
+  {
+    total += popcount64( word );
+  }
+  return total;
+}
+
+bool truth_table::is_constant0() const noexcept
+{
+  return std::all_of( words_.begin(), words_.end(), []( uint64_t w ) { return w == 0u; } );
+}
+
+bool truth_table::is_constant1() const noexcept
+{
+  return count_ones() == num_bits();
+}
+
+bool truth_table::depends_on( uint32_t var ) const
+{
+  return cofactor0( var ) != cofactor1( var );
+}
+
+std::vector<uint32_t> truth_table::support() const
+{
+  std::vector<uint32_t> result;
+  for ( uint32_t v = 0u; v < num_vars_; ++v )
+  {
+    if ( depends_on( v ) )
+    {
+      result.push_back( v );
+    }
+  }
+  return result;
+}
+
+truth_table truth_table::cofactor0( uint32_t var ) const
+{
+  if ( var >= num_vars_ )
+  {
+    throw std::invalid_argument( "truth_table::cofactor0: variable out of range" );
+  }
+  truth_table result = *this;
+  if ( var < 6u )
+  {
+    const uint64_t mask = ~projection_masks[var];
+    const uint32_t shift = 1u << var;
+    for ( auto& word : result.words_ )
+    {
+      const uint64_t low = word & mask;
+      word = low | ( low << shift );
+    }
+  }
+  else
+  {
+    const uint32_t block = 1u << ( var - 6u );
+    for ( uint32_t w = 0u; w < result.words_.size(); ++w )
+    {
+      if ( ( w / block ) & 1u )
+      {
+        result.words_[w] = result.words_[w - block];
+      }
+    }
+  }
+  return result;
+}
+
+truth_table truth_table::cofactor1( uint32_t var ) const
+{
+  if ( var >= num_vars_ )
+  {
+    throw std::invalid_argument( "truth_table::cofactor1: variable out of range" );
+  }
+  truth_table result = *this;
+  if ( var < 6u )
+  {
+    const uint64_t mask = projection_masks[var];
+    const uint32_t shift = 1u << var;
+    for ( auto& word : result.words_ )
+    {
+      const uint64_t high = word & mask;
+      word = high | ( high >> shift );
+    }
+  }
+  else
+  {
+    const uint32_t block = 1u << ( var - 6u );
+    for ( uint32_t w = 0u; w < result.words_.size(); ++w )
+    {
+      if ( !( ( w / block ) & 1u ) )
+      {
+        result.words_[w] = result.words_[w + block];
+      }
+    }
+  }
+  return result;
+}
+
+truth_table truth_table::swap_variables( uint32_t var_a, uint32_t var_b ) const
+{
+  if ( var_a >= num_vars_ || var_b >= num_vars_ )
+  {
+    throw std::invalid_argument( "truth_table::swap_variables: variable out of range" );
+  }
+  if ( var_a == var_b )
+  {
+    return *this;
+  }
+  truth_table result( num_vars_ );
+  for ( uint64_t i = 0u; i < num_bits(); ++i )
+  {
+    result.set_bit( swap_bits( i, var_a, var_b ), get_bit( i ) );
+  }
+  return result;
+}
+
+truth_table truth_table::extend_to( uint32_t num_vars ) const
+{
+  if ( num_vars < num_vars_ )
+  {
+    throw std::invalid_argument( "truth_table::extend_to: cannot shrink" );
+  }
+  truth_table result( num_vars );
+  const uint64_t period = num_bits();
+  for ( uint64_t i = 0u; i < result.num_bits(); ++i )
+  {
+    result.set_bit( i, get_bit( i & ( period - 1u ) ) );
+  }
+  return result;
+}
+
+truth_table truth_table::operator~() const
+{
+  truth_table result = *this;
+  for ( auto& word : result.words_ )
+  {
+    word = ~word;
+  }
+  result.mask_off_excess();
+  return result;
+}
+
+truth_table truth_table::operator&( const truth_table& other ) const
+{
+  truth_table result = *this;
+  result &= other;
+  return result;
+}
+
+truth_table truth_table::operator|( const truth_table& other ) const
+{
+  truth_table result = *this;
+  result |= other;
+  return result;
+}
+
+truth_table truth_table::operator^( const truth_table& other ) const
+{
+  truth_table result = *this;
+  result ^= other;
+  return result;
+}
+
+truth_table& truth_table::operator&=( const truth_table& other )
+{
+  check_compatible( other );
+  for ( uint32_t w = 0u; w < words_.size(); ++w )
+  {
+    words_[w] &= other.words_[w];
+  }
+  return *this;
+}
+
+truth_table& truth_table::operator|=( const truth_table& other )
+{
+  check_compatible( other );
+  for ( uint32_t w = 0u; w < words_.size(); ++w )
+  {
+    words_[w] |= other.words_[w];
+  }
+  return *this;
+}
+
+truth_table& truth_table::operator^=( const truth_table& other )
+{
+  check_compatible( other );
+  for ( uint32_t w = 0u; w < words_.size(); ++w )
+  {
+    words_[w] ^= other.words_[w];
+  }
+  return *this;
+}
+
+bool truth_table::operator==( const truth_table& other ) const
+{
+  return num_vars_ == other.num_vars_ && words_ == other.words_;
+}
+
+bool truth_table::operator!=( const truth_table& other ) const
+{
+  return !( *this == other );
+}
+
+bool truth_table::operator<( const truth_table& other ) const
+{
+  if ( num_vars_ != other.num_vars_ )
+  {
+    return num_vars_ < other.num_vars_;
+  }
+  return std::lexicographical_compare( words_.rbegin(), words_.rend(),
+                                       other.words_.rbegin(), other.words_.rend() );
+}
+
+std::string truth_table::to_binary_string() const
+{
+  std::string result( num_bits(), '0' );
+  for ( uint64_t i = 0u; i < num_bits(); ++i )
+  {
+    if ( get_bit( i ) )
+    {
+      result[i] = '1';
+    }
+  }
+  return result;
+}
+
+std::string truth_table::to_hex_string() const
+{
+  static constexpr char digits[] = "0123456789abcdef";
+  const uint64_t num_digits = std::max<uint64_t>( 1u, num_bits() / 4u );
+  std::string result( num_digits, '0' );
+  for ( uint64_t d = 0u; d < num_digits; ++d )
+  {
+    uint32_t value = 0u;
+    for ( uint32_t b = 0u; b < 4u; ++b )
+    {
+      const uint64_t index = d * 4u + b;
+      if ( index < num_bits() && get_bit( index ) )
+      {
+        value |= 1u << b;
+      }
+    }
+    result[num_digits - 1u - d] = digits[value];
+  }
+  return result;
+}
+
+void truth_table::mask_off_excess() noexcept
+{
+  if ( num_vars_ < 6u )
+  {
+    words_[0] &= ( uint64_t{ 1 } << num_bits() ) - 1u;
+  }
+}
+
+void truth_table::check_compatible( const truth_table& other ) const
+{
+  if ( num_vars_ != other.num_vars_ )
+  {
+    throw std::invalid_argument( "truth_table: operand variable counts differ" );
+  }
+}
+
+truth_table inner_product_function( uint32_t half_vars, bool interleaved )
+{
+  const uint32_t total = 2u * half_vars;
+  truth_table result( total );
+  for ( uint32_t i = 0u; i < half_vars; ++i )
+  {
+    const uint32_t x_var = interleaved ? 2u * i : i;
+    const uint32_t y_var = interleaved ? 2u * i + 1u : half_vars + i;
+    result ^= truth_table::projection( total, x_var ) & truth_table::projection( total, y_var );
+  }
+  return result;
+}
+
+truth_table hidden_weighted_bit_function( uint32_t num_vars )
+{
+  truth_table result( num_vars );
+  for ( uint64_t x = 0u; x < result.num_bits(); ++x )
+  {
+    const uint32_t weight = popcount64( x );
+    if ( weight > 0u )
+    {
+      result.set_bit( x, test_bit( x, weight - 1u ) );
+    }
+  }
+  return result;
+}
+
+truth_table majority_function( uint32_t num_vars )
+{
+  truth_table result( num_vars );
+  for ( uint64_t x = 0u; x < result.num_bits(); ++x )
+  {
+    result.set_bit( x, popcount64( x ) > num_vars / 2u );
+  }
+  return result;
+}
+
+truth_table random_truth_table( uint32_t num_vars, uint64_t seed )
+{
+  std::mt19937_64 rng( seed );
+  truth_table result( num_vars );
+  std::vector<uint64_t> words( result.num_words() );
+  for ( auto& word : words )
+  {
+    word = rng();
+  }
+  return truth_table::from_words( num_vars, std::move( words ) );
+}
+
+} // namespace qda

@@ -1,0 +1,142 @@
+/*! \file truth_table.hpp
+ *  \brief Dynamic truth table for Boolean functions of up to 26 variables.
+ *
+ *  The truth table is the workhorse representation for the reversible
+ *  synthesis algorithms in this library (transformation-based synthesis,
+ *  decomposition-based synthesis, ESOP covers).  The design follows the
+ *  word-parallel style of the kitty library: functions over n <= 6
+ *  variables fit into a single 64-bit word, larger functions use
+ *  2^(n-6) words.  Bit i of the table stores f applied to the input
+ *  assignment whose integer encoding is i (variable 0 = LSB).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief A complete truth table of a single-output Boolean function. */
+class truth_table
+{
+public:
+  /*! \brief Constructs the constant-0 function over `num_vars` variables. */
+  explicit truth_table( uint32_t num_vars );
+
+  /*! \brief Maximum supported number of variables. */
+  static constexpr uint32_t max_num_vars = 26u;
+
+  /*! \brief Constant function over `num_vars` variables. */
+  static truth_table constant( uint32_t num_vars, bool value );
+
+  /*! \brief The projection function f(x) = x_var. */
+  static truth_table projection( uint32_t num_vars, uint32_t var );
+
+  /*! \brief Builds a table from a binary string; character 0 is f(0).
+   *
+   *  The string length must be a power of two.  Throws
+   *  std::invalid_argument on malformed input.
+   */
+  static truth_table from_binary_string( std::string_view bits );
+
+  /*! \brief Builds a table from a hex string (most significant digit first),
+   *         as conventionally printed for truth tables.
+   */
+  static truth_table from_hex_string( uint32_t num_vars, std::string_view hex );
+
+  /*! \brief Builds a table over `num_vars` variables whose bit i equals
+   *         bit i of `bits` (only valid for num_vars <= 6).
+   */
+  static truth_table from_words( uint32_t num_vars, std::vector<uint64_t> words );
+
+  uint32_t num_vars() const noexcept { return num_vars_; }
+  uint64_t num_bits() const noexcept { return uint64_t{ 1 } << num_vars_; }
+  uint32_t num_words() const noexcept { return static_cast<uint32_t>( words_.size() ); }
+
+  bool get_bit( uint64_t index ) const;
+  void set_bit( uint64_t index, bool value );
+  void flip_bit( uint64_t index );
+
+  const std::vector<uint64_t>& words() const noexcept { return words_; }
+
+  /*! \brief Number of input assignments mapped to 1. */
+  uint64_t count_ones() const noexcept;
+
+  bool is_constant0() const noexcept;
+  bool is_constant1() const noexcept;
+
+  /*! \brief True if f actually depends on variable `var`. */
+  bool depends_on( uint32_t var ) const;
+
+  /*! \brief Variables the function depends on, ascending. */
+  std::vector<uint32_t> support() const;
+
+  /*! \brief Negative cofactor f|x_var=0, expressed over the same variables
+   *         (the cofactored variable becomes irrelevant).
+   */
+  truth_table cofactor0( uint32_t var ) const;
+
+  /*! \brief Positive cofactor f|x_var=1. */
+  truth_table cofactor1( uint32_t var ) const;
+
+  /*! \brief Swaps the roles of two input variables. */
+  truth_table swap_variables( uint32_t var_a, uint32_t var_b ) const;
+
+  /*! \brief Extends the function to `num_vars` variables (new variables are
+   *         don't-care / irrelevant).  `num_vars` must be >= current size.
+   */
+  truth_table extend_to( uint32_t num_vars ) const;
+
+  /*! \brief Evaluates f on the input assignment encoded as an integer. */
+  bool evaluate( uint64_t assignment ) const { return get_bit( assignment ); }
+
+  truth_table operator~() const;
+  truth_table operator&( const truth_table& other ) const;
+  truth_table operator|( const truth_table& other ) const;
+  truth_table operator^( const truth_table& other ) const;
+  truth_table& operator&=( const truth_table& other );
+  truth_table& operator|=( const truth_table& other );
+  truth_table& operator^=( const truth_table& other );
+
+  bool operator==( const truth_table& other ) const;
+  bool operator!=( const truth_table& other ) const;
+  bool operator<( const truth_table& other ) const;
+
+  /*! \brief Binary string, character 0 is f(0). */
+  std::string to_binary_string() const;
+
+  /*! \brief Hex string (most significant digit first). */
+  std::string to_hex_string() const;
+
+private:
+  void mask_off_excess() noexcept;
+  void check_compatible( const truth_table& other ) const;
+
+  uint32_t num_vars_;
+  std::vector<uint64_t> words_;
+};
+
+/*! \brief Inner-product bent function IP(x, y) = x_1 y_1 xor ... xor x_n y_n
+ *         over 2n variables, with x on even indices and y on odd indices
+ *         when `interleaved` is true, else x in the low half.
+ */
+truth_table inner_product_function( uint32_t half_vars, bool interleaved = false );
+
+/*! \brief The hidden-weighted-bit function over n variables:
+ *         f(x) = x_{weight(x)} if weight(x) > 0 else 0 -- here defined as the
+ *         reversible benchmark convention used by RevKit's `revgen --hwb`
+ *         (see hwb_permutation in synthesis/revgen.hpp for the permutation
+ *         version); this single-output variant returns bit weight(x)-1 of x.
+ */
+truth_table hidden_weighted_bit_function( uint32_t num_vars );
+
+/*! \brief Majority function over an odd number of variables. */
+truth_table majority_function( uint32_t num_vars );
+
+/*! \brief Uniformly random truth table from the given generator. */
+truth_table random_truth_table( uint32_t num_vars, uint64_t seed );
+
+} // namespace qda

@@ -1,0 +1,62 @@
+/*! \file clifford_t.hpp
+ *  \brief Mapping reversible MCT circuits into Clifford+T quantum circuits.
+ *
+ *  This is the `rptm` stage of the paper's Eq. (5) pipeline: Toffoli
+ *  gates are expressed over {H, T, T^dagger, CNOT} (refs [40]-[42]).
+ *  Multiple-controlled gates are first decomposed into a V-chain of
+ *  Toffolis over clean helper qubits; with the relative-phase option
+ *  (Maslov [42]) the compute/uncompute Toffolis of the chain are
+ *  replaced by 4-T relative-phase Toffolis whose phases cancel pairwise,
+ *  cutting the T-count roughly in half.
+ */
+#pragma once
+
+#include "quantum/qcircuit.hpp"
+#include "reversible/rev_circuit.hpp"
+
+namespace qda
+{
+
+/*! \brief Options of the Clifford+T mapping. */
+struct clifford_t_options
+{
+  /*! Use relative-phase Toffolis for compute/uncompute pairs ([42]). */
+  bool use_relative_phase = true;
+  /*! Keep ccx/mcx as opaque gates instead of expanding to Clifford+T
+   *  (useful when a later pass or backend handles them natively). */
+  bool keep_toffoli = false;
+};
+
+/*! \brief Result of the mapping. */
+struct clifford_t_result
+{
+  qcircuit circuit;            /*!< Clifford+T circuit */
+  uint32_t num_helper_qubits;  /*!< clean helpers appended after the lines */
+};
+
+/*! \brief Maps an MCT circuit to Clifford+T.
+ *
+ *  The result acts on `circuit.num_lines()` + helpers qubits; helpers
+ *  start and end in |0>.
+ */
+clifford_t_result map_to_clifford_t( const rev_circuit& circuit,
+                                     const clifford_t_options& options = {} );
+
+/*! \brief Appends the textbook 7-T Toffoli decomposition. */
+void append_toffoli_clifford_t( qcircuit& circuit, uint32_t c0, uint32_t c1, uint32_t target );
+
+/*! \brief Appends Maslov's 4-T relative-phase Toffoli (or its adjoint). */
+void append_relative_phase_toffoli( qcircuit& circuit, uint32_t c0, uint32_t c1, uint32_t target,
+                                    bool adjoint = false );
+
+/*! \brief Expands all mcx/mcz gates of a quantum circuit into Clifford+T,
+ *         appending clean helper qubits as needed (mcz is H-conjugated
+ *         into mcx first).  Other gates pass through unchanged.
+ */
+clifford_t_result lower_multi_controlled_gates( const qcircuit& circuit,
+                                                const clifford_t_options& options = {} );
+
+/*! \brief T-count of one k-control MCT under this mapping. */
+uint64_t mct_t_count( uint32_t num_controls, bool use_relative_phase = true );
+
+} // namespace qda

@@ -1,0 +1,150 @@
+#include "mapping/router.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace qda
+{
+
+namespace
+{
+
+struct router
+{
+  const coupling_map& device;
+  qcircuit circuit;
+  std::vector<uint32_t> layout;   /* logical -> physical */
+  std::vector<uint32_t> inverse;  /* physical -> logical */
+  uint64_t added_swaps = 0u;
+  uint64_t added_direction_fixes = 0u;
+
+  explicit router( const coupling_map& dev )
+      : device( dev ), circuit( dev.num_qubits() ), layout( dev.num_qubits() ),
+        inverse( dev.num_qubits() )
+  {
+    std::iota( layout.begin(), layout.end(), 0u );
+    std::iota( inverse.begin(), inverse.end(), 0u );
+  }
+
+  /*! Emits a direction-respecting CNOT between adjacent physical qubits. */
+  void emit_cx_physical( uint32_t control, uint32_t target )
+  {
+    if ( device.has_directed_edge( control, target ) )
+    {
+      circuit.cx( control, target );
+      return;
+    }
+    if ( !device.has_directed_edge( target, control ) )
+    {
+      throw std::logic_error( "router: emit_cx_physical on non-adjacent qubits" );
+    }
+    /* reverse the native direction with Hadamards */
+    circuit.h( control );
+    circuit.h( target );
+    circuit.cx( target, control );
+    circuit.h( control );
+    circuit.h( target );
+    ++added_direction_fixes;
+  }
+
+  /*! Emits a SWAP of two adjacent physical qubits as three CNOTs. */
+  void emit_swap_physical( uint32_t a, uint32_t b )
+  {
+    emit_cx_physical( a, b );
+    emit_cx_physical( b, a );
+    emit_cx_physical( a, b );
+    ++added_swaps;
+    std::swap( inverse[a], inverse[b] );
+    layout[inverse[a]] = a;
+    layout[inverse[b]] = b;
+  }
+
+  /*! Moves two logical qubits adjacent, then runs `emit` on the
+   *  physical pair.
+   */
+  template<typename EmitFn>
+  void route_two_qubit( uint32_t logical_control, uint32_t logical_target, EmitFn&& emit )
+  {
+    uint32_t pc = layout[logical_control];
+    uint32_t pt = layout[logical_target];
+    if ( !device.are_adjacent( pc, pt ) )
+    {
+      const auto path = device.shortest_path( pc, pt );
+      if ( path.empty() )
+      {
+        throw std::invalid_argument( "router: device graph is disconnected" );
+      }
+      /* walk the control towards the target, stopping one hop short */
+      for ( size_t step = 0u; step + 2u < path.size(); ++step )
+      {
+        emit_swap_physical( path[step], path[step + 1u] );
+      }
+      pc = layout[logical_control];
+      pt = layout[logical_target];
+    }
+    emit( pc, pt );
+  }
+
+  void run( const qcircuit& source )
+  {
+    for ( const auto& gate : source.gates() )
+    {
+      switch ( gate.kind )
+      {
+      case gate_kind::cx:
+        route_two_qubit( gate.controls[0], gate.target,
+                         [&]( uint32_t pc, uint32_t pt ) { emit_cx_physical( pc, pt ); } );
+        break;
+      case gate_kind::cz:
+        /* cz = H(t) cx H(t); symmetric so any direction works */
+        route_two_qubit( gate.controls[0], gate.target, [&]( uint32_t pc, uint32_t pt ) {
+          circuit.h( pt );
+          emit_cx_physical( pc, pt );
+          circuit.h( pt );
+        } );
+        break;
+      case gate_kind::swap:
+        route_two_qubit( gate.target, gate.target2, [&]( uint32_t pa, uint32_t pb ) {
+          emit_swap_physical( pa, pb );
+        } );
+        break;
+      case gate_kind::mcx:
+      case gate_kind::mcz:
+        throw std::invalid_argument( "router: map multi-controlled gates to Clifford+T first" );
+      case gate_kind::measure:
+        circuit.measure( layout[gate.target] );
+        break;
+      case gate_kind::barrier:
+        circuit.barrier();
+        break;
+      case gate_kind::global_phase:
+        circuit.global_phase( gate.angle );
+        break;
+      default:
+      {
+        qgate mapped = gate;
+        mapped.target = layout[gate.target];
+        circuit.add_gate( mapped );
+        break;
+      }
+      }
+    }
+  }
+};
+
+} // namespace
+
+routing_result route_circuit( const qcircuit& source, const coupling_map& device )
+{
+  if ( source.num_qubits() > device.num_qubits() )
+  {
+    throw std::invalid_argument( "route_circuit: circuit needs more qubits than the device has" );
+  }
+  router r( device );
+  std::vector<uint32_t> initial = r.layout;
+  r.run( source );
+  return { std::move( r.circuit ), std::move( initial ), std::move( r.layout ), r.added_swaps,
+           r.added_direction_fixes };
+}
+
+} // namespace qda

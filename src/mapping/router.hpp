@@ -1,0 +1,40 @@
+/*! \file router.hpp
+ *  \brief Qubit placement and SWAP routing onto a coupling map.
+ *
+ *  Legalizes a logical Clifford+T circuit for a physical device: CNOTs
+ *  between non-adjacent qubits are routed by inserting SWAPs along a
+ *  shortest path, and CNOTs against the native direction are reversed
+ *  by conjugation with Hadamards (4 extra H).  This stage sits between
+ *  the Clifford+T mapping and the (noisy) device execution in the
+ *  Fig. 6 reproduction.
+ */
+#pragma once
+
+#include "mapping/coupling_map.hpp"
+#include "quantum/qcircuit.hpp"
+
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief Routing result: device-level circuit and layout bookkeeping. */
+struct routing_result
+{
+  qcircuit circuit;                    /*!< circuit over physical qubits */
+  std::vector<uint32_t> initial_layout; /*!< logical -> physical at entry */
+  std::vector<uint32_t> final_layout;   /*!< logical -> physical at exit */
+  uint64_t added_swaps = 0u;           /*!< SWAPs inserted */
+  uint64_t added_direction_fixes = 0u; /*!< CNOT reversals */
+};
+
+/*! \brief Routes `circuit` onto `device`.
+ *
+ *  The input may contain single-qubit gates, cx, cz, swap, measure and
+ *  barrier (run the Clifford+T mapping first for mcx/mcz).  cz and swap
+ *  are expressed through cx during routing.  The initial layout is the
+ *  identity.
+ */
+routing_result route_circuit( const qcircuit& circuit, const coupling_map& device );
+
+} // namespace qda

@@ -1,0 +1,303 @@
+#include "networks/lut.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace qda
+{
+
+uint32_t lut_network::add_lut( std::vector<uint32_t> fanins, truth_table function )
+{
+  if ( function.num_vars() != fanins.size() )
+  {
+    throw std::invalid_argument( "lut_network::add_lut: function arity mismatch" );
+  }
+  const uint32_t id = num_pis_ + num_luts();
+  for ( const auto fanin : fanins )
+  {
+    if ( fanin >= id )
+    {
+      throw std::invalid_argument( "lut_network::add_lut: fanin not yet defined" );
+    }
+  }
+  luts_.emplace_back( std::move( fanins ), std::move( function ) );
+  return id;
+}
+
+void lut_network::add_po( uint32_t node )
+{
+  if ( node >= num_pis_ + num_luts() )
+  {
+    throw std::invalid_argument( "lut_network::add_po: node not defined" );
+  }
+  outputs_.push_back( node );
+}
+
+uint32_t lut_network::max_fanin_size() const noexcept
+{
+  uint32_t result = 0u;
+  for ( const auto& lut : luts_ )
+  {
+    result = std::max<uint32_t>( result, static_cast<uint32_t>( lut.fanins.size() ) );
+  }
+  return result;
+}
+
+std::vector<truth_table> lut_network::simulate() const
+{
+  std::vector<truth_table> tables;
+  tables.reserve( num_pis_ + luts_.size() );
+  for ( uint32_t pi = 0u; pi < num_pis_; ++pi )
+  {
+    tables.emplace_back( truth_table::projection( num_pis_, pi ) );
+  }
+  for ( const auto& lut : luts_ )
+  {
+    truth_table value( num_pis_ );
+    for ( uint64_t x = 0u; x < value.num_bits(); ++x )
+    {
+      uint64_t local = 0u;
+      for ( uint32_t i = 0u; i < lut.fanins.size(); ++i )
+      {
+        if ( tables[lut.fanins[i]].get_bit( x ) )
+        {
+          local |= uint64_t{ 1 } << i;
+        }
+      }
+      value.set_bit( x, lut.function.get_bit( local ) );
+    }
+    tables.push_back( std::move( value ) );
+  }
+
+  std::vector<truth_table> result;
+  result.reserve( outputs_.size() );
+  for ( const auto output : outputs_ )
+  {
+    result.push_back( tables[output] );
+  }
+  return result;
+}
+
+uint32_t lut_network::num_internal_luts() const noexcept
+{
+  std::vector<bool> consumed( num_pis_ + luts_.size(), false );
+  for ( const auto& lut : luts_ )
+  {
+    for ( const auto fanin : lut.fanins )
+    {
+      consumed[fanin] = true;
+    }
+  }
+  uint32_t count = 0u;
+  for ( uint32_t i = 0u; i < luts_.size(); ++i )
+  {
+    if ( consumed[num_pis_ + i] )
+    {
+      ++count;
+    }
+  }
+  return count;
+}
+
+namespace
+{
+
+using cut = std::vector<uint32_t>; /* sorted node ids */
+
+/*! Merges two sorted leaf sets; returns empty optional-like flag via size
+ *  check against the limit.
+ */
+bool merge_cuts( const cut& a, const cut& b, uint32_t limit, cut& out )
+{
+  out.clear();
+  std::set_union( a.begin(), a.end(), b.begin(), b.end(), std::back_inserter( out ) );
+  return out.size() <= limit;
+}
+
+struct cut_database
+{
+  std::vector<std::vector<cut>> cuts; /* per node */
+  static constexpr uint32_t max_cuts_per_node = 12u;
+};
+
+/*! Enumerates k-feasible cuts bottom-up. */
+cut_database enumerate_cuts( const xag_network& network, uint32_t cut_size )
+{
+  cut_database db;
+  db.cuts.resize( network.node_end() );
+
+  /* constant node: empty cut */
+  db.cuts[0] = { cut{} };
+  for ( uint32_t node = 1u; node <= network.num_pis(); ++node )
+  {
+    db.cuts[node] = { cut{ node } };
+  }
+  for ( uint32_t node = network.first_gate(); node < network.node_end(); ++node )
+  {
+    const auto [f0, f1] = network.fanins( node );
+    const uint32_t n0 = xag_network::node_of( f0 );
+    const uint32_t n1 = xag_network::node_of( f1 );
+    std::vector<cut> merged;
+    cut scratch;
+    for ( const auto& c0 : db.cuts[n0] )
+    {
+      for ( const auto& c1 : db.cuts[n1] )
+      {
+        if ( merge_cuts( c0, c1, cut_size, scratch ) )
+        {
+          if ( std::find( merged.begin(), merged.end(), scratch ) == merged.end() )
+          {
+            merged.push_back( scratch );
+          }
+        }
+      }
+    }
+    /* prefer small cuts; keep the trivial cut last as fallback */
+    std::sort( merged.begin(), merged.end(),
+               []( const cut& a, const cut& b ) { return a.size() < b.size(); } );
+    if ( merged.size() > cut_database::max_cuts_per_node )
+    {
+      merged.resize( cut_database::max_cuts_per_node );
+    }
+    merged.push_back( cut{ node } );
+    db.cuts[node] = std::move( merged );
+  }
+  return db;
+}
+
+/*! Computes the local function of `node` in terms of the cut leaves. */
+truth_table cut_function( const xag_network& network, uint32_t node, const cut& leaves )
+{
+  const uint32_t k = static_cast<uint32_t>( leaves.size() );
+  std::unordered_map<uint32_t, truth_table> memo;
+  struct evaluator
+  {
+    const xag_network& network;
+    const cut& leaves;
+    uint32_t k;
+    std::unordered_map<uint32_t, truth_table>& memo;
+
+    truth_table node_table( uint32_t n )
+    {
+      if ( const auto it = memo.find( n ); it != memo.end() )
+      {
+        return it->second;
+      }
+      truth_table result( k );
+      const auto leaf_it = std::find( leaves.begin(), leaves.end(), n );
+      if ( leaf_it != leaves.end() )
+      {
+        result = truth_table::projection(
+            k, static_cast<uint32_t>( std::distance( leaves.begin(), leaf_it ) ) );
+      }
+      else if ( network.is_constant( n ) )
+      {
+        result = truth_table::constant( k, false );
+      }
+      else
+      {
+        const auto [f0, f1] = network.fanins( n );
+        auto t0 = node_table( xag_network::node_of( f0 ) );
+        if ( xag_network::is_complemented( f0 ) )
+        {
+          t0 = ~t0;
+        }
+        auto t1 = node_table( xag_network::node_of( f1 ) );
+        if ( xag_network::is_complemented( f1 ) )
+        {
+          t1 = ~t1;
+        }
+        result = network.is_xor( n ) ? ( t0 ^ t1 ) : ( t0 & t1 );
+      }
+      memo.emplace( n, result );
+      return result;
+    }
+  };
+  return evaluator{ network, leaves, k, memo }.node_table( node );
+}
+
+} // namespace
+
+lut_network lut_map( const xag_network& network, uint32_t cut_size )
+{
+  if ( cut_size < 2u || cut_size > 6u )
+  {
+    throw std::invalid_argument( "lut_map: cut size must be in [2, 6]" );
+  }
+  const auto db = enumerate_cuts( network, cut_size );
+
+  lut_network mapped( network.num_pis() );
+  std::unordered_map<uint32_t, uint32_t> xag_to_lut; /* xag node -> lut node id */
+  for ( uint32_t pi = 1u; pi <= network.num_pis(); ++pi )
+  {
+    xag_to_lut[pi] = network.pi_index( pi );
+  }
+
+  /* area-greedy covering: map a node with its smallest non-trivial cut */
+  struct cover_builder
+  {
+    const xag_network& network;
+    const cut_database& db;
+    lut_network& mapped;
+    std::unordered_map<uint32_t, uint32_t>& xag_to_lut;
+
+    uint32_t map_node( uint32_t node )
+    {
+      if ( const auto it = xag_to_lut.find( node ); it != xag_to_lut.end() )
+      {
+        return it->second;
+      }
+      /* choose the first cut whose leaves are not the node itself */
+      const cut* chosen = nullptr;
+      for ( const auto& candidate : db.cuts[node] )
+      {
+        if ( !( candidate.size() == 1u && candidate[0] == node ) )
+        {
+          chosen = &candidate;
+          break;
+        }
+      }
+      if ( chosen == nullptr )
+      {
+        throw std::logic_error( "lut_map: gate node without non-trivial cut" );
+      }
+      std::vector<uint32_t> fanins;
+      fanins.reserve( chosen->size() );
+      for ( const auto leaf : *chosen )
+      {
+        fanins.push_back( map_node( leaf ) );
+      }
+      const auto function = cut_function( network, node, *chosen );
+      const uint32_t lut_id = mapped.add_lut( std::move( fanins ), function );
+      xag_to_lut.emplace( node, lut_id );
+      return lut_id;
+    }
+  };
+
+  cover_builder builder{ network, db, mapped, xag_to_lut };
+  for ( const auto output : network.outputs() )
+  {
+    const uint32_t node = xag_network::node_of( output );
+    uint32_t mapped_node;
+    if ( network.is_constant( node ) )
+    {
+      mapped_node = mapped.add_lut( {}, truth_table::constant( 0u, false ) );
+    }
+    else
+    {
+      mapped_node = builder.map_node( node );
+    }
+    if ( xag_network::is_complemented( output ) )
+    {
+      /* wrap an inverter LUT */
+      mapped_node = mapped.add_lut( { mapped_node },
+                                    ~truth_table::projection( 1u, 0u ) );
+    }
+    mapped.add_po( mapped_node );
+  }
+  return mapped;
+}
+
+} // namespace qda

@@ -1,0 +1,83 @@
+/*! \file lut.hpp
+ *  \brief k-LUT networks and cut-based LUT mapping of XAGs.
+ *
+ *  LUT networks are the input representation of LUT-based hierarchical
+ *  reversible synthesis (LHRS, paper ref [65]): every LUT becomes a
+ *  single-target gate computing its (at most k-input) function onto an
+ *  ancilla qubit, and the LUT structure determines how many ancillae
+ *  are needed and when they can be uncomputed.
+ */
+#pragma once
+
+#include "kernel/truth_table.hpp"
+#include "networks/xag.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief One look-up table node: a function over a few fanin nodes. */
+struct lut_node
+{
+  std::vector<uint32_t> fanins; /*!< node ids (PIs or earlier LUTs) */
+  truth_table function;         /*!< over fanins.size() variables */
+
+  lut_node( std::vector<uint32_t> fanins_, truth_table function_ )
+      : fanins( std::move( fanins_ ) ), function( std::move( function_ ) )
+  {
+  }
+};
+
+/*! \brief A feed-forward network of LUTs.
+ *
+ *  Node ids: 0 .. num_pis-1 are the primary inputs; id num_pis + i is
+ *  the i-th LUT (LUTs are stored in topological order).
+ */
+class lut_network
+{
+public:
+  explicit lut_network( uint32_t num_pis ) : num_pis_( num_pis ) {}
+
+  uint32_t num_pis() const noexcept { return num_pis_; }
+  uint32_t num_luts() const noexcept { return static_cast<uint32_t>( luts_.size() ); }
+  uint32_t num_pos() const noexcept { return static_cast<uint32_t>( outputs_.size() ); }
+
+  /*! \brief Appends a LUT; fanins must reference existing nodes. */
+  uint32_t add_lut( std::vector<uint32_t> fanins, truth_table function );
+
+  /*! \brief Registers node `node` as a primary output. */
+  void add_po( uint32_t node );
+
+  bool is_pi( uint32_t node ) const noexcept { return node < num_pis_; }
+
+  const lut_node& lut_of( uint32_t node ) const { return luts_.at( node - num_pis_ ); }
+
+  const std::vector<uint32_t>& outputs() const noexcept { return outputs_; }
+
+  /*! \brief Largest fanin count over all LUTs. */
+  uint32_t max_fanin_size() const noexcept;
+
+  /*! \brief Simulates all outputs into truth tables over the PIs. */
+  std::vector<truth_table> simulate() const;
+
+  /*! \brief Number of LUTs whose value is consumed by later LUTs
+   *         (these require intermediate ancilla qubits in LHRS).
+   */
+  uint32_t num_internal_luts() const noexcept;
+
+private:
+  uint32_t num_pis_;
+  std::vector<lut_node> luts_;
+  std::vector<uint32_t> outputs_;
+};
+
+/*! \brief Cut-based k-LUT mapping of an XAG (area-greedy covering).
+ *
+ *  `cut_size` must be between 2 and 6.  The mapped network computes the
+ *  same outputs as the XAG.
+ */
+lut_network lut_map( const xag_network& network, uint32_t cut_size );
+
+} // namespace qda

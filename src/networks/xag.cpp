@@ -1,0 +1,269 @@
+#include "networks/xag.hpp"
+
+#include "esop/esop.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace qda
+{
+
+xag_network::xag_network()
+{
+  nodes_.push_back( { 0u, 0u, false } ); /* constant node */
+}
+
+xag_signal xag_network::create_pi()
+{
+  if ( pis_frozen_ )
+  {
+    throw std::logic_error( "xag_network::create_pi: inputs must be created before gates" );
+  }
+  ++num_pis_;
+  nodes_.push_back( { 0u, 0u, false } );
+  return static_cast<xag_signal>( ( nodes_.size() - 1u ) << 1u );
+}
+
+xag_signal xag_network::create_and( xag_signal a, xag_signal b )
+{
+  /* constant folding */
+  if ( a == get_constant( false ) || b == get_constant( false ) )
+  {
+    return get_constant( false );
+  }
+  if ( a == get_constant( true ) )
+  {
+    return b;
+  }
+  if ( b == get_constant( true ) )
+  {
+    return a;
+  }
+  if ( a == b )
+  {
+    return a;
+  }
+  if ( a == create_not( b ) )
+  {
+    return get_constant( false );
+  }
+  if ( a > b )
+  {
+    std::swap( a, b );
+  }
+  return create_gate( a, b, /*is_xor=*/false );
+}
+
+xag_signal xag_network::create_xor( xag_signal a, xag_signal b )
+{
+  if ( a == b )
+  {
+    return get_constant( false );
+  }
+  if ( a == create_not( b ) )
+  {
+    return get_constant( true );
+  }
+  if ( node_of( a ) == 0u )
+  {
+    return is_complemented( a ) ? create_not( b ) : b;
+  }
+  if ( node_of( b ) == 0u )
+  {
+    return is_complemented( b ) ? create_not( a ) : a;
+  }
+  /* canonicalize: push complements to the output */
+  const bool complement = is_complemented( a ) != is_complemented( b );
+  a &= ~1u;
+  b &= ~1u;
+  if ( a > b )
+  {
+    std::swap( a, b );
+  }
+  const xag_signal gate = create_gate( a, b, /*is_xor=*/true );
+  return complement ? create_not( gate ) : gate;
+}
+
+xag_signal xag_network::create_or( xag_signal a, xag_signal b )
+{
+  return create_not( create_and( create_not( a ), create_not( b ) ) );
+}
+
+void xag_network::create_po( xag_signal signal )
+{
+  outputs_.push_back( signal );
+}
+
+uint32_t xag_network::num_gates() const noexcept
+{
+  return static_cast<uint32_t>( nodes_.size() ) - num_pis_ - 1u;
+}
+
+uint32_t xag_network::num_and_gates() const noexcept
+{
+  uint32_t count = 0u;
+  for ( uint32_t node = first_gate(); node < node_end(); ++node )
+  {
+    if ( !nodes_[node].is_xor )
+    {
+      ++count;
+    }
+  }
+  return count;
+}
+
+uint32_t xag_network::num_xor_gates() const noexcept
+{
+  return num_gates() - num_and_gates();
+}
+
+bool xag_network::is_and( uint32_t node ) const
+{
+  return is_gate( node ) && !nodes_[node].is_xor;
+}
+
+bool xag_network::is_xor( uint32_t node ) const
+{
+  return is_gate( node ) && nodes_[node].is_xor;
+}
+
+std::pair<xag_signal, xag_signal> xag_network::fanins( uint32_t node ) const
+{
+  if ( !is_gate( node ) )
+  {
+    throw std::invalid_argument( "xag_network::fanins: not a gate node" );
+  }
+  return { nodes_[node].fanin0, nodes_[node].fanin1 };
+}
+
+xag_signal xag_network::create_gate( xag_signal a, xag_signal b, bool is_xor )
+{
+  pis_frozen_ = true;
+  const gate_key key{ a, b, is_xor };
+  if ( const auto it = strash_.find( key ); it != strash_.end() )
+  {
+    return static_cast<xag_signal>( it->second << 1u );
+  }
+  const uint32_t node = static_cast<uint32_t>( nodes_.size() );
+  nodes_.push_back( { a, b, is_xor } );
+  strash_.emplace( key, node );
+  return static_cast<xag_signal>( node << 1u );
+}
+
+std::vector<truth_table> xag_network::simulate() const
+{
+  std::vector<truth_table> node_tables;
+  node_tables.reserve( nodes_.size() );
+  node_tables.emplace_back( truth_table::constant( num_pis_, false ) );
+  for ( uint32_t pi = 0u; pi < num_pis_; ++pi )
+  {
+    node_tables.emplace_back( truth_table::projection( num_pis_, pi ) );
+  }
+  for ( uint32_t node = first_gate(); node < node_end(); ++node )
+  {
+    const auto& data = nodes_[node];
+    auto f0 = node_tables[node_of( data.fanin0 )];
+    if ( is_complemented( data.fanin0 ) )
+    {
+      f0 = ~f0;
+    }
+    auto f1 = node_tables[node_of( data.fanin1 )];
+    if ( is_complemented( data.fanin1 ) )
+    {
+      f1 = ~f1;
+    }
+    node_tables.emplace_back( data.is_xor ? ( f0 ^ f1 ) : ( f0 & f1 ) );
+  }
+
+  std::vector<truth_table> result;
+  result.reserve( outputs_.size() );
+  for ( const auto output : outputs_ )
+  {
+    auto table = node_tables[node_of( output )];
+    if ( is_complemented( output ) )
+    {
+      table = ~table;
+    }
+    result.push_back( std::move( table ) );
+  }
+  return result;
+}
+
+truth_table xag_network::simulate_signal( xag_signal signal ) const
+{
+  xag_network copy = *this;
+  copy.outputs_.clear();
+  copy.outputs_.push_back( signal );
+  return copy.simulate().front();
+}
+
+namespace
+{
+
+xag_signal build_from_node( xag_network& network, const expr_node& node,
+                            const std::vector<xag_signal>& inputs )
+{
+  switch ( node.kind )
+  {
+  case expr_kind::constant:
+    return network.get_constant( node.constant_value );
+  case expr_kind::variable:
+    return inputs[node.variable];
+  case expr_kind::not_op:
+    return xag_network::create_not( build_from_node( network, *node.left, inputs ) );
+  case expr_kind::and_op:
+    return network.create_and( build_from_node( network, *node.left, inputs ),
+                               build_from_node( network, *node.right, inputs ) );
+  case expr_kind::or_op:
+    return network.create_or( build_from_node( network, *node.left, inputs ),
+                              build_from_node( network, *node.right, inputs ) );
+  case expr_kind::xor_op:
+    return network.create_xor( build_from_node( network, *node.left, inputs ),
+                               build_from_node( network, *node.right, inputs ) );
+  }
+  return network.get_constant( false );
+}
+
+} // namespace
+
+xag_network xag_network::from_expression( const boolean_expression& expression )
+{
+  xag_network network;
+  std::vector<xag_signal> inputs;
+  for ( uint32_t i = 0u; i < expression.num_variables(); ++i )
+  {
+    inputs.push_back( network.create_pi() );
+  }
+  network.create_po( build_from_node( network, expression.root(), inputs ) );
+  return network;
+}
+
+xag_network xag_network::from_truth_table( const truth_table& function )
+{
+  xag_network network;
+  std::vector<xag_signal> inputs;
+  for ( uint32_t i = 0u; i < function.num_vars(); ++i )
+  {
+    inputs.push_back( network.create_pi() );
+  }
+  const auto cover = esop_for_function( function );
+  xag_signal accumulator = network.get_constant( false );
+  for ( const auto& term : cover )
+  {
+    xag_signal product = network.get_constant( true );
+    for ( uint32_t var = 0u; var < function.num_vars(); ++var )
+    {
+      if ( ( term.mask >> var ) & 1u )
+      {
+        const bool positive = ( term.polarity >> var ) & 1u;
+        product = network.create_and( product,
+                                      positive ? inputs[var] : create_not( inputs[var] ) );
+      }
+    }
+    accumulator = network.create_xor( accumulator, product );
+  }
+  network.create_po( accumulator );
+  return network;
+}
+
+} // namespace qda

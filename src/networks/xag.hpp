@@ -1,0 +1,140 @@
+/*! \file xag.hpp
+ *  \brief XOR-AND graphs (XAGs) with structural hashing.
+ *
+ *  Multi-level logic networks are the scalable function representation
+ *  behind hierarchical reversible synthesis (paper Sec. V, refs
+ *  [55], [63], [65]): internal nodes of the network are computed onto
+ *  ancilla qubits.  The XAG is a good fit for the quantum cost model
+ *  because AND nodes are the only ones that need Toffoli gates (and
+ *  hence T gates), while XOR nodes map to plain CNOTs.
+ *
+ *  Signals are literals: 2 * node_index + complemented.  Node 0 is the
+ *  constant false; primary inputs follow, then gates in creation order
+ *  (which is automatically topological).
+ */
+#pragma once
+
+#include "kernel/expression.hpp"
+#include "kernel/truth_table.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief A literal pointing to an XAG node, with complement bit. */
+using xag_signal = uint32_t;
+
+/*! \brief XOR-AND graph with structural hashing and constant folding. */
+class xag_network
+{
+public:
+  xag_network();
+
+  /*! \brief Constant signal. */
+  xag_signal get_constant( bool value ) const noexcept { return value ? 1u : 0u; }
+
+  /*! \brief Creates a new primary input. */
+  xag_signal create_pi();
+
+  /*! \brief Complemented copy of a signal. */
+  static xag_signal create_not( xag_signal a ) noexcept { return a ^ 1u; }
+
+  xag_signal create_and( xag_signal a, xag_signal b );
+  xag_signal create_xor( xag_signal a, xag_signal b );
+  xag_signal create_or( xag_signal a, xag_signal b );
+
+  /*! \brief Registers a primary output. */
+  void create_po( xag_signal signal );
+
+  uint32_t num_pis() const noexcept { return num_pis_; }
+  uint32_t num_pos() const noexcept { return static_cast<uint32_t>( outputs_.size() ); }
+
+  /*! \brief Number of internal gate nodes (AND + XOR). */
+  uint32_t num_gates() const noexcept;
+
+  /*! \brief Number of AND nodes (the T-cost driver). */
+  uint32_t num_and_gates() const noexcept;
+
+  /*! \brief Number of XOR nodes. */
+  uint32_t num_xor_gates() const noexcept;
+
+  const std::vector<xag_signal>& outputs() const noexcept { return outputs_; }
+
+  static uint32_t node_of( xag_signal signal ) noexcept { return signal >> 1u; }
+  static bool is_complemented( xag_signal signal ) noexcept { return ( signal & 1u ) != 0u; }
+
+  bool is_pi( uint32_t node ) const noexcept
+  {
+    return node >= 1u && node <= num_pis_;
+  }
+  bool is_constant( uint32_t node ) const noexcept { return node == 0u; }
+  bool is_gate( uint32_t node ) const noexcept { return node > num_pis_; }
+  bool is_and( uint32_t node ) const;
+  bool is_xor( uint32_t node ) const;
+
+  /*! \brief Fanin literals of a gate node. */
+  std::pair<xag_signal, xag_signal> fanins( uint32_t node ) const;
+
+  /*! \brief Index of first gate node. */
+  uint32_t first_gate() const noexcept { return num_pis_ + 1u; }
+
+  /*! \brief One past the last node index. */
+  uint32_t node_end() const noexcept { return static_cast<uint32_t>( nodes_.size() ); }
+
+  /*! \brief PI index (0-based) of a PI node. */
+  uint32_t pi_index( uint32_t node ) const { return node - 1u; }
+
+  /*! \brief Simulates all outputs into truth tables over the PIs. */
+  std::vector<truth_table> simulate() const;
+
+  /*! \brief Simulates a single signal. */
+  truth_table simulate_signal( xag_signal signal ) const;
+
+  /*! \brief Builds an XAG from a parsed Boolean expression (one output). */
+  static xag_network from_expression( const boolean_expression& expression );
+
+  /*! \brief Builds an XAG computing the given single-output function,
+   *         by factoring its PKRM cover.
+   */
+  static xag_network from_truth_table( const truth_table& function );
+
+private:
+  struct node_data
+  {
+    xag_signal fanin0;
+    xag_signal fanin1;
+    bool is_xor;
+  };
+
+  struct gate_key
+  {
+    xag_signal fanin0;
+    xag_signal fanin1;
+    bool is_xor;
+    bool operator==( const gate_key& other ) const = default;
+  };
+
+  struct gate_key_hash
+  {
+    size_t operator()( const gate_key& key ) const noexcept
+    {
+      uint64_t h = key.fanin0;
+      h = h * 0x9e3779b97f4a7c15ull + key.fanin1;
+      h = h * 0x9e3779b97f4a7c15ull + ( key.is_xor ? 1u : 0u );
+      return static_cast<size_t>( h ^ ( h >> 32u ) );
+    }
+  };
+
+  xag_signal create_gate( xag_signal a, xag_signal b, bool is_xor );
+
+  uint32_t num_pis_ = 0u;
+  std::vector<node_data> nodes_; /* index 0 = constant; PIs have dummy fanins */
+  std::vector<xag_signal> outputs_;
+  std::unordered_map<gate_key, uint32_t, gate_key_hash> strash_;
+  bool pis_frozen_ = false;
+};
+
+} // namespace qda

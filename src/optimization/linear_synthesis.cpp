@@ -1,0 +1,261 @@
+#include "optimization/linear_synthesis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace qda
+{
+
+linear_matrix linear_map_of_circuit( const qcircuit& circuit )
+{
+  linear_matrix matrix( circuit.num_qubits() );
+  for ( uint32_t row = 0u; row < circuit.num_qubits(); ++row )
+  {
+    matrix[row] = uint64_t{ 1 } << row;
+  }
+  for ( const auto& gate : circuit.gates() )
+  {
+    switch ( gate.kind )
+    {
+    case gate_kind::cx:
+      matrix[gate.target] ^= matrix[gate.controls[0]];
+      break;
+    case gate_kind::swap:
+      std::swap( matrix[gate.target], matrix[gate.target2] );
+      break;
+    case gate_kind::barrier:
+      break;
+    default:
+      throw std::invalid_argument( "linear_map_of_circuit: non-linear gate" );
+    }
+  }
+  return matrix;
+}
+
+bool is_invertible( const linear_matrix& matrix )
+{
+  linear_matrix work = matrix;
+  const uint32_t n = static_cast<uint32_t>( work.size() );
+  for ( uint32_t col = 0u; col < n; ++col )
+  {
+    uint32_t pivot = col;
+    while ( pivot < n && !( ( work[pivot] >> col ) & 1u ) )
+    {
+      ++pivot;
+    }
+    if ( pivot == n )
+    {
+      return false;
+    }
+    std::swap( work[col], work[pivot] );
+    for ( uint32_t row = 0u; row < n; ++row )
+    {
+      if ( row != col && ( ( work[row] >> col ) & 1u ) )
+      {
+        work[row] ^= work[col];
+      }
+    }
+  }
+  return true;
+}
+
+namespace
+{
+
+using row_op = std::pair<uint32_t, uint32_t>; /* (control_row, target_row) */
+
+/*! Lower-triangularization of PMH: reduces `matrix` to upper triangular
+ *  form, returning the row operations applied (target ^= control).
+ */
+std::vector<row_op> lower_synth( linear_matrix& matrix, uint32_t section_size )
+{
+  const uint32_t n = static_cast<uint32_t>( matrix.size() );
+  std::vector<row_op> ops;
+
+  for ( uint32_t section_start = 0u; section_start < n; section_start += section_size )
+  {
+    const uint32_t section_end = std::min( section_start + section_size, n );
+    const uint64_t section_mask = ( section_end >= 64u ? ~uint64_t{ 0 }
+                                                       : ( uint64_t{ 1 } << section_end ) - 1u ) &
+                                  ~( ( uint64_t{ 1 } << section_start ) - 1u );
+
+    /* step A: merge rows with identical sub-row patterns */
+    std::map<uint64_t, uint32_t> patterns;
+    for ( uint32_t row = section_start; row < n; ++row )
+    {
+      const uint64_t sub = matrix[row] & section_mask;
+      if ( sub == 0u )
+      {
+        continue;
+      }
+      if ( const auto it = patterns.find( sub ); it != patterns.end() )
+      {
+        matrix[row] ^= matrix[it->second];
+        ops.emplace_back( it->second, row );
+      }
+      else
+      {
+        patterns.emplace( sub, row );
+      }
+    }
+
+    /* step B: Gaussian elimination inside the section */
+    for ( uint32_t col = section_start; col < section_end; ++col )
+    {
+      if ( !( ( matrix[col] >> col ) & 1u ) )
+      {
+        uint32_t pivot = col + 1u;
+        while ( pivot < n && !( ( matrix[pivot] >> col ) & 1u ) )
+        {
+          ++pivot;
+        }
+        if ( pivot == n )
+        {
+          throw std::invalid_argument( "pmh_linear_synthesis: matrix is singular" );
+        }
+        matrix[col] ^= matrix[pivot];
+        ops.emplace_back( pivot, col );
+      }
+      for ( uint32_t row = col + 1u; row < n; ++row )
+      {
+        if ( ( matrix[row] >> col ) & 1u )
+        {
+          matrix[row] ^= matrix[col];
+          ops.emplace_back( col, row );
+        }
+      }
+    }
+  }
+  return ops;
+}
+
+linear_matrix transpose( const linear_matrix& matrix )
+{
+  const uint32_t n = static_cast<uint32_t>( matrix.size() );
+  linear_matrix result( n, 0u );
+  for ( uint32_t row = 0u; row < n; ++row )
+  {
+    for ( uint32_t col = 0u; col < n; ++col )
+    {
+      if ( ( matrix[row] >> col ) & 1u )
+      {
+        result[col] |= uint64_t{ 1 } << row;
+      }
+    }
+  }
+  return result;
+}
+
+} // namespace
+
+qcircuit pmh_linear_synthesis( const linear_matrix& matrix, uint32_t section_size )
+{
+  if ( matrix.size() > 64u )
+  {
+    throw std::invalid_argument( "pmh_linear_synthesis: at most 64 qubits" );
+  }
+  if ( section_size == 0u )
+  {
+    throw std::invalid_argument( "pmh_linear_synthesis: section size must be positive" );
+  }
+  const uint32_t n = static_cast<uint32_t>( matrix.size() );
+
+  linear_matrix work = matrix;
+  const auto phase1 = lower_synth( work, section_size );          /* work now upper triangular */
+  linear_matrix transposed = transpose( work );
+  const auto phase2 = lower_synth( transposed, section_size );    /* now identity */
+
+  /* composition (see derivation in the unit tests):
+   *   gates = phase2 ops in emission order with control/target swapped,
+   *           then phase1 ops in reverse emission order               */
+  qcircuit circuit( n );
+  for ( const auto& [control, target] : phase2 )
+  {
+    circuit.cx( target, control );
+  }
+  for ( auto it = phase1.rbegin(); it != phase1.rend(); ++it )
+  {
+    circuit.cx( it->first, it->second );
+  }
+  return circuit;
+}
+
+qcircuit resynthesize_linear_regions( const qcircuit& circuit, uint32_t section_size )
+{
+  qcircuit result( circuit.num_qubits() );
+  std::vector<qgate> region;
+
+  const auto flush_region = [&]() {
+    if ( region.size() < 2u )
+    {
+      for ( const auto& gate : region )
+      {
+        result.add_gate( gate );
+      }
+      region.clear();
+      return;
+    }
+    /* qubits touched by the region */
+    std::vector<uint32_t> touched;
+    for ( const auto& gate : region )
+    {
+      for ( const auto qubit : gate.qubits() )
+      {
+        if ( !std::count( touched.begin(), touched.end(), qubit ) )
+        {
+          touched.push_back( qubit );
+        }
+      }
+    }
+    std::sort( touched.begin(), touched.end() );
+    std::vector<uint32_t> local_of( circuit.num_qubits(), 0u );
+    for ( uint32_t i = 0u; i < touched.size(); ++i )
+    {
+      local_of[touched[i]] = i;
+    }
+    /* extract the local linear map */
+    qcircuit local( static_cast<uint32_t>( touched.size() ) );
+    for ( const auto& gate : region )
+    {
+      if ( gate.kind == gate_kind::cx )
+      {
+        local.cx( local_of[gate.controls[0]], local_of[gate.target] );
+      }
+      else
+      {
+        local.swap_gate( local_of[gate.target], local_of[gate.target2] );
+      }
+    }
+    auto resynthesized = pmh_linear_synthesis( linear_map_of_circuit( local ), section_size );
+    if ( resynthesized.num_gates() < region.size() )
+    {
+      result.append_mapped( resynthesized, touched );
+    }
+    else
+    {
+      for ( const auto& gate : region )
+      {
+        result.add_gate( gate );
+      }
+    }
+    region.clear();
+  };
+
+  for ( const auto& gate : circuit.gates() )
+  {
+    if ( gate.kind == gate_kind::cx || gate.kind == gate_kind::swap )
+    {
+      region.push_back( gate );
+    }
+    else
+    {
+      flush_region();
+      result.add_gate( gate );
+    }
+  }
+  flush_region();
+  return result;
+}
+
+} // namespace qda

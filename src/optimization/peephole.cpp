@@ -1,0 +1,126 @@
+#include "optimization/peephole.hpp"
+
+#include "optimization/phase_folding.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace qda
+{
+
+namespace
+{
+
+bool touches_any( const qgate& gate, const std::vector<uint32_t>& qubits )
+{
+  const auto own = gate.qubits();
+  if ( gate.kind == gate_kind::barrier )
+  {
+    return true; /* barriers block movement by design */
+  }
+  return std::any_of( own.begin(), own.end(), [&]( uint32_t q ) {
+    return std::count( qubits.begin(), qubits.end(), q ) != 0u;
+  } );
+}
+
+bool same_operands( const qgate& a, const qgate& b )
+{
+  return a.kind == b.kind && a.controls == b.controls && a.target == b.target &&
+         a.target2 == b.target2;
+}
+
+/*! True for self-inverse gate kinds where an identical adjacent pair
+ *  cancels.
+ */
+bool is_self_inverse( gate_kind kind )
+{
+  switch ( kind )
+  {
+  case gate_kind::h:
+  case gate_kind::x:
+  case gate_kind::y:
+  case gate_kind::z:
+  case gate_kind::cx:
+  case gate_kind::cz:
+  case gate_kind::swap:
+  case gate_kind::mcx:
+  case gate_kind::mcz:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/*! True for pairs like (s, sdg) and (t, tdg). */
+bool are_adjoint_kinds( gate_kind a, gate_kind b )
+{
+  return ( a == gate_kind::s && b == gate_kind::sdg ) ||
+         ( a == gate_kind::sdg && b == gate_kind::s ) ||
+         ( a == gate_kind::t && b == gate_kind::tdg ) ||
+         ( a == gate_kind::tdg && b == gate_kind::t );
+}
+
+bool one_sweep( std::vector<qgate>& gates )
+{
+  for ( size_t i = 0u; i < gates.size(); ++i )
+  {
+    const auto qubits = gates[i].qubits();
+    if ( gates[i].kind == gate_kind::barrier || gates[i].kind == gate_kind::global_phase ||
+         gates[i].kind == gate_kind::measure )
+    {
+      continue;
+    }
+    for ( size_t j = i + 1u; j < gates.size(); ++j )
+    {
+      if ( !touches_any( gates[j], qubits ) )
+      {
+        continue; /* disjoint: keep scanning */
+      }
+      /* first blocking/interacting gate found */
+      const bool cancel_pair =
+          ( is_self_inverse( gates[i].kind ) && same_operands( gates[i], gates[j] ) ) ||
+          ( are_adjoint_kinds( gates[i].kind, gates[j].kind ) &&
+            gates[i].target == gates[j].target );
+      if ( cancel_pair )
+      {
+        gates.erase( gates.begin() + static_cast<ptrdiff_t>( j ) );
+        gates.erase( gates.begin() + static_cast<ptrdiff_t>( i ) );
+        return true;
+      }
+      /* the interacting gate blocks any further match for gate i */
+      break;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+qcircuit peephole_optimize( const qcircuit& circuit, uint32_t max_rounds )
+{
+  /* phase fusion (t t -> s etc.) is delegated to phase folding, which
+   * merges phase gates globally; this pass handles the non-diagonal
+   * cancellations it cannot see */
+  std::vector<qgate> gates( circuit.gates() );
+  for ( uint32_t round = 0u; round < max_rounds; ++round )
+  {
+    bool changed = false;
+    while ( one_sweep( gates ) )
+    {
+      changed = true;
+    }
+    if ( !changed )
+    {
+      break;
+    }
+  }
+  qcircuit result( circuit.num_qubits() );
+  for ( const auto& gate : gates )
+  {
+    result.add_gate( gate );
+  }
+  return result;
+}
+
+} // namespace qda

@@ -1,0 +1,22 @@
+/*! \file peephole.hpp
+ *  \brief Local gate cancellation and fusion on quantum circuits.
+ *
+ *  Cheap cleanup pass run after mapping: adjacent inverse pairs cancel
+ *  (H H, X X, CNOT CNOT, T T-dagger, ...) and adjacent phase gates on
+ *  the same qubit fuse (T T = S, S S = Z, ...).  "Adjacent" is modulo
+ *  gates acting on disjoint qubits, so the pass also catches pairs that
+ *  drift apart during routing.
+ */
+#pragma once
+
+#include "quantum/qcircuit.hpp"
+
+namespace qda
+{
+
+/*! \brief Cancels and fuses gates; the result is equivalent up to the
+ *         explicitly tracked global phase.
+ */
+qcircuit peephole_optimize( const qcircuit& circuit, uint32_t max_rounds = 8u );
+
+} // namespace qda

@@ -1,0 +1,232 @@
+#include "optimization/phase_folding.hpp"
+
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <optional>
+#include <vector>
+
+namespace qda
+{
+
+namespace
+{
+
+constexpr double pi = std::numbers::pi;
+
+/*! Phase angle contributed by a phase-type gate, if it is one. */
+std::optional<double> phase_angle( const qgate& gate )
+{
+  switch ( gate.kind )
+  {
+  case gate_kind::z:
+    return pi;
+  case gate_kind::s:
+    return pi / 2.0;
+  case gate_kind::sdg:
+    return -pi / 2.0;
+  case gate_kind::t:
+    return pi / 4.0;
+  case gate_kind::tdg:
+    return -pi / 4.0;
+  case gate_kind::rz:
+    return gate.angle;
+  default:
+    return std::nullopt;
+  }
+}
+
+/*! Affine label of a qubit: parity of region variables plus a constant. */
+struct affine_label
+{
+  uint64_t mask = 0u;
+  bool constant = false;
+};
+
+struct phase_term
+{
+  double angle = 0.0;       /*!< accumulated parity-phase coefficient */
+  size_t anchor_index = 0u; /*!< gate index where the merged gate is emitted */
+  bool anchor_constant = false;
+};
+
+/*! Emits e^{i alpha v} on `qubit` as canonical Clifford+T gates when
+ *  alpha is a multiple of pi/4, else as one Rz (global phase returned).
+ */
+double emit_phase( qcircuit& out, uint32_t qubit, double alpha )
+{
+  /* normalize into [0, 2 pi) */
+  alpha = std::fmod( alpha, 2.0 * pi );
+  if ( alpha < 0.0 )
+  {
+    alpha += 2.0 * pi;
+  }
+  const double steps = alpha / ( pi / 4.0 );
+  const long k = std::lround( steps );
+  if ( std::abs( steps - static_cast<double>( k ) ) < 1e-9 )
+  {
+    switch ( k % 8 )
+    {
+    case 0: break;
+    case 1: out.t( qubit ); break;
+    case 2: out.s( qubit ); break;
+    case 3: out.s( qubit ); out.t( qubit ); break;
+    case 4: out.z( qubit ); break;
+    case 5: out.z( qubit ); out.t( qubit ); break;
+    case 6: out.sdg( qubit ); break;
+    case 7: out.tdg( qubit ); break;
+    }
+    return 0.0;
+  }
+  /* Rz(alpha) = e^{-i alpha/2} diag(1, e^{i alpha}) */
+  out.rz( qubit, alpha );
+  return alpha / 2.0;
+}
+
+} // namespace
+
+qcircuit phase_folding( const qcircuit& circuit )
+{
+  const uint32_t num_qubits = circuit.num_qubits();
+
+  std::vector<affine_label> labels( num_qubits );
+  uint32_t next_variable = 0u;
+  uint64_t epoch = 0u;
+
+  const auto fresh_label = [&]( uint32_t qubit ) {
+    if ( next_variable >= 64u )
+    {
+      /* variable space exhausted: start a new epoch so stale masks never
+       * merge with new ones */
+      ++epoch;
+      next_variable = 0u;
+      for ( auto& label : labels )
+      {
+        label = { uint64_t{ 1 } << next_variable, false };
+        ++next_variable;
+        if ( next_variable >= 64u )
+        {
+          ++epoch;
+          next_variable = 0u;
+        }
+      }
+    }
+    labels[qubit] = { uint64_t{ 1 } << next_variable, false };
+    ++next_variable;
+  };
+
+  for ( uint32_t qubit = 0u; qubit < num_qubits; ++qubit )
+  {
+    fresh_label( qubit );
+  }
+
+  /* pass 1: collect phase terms keyed by (epoch, parity mask) */
+  std::map<std::pair<uint64_t, uint64_t>, phase_term> terms;
+  std::map<size_t, std::pair<uint64_t, uint64_t>> anchors; /* gate index -> key */
+  double global_phase_total = 0.0;
+
+  const auto& gates = circuit.gates();
+  for ( size_t index = 0u; index < gates.size(); ++index )
+  {
+    const auto& gate = gates[index];
+    if ( const auto angle = phase_angle( gate ) )
+    {
+      if ( gate.kind == gate_kind::rz )
+      {
+        global_phase_total -= *angle / 2.0; /* Rz carries a global factor */
+      }
+      const auto& label = labels[gate.target];
+      if ( label.mask == 0u )
+      {
+        /* phase on a constant value: pure global phase */
+        if ( label.constant )
+        {
+          global_phase_total += *angle;
+        }
+        continue;
+      }
+      const auto key = std::make_pair( epoch, label.mask );
+      auto [it, inserted] = terms.try_emplace( key );
+      if ( inserted )
+      {
+        it->second.anchor_index = index;
+        it->second.anchor_constant = label.constant;
+        anchors.emplace( index, key );
+      }
+      if ( label.constant )
+      {
+        it->second.angle -= *angle;
+        global_phase_total += *angle;
+      }
+      else
+      {
+        it->second.angle += *angle;
+      }
+      continue;
+    }
+
+    switch ( gate.kind )
+    {
+    case gate_kind::x:
+      labels[gate.target].constant = !labels[gate.target].constant;
+      break;
+    case gate_kind::cx:
+      labels[gate.target].mask ^= labels[gate.controls[0]].mask;
+      labels[gate.target].constant =
+          labels[gate.target].constant != labels[gate.controls[0]].constant;
+      break;
+    case gate_kind::swap:
+      std::swap( labels[gate.target], labels[gate.target2] );
+      break;
+    case gate_kind::cz:
+    case gate_kind::mcz:
+    case gate_kind::barrier:
+    case gate_kind::global_phase:
+      break; /* diagonal or neutral: labels unchanged */
+    case gate_kind::mcx:
+      fresh_label( gate.target ); /* value becomes non-affine */
+      break;
+    default:
+      /* h, y, rx, ry, measure: value no longer tracked */
+      fresh_label( gate.target );
+      break;
+    }
+  }
+
+  /* pass 2: rebuild, emitting merged phases at their anchors */
+  qcircuit result( num_qubits );
+  for ( size_t index = 0u; index < gates.size(); ++index )
+  {
+    const auto& gate = gates[index];
+    if ( phase_angle( gate ) )
+    {
+      const auto anchor = anchors.find( index );
+      if ( anchor == anchors.end() )
+      {
+        continue; /* folded away */
+      }
+      const auto& term = terms.at( anchor->second );
+      double alpha = term.angle;
+      if ( term.anchor_constant )
+      {
+        /* gate acts on the complemented value: emit -alpha, compensate */
+        global_phase_total += alpha;
+        alpha = -alpha;
+      }
+      /* Rz(alpha) carries an extra e^{-i alpha/2}; compensate so the
+       * rebuilt circuit equals the original exactly */
+      global_phase_total += emit_phase( result, gate.target, alpha );
+      continue;
+    }
+    result.add_gate( gate );
+  }
+
+  global_phase_total = std::fmod( global_phase_total, 2.0 * pi );
+  if ( std::abs( global_phase_total ) > 1e-12 )
+  {
+    result.global_phase( global_phase_total );
+  }
+  return result;
+}
+
+} // namespace qda

@@ -1,0 +1,28 @@
+/*! \file phase_folding.hpp
+ *  \brief Phase-polynomial folding: the T-count optimization stage.
+ *
+ *  Stand-in for the paper's `tpar` stage (Amy-Maslov-Mosca [69]): inside
+ *  regions of {CNOT, X, SWAP, phase} gates, the value of every qubit is
+ *  an affine function of the region's inputs.  Phase gates (T, S, Z and
+ *  adjoints, Rz) applied to the *same* affine value merge into a single
+ *  phase gate, cancelling or combining T gates.  Hadamards and other
+ *  non-affine gates re-seed the tracked labels.
+ *
+ *  Unlike full T-par no re-scheduling for T-depth is attempted; the
+ *  circuit structure is preserved and only phase gates move/merge, which
+ *  keeps the pass trivially functionality-preserving (up to global
+ *  phase, which is tracked explicitly).
+ */
+#pragma once
+
+#include "quantum/qcircuit.hpp"
+
+namespace qda
+{
+
+/*! \brief Folds mergeable phase gates; the result is equivalent up to
+ *         the explicitly appended global phase.
+ */
+qcircuit phase_folding( const qcircuit& circuit );
+
+} // namespace qda

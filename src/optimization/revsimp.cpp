@@ -1,0 +1,100 @@
+#include "optimization/revsimp.hpp"
+
+#include "kernel/bits.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace qda
+{
+
+namespace
+{
+
+/*! ESOP distance of two control cubes (occurrence or polarity per line). */
+uint32_t control_distance( const rev_gate& a, const rev_gate& b )
+{
+  const uint64_t occurrence_diff = a.controls ^ b.controls;
+  const uint64_t phase_diff = ( a.polarity ^ b.polarity ) & a.controls & b.controls;
+  return popcount64( occurrence_diff | phase_diff );
+}
+
+/*! Merges two same-target gates at control distance 1. */
+rev_gate merge_gates( const rev_gate& a, const rev_gate& b )
+{
+  const uint64_t occurrence_diff = a.controls ^ b.controls;
+  const uint64_t phase_diff = ( a.polarity ^ b.polarity ) & a.controls & b.controls;
+  const uint32_t line = least_significant_bit( occurrence_diff | phase_diff );
+  const uint64_t bit = uint64_t{ 1 } << line;
+
+  if ( ( a.controls & bit ) && ( b.controls & bit ) )
+  {
+    /* opposite polarities: drop the control */
+    return rev_gate( a.controls & ~bit, a.polarity & ~bit, a.target );
+  }
+  /* present in exactly one: keep with inverted polarity */
+  const rev_gate& with = ( a.controls & bit ) ? a : b;
+  return rev_gate( with.controls, with.polarity ^ bit, with.target );
+}
+
+/*! One simplification sweep; returns true if the gate list changed. */
+bool sweep( std::vector<rev_gate>& gates )
+{
+  for ( size_t i = 0u; i < gates.size(); ++i )
+  {
+    for ( size_t j = i + 1u; j < gates.size(); ++j )
+    {
+      const bool same_target = gates[i].target == gates[j].target;
+      if ( same_target )
+      {
+        const uint32_t distance = control_distance( gates[i], gates[j] );
+        if ( distance == 0u )
+        {
+          gates.erase( gates.begin() + static_cast<ptrdiff_t>( j ) );
+          gates.erase( gates.begin() + static_cast<ptrdiff_t>( i ) );
+          return true;
+        }
+        if ( distance == 1u )
+        {
+          /* gate i commutes past everything up to j, so it can be moved
+           * adjacent to gate j; the merged gate must live at j's slot */
+          gates[j] = merge_gates( gates[i], gates[j] );
+          gates.erase( gates.begin() + static_cast<ptrdiff_t>( i ) );
+          return true;
+        }
+      }
+      if ( !gates[i].commutes_with( gates[j] ) )
+      {
+        break; /* cannot move candidates past this gate */
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+rev_circuit revsimp( const rev_circuit& circuit, uint32_t max_rounds )
+{
+  std::vector<rev_gate> gates( circuit.gates() );
+  for ( uint32_t round = 0u; round < max_rounds; ++round )
+  {
+    bool changed = false;
+    while ( sweep( gates ) )
+    {
+      changed = true;
+    }
+    if ( !changed )
+    {
+      break;
+    }
+  }
+  rev_circuit result( circuit.num_lines() );
+  for ( const auto& gate : gates )
+  {
+    result.add_gate( gate );
+  }
+  return result;
+}
+
+} // namespace qda

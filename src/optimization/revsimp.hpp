@@ -1,0 +1,23 @@
+/*! \file revsimp.hpp
+ *  \brief Reversible circuit simplification (RevKit `revsimp`).
+ *
+ *  The post-synthesis cleanup stage of the paper's Eq. (5) pipeline.
+ *  Rules, applied to a fixed point:
+ *
+ *   - cancellation: two equal MCT gates with only commuting gates
+ *     between them annihilate (MCT gates are involutions);
+ *   - merging: two gates on the same target whose control cubes are at
+ *     ESOP distance 1 fuse into a single cheaper gate, e.g.
+ *     T(x0, x1 -> t) T(x0, !x1 -> t) = T(x0 -> t).
+ */
+#pragma once
+
+#include "reversible/rev_circuit.hpp"
+
+namespace qda
+{
+
+/*! \brief Simplifies a reversible circuit; the result is equivalent. */
+rev_circuit revsimp( const rev_circuit& circuit, uint32_t max_rounds = 16u );
+
+} // namespace qda

@@ -1,0 +1,308 @@
+#include "quantum/qasm.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace qda
+{
+
+std::string write_qasm( const qcircuit& circuit )
+{
+  std::ostringstream out;
+  out << "OPENQASM 2.0;\n";
+  out << "include \"qelib1.inc\";\n";
+  out << "qreg q[" << circuit.num_qubits() << "];\n";
+  out << "creg c[" << circuit.num_qubits() << "];\n";
+
+  for ( const auto& gate : circuit.gates() )
+  {
+    switch ( gate.kind )
+    {
+    case gate_kind::h:
+    case gate_kind::x:
+    case gate_kind::y:
+    case gate_kind::z:
+    case gate_kind::s:
+    case gate_kind::sdg:
+    case gate_kind::t:
+    case gate_kind::tdg:
+      out << gate_name( gate.kind ) << " q[" << gate.target << "];\n";
+      break;
+    case gate_kind::rx:
+    case gate_kind::ry:
+    case gate_kind::rz:
+      out << gate_name( gate.kind ) << "(" << gate.angle << ") q[" << gate.target << "];\n";
+      break;
+    case gate_kind::cx:
+      out << "cx q[" << gate.controls[0] << "],q[" << gate.target << "];\n";
+      break;
+    case gate_kind::cz:
+      out << "cz q[" << gate.controls[0] << "],q[" << gate.target << "];\n";
+      break;
+    case gate_kind::swap:
+      out << "swap q[" << gate.target << "],q[" << gate.target2 << "];\n";
+      break;
+    case gate_kind::mcx:
+      if ( gate.controls.size() == 2u )
+      {
+        out << "ccx q[" << gate.controls[0] << "],q[" << gate.controls[1] << "],q["
+            << gate.target << "];\n";
+        break;
+      }
+      throw std::invalid_argument( "write_qasm: mcx beyond ccx; run Clifford+T mapping first" );
+    case gate_kind::mcz:
+      throw std::invalid_argument( "write_qasm: mcz not supported; run Clifford+T mapping first" );
+    case gate_kind::measure:
+      out << "measure q[" << gate.target << "] -> c[" << gate.target << "];\n";
+      break;
+    case gate_kind::barrier:
+      out << "barrier q;\n";
+      break;
+    case gate_kind::global_phase:
+      /* OpenQASM 2.0 has no global phase statement; it is unobservable */
+      out << "// global phase " << gate.angle << "\n";
+      break;
+    }
+  }
+  return out.str();
+}
+
+namespace
+{
+
+struct qasm_parser
+{
+  std::string_view text;
+  size_t pos = 0u;
+
+  void skip_space()
+  {
+    while ( pos < text.size() &&
+            ( text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' || text[pos] == '\r' ) )
+    {
+      ++pos;
+    }
+    /* comments */
+    if ( pos + 1u < text.size() && text[pos] == '/' && text[pos + 1u] == '/' )
+    {
+      while ( pos < text.size() && text[pos] != '\n' )
+      {
+        ++pos;
+      }
+      skip_space();
+    }
+  }
+
+  bool eof()
+  {
+    skip_space();
+    return pos >= text.size();
+  }
+
+  std::string token()
+  {
+    skip_space();
+    const size_t start = pos;
+    if ( pos < text.size() &&
+         ( std::isalnum( static_cast<unsigned char>( text[pos] ) ) || text[pos] == '_' ) )
+    {
+      while ( pos < text.size() &&
+              ( std::isalnum( static_cast<unsigned char>( text[pos] ) ) || text[pos] == '_' ||
+                text[pos] == '.' || text[pos] == '+' || text[pos] == '-' ) )
+      {
+        ++pos;
+      }
+    }
+    else if ( pos < text.size() )
+    {
+      ++pos;
+    }
+    return std::string( text.substr( start, pos - start ) );
+  }
+
+  void expect( std::string_view expected )
+  {
+    const auto got = token();
+    if ( got != expected )
+    {
+      throw std::invalid_argument( "read_qasm: expected '" + std::string( expected ) + "', got '" +
+                                   got + "'" );
+    }
+  }
+
+  void skip_until_semicolon()
+  {
+    while ( pos < text.size() && text[pos] != ';' )
+    {
+      ++pos;
+    }
+    if ( pos < text.size() )
+    {
+      ++pos;
+    }
+  }
+
+  uint32_t qubit_operand()
+  {
+    expect( "q" );
+    expect( "[" );
+    const auto index = token();
+    expect( "]" );
+    return static_cast<uint32_t>( std::stoul( index ) );
+  }
+
+  double angle_operand()
+  {
+    expect( "(" );
+    std::string value;
+    skip_space();
+    while ( pos < text.size() && text[pos] != ')' )
+    {
+      value += text[pos++];
+    }
+    expect( ")" );
+    /* allow "pi/4"-style fractions */
+    const auto pi_pos = value.find( "pi" );
+    if ( pi_pos != std::string::npos )
+    {
+      double scale = 1.0;
+      const auto slash = value.find( '/' );
+      if ( slash != std::string::npos )
+      {
+        scale = 1.0 / std::stod( value.substr( slash + 1u ) );
+      }
+      double sign = value.find( '-' ) != std::string::npos ? -1.0 : 1.0;
+      return sign * M_PI * scale;
+    }
+    return std::stod( value );
+  }
+};
+
+} // namespace
+
+qcircuit read_qasm( std::string_view text )
+{
+  qasm_parser parser{ text };
+  uint32_t num_qubits = 0u;
+  std::vector<qgate> pending;
+
+  /* header */
+  while ( !parser.eof() )
+  {
+    const size_t before = parser.pos;
+    const auto word = parser.token();
+    if ( word == "OPENQASM" || word == "include" || word == "creg" )
+    {
+      parser.skip_until_semicolon();
+      continue;
+    }
+    if ( word == "qreg" )
+    {
+      parser.expect( "q" );
+      parser.expect( "[" );
+      num_qubits = static_cast<uint32_t>( std::stoul( parser.token() ) );
+      parser.expect( "]" );
+      parser.expect( ";" );
+      continue;
+    }
+    parser.pos = before;
+    break;
+  }
+  if ( num_qubits == 0u )
+  {
+    throw std::invalid_argument( "read_qasm: missing qreg declaration" );
+  }
+
+  qcircuit circuit( num_qubits );
+  static const std::map<std::string, gate_kind> simple{
+      { "h", gate_kind::h },   { "x", gate_kind::x },     { "y", gate_kind::y },
+      { "z", gate_kind::z },   { "s", gate_kind::s },     { "sdg", gate_kind::sdg },
+      { "t", gate_kind::t },   { "tdg", gate_kind::tdg } };
+
+  while ( !parser.eof() )
+  {
+    const auto word = parser.token();
+    if ( const auto it = simple.find( word ); it != simple.end() )
+    {
+      const auto qubit = parser.qubit_operand();
+      parser.expect( ";" );
+      qgate gate;
+      gate.kind = it->second;
+      gate.target = qubit;
+      circuit.add_gate( gate );
+    }
+    else if ( word == "rx" || word == "ry" || word == "rz" )
+    {
+      const double angle = parser.angle_operand();
+      const auto qubit = parser.qubit_operand();
+      parser.expect( ";" );
+      if ( word == "rx" )
+      {
+        circuit.rx( qubit, angle );
+      }
+      else if ( word == "ry" )
+      {
+        circuit.ry( qubit, angle );
+      }
+      else
+      {
+        circuit.rz( qubit, angle );
+      }
+    }
+    else if ( word == "cx" || word == "cz" )
+    {
+      const auto control = parser.qubit_operand();
+      parser.expect( "," );
+      const auto target = parser.qubit_operand();
+      parser.expect( ";" );
+      if ( word == "cx" )
+      {
+        circuit.cx( control, target );
+      }
+      else
+      {
+        circuit.cz( control, target );
+      }
+    }
+    else if ( word == "swap" )
+    {
+      const auto a = parser.qubit_operand();
+      parser.expect( "," );
+      const auto b = parser.qubit_operand();
+      parser.expect( ";" );
+      circuit.swap_gate( a, b );
+    }
+    else if ( word == "ccx" )
+    {
+      const auto c0 = parser.qubit_operand();
+      parser.expect( "," );
+      const auto c1 = parser.qubit_operand();
+      parser.expect( "," );
+      const auto target = parser.qubit_operand();
+      parser.expect( ";" );
+      circuit.ccx( c0, c1, target );
+    }
+    else if ( word == "measure" )
+    {
+      const auto qubit = parser.qubit_operand();
+      parser.expect( "-" );
+      parser.expect( ">" );
+      parser.skip_until_semicolon();
+      circuit.measure( qubit );
+    }
+    else if ( word == "barrier" )
+    {
+      parser.skip_until_semicolon();
+      circuit.barrier();
+    }
+    else
+    {
+      throw std::invalid_argument( "read_qasm: unsupported statement '" + word + "'" );
+    }
+  }
+  return circuit;
+}
+
+} // namespace qda

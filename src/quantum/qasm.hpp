@@ -1,0 +1,30 @@
+/*! \file qasm.hpp
+ *  \brief OpenQASM 2.0 export and import.
+ *
+ *  OPENQASM (paper ref [37]) is the interchange format of the IBM
+ *  Quantum Experience backend; the paper's ProjectQ flow ships circuits
+ *  to the chip in this format.  Export requires the circuit to be
+ *  expressed in the QASM-supported library (no mcx/mcz with more than
+ *  two controls); run the Clifford+T mapping first.
+ */
+#pragma once
+
+#include "quantum/qcircuit.hpp"
+
+#include <string>
+#include <string_view>
+
+namespace qda
+{
+
+/*! \brief Serializes a circuit as OpenQASM 2.0.
+ *
+ *  Throws std::invalid_argument if the circuit contains gates with no
+ *  QASM equivalent (mcx/mcz beyond ccx/ccz-expressible arity).
+ */
+std::string write_qasm( const qcircuit& circuit );
+
+/*! \brief Parses the OpenQASM 2.0 subset produced by write_qasm. */
+qcircuit read_qasm( std::string_view text );
+
+} // namespace qda

@@ -1,0 +1,384 @@
+#include "quantum/qcircuit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace qda
+{
+
+qcircuit::qcircuit( uint32_t num_qubits ) : num_qubits_( num_qubits ) {}
+
+void qcircuit::add_gate( qgate gate )
+{
+  for ( const auto qubit : gate.qubits() )
+  {
+    check_qubit( qubit );
+  }
+  /* controls must be distinct and differ from the target */
+  auto sorted = gate.controls;
+  std::sort( sorted.begin(), sorted.end() );
+  if ( std::adjacent_find( sorted.begin(), sorted.end() ) != sorted.end() ||
+       std::find( sorted.begin(), sorted.end(), gate.target ) != sorted.end() )
+  {
+    throw std::invalid_argument( "qcircuit::add_gate: repeated operand qubits" );
+  }
+  if ( gate.kind == gate_kind::swap && gate.target == gate.target2 )
+  {
+    throw std::invalid_argument( "qcircuit::add_gate: swap needs two distinct qubits" );
+  }
+  gates_.push_back( std::move( gate ) );
+}
+
+void qcircuit::cx( uint32_t control, uint32_t target )
+{
+  qgate gate;
+  gate.kind = gate_kind::cx;
+  gate.controls = { control };
+  gate.target = target;
+  add_gate( std::move( gate ) );
+}
+
+void qcircuit::cz( uint32_t control, uint32_t target )
+{
+  qgate gate;
+  gate.kind = gate_kind::cz;
+  gate.controls = { control };
+  gate.target = target;
+  add_gate( std::move( gate ) );
+}
+
+void qcircuit::swap_gate( uint32_t a, uint32_t b )
+{
+  qgate gate;
+  gate.kind = gate_kind::swap;
+  gate.target = a;
+  gate.target2 = b;
+  add_gate( std::move( gate ) );
+}
+
+void qcircuit::mcx( std::vector<uint32_t> controls, uint32_t target )
+{
+  if ( controls.empty() )
+  {
+    x( target );
+    return;
+  }
+  if ( controls.size() == 1u )
+  {
+    cx( controls[0], target );
+    return;
+  }
+  qgate gate;
+  gate.kind = gate_kind::mcx;
+  gate.controls = std::move( controls );
+  gate.target = target;
+  add_gate( std::move( gate ) );
+}
+
+void qcircuit::mcz( std::vector<uint32_t> controls, uint32_t target )
+{
+  if ( controls.empty() )
+  {
+    z( target );
+    return;
+  }
+  if ( controls.size() == 1u )
+  {
+    cz( controls[0], target );
+    return;
+  }
+  qgate gate;
+  gate.kind = gate_kind::mcz;
+  gate.controls = std::move( controls );
+  gate.target = target;
+  add_gate( std::move( gate ) );
+}
+
+void qcircuit::measure( uint32_t qubit )
+{
+  qgate gate;
+  gate.kind = gate_kind::measure;
+  gate.target = qubit;
+  add_gate( std::move( gate ) );
+}
+
+void qcircuit::measure_all()
+{
+  for ( uint32_t qubit = 0u; qubit < num_qubits_; ++qubit )
+  {
+    measure( qubit );
+  }
+}
+
+void qcircuit::barrier()
+{
+  qgate gate;
+  gate.kind = gate_kind::barrier;
+  gates_.push_back( std::move( gate ) );
+}
+
+void qcircuit::global_phase( double angle )
+{
+  qgate gate;
+  gate.kind = gate_kind::global_phase;
+  gate.angle = angle;
+  gates_.push_back( std::move( gate ) );
+}
+
+void qcircuit::append( const qcircuit& other )
+{
+  if ( other.num_qubits_ > num_qubits_ )
+  {
+    throw std::invalid_argument( "qcircuit::append: other circuit has more qubits" );
+  }
+  for ( const auto& gate : other.gates_ )
+  {
+    gates_.push_back( gate );
+  }
+}
+
+void qcircuit::append_mapped( const qcircuit& other, const std::vector<uint32_t>& mapping )
+{
+  if ( mapping.size() < other.num_qubits_ )
+  {
+    throw std::invalid_argument( "qcircuit::append_mapped: mapping too short" );
+  }
+  for ( auto gate : other.gates_ )
+  {
+    for ( auto& control : gate.controls )
+    {
+      control = mapping[control];
+    }
+    if ( gate.kind != gate_kind::barrier && gate.kind != gate_kind::global_phase )
+    {
+      gate.target = mapping[gate.target];
+      if ( gate.kind == gate_kind::swap )
+      {
+        gate.target2 = mapping[gate.target2];
+      }
+    }
+    add_gate( std::move( gate ) );
+  }
+}
+
+qcircuit qcircuit::adjoint() const
+{
+  qcircuit result( num_qubits_ );
+  for ( auto it = gates_.rbegin(); it != gates_.rend(); ++it )
+  {
+    if ( it->kind == gate_kind::barrier )
+    {
+      result.barrier();
+      continue;
+    }
+    result.add_gate( it->adjoint() );
+  }
+  return result;
+}
+
+bool qcircuit::has_measurements() const noexcept
+{
+  return std::any_of( gates_.begin(), gates_.end(),
+                      []( const qgate& g ) { return g.kind == gate_kind::measure; } );
+}
+
+std::vector<uint32_t> qcircuit::measured_qubits() const
+{
+  std::vector<uint32_t> result;
+  for ( const auto& gate : gates_ )
+  {
+    if ( gate.kind == gate_kind::measure )
+    {
+      result.push_back( gate.target );
+    }
+  }
+  return result;
+}
+
+std::string qcircuit::to_string() const
+{
+  std::ostringstream out;
+  for ( const auto& gate : gates_ )
+  {
+    out << gate.to_string() << '\n';
+  }
+  return out.str();
+}
+
+std::string qcircuit::to_ascii() const
+{
+  std::vector<std::string> rows( num_qubits_ );
+  for ( uint32_t q = 0u; q < num_qubits_; ++q )
+  {
+    rows[q] = "q" + std::to_string( q ) + ( q < 10u ? " " : "" ) + ": ";
+  }
+  const auto pad_to = [&]( size_t width ) {
+    for ( auto& row : rows )
+    {
+      row.resize( std::max( row.size(), width ), '-' );
+    }
+  };
+  for ( const auto& gate : gates_ )
+  {
+    if ( gate.kind == gate_kind::barrier || gate.kind == gate_kind::global_phase )
+    {
+      continue;
+    }
+    size_t width = 0u;
+    for ( const auto& row : rows )
+    {
+      width = std::max( width, row.size() );
+    }
+    pad_to( width );
+    std::string label;
+    switch ( gate.kind )
+    {
+    case gate_kind::measure:
+      label = "M";
+      break;
+    case gate_kind::cx:
+    case gate_kind::mcx:
+      label = "X";
+      break;
+    case gate_kind::cz:
+    case gate_kind::mcz:
+      label = "Z";
+      break;
+    case gate_kind::swap:
+      label = "x";
+      break;
+    default:
+      label = gate_name( gate.kind );
+      break;
+    }
+    for ( const auto control : gate.controls )
+    {
+      rows[control] += "*";
+      rows[control].resize( width + std::max<size_t>( label.size(), 1u ), '-' );
+    }
+    rows[gate.target] += label;
+    if ( gate.kind == gate_kind::swap )
+    {
+      rows[gate.target2] += "x";
+    }
+    pad_to( width + std::max<size_t>( label.size(), 1u ) + 1u );
+  }
+  std::string result;
+  for ( auto& row : rows )
+  {
+    result += row;
+    result += '\n';
+  }
+  return result;
+}
+
+void qcircuit::add_simple( gate_kind kind, uint32_t qubit )
+{
+  qgate gate;
+  gate.kind = kind;
+  gate.target = qubit;
+  add_gate( std::move( gate ) );
+}
+
+void qcircuit::add_rotation( gate_kind kind, uint32_t qubit, double angle )
+{
+  qgate gate;
+  gate.kind = kind;
+  gate.target = qubit;
+  gate.angle = angle;
+  add_gate( std::move( gate ) );
+}
+
+void qcircuit::check_qubit( uint32_t qubit ) const
+{
+  if ( qubit >= num_qubits_ )
+  {
+    throw std::invalid_argument( "qcircuit: qubit index out of range" );
+  }
+}
+
+circuit_statistics compute_statistics( const qcircuit& circuit )
+{
+  circuit_statistics stats;
+  stats.num_qubits = circuit.num_qubits();
+
+  std::vector<uint64_t> qubit_depth( circuit.num_qubits(), 0u );
+  std::vector<uint64_t> qubit_t_depth( circuit.num_qubits(), 0u );
+
+  for ( const auto& gate : circuit.gates() )
+  {
+    if ( gate.kind == gate_kind::barrier || gate.kind == gate_kind::global_phase )
+    {
+      continue;
+    }
+    ++stats.num_gates;
+    if ( gate.kind == gate_kind::measure )
+    {
+      ++stats.num_measurements;
+    }
+    if ( gate.is_t_gate() )
+    {
+      ++stats.t_count;
+    }
+    if ( gate.kind == gate_kind::h )
+    {
+      ++stats.h_count;
+    }
+    if ( gate.kind == gate_kind::cx )
+    {
+      ++stats.cnot_count;
+    }
+    if ( gate.kind == gate_kind::cx || gate.kind == gate_kind::cz ||
+         gate.kind == gate_kind::swap )
+    {
+      ++stats.two_qubit_count;
+    }
+    if ( gate.is_clifford() )
+    {
+      ++stats.clifford_count;
+    }
+
+    const auto qubits = gate.qubits();
+    uint64_t level = 0u;
+    uint64_t t_level = 0u;
+    for ( const auto qubit : qubits )
+    {
+      level = std::max( level, qubit_depth[qubit] );
+      t_level = std::max( t_level, qubit_t_depth[qubit] );
+    }
+    ++level;
+    if ( gate.is_t_gate() )
+    {
+      ++t_level;
+    }
+    for ( const auto qubit : qubits )
+    {
+      qubit_depth[qubit] = level;
+      qubit_t_depth[qubit] = t_level;
+    }
+  }
+
+  for ( uint32_t qubit = 0u; qubit < circuit.num_qubits(); ++qubit )
+  {
+    stats.depth = std::max( stats.depth, qubit_depth[qubit] );
+    stats.t_depth = std::max( stats.t_depth, qubit_t_depth[qubit] );
+  }
+  return stats;
+}
+
+std::string format_statistics( const circuit_statistics& stats )
+{
+  std::ostringstream out;
+  out << "qubits: " << stats.num_qubits
+      << "  gates: " << stats.num_gates
+      << "  T-count: " << stats.t_count
+      << "  T-depth: " << stats.t_depth
+      << "  H: " << stats.h_count
+      << "  CNOT: " << stats.cnot_count
+      << "  2q: " << stats.two_qubit_count
+      << "  depth: " << stats.depth;
+  return out.str();
+}
+
+} // namespace qda

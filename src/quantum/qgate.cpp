@@ -1,0 +1,157 @@
+#include "quantum/qgate.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qda
+{
+
+std::vector<uint32_t> qgate::qubits() const
+{
+  std::vector<uint32_t> result = controls;
+  result.push_back( target );
+  if ( kind == gate_kind::swap )
+  {
+    result.push_back( target2 );
+  }
+  if ( kind == gate_kind::global_phase || kind == gate_kind::barrier )
+  {
+    result.clear();
+  }
+  return result;
+}
+
+bool qgate::is_clifford() const noexcept
+{
+  switch ( kind )
+  {
+  case gate_kind::h:
+  case gate_kind::x:
+  case gate_kind::y:
+  case gate_kind::z:
+  case gate_kind::s:
+  case gate_kind::sdg:
+  case gate_kind::cx:
+  case gate_kind::cz:
+  case gate_kind::swap:
+    return true;
+  default:
+    return false;
+  }
+}
+
+qgate qgate::adjoint() const
+{
+  if ( kind == gate_kind::measure )
+  {
+    throw std::logic_error( "qgate::adjoint: measurement is not invertible" );
+  }
+  qgate result = *this;
+  switch ( kind )
+  {
+  case gate_kind::s:
+    result.kind = gate_kind::sdg;
+    break;
+  case gate_kind::sdg:
+    result.kind = gate_kind::s;
+    break;
+  case gate_kind::t:
+    result.kind = gate_kind::tdg;
+    break;
+  case gate_kind::tdg:
+    result.kind = gate_kind::t;
+    break;
+  case gate_kind::rx:
+  case gate_kind::ry:
+  case gate_kind::rz:
+  case gate_kind::global_phase:
+    result.angle = -angle;
+    break;
+  default:
+    break; /* self-inverse */
+  }
+  return result;
+}
+
+std::string qgate::to_string() const
+{
+  std::string result = gate_name( kind );
+  if ( kind == gate_kind::rx || kind == gate_kind::ry || kind == gate_kind::rz ||
+       kind == gate_kind::global_phase )
+  {
+    result += "(" + std::to_string( angle ) + ")";
+  }
+  bool first = true;
+  for ( const auto qubit : qubits() )
+  {
+    result += first ? " q" : ", q";
+    result += std::to_string( qubit );
+    first = false;
+  }
+  return result;
+}
+
+std::array<std::complex<double>, 4> single_qubit_matrix( gate_kind kind, double angle )
+{
+  using namespace std::complex_literals;
+  const double inv_sqrt2 = 1.0 / std::numbers::sqrt2;
+  switch ( kind )
+  {
+  case gate_kind::h:
+    return { inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2 };
+  case gate_kind::x:
+    return { 0.0, 1.0, 1.0, 0.0 };
+  case gate_kind::y:
+    return { 0.0, -1.0i, 1.0i, 0.0 };
+  case gate_kind::z:
+    return { 1.0, 0.0, 0.0, -1.0 };
+  case gate_kind::s:
+    return { 1.0, 0.0, 0.0, 1.0i };
+  case gate_kind::sdg:
+    return { 1.0, 0.0, 0.0, -1.0i };
+  case gate_kind::t:
+    return { 1.0, 0.0, 0.0, std::exp( 0.25i * std::numbers::pi ) };
+  case gate_kind::tdg:
+    return { 1.0, 0.0, 0.0, std::exp( -0.25i * std::numbers::pi ) };
+  case gate_kind::rx:
+    return { std::cos( angle / 2.0 ), -1.0i * std::sin( angle / 2.0 ),
+             -1.0i * std::sin( angle / 2.0 ), std::cos( angle / 2.0 ) };
+  case gate_kind::ry:
+    return { std::cos( angle / 2.0 ), -std::sin( angle / 2.0 ),
+             std::sin( angle / 2.0 ), std::cos( angle / 2.0 ) };
+  case gate_kind::rz:
+    return { std::exp( -0.5i * angle ), 0.0, 0.0, std::exp( 0.5i * angle ) };
+  default:
+    throw std::invalid_argument( "single_qubit_matrix: not a single-qubit gate" );
+  }
+}
+
+std::string gate_name( gate_kind kind )
+{
+  switch ( kind )
+  {
+  case gate_kind::h: return "h";
+  case gate_kind::x: return "x";
+  case gate_kind::y: return "y";
+  case gate_kind::z: return "z";
+  case gate_kind::s: return "s";
+  case gate_kind::sdg: return "sdg";
+  case gate_kind::t: return "t";
+  case gate_kind::tdg: return "tdg";
+  case gate_kind::rx: return "rx";
+  case gate_kind::ry: return "ry";
+  case gate_kind::rz: return "rz";
+  case gate_kind::cx: return "cx";
+  case gate_kind::cz: return "cz";
+  case gate_kind::swap: return "swap";
+  case gate_kind::mcx: return "mcx";
+  case gate_kind::mcz: return "mcz";
+  case gate_kind::measure: return "measure";
+  case gate_kind::barrier: return "barrier";
+  case gate_kind::global_phase: return "gphase";
+  }
+  return "?";
+}
+
+} // namespace qda

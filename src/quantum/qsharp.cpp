@@ -1,0 +1,168 @@
+#include "quantum/qsharp.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace qda
+{
+
+namespace
+{
+
+std::string qubit_ref( uint32_t index )
+{
+  return "qubits[" + std::to_string( index ) + "]";
+}
+
+void emit_gate( std::ostringstream& out, const qgate& gate )
+{
+  const std::string indent = "            ";
+  switch ( gate.kind )
+  {
+  case gate_kind::h:
+    out << indent << "H(" << qubit_ref( gate.target ) << ");\n";
+    break;
+  case gate_kind::x:
+    out << indent << "X(" << qubit_ref( gate.target ) << ");\n";
+    break;
+  case gate_kind::y:
+    out << indent << "Y(" << qubit_ref( gate.target ) << ");\n";
+    break;
+  case gate_kind::z:
+    out << indent << "Z(" << qubit_ref( gate.target ) << ");\n";
+    break;
+  case gate_kind::s:
+    out << indent << "S(" << qubit_ref( gate.target ) << ");\n";
+    break;
+  case gate_kind::sdg:
+    out << indent << "(Adjoint S)(" << qubit_ref( gate.target ) << ");\n";
+    break;
+  case gate_kind::t:
+    out << indent << "T(" << qubit_ref( gate.target ) << ");\n";
+    break;
+  case gate_kind::tdg:
+    out << indent << "(Adjoint T)(" << qubit_ref( gate.target ) << ");\n";
+    break;
+  case gate_kind::rz:
+    out << indent << "Rz(" << gate.angle << ", " << qubit_ref( gate.target ) << ");\n";
+    break;
+  case gate_kind::rx:
+    out << indent << "Rx(" << gate.angle << ", " << qubit_ref( gate.target ) << ");\n";
+    break;
+  case gate_kind::ry:
+    out << indent << "Ry(" << gate.angle << ", " << qubit_ref( gate.target ) << ");\n";
+    break;
+  case gate_kind::cx:
+    out << indent << "CNOT(" << qubit_ref( gate.controls[0] ) << ", " << qubit_ref( gate.target )
+        << ");\n";
+    break;
+  case gate_kind::cz:
+    out << indent << "(Controlled Z)([" << qubit_ref( gate.controls[0] ) << "], "
+        << qubit_ref( gate.target ) << ");\n";
+    break;
+  case gate_kind::swap:
+    out << indent << "SWAP(" << qubit_ref( gate.target ) << ", " << qubit_ref( gate.target2 )
+        << ");\n";
+    break;
+  case gate_kind::mcx:
+    if ( gate.controls.size() == 2u )
+    {
+      out << indent << "CCNOT(" << qubit_ref( gate.controls[0] ) << ", "
+          << qubit_ref( gate.controls[1] ) << ", " << qubit_ref( gate.target ) << ");\n";
+      break;
+    }
+    throw std::invalid_argument( "write_qsharp_operation: mcx beyond CCNOT; map first" );
+  case gate_kind::mcz:
+    throw std::invalid_argument( "write_qsharp_operation: mcz not representable; map first" );
+  case gate_kind::measure:
+    throw std::invalid_argument( "write_qsharp_operation: oracles must be measurement-free" );
+  case gate_kind::barrier:
+  case gate_kind::global_phase:
+    break; /* no Q# equivalent required */
+  }
+}
+
+} // namespace
+
+std::string write_qsharp_operation( const qcircuit& circuit, const std::string& operation_name )
+{
+  std::ostringstream out;
+  out << "    operation " << operation_name << "\n";
+  out << "        (qubits : Qubit[]) :\n";
+  out << "        () {\n";
+  out << "        body {\n";
+  for ( const auto& gate : circuit.gates() )
+  {
+    emit_gate( out, gate );
+  }
+  out << "        }\n";
+  out << "        adjoint auto\n";
+  out << "        controlled auto\n";
+  out << "        controlled adjoint auto\n";
+  out << "    }\n";
+  return out.str();
+}
+
+std::string write_qsharp_hidden_shift_namespace()
+{
+  std::ostringstream out;
+  out << "namespace Microsoft.Quantum.HiddenShift {\n";
+  out << "    // basic operations: Hadamard, CNOT, etc\n";
+  out << "    open Microsoft.Quantum.Primitive;\n";
+  out << "    // useful lib functions and combinators\n";
+  out << "    open Microsoft.Quantum.Canon;\n";
+  out << "    // permutation defining the instance\n";
+  out << "    open Microsoft.Quantum.PermOracle;\n\n";
+  out << "    operation HiddenShift\n";
+  out << "        (Ufstar : (Qubit[] => ()),\n";
+  out << "         Ug : (Qubit[] => ()), n : Int) :\n";
+  out << "        Result[] {\n";
+  out << "        body {\n";
+  out << "            mutable resultArray = new Result[n];\n";
+  out << "            using (qubits = Qubit[n]) {\n";
+  out << "                ApplyToEach(H, qubits);\n";
+  out << "                Ug(qubits);\n";
+  out << "                ApplyToEach(H, qubits);\n";
+  out << "                Ufstar(qubits);\n";
+  out << "                ApplyToEach(H, qubits);\n";
+  out << "                for (idx in 0..(n-1)) {\n";
+  out << "                    set resultArray[idx] = MResetZ(qubits[idx]);\n";
+  out << "                }\n";
+  out << "            }\n";
+  out << "            Message($\"result: {resultArray}\");\n";
+  out << "            return resultArray;\n";
+  out << "        }\n";
+  out << "    }\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string write_qsharp_perm_oracle_namespace( const qcircuit& permutation_oracle,
+                                                uint32_t half_vars )
+{
+  std::ostringstream out;
+  out << "namespace Microsoft.Quantum.PermOracle {\n";
+  out << "    open Microsoft.Quantum.Primitive;\n\n";
+  out << write_qsharp_operation( permutation_oracle, "PermutationOracle" );
+  out << "\n";
+  out << "    operation BentFunctionImpl\n";
+  out << "        (n : Int, qs : Qubit[]) : () {\n";
+  out << "        body {\n";
+  out << "            let xs = qs[0..(n-1)];\n";
+  out << "            let ys = qs[n..(2*n-1)];\n";
+  out << "            (Adjoint PermutationOracle)(ys);\n";
+  out << "            for (idx in 0..(n-1)) {\n";
+  out << "                (Controlled Z)([xs[idx]], ys[idx]);\n";
+  out << "            }\n";
+  out << "            PermutationOracle(ys);\n";
+  out << "        }\n";
+  out << "    }\n\n";
+  out << "    function BentFunction\n";
+  out << "        (n : Int) : (Qubit[] => ()) {\n";
+  out << "        return BentFunctionImpl(" << half_vars << ", _);\n";
+  out << "    }\n";
+  out << "}\n";
+  return out.str();
+}
+
+} // namespace qda

@@ -1,0 +1,42 @@
+/*! \file qsharp.hpp
+ *  \brief Q# code emission: RevKit as a Q# pre-processor (paper Sec. VIII).
+ *
+ *  In the paper's second tool flow, RevKit is invoked ahead of time to
+ *  produce *Q# native code* for the permutation oracle (Fig. 10), which
+ *  the Q# compiler then builds together with the hidden shift driver
+ *  (Fig. 9).  This module reproduces that pre-processing step: it turns
+ *  a compiled Clifford+T circuit into a Q# operation with
+ *  `adjoint auto` / `controlled auto` variants, and can emit the full
+ *  PermOracle namespace including the BentFunction helper of Fig. 10.
+ */
+#pragma once
+
+#include "quantum/qcircuit.hpp"
+
+#include <string>
+
+namespace qda
+{
+
+/*! \brief Emits one Q# operation whose body replays `circuit`.
+ *
+ *  The circuit must be measurement-free and expressed in the gate set
+ *  {H, X, Y, Z, S, T (and adjoints), Rz, CNOT, CCNOT, CZ, SWAP}.
+ */
+std::string write_qsharp_operation( const qcircuit& circuit, const std::string& operation_name );
+
+/*! \brief Emits the full Microsoft.Quantum.PermOracle namespace of
+ *         paper Fig. 10: the permutation oracle operation plus the
+ *         BentFunctionImpl/BentFunction pair for the Maiorana-McFarland
+ *         instance with `half_vars` variables per register.
+ */
+std::string write_qsharp_perm_oracle_namespace( const qcircuit& permutation_oracle,
+                                                uint32_t half_vars );
+
+/*! \brief Emits the Microsoft.Quantum.HiddenShift namespace of paper
+ *         Fig. 9: the correlation-algorithm driver operation that takes
+ *         the Ufstar/Ug oracles as operation-valued arguments.
+ */
+std::string write_qsharp_hidden_shift_namespace();
+
+} // namespace qda

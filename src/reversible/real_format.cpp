@@ -1,0 +1,190 @@
+#include "reversible/real_format.hpp"
+
+#include "kernel/bits.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace qda
+{
+
+namespace
+{
+
+std::string variable_name( uint32_t line )
+{
+  /* a, b, ..., z, x26, x27, ... */
+  if ( line < 26u )
+  {
+    return std::string( 1u, static_cast<char>( 'a' + line ) );
+  }
+  return "x" + std::to_string( line );
+}
+
+} // namespace
+
+std::string write_real( const rev_circuit& circuit )
+{
+  std::ostringstream out;
+  out << "# written by qda (Programming Quantum Computers Using Design Automation)\n";
+  out << ".version 2.0\n";
+  out << ".numvars " << circuit.num_lines() << "\n";
+  out << ".variables";
+  for ( uint32_t line = 0u; line < circuit.num_lines(); ++line )
+  {
+    out << ' ' << variable_name( line );
+  }
+  out << "\n.begin\n";
+  for ( const auto& gate : circuit.gates() )
+  {
+    out << 't' << ( gate.num_controls() + 1u );
+    for ( uint32_t line = 0u; line < circuit.num_lines(); ++line )
+    {
+      if ( ( gate.controls >> line ) & 1u )
+      {
+        out << ' ';
+        if ( !( ( gate.polarity >> line ) & 1u ) )
+        {
+          out << '-';
+        }
+        out << variable_name( line );
+      }
+    }
+    out << ' ' << variable_name( gate.target ) << "\n";
+  }
+  out << ".end\n";
+  return out.str();
+}
+
+rev_circuit read_real( std::string_view text )
+{
+  std::istringstream in{ std::string( text ) };
+  std::string line;
+  std::map<std::string, uint32_t> variable_index;
+  uint32_t num_vars = 0u;
+  bool in_body = false;
+  std::vector<rev_gate> gates;
+
+  while ( std::getline( in, line ) )
+  {
+    /* strip comments and whitespace */
+    const auto hash = line.find( '#' );
+    if ( hash != std::string::npos )
+    {
+      line.erase( hash );
+    }
+    std::istringstream tokens( line );
+    std::string word;
+    if ( !( tokens >> word ) )
+    {
+      continue;
+    }
+
+    if ( word == ".version" || word == ".inputs" || word == ".outputs" ||
+         word == ".constants" || word == ".garbage" )
+    {
+      continue; /* metadata we do not need for simulation semantics */
+    }
+    if ( word == ".numvars" )
+    {
+      if ( !( tokens >> num_vars ) || num_vars == 0u || num_vars > 64u )
+      {
+        throw std::invalid_argument( "read_real: bad .numvars" );
+      }
+      continue;
+    }
+    if ( word == ".variables" )
+    {
+      std::string name;
+      uint32_t index = 0u;
+      while ( tokens >> name )
+      {
+        variable_index.emplace( name, index++ );
+      }
+      continue;
+    }
+    if ( word == ".begin" )
+    {
+      if ( num_vars == 0u )
+      {
+        throw std::invalid_argument( "read_real: .begin before .numvars" );
+      }
+      if ( variable_index.empty() )
+      {
+        for ( uint32_t v = 0u; v < num_vars; ++v )
+        {
+          variable_index.emplace( variable_name( v ), v );
+        }
+      }
+      in_body = true;
+      continue;
+    }
+    if ( word == ".end" )
+    {
+      in_body = false;
+      continue;
+    }
+    if ( !in_body )
+    {
+      throw std::invalid_argument( "read_real: unexpected statement '" + word + "'" );
+    }
+
+    /* gate line: t<k> operands */
+    if ( word.empty() || word[0] != 't' )
+    {
+      throw std::invalid_argument( "read_real: unsupported gate '" + word + "'" );
+    }
+    std::vector<std::pair<uint32_t, bool>> operands; /* (line, positive) */
+    std::string operand;
+    while ( tokens >> operand )
+    {
+      bool positive = true;
+      if ( operand[0] == '-' )
+      {
+        positive = false;
+        operand.erase( 0u, 1u );
+      }
+      const auto it = variable_index.find( operand );
+      if ( it == variable_index.end() )
+      {
+        throw std::invalid_argument( "read_real: unknown variable '" + operand + "'" );
+      }
+      operands.emplace_back( it->second, positive );
+    }
+    if ( operands.empty() )
+    {
+      throw std::invalid_argument( "read_real: gate without operands" );
+    }
+    const uint32_t expected = static_cast<uint32_t>( std::stoul( word.substr( 1u ) ) );
+    if ( expected != operands.size() )
+    {
+      throw std::invalid_argument( "read_real: gate arity does not match operand count" );
+    }
+    uint64_t controls = 0u;
+    uint64_t polarity = 0u;
+    for ( size_t i = 0u; i + 1u < operands.size(); ++i )
+    {
+      controls |= uint64_t{ 1 } << operands[i].first;
+      if ( operands[i].second )
+      {
+        polarity |= uint64_t{ 1 } << operands[i].first;
+      }
+    }
+    if ( !operands.back().second )
+    {
+      throw std::invalid_argument( "read_real: target cannot be negated" );
+    }
+    gates.emplace_back( controls, polarity, operands.back().first );
+  }
+
+  rev_circuit circuit( num_vars );
+  for ( const auto& gate : gates )
+  {
+    circuit.add_gate( gate );
+  }
+  return circuit;
+}
+
+} // namespace qda

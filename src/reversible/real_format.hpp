@@ -1,0 +1,31 @@
+/*! \file real_format.hpp
+ *  \brief The RevKit/RevLib `.real` circuit interchange format.
+ *
+ *  RevKit (paper ref [68]) reads and writes reversible circuits in the
+ *  RevLib `.real` format; supporting it makes this library's circuits
+ *  interchangeable with the original toolchain and the RevLib benchmark
+ *  suite.  Supported subset: header keys .version/.numvars/.variables/
+ *  .inputs/.outputs/.constants/.garbage, Toffoli gate lines
+ *  `t<k> [-]var...` (a leading '-' marks a negative control; the last
+ *  variable is the target), and comments starting with '#'.
+ */
+#pragma once
+
+#include "reversible/rev_circuit.hpp"
+
+#include <string>
+#include <string_view>
+
+namespace qda
+{
+
+/*! \brief Serializes a circuit in `.real` format (variables a, b, c, ...). */
+std::string write_real( const rev_circuit& circuit );
+
+/*! \brief Parses the `.real` subset produced by write_real (and typical
+ *         RevLib files with Toffoli-family gates).  Throws
+ *         std::invalid_argument on malformed input.
+ */
+rev_circuit read_real( std::string_view text );
+
+} // namespace qda

@@ -1,0 +1,97 @@
+/*! \file rev_circuit.hpp
+ *  \brief Reversible circuits: cascades of MCT gates over n lines.
+ *
+ *  A reversible circuit computes a permutation of the 2^n basis states
+ *  by composing its gates left to right.  This is the intermediate
+ *  representation between Boolean-function-level synthesis and the
+ *  quantum (Clifford+T) level: circuits produced by the algorithms in
+ *  src/synthesis/ are later mapped gate-by-gate by src/mapping/.
+ */
+#pragma once
+
+#include "kernel/permutation.hpp"
+#include "kernel/truth_table.hpp"
+#include "reversible/rev_gate.hpp"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief A cascade of MCT gates. */
+class rev_circuit
+{
+public:
+  explicit rev_circuit( uint32_t num_lines );
+
+  uint32_t num_lines() const noexcept { return num_lines_; }
+  size_t num_gates() const noexcept { return gates_.size(); }
+  bool empty() const noexcept { return gates_.empty(); }
+
+  const std::vector<rev_gate>& gates() const noexcept { return gates_; }
+  const rev_gate& gate( size_t index ) const { return gates_.at( index ); }
+
+  /*! \brief Appends a gate (validates line indices). */
+  void add_gate( const rev_gate& gate );
+
+  void add_not( uint32_t target ) { add_gate( rev_gate::not_gate( target ) ); }
+  void add_cnot( uint32_t control, uint32_t target )
+  {
+    add_gate( rev_gate::cnot( control, target ) );
+  }
+  void add_toffoli( uint32_t control0, uint32_t control1, uint32_t target )
+  {
+    add_gate( rev_gate::toffoli( control0, control1, target ) );
+  }
+
+  /*! \brief Appends all gates of `other` (line counts must agree). */
+  void append( const rev_circuit& other );
+
+  /*! \brief Prepends a gate (used by bidirectional synthesis). */
+  void prepend_gate( const rev_gate& gate );
+
+  /*! \brief The inverse circuit: gates reversed (MCT gates are self-inverse). */
+  rev_circuit inverse() const;
+
+  /*! \brief Applies the circuit to one basis state. */
+  uint64_t simulate( uint64_t input ) const;
+
+  /*! \brief The permutation computed by the circuit (n <= 20). */
+  permutation to_permutation() const;
+
+  /*! \brief Truth table of output line `line` as a function of all inputs. */
+  truth_table output_function( uint32_t line ) const;
+
+  /*! \brief Total controls over all gates (a classical cost proxy). */
+  uint64_t control_count() const noexcept;
+
+  /*! \brief Histogram entry: number of gates with exactly `k` controls. */
+  std::vector<uint64_t> control_histogram() const;
+
+  /*! \brief Quantum cost following the standard MCT cost table
+   *         (Barenco et al. [40]): NOT/CNOT = 1, Toffoli = 5,
+   *         k-control MCT = 2^(k+1) - 3 for k >= 2 (ancilla-free bound).
+   */
+  uint64_t quantum_cost() const noexcept;
+
+  bool operator==( const rev_circuit& other ) const = default;
+
+  /*! \brief Multi-line ASCII diagram (one row per line). */
+  std::string to_ascii() const;
+
+private:
+  uint32_t num_lines_;
+  std::vector<rev_gate> gates_;
+};
+
+/*! \brief Functional equivalence of two reversible circuits (n <= 20:
+ *         exhaustive; larger: sampled with 4096 random probes).
+ */
+bool equivalent( const rev_circuit& a, const rev_circuit& b );
+
+std::ostream& operator<<( std::ostream& os, const rev_circuit& circuit );
+
+} // namespace qda

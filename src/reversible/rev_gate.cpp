@@ -1,0 +1,115 @@
+#include "reversible/rev_gate.hpp"
+
+#include "kernel/bits.hpp"
+
+#include <stdexcept>
+
+namespace qda
+{
+
+rev_gate::rev_gate( uint64_t controls_, uint64_t polarity_, uint32_t target_ )
+    : controls( controls_ ), polarity( polarity_ & controls_ ), target( target_ )
+{
+  if ( target_ >= 64u )
+  {
+    throw std::invalid_argument( "rev_gate: target line out of range" );
+  }
+  if ( ( controls_ >> target_ ) & 1u )
+  {
+    throw std::invalid_argument( "rev_gate: target cannot be a control" );
+  }
+}
+
+rev_gate rev_gate::not_gate( uint32_t target )
+{
+  return rev_gate( 0u, 0u, target );
+}
+
+rev_gate rev_gate::cnot( uint32_t control, uint32_t target )
+{
+  return rev_gate( uint64_t{ 1 } << control, uint64_t{ 1 } << control, target );
+}
+
+rev_gate rev_gate::toffoli( uint32_t control0, uint32_t control1, uint32_t target )
+{
+  const uint64_t mask = ( uint64_t{ 1 } << control0 ) | ( uint64_t{ 1 } << control1 );
+  return rev_gate( mask, mask, target );
+}
+
+rev_gate rev_gate::mct( const std::vector<uint32_t>& positive_controls,
+                        const std::vector<uint32_t>& negative_controls, uint32_t target )
+{
+  uint64_t controls = 0u;
+  uint64_t polarity = 0u;
+  for ( const auto line : positive_controls )
+  {
+    controls |= uint64_t{ 1 } << line;
+    polarity |= uint64_t{ 1 } << line;
+  }
+  for ( const auto line : negative_controls )
+  {
+    controls |= uint64_t{ 1 } << line;
+  }
+  return rev_gate( controls, polarity, target );
+}
+
+uint32_t rev_gate::num_controls() const noexcept
+{
+  return popcount64( controls );
+}
+
+bool rev_gate::commutes_with( const rev_gate& other ) const noexcept
+{
+  /* same target: both are (controlled) X on one line, conditions cannot
+   * depend on that line */
+  if ( target == other.target )
+  {
+    return true;
+  }
+  /* disjoint interaction: neither target is a control of the other */
+  const bool target_in_other = ( other.controls >> target ) & 1u;
+  const bool other_in_this = ( controls >> other.target ) & 1u;
+  if ( !target_in_other && !other_in_this )
+  {
+    return true;
+  }
+  /* conflicting controls: the gates are never active simultaneously */
+  if ( ( controls & other.controls & ( polarity ^ other.polarity ) ) != 0u )
+  {
+    return true;
+  }
+  return false;
+}
+
+std::string rev_gate::to_string() const
+{
+  std::string result = "t" + std::to_string( num_controls() + 1u ) + "(";
+  bool first = true;
+  for ( uint32_t line = 0u; line < 64u; ++line )
+  {
+    if ( ( controls >> line ) & 1u )
+    {
+      if ( !first )
+      {
+        result += ", ";
+      }
+      if ( !( ( polarity >> line ) & 1u ) )
+      {
+        result += '!';
+      }
+      result += 'x';
+      result += std::to_string( line );
+      first = false;
+    }
+  }
+  if ( !first )
+  {
+    result += ", ";
+  }
+  result += 'x';
+  result += std::to_string( target );
+  result += ')';
+  return result;
+}
+
+} // namespace qda

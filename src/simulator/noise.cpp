@@ -1,0 +1,123 @@
+#include "simulator/noise.hpp"
+
+#include "simulator/statevector.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace qda
+{
+
+namespace
+{
+
+/*! Applies a uniformly random non-identity Pauli to `qubit`. */
+void random_pauli( statevector_simulator& simulator, uint32_t qubit, std::mt19937_64& rng )
+{
+  qgate gate;
+  gate.target = qubit;
+  switch ( rng() % 3u )
+  {
+  case 0u:
+    gate.kind = gate_kind::x;
+    break;
+  case 1u:
+    gate.kind = gate_kind::y;
+    break;
+  default:
+    gate.kind = gate_kind::z;
+    break;
+  }
+  simulator.apply_gate( gate );
+}
+
+} // namespace
+
+std::map<uint64_t, uint64_t> sample_counts_noisy( const qcircuit& circuit,
+                                                  const noise_model& model, uint64_t shots,
+                                                  uint64_t seed )
+{
+  std::vector<uint32_t> measured;
+  for ( const auto& gate : circuit.gates() )
+  {
+    if ( gate.kind == gate_kind::measure )
+    {
+      measured.push_back( gate.target );
+    }
+  }
+  if ( measured.empty() )
+  {
+    throw std::invalid_argument( "sample_counts_noisy: circuit has no measurements" );
+  }
+
+  std::mt19937_64 rng( seed );
+  std::uniform_real_distribution<double> uniform( 0.0, 1.0 );
+  std::map<uint64_t, uint64_t> counts;
+
+  statevector_simulator simulator( circuit.num_qubits(), seed ^ 0x5bd1e995u );
+  for ( uint64_t shot = 0u; shot < shots; ++shot )
+  {
+    simulator.reset();
+    for ( const auto& gate : circuit.gates() )
+    {
+      if ( gate.kind == gate_kind::measure || gate.kind == gate_kind::barrier )
+      {
+        continue; /* measured at the end via sampling */
+      }
+      simulator.apply_gate( gate );
+      const auto qubits = gate.qubits();
+      if ( qubits.size() == 1u )
+      {
+        if ( uniform( rng ) < model.p_single )
+        {
+          random_pauli( simulator, qubits[0], rng );
+        }
+      }
+      else if ( qubits.size() >= 2u )
+      {
+        if ( uniform( rng ) < model.p_two )
+        {
+          /* uniformly random non-identity two-qubit Pauli: draw per-qubit
+           * Paulis, rejecting the identity-identity case */
+          uint32_t first = rng() % 4u;
+          uint32_t second = rng() % 4u;
+          if ( first == 0u && second == 0u )
+          {
+            first = 1u + rng() % 3u;
+          }
+          const auto apply_pauli = [&]( uint32_t qubit, uint32_t which ) {
+            if ( which == 0u )
+            {
+              return;
+            }
+            qgate pauli;
+            pauli.target = qubit;
+            pauli.kind = which == 1u ? gate_kind::x : which == 2u ? gate_kind::y : gate_kind::z;
+            simulator.apply_gate( pauli );
+          };
+          apply_pauli( qubits[0], first );
+          apply_pauli( qubits[1], second );
+        }
+      }
+    }
+
+    const uint64_t full = simulator.sample( rng );
+    uint64_t key = 0u;
+    for ( uint32_t i = 0u; i < measured.size(); ++i )
+    {
+      bool bit = ( full >> measured[i] ) & 1u;
+      if ( uniform( rng ) < model.p_readout )
+      {
+        bit = !bit;
+      }
+      if ( bit )
+      {
+        key |= uint64_t{ 1 } << i;
+      }
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+} // namespace qda

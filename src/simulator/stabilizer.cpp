@@ -1,0 +1,291 @@
+#include "simulator/stabilizer.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace qda
+{
+
+stabilizer_simulator::stabilizer_simulator( uint32_t num_qubits, uint64_t seed )
+    : num_qubits_( num_qubits ), num_words_( ( num_qubits + 63u ) / 64u ), rng_( seed )
+{
+  reset();
+}
+
+void stabilizer_simulator::reset()
+{
+  rows_.assign( 2u * num_qubits_, pauli_row{ std::vector<uint64_t>( num_words_, 0u ),
+                                             std::vector<uint64_t>( num_words_, 0u ), false } );
+  for ( uint32_t q = 0u; q < num_qubits_; ++q )
+  {
+    set_x( rows_[q], q, true );                 /* destabilizer X_q */
+    set_z( rows_[num_qubits_ + q], q, true );   /* stabilizer Z_q */
+  }
+  measurements_.clear();
+}
+
+bool stabilizer_simulator::get_x( const pauli_row& row, uint32_t qubit ) const
+{
+  return ( row.x[qubit >> 6u] >> ( qubit & 63u ) ) & 1u;
+}
+
+bool stabilizer_simulator::get_z( const pauli_row& row, uint32_t qubit ) const
+{
+  return ( row.z[qubit >> 6u] >> ( qubit & 63u ) ) & 1u;
+}
+
+void stabilizer_simulator::set_x( pauli_row& row, uint32_t qubit, bool value )
+{
+  const uint64_t bit = uint64_t{ 1 } << ( qubit & 63u );
+  row.x[qubit >> 6u] = value ? ( row.x[qubit >> 6u] | bit ) : ( row.x[qubit >> 6u] & ~bit );
+}
+
+void stabilizer_simulator::set_z( pauli_row& row, uint32_t qubit, bool value )
+{
+  const uint64_t bit = uint64_t{ 1 } << ( qubit & 63u );
+  row.z[qubit >> 6u] = value ? ( row.z[qubit >> 6u] | bit ) : ( row.z[qubit >> 6u] & ~bit );
+}
+
+void stabilizer_simulator::apply_h( uint32_t qubit )
+{
+  for ( auto& row : rows_ )
+  {
+    const bool x = get_x( row, qubit );
+    const bool z = get_z( row, qubit );
+    row.sign ^= x && z;
+    set_x( row, qubit, z );
+    set_z( row, qubit, x );
+  }
+}
+
+void stabilizer_simulator::apply_s( uint32_t qubit )
+{
+  for ( auto& row : rows_ )
+  {
+    const bool x = get_x( row, qubit );
+    const bool z = get_z( row, qubit );
+    row.sign ^= x && z;
+    set_z( row, qubit, x != z );
+  }
+}
+
+void stabilizer_simulator::apply_sdg( uint32_t qubit )
+{
+  apply_z( qubit );
+  apply_s( qubit );
+}
+
+void stabilizer_simulator::apply_z( uint32_t qubit )
+{
+  apply_s( qubit );
+  apply_s( qubit );
+}
+
+void stabilizer_simulator::apply_x( uint32_t qubit )
+{
+  apply_h( qubit );
+  apply_z( qubit );
+  apply_h( qubit );
+}
+
+void stabilizer_simulator::apply_y( uint32_t qubit )
+{
+  /* conjugation by Y equals conjugation by XZ (global phase irrelevant) */
+  apply_z( qubit );
+  apply_x( qubit );
+}
+
+void stabilizer_simulator::apply_cx( uint32_t control, uint32_t target )
+{
+  for ( auto& row : rows_ )
+  {
+    const bool xc = get_x( row, control );
+    const bool zc = get_z( row, control );
+    const bool xt = get_x( row, target );
+    const bool zt = get_z( row, target );
+    row.sign ^= xc && zt && ( xt == zc );
+    set_x( row, target, xt != xc );
+    set_z( row, control, zc != zt );
+  }
+}
+
+void stabilizer_simulator::apply_cz( uint32_t control, uint32_t target )
+{
+  apply_h( target );
+  apply_cx( control, target );
+  apply_h( target );
+}
+
+void stabilizer_simulator::apply_swap( uint32_t a, uint32_t b )
+{
+  apply_cx( a, b );
+  apply_cx( b, a );
+  apply_cx( a, b );
+}
+
+void stabilizer_simulator::rowsum( pauli_row& target, const pauli_row& source ) const
+{
+  /* phase exponent of i in the product, mod 4 */
+  int32_t exponent = ( target.sign ? 2 : 0 ) + ( source.sign ? 2 : 0 );
+  for ( uint32_t q = 0u; q < num_qubits_; ++q )
+  {
+    const int32_t x1 = get_x( source, q ) ? 1 : 0;
+    const int32_t z1 = get_z( source, q ) ? 1 : 0;
+    const int32_t x2 = get_x( target, q ) ? 1 : 0;
+    const int32_t z2 = get_z( target, q ) ? 1 : 0;
+    if ( x1 == 1 && z1 == 1 )
+    {
+      exponent += z2 - x2;
+    }
+    else if ( x1 == 1 && z1 == 0 )
+    {
+      exponent += z2 * ( 2 * x2 - 1 );
+    }
+    else if ( x1 == 0 && z1 == 1 )
+    {
+      exponent += x2 * ( 1 - 2 * z2 );
+    }
+  }
+  exponent = ( ( exponent % 4 ) + 4 ) % 4;
+  target.sign = exponent == 2;
+  for ( uint32_t w = 0u; w < num_words_; ++w )
+  {
+    target.x[w] ^= source.x[w];
+    target.z[w] ^= source.z[w];
+  }
+}
+
+bool stabilizer_simulator::is_deterministic( uint32_t qubit ) const
+{
+  for ( uint32_t p = num_qubits_; p < 2u * num_qubits_; ++p )
+  {
+    if ( get_x( rows_[p], qubit ) )
+    {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool stabilizer_simulator::measure( uint32_t qubit )
+{
+  uint32_t pivot = 2u * num_qubits_;
+  for ( uint32_t p = num_qubits_; p < 2u * num_qubits_; ++p )
+  {
+    if ( get_x( rows_[p], qubit ) )
+    {
+      pivot = p;
+      break;
+    }
+  }
+
+  if ( pivot < 2u * num_qubits_ )
+  {
+    /* random outcome */
+    for ( uint32_t i = 0u; i < 2u * num_qubits_; ++i )
+    {
+      if ( i != pivot && get_x( rows_[i], qubit ) )
+      {
+        rowsum( rows_[i], rows_[pivot] );
+      }
+    }
+    rows_[pivot - num_qubits_] = rows_[pivot];
+    rows_[pivot] = pauli_row{ std::vector<uint64_t>( num_words_, 0u ),
+                              std::vector<uint64_t>( num_words_, 0u ), false };
+    set_z( rows_[pivot], qubit, true );
+    const bool outcome = ( rng_() & 1u ) != 0u;
+    rows_[pivot].sign = outcome;
+    return outcome;
+  }
+
+  /* deterministic outcome: accumulate the matching stabilizers */
+  pauli_row scratch{ std::vector<uint64_t>( num_words_, 0u ),
+                     std::vector<uint64_t>( num_words_, 0u ), false };
+  for ( uint32_t i = 0u; i < num_qubits_; ++i )
+  {
+    if ( get_x( rows_[i], qubit ) )
+    {
+      rowsum( scratch, rows_[i + num_qubits_] );
+    }
+  }
+  return scratch.sign;
+}
+
+void stabilizer_simulator::apply_gate( const qgate& gate )
+{
+  switch ( gate.kind )
+  {
+  case gate_kind::h:
+    apply_h( gate.target );
+    break;
+  case gate_kind::x:
+    apply_x( gate.target );
+    break;
+  case gate_kind::y:
+    apply_y( gate.target );
+    break;
+  case gate_kind::z:
+    apply_z( gate.target );
+    break;
+  case gate_kind::s:
+    apply_s( gate.target );
+    break;
+  case gate_kind::sdg:
+    apply_sdg( gate.target );
+    break;
+  case gate_kind::cx:
+    apply_cx( gate.controls[0], gate.target );
+    break;
+  case gate_kind::cz:
+    apply_cz( gate.controls[0], gate.target );
+    break;
+  case gate_kind::swap:
+    apply_swap( gate.target, gate.target2 );
+    break;
+  case gate_kind::measure:
+    measurements_.emplace_back( gate.target, measure( gate.target ) );
+    break;
+  case gate_kind::barrier:
+  case gate_kind::global_phase:
+    break;
+  default:
+    throw std::invalid_argument( "stabilizer_simulator: non-Clifford gate " +
+                                 gate_name( gate.kind ) );
+  }
+}
+
+void stabilizer_simulator::run( const qcircuit& circuit )
+{
+  if ( circuit.num_qubits() != num_qubits_ )
+  {
+    throw std::invalid_argument( "stabilizer_simulator::run: qubit count mismatch" );
+  }
+  for ( const auto& gate : circuit.gates() )
+  {
+    apply_gate( gate );
+  }
+}
+
+std::map<uint64_t, uint64_t> stabilizer_sample_counts( const qcircuit& circuit, uint64_t shots,
+                                                       uint64_t seed )
+{
+  std::map<uint64_t, uint64_t> counts;
+  for ( uint64_t shot = 0u; shot < shots; ++shot )
+  {
+    stabilizer_simulator simulator( circuit.num_qubits(), seed + shot );
+    simulator.run( circuit );
+    uint64_t key = 0u;
+    const auto& record = simulator.measurement_record();
+    for ( uint32_t i = 0u; i < record.size() && i < 64u; ++i )
+    {
+      if ( record[i].second )
+      {
+        key |= uint64_t{ 1 } << i;
+      }
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+} // namespace qda

@@ -1,0 +1,293 @@
+#include "simulator/statevector.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace qda
+{
+
+namespace
+{
+
+uint64_t checked_dimension( uint32_t num_qubits )
+{
+  if ( num_qubits > 28u )
+  {
+    throw std::invalid_argument( "statevector_simulator: too many qubits for full state vector" );
+  }
+  return uint64_t{ 1 } << num_qubits;
+}
+
+} // namespace
+
+statevector_simulator::statevector_simulator( uint32_t num_qubits, uint64_t seed )
+    : num_qubits_( num_qubits ), state_( checked_dimension( num_qubits ) ), rng_( seed )
+{
+  state_[0] = 1.0;
+}
+
+void statevector_simulator::reset()
+{
+  std::fill( state_.begin(), state_.end(), amplitude{ 0.0 } );
+  state_[0] = 1.0;
+  measurements_.clear();
+}
+
+void statevector_simulator::set_basis_state( uint64_t basis_state )
+{
+  if ( basis_state >= state_.size() )
+  {
+    throw std::invalid_argument( "statevector_simulator::set_basis_state: out of range" );
+  }
+  std::fill( state_.begin(), state_.end(), amplitude{ 0.0 } );
+  state_[basis_state] = 1.0;
+}
+
+void statevector_simulator::apply_single_qubit( const std::array<amplitude, 4>& matrix,
+                                                uint32_t qubit )
+{
+  const uint64_t stride = uint64_t{ 1 } << qubit;
+  for ( uint64_t base = 0u; base < state_.size(); base += 2u * stride )
+  {
+    for ( uint64_t offset = 0u; offset < stride; ++offset )
+    {
+      const uint64_t i0 = base + offset;
+      const uint64_t i1 = i0 + stride;
+      const amplitude a0 = state_[i0];
+      const amplitude a1 = state_[i1];
+      state_[i0] = matrix[0] * a0 + matrix[1] * a1;
+      state_[i1] = matrix[2] * a0 + matrix[3] * a1;
+    }
+  }
+}
+
+void statevector_simulator::apply_controlled_single_qubit(
+    const std::array<amplitude, 4>& matrix, const std::vector<uint32_t>& controls, uint32_t qubit )
+{
+  uint64_t control_mask = 0u;
+  for ( const auto control : controls )
+  {
+    control_mask |= uint64_t{ 1 } << control;
+  }
+  const uint64_t stride = uint64_t{ 1 } << qubit;
+  for ( uint64_t base = 0u; base < state_.size(); base += 2u * stride )
+  {
+    for ( uint64_t offset = 0u; offset < stride; ++offset )
+    {
+      const uint64_t i0 = base + offset;
+      if ( ( i0 & control_mask ) != control_mask )
+      {
+        continue;
+      }
+      const uint64_t i1 = i0 + stride;
+      const amplitude a0 = state_[i0];
+      const amplitude a1 = state_[i1];
+      state_[i0] = matrix[0] * a0 + matrix[1] * a1;
+      state_[i1] = matrix[2] * a0 + matrix[3] * a1;
+    }
+  }
+}
+
+void statevector_simulator::apply_swap( uint32_t a, uint32_t b )
+{
+  const uint64_t bit_a = uint64_t{ 1 } << a;
+  const uint64_t bit_b = uint64_t{ 1 } << b;
+  for ( uint64_t i = 0u; i < state_.size(); ++i )
+  {
+    const bool has_a = ( i & bit_a ) != 0u;
+    const bool has_b = ( i & bit_b ) != 0u;
+    if ( has_a && !has_b )
+    {
+      std::swap( state_[i], state_[( i ^ bit_a ) | bit_b] );
+    }
+  }
+}
+
+bool statevector_simulator::measure_qubit( uint32_t qubit )
+{
+  const uint64_t bit = uint64_t{ 1 } << qubit;
+  double p_one = 0.0;
+  for ( uint64_t i = 0u; i < state_.size(); ++i )
+  {
+    if ( i & bit )
+    {
+      p_one += std::norm( state_[i] );
+    }
+  }
+  std::uniform_real_distribution<double> dist( 0.0, 1.0 );
+  const bool outcome = dist( rng_ ) < p_one;
+  const double renorm = 1.0 / std::sqrt( outcome ? p_one : 1.0 - p_one );
+  for ( uint64_t i = 0u; i < state_.size(); ++i )
+  {
+    if ( ( ( i & bit ) != 0u ) == outcome )
+    {
+      state_[i] *= renorm;
+    }
+    else
+    {
+      state_[i] = 0.0;
+    }
+  }
+  return outcome;
+}
+
+void statevector_simulator::apply_gate( const qgate& gate )
+{
+  switch ( gate.kind )
+  {
+  case gate_kind::h:
+  case gate_kind::x:
+  case gate_kind::y:
+  case gate_kind::z:
+  case gate_kind::s:
+  case gate_kind::sdg:
+  case gate_kind::t:
+  case gate_kind::tdg:
+  case gate_kind::rx:
+  case gate_kind::ry:
+  case gate_kind::rz:
+    apply_single_qubit( single_qubit_matrix( gate.kind, gate.angle ), gate.target );
+    break;
+  case gate_kind::cx:
+  case gate_kind::mcx:
+    apply_controlled_single_qubit( single_qubit_matrix( gate_kind::x, 0.0 ), gate.controls,
+                                   gate.target );
+    break;
+  case gate_kind::cz:
+  case gate_kind::mcz:
+    apply_controlled_single_qubit( single_qubit_matrix( gate_kind::z, 0.0 ), gate.controls,
+                                   gate.target );
+    break;
+  case gate_kind::swap:
+    apply_swap( gate.target, gate.target2 );
+    break;
+  case gate_kind::measure:
+    measurements_.emplace_back( gate.target, measure_qubit( gate.target ) );
+    break;
+  case gate_kind::barrier:
+    break;
+  case gate_kind::global_phase:
+  {
+    const amplitude phase = std::exp( amplitude( 0.0, gate.angle ) );
+    for ( auto& amp : state_ )
+    {
+      amp *= phase;
+    }
+    break;
+  }
+  }
+}
+
+void statevector_simulator::run( const qcircuit& circuit )
+{
+  if ( circuit.num_qubits() != num_qubits_ )
+  {
+    throw std::invalid_argument( "statevector_simulator::run: qubit count mismatch" );
+  }
+  for ( const auto& gate : circuit.gates() )
+  {
+    apply_gate( gate );
+  }
+}
+
+double statevector_simulator::probability_of( uint64_t basis_state ) const
+{
+  if ( basis_state >= state_.size() )
+  {
+    throw std::invalid_argument( "statevector_simulator::probability_of: out of range" );
+  }
+  return std::norm( state_[basis_state] );
+}
+
+std::vector<double> statevector_simulator::probabilities() const
+{
+  std::vector<double> result( state_.size() );
+  for ( uint64_t i = 0u; i < state_.size(); ++i )
+  {
+    result[i] = std::norm( state_[i] );
+  }
+  return result;
+}
+
+uint64_t statevector_simulator::sample( std::mt19937_64& rng ) const
+{
+  std::uniform_real_distribution<double> dist( 0.0, 1.0 );
+  double threshold = dist( rng );
+  for ( uint64_t i = 0u; i < state_.size(); ++i )
+  {
+    threshold -= std::norm( state_[i] );
+    if ( threshold <= 0.0 )
+    {
+      return i;
+    }
+  }
+  return state_.size() - 1u;
+}
+
+double statevector_simulator::norm() const
+{
+  double total = 0.0;
+  for ( const auto& amp : state_ )
+  {
+    total += std::norm( amp );
+  }
+  return total;
+}
+
+std::map<uint64_t, uint64_t> sample_counts( const qcircuit& circuit, uint64_t shots, uint64_t seed )
+{
+  /* split the circuit into its unitary prefix and the measured qubits */
+  qcircuit unitary_part( circuit.num_qubits() );
+  std::vector<uint32_t> measured;
+  for ( const auto& gate : circuit.gates() )
+  {
+    if ( gate.kind == gate_kind::measure )
+    {
+      measured.push_back( gate.target );
+    }
+    else if ( gate.kind != gate_kind::barrier )
+    {
+      unitary_part.add_gate( gate );
+    }
+  }
+  if ( measured.empty() )
+  {
+    throw std::invalid_argument( "sample_counts: circuit has no measurements" );
+  }
+
+  statevector_simulator simulator( circuit.num_qubits() );
+  simulator.run( unitary_part );
+
+  std::mt19937_64 rng( seed );
+  std::map<uint64_t, uint64_t> counts;
+  for ( uint64_t shot = 0u; shot < shots; ++shot )
+  {
+    const uint64_t full = simulator.sample( rng );
+    uint64_t key = 0u;
+    for ( uint32_t i = 0u; i < measured.size(); ++i )
+    {
+      if ( ( full >> measured[i] ) & 1u )
+      {
+        key |= uint64_t{ 1 } << i;
+      }
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+std::string format_outcome( uint64_t outcome, uint32_t num_bits )
+{
+  std::string result( num_bits, '0' );
+  for ( uint32_t i = 0u; i < num_bits; ++i )
+  {
+    if ( ( outcome >> i ) & 1u )
+    {
+      result[num_bits - 1u - i] = '1';
+    }
+  }
+  return result;
+}
+
+} // namespace qda

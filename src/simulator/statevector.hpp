@@ -1,0 +1,93 @@
+/*! \file statevector.hpp
+ *  \brief Full state-vector quantum simulator.
+ *
+ *  The local simulator backend of the paper's tool flows (Sec. VII/VIII):
+ *  it holds all 2^n complex amplitudes and applies gates by in-place
+ *  index arithmetic.  Comfortable up to ~24 qubits on a laptop, which
+ *  covers every experiment in the paper (the paper's own discussion of
+ *  45-qubit simulations needed 0.5 PB, Sec. I).
+ */
+#pragma once
+
+#include "quantum/qcircuit.hpp"
+
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief State-vector simulator with gate-by-gate execution. */
+class statevector_simulator
+{
+public:
+  using amplitude = std::complex<double>;
+
+  /*! \brief Initializes |0...0> over `num_qubits` qubits. */
+  explicit statevector_simulator( uint32_t num_qubits, uint64_t seed = 0u );
+
+  uint32_t num_qubits() const noexcept { return num_qubits_; }
+  const std::vector<amplitude>& state() const noexcept { return state_; }
+
+  /*! \brief Resets to |0...0>. */
+  void reset();
+
+  /*! \brief Prepares a computational basis state. */
+  void set_basis_state( uint64_t basis_state );
+
+  /*! \brief Applies one gate (measure collapses with the internal RNG;
+   *         the outcome is appended to `measurement_record()`).
+   */
+  void apply_gate( const qgate& gate );
+
+  /*! \brief Applies all gates of a circuit. */
+  void run( const qcircuit& circuit );
+
+  /*! \brief Probability of observing `basis_state` on full measurement. */
+  double probability_of( uint64_t basis_state ) const;
+
+  /*! \brief All 2^n outcome probabilities. */
+  std::vector<double> probabilities() const;
+
+  /*! \brief Samples a full measurement without collapsing the state. */
+  uint64_t sample( std::mt19937_64& rng ) const;
+
+  /*! \brief Measurement outcomes recorded so far (qubit, bit). */
+  const std::vector<std::pair<uint32_t, bool>>& measurement_record() const noexcept
+  {
+    return measurements_;
+  }
+
+  /*! \brief Squared norm (should stay 1 within numerical error). */
+  double norm() const;
+
+private:
+  void apply_single_qubit( const std::array<amplitude, 4>& matrix, uint32_t qubit );
+  void apply_controlled_single_qubit( const std::array<amplitude, 4>& matrix,
+                                      const std::vector<uint32_t>& controls, uint32_t qubit );
+  void apply_swap( uint32_t a, uint32_t b );
+  bool measure_qubit( uint32_t qubit );
+
+  uint32_t num_qubits_;
+  std::vector<amplitude> state_;
+  std::mt19937_64 rng_;
+  std::vector<std::pair<uint32_t, bool>> measurements_;
+};
+
+/*! \brief Runs `circuit` `shots` times and histograms the outcomes of the
+ *         measured qubits (bit i of the key = i-th measured qubit).
+ *         The unitary part is simulated once; sampling reuses the state.
+ */
+std::map<uint64_t, uint64_t> sample_counts( const qcircuit& circuit, uint64_t shots,
+                                            uint64_t seed = 1u );
+
+/*! \brief Formats an outcome as a bit string (LSB = qubit 0, printed last,
+ *         matching the paper's Fig. 6 axis labels).
+ */
+std::string format_outcome( uint64_t outcome, uint32_t num_bits );
+
+} // namespace qda

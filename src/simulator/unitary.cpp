@@ -1,0 +1,166 @@
+#include "simulator/unitary.hpp"
+
+#include "simulator/statevector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qda
+{
+
+unitary_matrix build_unitary( const qcircuit& circuit )
+{
+  if ( circuit.has_measurements() )
+  {
+    throw std::invalid_argument( "build_unitary: circuit contains measurements" );
+  }
+  if ( circuit.num_qubits() > 12u )
+  {
+    throw std::invalid_argument( "build_unitary: too many qubits for explicit matrix" );
+  }
+  const uint64_t dimension = uint64_t{ 1 } << circuit.num_qubits();
+  unitary_matrix result( dimension );
+  statevector_simulator simulator( circuit.num_qubits() );
+  for ( uint64_t column = 0u; column < dimension; ++column )
+  {
+    simulator.set_basis_state( column );
+    simulator.run( circuit );
+    result[column] = simulator.state();
+  }
+  return result;
+}
+
+bool unitaries_equal_up_to_phase( const unitary_matrix& a, const unitary_matrix& b,
+                                  double tolerance )
+{
+  if ( a.size() != b.size() )
+  {
+    return false;
+  }
+  /* find the globally largest element of a, then derive the phase from it
+   * (deriving from intermediate scan candidates would compare numerical
+   * noise in a against exact zeros in b) */
+  double best = 0.0;
+  uint64_t best_column = 0u;
+  uint64_t best_row = 0u;
+  for ( uint64_t column = 0u; column < a.size(); ++column )
+  {
+    for ( uint64_t row = 0u; row < a[column].size(); ++row )
+    {
+      const double magnitude = std::abs( a[column][row] );
+      if ( magnitude > best )
+      {
+        best = magnitude;
+        best_column = column;
+        best_row = row;
+      }
+    }
+  }
+  if ( best < tolerance )
+  {
+    return true; /* both all-zero (degenerate) */
+  }
+  if ( std::abs( b[best_column][best_row] ) < tolerance )
+  {
+    return false;
+  }
+  const std::complex<double> phase = a[best_column][best_row] / b[best_column][best_row];
+  if ( std::abs( std::abs( phase ) - 1.0 ) > tolerance )
+  {
+    return false;
+  }
+  for ( uint64_t column = 0u; column < a.size(); ++column )
+  {
+    if ( a[column].size() != b[column].size() )
+    {
+      return false;
+    }
+    for ( uint64_t row = 0u; row < a[column].size(); ++row )
+    {
+      if ( std::abs( a[column][row] - phase * b[column][row] ) > tolerance )
+      {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool circuits_equivalent( const qcircuit& a, const qcircuit& b, double tolerance )
+{
+  if ( a.num_qubits() != b.num_qubits() )
+  {
+    return false;
+  }
+  return unitaries_equal_up_to_phase( build_unitary( a ), build_unitary( b ), tolerance );
+}
+
+bool circuit_implements_permutation( const qcircuit& circuit, const std::vector<uint64_t>& images,
+                                     bool up_to_phase, double tolerance )
+{
+  const uint64_t dimension = uint64_t{ 1 } << circuit.num_qubits();
+  if ( images.size() != dimension )
+  {
+    return false;
+  }
+  statevector_simulator simulator( circuit.num_qubits() );
+  for ( uint64_t column = 0u; column < dimension; ++column )
+  {
+    simulator.set_basis_state( column );
+    simulator.run( circuit );
+    const auto& state = simulator.state();
+    for ( uint64_t row = 0u; row < dimension; ++row )
+    {
+      const double magnitude = std::abs( state[row] );
+      if ( row == images[column] )
+      {
+        if ( up_to_phase ? std::abs( magnitude - 1.0 ) > tolerance
+                         : std::abs( state[row] - 1.0 ) > tolerance )
+        {
+          return false;
+        }
+      }
+      else if ( magnitude > tolerance )
+      {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool circuit_implements_permutation_with_helpers( const qcircuit& circuit, uint32_t num_lines,
+                                                  const std::vector<uint64_t>& images,
+                                                  bool up_to_phase, double tolerance )
+{
+  if ( images.size() != ( uint64_t{ 1 } << num_lines ) || circuit.num_qubits() < num_lines )
+  {
+    return false;
+  }
+  statevector_simulator simulator( circuit.num_qubits() );
+  for ( uint64_t column = 0u; column < images.size(); ++column )
+  {
+    simulator.set_basis_state( column ); /* helpers = 0 */
+    simulator.run( circuit );
+    const auto& state = simulator.state();
+    for ( uint64_t row = 0u; row < state.size(); ++row )
+    {
+      const double magnitude = std::abs( state[row] );
+      if ( row == images[column] )
+      {
+        if ( up_to_phase ? std::abs( magnitude - 1.0 ) > tolerance
+                         : std::abs( state[row] - 1.0 ) > tolerance )
+        {
+          return false;
+        }
+      }
+      else if ( magnitude > tolerance )
+      {
+        return false; /* includes non-zero helper outputs */
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace qda

@@ -1,0 +1,50 @@
+/*! \file unitary.hpp
+ *  \brief Explicit unitary construction and equivalence checking.
+ *
+ *  Verification backend (paper Sec. IX): builds the 2^n x 2^n matrix of
+ *  a circuit column by column and compares circuits up to global phase.
+ *  Exponential, so intended for n <= 12; larger circuits are checked by
+ *  statevector probing.
+ */
+#pragma once
+
+#include "quantum/qcircuit.hpp"
+
+#include <complex>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief Column-major unitary: element(row, column) = matrix[column][row]. */
+using unitary_matrix = std::vector<std::vector<std::complex<double>>>;
+
+/*! \brief Builds the full unitary of a measurement-free circuit. */
+unitary_matrix build_unitary( const qcircuit& circuit );
+
+/*! \brief True if two unitaries agree up to a global phase. */
+bool unitaries_equal_up_to_phase( const unitary_matrix& a, const unitary_matrix& b,
+                                  double tolerance = 1e-9 );
+
+/*! \brief True if two circuits implement the same unitary up to phase.
+ *         Both must be measurement-free; qubit counts must match.
+ */
+bool circuits_equivalent( const qcircuit& a, const qcircuit& b, double tolerance = 1e-9 );
+
+/*! \brief True if the circuit implements the classical permutation
+ *         `images` (up to per-state phases if `up_to_phase`).
+ */
+bool circuit_implements_permutation( const qcircuit& circuit,
+                                     const std::vector<uint64_t>& images,
+                                     bool up_to_phase = false, double tolerance = 1e-9 );
+
+/*! \brief Checks that a circuit over more qubits than `images` covers
+ *         implements the permutation on the low lines with helper qubits
+ *         starting and ending in |0>.
+ */
+bool circuit_implements_permutation_with_helpers( const qcircuit& circuit, uint32_t num_lines,
+                                                  const std::vector<uint64_t>& images,
+                                                  bool up_to_phase = false,
+                                                  double tolerance = 1e-9 );
+
+} // namespace qda

@@ -1,0 +1,161 @@
+#include "synthesis/arithmetic.hpp"
+
+#include "synthesis/revgen.hpp"
+
+#include <stdexcept>
+
+namespace qda
+{
+
+namespace
+{
+
+/*! MAJ block on (carry, b, a): afterwards a holds the carry-out. */
+void append_maj( rev_circuit& circuit, uint32_t carry, uint32_t b, uint32_t a )
+{
+  circuit.add_cnot( a, b );
+  circuit.add_cnot( a, carry );
+  circuit.add_toffoli( carry, b, a );
+}
+
+/*! UMA block on (carry, b, a): afterwards b holds the sum bit and the
+ *  carry and a lines are restored.
+ */
+void append_uma( rev_circuit& circuit, uint32_t carry, uint32_t b, uint32_t a )
+{
+  circuit.add_toffoli( carry, b, a );
+  circuit.add_cnot( a, carry );
+  circuit.add_cnot( carry, b );
+}
+
+void check_width( uint32_t num_bits, uint32_t lines_needed )
+{
+  if ( num_bits == 0u )
+  {
+    throw std::invalid_argument( "arithmetic: need at least one bit" );
+  }
+  if ( lines_needed > 64u )
+  {
+    throw std::invalid_argument( "arithmetic: operand too wide for 64 lines" );
+  }
+}
+
+} // namespace
+
+rev_circuit ripple_carry_adder( uint32_t num_bits )
+{
+  check_width( num_bits, 2u * num_bits + 2u );
+  rev_circuit circuit( 2u * num_bits + 2u );
+  const auto a_line = [&]( uint32_t i ) { return 1u + i; };
+  const auto b_line = [&]( uint32_t i ) { return num_bits + 1u + i; };
+  const uint32_t carry_out = 2u * num_bits + 1u;
+
+  append_maj( circuit, 0u, b_line( 0u ), a_line( 0u ) );
+  for ( uint32_t i = 1u; i < num_bits; ++i )
+  {
+    append_maj( circuit, a_line( i - 1u ), b_line( i ), a_line( i ) );
+  }
+  circuit.add_cnot( a_line( num_bits - 1u ), carry_out );
+  for ( uint32_t i = num_bits; i-- > 1u; )
+  {
+    append_uma( circuit, a_line( i - 1u ), b_line( i ), a_line( i ) );
+  }
+  append_uma( circuit, 0u, b_line( 0u ), a_line( 0u ) );
+  return circuit;
+}
+
+rev_circuit modular_ripple_adder( uint32_t num_bits )
+{
+  check_width( num_bits, 2u * num_bits + 1u );
+  rev_circuit circuit( 2u * num_bits + 1u );
+  const auto a_line = [&]( uint32_t i ) { return 1u + i; };
+  const auto b_line = [&]( uint32_t i ) { return num_bits + 1u + i; };
+
+  append_maj( circuit, 0u, b_line( 0u ), a_line( 0u ) );
+  for ( uint32_t i = 1u; i < num_bits; ++i )
+  {
+    append_maj( circuit, a_line( i - 1u ), b_line( i ), a_line( i ) );
+  }
+  for ( uint32_t i = num_bits; i-- > 1u; )
+  {
+    append_uma( circuit, a_line( i - 1u ), b_line( i ), a_line( i ) );
+  }
+  append_uma( circuit, 0u, b_line( 0u ), a_line( 0u ) );
+  return circuit;
+}
+
+rev_circuit modular_ripple_subtractor( uint32_t num_bits )
+{
+  /* b - a = ~(~b + a): conjugate the adder with X on the b register */
+  const auto adder = modular_ripple_adder( num_bits );
+  rev_circuit circuit( adder.num_lines() );
+  for ( uint32_t i = 0u; i < num_bits; ++i )
+  {
+    circuit.add_not( num_bits + 1u + i );
+  }
+  circuit.append( adder );
+  for ( uint32_t i = 0u; i < num_bits; ++i )
+  {
+    circuit.add_not( num_bits + 1u + i );
+  }
+  return circuit;
+}
+
+rev_circuit constant_adder( uint32_t num_bits, uint64_t constant )
+{
+  check_width( num_bits, 2u * num_bits + 1u );
+  /* layout: b on lines 0..n-1, carry helper on line n, constant register
+   * on lines n+1..2n (loaded, used as operand a, unloaded) */
+  rev_circuit circuit( 2u * num_bits + 1u );
+  const auto load = [&]() {
+    for ( uint32_t i = 0u; i < num_bits; ++i )
+    {
+      if ( ( constant >> i ) & 1u )
+      {
+        circuit.add_not( num_bits + 1u + i );
+      }
+    }
+  };
+
+  load();
+  /* inline the modular adder with remapped lines:
+   * adder line 0 -> n (carry), 1+i -> n+1+i (a), n+1+i -> i (b) */
+  const auto adder = modular_ripple_adder( num_bits );
+  const auto remap = [&]( uint32_t line ) -> uint32_t {
+    if ( line == 0u )
+    {
+      return num_bits;
+    }
+    if ( line <= num_bits )
+    {
+      return num_bits + line; /* a_i: 1+i -> n+1+i */
+    }
+    return line - num_bits - 1u; /* b_i: n+1+i -> i */
+  };
+  for ( const auto& gate : adder.gates() )
+  {
+    uint64_t controls = 0u;
+    uint64_t polarity = 0u;
+    for ( uint32_t line = 0u; line < adder.num_lines(); ++line )
+    {
+      if ( ( gate.controls >> line ) & 1u )
+      {
+        controls |= uint64_t{ 1 } << remap( line );
+        if ( ( gate.polarity >> line ) & 1u )
+        {
+          polarity |= uint64_t{ 1 } << remap( line );
+        }
+      }
+    }
+    circuit.add_gate( rev_gate( controls, polarity, remap( gate.target ) ) );
+  }
+  load(); /* restore the constant register to zero */
+  return circuit;
+}
+
+permutation adder_permutation_for_fixed_a( uint32_t num_bits, uint64_t a_value )
+{
+  return modular_adder_permutation( num_bits, a_value );
+}
+
+} // namespace qda

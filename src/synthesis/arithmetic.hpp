@@ -1,0 +1,51 @@
+/*! \file arithmetic.hpp
+ *  \brief Hand-optimized reversible arithmetic building blocks.
+ *
+ *  Typical quantum algorithms need classical arithmetic evaluated on a
+ *  superposition of inputs -- the paper's Sec. II names modular
+ *  exponentiation in Shor's algorithm as the canonical example, and
+ *  Sec. IV describes today's flows as relying on "predefined library
+ *  components for which manually derived quantum circuits exist".
+ *  This module provides exactly such a component library (the
+ *  Cuccaro-Draper-Kutin-Moulton ripple-carry adder family) so the
+ *  benchmarks can compare manual components against the automatic
+ *  synthesis flows on the same functions.
+ *
+ *  Line layout of the adder circuits (n-bit operands):
+ *    line 0            : carry ancilla (starts and ends 0)
+ *    lines 1 .. n      : operand a (a_0 on line 1)
+ *    lines n+1 .. 2n   : operand b; replaced by the sum
+ *    line 2n+1         : carry-out (full adder only)
+ */
+#pragma once
+
+#include "reversible/rev_circuit.hpp"
+
+#include <cstdint>
+
+namespace qda
+{
+
+/*! \brief CDKM ripple-carry adder: |0>|a>|b>|z> -> |0>|a>|a+b mod 2^n>|z xor c_out>. */
+rev_circuit ripple_carry_adder( uint32_t num_bits );
+
+/*! \brief Modular variant without carry-out: |0>|a>|b> -> |0>|a>|a+b mod 2^n>. */
+rev_circuit modular_ripple_adder( uint32_t num_bits );
+
+/*! \brief Subtractor built by conjugating the adder:
+ *         |0>|a>|b> -> |0>|a>|b - a mod 2^n>.
+ */
+rev_circuit modular_ripple_subtractor( uint32_t num_bits );
+
+/*! \brief Adds the classical constant c: |b> -> |b + c mod 2^n> using a
+ *         borrowed ancilla register (lines n.. are n+1 clean helpers).
+ */
+rev_circuit constant_adder( uint32_t num_bits, uint64_t constant );
+
+/*! \brief The permutation computed on the b register by a+b (for
+ *         verification and for feeding the generic synthesis flows):
+ *         a is fixed.
+ */
+permutation adder_permutation_for_fixed_a( uint32_t num_bits, uint64_t a_value );
+
+} // namespace qda

@@ -1,0 +1,149 @@
+#include "synthesis/bdd_based.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace qda
+{
+
+namespace
+{
+
+/*! Appends the gates computing one BDD node onto line `target`.
+ *
+ *  node value = x ? high : low; terminals contribute constants:
+ *    t ^= x . high_value   (omitted if high is constant 0)
+ *    t ^= !x . low_value   (omitted if low is constant 0)
+ */
+void append_node_gates( rev_circuit& circuit, uint32_t var_line, uint32_t target,
+                        bool high_terminal, bool high_value, uint32_t high_line,
+                        bool low_terminal, bool low_value, uint32_t low_line )
+{
+  const uint64_t var_bit = uint64_t{ 1 } << var_line;
+  if ( high_terminal )
+  {
+    if ( high_value )
+    {
+      circuit.add_gate( rev_gate( var_bit, var_bit, target ) ); /* t ^= x */
+    }
+  }
+  else
+  {
+    const uint64_t mask = var_bit | ( uint64_t{ 1 } << high_line );
+    circuit.add_gate( rev_gate( mask, mask, target ) ); /* t ^= x.high */
+  }
+  if ( low_terminal )
+  {
+    if ( low_value )
+    {
+      circuit.add_gate( rev_gate( var_bit, 0u, target ) ); /* t ^= !x */
+    }
+  }
+  else
+  {
+    const uint64_t mask = var_bit | ( uint64_t{ 1 } << low_line );
+    circuit.add_gate( rev_gate( mask, mask ^ var_bit, target ) ); /* t ^= !x.low */
+  }
+}
+
+} // namespace
+
+hierarchical_synthesis_result bdd_based_synthesis( bdd_manager& manager,
+                                                   const std::vector<bdd_node>& roots,
+                                                   bool uncompute_garbage )
+{
+  const uint32_t num_inputs = manager.num_vars();
+
+  /* collect all nodes over all roots, children first, no duplicates */
+  std::vector<bdd_node> order;
+  std::unordered_map<bdd_node, uint32_t> node_line;
+  for ( const auto root : roots )
+  {
+    for ( const auto node : manager.topological_order( root ) )
+    {
+      if ( !node_line.count( node ) )
+      {
+        node_line.emplace( node, 0u ); /* line assigned below */
+        order.push_back( node );
+      }
+    }
+  }
+
+  const uint32_t num_node_lines = static_cast<uint32_t>( order.size() );
+  const uint32_t num_output_lines = uncompute_garbage ? static_cast<uint32_t>( roots.size() ) : 0u;
+  const uint32_t total_lines = num_inputs + num_node_lines + num_output_lines;
+  if ( total_lines > 64u )
+  {
+    throw std::invalid_argument( "bdd_based_synthesis: function needs more than 64 lines" );
+  }
+
+  rev_circuit circuit( total_lines );
+  for ( uint32_t i = 0u; i < num_node_lines; ++i )
+  {
+    node_line[order[i]] = num_inputs + i;
+  }
+
+  const auto compute_cascade = [&]( rev_circuit& target_circuit ) {
+    for ( const auto node : order )
+    {
+      const auto low = manager.node_low( node );
+      const auto high = manager.node_high( node );
+      append_node_gates( target_circuit, manager.node_var( node ), node_line[node],
+                         manager.is_terminal( high ), high == manager.constant( true ),
+                         manager.is_terminal( high ) ? 0u : node_line[high],
+                         manager.is_terminal( low ), low == manager.constant( true ),
+                         manager.is_terminal( low ) ? 0u : node_line[low] );
+    }
+  };
+  compute_cascade( circuit );
+
+  hierarchical_synthesis_result result{ std::move( circuit ), {}, num_node_lines + num_output_lines,
+                                        0u };
+
+  if ( !uncompute_garbage )
+  {
+    for ( const auto root : roots )
+    {
+      if ( manager.is_terminal( root ) )
+      {
+        throw std::invalid_argument( "bdd_based_synthesis: constant root without output copy" );
+      }
+      result.output_lines.push_back( node_line[root] );
+    }
+    result.num_garbage = num_node_lines;
+    return result;
+  }
+
+  /* copy outputs, then uncompute the node cascade in reverse */
+  for ( uint32_t j = 0u; j < roots.size(); ++j )
+  {
+    const uint32_t output_line = num_inputs + num_node_lines + j;
+    result.output_lines.push_back( output_line );
+    if ( manager.is_terminal( roots[j] ) )
+    {
+      if ( roots[j] == manager.constant( true ) )
+      {
+        result.circuit.add_not( output_line );
+      }
+    }
+    else
+    {
+      result.circuit.add_cnot( node_line[roots[j]], output_line );
+    }
+  }
+  rev_circuit uncompute( result.circuit.num_lines() );
+  compute_cascade( uncompute );
+  result.circuit.append( uncompute.inverse() );
+  result.num_garbage = 0u;
+  return result;
+}
+
+hierarchical_synthesis_result bdd_based_synthesis( const truth_table& function,
+                                                   bool uncompute_garbage )
+{
+  bdd_manager manager( function.num_vars() );
+  const auto root = manager.from_truth_table( function );
+  return bdd_based_synthesis( manager, { root }, uncompute_garbage );
+}
+
+} // namespace qda

@@ -1,0 +1,48 @@
+/*! \file bdd_based.hpp
+ *  \brief Hierarchical BDD-based reversible synthesis (Wille-Drechsler).
+ *
+ *  Scalable synthesis for large functions (paper Sec. V, ref [45]):
+ *  every internal BDD node is computed onto a fresh ancilla line with a
+ *  two-gate multiplexer template
+ *
+ *      t  ^=  x . f_high   ;   t  ^=  !x . f_low
+ *
+ *  so the number of ancillae equals the number of BDD nodes.  The
+ *  resulting circuit leaves intermediate node values as garbage; the
+ *  `uncompute_garbage` option restores them with a mirrored cascade
+ *  after copying the outputs (Bennett compute-copy-uncompute).
+ */
+#pragma once
+
+#include "bdd/bdd.hpp"
+#include "reversible/rev_circuit.hpp"
+
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief Result of hierarchical synthesis: circuit plus line roles. */
+struct hierarchical_synthesis_result
+{
+  rev_circuit circuit;               /*!< the synthesized circuit */
+  std::vector<uint32_t> output_lines; /*!< line carrying each output */
+  uint32_t num_ancillae = 0u;        /*!< helper lines beyond the inputs */
+  uint32_t num_garbage = 0u;         /*!< ancillae left in a non-zero state */
+};
+
+/*! \brief BDD-based synthesis of the functions rooted at `roots`.
+ *
+ *  With `uncompute_garbage`, output values are copied to dedicated
+ *  lines and all node ancillae are returned to |0> (doubling the gate
+ *  count, paper Sec. V ancilla discussion).
+ */
+hierarchical_synthesis_result bdd_based_synthesis( bdd_manager& manager,
+                                                   const std::vector<bdd_node>& roots,
+                                                   bool uncompute_garbage = false );
+
+/*! \brief Convenience: builds the BDD of `function` first. */
+hierarchical_synthesis_result bdd_based_synthesis( const truth_table& function,
+                                                   bool uncompute_garbage = false );
+
+} // namespace qda

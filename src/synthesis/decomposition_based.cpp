@@ -1,0 +1,202 @@
+#include "synthesis/decomposition_based.hpp"
+
+#include "kernel/bits.hpp"
+#include "synthesis/single_target.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace qda
+{
+
+namespace
+{
+
+/*! Control functions of the two single-target gates of one variable step. */
+struct variable_step
+{
+  truth_table right; /*!< control function of R_i (over all n vars, ignoring x_i) */
+  truth_table left;  /*!< control function of L_i */
+  bool trivial;      /*!< true if bit i was already preserved */
+};
+
+/*! Computes R_i and L_i such that L_i o pi o R_i preserves bit `var`,
+ *  then replaces `images` by the middle permutation.
+ */
+variable_step decompose_variable( std::vector<uint64_t>& images, uint32_t num_vars, uint32_t var )
+{
+  const uint64_t size = images.size();
+  const uint64_t bit = uint64_t{ 1 } << var;
+
+  variable_step step{ truth_table( num_vars ), truth_table( num_vars ), true };
+
+  for ( uint64_t x = 0u; x < size; ++x )
+  {
+    if ( ( images[x] & bit ) != ( x & bit ) )
+    {
+      step.trivial = false;
+      break;
+    }
+  }
+  if ( step.trivial )
+  {
+    return step;
+  }
+
+  /* inverse for preimage lookups */
+  std::vector<uint64_t> inverse( size );
+  for ( uint64_t x = 0u; x < size; ++x )
+  {
+    inverse[images[x]] = x;
+  }
+
+  /* slot assignment: r(rep) = which element of the input pair goes
+   * through the middle with bit var = 0; l derived from slot-0 values */
+  std::vector<int8_t> r_assignment( size, -1 ); /* indexed by input rep (bit var = 0) */
+
+  for ( uint64_t start = 0u; start < size; ++start )
+  {
+    if ( ( start & bit ) != 0u || r_assignment[start] != -1 )
+    {
+      continue;
+    }
+    uint64_t rep = start;
+    uint8_t r_value = 0u;
+    r_assignment[rep] = 0;
+    while ( true )
+    {
+      /* slot-0 value of this input pair */
+      const uint64_t slot0 = images[rep | ( r_value ? bit : 0u )];
+      /* L must clear bit var on slot0 (and consequently set it on its partner) */
+      const uint64_t out_rep = slot0 & ~bit;
+      if ( ( slot0 & bit ) != 0u )
+      {
+        step.left.set_bit( out_rep, true );
+        step.left.set_bit( out_rep | bit, true );
+      }
+      /* the partner element must exit through slot 1; force its input pair */
+      const uint64_t partner_preimage = inverse[slot0 ^ bit];
+      const uint64_t next_rep = partner_preimage & ~bit;
+      const uint8_t occupied_side = ( partner_preimage & bit ) ? 1u : 0u;
+      const uint8_t forced_r = occupied_side ^ 1u;
+      if ( r_assignment[next_rep] != -1 )
+      {
+        if ( r_assignment[next_rep] != static_cast<int8_t>( forced_r ) )
+        {
+          throw std::logic_error( "decomposition_based_synthesis: inconsistent cycle coloring" );
+        }
+        break; /* cycle closed */
+      }
+      r_assignment[next_rep] = static_cast<int8_t>( forced_r );
+      rep = next_rep;
+      r_value = forced_r;
+    }
+  }
+
+  /* expand r assignment into a truth table (independent of x_var) */
+  for ( uint64_t rep = 0u; rep < size; ++rep )
+  {
+    if ( ( rep & bit ) != 0u )
+    {
+      continue;
+    }
+    if ( r_assignment[rep] == 1 )
+    {
+      step.right.set_bit( rep, true );
+      step.right.set_bit( rep | bit, true );
+    }
+  }
+
+  /* middle permutation: pi' = L o pi o R */
+  std::vector<uint64_t> middle( size );
+  for ( uint64_t x = 0u; x < size; ++x )
+  {
+    const uint64_t after_r = step.right.get_bit( x ) ? ( x ^ bit ) : x;
+    uint64_t y = images[after_r];
+    if ( step.left.get_bit( y ) )
+    {
+      y ^= bit;
+    }
+    middle[x] = y;
+  }
+  images = std::move( middle );
+  return step;
+}
+
+/*! Restricts a truth table that is independent of `var` to the other
+ *  variables (ascending order).
+ */
+truth_table restrict_away( const truth_table& function, uint32_t var )
+{
+  const uint32_t num_vars = function.num_vars();
+  truth_table result( num_vars - 1u );
+  for ( uint64_t x = 0u; x < result.num_bits(); ++x )
+  {
+    /* insert a zero bit at position var */
+    const uint64_t low = x & ( ( uint64_t{ 1 } << var ) - 1u );
+    const uint64_t high = ( x >> var ) << ( var + 1u );
+    result.set_bit( x, function.get_bit( high | low ) );
+  }
+  return result;
+}
+
+std::vector<uint32_t> other_lines( uint32_t num_vars, uint32_t var )
+{
+  std::vector<uint32_t> lines;
+  lines.reserve( num_vars - 1u );
+  for ( uint32_t line = 0u; line < num_vars; ++line )
+  {
+    if ( line != var )
+    {
+      lines.push_back( line );
+    }
+  }
+  return lines;
+}
+
+} // namespace
+
+rev_circuit decomposition_based_synthesis( const permutation& target )
+{
+  const uint32_t num_vars = target.num_vars();
+  std::vector<uint64_t> images = target.images();
+
+  rev_circuit front( num_vars );
+  std::vector<std::pair<truth_table, uint32_t>> back_gates; /* (control function, var) */
+
+  for ( uint32_t var = 0u; var < num_vars; ++var )
+  {
+    const auto step = decompose_variable( images, num_vars, var );
+    if ( step.trivial )
+    {
+      continue;
+    }
+    if ( !step.right.is_constant0() )
+    {
+      append_single_target_gate( front, restrict_away( step.right, var ),
+                                 other_lines( num_vars, var ), var );
+    }
+    if ( !step.left.is_constant0() )
+    {
+      back_gates.emplace_back( restrict_away( step.left, var ), var );
+    }
+  }
+
+  /* middle must now be the identity */
+  for ( uint64_t x = 0u; x < images.size(); ++x )
+  {
+    if ( images[x] != x )
+    {
+      throw std::logic_error( "decomposition_based_synthesis: residual permutation not identity" );
+    }
+  }
+
+  /* assemble R_0 .. R_{n-1} (already in `front`) then L_{n-1} .. L_0 */
+  for ( auto it = back_gates.rbegin(); it != back_gates.rend(); ++it )
+  {
+    append_single_target_gate( front, it->first, other_lines( num_vars, it->second ), it->second );
+  }
+  return front;
+}
+
+} // namespace qda

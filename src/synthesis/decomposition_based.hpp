@@ -1,0 +1,38 @@
+/*! \file decomposition_based.hpp
+ *  \brief Decomposition-based reversible synthesis (Young subgroups).
+ *
+ *  The algorithm behind RevKit's `dbs` command that the paper selects
+ *  for the inverse permutation oracle in Fig. 7
+ *  (`PermutationOracle(pi, synth=revkit.dbs)`), following De Vos and
+ *  Van Rentergem [47] and the symbolic formulation of [46], [52].
+ *
+ *  For each variable i the permutation is decomposed as
+ *
+ *      pi = L_i o pi' o R_i
+ *
+ *  where L_i and R_i are single-target gates acting on line i (controls
+ *  on the remaining lines) and pi' no longer moves bit i.  After all n
+ *  variables are processed the middle permutation is the identity, and
+ *  the circuit is R_0 R_1 ... R_{n-1} L_{n-1} ... L_1 L_0 with each
+ *  single-target gate lowered to MCT gates through an ESOP cover.
+ *
+ *  The per-variable control functions are found by walking the cycles
+ *  of the bipartite pairing between input pairs {x, x xor e_i} and
+ *  output pairs {pi(x), pi(x xor e_i)} and 2-coloring the slots.
+ */
+#pragma once
+
+#include "kernel/permutation.hpp"
+#include "reversible/rev_circuit.hpp"
+
+namespace qda
+{
+
+/*! \brief Ancilla-free decomposition-based synthesis.
+ *
+ *  Returns an MCT circuit over `target.num_vars()` lines computing the
+ *  permutation; at most 2n single-target gates are generated.
+ */
+rev_circuit decomposition_based_synthesis( const permutation& target );
+
+} // namespace qda

@@ -1,0 +1,103 @@
+#include "synthesis/embedding.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qda
+{
+
+permutation bennett_embedding( const std::vector<truth_table>& outputs )
+{
+  if ( outputs.empty() )
+  {
+    throw std::invalid_argument( "bennett_embedding: no outputs" );
+  }
+  const uint32_t n = outputs.front().num_vars();
+  const uint32_t m = static_cast<uint32_t>( outputs.size() );
+  for ( const auto& output : outputs )
+  {
+    if ( output.num_vars() != n )
+    {
+      throw std::invalid_argument( "bennett_embedding: mixed input arities" );
+    }
+  }
+  if ( n + m > 20u )
+  {
+    throw std::invalid_argument( "bennett_embedding: explicit table would be too large" );
+  }
+
+  permutation result( n + m );
+  const uint64_t x_mask = ( uint64_t{ 1 } << n ) - 1u;
+  for ( uint64_t row = 0u; row < result.size(); ++row )
+  {
+    const uint64_t x = row & x_mask;
+    uint64_t y = row >> n;
+    for ( uint32_t j = 0u; j < m; ++j )
+    {
+      if ( outputs[j].get_bit( x ) )
+      {
+        y ^= uint64_t{ 1 } << j;
+      }
+    }
+    result.set_image( row, x | ( y << n ) );
+  }
+  return result;
+}
+
+permutation bennett_embedding( const truth_table& output )
+{
+  return bennett_embedding( std::vector<truth_table>{ output } );
+}
+
+permutation greedy_embedding( const truth_table& output )
+{
+  const uint32_t n = output.num_vars();
+  if ( n + 1u > 20u )
+  {
+    throw std::invalid_argument( "greedy_embedding: explicit table would be too large" );
+  }
+  const uint64_t size = uint64_t{ 2 } << n;
+
+  /* row layout: extra ancilla input bit is the MSB; output bit 0 must be
+   * f(x) on ancilla = 0 rows.  Remaining images are matched greedily so
+   * that the whole mapping is a bijection. */
+  std::vector<int64_t> image( size, -1 );
+  std::vector<bool> used( size, false );
+
+  /* first pass: fix rows with ancilla = 0 to an image whose bit 0 is f(x),
+   * preferring the image that keeps x's bits unchanged */
+  for ( uint64_t x = 0u; x < size / 2u; ++x )
+  {
+    const uint64_t want_bit = output.get_bit( x ) ? 1u : 0u;
+    const uint64_t preferred = ( ( x << 1u ) & ( size - 1u ) ) | want_bit;
+    uint64_t candidate = preferred;
+    while ( used[candidate] )
+    {
+      candidate = ( candidate + 2u ) % size; /* keep output bit 0 fixed */
+      if ( candidate == preferred )
+      {
+        throw std::logic_error( "greedy_embedding: no candidate image left" );
+      }
+    }
+    image[x] = static_cast<int64_t>( candidate );
+    used[candidate] = true;
+  }
+  /* second pass: fill the ancilla = 1 rows with the remaining images */
+  uint64_t next_unused = 0u;
+  for ( uint64_t row = size / 2u; row < size; ++row )
+  {
+    while ( used[next_unused] )
+    {
+      ++next_unused;
+    }
+    image[row] = static_cast<int64_t>( next_unused );
+    used[next_unused] = true;
+  }
+
+  std::vector<uint64_t> images( size );
+  std::transform( image.begin(), image.end(), images.begin(),
+                  []( int64_t v ) { return static_cast<uint64_t>( v ); } );
+  return permutation::from_vector( std::move( images ) );
+}
+
+} // namespace qda

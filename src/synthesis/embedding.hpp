@@ -1,0 +1,40 @@
+/*! \file embedding.hpp
+ *  \brief Embedding irreversible functions into permutations.
+ *
+ *  Reversible synthesis algorithms that take a permutation as input
+ *  (TBS, DBS) cannot directly process an irreversible f : B^n -> B^m;
+ *  f must first be embedded into a reversible function over r >= n
+ *  lines (paper Sec. V, Eq. (2)/(3)).  This module provides the
+ *  standard Bennett embedding g(x, y) = (x, y xor f(x)) and a greedy
+ *  minimal-garbage embedding for single-output functions.
+ */
+#pragma once
+
+#include "kernel/permutation.hpp"
+#include "kernel/truth_table.hpp"
+
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief Bennett embedding of a multi-output function:
+ *         permutation over n + m lines with (x, y) -> (x, y xor f(x)).
+ *         Inputs on the low n bits.
+ */
+permutation bennett_embedding( const std::vector<truth_table>& outputs );
+
+/*! \brief Single-output convenience overload (n + 1 lines). */
+permutation bennett_embedding( const truth_table& output );
+
+/*! \brief Greedy minimal-line embedding of a single-output function.
+ *
+ *  Embeds f over r = n + 1 lines such that the least significant output
+ *  bit equals f(x) when the extra input bit is 0, permuting the
+ *  remaining output patterns greedily to preserve as many input bits as
+ *  possible (a practical stand-in for the coNP-hard exact embedding of
+ *  paper ref [53]).
+ */
+permutation greedy_embedding( const truth_table& output );
+
+} // namespace qda

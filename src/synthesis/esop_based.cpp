@@ -1,0 +1,42 @@
+#include "synthesis/esop_based.hpp"
+
+#include "synthesis/single_target.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace qda
+{
+
+rev_circuit esop_based_synthesis( const std::vector<truth_table>& outputs )
+{
+  if ( outputs.empty() )
+  {
+    throw std::invalid_argument( "esop_based_synthesis: no outputs" );
+  }
+  const uint32_t num_inputs = outputs.front().num_vars();
+  for ( const auto& output : outputs )
+  {
+    if ( output.num_vars() != num_inputs )
+    {
+      throw std::invalid_argument( "esop_based_synthesis: mixed input arities" );
+    }
+  }
+
+  rev_circuit circuit( num_inputs + static_cast<uint32_t>( outputs.size() ) );
+  std::vector<uint32_t> input_lines( num_inputs );
+  std::iota( input_lines.begin(), input_lines.end(), 0u );
+
+  for ( uint32_t j = 0u; j < outputs.size(); ++j )
+  {
+    append_single_target_gate( circuit, outputs[j], input_lines, num_inputs + j );
+  }
+  return circuit;
+}
+
+rev_circuit esop_based_synthesis( const truth_table& output )
+{
+  return esop_based_synthesis( std::vector<truth_table>{ output } );
+}
+
+} // namespace qda

@@ -1,0 +1,34 @@
+/*! \file esop_based.hpp
+ *  \brief ESOP-based reversible synthesis (Bennett embedding).
+ *
+ *  Realizes an irreversible function f : B^n -> B^m as the reversible
+ *  circuit for the Bennett embedding (paper Eq. (3))
+ *
+ *      |x>|y>  ->  |x>|y xor f(x)>
+ *
+ *  over n + m lines with no ancillae (paper Sec. V, refs [56]-[58]):
+ *  every cube of an ESOP cover of output j becomes one MCT gate
+ *  targeting line n + j.
+ */
+#pragma once
+
+#include "kernel/truth_table.hpp"
+#include "reversible/rev_circuit.hpp"
+
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief ESOP-based synthesis of a multi-output function.
+ *
+ *  All outputs must share the same input arity n; the result has
+ *  n + outputs.size() lines, inputs on lines 0..n-1, outputs XORed
+ *  onto lines n..n+m-1.
+ */
+rev_circuit esop_based_synthesis( const std::vector<truth_table>& outputs );
+
+/*! \brief Single-output convenience overload. */
+rev_circuit esop_based_synthesis( const truth_table& output );
+
+} // namespace qda

@@ -1,0 +1,141 @@
+#include "synthesis/exact.hpp"
+
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+namespace qda
+{
+
+exact_synthesizer::exact_synthesizer( uint32_t num_vars, bool mixed_polarity )
+    : num_vars_( num_vars )
+{
+  if ( num_vars == 0u || num_vars > 3u )
+  {
+    throw std::invalid_argument( "exact_synthesizer: supported widths are 1..3" );
+  }
+
+  /* gate library: every MCT gate on the lines */
+  for ( uint32_t target = 0u; target < num_vars; ++target )
+  {
+    const uint64_t others = ( ( uint64_t{ 1 } << num_vars ) - 1u ) & ~( uint64_t{ 1 } << target );
+    /* enumerate control subsets of `others` (descending submask walk) */
+    for ( uint64_t subset = others;; subset = ( subset - 1u ) & others )
+    {
+      if ( mixed_polarity )
+      {
+        for ( uint64_t polarity = subset;; polarity = ( polarity - 1u ) & subset )
+        {
+          library_.push_back( rev_gate( subset, polarity, target ) );
+          if ( polarity == 0u )
+          {
+            break;
+          }
+        }
+      }
+      else
+      {
+        library_.push_back( rev_gate( subset, subset, target ) );
+      }
+      if ( subset == 0u )
+      {
+        break;
+      }
+    }
+  }
+
+  /* BFS from the identity over output-side gate application */
+  std::vector<uint64_t> identity( uint64_t{ 1 } << num_vars );
+  std::iota( identity.begin(), identity.end(), uint64_t{ 0 } );
+  distance_.emplace( encode( identity ), 0u );
+
+  std::deque<std::vector<uint64_t>> frontier{ identity };
+  while ( !frontier.empty() )
+  {
+    const auto current = std::move( frontier.front() );
+    frontier.pop_front();
+    const uint16_t current_distance = distance_.at( encode( current ) );
+    for ( const auto& gate : library_ )
+    {
+      auto next = apply_gate_to_outputs( current, gate );
+      const uint64_t key = encode( next );
+      if ( !distance_.count( key ) )
+      {
+        distance_.emplace( key, current_distance + 1u );
+        frontier.push_back( std::move( next ) );
+      }
+    }
+  }
+}
+
+uint64_t exact_synthesizer::encode( const std::vector<uint64_t>& images ) const
+{
+  uint64_t key = 0u;
+  for ( const auto image : images )
+  {
+    key = ( key << 3u ) | image;
+  }
+  return key;
+}
+
+std::vector<uint64_t> exact_synthesizer::apply_gate_to_outputs(
+    const std::vector<uint64_t>& images, const rev_gate& gate ) const
+{
+  std::vector<uint64_t> result( images.size() );
+  for ( uint64_t x = 0u; x < images.size(); ++x )
+  {
+    result[x] = gate.apply( images[x] );
+  }
+  return result;
+}
+
+uint32_t exact_synthesizer::optimal_gate_count( const permutation& target ) const
+{
+  if ( target.num_vars() != num_vars_ )
+  {
+    throw std::invalid_argument( "exact_synthesizer: width mismatch" );
+  }
+  return distance_.at( encode( target.images() ) );
+}
+
+rev_circuit exact_synthesizer::synthesize( const permutation& target ) const
+{
+  if ( target.num_vars() != num_vars_ )
+  {
+    throw std::invalid_argument( "exact_synthesizer: width mismatch" );
+  }
+  rev_circuit circuit( num_vars_ );
+  std::vector<uint64_t> current = target.images();
+  std::vector<rev_gate> collected;
+  uint16_t remaining = distance_.at( encode( current ) );
+  while ( remaining > 0u )
+  {
+    bool advanced = false;
+    for ( const auto& gate : library_ )
+    {
+      const auto next = apply_gate_to_outputs( current, gate );
+      const auto it = distance_.find( encode( next ) );
+      if ( it != distance_.end() && it->second == remaining - 1u )
+      {
+        collected.push_back( gate );
+        current = next;
+        remaining = it->second;
+        advanced = true;
+        break;
+      }
+    }
+    if ( !advanced )
+    {
+      throw std::logic_error( "exact_synthesizer: BFS table inconsistent" );
+    }
+  }
+  /* collected gates reduce the permutation from the output side; the
+   * circuit applies them in reverse order */
+  for ( auto it = collected.rbegin(); it != collected.rend(); ++it )
+  {
+    circuit.add_gate( *it );
+  }
+  return circuit;
+}
+
+} // namespace qda

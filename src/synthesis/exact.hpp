@@ -1,0 +1,54 @@
+/*! \file exact.hpp
+ *  \brief Exact (gate-count optimal) reversible synthesis for small widths.
+ *
+ *  Breadth-first search over the full symmetric group reached by MCT
+ *  gates, in the spirit of paper ref [49] (exact synthesis of
+ *  elementary quantum gate circuits).  Feasible up to 3 lines
+ *  (8! = 40320 permutations); used by the benchmarks to measure the
+ *  optimality gap of the heuristic methods (TBS, DBS) on complete
+ *  enumerations.
+ */
+#pragma once
+
+#include "kernel/permutation.hpp"
+#include "reversible/rev_circuit.hpp"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief Optimal synthesizer with a precomputed BFS table. */
+class exact_synthesizer
+{
+public:
+  /*! \brief Precomputes distances for all permutations over `num_vars`
+   *         lines (num_vars <= 3).  `mixed_polarity` adds negative
+   *         controls to the gate library.
+   */
+  explicit exact_synthesizer( uint32_t num_vars, bool mixed_polarity = true );
+
+  uint32_t num_vars() const noexcept { return num_vars_; }
+
+  /*! \brief Minimal number of library gates realizing the permutation. */
+  uint32_t optimal_gate_count( const permutation& target ) const;
+
+  /*! \brief A gate-count optimal circuit for the permutation. */
+  rev_circuit synthesize( const permutation& target ) const;
+
+  /*! \brief The gate library used by the search. */
+  const std::vector<rev_gate>& library() const noexcept { return library_; }
+
+private:
+  uint64_t encode( const std::vector<uint64_t>& images ) const;
+  std::vector<uint64_t> apply_gate_to_outputs( const std::vector<uint64_t>& images,
+                                               const rev_gate& gate ) const;
+
+  uint32_t num_vars_;
+  std::vector<rev_gate> library_;
+  std::unordered_map<uint64_t, uint16_t> distance_;
+};
+
+} // namespace qda

@@ -1,0 +1,173 @@
+#include "synthesis/lut_based.hpp"
+
+#include "synthesis/single_target.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace qda
+{
+
+namespace
+{
+
+constexpr uint32_t scratch_lines = 64u;
+
+struct lhrs_state
+{
+  const lut_network& network;
+  rev_circuit scratch{ scratch_lines };
+  std::vector<uint32_t> line_of;     /* node id -> line */
+  std::vector<bool> is_po_node;
+  uint32_t next_free_line;
+  std::vector<uint32_t> free_lines;
+  uint32_t peak_lines;
+
+  explicit lhrs_state( const lut_network& net )
+      : network( net ),
+        line_of( net.num_pis() + net.num_luts(), 0u ),
+        is_po_node( net.num_pis() + net.num_luts(), false ),
+        next_free_line( net.num_pis() ),
+        peak_lines( net.num_pis() )
+  {
+    for ( uint32_t pi = 0u; pi < net.num_pis(); ++pi )
+    {
+      line_of[pi] = pi;
+    }
+    for ( const auto po : net.outputs() )
+    {
+      is_po_node[po] = true;
+    }
+  }
+
+  uint32_t acquire_line()
+  {
+    if ( !free_lines.empty() )
+    {
+      const uint32_t line = free_lines.back();
+      free_lines.pop_back();
+      return line;
+    }
+    if ( next_free_line >= scratch_lines )
+    {
+      throw std::invalid_argument( "lut_based_synthesis: needs more than 64 lines" );
+    }
+    const uint32_t line = next_free_line++;
+    peak_lines = std::max( peak_lines, next_free_line );
+    return line;
+  }
+
+  void append_lut_gate( uint32_t node )
+  {
+    const auto& lut = network.lut_of( node );
+    std::vector<uint32_t> control_lines;
+    control_lines.reserve( lut.fanins.size() );
+    for ( const auto fanin : lut.fanins )
+    {
+      control_lines.push_back( line_of[fanin] );
+    }
+    append_single_target_gate( scratch, lut.function, control_lines, line_of[node] );
+  }
+};
+
+hierarchical_synthesis_result finish( lhrs_state& state )
+{
+  const uint32_t total_lines = state.peak_lines;
+  rev_circuit circuit( total_lines );
+  for ( const auto& gate : state.scratch.gates() )
+  {
+    circuit.add_gate( gate );
+  }
+  hierarchical_synthesis_result result{ std::move( circuit ), {}, total_lines - state.network.num_pis(),
+                                        0u };
+  for ( const auto po : state.network.outputs() )
+  {
+    result.output_lines.push_back( state.line_of[po] );
+  }
+  return result;
+}
+
+} // namespace
+
+hierarchical_synthesis_result lut_based_synthesis( const lut_network& network,
+                                                   pebbling_strategy strategy )
+{
+  lhrs_state state( network );
+  const uint32_t first_lut = network.num_pis();
+  const uint32_t num_nodes = network.num_pis() + network.num_luts();
+
+  if ( strategy == pebbling_strategy::bennett )
+  {
+    for ( uint32_t node = first_lut; node < num_nodes; ++node )
+    {
+      state.line_of[node] = state.acquire_line();
+      state.append_lut_gate( node );
+    }
+    /* uncompute internal non-output LUTs in reverse order */
+    for ( uint32_t node = num_nodes; node-- > first_lut; )
+    {
+      if ( !state.is_po_node[node] )
+      {
+        state.append_lut_gate( node );
+      }
+    }
+    return finish( state );
+  }
+
+  /* eager pebbling: track remaining reads of every node's value.
+   * A node is read when a fanout LUT is computed and again when that
+   * fanout is uncomputed (internal non-output LUTs only). */
+  std::vector<uint32_t> reads_remaining( num_nodes, 0u );
+  const auto will_be_uncomputed = [&]( uint32_t node ) {
+    return node >= first_lut && !state.is_po_node[node];
+  };
+  for ( uint32_t node = first_lut; node < num_nodes; ++node )
+  {
+    const uint32_t weight = will_be_uncomputed( node ) ? 2u : 1u;
+    for ( const auto fanin : network.lut_of( node ).fanins )
+    {
+      reads_remaining[fanin] += weight;
+    }
+  }
+
+  /* cascade of uncomputations once a value is dead */
+  const auto release_dead = [&]( uint32_t node, auto&& self ) -> void {
+    if ( !will_be_uncomputed( node ) || reads_remaining[node] != 0u )
+    {
+      return;
+    }
+    state.append_lut_gate( node ); /* uncompute (self-inverse cascade) */
+    state.free_lines.push_back( state.line_of[node] );
+    reads_remaining[node] = ~uint32_t{ 0 }; /* guard against double release */
+    for ( const auto fanin : network.lut_of( node ).fanins )
+    {
+      if ( reads_remaining[fanin] != ~uint32_t{ 0 } )
+      {
+        --reads_remaining[fanin];
+        self( fanin, self );
+      }
+    }
+  };
+
+  for ( uint32_t node = first_lut; node < num_nodes; ++node )
+  {
+    state.line_of[node] = state.acquire_line();
+    state.append_lut_gate( node );
+    for ( const auto fanin : network.lut_of( node ).fanins )
+    {
+      --reads_remaining[fanin];
+      release_dead( fanin, release_dead );
+    }
+  }
+  return finish( state );
+}
+
+hierarchical_synthesis_result lut_based_synthesis( const truth_table& function, uint32_t cut_size,
+                                                   pebbling_strategy strategy )
+{
+  const auto network = xag_network::from_truth_table( function );
+  return lut_based_synthesis( lut_map( network, cut_size ), strategy );
+}
+
+} // namespace qda

@@ -1,0 +1,44 @@
+/*! \file lut_based.hpp
+ *  \brief LUT-based hierarchical reversible synthesis (LHRS).
+ *
+ *  The scalable hierarchical method of paper ref [65] (DAC'17): the
+ *  function is first mapped into a k-LUT network (networks/lut.hpp),
+ *  then every LUT becomes a single-target gate computing its local
+ *  function onto an ancilla line.  The pebbling strategy decides when
+ *  intermediate LUT values are uncomputed, trading qubits for gates
+ *  (paper refs [66], [67]):
+ *
+ *   - `bennett`: compute everything, copy outputs, uncompute everything
+ *     in reverse -- maximal ancillae, minimal gate overhead (2x).
+ *   - `eager`: uncompute an intermediate LUT as soon as its last fanout
+ *     has been computed and recycle the freed line -- fewer qubits at
+ *     the same asymptotic gate count.
+ */
+#pragma once
+
+#include "networks/lut.hpp"
+#include "reversible/rev_circuit.hpp"
+#include "synthesis/bdd_based.hpp"
+
+namespace qda
+{
+
+/*! \brief Pebbling strategy for intermediate LUT values. */
+enum class pebbling_strategy
+{
+  bennett, /*!< uncompute all intermediates at the end */
+  eager    /*!< uncompute and recycle lines as soon as possible */
+};
+
+/*! \brief LHRS over an existing LUT network. */
+hierarchical_synthesis_result lut_based_synthesis( const lut_network& network,
+                                                   pebbling_strategy strategy =
+                                                       pebbling_strategy::eager );
+
+/*! \brief Convenience: LUT-maps the XAG of `function` with cut size k first. */
+hierarchical_synthesis_result lut_based_synthesis( const truth_table& function,
+                                                   uint32_t cut_size = 4u,
+                                                   pebbling_strategy strategy =
+                                                       pebbling_strategy::eager );
+
+} // namespace qda

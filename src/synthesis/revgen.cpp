@@ -1,0 +1,87 @@
+#include "synthesis/revgen.hpp"
+
+#include "kernel/bits.hpp"
+
+#include <stdexcept>
+
+namespace qda
+{
+
+namespace
+{
+
+uint64_t rotate_left_bits( uint64_t value, uint32_t amount, uint32_t width )
+{
+  amount %= width;
+  if ( amount == 0u )
+  {
+    return value;
+  }
+  const uint64_t mask = ( uint64_t{ 1 } << width ) - 1u;
+  return ( ( value << amount ) | ( value >> ( width - amount ) ) ) & mask;
+}
+
+} // namespace
+
+permutation hwb_permutation( uint32_t num_vars )
+{
+  permutation result( num_vars );
+  for ( uint64_t x = 0u; x < result.size(); ++x )
+  {
+    result.set_image( x, rotate_left_bits( x, popcount64( x ), num_vars ) );
+  }
+  return result;
+}
+
+permutation modular_adder_permutation( uint32_t num_vars, uint64_t addend )
+{
+  permutation result( num_vars );
+  const uint64_t mask = ( uint64_t{ 1 } << num_vars ) - 1u;
+  for ( uint64_t x = 0u; x < result.size(); ++x )
+  {
+    result.set_image( x, ( x + addend ) & mask );
+  }
+  return result;
+}
+
+permutation rotation_permutation( uint32_t num_vars, uint32_t shift )
+{
+  permutation result( num_vars );
+  for ( uint64_t x = 0u; x < result.size(); ++x )
+  {
+    result.set_image( x, rotate_left_bits( x, shift, num_vars ) );
+  }
+  return result;
+}
+
+permutation gray_code_permutation( uint32_t num_vars )
+{
+  permutation result( num_vars );
+  for ( uint64_t x = 0u; x < result.size(); ++x )
+  {
+    result.set_image( x, x ^ ( x >> 1u ) );
+  }
+  return result;
+}
+
+permutation modular_multiplier_permutation( uint32_t num_vars, uint64_t odd_factor )
+{
+  if ( ( odd_factor & 1u ) == 0u )
+  {
+    throw std::invalid_argument( "modular_multiplier_permutation: factor must be odd" );
+  }
+  permutation result( num_vars );
+  const uint64_t mask = ( uint64_t{ 1 } << num_vars ) - 1u;
+  for ( uint64_t x = 0u; x < result.size(); ++x )
+  {
+    result.set_image( x, ( x * odd_factor ) & mask );
+  }
+  return result;
+}
+
+permutation paper_fig7_permutation()
+{
+  return permutation::from_vector( { 0u, 2u, 3u, 5u, 7u, 1u, 4u, 6u } );
+}
+
+} // namespace qda

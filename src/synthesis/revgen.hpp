@@ -1,0 +1,40 @@
+/*! \file revgen.hpp
+ *  \brief Benchmark function and permutation generators (RevKit `revgen`).
+ *
+ *  The paper's Eq. (5) pipeline starts with `revgen --hwb 4`; this module
+ *  provides that generator and the other reversible benchmark families
+ *  used by the evaluation harness: hidden-weighted-bit, modular adders,
+ *  bit rotations, Grey-code walks and the Maiorana-McFarland
+ *  permutations of the hidden shift instances.
+ */
+#pragma once
+
+#include "kernel/permutation.hpp"
+
+#include <cstdint>
+
+namespace qda
+{
+
+/*! \brief Hidden-weighted-bit permutation over n lines:
+ *         x -> x rotated left by weight(x) positions (a permutation
+ *         because rotation preserves weight).
+ */
+permutation hwb_permutation( uint32_t num_vars );
+
+/*! \brief Modular adder: x -> (x + addend) mod 2^n. */
+permutation modular_adder_permutation( uint32_t num_vars, uint64_t addend );
+
+/*! \brief Bit rotation: x -> rotl(x, shift) over n bits. */
+permutation rotation_permutation( uint32_t num_vars, uint32_t shift );
+
+/*! \brief Grey-code permutation: x -> x xor (x >> 1). */
+permutation gray_code_permutation( uint32_t num_vars );
+
+/*! \brief Multiplication by an odd constant mod 2^n (a bijection). */
+permutation modular_multiplier_permutation( uint32_t num_vars, uint64_t odd_factor );
+
+/*! \brief The permutation pi = [0, 2, 3, 5, 7, 1, 4, 6] of paper Fig. 7. */
+permutation paper_fig7_permutation();
+
+} // namespace qda

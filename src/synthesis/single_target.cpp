@@ -1,0 +1,47 @@
+#include "synthesis/single_target.hpp"
+
+#include "esop/esop.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qda
+{
+
+void append_single_target_gate( rev_circuit& circuit, const truth_table& control_function,
+                                const std::vector<uint32_t>& control_lines, uint32_t target )
+{
+  if ( control_function.num_vars() != control_lines.size() )
+  {
+    throw std::invalid_argument( "append_single_target_gate: arity mismatch" );
+  }
+  if ( std::find( control_lines.begin(), control_lines.end(), target ) != control_lines.end() )
+  {
+    throw std::invalid_argument( "append_single_target_gate: target among controls" );
+  }
+  const auto cover = esop_for_function( control_function );
+  for ( const auto& term : cover )
+  {
+    uint64_t controls = 0u;
+    uint64_t polarity = 0u;
+    for ( uint32_t var = 0u; var < control_lines.size(); ++var )
+    {
+      if ( ( term.mask >> var ) & 1u )
+      {
+        controls |= uint64_t{ 1 } << control_lines[var];
+        if ( ( term.polarity >> var ) & 1u )
+        {
+          polarity |= uint64_t{ 1 } << control_lines[var];
+        }
+      }
+    }
+    circuit.add_gate( rev_gate( controls, polarity, target ) );
+  }
+}
+
+uint64_t single_target_gate_cost( const truth_table& control_function )
+{
+  return esop_for_function( control_function ).size();
+}
+
+} // namespace qda

@@ -1,0 +1,37 @@
+/*! \file single_target.hpp
+ *  \brief Single-target gates and their lowering to MCT cascades.
+ *
+ *  A single-target gate (STG) flips one target line iff a Boolean
+ *  control function over some control lines evaluates to 1:
+ *
+ *      |x>|t>  ->  |x>|t xor c(x)>
+ *
+ *  STGs are the working currency of decomposition-based synthesis
+ *  (Young subgroups) and LUT-based hierarchical synthesis; they are
+ *  lowered to MCT gates through an ESOP cover of the control function
+ *  (one MCT gate per cube).
+ */
+#pragma once
+
+#include "kernel/truth_table.hpp"
+#include "reversible/rev_circuit.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief Appends an STG to `circuit`, lowered through an ESOP cover.
+ *
+ *  `control_function` is defined over `control_lines.size()` variables;
+ *  variable i of the function corresponds to circuit line
+ *  `control_lines[i]`.  The target must not appear in `control_lines`.
+ */
+void append_single_target_gate( rev_circuit& circuit, const truth_table& control_function,
+                                const std::vector<uint32_t>& control_lines, uint32_t target );
+
+/*! \brief Number of MCT gates the STG lowers to (cover size). */
+uint64_t single_target_gate_cost( const truth_table& control_function );
+
+} // namespace qda

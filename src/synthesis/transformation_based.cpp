@@ -1,0 +1,154 @@
+#include "synthesis/transformation_based.hpp"
+
+#include "kernel/bits.hpp"
+
+#include <vector>
+
+namespace qda
+{
+
+namespace
+{
+
+/*! Emits MCT gates transforming the value `from` into the row index `row`
+ *  step by step, calling `emit` for each gate in the order it is applied
+ *  to the evolving value.  Precondition: from >= row (guaranteed by the
+ *  TBS invariant).  Control choice: bits of the evolving value when
+ *  raising, bits of `row` when lowering -- both supersets only reachable
+ *  from states >= row, so earlier rows are untouched.
+ */
+template<typename EmitFn>
+void emit_row_fix( uint64_t row, uint64_t from, EmitFn&& emit )
+{
+  uint64_t value = from;
+  /* step 1: set bits that row has and value lacks */
+  uint64_t to_set = row & ~value;
+  while ( to_set != 0u )
+  {
+    const uint32_t bit = least_significant_bit( to_set );
+    to_set &= to_set - 1u;
+    const rev_gate gate( value, value, bit );
+    emit( gate );
+    value |= uint64_t{ 1 } << bit;
+  }
+  /* step 2: clear bits that value has and row lacks */
+  uint64_t to_clear = value & ~row;
+  while ( to_clear != 0u )
+  {
+    const uint32_t bit = least_significant_bit( to_clear );
+    to_clear &= to_clear - 1u;
+    const rev_gate gate( row, row, bit );
+    emit( gate );
+    value &= ~( uint64_t{ 1 } << bit );
+  }
+}
+
+/*! Number of gates emit_row_fix would emit. */
+uint32_t row_fix_cost( uint64_t row, uint64_t from )
+{
+  return popcount64( row ^ from );
+}
+
+/*! Applies a gate to the output side of a permutation table. */
+void apply_to_outputs( std::vector<uint64_t>& images, const rev_gate& gate )
+{
+  for ( auto& image : images )
+  {
+    image = gate.apply( image );
+  }
+}
+
+/*! Applies a gate to the input side: permutes rows (the gate is an
+ *  involution, so swapping paired rows suffices).
+ */
+void apply_to_inputs( std::vector<uint64_t>& images, const rev_gate& gate )
+{
+  for ( uint64_t row = 0u; row < images.size(); ++row )
+  {
+    const uint64_t partner = gate.apply( row );
+    if ( partner > row )
+    {
+      std::swap( images[row], images[partner] );
+    }
+  }
+}
+
+} // namespace
+
+rev_circuit transformation_based_synthesis( const permutation& target )
+{
+  const uint32_t num_lines = target.num_vars();
+  std::vector<uint64_t> images = target.images();
+  std::vector<rev_gate> emitted;
+
+  for ( uint64_t row = 0u; row < images.size(); ++row )
+  {
+    if ( images[row] == row )
+    {
+      continue;
+    }
+    emit_row_fix( row, images[row], [&]( const rev_gate& gate ) {
+      emitted.push_back( gate );
+      apply_to_outputs( images, gate );
+    } );
+  }
+
+  /* gates were applied to the output side; the circuit is their reverse */
+  rev_circuit circuit( num_lines );
+  for ( auto it = emitted.rbegin(); it != emitted.rend(); ++it )
+  {
+    circuit.add_gate( *it );
+  }
+  return circuit;
+}
+
+rev_circuit transformation_based_synthesis_bidirectional( const permutation& target )
+{
+  const uint32_t num_lines = target.num_vars();
+  std::vector<uint64_t> images = target.images();
+  std::vector<uint64_t> inverse_images = target.inverse().images();
+
+  std::vector<rev_gate> output_gates;
+  std::vector<rev_gate> input_gates;
+
+  for ( uint64_t row = 0u; row < images.size(); ++row )
+  {
+    if ( images[row] == row )
+    {
+      continue;
+    }
+    const uint64_t output_value = images[row];
+    const uint64_t input_value = inverse_images[row];
+    if ( row_fix_cost( row, output_value ) <= row_fix_cost( row, input_value ) )
+    {
+      emit_row_fix( row, output_value, [&]( const rev_gate& gate ) {
+        output_gates.push_back( gate );
+        apply_to_outputs( images, gate );
+        apply_to_inputs( inverse_images, gate );
+      } );
+    }
+    else
+    {
+      /* fixing the row of the inverse permutation from the output side
+       * is the same as fixing this row from the input side */
+      emit_row_fix( row, input_value, [&]( const rev_gate& gate ) {
+        input_gates.push_back( gate );
+        apply_to_outputs( inverse_images, gate );
+        apply_to_inputs( images, gate );
+      } );
+    }
+  }
+
+  rev_circuit circuit( num_lines );
+  for ( const auto& gate : input_gates )
+  {
+    circuit.add_gate( gate );
+  }
+  for ( auto it = output_gates.rbegin(); it != output_gates.rend(); ++it )
+  {
+    circuit.add_gate( *it );
+  }
+  return circuit;
+}
+
+} // namespace qda

@@ -1,0 +1,32 @@
+/*! \file transformation_based.hpp
+ *  \brief Transformation-based reversible synthesis (Miller-Maslov-Dueck).
+ *
+ *  The algorithm of paper ref [43] (DAC'03) and the workhorse behind
+ *  RevKit's `tbs` command used in the paper's Eq. (5) pipeline and in the
+ *  PermutationOracle of the ProjectQ flow (Fig. 7).  It walks the
+ *  permutation's rows in ascending order and appends MCT gates that fix
+ *  the current row without disturbing already-fixed rows; positive
+ *  controls chosen from the row's one-bits guarantee this.
+ *
+ *  The bidirectional variant may fix a row from the input side instead
+ *  (whichever needs fewer bit flips), usually yielding smaller circuits.
+ */
+#pragma once
+
+#include "kernel/permutation.hpp"
+#include "reversible/rev_circuit.hpp"
+
+namespace qda
+{
+
+/*! \brief Unidirectional transformation-based synthesis.
+ *
+ *  Returns an MCT circuit over `permutation.num_vars()` lines computing
+ *  exactly the given permutation.
+ */
+rev_circuit transformation_based_synthesis( const permutation& target );
+
+/*! \brief Bidirectional transformation-based synthesis ([43], Sec. 5). */
+rev_circuit transformation_based_synthesis_bidirectional( const permutation& target );
+
+} // namespace qda

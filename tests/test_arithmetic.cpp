@@ -1,0 +1,152 @@
+#include "kernel/bits.hpp"
+#include "synthesis/arithmetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qda
+{
+namespace
+{
+
+/*! Packs operands into the adder input layout. */
+uint64_t pack_operands( uint32_t num_bits, uint64_t a, uint64_t b, bool carry_out_line )
+{
+  uint64_t state = 0u;
+  state |= a << 1u;
+  state |= b << ( num_bits + 1u );
+  (void)carry_out_line;
+  return state;
+}
+
+TEST( adder_test, full_adder_exhaustive_small )
+{
+  for ( uint32_t n = 1u; n <= 4u; ++n )
+  {
+    const auto adder = ripple_carry_adder( n );
+    const uint64_t mask = ( uint64_t{ 1 } << n ) - 1u;
+    for ( uint64_t a = 0u; a <= mask; ++a )
+    {
+      for ( uint64_t b = 0u; b <= mask; ++b )
+      {
+        const uint64_t out = adder.simulate( pack_operands( n, a, b, true ) );
+        const uint64_t sum = ( out >> ( n + 1u ) ) & mask;
+        const bool carry = test_bit( out, 2u * n + 1u );
+        const bool ancilla = test_bit( out, 0u );
+        const uint64_t a_out = ( out >> 1u ) & mask;
+        ASSERT_EQ( sum, ( a + b ) & mask ) << "n=" << n << " a=" << a << " b=" << b;
+        ASSERT_EQ( carry, ( ( a + b ) >> n ) & 1u ) << "carry n=" << n;
+        ASSERT_EQ( a_out, a ) << "operand a must be restored";
+        ASSERT_FALSE( ancilla ) << "carry ancilla must end clean";
+      }
+    }
+  }
+}
+
+TEST( adder_test, modular_adder_exhaustive_small )
+{
+  for ( uint32_t n = 1u; n <= 4u; ++n )
+  {
+    const auto adder = modular_ripple_adder( n );
+    const uint64_t mask = ( uint64_t{ 1 } << n ) - 1u;
+    for ( uint64_t a = 0u; a <= mask; ++a )
+    {
+      for ( uint64_t b = 0u; b <= mask; ++b )
+      {
+        const uint64_t out = adder.simulate( pack_operands( n, a, b, false ) );
+        ASSERT_EQ( ( out >> ( n + 1u ) ) & mask, ( a + b ) & mask );
+        ASSERT_EQ( ( out >> 1u ) & mask, a );
+        ASSERT_FALSE( test_bit( out, 0u ) );
+      }
+    }
+  }
+}
+
+TEST( adder_test, wide_operands_sampled )
+{
+  constexpr uint32_t n = 16u;
+  const auto adder = modular_ripple_adder( n );
+  const uint64_t mask = ( uint64_t{ 1 } << n ) - 1u;
+  std::mt19937_64 rng( 3u );
+  for ( uint32_t trial = 0u; trial < 200u; ++trial )
+  {
+    const uint64_t a = rng() & mask;
+    const uint64_t b = rng() & mask;
+    const uint64_t out = adder.simulate( pack_operands( n, a, b, false ) );
+    ASSERT_EQ( ( out >> ( n + 1u ) ) & mask, ( a + b ) & mask );
+  }
+}
+
+TEST( adder_test, subtractor )
+{
+  constexpr uint32_t n = 5u;
+  const auto sub = modular_ripple_subtractor( n );
+  const uint64_t mask = ( uint64_t{ 1 } << n ) - 1u;
+  for ( uint64_t a = 0u; a <= mask; ++a )
+  {
+    for ( uint64_t b = 0u; b <= mask; b += 3u )
+    {
+      const uint64_t out = sub.simulate( pack_operands( n, a, b, false ) );
+      ASSERT_EQ( ( out >> ( n + 1u ) ) & mask, ( b - a ) & mask ) << "a=" << a << " b=" << b;
+      ASSERT_EQ( ( out >> 1u ) & mask, a );
+    }
+  }
+}
+
+TEST( adder_test, constant_adder )
+{
+  constexpr uint32_t n = 6u;
+  const uint64_t mask = ( uint64_t{ 1 } << n ) - 1u;
+  for ( const uint64_t constant : { 0ull, 1ull, 13ull, 63ull } )
+  {
+    const auto circuit = constant_adder( n, constant );
+    for ( uint64_t b = 0u; b <= mask; b += 5u )
+    {
+      const uint64_t out = circuit.simulate( b );
+      ASSERT_EQ( out & mask, ( b + constant ) & mask ) << "c=" << constant << " b=" << b;
+      /* helpers (carry + constant register) must end clean */
+      ASSERT_EQ( out >> n, 0u ) << "dirty helpers for c=" << constant;
+    }
+  }
+}
+
+TEST( adder_test, constant_adder_matches_revgen_permutation )
+{
+  constexpr uint32_t n = 5u;
+  const auto circuit = constant_adder( n, 11u );
+  const auto reference = adder_permutation_for_fixed_a( n, 11u );
+  for ( uint64_t b = 0u; b < reference.size(); ++b )
+  {
+    ASSERT_EQ( circuit.simulate( b ) & ( reference.size() - 1u ), reference[b] );
+  }
+}
+
+TEST( adder_test, adder_is_reversible )
+{
+  const auto adder = ripple_carry_adder( 3u );
+  const auto inverse = adder.inverse();
+  for ( uint64_t x = 0u; x < ( uint64_t{ 1 } << adder.num_lines() ); x += 7u )
+  {
+    ASSERT_EQ( inverse.simulate( adder.simulate( x ) ), x );
+  }
+}
+
+TEST( adder_test, gate_counts_scale_linearly )
+{
+  /* CDKM: 2 MAJ/UMA blocks of 3 gates per bit + 1 carry CNOT */
+  const auto small = ripple_carry_adder( 4u );
+  const auto large = ripple_carry_adder( 8u );
+  EXPECT_EQ( small.num_gates(), 6u * 4u + 1u );
+  EXPECT_EQ( large.num_gates(), 6u * 8u + 1u );
+}
+
+TEST( adder_test, input_validation )
+{
+  EXPECT_THROW( ripple_carry_adder( 0u ), std::invalid_argument );
+  EXPECT_THROW( ripple_carry_adder( 32u ), std::invalid_argument );
+  EXPECT_THROW( constant_adder( 32u, 1u ), std::invalid_argument );
+}
+
+} // namespace
+} // namespace qda

@@ -1,0 +1,172 @@
+#include "bdd/bdd.hpp"
+#include "kernel/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qda
+{
+namespace
+{
+
+TEST( bdd_test, terminals )
+{
+  bdd_manager mgr( 3u );
+  EXPECT_EQ( mgr.constant( false ), 0u );
+  EXPECT_EQ( mgr.constant( true ), 1u );
+  EXPECT_TRUE( mgr.is_terminal( 0u ) );
+  EXPECT_TRUE( mgr.is_terminal( 1u ) );
+  EXPECT_EQ( mgr.count_nodes( mgr.constant( true ) ), 0u );
+}
+
+TEST( bdd_test, variable_nodes_are_hash_consed )
+{
+  bdd_manager mgr( 3u );
+  const auto x0 = mgr.variable( 0u );
+  const auto x0_again = mgr.variable( 0u );
+  EXPECT_EQ( x0, x0_again );
+  EXPECT_THROW( mgr.variable( 3u ), std::invalid_argument );
+}
+
+TEST( bdd_test, basic_connectives )
+{
+  bdd_manager mgr( 2u );
+  const auto x0 = mgr.variable( 0u );
+  const auto x1 = mgr.variable( 1u );
+  const auto conj = mgr.land( x0, x1 );
+  const auto disj = mgr.lor( x0, x1 );
+  const auto sum = mgr.lxor( x0, x1 );
+  for ( uint64_t x = 0u; x < 4u; ++x )
+  {
+    const bool a = x & 1u, b = ( x >> 1u ) & 1u;
+    EXPECT_EQ( mgr.evaluate( conj, x ), a && b );
+    EXPECT_EQ( mgr.evaluate( disj, x ), a || b );
+    EXPECT_EQ( mgr.evaluate( sum, x ), a != b );
+  }
+}
+
+TEST( bdd_test, negation_is_involution )
+{
+  bdd_manager mgr( 4u );
+  const auto f = mgr.lxor( mgr.land( mgr.variable( 0u ), mgr.variable( 1u ) ),
+                           mgr.variable( 3u ) );
+  EXPECT_EQ( mgr.lnot( mgr.lnot( f ) ), f );
+}
+
+TEST( bdd_test, reduction_eliminates_redundant_tests )
+{
+  bdd_manager mgr( 2u );
+  const auto x0 = mgr.variable( 0u );
+  /* ite(x0, x0, x0) must reduce to x0, ite(x0, 1, 1) to 1 */
+  EXPECT_EQ( mgr.ite( x0, x0, x0 ), x0 );
+  EXPECT_EQ( mgr.ite( x0, mgr.constant( true ), mgr.constant( true ) ), mgr.constant( true ) );
+}
+
+TEST( bdd_test, truth_table_roundtrip )
+{
+  bdd_manager mgr( 6u );
+  for ( uint64_t seed = 0u; seed < 15u; ++seed )
+  {
+    const auto tt = random_truth_table( 6u, seed + 9u );
+    const auto f = mgr.from_truth_table( tt );
+    ASSERT_EQ( mgr.to_truth_table( f ), tt ) << "seed=" << seed;
+  }
+}
+
+TEST( bdd_test, structural_canonicity )
+{
+  bdd_manager mgr( 5u );
+  const auto tt = random_truth_table( 5u, 4u );
+  const auto f = mgr.from_truth_table( tt );
+  /* building the same function through connectives yields the same node */
+  auto g = mgr.constant( false );
+  for ( uint64_t x = 0u; x < tt.num_bits(); ++x )
+  {
+    if ( !tt.get_bit( x ) )
+    {
+      continue;
+    }
+    auto minterm = mgr.constant( true );
+    for ( uint32_t v = 0u; v < 5u; ++v )
+    {
+      const auto lit = ( ( x >> v ) & 1u ) ? mgr.variable( v ) : mgr.lnot( mgr.variable( v ) );
+      minterm = mgr.land( minterm, lit );
+    }
+    g = mgr.lor( g, minterm );
+  }
+  EXPECT_EQ( f, g );
+}
+
+TEST( bdd_test, count_satisfying )
+{
+  bdd_manager mgr( 4u );
+  const auto x0 = mgr.variable( 0u );
+  const auto x3 = mgr.variable( 3u );
+  EXPECT_EQ( mgr.count_satisfying( mgr.constant( false ) ), 0u );
+  EXPECT_EQ( mgr.count_satisfying( mgr.constant( true ) ), 16u );
+  EXPECT_EQ( mgr.count_satisfying( x0 ), 8u );
+  EXPECT_EQ( mgr.count_satisfying( mgr.land( x0, x3 ) ), 4u );
+  EXPECT_EQ( mgr.count_satisfying( mgr.lor( x0, x3 ) ), 12u );
+}
+
+TEST( bdd_test, count_satisfying_matches_truth_table )
+{
+  bdd_manager mgr( 7u );
+  for ( uint64_t seed = 0u; seed < 10u; ++seed )
+  {
+    const auto tt = random_truth_table( 7u, seed + 55u );
+    const auto f = mgr.from_truth_table( tt );
+    ASSERT_EQ( mgr.count_satisfying( f ), tt.count_ones() ) << "seed=" << seed;
+  }
+}
+
+TEST( bdd_test, node_count_of_known_functions )
+{
+  bdd_manager mgr( 3u );
+  /* parity over 3 variables: n internal nodes with XOR chains being BDD-friendly */
+  auto parity = mgr.constant( false );
+  for ( uint32_t v = 0u; v < 3u; ++v )
+  {
+    parity = mgr.lxor( parity, mgr.variable( v ) );
+  }
+  EXPECT_EQ( mgr.count_nodes( parity ), 5u ); /* 1 + 2 + 2 */
+}
+
+TEST( bdd_test, topological_order_children_first )
+{
+  bdd_manager mgr( 5u );
+  const auto f = mgr.from_truth_table( random_truth_table( 5u, 77u ) );
+  const auto order = mgr.topological_order( f );
+  for ( size_t i = 0u; i < order.size(); ++i )
+  {
+    for ( const auto child : { mgr.node_low( order[i] ), mgr.node_high( order[i] ) } )
+    {
+      if ( mgr.is_terminal( child ) )
+      {
+        continue;
+      }
+      const auto child_pos = std::find( order.begin(), order.end(), child );
+      ASSERT_NE( child_pos, order.end() );
+      EXPECT_LT( static_cast<size_t>( std::distance( order.begin(), child_pos ) ), i );
+    }
+  }
+}
+
+TEST( bdd_test, evaluate_agrees_with_table )
+{
+  bdd_manager mgr( 8u );
+  const auto tt = random_truth_table( 8u, 8u );
+  const auto f = mgr.from_truth_table( tt );
+  for ( uint64_t x = 0u; x < tt.num_bits(); x += 3u )
+  {
+    ASSERT_EQ( mgr.evaluate( f, x ), tt.get_bit( x ) );
+  }
+}
+
+TEST( bdd_test, variable_count_mismatch_throws )
+{
+  bdd_manager mgr( 4u );
+  EXPECT_THROW( mgr.from_truth_table( random_truth_table( 5u, 1u ) ), std::invalid_argument );
+}
+
+} // namespace
+} // namespace qda

@@ -1,0 +1,230 @@
+/*! Edge-case and stress tests targeting corner behaviour that the main
+ *  suites do not reach: word boundaries, degenerate arities, epoch
+ *  overflow in phase folding, deep cross-backend checks.
+ */
+#include "bdd/bdd.hpp"
+#include "esop/esop.hpp"
+#include "kernel/spectral.hpp"
+#include "optimization/phase_folding.hpp"
+#include "optimization/revsimp.hpp"
+#include "quantum/qsharp.hpp"
+#include "simulator/stabilizer.hpp"
+#include "simulator/statevector.hpp"
+#include "simulator/unitary.hpp"
+#include "synthesis/decomposition_based.hpp"
+#include "synthesis/transformation_based.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qda
+{
+namespace
+{
+
+TEST( edge_case_test, zero_variable_truth_tables )
+{
+  truth_table tt( 0u );
+  EXPECT_EQ( tt.num_bits(), 1u );
+  EXPECT_TRUE( tt.is_constant0() );
+  tt.set_bit( 0u, true );
+  EXPECT_TRUE( tt.is_constant1() );
+  EXPECT_TRUE( tt.support().empty() );
+}
+
+TEST( edge_case_test, single_variable_everything )
+{
+  const auto x = truth_table::projection( 1u, 0u );
+  EXPECT_TRUE( x.depends_on( 0u ) );
+  EXPECT_EQ( esop_from_pkrm( x ).size(), 1u );
+  const auto spectrum = walsh_spectrum( x );
+  EXPECT_EQ( spectrum[0], 0 );
+  EXPECT_EQ( spectrum[1], 2 );
+
+  const auto pi = permutation::from_vector( { 1u, 0u } );
+  const auto tbs = transformation_based_synthesis( pi );
+  ASSERT_EQ( tbs.num_gates(), 1u );
+  EXPECT_EQ( tbs.gate( 0u ), rev_gate::not_gate( 0u ) );
+  const auto dbs = decomposition_based_synthesis( pi );
+  EXPECT_EQ( dbs.simulate( 0u ), 1u );
+}
+
+TEST( edge_case_test, truth_table_exactly_at_word_boundary )
+{
+  /* 6 variables = exactly one 64-bit word; 7 = exactly two */
+  const auto f6 = random_truth_table( 6u, 1u );
+  EXPECT_EQ( f6.num_words(), 1u );
+  const auto f7 = random_truth_table( 7u, 1u );
+  EXPECT_EQ( f7.num_words(), 2u );
+  /* cofactor across the word boundary variable */
+  const auto c0 = f7.cofactor0( 6u );
+  const auto c1 = f7.cofactor1( 6u );
+  for ( uint64_t x = 0u; x < 64u; ++x )
+  {
+    ASSERT_EQ( c0.get_bit( x ), f7.get_bit( x ) );
+    ASSERT_EQ( c1.get_bit( x ), f7.get_bit( x | 64u ) );
+  }
+}
+
+TEST( edge_case_test, esop_minimization_is_idempotent )
+{
+  for ( uint64_t seed = 0u; seed < 10u; ++seed )
+  {
+    const auto f = random_truth_table( 5u, seed + 77u );
+    const auto once = minimize_esop( esop_from_pprm( f ) );
+    const auto twice = minimize_esop( once );
+    EXPECT_EQ( once.size(), twice.size() ) << "seed=" << seed;
+  }
+}
+
+TEST( edge_case_test, bdd_of_parity_is_linear_size )
+{
+  /* parity has the worst-case ESOP but a linear BDD: a structural
+   * sanity check that the packages are genuinely different engines */
+  constexpr uint32_t n = 12u;
+  bdd_manager mgr( n );
+  auto parity = mgr.constant( false );
+  for ( uint32_t v = 0u; v < n; ++v )
+  {
+    parity = mgr.lxor( parity, mgr.variable( v ) );
+  }
+  EXPECT_EQ( mgr.count_nodes( parity ), 2u * n - 1u );
+  EXPECT_EQ( mgr.count_satisfying( parity ), uint64_t{ 1 } << ( n - 1u ) );
+}
+
+TEST( edge_case_test, revsimp_on_empty_and_singleton_circuits )
+{
+  EXPECT_EQ( revsimp( rev_circuit( 3u ) ).num_gates(), 0u );
+  rev_circuit single( 3u );
+  single.add_toffoli( 0u, 1u, 2u );
+  EXPECT_EQ( revsimp( single ).num_gates(), 1u );
+}
+
+TEST( edge_case_test, phase_folding_survives_variable_epoch_overflow )
+{
+  /* more than 64 fresh labels force an epoch restart; correctness must
+   * survive and terms from different epochs must not merge */
+  qcircuit clean( 4u );
+  for ( uint32_t block = 0u; block < 40u; ++block )
+  {
+    for ( uint32_t q = 0u; q < 4u; ++q )
+    {
+      clean.h( q );
+    }
+    clean.t( block % 4u );
+    clean.cx( block % 4u, ( block + 1u ) % 4u );
+  }
+  const auto folded = phase_folding( clean );
+  EXPECT_TRUE( circuits_equivalent( folded, clean ) );
+}
+
+TEST( edge_case_test, phase_folding_of_pure_phase_circuit_collapses )
+{
+  qcircuit circuit( 1u );
+  for ( uint32_t i = 0u; i < 8u; ++i )
+  {
+    circuit.t( 0u ); /* T^8 = identity */
+  }
+  const auto folded = phase_folding( circuit );
+  EXPECT_EQ( folded.num_gates(), 0u );
+  EXPECT_TRUE( circuits_equivalent( folded, qcircuit( 1u ) ) );
+}
+
+TEST( edge_case_test, phase_folding_emits_composite_angles )
+{
+  qcircuit circuit( 1u );
+  circuit.t( 0u );
+  circuit.t( 0u );
+  circuit.t( 0u ); /* 3 pi/4 = S then T */
+  const auto folded = phase_folding( circuit );
+  EXPECT_TRUE( circuits_equivalent( folded, circuit ) );
+  EXPECT_EQ( compute_statistics( folded ).t_count, 1u );
+}
+
+TEST( edge_case_test, dbs_on_permutations_fixing_low_bits )
+{
+  /* permutations acting only on high variables exercise the trivial-step
+   * skip inside the Young subgroup decomposition */
+  permutation pi( 4u );
+  pi.set_image( 0b0000u, 0b0100u );
+  pi.set_image( 0b0100u, 0b1100u );
+  pi.set_image( 0b1100u, 0b0000u );
+  const auto circuit = decomposition_based_synthesis( pi );
+  for ( uint64_t x = 0u; x < 16u; ++x )
+  {
+    ASSERT_EQ( circuit.simulate( x ), pi[x] );
+  }
+}
+
+TEST( edge_case_test, stabilizer_x_basis_chain )
+{
+  /* long alternating H/S chain, compare against statevector */
+  qcircuit circuit( 2u );
+  for ( uint32_t i = 0u; i < 24u; ++i )
+  {
+    circuit.h( i % 2u );
+    circuit.s( ( i + 1u ) % 2u );
+    circuit.cz( 0u, 1u );
+  }
+  statevector_simulator sv( 2u );
+  sv.run( circuit );
+  const auto probabilities = sv.probabilities();
+
+  qcircuit measured = circuit;
+  measured.measure_all();
+  const auto counts = stabilizer_sample_counts( measured, 256u, 3u );
+  for ( const auto& [outcome, count] : counts )
+  {
+    ASSERT_GT( probabilities[outcome], 1e-9 ) << outcome;
+  }
+}
+
+TEST( edge_case_test, qsharp_hidden_shift_namespace_matches_fig9 )
+{
+  const auto code = write_qsharp_hidden_shift_namespace();
+  EXPECT_NE( code.find( "namespace Microsoft.Quantum.HiddenShift" ), std::string::npos );
+  EXPECT_NE( code.find( "operation HiddenShift" ), std::string::npos );
+  EXPECT_NE( code.find( "(Ufstar : (Qubit[] => ())" ), std::string::npos );
+  EXPECT_NE( code.find( "ApplyToEach(H, qubits);" ), std::string::npos );
+  EXPECT_NE( code.find( "MResetZ(qubits[idx]);" ), std::string::npos );
+  EXPECT_NE( code.find( "using (qubits = Qubit[n])" ), std::string::npos );
+  /* the Fig. 3 structure: three H layers, two oracle calls in between */
+  const auto first_h = code.find( "ApplyToEach(H, qubits);" );
+  const auto ug = code.find( "Ug(qubits);" );
+  const auto ufstar = code.find( "Ufstar(qubits);" );
+  EXPECT_LT( first_h, ug );
+  EXPECT_LT( ug, ufstar );
+}
+
+TEST( edge_case_test, tbs_worst_case_permutation_still_correct )
+{
+  /* a permutation that keeps every row unfixed as long as possible */
+  const uint32_t n = 5u;
+  permutation pi( n );
+  const uint64_t size = pi.size();
+  for ( uint64_t x = 0u; x < size; ++x )
+  {
+    pi.set_image( x, size - 1u - x ); /* bitwise complement */
+  }
+  const auto circuit = transformation_based_synthesis( pi );
+  for ( uint64_t x = 0u; x < size; ++x )
+  {
+    ASSERT_EQ( circuit.simulate( x ), size - 1u - x );
+  }
+  /* complement is just NOTs on every line: synthesis should find that */
+  EXPECT_EQ( circuit.num_gates(), n );
+}
+
+TEST( edge_case_test, rev_gate_on_line_63 )
+{
+  rev_circuit circuit( 64u );
+  circuit.add_cnot( 62u, 63u ); /* sets bit 63 when bit 62 is set */
+  circuit.add_not( 63u );       /* flips it back */
+  const uint64_t input = uint64_t{ 1 } << 62u;
+  EXPECT_EQ( circuit.simulate( input ), input );
+  EXPECT_EQ( circuit.simulate( 0u ), uint64_t{ 1 } << 63u );
+}
+
+} // namespace
+} // namespace qda

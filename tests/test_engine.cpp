@@ -1,0 +1,192 @@
+#include "core/engine.hpp"
+#include "simulator/unitary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qda
+{
+namespace
+{
+
+TEST( engine_test, plain_gate_streaming )
+{
+  main_engine eng( 2u );
+  eng.h( 0u );
+  eng.cx( 0u, 1u );
+  eng.measure_all();
+  const auto& circuit = eng.circuit();
+  EXPECT_EQ( circuit.num_gates(), 4u );
+  EXPECT_EQ( circuit.gate( 0u ).kind, gate_kind::h );
+}
+
+TEST( engine_test, compute_uncompute_roundtrip )
+{
+  main_engine eng( 2u );
+  {
+    auto computed = eng.compute();
+    eng.h( 0u );
+    eng.cx( 0u, 1u );
+  }
+  eng.uncompute();
+  EXPECT_TRUE( circuits_equivalent( eng.circuit(), qcircuit( 2u ) ) );
+}
+
+TEST( engine_test, compute_sandwich_conjugates )
+{
+  /* compute [X0], Z0, uncompute == X Z X == -Z */
+  main_engine eng( 1u );
+  {
+    auto computed = eng.compute();
+    eng.x( 0u );
+  }
+  eng.z( 0u );
+  eng.uncompute();
+
+  qcircuit expected( 1u );
+  expected.z( 0u ); /* up to global phase */
+  EXPECT_TRUE( circuits_equivalent( eng.circuit(), expected ) );
+}
+
+TEST( engine_test, uncompute_without_compute_throws )
+{
+  main_engine eng( 1u );
+  EXPECT_THROW( eng.uncompute(), std::logic_error );
+}
+
+TEST( engine_test, nested_compute_blocks )
+{
+  main_engine eng( 2u );
+  {
+    auto outer = eng.compute();
+    eng.h( 0u );
+    {
+      auto inner = eng.compute();
+      eng.t( 1u );
+    }
+    eng.uncompute(); /* undo inner */
+  }
+  eng.uncompute(); /* undo outer */
+  EXPECT_TRUE( circuits_equivalent( eng.circuit(), qcircuit( 2u ) ) );
+}
+
+TEST( engine_test, dagger_block_inverts_order )
+{
+  main_engine eng( 1u );
+  {
+    auto daggered = eng.dagger();
+    eng.t( 0u );
+    eng.h( 0u );
+  }
+  qcircuit expected( 1u );
+  expected.h( 0u );
+  expected.tdg( 0u );
+  EXPECT_EQ( eng.circuit().gates(), expected.gates() );
+}
+
+TEST( engine_test, dagger_of_dagger_is_identity_transform )
+{
+  main_engine eng( 1u );
+  {
+    auto d1 = eng.dagger();
+    {
+      auto d2 = eng.dagger();
+      eng.t( 0u );
+      eng.h( 0u );
+    }
+  }
+  qcircuit expected( 1u );
+  expected.t( 0u );
+  expected.h( 0u );
+  EXPECT_EQ( eng.circuit().gates(), expected.gates() );
+}
+
+TEST( engine_test, control_block_adds_controls )
+{
+  main_engine eng( 3u );
+  {
+    auto controlled = eng.control( 2u );
+    eng.x( 0u );
+    eng.cx( 0u, 1u );
+    eng.z( 1u );
+  }
+  const auto& gates = eng.circuit().gates();
+  ASSERT_EQ( gates.size(), 3u );
+  EXPECT_EQ( gates[0].kind, gate_kind::cx );
+  EXPECT_EQ( gates[0].controls, ( std::vector<uint32_t>{ 2u } ) );
+  EXPECT_EQ( gates[1].kind, gate_kind::mcx );
+  EXPECT_EQ( gates[2].kind, gate_kind::cz );
+}
+
+TEST( engine_test, control_block_rejects_unsupported_gates )
+{
+  main_engine eng( 2u );
+  auto controlled = eng.control( 1u );
+  eng.h( 0u );
+  EXPECT_THROW( controlled.close(), std::logic_error );
+}
+
+TEST( engine_test, measure_inside_block_throws )
+{
+  main_engine eng( 1u );
+  auto computed = eng.compute();
+  EXPECT_THROW( eng.measure( 0u ), std::logic_error );
+  computed.close();
+}
+
+TEST( engine_test, circuit_with_open_scope_throws )
+{
+  main_engine eng( 1u );
+  auto computed = eng.compute();
+  EXPECT_THROW( eng.circuit(), std::logic_error );
+  computed.close();
+  EXPECT_NO_THROW( eng.circuit() );
+}
+
+TEST( engine_test, apply_subcircuit_with_mapping )
+{
+  qcircuit sub( 2u );
+  sub.cx( 0u, 1u );
+  main_engine eng( 4u );
+  eng.apply( sub, { 3u, 0u } );
+  EXPECT_EQ( eng.circuit().gate( 0u ).controls[0], 3u );
+  EXPECT_EQ( eng.circuit().gate( 0u ).target, 0u );
+}
+
+TEST( engine_test, run_returns_measured_bits_in_order )
+{
+  main_engine eng( 3u );
+  eng.x( 2u );
+  eng.measure( 2u );
+  eng.measure( 0u );
+  /* first measured bit (qubit 2, value 1) lands in outcome bit 0 */
+  EXPECT_EQ( eng.run(), 0b01u );
+}
+
+TEST( engine_test, dagger_inside_compute_fig7_pattern )
+{
+  /* the Fig. 7 pattern: Compute { Dagger { U } }, phase, Uncompute */
+  qcircuit u( 2u );
+  u.cx( 0u, 1u );
+  u.t( 1u );
+
+  main_engine eng( 2u );
+  {
+    auto computed = eng.compute();
+    {
+      auto daggered = eng.dagger();
+      eng.apply( u );
+    }
+  }
+  eng.z( 0u );
+  eng.uncompute();
+
+  /* reference: U^dagger Z0 U */
+  qcircuit expected( 2u );
+  expected.append( u.adjoint() );
+  expected.z( 0u );
+  expected.append( u );
+  EXPECT_TRUE( circuits_equivalent( eng.circuit(), expected ) );
+}
+
+} // namespace
+} // namespace qda

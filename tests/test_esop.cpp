@@ -1,0 +1,208 @@
+#include "esop/esop.hpp"
+#include "kernel/cube.hpp"
+#include "kernel/expression.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qda
+{
+namespace
+{
+
+TEST( cube_test, literal_and_membership )
+{
+  const auto c = cube::literal( 2u, true );
+  EXPECT_EQ( c.num_literals(), 1u );
+  EXPECT_TRUE( c.contains( 0b100u ) );
+  EXPECT_FALSE( c.contains( 0b000u ) );
+  EXPECT_TRUE( c.contains( 0b111u ) );
+
+  const auto n = cube::literal( 0u, false );
+  EXPECT_TRUE( n.contains( 0b10u ) );
+  EXPECT_FALSE( n.contains( 0b01u ) );
+}
+
+TEST( cube_test, one_cube_contains_everything )
+{
+  const auto c = cube::one();
+  EXPECT_EQ( c.num_literals(), 0u );
+  for ( uint64_t x = 0u; x < 16u; ++x )
+  {
+    EXPECT_TRUE( c.contains( x ) );
+  }
+}
+
+TEST( cube_test, add_remove_literals )
+{
+  cube c;
+  c.add_literal( 0u, true );
+  c.add_literal( 3u, false );
+  EXPECT_EQ( c.num_literals(), 2u );
+  EXPECT_TRUE( c.contains( 0b0001u ) );
+  EXPECT_FALSE( c.contains( 0b1001u ) );
+  c.remove_literal( 3u );
+  EXPECT_TRUE( c.contains( 0b1001u ) );
+  EXPECT_THROW( c.add_literal( 32u, true ), std::invalid_argument );
+}
+
+TEST( cube_test, distance )
+{
+  const cube a( 0b011u, 0b011u );  /* x0 x1 */
+  const cube b( 0b011u, 0b001u );  /* x0 !x1 */
+  const cube c( 0b101u, 0b101u );  /* x0 x2 */
+  EXPECT_EQ( a.distance( a ), 0u );
+  EXPECT_EQ( a.distance( b ), 1u );
+  EXPECT_EQ( a.distance( c ), 2u );
+  EXPECT_EQ( b.distance( c ), 2u ); /* x1 occurrence and x2 occurrence differ; x0 agrees */
+}
+
+TEST( cube_test, to_string )
+{
+  EXPECT_EQ( cube::one().to_string( 3u ), "1" );
+  cube c;
+  c.add_literal( 0u, true );
+  c.add_literal( 2u, false );
+  EXPECT_EQ( c.to_string( 3u ), "x0 !x2" );
+}
+
+TEST( esop_test, pprm_of_and_function )
+{
+  const auto f = truth_table::projection( 2u, 0u ) & truth_table::projection( 2u, 1u );
+  const auto cover = esop_from_pprm( f );
+  ASSERT_EQ( cover.size(), 1u );
+  EXPECT_EQ( cover[0].mask, 0b11u );
+  EXPECT_EQ( cover[0].polarity, 0b11u );
+}
+
+TEST( esop_test, pprm_of_or_needs_three_cubes )
+{
+  const auto f = truth_table::projection( 2u, 0u ) | truth_table::projection( 2u, 1u );
+  const auto cover = esop_from_pprm( f );
+  /* x | y = x ^ y ^ xy */
+  EXPECT_EQ( cover.size(), 3u );
+  EXPECT_EQ( esop_to_truth_table( cover, 2u ), f );
+}
+
+TEST( esop_test, pprm_uses_positive_literals_only )
+{
+  const auto f = random_truth_table( 6u, 321u );
+  for ( const auto& term : esop_from_pprm( f ) )
+  {
+    EXPECT_EQ( term.polarity, term.mask );
+  }
+}
+
+TEST( esop_test, pprm_is_exact_on_random_functions )
+{
+  for ( uint64_t seed = 0u; seed < 20u; ++seed )
+  {
+    const auto f = random_truth_table( 7u, seed );
+    ASSERT_EQ( esop_to_truth_table( esop_from_pprm( f ), 7u ), f ) << "seed=" << seed;
+  }
+}
+
+TEST( esop_test, pkrm_is_exact_on_random_functions )
+{
+  for ( uint64_t seed = 0u; seed < 20u; ++seed )
+  {
+    const auto f = random_truth_table( 6u, seed );
+    ASSERT_EQ( esop_to_truth_table( esop_from_pkrm( f ), 6u ), f ) << "seed=" << seed;
+  }
+}
+
+TEST( esop_test, pkrm_not_larger_than_pprm_on_negation_heavy_function )
+{
+  /* !x0 & !x1 & !x2: PPRM expands to 8 cubes, PKRM needs 1 */
+  const auto f = ~( truth_table::projection( 3u, 0u ) | truth_table::projection( 3u, 1u ) |
+                    truth_table::projection( 3u, 2u ) );
+  EXPECT_EQ( esop_from_pprm( f ).size(), 8u );
+  EXPECT_EQ( esop_from_pkrm( f ).size(), 1u );
+}
+
+TEST( esop_test, pkrm_handles_constants )
+{
+  EXPECT_TRUE( esop_from_pkrm( truth_table( 4u ) ).empty() );
+  const auto ones = esop_from_pkrm( truth_table::constant( 4u, true ) );
+  ASSERT_EQ( ones.size(), 1u );
+  EXPECT_EQ( ones[0], cube::one() );
+}
+
+TEST( esop_test, minimize_cancels_duplicate_cubes )
+{
+  esop_cover cover{ cube( 0b11u, 0b11u ), cube( 0b11u, 0b11u ) };
+  const auto minimized = minimize_esop( cover );
+  EXPECT_TRUE( minimized.empty() );
+}
+
+TEST( esop_test, minimize_merges_distance_one_pairs )
+{
+  /* x0 x1 ^ x0 !x1 = x0 */
+  esop_cover cover{ cube( 0b11u, 0b11u ), cube( 0b11u, 0b01u ) };
+  const auto minimized = minimize_esop( cover );
+  ASSERT_EQ( minimized.size(), 1u );
+  EXPECT_EQ( minimized[0], cube( 0b01u, 0b01u ) );
+
+  /* x0 ^ x0 x1 = x0 !x1 */
+  esop_cover cover2{ cube( 0b01u, 0b01u ), cube( 0b11u, 0b11u ) };
+  const auto minimized2 = minimize_esop( cover2 );
+  ASSERT_EQ( minimized2.size(), 1u );
+  EXPECT_EQ( minimized2[0], cube( 0b11u, 0b01u ) );
+}
+
+TEST( esop_test, minimize_preserves_function_on_random_covers )
+{
+  for ( uint64_t seed = 0u; seed < 30u; ++seed )
+  {
+    const auto f = random_truth_table( 6u, seed * 7u + 1u );
+    const auto cover = esop_from_pprm( f );
+    const auto minimized = minimize_esop( cover );
+    ASSERT_EQ( esop_to_truth_table( minimized, 6u ), f ) << "seed=" << seed;
+    EXPECT_LE( minimized.size(), cover.size() );
+  }
+}
+
+TEST( esop_test, esop_for_function_picks_good_cover )
+{
+  const auto f = inner_product_function( 2u, /*interleaved=*/true );
+  const auto cover = esop_for_function( f );
+  EXPECT_EQ( esop_to_truth_table( cover, 4u ), f );
+  EXPECT_EQ( cover.size(), 2u ); /* (a & b) ^ (c & d) */
+}
+
+TEST( esop_test, evaluate_esop_matches_expansion )
+{
+  const auto expr = boolean_expression::parse( "(a ^ b) | (c & !a)" );
+  const auto f = expr.to_truth_table();
+  const auto cover = esop_for_function( f );
+  for ( uint64_t x = 0u; x < f.num_bits(); ++x )
+  {
+    ASSERT_EQ( evaluate_esop( cover, x ), f.get_bit( x ) );
+  }
+}
+
+TEST( esop_test, literal_count )
+{
+  esop_cover cover{ cube( 0b11u, 0b11u ), cube( 0b111u, 0b010u ) };
+  EXPECT_EQ( esop_literal_count( cover ), 5u );
+}
+
+class esop_property_test : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P( esop_property_test, pkrm_exactness_across_sizes )
+{
+  const uint32_t num_vars = GetParam();
+  for ( uint64_t seed = 0u; seed < 5u; ++seed )
+  {
+    const auto f = random_truth_table( num_vars, seed + 100u );
+    const auto cover = minimize_esop( esop_from_pkrm( f ) );
+    ASSERT_EQ( esop_to_truth_table( cover, num_vars ), f )
+        << "num_vars=" << num_vars << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P( sizes, esop_property_test, ::testing::Values( 1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u ) );
+
+} // namespace
+} // namespace qda

@@ -1,0 +1,118 @@
+#include "synthesis/decomposition_based.hpp"
+#include "synthesis/exact.hpp"
+#include "synthesis/revgen.hpp"
+#include "synthesis/transformation_based.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qda
+{
+namespace
+{
+
+TEST( exact_synthesis_test, identity_needs_zero_gates )
+{
+  const exact_synthesizer synthesizer( 3u );
+  EXPECT_EQ( synthesizer.optimal_gate_count( permutation( 3u ) ), 0u );
+  EXPECT_EQ( synthesizer.synthesize( permutation( 3u ) ).num_gates(), 0u );
+}
+
+TEST( exact_synthesis_test, single_gate_permutations )
+{
+  const exact_synthesizer synthesizer( 3u );
+  for ( const auto& gate : synthesizer.library() )
+  {
+    rev_circuit circuit( 3u );
+    circuit.add_gate( gate );
+    const auto pi = circuit.to_permutation();
+    if ( pi.is_identity() )
+    {
+      continue;
+    }
+    EXPECT_EQ( synthesizer.optimal_gate_count( pi ), 1u ) << gate.to_string();
+  }
+}
+
+TEST( exact_synthesis_test, synthesized_circuits_are_correct_and_optimal )
+{
+  const exact_synthesizer synthesizer( 3u );
+  for ( uint64_t seed = 0u; seed < 30u; ++seed )
+  {
+    const auto pi = permutation::random( 3u, seed );
+    const auto circuit = synthesizer.synthesize( pi );
+    EXPECT_EQ( circuit.num_gates(), synthesizer.optimal_gate_count( pi ) ) << "seed=" << seed;
+    for ( uint64_t x = 0u; x < 8u; ++x )
+    {
+      ASSERT_EQ( circuit.simulate( x ), pi[x] ) << "seed=" << seed;
+    }
+  }
+}
+
+TEST( exact_synthesis_test, heuristics_never_beat_the_optimum )
+{
+  const exact_synthesizer synthesizer( 3u );
+  for ( uint64_t seed = 100u; seed < 160u; ++seed )
+  {
+    const auto pi = permutation::random( 3u, seed );
+    const uint32_t optimum = synthesizer.optimal_gate_count( pi );
+    EXPECT_GE( transformation_based_synthesis( pi ).num_gates(), optimum ) << seed;
+    EXPECT_GE( transformation_based_synthesis_bidirectional( pi ).num_gates(), optimum ) << seed;
+    EXPECT_GE( decomposition_based_synthesis( pi ).num_gates(), optimum ) << seed;
+  }
+}
+
+TEST( exact_synthesis_test, fig7_permutation_optimum )
+{
+  const exact_synthesizer synthesizer( 3u );
+  const auto pi = paper_fig7_permutation();
+  const uint32_t optimum = synthesizer.optimal_gate_count( pi );
+  EXPECT_GE( optimum, 1u );
+  EXPECT_LE( optimum, 4u ); /* TBS already finds 4 gates */
+  const auto circuit = synthesizer.synthesize( pi );
+  for ( uint64_t x = 0u; x < 8u; ++x )
+  {
+    ASSERT_EQ( circuit.simulate( x ), pi[x] );
+  }
+}
+
+TEST( exact_synthesis_test, positive_polarity_library_is_weaker_or_equal )
+{
+  const exact_synthesizer mixed( 3u, /*mixed_polarity=*/true );
+  const exact_synthesizer positive( 3u, /*mixed_polarity=*/false );
+  EXPECT_GT( mixed.library().size(), positive.library().size() );
+  for ( uint64_t seed = 0u; seed < 20u; ++seed )
+  {
+    const auto pi = permutation::random( 3u, seed + 300u );
+    EXPECT_LE( mixed.optimal_gate_count( pi ), positive.optimal_gate_count( pi ) ) << seed;
+  }
+}
+
+TEST( exact_synthesis_test, every_2_line_permutation_within_diameter )
+{
+  const exact_synthesizer synthesizer( 2u );
+  std::vector<uint64_t> images{ 0u, 1u, 2u, 3u };
+  uint32_t worst = 0u;
+  do
+  {
+    const auto pi = permutation::from_vector( images );
+    const auto circuit = synthesizer.synthesize( pi );
+    for ( uint64_t x = 0u; x < 4u; ++x )
+    {
+      ASSERT_EQ( circuit.simulate( x ), pi[x] );
+    }
+    worst = std::max( worst, static_cast<uint32_t>( circuit.num_gates() ) );
+  } while ( std::next_permutation( images.begin(), images.end() ) );
+  /* the 2-line mixed-polarity MCT group has small diameter */
+  EXPECT_LE( worst, 4u );
+}
+
+TEST( exact_synthesis_test, rejects_unsupported_widths )
+{
+  EXPECT_THROW( exact_synthesizer( 0u ), std::invalid_argument );
+  EXPECT_THROW( exact_synthesizer( 4u ), std::invalid_argument );
+  const exact_synthesizer synthesizer( 2u );
+  EXPECT_THROW( synthesizer.optimal_gate_count( permutation( 3u ) ), std::invalid_argument );
+}
+
+} // namespace
+} // namespace qda

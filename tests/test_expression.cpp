@@ -1,0 +1,123 @@
+#include "kernel/expression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qda
+{
+namespace
+{
+
+TEST( expression_test, parses_paper_fig4_predicate )
+{
+  /* def f(a, b, c, d): return (a and b) ^ (c and d) */
+  const auto expr = boolean_expression::parse( "(a and b) ^ (c and d)" );
+  EXPECT_EQ( expr.num_variables(), 4u );
+  EXPECT_EQ( expr.variables(), ( std::vector<std::string>{ "a", "b", "c", "d" } ) );
+  const auto tt = expr.to_truth_table();
+  EXPECT_EQ( tt, inner_product_function( 2u, /*interleaved=*/true ) );
+}
+
+TEST( expression_test, parses_paper_fig7_predicate )
+{
+  /* def f(a, b, c, d, e, f): return (a and b) ^ (c and d) ^ (e and f) */
+  const auto expr = boolean_expression::parse( "(a and b) ^ (c and d) ^ (e and f)" );
+  EXPECT_EQ( expr.num_variables(), 6u );
+  EXPECT_EQ( expr.to_truth_table(), inner_product_function( 3u, /*interleaved=*/true ) );
+}
+
+TEST( expression_test, operator_symbols_and_words_agree )
+{
+  const auto symbolic = boolean_expression::parse( "(a & b) | !c" );
+  const auto wordy = boolean_expression::parse( "(a and b) or not c" );
+  EXPECT_EQ( symbolic.to_truth_table(), wordy.to_truth_table() );
+}
+
+TEST( expression_test, precedence_not_over_and_over_xor_over_or )
+{
+  /* a | b ^ c & !d  ==  a | (b ^ (c & (!d))) */
+  const auto expr = boolean_expression::parse( "a | b ^ c & !d" );
+  for ( uint64_t x = 0u; x < 16u; ++x )
+  {
+    const bool a = x & 1u, b = ( x >> 1u ) & 1u, c = ( x >> 2u ) & 1u, d = ( x >> 3u ) & 1u;
+    EXPECT_EQ( expr.evaluate( x ), a || ( b != ( c && !d ) ) ) << "x=" << x;
+  }
+}
+
+TEST( expression_test, constants )
+{
+  EXPECT_TRUE( boolean_expression::parse( "1" ).evaluate( 0u ) );
+  EXPECT_FALSE( boolean_expression::parse( "0" ).evaluate( 0u ) );
+  EXPECT_TRUE( boolean_expression::parse( "a ^ 1" ).to_truth_table() ==
+               ~truth_table::projection( 1u, 0u ) );
+}
+
+TEST( expression_test, double_negation )
+{
+  const auto expr = boolean_expression::parse( "!!a" );
+  EXPECT_EQ( expr.to_truth_table(), truth_table::projection( 1u, 0u ) );
+}
+
+TEST( expression_test, cpp_style_operators )
+{
+  const auto expr = boolean_expression::parse( "(a && b) || (~c && d)" );
+  for ( uint64_t x = 0u; x < 16u; ++x )
+  {
+    const bool a = x & 1u, b = ( x >> 1u ) & 1u, c = ( x >> 2u ) & 1u, d = ( x >> 3u ) & 1u;
+    EXPECT_EQ( expr.evaluate( x ), ( a && b ) || ( !c && d ) );
+  }
+}
+
+TEST( expression_test, fixed_variable_ordering )
+{
+  const std::vector<std::string> vars{ "x", "y", "z" };
+  const auto expr = boolean_expression::parse( "z & x", vars );
+  EXPECT_EQ( expr.num_variables(), 3u );
+  EXPECT_EQ( expr.to_truth_table(),
+             truth_table::projection( 3u, 2u ) & truth_table::projection( 3u, 0u ) );
+}
+
+TEST( expression_test, fixed_ordering_rejects_unknown_variables )
+{
+  const std::vector<std::string> vars{ "x", "y" };
+  EXPECT_THROW( boolean_expression::parse( "x & q", vars ), std::invalid_argument );
+}
+
+TEST( expression_test, syntax_errors )
+{
+  EXPECT_THROW( boolean_expression::parse( "a &" ), std::invalid_argument );
+  EXPECT_THROW( boolean_expression::parse( "(a & b" ), std::invalid_argument );
+  EXPECT_THROW( boolean_expression::parse( "a b" ), std::invalid_argument );
+  EXPECT_THROW( boolean_expression::parse( "" ), std::invalid_argument );
+  EXPECT_THROW( boolean_expression::parse( "a @ b" ), std::invalid_argument );
+}
+
+TEST( expression_test, to_string_roundtrip )
+{
+  const auto expr = boolean_expression::parse( "(a and b) ^ (c and d)" );
+  const auto reparsed = boolean_expression::parse( expr.to_string() );
+  EXPECT_EQ( reparsed.to_truth_table(), expr.to_truth_table() );
+}
+
+TEST( expression_test, to_truth_table_with_extra_variables )
+{
+  const auto expr = boolean_expression::parse( "a & b" );
+  const auto tt = expr.to_truth_table( 4u );
+  EXPECT_EQ( tt.num_vars(), 4u );
+  EXPECT_EQ( tt, truth_table::projection( 4u, 0u ) & truth_table::projection( 4u, 1u ) );
+  EXPECT_THROW( expr.to_truth_table( 1u ), std::invalid_argument );
+}
+
+TEST( expression_test, evaluate_agrees_with_truth_table )
+{
+  const auto expr = boolean_expression::parse( "(a ^ b) & (c | !d) ^ (a and d)" );
+  const auto tt = expr.to_truth_table();
+  for ( uint64_t x = 0u; x < tt.num_bits(); ++x )
+  {
+    ASSERT_EQ( expr.evaluate( x ), tt.get_bit( x ) );
+  }
+}
+
+} // namespace
+} // namespace qda

@@ -1,0 +1,138 @@
+#include "core/flow.hpp"
+#include "core/ibm_backend.hpp"
+#include "simulator/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qda
+{
+namespace
+{
+
+TEST( flow_test, eq5_pipeline_runs_end_to_end )
+{
+  /* revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c */
+  flow pipeline;
+  const auto stats = pipeline.revgen_hwb( 4u ).tbs().revsimp().rptm().tpar().ps();
+  EXPECT_EQ( stats.num_qubits, pipeline.quantum().num_qubits() );
+  EXPECT_GT( stats.num_gates, 0u );
+  EXPECT_GT( stats.t_count, 0u );
+  EXPECT_TRUE( pipeline.verify() );
+}
+
+TEST( flow_test, stage_order_is_enforced )
+{
+  flow pipeline;
+  EXPECT_THROW( pipeline.tbs(), std::logic_error );
+  pipeline.revgen_hwb( 3u );
+  EXPECT_THROW( pipeline.revsimp(), std::logic_error );
+  EXPECT_THROW( pipeline.rptm(), std::logic_error );
+  pipeline.tbs();
+  EXPECT_THROW( pipeline.tpar(), std::logic_error );
+  EXPECT_THROW( pipeline.ps(), std::logic_error );
+  pipeline.rptm();
+  EXPECT_NO_THROW( pipeline.ps() );
+}
+
+TEST( flow_test, revsimp_does_not_grow_circuit )
+{
+  flow raw;
+  raw.revgen_hwb( 5u ).tbs();
+  const auto before = raw.reversible().num_gates();
+  raw.revsimp();
+  EXPECT_LE( raw.reversible().num_gates(), before );
+}
+
+TEST( flow_test, tpar_reduces_or_keeps_t_count )
+{
+  flow pipeline;
+  pipeline.revgen_hwb( 4u ).tbs().revsimp().rptm();
+  const auto before = pipeline.ps().t_count;
+  pipeline.tpar();
+  EXPECT_LE( pipeline.ps().t_count, before );
+  EXPECT_TRUE( pipeline.verify() );
+}
+
+TEST( flow_test, all_synthesis_commands_verify )
+{
+  for ( const auto synth : { 0, 1, 2 } )
+  {
+    flow pipeline;
+    pipeline.revgen( permutation::random( 4u, 2024u + synth ) );
+    switch ( synth )
+    {
+    case 0: pipeline.tbs(); break;
+    case 1: pipeline.tbs_bidirectional(); break;
+    default: pipeline.dbs(); break;
+    }
+    pipeline.revsimp().rptm().tpar().peephole();
+    EXPECT_TRUE( pipeline.verify() ) << "synth=" << synth;
+  }
+}
+
+TEST( flow_test, rptm_variants )
+{
+  flow with_rp;
+  with_rp.revgen_hwb( 4u ).tbs().rptm( /*use_relative_phase=*/true );
+  flow without_rp;
+  without_rp.revgen_hwb( 4u ).tbs().rptm( /*use_relative_phase=*/false );
+  EXPECT_LE( with_rp.ps().t_count, without_rp.ps().t_count );
+  EXPECT_TRUE( with_rp.verify() );
+  EXPECT_TRUE( without_rp.verify() );
+}
+
+TEST( flow_test, ps_line_formatting )
+{
+  flow pipeline;
+  pipeline.revgen_hwb( 3u ).tbs().rptm();
+  const auto line = pipeline.ps_line();
+  EXPECT_NE( line.find( "qubits:" ), std::string::npos );
+  EXPECT_NE( line.find( "T-count:" ), std::string::npos );
+}
+
+TEST( ibm_backend_test, ideal_model_reproduces_logical_outcome )
+{
+  qcircuit circuit( 4u );
+  circuit.x( 1u );
+  circuit.cx( 1u, 3u ); /* distant on a line: forces routing */
+  circuit.measure_all();
+  const auto execution = run_on_ibm_model( circuit, coupling_map::ibm_qx4(),
+                                           noise_model::ideal(), 64u, 5u );
+  ASSERT_EQ( execution.counts.size(), 1u );
+  EXPECT_EQ( execution.counts.begin()->first, 0b1010u );
+}
+
+TEST( ibm_backend_test, noise_spreads_outcomes )
+{
+  qcircuit circuit( 2u );
+  circuit.h( 0u );
+  circuit.cx( 0u, 1u );
+  circuit.measure_all();
+  const auto execution = run_on_ibm_model( circuit, coupling_map::ibm_qx4(),
+                                           noise_model::ibm_qx4_early2018(), 2048u, 7u );
+  uint64_t total = 0u;
+  for ( const auto& [outcome, count] : execution.counts )
+  {
+    total += count;
+  }
+  EXPECT_EQ( total, 2048u );
+  /* the two Bell outcomes dominate, but noise must populate others */
+  EXPECT_GT( execution.counts.size(), 2u );
+  const double bell = static_cast<double>( execution.counts.at( 0b00u ) +
+                                           execution.counts.at( 0b11u ) ) /
+                      2048.0;
+  EXPECT_GT( bell, 0.8 );
+}
+
+TEST( ibm_backend_test, routing_statistics_reported )
+{
+  qcircuit circuit( 5u );
+  circuit.cx( 0u, 4u ); /* q0 and q4 are far apart on qx4 */
+  circuit.measure_all();
+  const auto execution = run_on_ibm_model( circuit, coupling_map::ibm_qx4(),
+                                           noise_model::ideal(), 16u, 3u );
+  EXPECT_GT( execution.added_swaps + execution.added_direction_fixes, 0u );
+}
+
+} // namespace
+} // namespace qda

@@ -1,0 +1,99 @@
+#include "core/grover.hpp"
+#include "kernel/expression.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qda
+{
+namespace
+{
+
+TEST( grover_test, optimal_iterations_formula )
+{
+  /* single marked element out of 16: round(pi/4 * 4 - 0.5) = 3 */
+  truth_table f( 4u );
+  f.set_bit( 9u, true );
+  EXPECT_EQ( grover_optimal_iterations( f ), 3u );
+
+  /* a quarter marked: one iteration suffices exactly */
+  truth_table quarter( 4u );
+  for ( uint64_t x = 0u; x < 4u; ++x )
+  {
+    quarter.set_bit( x, true );
+  }
+  EXPECT_EQ( grover_optimal_iterations( quarter ), 1u );
+
+  EXPECT_THROW( grover_optimal_iterations( truth_table( 3u ) ), std::invalid_argument );
+}
+
+TEST( grover_test, quarter_marked_is_exact_after_one_iteration )
+{
+  /* with M/N = 1/4 the rotation lands exactly on the marked subspace */
+  truth_table f( 4u );
+  f.set_bit( 3u, true );
+  f.set_bit( 7u, true );
+  f.set_bit( 11u, true );
+  f.set_bit( 15u, true );
+  EXPECT_NEAR( grover_success_probability( f, 1u ), 1.0, 1e-9 );
+}
+
+TEST( grover_test, single_marked_element_amplifies )
+{
+  truth_table f( 4u );
+  f.set_bit( 13u, true );
+  const double initial = 1.0 / 16.0;
+  const double after = grover_success_probability( f, grover_optimal_iterations( f ) );
+  EXPECT_GT( after, 0.9 );
+  EXPECT_GT( after, initial * 10.0 );
+}
+
+TEST( grover_test, overrotation_reduces_success )
+{
+  truth_table f( 4u );
+  f.set_bit( 5u, true );
+  const double optimal = grover_success_probability( f, 3u );
+  const double over = grover_success_probability( f, 6u );
+  EXPECT_LT( over, optimal );
+}
+
+TEST( grover_test, search_returns_marked_element )
+{
+  const auto expr = boolean_expression::parse( "a & !b & c & d" ); /* marks 0b1101 */
+  const auto f = expr.to_truth_table();
+  for ( uint64_t seed = 1u; seed <= 5u; ++seed )
+  {
+    EXPECT_EQ( grover_search( f, seed ), 0b1101u ) << "seed=" << seed;
+  }
+}
+
+TEST( grover_test, compiled_predicate_oracle )
+{
+  /* a predicate with a non-trivial ESOP cover */
+  const auto expr = boolean_expression::parse( "(a ^ b) & (c | d) & !(a & d)" );
+  const auto f = expr.to_truth_table();
+  const double success = grover_success_probability( f, grover_optimal_iterations( f ) );
+  EXPECT_GT( success, 0.8 );
+}
+
+TEST( grover_test, rejects_empty_function )
+{
+  EXPECT_THROW( grover_circuit( truth_table( 0u ), 1u ), std::invalid_argument );
+}
+
+class grover_sweep_test : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P( grover_sweep_test, amplification_across_sizes )
+{
+  const uint32_t n = GetParam();
+  truth_table f( n );
+  f.set_bit( ( uint64_t{ 1 } << n ) - 2u, true );
+  const double success = grover_success_probability( f, grover_optimal_iterations( f ) );
+  EXPECT_GT( success, 0.8 ) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P( sizes, grover_sweep_test, ::testing::Values( 3u, 4u, 5u, 6u, 7u ) );
+
+} // namespace
+} // namespace qda

@@ -1,0 +1,202 @@
+#include "core/hidden_shift.hpp"
+#include "kernel/spectral.hpp"
+#include "simulator/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qda
+{
+namespace
+{
+
+TEST( bent_function_test, inner_product_layouts )
+{
+  const auto plain = mm_bent_function::inner_product( 2u, /*interleaved=*/false );
+  EXPECT_EQ( plain.to_truth_table(), inner_product_function( 2u ) );
+  const auto inter = mm_bent_function::inner_product( 2u, /*interleaved=*/true );
+  EXPECT_EQ( inter.to_truth_table(), inner_product_function( 2u, true ) );
+}
+
+TEST( bent_function_test, mm_functions_are_bent )
+{
+  for ( uint64_t seed = 0u; seed < 8u; ++seed )
+  {
+    const auto f = mm_bent_function::random( 3u, seed );
+    EXPECT_TRUE( is_bent( f.to_truth_table() ) ) << "seed=" << seed;
+  }
+}
+
+TEST( bent_function_test, closed_form_dual_matches_spectral_dual )
+{
+  for ( uint64_t seed = 0u; seed < 8u; ++seed )
+  {
+    const auto f = mm_bent_function::random( 3u, seed + 50u );
+    const auto spectral = dual_bent_function( f.to_truth_table() );
+    ASSERT_EQ( f.dual_truth_table(), spectral ) << "seed=" << seed;
+  }
+}
+
+TEST( bent_function_test, paper_fig7_instance )
+{
+  const auto f = mm_bent_function::paper_fig7();
+  EXPECT_EQ( f.num_vars(), 6u );
+  EXPECT_TRUE( is_bent( f.to_truth_table() ) );
+  /* x on even qubits, y on odd qubits */
+  EXPECT_EQ( f.x_var( 0u ), 0u );
+  EXPECT_EQ( f.y_var( 0u ), 1u );
+  EXPECT_EQ( f.x_var( 2u ), 4u );
+}
+
+TEST( bent_function_test, arity_mismatch_throws )
+{
+  EXPECT_THROW( mm_bent_function( permutation( 3u ), truth_table( 2u ) ),
+                std::invalid_argument );
+}
+
+TEST( hidden_shift_test, paper_fig4_instance_shift_is_1 )
+{
+  /* f(x) = x1 x2 xor x3 x4, g(x) = f(x + 1): the paper's Sec. VII demo */
+  const auto f = inner_product_function( 2u, /*interleaved=*/true );
+  const auto circuit = hidden_shift_circuit( { f, 1u } );
+  EXPECT_EQ( solve_hidden_shift( circuit ), 1u );
+}
+
+TEST( hidden_shift_test, generic_circuit_recovers_every_shift )
+{
+  const auto f = inner_product_function( 2u, /*interleaved=*/true );
+  for ( uint64_t shift = 0u; shift < 16u; ++shift )
+  {
+    const auto circuit = hidden_shift_circuit( { f, shift } );
+    ASSERT_EQ( solve_hidden_shift( circuit ), shift ) << "shift=" << shift;
+  }
+}
+
+TEST( hidden_shift_test, recovery_is_deterministic )
+{
+  const auto f = inner_product_function( 2u );
+  const auto circuit = hidden_shift_circuit( { f, 9u } );
+  statevector_simulator simulator( circuit.num_qubits() );
+  qcircuit unitary_only( circuit.num_qubits() );
+  for ( const auto& gate : circuit.gates() )
+  {
+    if ( gate.kind != gate_kind::measure )
+    {
+      unitary_only.add_gate( gate );
+    }
+  }
+  simulator.run( unitary_only );
+  EXPECT_NEAR( simulator.probability_of( 9u ), 1.0, 1e-9 );
+}
+
+TEST( hidden_shift_test, rejects_non_bent_functions )
+{
+  EXPECT_THROW( hidden_shift_circuit( { truth_table::projection( 4u, 0u ), 1u } ),
+                std::invalid_argument );
+  const auto f = inner_product_function( 2u );
+  EXPECT_THROW( hidden_shift_circuit( { f, 16u } ), std::invalid_argument );
+}
+
+TEST( hidden_shift_test, random_bent_instances )
+{
+  for ( uint64_t seed = 0u; seed < 6u; ++seed )
+  {
+    const auto mm = mm_bent_function::random( 2u, seed + 7u );
+    const auto f = mm.to_truth_table();
+    const uint64_t shift = ( seed * 5u + 3u ) % 16u;
+    const auto circuit = hidden_shift_circuit( { f, shift } );
+    ASSERT_EQ( solve_hidden_shift( circuit ), shift ) << "seed=" << seed;
+  }
+}
+
+TEST( hidden_shift_mm_test, paper_fig7_instance_shift_is_5 )
+{
+  const auto f = mm_bent_function::paper_fig7();
+  const auto circuit = hidden_shift_circuit_mm( f, 5u );
+  EXPECT_EQ( solve_hidden_shift( circuit ), 5u );
+}
+
+TEST( hidden_shift_mm_test, every_shift_of_fig7_instance )
+{
+  const auto f = mm_bent_function::paper_fig7();
+  for ( uint64_t shift = 0u; shift < 64u; shift += 7u )
+  {
+    const auto circuit = hidden_shift_circuit_mm( f, shift );
+    ASSERT_EQ( solve_hidden_shift( circuit ), shift ) << "shift=" << shift;
+  }
+}
+
+TEST( hidden_shift_mm_test, synthesis_method_combinations )
+{
+  const auto f = mm_bent_function::paper_fig7();
+  for ( const auto pi_synth : { permutation_synthesis::tbs, permutation_synthesis::dbs } )
+  {
+    for ( const auto dual_synth : { permutation_synthesis::tbs, permutation_synthesis::dbs,
+                                    permutation_synthesis::tbs_bidirectional } )
+    {
+      const auto circuit = hidden_shift_circuit_mm( f, 42u, pi_synth, dual_synth );
+      ASSERT_EQ( solve_hidden_shift( circuit ), 42u );
+    }
+  }
+}
+
+TEST( hidden_shift_mm_test, nontrivial_h_part )
+{
+  for ( uint64_t seed = 0u; seed < 5u; ++seed )
+  {
+    const auto f = mm_bent_function::random( 2u, seed + 90u );
+    const uint64_t shift = ( 3u * seed + 1u ) % 16u;
+    const auto circuit = hidden_shift_circuit_mm( f, shift );
+    ASSERT_EQ( solve_hidden_shift( circuit ), shift ) << "seed=" << seed;
+  }
+}
+
+TEST( hidden_shift_mm_test, mm_and_generic_circuits_agree )
+{
+  const auto f = mm_bent_function::random( 2u, 123u );
+  const auto generic = hidden_shift_circuit( { f.to_truth_table(), 6u } );
+  const auto structured = hidden_shift_circuit_mm( f, 6u );
+  EXPECT_EQ( solve_hidden_shift( generic ), solve_hidden_shift( structured ) );
+}
+
+TEST( classical_baseline_test, brute_force_finds_shift )
+{
+  const auto f = inner_product_function( 2u );
+  const auto g = shift_function( f, 11u );
+  const auto [shift, queries] = classical_hidden_shift( f, g );
+  EXPECT_EQ( shift, 11u );
+  EXPECT_GT( queries, 2u ); /* quantum needs exactly 2 */
+}
+
+TEST( classical_baseline_test, sampling_variant_finds_shift )
+{
+  const auto f = inner_product_function( 3u );
+  const auto g = shift_function( f, 33u );
+  const auto [shift, queries] = classical_hidden_shift_sampling( f, g );
+  EXPECT_EQ( shift, 33u );
+  EXPECT_GT( queries, 2u );
+}
+
+TEST( classical_baseline_test, query_counts_grow_with_n )
+{
+  uint64_t previous = 0u;
+  for ( uint32_t half : { 1u, 2u, 3u } )
+  {
+    const auto f = inner_product_function( half );
+    const auto g = shift_function( f, f.num_bits() - 1u );
+    const auto [shift, queries] = classical_hidden_shift( f, g );
+    EXPECT_EQ( shift, f.num_bits() - 1u );
+    EXPECT_GT( queries, previous );
+    previous = queries;
+  }
+}
+
+TEST( classical_baseline_test, rejects_shiftless_pairs )
+{
+  const auto f = inner_product_function( 2u );
+  auto g = shift_function( f, 3u );
+  g.flip_bit( 0u ); /* no longer a shift of f */
+  EXPECT_THROW( classical_hidden_shift( f, g ), std::invalid_argument );
+}
+
+} // namespace
+} // namespace qda

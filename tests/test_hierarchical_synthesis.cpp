@@ -1,0 +1,203 @@
+#include "kernel/bits.hpp"
+#include "synthesis/bdd_based.hpp"
+#include "synthesis/lut_based.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qda
+{
+namespace
+{
+
+/*! Checks that `result` computes `f` on its output line when all
+ *  non-input lines start at 0, and that inputs pass through unchanged.
+ */
+void expect_computes( const hierarchical_synthesis_result& result, const truth_table& f,
+                      const std::string& context, bool expect_clean_ancillae )
+{
+  ASSERT_EQ( result.output_lines.size(), 1u ) << context;
+  const uint32_t n = f.num_vars();
+  const uint32_t out_line = result.output_lines[0];
+  for ( uint64_t x = 0u; x < f.num_bits(); ++x )
+  {
+    const uint64_t image = result.circuit.simulate( x );
+    ASSERT_EQ( image & ( ( uint64_t{ 1 } << n ) - 1u ), x ) << context << " input clobbered";
+    ASSERT_EQ( test_bit( image, out_line ), f.get_bit( x ) ) << context << " x=" << x;
+    if ( expect_clean_ancillae )
+    {
+      /* all lines except inputs and the output must return to 0 */
+      for ( uint32_t line = n; line < result.circuit.num_lines(); ++line )
+      {
+        if ( line == out_line )
+        {
+          continue;
+        }
+        ASSERT_FALSE( test_bit( image, line ) )
+            << context << " dirty ancilla line " << line << " at x=" << x;
+      }
+    }
+  }
+}
+
+TEST( bdd_synthesis_test, simple_functions_with_garbage )
+{
+  for ( const auto& f : { majority_function( 3u ), inner_product_function( 2u ),
+                          hidden_weighted_bit_function( 4u ) } )
+  {
+    const auto result = bdd_based_synthesis( f, /*uncompute_garbage=*/false );
+    expect_computes( result, f, "bdd garbage", /*expect_clean_ancillae=*/false );
+    EXPECT_GT( result.num_garbage, 0u );
+  }
+}
+
+TEST( bdd_synthesis_test, uncompute_restores_ancillae )
+{
+  for ( const auto& f : { majority_function( 3u ), inner_product_function( 2u ),
+                          random_truth_table( 5u, 500u ) } )
+  {
+    const auto result = bdd_based_synthesis( f, /*uncompute_garbage=*/true );
+    expect_computes( result, f, "bdd clean", /*expect_clean_ancillae=*/true );
+    EXPECT_EQ( result.num_garbage, 0u );
+  }
+}
+
+TEST( bdd_synthesis_test, random_functions )
+{
+  for ( uint64_t seed = 0u; seed < 12u; ++seed )
+  {
+    const auto f = random_truth_table( 5u, seed + 600u );
+    const auto result = bdd_based_synthesis( f );
+    expect_computes( result, f, "bdd random", false );
+  }
+}
+
+TEST( bdd_synthesis_test, ancilla_count_equals_bdd_size )
+{
+  const auto f = majority_function( 3u );
+  bdd_manager mgr( 3u );
+  const auto root = mgr.from_truth_table( f );
+  const auto result = bdd_based_synthesis( mgr, { root } );
+  EXPECT_EQ( result.num_ancillae, mgr.count_nodes( root ) );
+}
+
+TEST( bdd_synthesis_test, shared_nodes_across_outputs )
+{
+  bdd_manager mgr( 4u );
+  const auto a = mgr.variable( 0u );
+  const auto b = mgr.variable( 1u );
+  const auto c = mgr.variable( 2u );
+  const auto shared = mgr.land( a, b );
+  const auto f = mgr.lxor( shared, c );
+  const auto g = mgr.lor( shared, c );
+  const auto result = bdd_based_synthesis( mgr, { f, g } );
+  ASSERT_EQ( result.output_lines.size(), 2u );
+  const auto tf = mgr.to_truth_table( f );
+  const auto tg = mgr.to_truth_table( g );
+  for ( uint64_t x = 0u; x < 16u; ++x )
+  {
+    const auto image = result.circuit.simulate( x );
+    EXPECT_EQ( test_bit( image, result.output_lines[0] ), tf.get_bit( x ) );
+    EXPECT_EQ( test_bit( image, result.output_lines[1] ), tg.get_bit( x ) );
+  }
+}
+
+TEST( lhrs_test, bennett_strategy_cleans_intermediates )
+{
+  for ( uint64_t seed = 0u; seed < 8u; ++seed )
+  {
+    const auto f = random_truth_table( 5u, seed + 700u );
+    const auto result = lut_based_synthesis( f, 4u, pebbling_strategy::bennett );
+    expect_computes( result, f, "lhrs bennett", /*expect_clean_ancillae=*/true );
+  }
+}
+
+TEST( lhrs_test, eager_strategy_cleans_intermediates )
+{
+  for ( uint64_t seed = 0u; seed < 8u; ++seed )
+  {
+    const auto f = random_truth_table( 5u, seed + 800u );
+    const auto result = lut_based_synthesis( f, 4u, pebbling_strategy::eager );
+    expect_computes( result, f, "lhrs eager", /*expect_clean_ancillae=*/true );
+  }
+}
+
+TEST( lhrs_test, eager_uses_no_more_lines_than_bennett )
+{
+  for ( uint64_t seed = 0u; seed < 8u; ++seed )
+  {
+    const auto f = random_truth_table( 5u, seed + 900u );
+    const auto bennett = lut_based_synthesis( f, 3u, pebbling_strategy::bennett );
+    const auto eager = lut_based_synthesis( f, 3u, pebbling_strategy::eager );
+    EXPECT_LE( eager.circuit.num_lines(), bennett.circuit.num_lines() ) << "seed=" << seed;
+    expect_computes( eager, f, "lhrs eager lines", true );
+  }
+}
+
+TEST( lhrs_test, cut_size_tradeoff_on_structured_function )
+{
+  /* the inner product function has a compact XAG, so even small cuts fit */
+  const auto f = inner_product_function( 4u );
+  const auto small_cuts = lut_based_synthesis( f, 2u, pebbling_strategy::eager );
+  const auto large_cuts = lut_based_synthesis( f, 6u, pebbling_strategy::eager );
+  expect_computes( small_cuts, f, "lhrs k=2", true );
+  expect_computes( large_cuts, f, "lhrs k=6", true );
+  EXPECT_LE( large_cuts.num_ancillae, small_cuts.num_ancillae + 1u );
+}
+
+TEST( lhrs_test, works_on_lut_network_directly )
+{
+  /* two-level network: (x0 & x1) ^ x2, PO also consumed internally */
+  lut_network net( 3u );
+  const auto conj = net.add_lut( { 0u, 1u },
+                                 truth_table::projection( 2u, 0u ) & truth_table::projection( 2u, 1u ) );
+  const auto sum = net.add_lut( { conj, 2u },
+                                truth_table::projection( 2u, 0u ) ^ truth_table::projection( 2u, 1u ) );
+  net.add_po( sum );
+  const auto result = lut_based_synthesis( net, pebbling_strategy::eager );
+  const auto expected = ( truth_table::projection( 3u, 0u ) & truth_table::projection( 3u, 1u ) ) ^
+                        truth_table::projection( 3u, 2u );
+  expect_computes( result, expected, "lhrs direct", true );
+}
+
+TEST( lhrs_test, po_that_feeds_other_luts_is_not_uncomputed )
+{
+  lut_network net( 2u );
+  const auto conj = net.add_lut( { 0u, 1u },
+                                 truth_table::projection( 2u, 0u ) & truth_table::projection( 2u, 1u ) );
+  const auto inv = net.add_lut( { conj }, ~truth_table::projection( 1u, 0u ) );
+  net.add_po( conj );
+  net.add_po( inv );
+  const auto result = lut_based_synthesis( net, pebbling_strategy::eager );
+  ASSERT_EQ( result.output_lines.size(), 2u );
+  const auto f_and = truth_table::projection( 2u, 0u ) & truth_table::projection( 2u, 1u );
+  for ( uint64_t x = 0u; x < 4u; ++x )
+  {
+    const auto image = result.circuit.simulate( x );
+    EXPECT_EQ( test_bit( image, result.output_lines[0] ), f_and.get_bit( x ) );
+    EXPECT_EQ( test_bit( image, result.output_lines[1] ), !f_and.get_bit( x ) );
+  }
+}
+
+class lhrs_property_test
+    : public ::testing::TestWithParam<std::tuple<uint32_t, pebbling_strategy>>
+{
+};
+
+TEST_P( lhrs_property_test, exact_over_seeds )
+{
+  const auto [cut_size, strategy] = GetParam();
+  for ( uint64_t seed = 0u; seed < 4u; ++seed )
+  {
+    const auto f = random_truth_table( 5u, seed * 31u + 17u );
+    const auto result = lut_based_synthesis( f, cut_size, strategy );
+    expect_computes( result, f, "lhrs sweep", true );
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    sweep, lhrs_property_test,
+    ::testing::Combine( ::testing::Values( 2u, 3u, 4u, 5u ),
+                        ::testing::Values( pebbling_strategy::bennett, pebbling_strategy::eager ) ) );
+
+} // namespace
+} // namespace qda

@@ -1,0 +1,202 @@
+#include "kernel/expression.hpp"
+#include "networks/lut.hpp"
+#include "networks/xag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qda
+{
+namespace
+{
+
+TEST( xag_test, constants_and_pis )
+{
+  xag_network net;
+  EXPECT_EQ( net.get_constant( false ), 0u );
+  EXPECT_EQ( net.get_constant( true ), 1u );
+  const auto a = net.create_pi();
+  const auto b = net.create_pi();
+  EXPECT_EQ( net.num_pis(), 2u );
+  EXPECT_NE( a, b );
+}
+
+TEST( xag_test, and_constant_folding )
+{
+  xag_network net;
+  const auto a = net.create_pi();
+  EXPECT_EQ( net.create_and( a, net.get_constant( false ) ), net.get_constant( false ) );
+  EXPECT_EQ( net.create_and( a, net.get_constant( true ) ), a );
+  EXPECT_EQ( net.create_and( a, a ), a );
+  EXPECT_EQ( net.create_and( a, xag_network::create_not( a ) ), net.get_constant( false ) );
+  EXPECT_EQ( net.num_gates(), 0u );
+}
+
+TEST( xag_test, xor_constant_folding )
+{
+  xag_network net;
+  const auto a = net.create_pi();
+  EXPECT_EQ( net.create_xor( a, a ), net.get_constant( false ) );
+  EXPECT_EQ( net.create_xor( a, xag_network::create_not( a ) ), net.get_constant( true ) );
+  EXPECT_EQ( net.create_xor( a, net.get_constant( false ) ), a );
+  EXPECT_EQ( net.create_xor( a, net.get_constant( true ) ), xag_network::create_not( a ) );
+  EXPECT_EQ( net.num_gates(), 0u );
+}
+
+TEST( xag_test, structural_hashing_deduplicates )
+{
+  xag_network net;
+  const auto a = net.create_pi();
+  const auto b = net.create_pi();
+  const auto g1 = net.create_and( a, b );
+  const auto g2 = net.create_and( b, a );
+  EXPECT_EQ( g1, g2 );
+  EXPECT_EQ( net.num_gates(), 1u );
+
+  /* XOR complement canonicalization: (!a ^ b) == !(a ^ b) structurally */
+  const auto x1 = net.create_xor( xag_network::create_not( a ), b );
+  const auto x2 = net.create_xor( a, xag_network::create_not( b ) );
+  EXPECT_EQ( x1, x2 );
+  EXPECT_EQ( net.num_gates(), 2u );
+}
+
+TEST( xag_test, simulation_matches_expression )
+{
+  const auto expr = boolean_expression::parse( "(a & b) ^ (c & d)" );
+  const auto net = xag_network::from_expression( expr );
+  EXPECT_EQ( net.num_pis(), 4u );
+  EXPECT_EQ( net.num_pos(), 1u );
+  const auto tables = net.simulate();
+  ASSERT_EQ( tables.size(), 1u );
+  EXPECT_EQ( tables[0], expr.to_truth_table() );
+  EXPECT_EQ( net.num_and_gates(), 2u );
+  EXPECT_EQ( net.num_xor_gates(), 1u );
+}
+
+TEST( xag_test, from_expression_handles_or_and_not )
+{
+  const auto expr = boolean_expression::parse( "!(a | b) ^ (c or !d)" );
+  const auto net = xag_network::from_expression( expr );
+  EXPECT_EQ( net.simulate()[0], expr.to_truth_table() );
+}
+
+TEST( xag_test, from_truth_table_is_exact )
+{
+  for ( uint64_t seed = 0u; seed < 15u; ++seed )
+  {
+    const auto f = random_truth_table( 5u, seed + 200u );
+    const auto net = xag_network::from_truth_table( f );
+    ASSERT_EQ( net.simulate()[0], f ) << "seed=" << seed;
+  }
+}
+
+TEST( xag_test, simulate_signal )
+{
+  xag_network net;
+  const auto a = net.create_pi();
+  const auto b = net.create_pi();
+  const auto g = net.create_and( a, b );
+  net.create_po( g );
+  EXPECT_EQ( net.simulate_signal( xag_network::create_not( g ) ),
+             ~( truth_table::projection( 2u, 0u ) & truth_table::projection( 2u, 1u ) ) );
+}
+
+TEST( xag_test, pis_must_precede_gates )
+{
+  xag_network net;
+  const auto a = net.create_pi();
+  const auto b = net.create_pi();
+  net.create_and( a, b );
+  EXPECT_THROW( net.create_pi(), std::logic_error );
+}
+
+TEST( lut_test, add_lut_validation )
+{
+  lut_network net( 2u );
+  EXPECT_THROW( net.add_lut( { 0u, 1u }, truth_table( 1u ) ), std::invalid_argument );
+  EXPECT_THROW( net.add_lut( { 5u }, truth_table( 1u ) ), std::invalid_argument );
+  const auto id = net.add_lut( { 0u, 1u },
+                               truth_table::projection( 2u, 0u ) & truth_table::projection( 2u, 1u ) );
+  EXPECT_EQ( id, 2u );
+  EXPECT_THROW( net.add_po( 9u ), std::invalid_argument );
+  net.add_po( id );
+  EXPECT_EQ( net.num_pos(), 1u );
+}
+
+TEST( lut_test, simulate_small_network )
+{
+  lut_network net( 3u );
+  const auto conj = net.add_lut( { 0u, 1u },
+                                 truth_table::projection( 2u, 0u ) & truth_table::projection( 2u, 1u ) );
+  const auto sum = net.add_lut( { conj, 2u },
+                                truth_table::projection( 2u, 0u ) ^ truth_table::projection( 2u, 1u ) );
+  net.add_po( sum );
+  const auto tables = net.simulate();
+  ASSERT_EQ( tables.size(), 1u );
+  const auto expected = ( truth_table::projection( 3u, 0u ) & truth_table::projection( 3u, 1u ) ) ^
+                        truth_table::projection( 3u, 2u );
+  EXPECT_EQ( tables[0], expected );
+  EXPECT_EQ( net.num_internal_luts(), 1u );
+  EXPECT_EQ( net.max_fanin_size(), 2u );
+}
+
+TEST( lut_map_test, preserves_function_on_random_xags )
+{
+  for ( uint64_t seed = 0u; seed < 10u; ++seed )
+  {
+    const auto f = random_truth_table( 6u, seed + 300u );
+    const auto net = xag_network::from_truth_table( f );
+    for ( const uint32_t k : { 2u, 3u, 4u, 5u, 6u } )
+    {
+      const auto mapped = lut_map( net, k );
+      ASSERT_EQ( mapped.simulate()[0], f ) << "seed=" << seed << " k=" << k;
+      EXPECT_LE( mapped.max_fanin_size(), k );
+    }
+  }
+}
+
+TEST( lut_map_test, bigger_cuts_need_fewer_luts )
+{
+  const auto f = random_truth_table( 8u, 1234u );
+  const auto net = xag_network::from_truth_table( f );
+  const auto mapped2 = lut_map( net, 2u );
+  const auto mapped6 = lut_map( net, 6u );
+  EXPECT_LE( mapped6.num_luts(), mapped2.num_luts() );
+}
+
+TEST( lut_map_test, handles_complemented_and_constant_outputs )
+{
+  xag_network net;
+  const auto a = net.create_pi();
+  const auto b = net.create_pi();
+  net.create_po( xag_network::create_not( net.create_and( a, b ) ) );
+  net.create_po( net.get_constant( false ) );
+  const auto mapped = lut_map( net, 4u );
+  const auto tables = mapped.simulate();
+  ASSERT_EQ( tables.size(), 2u );
+  EXPECT_EQ( tables[0],
+             ~( truth_table::projection( 2u, 0u ) & truth_table::projection( 2u, 1u ) ) );
+  EXPECT_TRUE( tables[1].is_constant0() );
+}
+
+TEST( lut_map_test, rejects_bad_cut_size )
+{
+  xag_network net;
+  EXPECT_THROW( lut_map( net, 1u ), std::invalid_argument );
+  EXPECT_THROW( lut_map( net, 7u ), std::invalid_argument );
+}
+
+TEST( lut_map_test, multi_output_network )
+{
+  const auto e1 = boolean_expression::parse( "(a & b) ^ c" );
+  auto net = xag_network::from_expression( e1 );
+  /* add a second output reusing nodes */
+  net.create_po( net.get_constant( true ) );
+  const auto mapped = lut_map( net, 3u );
+  const auto tables = mapped.simulate();
+  ASSERT_EQ( tables.size(), 2u );
+  EXPECT_EQ( tables[0], e1.to_truth_table() );
+  EXPECT_TRUE( tables[1].is_constant1() );
+}
+
+} // namespace
+} // namespace qda

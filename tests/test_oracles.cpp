@@ -1,0 +1,157 @@
+#include "core/oracles.hpp"
+#include "simulator/statevector.hpp"
+#include "simulator/unitary.hpp"
+#include "synthesis/revgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qda
+{
+namespace
+{
+
+/*! Checks that `circuit` is the diagonal (-1)^{f(x)} (up to global phase). */
+void expect_phase_oracle( const qcircuit& circuit, const truth_table& f )
+{
+  const auto matrix = build_unitary( circuit );
+  /* derive the global phase from basis state 0 */
+  const auto reference = matrix[0][0];
+  ASSERT_GT( std::abs( reference ), 0.5 );
+  const double sign0 = f.get_bit( 0u ) ? -1.0 : 1.0;
+  for ( uint64_t x = 0u; x < f.num_bits(); ++x )
+  {
+    for ( uint64_t row = 0u; row < f.num_bits(); ++row )
+    {
+      if ( row != x )
+      {
+        ASSERT_LT( std::abs( matrix[x][row] ), 1e-9 ) << "off-diagonal at " << x;
+      }
+    }
+    const double expected_sign = ( f.get_bit( x ) ? -1.0 : 1.0 ) * sign0;
+    const auto relative = matrix[x][x] / reference;
+    ASSERT_NEAR( relative.real(), expected_sign, 1e-9 ) << "x=" << x;
+    ASSERT_NEAR( relative.imag(), 0.0, 1e-9 ) << "x=" << x;
+  }
+}
+
+TEST( phase_oracle_test, paper_fig4_predicate )
+{
+  const auto expr = boolean_expression::parse( "(a and b) ^ (c and d)" );
+  expect_phase_oracle( phase_oracle_circuit( expr.to_truth_table() ), expr.to_truth_table() );
+}
+
+TEST( phase_oracle_test, linear_functions_need_only_z )
+{
+  const auto f = truth_table::projection( 3u, 0u ) ^ truth_table::projection( 3u, 2u );
+  const auto circuit = phase_oracle_circuit( f );
+  expect_phase_oracle( circuit, f );
+  for ( const auto& gate : circuit.gates() )
+  {
+    EXPECT_EQ( gate.kind, gate_kind::z );
+  }
+}
+
+TEST( phase_oracle_test, constant_one_is_global_phase )
+{
+  const auto circuit = phase_oracle_circuit( truth_table::constant( 2u, true ) );
+  expect_phase_oracle( circuit, truth_table::constant( 2u, true ) );
+}
+
+TEST( phase_oracle_test, negative_literals_via_x_conjugation )
+{
+  const auto expr = boolean_expression::parse( "!a & b" );
+  const auto f = expr.to_truth_table();
+  expect_phase_oracle( phase_oracle_circuit( f ), f );
+}
+
+TEST( phase_oracle_test, random_functions )
+{
+  for ( uint64_t seed = 0u; seed < 15u; ++seed )
+  {
+    const auto f = random_truth_table( 4u, seed + 40u );
+    expect_phase_oracle( phase_oracle_circuit( f ), f );
+  }
+}
+
+TEST( phase_oracle_test, arity_mismatch_throws )
+{
+  main_engine eng( 3u );
+  EXPECT_THROW( phase_oracle( eng, truth_table( 2u ), { 0u, 1u, 2u } ), std::invalid_argument );
+}
+
+TEST( phase_oracle_test, scattered_qubit_assignment )
+{
+  /* f(v0, v1) = v0 & v1 placed on qubits 2 and 0 of a 3-qubit engine */
+  main_engine eng( 3u );
+  const auto f = truth_table::projection( 2u, 0u ) & truth_table::projection( 2u, 1u );
+  phase_oracle( eng, f, { 2u, 0u } );
+  const auto matrix = build_unitary( eng.circuit() );
+  for ( uint64_t x = 0u; x < 8u; ++x )
+  {
+    const bool v0 = ( x >> 2u ) & 1u;
+    const bool v1 = x & 1u;
+    const double expected = ( v0 && v1 ) ? -1.0 : 1.0;
+    ASSERT_NEAR( matrix[x][x].real(), expected, 1e-9 ) << x;
+  }
+}
+
+TEST( permutation_oracle_test, all_synthesis_methods_agree )
+{
+  const auto pi = paper_fig7_permutation();
+  for ( const auto method : { permutation_synthesis::tbs,
+                              permutation_synthesis::tbs_bidirectional,
+                              permutation_synthesis::dbs } )
+  {
+    const auto circuit = permutation_oracle_circuit( pi, method );
+    EXPECT_TRUE( circuit_implements_permutation( circuit, pi.images() ) )
+        << "method=" << static_cast<int>( method );
+  }
+}
+
+TEST( permutation_oracle_test, random_permutations )
+{
+  for ( uint64_t seed = 0u; seed < 10u; ++seed )
+  {
+    const auto pi = permutation::random( 4u, seed + 11u );
+    const auto circuit = permutation_oracle_circuit( pi );
+    ASSERT_TRUE( circuit_implements_permutation( circuit, pi.images() ) ) << "seed=" << seed;
+  }
+}
+
+TEST( permutation_oracle_test, streams_onto_selected_qubits )
+{
+  /* permutation on qubits {1, 3} of a 4-qubit engine: swap the two bits */
+  main_engine eng( 4u );
+  const auto pi = permutation::from_vector( { 0u, 2u, 1u, 3u } ); /* bit swap */
+  permutation_oracle( eng, pi, { 1u, 3u } );
+  statevector_simulator sim( 4u );
+  qcircuit prep( 4u );
+  prep.x( 1u );
+  prep.append( eng.circuit() );
+  sim.run( prep );
+  /* bit at qubit 1 moves to qubit 3 */
+  EXPECT_NEAR( sim.probability_of( 0b1000u ), 1.0, 1e-9 );
+}
+
+TEST( permutation_oracle_test, arity_mismatch_throws )
+{
+  main_engine eng( 3u );
+  EXPECT_THROW( permutation_oracle( eng, permutation( 2u ), { 0u, 1u, 2u } ),
+                std::invalid_argument );
+}
+
+TEST( permutation_oracle_test, dagger_block_gives_inverse )
+{
+  const auto pi = paper_fig7_permutation();
+  main_engine eng( 3u );
+  {
+    auto daggered = eng.dagger();
+    permutation_oracle( eng, pi, { 0u, 1u, 2u }, permutation_synthesis::dbs );
+  }
+  EXPECT_TRUE( circuit_implements_permutation( eng.circuit(), pi.inverse().images() ) );
+}
+
+} // namespace
+} // namespace qda

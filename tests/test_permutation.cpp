@@ -1,0 +1,116 @@
+#include "kernel/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qda
+{
+namespace
+{
+
+TEST( permutation_test, identity_construction )
+{
+  const permutation id( 3u );
+  EXPECT_EQ( id.num_vars(), 3u );
+  EXPECT_EQ( id.size(), 8u );
+  EXPECT_TRUE( id.is_identity() );
+  for ( uint64_t x = 0u; x < 8u; ++x )
+  {
+    EXPECT_EQ( id[x], x );
+  }
+}
+
+TEST( permutation_test, from_vector_validates_bijection )
+{
+  EXPECT_NO_THROW( permutation::from_vector( { 0u, 2u, 3u, 1u } ) );
+  EXPECT_THROW( permutation::from_vector( { 0u, 0u, 3u, 1u } ), std::invalid_argument );
+  EXPECT_THROW( permutation::from_vector( { 0u, 4u, 3u, 1u } ), std::invalid_argument );
+  EXPECT_THROW( permutation::from_vector( { 0u, 1u, 2u } ), std::invalid_argument );
+}
+
+TEST( permutation_test, paper_fig7_permutation_is_valid )
+{
+  const auto pi = permutation::from_vector( { 0u, 2u, 3u, 5u, 7u, 1u, 4u, 6u } );
+  EXPECT_EQ( pi.num_vars(), 3u );
+  EXPECT_EQ( pi[3u], 5u );
+  EXPECT_FALSE( pi.is_identity() );
+}
+
+TEST( permutation_test, inverse_composes_to_identity )
+{
+  const auto pi = permutation::from_vector( { 0u, 2u, 3u, 5u, 7u, 1u, 4u, 6u } );
+  const auto inv = pi.inverse();
+  EXPECT_TRUE( pi.compose( inv ).is_identity() );
+  EXPECT_TRUE( inv.compose( pi ).is_identity() );
+}
+
+TEST( permutation_test, random_permutations_are_valid_and_deterministic )
+{
+  const auto a = permutation::random( 6u, 1u );
+  const auto b = permutation::random( 6u, 1u );
+  const auto c = permutation::random( 6u, 2u );
+  EXPECT_EQ( a, b );
+  EXPECT_NE( a, c );
+  EXPECT_TRUE( a.compose( a.inverse() ).is_identity() );
+}
+
+TEST( permutation_test, composition_order )
+{
+  /* this(other(x)) */
+  const auto swap01 = permutation::from_vector( { 1u, 0u, 2u, 3u } );
+  const auto rotate = permutation::from_vector( { 1u, 2u, 3u, 0u } );
+  const auto composed = swap01.compose( rotate );
+  EXPECT_EQ( composed[0u], 0u ); /* rotate: 0->1, swap01: 1->0 */
+  EXPECT_EQ( composed[3u], 1u ); /* rotate: 3->0, swap01: 0->1 */
+}
+
+TEST( permutation_test, xor_constant_permutation )
+{
+  const auto pi = permutation::xor_constant( 3u, 0b101u );
+  for ( uint64_t x = 0u; x < 8u; ++x )
+  {
+    EXPECT_EQ( pi[x], x ^ 0b101u );
+  }
+  EXPECT_TRUE( pi.compose( pi ).is_identity() );
+}
+
+TEST( permutation_test, cycle_decomposition )
+{
+  const auto pi = permutation::from_vector( { 1u, 0u, 2u, 3u } );
+  const auto cycles = pi.cycles();
+  ASSERT_EQ( cycles.size(), 1u );
+  EXPECT_EQ( cycles[0].size(), 2u );
+
+  const auto rotate = permutation::from_vector( { 1u, 2u, 3u, 0u } );
+  const auto rotate_cycles = rotate.cycles();
+  ASSERT_EQ( rotate_cycles.size(), 1u );
+  EXPECT_EQ( rotate_cycles[0].size(), 4u );
+
+  EXPECT_TRUE( permutation( 2u ).cycles().empty() );
+}
+
+TEST( permutation_test, parity )
+{
+  EXPECT_FALSE( permutation( 3u ).is_odd() );
+  EXPECT_TRUE( permutation::from_vector( { 1u, 0u, 2u, 3u } ).is_odd() );  /* one transposition */
+  EXPECT_TRUE( permutation::from_vector( { 1u, 2u, 3u, 0u } ).is_odd() );  /* 4-cycle = 3 swaps */
+  EXPECT_FALSE( permutation::from_vector( { 1u, 0u, 3u, 2u } ).is_odd() ); /* two transpositions */
+}
+
+TEST( permutation_test, cycles_reconstruct_permutation )
+{
+  const auto pi = permutation::random( 5u, 31u );
+  permutation rebuilt( 5u );
+  for ( const auto& cycle : pi.cycles() )
+  {
+    for ( size_t i = 0u; i < cycle.size(); ++i )
+    {
+      rebuilt.set_image( cycle[i], cycle[( i + 1u ) % cycle.size()] );
+    }
+  }
+  EXPECT_EQ( rebuilt, pi );
+}
+
+} // namespace
+} // namespace qda

@@ -1,0 +1,93 @@
+#include "reversible/real_format.hpp"
+#include "synthesis/revgen.hpp"
+#include "synthesis/transformation_based.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qda
+{
+namespace
+{
+
+TEST( real_format_test, writes_revlib_header )
+{
+  rev_circuit circuit( 3u );
+  circuit.add_toffoli( 0u, 1u, 2u );
+  const auto text = write_real( circuit );
+  EXPECT_NE( text.find( ".version 2.0" ), std::string::npos );
+  EXPECT_NE( text.find( ".numvars 3" ), std::string::npos );
+  EXPECT_NE( text.find( ".variables a b c" ), std::string::npos );
+  EXPECT_NE( text.find( "t3 a b c" ), std::string::npos );
+  EXPECT_NE( text.find( ".begin" ), std::string::npos );
+  EXPECT_NE( text.find( ".end" ), std::string::npos );
+}
+
+TEST( real_format_test, roundtrip_preserves_semantics )
+{
+  for ( uint64_t seed = 0u; seed < 10u; ++seed )
+  {
+    const auto pi = permutation::random( 4u, seed + 600u );
+    const auto circuit = transformation_based_synthesis( pi );
+    const auto parsed = read_real( write_real( circuit ) );
+    ASSERT_EQ( parsed.num_lines(), circuit.num_lines() );
+    ASSERT_EQ( parsed.gates(), circuit.gates() ) << "seed=" << seed;
+  }
+}
+
+TEST( real_format_test, negative_controls_roundtrip )
+{
+  rev_circuit circuit( 3u );
+  circuit.add_gate( rev_gate::mct( { 0u }, { 1u }, 2u ) );
+  const auto text = write_real( circuit );
+  EXPECT_NE( text.find( "t3 a -b c" ), std::string::npos );
+  const auto parsed = read_real( text );
+  EXPECT_EQ( parsed.gates(), circuit.gates() );
+}
+
+TEST( real_format_test, parses_handwritten_revlib_file )
+{
+  const auto circuit = read_real( "# a RevLib-style file\n"
+                                  ".version 1.0\n"
+                                  ".numvars 3\n"
+                                  ".variables x0 x1 x2\n"
+                                  ".inputs x0 x1 x2\n"
+                                  ".outputs y0 y1 y2\n"
+                                  ".constants ---\n"
+                                  ".garbage ---\n"
+                                  ".begin\n"
+                                  "t1 x0\n"
+                                  "t2 x0 x1\n"
+                                  "t3 -x0 x1 x2\n"
+                                  ".end\n" );
+  ASSERT_EQ( circuit.num_gates(), 3u );
+  EXPECT_EQ( circuit.gate( 0u ), rev_gate::not_gate( 0u ) );
+  EXPECT_EQ( circuit.gate( 1u ), rev_gate::cnot( 0u, 1u ) );
+  EXPECT_EQ( circuit.gate( 2u ), rev_gate::mct( { 1u }, { 0u }, 2u ) );
+}
+
+TEST( real_format_test, default_variable_names_when_missing )
+{
+  const auto circuit = read_real( ".numvars 2\n.begin\nt2 a b\n.end\n" );
+  ASSERT_EQ( circuit.num_gates(), 1u );
+  EXPECT_EQ( circuit.gate( 0u ), rev_gate::cnot( 0u, 1u ) );
+}
+
+TEST( real_format_test, rejects_malformed_input )
+{
+  EXPECT_THROW( read_real( ".begin\nt1 a\n.end\n" ), std::invalid_argument );
+  EXPECT_THROW( read_real( ".numvars 2\n.begin\nt2 a q\n.end\n" ), std::invalid_argument );
+  EXPECT_THROW( read_real( ".numvars 2\n.begin\nt3 a b\n.end\n" ), std::invalid_argument );
+  EXPECT_THROW( read_real( ".numvars 2\n.begin\nf2 a b\n.end\n" ), std::invalid_argument );
+  EXPECT_THROW( read_real( ".numvars 2\n.begin\nt2 a -b\n.end\n" ), std::invalid_argument );
+  EXPECT_THROW( read_real( ".numvars 0\n" ), std::invalid_argument );
+}
+
+TEST( real_format_test, benchmark_circuit_roundtrip )
+{
+  const auto circuit = transformation_based_synthesis( hwb_permutation( 5u ) );
+  const auto parsed = read_real( write_real( circuit ) );
+  EXPECT_TRUE( equivalent( parsed, circuit ) );
+}
+
+} // namespace
+} // namespace qda

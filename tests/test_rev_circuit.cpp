@@ -1,0 +1,215 @@
+#include "reversible/rev_circuit.hpp"
+#include "reversible/rev_gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qda
+{
+namespace
+{
+
+TEST( rev_gate_test, constructors_and_validation )
+{
+  const auto g = rev_gate::toffoli( 0u, 1u, 2u );
+  EXPECT_EQ( g.num_controls(), 2u );
+  EXPECT_THROW( rev_gate( 0b100u, 0b100u, 2u ), std::invalid_argument ); /* target is control */
+  EXPECT_THROW( rev_gate( 0u, 0u, 64u ), std::invalid_argument );
+}
+
+TEST( rev_gate_test, polarity_is_masked_to_controls )
+{
+  const rev_gate g( 0b011u, 0b111u, 3u );
+  EXPECT_EQ( g.polarity, 0b011u );
+}
+
+TEST( rev_gate_test, activation_and_application )
+{
+  const auto g = rev_gate::toffoli( 0u, 1u, 2u );
+  EXPECT_TRUE( g.is_active( 0b011u ) );
+  EXPECT_FALSE( g.is_active( 0b001u ) );
+  EXPECT_EQ( g.apply( 0b011u ), 0b111u );
+  EXPECT_EQ( g.apply( 0b111u ), 0b011u );
+  EXPECT_EQ( g.apply( 0b001u ), 0b001u );
+
+  /* negative control */
+  const auto neg = rev_gate::mct( { 0u }, { 1u }, 2u );
+  EXPECT_TRUE( neg.is_active( 0b001u ) );
+  EXPECT_FALSE( neg.is_active( 0b011u ) );
+}
+
+TEST( rev_gate_test, gates_are_involutions )
+{
+  const auto g = rev_gate::mct( { 1u, 3u }, { 2u }, 0u );
+  for ( uint64_t x = 0u; x < 16u; ++x )
+  {
+    EXPECT_EQ( g.apply( g.apply( x ) ), x );
+  }
+}
+
+TEST( rev_gate_test, commutation_rules )
+{
+  const auto a = rev_gate::cnot( 0u, 1u );
+  const auto b = rev_gate::cnot( 0u, 2u );
+  const auto c = rev_gate::cnot( 1u, 2u );
+  EXPECT_TRUE( a.commutes_with( b ) );  /* shared control only */
+  EXPECT_FALSE( a.commutes_with( c ) ); /* a's target is c's control */
+  EXPECT_TRUE( c.commutes_with( b ) );  /* same target */
+
+  /* conflicting control polarities: never simultaneously active */
+  const auto pos = rev_gate::mct( { 0u }, {}, 1u );
+  const auto neg_polarity = rev_gate::mct( {}, { 0u }, 2u );
+  const auto uses_target = rev_gate::mct( { 1u, 0u }, {}, 2u );
+  EXPECT_TRUE( pos.commutes_with( neg_polarity ) );
+  /* pos targets line 1 which controls uses_target positively, but they share
+   * control 0 with the same polarity -> not trivially commuting */
+  EXPECT_FALSE( uses_target.commutes_with( pos ) );
+}
+
+TEST( rev_gate_test, commutation_is_sound )
+{
+  /* whenever commutes_with says yes, the two orders agree pointwise */
+  std::mt19937_64 rng( 3u );
+  for ( uint32_t trial = 0u; trial < 200u; ++trial )
+  {
+    const uint32_t ta = rng() % 4u;
+    uint32_t tb = rng() % 4u;
+    const rev_gate a( rng() & 0xfu & ~( 1u << ta ), rng() & 0xfu, ta );
+    const rev_gate b( rng() & 0xfu & ~( 1u << tb ), rng() & 0xfu, tb );
+    if ( !a.commutes_with( b ) )
+    {
+      continue;
+    }
+    for ( uint64_t x = 0u; x < 16u; ++x )
+    {
+      ASSERT_EQ( a.apply( b.apply( x ) ), b.apply( a.apply( x ) ) )
+          << a.to_string() << " vs " << b.to_string();
+    }
+  }
+}
+
+TEST( rev_gate_test, to_string_format )
+{
+  EXPECT_EQ( rev_gate::not_gate( 3u ).to_string(), "t1(x3)" );
+  EXPECT_EQ( rev_gate::cnot( 0u, 1u ).to_string(), "t2(x0, x1)" );
+  EXPECT_EQ( rev_gate::mct( { 0u }, { 2u }, 1u ).to_string(), "t3(x0, !x2, x1)" );
+}
+
+TEST( rev_circuit_test, construction_and_validation )
+{
+  rev_circuit circuit( 3u );
+  EXPECT_EQ( circuit.num_lines(), 3u );
+  EXPECT_TRUE( circuit.empty() );
+  circuit.add_toffoli( 0u, 1u, 2u );
+  EXPECT_EQ( circuit.num_gates(), 1u );
+  EXPECT_THROW( circuit.add_not( 3u ), std::invalid_argument );
+  EXPECT_THROW( circuit.add_gate( rev_gate::cnot( 3u, 0u ) ), std::invalid_argument );
+  EXPECT_THROW( rev_circuit( 65u ), std::invalid_argument );
+}
+
+TEST( rev_circuit_test, simulate_simple_cascade )
+{
+  rev_circuit circuit( 3u );
+  circuit.add_not( 0u );
+  circuit.add_cnot( 0u, 1u );
+  circuit.add_toffoli( 0u, 1u, 2u );
+  /* input 000: NOT -> 001, CNOT -> 011, TOF -> 111 */
+  EXPECT_EQ( circuit.simulate( 0b000u ), 0b111u );
+  /* input 001: NOT -> 000, CNOT -> 000, TOF -> 000 */
+  EXPECT_EQ( circuit.simulate( 0b001u ), 0b000u );
+}
+
+TEST( rev_circuit_test, inverse_reverses_computation )
+{
+  rev_circuit circuit( 4u );
+  circuit.add_not( 0u );
+  circuit.add_cnot( 0u, 2u );
+  circuit.add_toffoli( 1u, 2u, 3u );
+  circuit.add_gate( rev_gate::mct( { 0u }, { 3u }, 1u ) );
+  const auto inverse = circuit.inverse();
+  for ( uint64_t x = 0u; x < 16u; ++x )
+  {
+    EXPECT_EQ( inverse.simulate( circuit.simulate( x ) ), x );
+  }
+}
+
+TEST( rev_circuit_test, to_permutation_is_bijective )
+{
+  rev_circuit circuit( 3u );
+  circuit.add_toffoli( 0u, 1u, 2u );
+  circuit.add_cnot( 2u, 0u );
+  const auto pi = circuit.to_permutation();
+  EXPECT_EQ( pi.num_vars(), 3u );
+  EXPECT_TRUE( pi.compose( pi.inverse() ).is_identity() );
+}
+
+TEST( rev_circuit_test, output_function_of_toffoli )
+{
+  rev_circuit circuit( 3u );
+  circuit.add_toffoli( 0u, 1u, 2u );
+  const auto f = circuit.output_function( 2u );
+  const auto expected = truth_table::projection( 3u, 2u ) ^
+                        ( truth_table::projection( 3u, 0u ) & truth_table::projection( 3u, 1u ) );
+  EXPECT_EQ( f, expected );
+  EXPECT_EQ( circuit.output_function( 0u ), truth_table::projection( 3u, 0u ) );
+}
+
+TEST( rev_circuit_test, append_and_prepend )
+{
+  rev_circuit a( 2u );
+  a.add_not( 0u );
+  rev_circuit b( 2u );
+  b.add_cnot( 0u, 1u );
+  a.append( b );
+  EXPECT_EQ( a.num_gates(), 2u );
+  a.prepend_gate( rev_gate::not_gate( 1u ) );
+  EXPECT_EQ( a.gate( 0u ), rev_gate::not_gate( 1u ) );
+
+  rev_circuit c( 3u );
+  EXPECT_THROW( a.append( c ), std::invalid_argument );
+}
+
+TEST( rev_circuit_test, cost_metrics )
+{
+  rev_circuit circuit( 5u );
+  circuit.add_not( 0u );
+  circuit.add_cnot( 0u, 1u );
+  circuit.add_toffoli( 0u, 1u, 2u );
+  circuit.add_gate( rev_gate::mct( { 0u, 1u, 2u }, {}, 3u ) );
+  EXPECT_EQ( circuit.control_count(), 0u + 1u + 2u + 3u );
+  const auto histogram = circuit.control_histogram();
+  EXPECT_EQ( histogram[0], 1u );
+  EXPECT_EQ( histogram[1], 1u );
+  EXPECT_EQ( histogram[2], 1u );
+  EXPECT_EQ( histogram[3], 1u );
+  /* quantum cost: 1 + 1 + 5 + (2^4 - 3) */
+  EXPECT_EQ( circuit.quantum_cost(), 1u + 1u + 5u + 13u );
+}
+
+TEST( rev_circuit_test, equivalence_checks )
+{
+  rev_circuit a( 2u );
+  a.add_cnot( 0u, 1u );
+  a.add_cnot( 0u, 1u );
+  const rev_circuit identity( 2u );
+  EXPECT_TRUE( equivalent( a, identity ) );
+
+  rev_circuit b( 2u );
+  b.add_not( 0u );
+  EXPECT_FALSE( equivalent( b, identity ) );
+  EXPECT_FALSE( equivalent( b, rev_circuit( 3u ) ) );
+}
+
+TEST( rev_circuit_test, ascii_rendering_mentions_all_lines )
+{
+  rev_circuit circuit( 2u );
+  circuit.add_cnot( 0u, 1u );
+  const auto art = circuit.to_ascii();
+  EXPECT_NE( art.find( "x0" ), std::string::npos );
+  EXPECT_NE( art.find( "(+)" ), std::string::npos );
+  EXPECT_NE( art.find( " * " ), std::string::npos );
+}
+
+} // namespace
+} // namespace qda

@@ -1,0 +1,296 @@
+#include "simulator/noise.hpp"
+#include "simulator/statevector.hpp"
+#include "simulator/unitary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace qda
+{
+namespace
+{
+
+constexpr double tolerance = 1e-12;
+
+TEST( statevector_test, initial_state )
+{
+  statevector_simulator simulator( 3u );
+  EXPECT_DOUBLE_EQ( simulator.probability_of( 0u ), 1.0 );
+  EXPECT_NEAR( simulator.norm(), 1.0, tolerance );
+}
+
+TEST( statevector_test, hadamard_uniform_superposition )
+{
+  statevector_simulator simulator( 2u );
+  qcircuit circuit( 2u );
+  circuit.h( 0u );
+  circuit.h( 1u );
+  simulator.run( circuit );
+  for ( uint64_t basis = 0u; basis < 4u; ++basis )
+  {
+    EXPECT_NEAR( simulator.probability_of( basis ), 0.25, tolerance );
+  }
+}
+
+TEST( statevector_test, fig1a_entangler )
+{
+  /* paper Fig. 1(a): H then CNOT creates (|00> + |11>)/sqrt(2) */
+  statevector_simulator simulator( 2u );
+  qcircuit circuit( 2u );
+  circuit.h( 0u );
+  circuit.cx( 0u, 1u );
+  simulator.run( circuit );
+  EXPECT_NEAR( simulator.probability_of( 0b00u ), 0.5, tolerance );
+  EXPECT_NEAR( simulator.probability_of( 0b11u ), 0.5, tolerance );
+  EXPECT_NEAR( simulator.probability_of( 0b01u ), 0.0, tolerance );
+  EXPECT_NEAR( simulator.probability_of( 0b10u ), 0.0, tolerance );
+}
+
+TEST( statevector_test, x_and_cx_permute_basis )
+{
+  statevector_simulator simulator( 3u );
+  qcircuit circuit( 3u );
+  circuit.x( 0u );
+  circuit.cx( 0u, 2u );
+  simulator.run( circuit );
+  EXPECT_NEAR( simulator.probability_of( 0b101u ), 1.0, tolerance );
+}
+
+TEST( statevector_test, gate_algebra_identities )
+{
+  /* H^2 = I, S = T^2, Z = S^2, X = HZH */
+  qcircuit hh( 1u );
+  hh.h( 0u );
+  hh.h( 0u );
+  EXPECT_TRUE( circuits_equivalent( hh, qcircuit( 1u ) ) );
+
+  qcircuit tt( 1u );
+  tt.t( 0u );
+  tt.t( 0u );
+  qcircuit s_gate( 1u );
+  s_gate.s( 0u );
+  EXPECT_TRUE( circuits_equivalent( tt, s_gate ) );
+
+  qcircuit ss( 1u );
+  ss.s( 0u );
+  ss.s( 0u );
+  qcircuit z_gate( 1u );
+  z_gate.z( 0u );
+  EXPECT_TRUE( circuits_equivalent( ss, z_gate ) );
+
+  qcircuit hzh( 1u );
+  hzh.h( 0u );
+  hzh.z( 0u );
+  hzh.h( 0u );
+  qcircuit x_gate( 1u );
+  x_gate.x( 0u );
+  EXPECT_TRUE( circuits_equivalent( hzh, x_gate ) );
+}
+
+TEST( statevector_test, rotation_limits )
+{
+  /* rz(pi) == Z up to global phase */
+  qcircuit rz_pi( 1u );
+  rz_pi.rz( 0u, std::numbers::pi );
+  qcircuit z_gate( 1u );
+  z_gate.z( 0u );
+  EXPECT_TRUE( circuits_equivalent( rz_pi, z_gate ) );
+
+  qcircuit rx_pi( 1u );
+  rx_pi.rx( 0u, std::numbers::pi );
+  qcircuit x_gate( 1u );
+  x_gate.x( 0u );
+  EXPECT_TRUE( circuits_equivalent( rx_pi, x_gate ) );
+}
+
+TEST( statevector_test, swap_gate )
+{
+  qcircuit circuit( 2u );
+  circuit.x( 0u );
+  circuit.swap_gate( 0u, 1u );
+  statevector_simulator simulator( 2u );
+  simulator.run( circuit );
+  EXPECT_NEAR( simulator.probability_of( 0b10u ), 1.0, tolerance );
+}
+
+TEST( statevector_test, mcz_phases_only_all_ones )
+{
+  qcircuit circuit( 3u );
+  for ( uint32_t q = 0u; q < 3u; ++q )
+  {
+    circuit.h( q );
+  }
+  circuit.mcz( { 0u, 1u }, 2u );
+  statevector_simulator simulator( 3u );
+  simulator.run( circuit );
+  const auto& state = simulator.state();
+  for ( uint64_t basis = 0u; basis < 8u; ++basis )
+  {
+    const double expected_sign = basis == 0b111u ? -1.0 : 1.0;
+    EXPECT_NEAR( state[basis].real(), expected_sign / std::sqrt( 8.0 ), 1e-9 ) << basis;
+  }
+}
+
+TEST( statevector_test, norm_preserved_by_random_circuit )
+{
+  qcircuit circuit( 5u );
+  std::mt19937_64 rng( 11u );
+  for ( uint32_t i = 0u; i < 100u; ++i )
+  {
+    const uint32_t q = rng() % 5u;
+    switch ( rng() % 5u )
+    {
+    case 0u: circuit.h( q ); break;
+    case 1u: circuit.t( q ); break;
+    case 2u: circuit.rx( q, 0.1 * static_cast<double>( rng() % 60u ) ); break;
+    case 3u: circuit.cx( q, ( q + 1u ) % 5u ); break;
+    default: circuit.cz( q, ( q + 2u ) % 5u ); break;
+    }
+  }
+  statevector_simulator simulator( 5u );
+  simulator.run( circuit );
+  EXPECT_NEAR( simulator.norm(), 1.0, 1e-9 );
+}
+
+TEST( statevector_test, measurement_collapses_deterministic_state )
+{
+  qcircuit circuit( 2u );
+  circuit.x( 1u );
+  circuit.measure_all();
+  statevector_simulator simulator( 2u );
+  simulator.run( circuit );
+  const auto& record = simulator.measurement_record();
+  ASSERT_EQ( record.size(), 2u );
+  EXPECT_FALSE( record[0].second );
+  EXPECT_TRUE( record[1].second );
+}
+
+TEST( statevector_test, measurement_of_entangled_pair_is_correlated )
+{
+  for ( uint64_t seed = 0u; seed < 20u; ++seed )
+  {
+    qcircuit circuit( 2u );
+    circuit.h( 0u );
+    circuit.cx( 0u, 1u );
+    circuit.measure_all();
+    statevector_simulator simulator( 2u, seed );
+    simulator.run( circuit );
+    const auto& record = simulator.measurement_record();
+    EXPECT_EQ( record[0].second, record[1].second ) << "seed=" << seed;
+  }
+}
+
+TEST( statevector_test, sample_counts_match_probabilities )
+{
+  qcircuit circuit( 2u );
+  circuit.h( 0u );
+  circuit.cx( 0u, 1u );
+  circuit.measure_all();
+  const auto counts = sample_counts( circuit, 4096u, 7u );
+  uint64_t total = 0u;
+  for ( const auto& [outcome, count] : counts )
+  {
+    EXPECT_TRUE( outcome == 0b00u || outcome == 0b11u ) << outcome;
+    total += count;
+  }
+  EXPECT_EQ( total, 4096u );
+  EXPECT_NEAR( static_cast<double>( counts.at( 0b00u ) ) / 4096.0, 0.5, 0.05 );
+}
+
+TEST( statevector_test, qubit_limit )
+{
+  EXPECT_THROW( statevector_simulator( 29u ), std::invalid_argument );
+}
+
+TEST( unitary_test, cnot_matrix )
+{
+  qcircuit circuit( 2u );
+  circuit.cx( 0u, 1u );
+  const auto matrix = build_unitary( circuit );
+  /* CNOT with control q0: |01> (=1) -> |11> (=3) in our bit order */
+  EXPECT_NEAR( std::abs( matrix[0][0] ), 1.0, tolerance );
+  EXPECT_NEAR( std::abs( matrix[1][3] ), 1.0, tolerance );
+  EXPECT_NEAR( std::abs( matrix[2][2] ), 1.0, tolerance );
+  EXPECT_NEAR( std::abs( matrix[3][1] ), 1.0, tolerance );
+}
+
+TEST( unitary_test, global_phase_equivalence )
+{
+  qcircuit a( 1u );
+  a.z( 0u );
+  qcircuit b( 1u );
+  b.x( 0u );
+  b.z( 0u );
+  b.x( 0u ); /* = -Z */
+  EXPECT_TRUE( circuits_equivalent( a, b ) );
+
+  qcircuit c( 1u );
+  c.x( 0u );
+  EXPECT_FALSE( circuits_equivalent( a, c ) );
+}
+
+TEST( unitary_test, permutation_check )
+{
+  qcircuit circuit( 2u );
+  circuit.cx( 0u, 1u );
+  EXPECT_TRUE( circuit_implements_permutation( circuit, { 0u, 3u, 2u, 1u } ) );
+  EXPECT_FALSE( circuit_implements_permutation( circuit, { 0u, 1u, 2u, 3u } ) );
+}
+
+TEST( noise_test, ideal_model_reproduces_exact_outcome )
+{
+  qcircuit circuit( 2u );
+  circuit.x( 0u );
+  circuit.measure_all();
+  const auto counts = sample_counts_noisy( circuit, noise_model::ideal(), 256u, 3u );
+  ASSERT_EQ( counts.size(), 1u );
+  EXPECT_EQ( counts.begin()->first, 0b01u );
+  EXPECT_EQ( counts.begin()->second, 256u );
+}
+
+TEST( noise_test, readout_error_flips_bits )
+{
+  qcircuit circuit( 1u );
+  circuit.measure( 0u );
+  noise_model model = noise_model::ideal();
+  model.p_readout = 0.25;
+  const auto counts = sample_counts_noisy( circuit, model, 8192u, 5u );
+  const double flipped = static_cast<double>( counts.count( 1u ) ? counts.at( 1u ) : 0u ) / 8192.0;
+  EXPECT_NEAR( flipped, 0.25, 0.03 );
+}
+
+TEST( noise_test, depolarizing_noise_degrades_success_probability )
+{
+  qcircuit circuit( 2u );
+  circuit.h( 0u );
+  circuit.cx( 0u, 1u );
+  circuit.cx( 0u, 1u );
+  circuit.h( 0u ); /* identity overall */
+  circuit.measure_all();
+  noise_model model = noise_model::ideal();
+  model.p_two = 0.2;
+  const auto counts = sample_counts_noisy( circuit, model, 4096u, 9u );
+  const double success = static_cast<double>( counts.at( 0u ) ) / 4096.0;
+  EXPECT_LT( success, 0.999 );
+  EXPECT_GT( success, 0.5 );
+}
+
+TEST( noise_test, requires_measurements )
+{
+  qcircuit circuit( 1u );
+  circuit.h( 0u );
+  EXPECT_THROW( sample_counts_noisy( circuit, noise_model::ideal(), 10u, 1u ),
+                std::invalid_argument );
+}
+
+TEST( format_outcome_test, bit_order_matches_paper_axis )
+{
+  EXPECT_EQ( format_outcome( 0b0001u, 4u ), "0001" );
+  EXPECT_EQ( format_outcome( 0b1000u, 4u ), "1000" );
+  EXPECT_EQ( format_outcome( 5u, 4u ), "0101" );
+}
+
+} // namespace
+} // namespace qda

@@ -1,0 +1,182 @@
+#include "kernel/bits.hpp"
+#include "kernel/spectral.hpp"
+#include "kernel/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace qda
+{
+namespace
+{
+
+TEST( spectral_test, walsh_spectrum_of_constant_zero )
+{
+  const auto spectrum = walsh_spectrum( truth_table( 3u ) );
+  EXPECT_EQ( spectrum[0], 8 );
+  for ( size_t w = 1u; w < spectrum.size(); ++w )
+  {
+    EXPECT_EQ( spectrum[w], 0 );
+  }
+}
+
+TEST( spectral_test, walsh_spectrum_of_linear_function )
+{
+  /* f(x) = x0 xor x2: spectrum concentrated at w = 101 */
+  const auto f = truth_table::projection( 3u, 0u ) ^ truth_table::projection( 3u, 2u );
+  const auto spectrum = walsh_spectrum( f );
+  for ( uint64_t w = 0u; w < 8u; ++w )
+  {
+    EXPECT_EQ( spectrum[w], w == 0b101u ? 8 : 0 ) << "w=" << w;
+  }
+}
+
+TEST( spectral_test, walsh_spectrum_matches_direct_sum )
+{
+  const auto f = random_truth_table( 6u, 123u );
+  const auto spectrum = walsh_spectrum( f );
+  for ( uint64_t w = 0u; w < f.num_bits(); ++w )
+  {
+    int64_t direct = 0;
+    for ( uint64_t x = 0u; x < f.num_bits(); ++x )
+    {
+      const bool exponent = f.get_bit( x ) != parity64( x & w );
+      direct += exponent ? -1 : 1;
+    }
+    ASSERT_EQ( spectrum[w], direct ) << "w=" << w;
+  }
+}
+
+TEST( spectral_test, parseval_identity )
+{
+  const auto f = random_truth_table( 8u, 77u );
+  const auto spectrum = walsh_spectrum( f );
+  int64_t sum_of_squares = 0;
+  for ( const auto coefficient : spectrum )
+  {
+    sum_of_squares += coefficient * coefficient;
+  }
+  EXPECT_EQ( sum_of_squares, int64_t{ 1 } << ( 2u * f.num_vars() ) );
+}
+
+TEST( spectral_test, inner_product_is_bent )
+{
+  EXPECT_TRUE( is_bent( inner_product_function( 1u ) ) );
+  EXPECT_TRUE( is_bent( inner_product_function( 2u ) ) );
+  EXPECT_TRUE( is_bent( inner_product_function( 3u ) ) );
+  EXPECT_TRUE( is_bent( inner_product_function( 2u, /*interleaved=*/true ) ) );
+}
+
+TEST( spectral_test, linear_functions_are_not_bent )
+{
+  EXPECT_FALSE( is_bent( truth_table::projection( 4u, 0u ) ) );
+  EXPECT_FALSE( is_bent( truth_table::constant( 4u, false ) ) );
+}
+
+TEST( spectral_test, odd_variable_count_is_never_bent )
+{
+  EXPECT_FALSE( is_bent( majority_function( 3u ) ) );
+  EXPECT_FALSE( is_bent( random_truth_table( 5u, 3u ) ) );
+}
+
+TEST( spectral_test, inner_product_is_self_dual )
+{
+  const auto f = inner_product_function( 2u );
+  EXPECT_EQ( dual_bent_function( f ), f );
+  const auto g = inner_product_function( 2u, /*interleaved=*/true );
+  EXPECT_EQ( dual_bent_function( g ), g );
+}
+
+TEST( spectral_test, dual_of_dual_is_identity )
+{
+  /* Maiorana-McFarland style bent function with nontrivial permutation:
+   * f(x, y) = x . pi(y), built directly over 4 variables */
+  truth_table f( 4u );
+  const uint64_t pi[4] = { 0u, 2u, 3u, 1u };
+  for ( uint64_t a = 0u; a < 16u; ++a )
+  {
+    const uint64_t x = a & 3u;
+    const uint64_t y = ( a >> 2u ) & 3u;
+    f.set_bit( a, parity64( x & pi[y] ) );
+  }
+  ASSERT_TRUE( is_bent( f ) );
+  const auto dual = dual_bent_function( f );
+  EXPECT_TRUE( is_bent( dual ) );
+  EXPECT_EQ( dual_bent_function( dual ), f );
+}
+
+TEST( spectral_test, dual_requires_bent_input )
+{
+  EXPECT_THROW( dual_bent_function( truth_table::projection( 4u, 0u ) ), std::invalid_argument );
+  EXPECT_THROW( dual_bent_function( majority_function( 3u ) ), std::invalid_argument );
+}
+
+TEST( spectral_test, bent_functions_achieve_maximum_nonlinearity )
+{
+  const auto f = inner_product_function( 2u );
+  /* max nonlinearity for n=4 is 2^3 - 2^1 = 6 */
+  EXPECT_EQ( nonlinearity( f ), 6u );
+  EXPECT_EQ( nonlinearity( truth_table::projection( 4u, 0u ) ), 0u );
+}
+
+TEST( spectral_test, shift_function_matches_definition )
+{
+  const auto f = random_truth_table( 5u, 11u );
+  const auto g = shift_function( f, 0b10110u );
+  for ( uint64_t x = 0u; x < f.num_bits(); ++x )
+  {
+    ASSERT_EQ( g.get_bit( x ), f.get_bit( x ^ 0b10110u ) );
+  }
+  EXPECT_EQ( shift_function( f, 0u ), f );
+  EXPECT_EQ( shift_function( g, 0b10110u ), f );
+}
+
+TEST( spectral_test, autocorrelation_of_bent_function_is_flat_zero )
+{
+  const auto f = inner_product_function( 3u );
+  const auto autocorrelation = autocorrelation_spectrum( f );
+  EXPECT_EQ( autocorrelation[0], 64 );
+  for ( size_t s = 1u; s < autocorrelation.size(); ++s )
+  {
+    EXPECT_EQ( autocorrelation[s], 0 ) << "s=" << s;
+  }
+}
+
+TEST( spectral_test, autocorrelation_matches_direct_computation )
+{
+  const auto f = random_truth_table( 5u, 17u );
+  const auto autocorrelation = autocorrelation_spectrum( f );
+  for ( uint64_t s = 0u; s < f.num_bits(); ++s )
+  {
+    int64_t direct = 0;
+    for ( uint64_t x = 0u; x < f.num_bits(); ++x )
+    {
+      direct += ( f.get_bit( x ) != f.get_bit( x ^ s ) ) ? -1 : 1;
+    }
+    ASSERT_EQ( autocorrelation[s], direct ) << "s=" << s;
+  }
+}
+
+TEST( spectral_test, fast_walsh_hadamard_rejects_non_power_of_two )
+{
+  std::vector<int64_t> data( 3u, 1 );
+  EXPECT_THROW( fast_walsh_hadamard( data ), std::invalid_argument );
+}
+
+class bent_shift_property_test : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P( bent_shift_property_test, shifted_bent_function_stays_bent )
+{
+  const auto f = inner_product_function( 2u, /*interleaved=*/true );
+  const auto g = shift_function( f, GetParam() );
+  EXPECT_TRUE( is_bent( g ) );
+}
+
+INSTANTIATE_TEST_SUITE_P( all_shifts, bent_shift_property_test,
+                          ::testing::Range( uint64_t{ 0 }, uint64_t{ 16 } ) );
+
+} // namespace
+} // namespace qda

@@ -1,0 +1,258 @@
+#include "core/bernstein_vazirani.hpp"
+#include "core/hidden_shift.hpp"
+#include "simulator/stabilizer.hpp"
+#include "simulator/statevector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qda
+{
+namespace
+{
+
+TEST( stabilizer_test, fresh_state_measures_zero )
+{
+  stabilizer_simulator sim( 4u );
+  for ( uint32_t q = 0u; q < 4u; ++q )
+  {
+    EXPECT_TRUE( sim.is_deterministic( q ) );
+    EXPECT_FALSE( sim.measure( q ) );
+  }
+}
+
+TEST( stabilizer_test, x_flips_measurement )
+{
+  stabilizer_simulator sim( 3u );
+  sim.apply_x( 1u );
+  EXPECT_FALSE( sim.measure( 0u ) );
+  EXPECT_TRUE( sim.measure( 1u ) );
+  EXPECT_FALSE( sim.measure( 2u ) );
+}
+
+TEST( stabilizer_test, hadamard_gives_random_outcomes )
+{
+  uint32_t ones = 0u;
+  for ( uint64_t seed = 0u; seed < 64u; ++seed )
+  {
+    stabilizer_simulator sim( 1u, seed );
+    sim.apply_h( 0u );
+    EXPECT_FALSE( sim.is_deterministic( 0u ) );
+    if ( sim.measure( 0u ) )
+    {
+      ++ones;
+    }
+    /* post-measurement the state is collapsed and deterministic */
+    EXPECT_TRUE( sim.is_deterministic( 0u ) );
+  }
+  EXPECT_GT( ones, 16u );
+  EXPECT_LT( ones, 48u );
+}
+
+TEST( stabilizer_test, bell_pair_is_correlated )
+{
+  for ( uint64_t seed = 0u; seed < 32u; ++seed )
+  {
+    stabilizer_simulator sim( 2u, seed );
+    sim.apply_h( 0u );
+    sim.apply_cx( 0u, 1u );
+    const bool first = sim.measure( 0u );
+    const bool second = sim.measure( 1u );
+    EXPECT_EQ( first, second ) << "seed=" << seed;
+  }
+}
+
+TEST( stabilizer_test, hzh_equals_x )
+{
+  stabilizer_simulator sim( 1u );
+  sim.apply_h( 0u );
+  sim.apply_z( 0u );
+  sim.apply_h( 0u );
+  EXPECT_TRUE( sim.is_deterministic( 0u ) );
+  EXPECT_TRUE( sim.measure( 0u ) );
+}
+
+TEST( stabilizer_test, s_squared_is_z )
+{
+  /* H S S H |0> = H Z H |0> = |1> */
+  stabilizer_simulator sim( 1u );
+  sim.apply_h( 0u );
+  sim.apply_s( 0u );
+  sim.apply_s( 0u );
+  sim.apply_h( 0u );
+  EXPECT_TRUE( sim.measure( 0u ) );
+
+  /* sdg inverts s: H S Sdg H |0> = |0> */
+  stabilizer_simulator sim2( 1u );
+  sim2.apply_h( 0u );
+  sim2.apply_s( 0u );
+  sim2.apply_sdg( 0u );
+  sim2.apply_h( 0u );
+  EXPECT_FALSE( sim2.measure( 0u ) );
+}
+
+TEST( stabilizer_test, swap_moves_excitation )
+{
+  stabilizer_simulator sim( 3u );
+  sim.apply_x( 0u );
+  sim.apply_swap( 0u, 2u );
+  EXPECT_FALSE( sim.measure( 0u ) );
+  EXPECT_TRUE( sim.measure( 2u ) );
+}
+
+TEST( stabilizer_test, rejects_non_clifford_gates )
+{
+  stabilizer_simulator sim( 1u );
+  qgate t;
+  t.kind = gate_kind::t;
+  EXPECT_THROW( sim.apply_gate( t ), std::invalid_argument );
+}
+
+TEST( stabilizer_test, agrees_with_statevector_on_random_clifford_circuits )
+{
+  std::mt19937_64 rng( 33u );
+  for ( uint32_t trial = 0u; trial < 25u; ++trial )
+  {
+    qcircuit circuit( 4u );
+    for ( uint32_t g = 0u; g < 30u; ++g )
+    {
+      const uint32_t q = rng() % 4u;
+      switch ( rng() % 6u )
+      {
+      case 0u: circuit.h( q ); break;
+      case 1u: circuit.s( q ); break;
+      case 2u: circuit.x( q ); break;
+      case 3u: circuit.z( q ); break;
+      case 4u: circuit.cx( q, ( q + 1u ) % 4u ); break;
+      default: circuit.cz( q, ( q + 2u ) % 4u ); break;
+      }
+    }
+    /* compare the induced outcome distribution on a full measurement:
+     * statevector probabilities vs stabilizer sampling frequencies */
+    statevector_simulator sv( 4u );
+    sv.run( circuit );
+    const auto probabilities = sv.probabilities();
+
+    qcircuit measured = circuit;
+    measured.measure_all();
+    const auto counts = stabilizer_sample_counts( measured, 512u, trial );
+    for ( const auto& [outcome, count] : counts )
+    {
+      ASSERT_GT( probabilities[outcome], 1e-9 )
+          << "trial=" << trial << ": stabilizer produced impossible outcome " << outcome;
+    }
+    /* every high-probability outcome must be hit */
+    for ( uint64_t basis = 0u; basis < probabilities.size(); ++basis )
+    {
+      if ( probabilities[basis] > 0.2 )
+      {
+        ASSERT_TRUE( counts.count( basis ) )
+            << "trial=" << trial << ": outcome " << basis << " never sampled";
+      }
+    }
+  }
+}
+
+TEST( stabilizer_test, deterministic_outcomes_match_statevector )
+{
+  std::mt19937_64 rng( 44u );
+  for ( uint32_t trial = 0u; trial < 25u; ++trial )
+  {
+    /* classical reversible circuits (X, CX, CZ-free) have deterministic
+     * outcomes; both backends must agree exactly */
+    qcircuit circuit( 5u );
+    for ( uint32_t g = 0u; g < 20u; ++g )
+    {
+      const uint32_t q = rng() % 5u;
+      if ( rng() & 1u )
+      {
+        circuit.x( q );
+      }
+      else
+      {
+        circuit.cx( q, ( q + 1u + rng() % 4u ) % 5u );
+      }
+    }
+    circuit.measure_all();
+
+    statevector_simulator sv( 5u );
+    sv.run( circuit );
+    stabilizer_simulator st( 5u );
+    st.run( circuit );
+    ASSERT_EQ( sv.measurement_record().size(), st.measurement_record().size() );
+    for ( size_t i = 0u; i < sv.measurement_record().size(); ++i )
+    {
+      ASSERT_EQ( sv.measurement_record()[i], st.measurement_record()[i] ) << "trial=" << trial;
+    }
+  }
+}
+
+TEST( stabilizer_test, large_ghz_state )
+{
+  constexpr uint32_t n = 128u;
+  stabilizer_simulator sim( n, 5u );
+  sim.apply_h( 0u );
+  for ( uint32_t q = 1u; q < n; ++q )
+  {
+    sim.apply_cx( q - 1u, q );
+  }
+  const bool first = sim.measure( 0u );
+  for ( uint32_t q = 1u; q < n; ++q )
+  {
+    ASSERT_EQ( sim.measure( q ), first ) << "q=" << q;
+  }
+}
+
+TEST( clifford_hidden_shift_test, statevector_and_stabilizer_agree )
+{
+  std::vector<bool> shift{ true, false, true, true, false, false };
+  const auto circuit = clifford_hidden_shift_circuit( 3u, shift );
+  /* statevector */
+  EXPECT_EQ( solve_hidden_shift( circuit ), 0b001101u );
+  /* stabilizer */
+  EXPECT_EQ( solve_hidden_shift_stabilizer( circuit ), shift );
+}
+
+TEST( clifford_hidden_shift_test, large_instance_on_stabilizer_backend )
+{
+  constexpr uint32_t half = 50u; /* 100 qubits: far beyond statevector reach */
+  std::vector<bool> shift( 2u * half );
+  std::mt19937_64 rng( 9u );
+  for ( auto&& bit : shift )
+  {
+    bit = ( rng() & 1u ) != 0u;
+  }
+  const auto circuit = clifford_hidden_shift_circuit( half, shift );
+  EXPECT_EQ( circuit.num_qubits(), 100u );
+  EXPECT_EQ( solve_hidden_shift_stabilizer( circuit ), shift );
+}
+
+TEST( clifford_hidden_shift_test, shift_length_validated )
+{
+  EXPECT_THROW( clifford_hidden_shift_circuit( 3u, std::vector<bool>( 5u ) ),
+                std::invalid_argument );
+}
+
+TEST( bernstein_vazirani_test, recovers_secret_statevector )
+{
+  for ( const uint64_t secret : { 0ull, 1ull, 0b1011ull, 0b11111ull } )
+  {
+    EXPECT_EQ( solve_bernstein_vazirani( 5u, secret ), secret );
+  }
+}
+
+TEST( bernstein_vazirani_test, recovers_secret_stabilizer_at_scale )
+{
+  std::mt19937_64 rng( 7u );
+  const uint64_t secret = rng(); /* 64-bit secret on 64 qubits */
+  EXPECT_EQ( solve_bernstein_vazirani_stabilizer( 64u, secret ), secret );
+}
+
+TEST( bernstein_vazirani_test, validates_secret_range )
+{
+  EXPECT_THROW( bernstein_vazirani_circuit( 3u, 8u ), std::invalid_argument );
+}
+
+} // namespace
+} // namespace qda

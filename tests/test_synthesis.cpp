@@ -1,0 +1,333 @@
+#include "kernel/spectral.hpp"
+#include "synthesis/decomposition_based.hpp"
+#include "synthesis/embedding.hpp"
+#include "synthesis/esop_based.hpp"
+#include "synthesis/revgen.hpp"
+#include "synthesis/single_target.hpp"
+#include "synthesis/transformation_based.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qda
+{
+namespace
+{
+
+void expect_realizes( const rev_circuit& circuit, const permutation& target,
+                      const std::string& context )
+{
+  ASSERT_EQ( circuit.num_lines(), target.num_vars() ) << context;
+  for ( uint64_t x = 0u; x < target.size(); ++x )
+  {
+    ASSERT_EQ( circuit.simulate( x ), target[x] ) << context << " at x=" << x;
+  }
+}
+
+TEST( tbs_test, identity_needs_no_gates )
+{
+  EXPECT_EQ( transformation_based_synthesis( permutation( 4u ) ).num_gates(), 0u );
+  EXPECT_EQ( transformation_based_synthesis_bidirectional( permutation( 4u ) ).num_gates(), 0u );
+}
+
+TEST( tbs_test, single_not )
+{
+  const auto pi = permutation::xor_constant( 3u, 0b001u );
+  const auto circuit = transformation_based_synthesis( pi );
+  expect_realizes( circuit, pi, "not" );
+  EXPECT_EQ( circuit.num_gates(), 1u );
+}
+
+TEST( tbs_test, cnot_pattern )
+{
+  /* (x0, x1) -> (x0, x0 xor x1) */
+  const auto pi = permutation::from_vector( { 0u, 3u, 2u, 1u } );
+  const auto circuit = transformation_based_synthesis( pi );
+  expect_realizes( circuit, pi, "cnot" );
+}
+
+TEST( tbs_test, paper_fig7_permutation )
+{
+  const auto pi = paper_fig7_permutation();
+  const auto circuit = transformation_based_synthesis( pi );
+  expect_realizes( circuit, pi, "fig7 pi" );
+  const auto inverse_circuit = transformation_based_synthesis( pi.inverse() );
+  expect_realizes( inverse_circuit, pi.inverse(), "fig7 pi inverse" );
+}
+
+TEST( tbs_test, exhaustive_on_all_3_variable_single_cycles )
+{
+  /* all transpositions of B^3 */
+  for ( uint64_t a = 0u; a < 8u; ++a )
+  {
+    for ( uint64_t b = a + 1u; b < 8u; ++b )
+    {
+      permutation pi( 3u );
+      pi.set_image( a, b );
+      pi.set_image( b, a );
+      const auto circuit = transformation_based_synthesis( pi );
+      expect_realizes( circuit, pi, "transposition" );
+    }
+  }
+}
+
+TEST( tbs_test, random_permutations_up_to_6_vars )
+{
+  for ( uint32_t num_vars = 1u; num_vars <= 6u; ++num_vars )
+  {
+    for ( uint64_t seed = 0u; seed < 10u; ++seed )
+    {
+      const auto pi = permutation::random( num_vars, seed * 13u + num_vars );
+      expect_realizes( transformation_based_synthesis( pi ), pi, "random uni" );
+    }
+  }
+}
+
+TEST( tbs_test, bidirectional_random_permutations )
+{
+  for ( uint32_t num_vars = 1u; num_vars <= 6u; ++num_vars )
+  {
+    for ( uint64_t seed = 0u; seed < 10u; ++seed )
+    {
+      const auto pi = permutation::random( num_vars, seed * 17u + num_vars );
+      expect_realizes( transformation_based_synthesis_bidirectional( pi ), pi, "random bidi" );
+    }
+  }
+}
+
+TEST( tbs_test, bidirectional_not_worse_on_benchmarks )
+{
+  for ( const auto& pi : { hwb_permutation( 4u ), hwb_permutation( 5u ),
+                           gray_code_permutation( 5u ), modular_adder_permutation( 5u, 3u ) } )
+  {
+    const auto uni = transformation_based_synthesis( pi );
+    const auto bidi = transformation_based_synthesis_bidirectional( pi );
+    expect_realizes( bidi, pi, "benchmark bidi" );
+    EXPECT_LE( bidi.num_gates(), uni.num_gates() );
+  }
+}
+
+TEST( dbs_test, identity_and_simple_gates )
+{
+  EXPECT_EQ( decomposition_based_synthesis( permutation( 3u ) ).num_gates(), 0u );
+  const auto pi = permutation::xor_constant( 3u, 0b010u );
+  expect_realizes( decomposition_based_synthesis( pi ), pi, "dbs not" );
+}
+
+TEST( dbs_test, paper_fig7_permutation )
+{
+  const auto pi = paper_fig7_permutation();
+  expect_realizes( decomposition_based_synthesis( pi ), pi, "dbs fig7" );
+  expect_realizes( decomposition_based_synthesis( pi.inverse() ), pi.inverse(), "dbs fig7 inv" );
+}
+
+TEST( dbs_test, exhaustive_all_2_variable_permutations )
+{
+  /* all 24 permutations of B^2 */
+  std::vector<uint64_t> images{ 0u, 1u, 2u, 3u };
+  std::sort( images.begin(), images.end() );
+  do
+  {
+    const auto pi = permutation::from_vector( images );
+    expect_realizes( decomposition_based_synthesis( pi ), pi, "dbs exhaustive 2var" );
+  } while ( std::next_permutation( images.begin(), images.end() ) );
+}
+
+TEST( dbs_test, random_permutations_up_to_6_vars )
+{
+  for ( uint32_t num_vars = 1u; num_vars <= 6u; ++num_vars )
+  {
+    for ( uint64_t seed = 0u; seed < 10u; ++seed )
+    {
+      const auto pi = permutation::random( num_vars, seed * 23u + num_vars );
+      expect_realizes( decomposition_based_synthesis( pi ), pi, "dbs random" );
+    }
+  }
+}
+
+TEST( dbs_test, benchmark_families )
+{
+  for ( const auto& pi : { hwb_permutation( 6u ), gray_code_permutation( 6u ),
+                           modular_adder_permutation( 6u, 11u ),
+                           modular_multiplier_permutation( 6u, 5u ) } )
+  {
+    expect_realizes( decomposition_based_synthesis( pi ), pi, "dbs benchmark" );
+  }
+}
+
+TEST( esop_synthesis_test, single_output_bennett_form )
+{
+  const auto f = inner_product_function( 2u, /*interleaved=*/true );
+  const auto circuit = esop_based_synthesis( f );
+  EXPECT_EQ( circuit.num_lines(), 5u );
+  for ( uint64_t x = 0u; x < 16u; ++x )
+  {
+    /* y = 0 input: output line must carry f(x), inputs unchanged */
+    const auto out = circuit.simulate( x );
+    EXPECT_EQ( out & 0xfu, x );
+    EXPECT_EQ( ( out >> 4u ) & 1u, f.get_bit( x ) ? 1u : 0u );
+    /* y = 1: XOR semantics */
+    const auto out1 = circuit.simulate( x | ( 1u << 4u ) );
+    EXPECT_EQ( ( out1 >> 4u ) & 1u, f.get_bit( x ) ? 0u : 1u );
+  }
+}
+
+TEST( esop_synthesis_test, multi_output )
+{
+  const std::vector<truth_table> outputs{
+      majority_function( 3u ),
+      truth_table::projection( 3u, 0u ) ^ truth_table::projection( 3u, 2u ),
+      ~truth_table( 3u ) };
+  const auto circuit = esop_based_synthesis( outputs );
+  EXPECT_EQ( circuit.num_lines(), 6u );
+  for ( uint64_t x = 0u; x < 8u; ++x )
+  {
+    const auto out = circuit.simulate( x );
+    EXPECT_EQ( out & 7u, x );
+    for ( uint32_t j = 0u; j < 3u; ++j )
+    {
+      EXPECT_EQ( ( out >> ( 3u + j ) ) & 1u, outputs[j].get_bit( x ) ? 1u : 0u );
+    }
+  }
+}
+
+TEST( esop_synthesis_test, rejects_bad_input )
+{
+  EXPECT_THROW( esop_based_synthesis( std::vector<truth_table>{} ), std::invalid_argument );
+  EXPECT_THROW( esop_based_synthesis( std::vector<truth_table>{ truth_table( 2u ),
+                                                                truth_table( 3u ) } ),
+                std::invalid_argument );
+}
+
+TEST( single_target_test, lowering_matches_control_function )
+{
+  rev_circuit circuit( 4u );
+  const auto control = majority_function( 3u );
+  append_single_target_gate( circuit, control, { 0u, 1u, 2u }, 3u );
+  for ( uint64_t x = 0u; x < 16u; ++x )
+  {
+    const auto out = circuit.simulate( x );
+    EXPECT_EQ( out & 7u, x & 7u );
+    const bool flipped = ( ( out >> 3u ) & 1u ) != ( ( x >> 3u ) & 1u );
+    EXPECT_EQ( flipped, control.get_bit( x & 7u ) );
+  }
+}
+
+TEST( single_target_test, scattered_control_lines )
+{
+  rev_circuit circuit( 5u );
+  const auto control = truth_table::projection( 2u, 0u ) ^ truth_table::projection( 2u, 1u );
+  append_single_target_gate( circuit, control, { 4u, 1u }, 2u );
+  for ( uint64_t x = 0u; x < 32u; ++x )
+  {
+    const auto out = circuit.simulate( x );
+    const bool flipped = ( ( out >> 2u ) & 1u ) != ( ( x >> 2u ) & 1u );
+    const bool expected = ( ( x >> 4u ) & 1u ) != ( ( x >> 1u ) & 1u );
+    EXPECT_EQ( flipped, expected );
+  }
+}
+
+TEST( single_target_test, validation )
+{
+  rev_circuit circuit( 3u );
+  EXPECT_THROW( append_single_target_gate( circuit, truth_table( 2u ), { 0u }, 2u ),
+                std::invalid_argument );
+  EXPECT_THROW( append_single_target_gate( circuit, truth_table( 2u ), { 0u, 2u }, 2u ),
+                std::invalid_argument );
+}
+
+TEST( revgen_test, hwb_permutation_definition )
+{
+  const auto pi = hwb_permutation( 4u );
+  EXPECT_EQ( pi[0u], 0u );
+  /* 0001 has weight 1 -> rotl by 1 = 0010 */
+  EXPECT_EQ( pi[1u], 2u );
+  /* 0011 has weight 2 -> rotl by 2 = 1100 */
+  EXPECT_EQ( pi[3u], 12u );
+  /* 1111 rotates to itself */
+  EXPECT_EQ( pi[15u], 15u );
+}
+
+TEST( revgen_test, generators_are_bijections )
+{
+  for ( const auto& pi : { hwb_permutation( 6u ), modular_adder_permutation( 6u, 17u ),
+                           rotation_permutation( 6u, 2u ), gray_code_permutation( 6u ),
+                           modular_multiplier_permutation( 6u, 11u ) } )
+  {
+    EXPECT_TRUE( pi.compose( pi.inverse() ).is_identity() );
+  }
+  EXPECT_THROW( modular_multiplier_permutation( 4u, 2u ), std::invalid_argument );
+}
+
+TEST( embedding_test, bennett_embedding_layout )
+{
+  const auto f = majority_function( 3u );
+  const auto g = bennett_embedding( f );
+  EXPECT_EQ( g.num_vars(), 4u );
+  for ( uint64_t x = 0u; x < 8u; ++x )
+  {
+    EXPECT_EQ( g[x], x | ( f.get_bit( x ) ? 8u : 0u ) );
+    EXPECT_EQ( g[x | 8u], x | ( f.get_bit( x ) ? 0u : 8u ) );
+  }
+}
+
+TEST( embedding_test, bennett_multi_output )
+{
+  const std::vector<truth_table> outputs{ truth_table::projection( 2u, 0u ),
+                                          truth_table::projection( 2u, 1u ) };
+  const auto g = bennett_embedding( outputs );
+  EXPECT_EQ( g.num_vars(), 4u );
+  /* x = 01, y = 00 -> y' = 01 */
+  EXPECT_EQ( g[0b0001u], 0b0101u );
+  /* x = 10, y = 11 -> y' = 11 ^ 10 = 01 */
+  EXPECT_EQ( g[0b1110u], 0b0110u );
+}
+
+TEST( embedding_test, greedy_embedding_realizes_function )
+{
+  for ( uint64_t seed = 0u; seed < 10u; ++seed )
+  {
+    const auto f = random_truth_table( 4u, seed + 400u );
+    const auto g = greedy_embedding( f );
+    EXPECT_EQ( g.num_vars(), 5u );
+    for ( uint64_t x = 0u; x < 16u; ++x )
+    {
+      /* ancilla (MSB) = 0 rows: output bit 0 is f(x) */
+      EXPECT_EQ( g[x] & 1u, f.get_bit( x ) ? 1u : 0u ) << "seed=" << seed << " x=" << x;
+    }
+  }
+}
+
+TEST( embedding_test, synthesis_of_embedded_function )
+{
+  const auto f = majority_function( 3u );
+  const auto pi = bennett_embedding( f );
+  const auto circuit = transformation_based_synthesis( pi );
+  for ( uint64_t x = 0u; x < 8u; ++x )
+  {
+    EXPECT_EQ( circuit.simulate( x ), x | ( f.get_bit( x ) ? 8u : 0u ) );
+  }
+}
+
+class synthesis_cross_check_test : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P( synthesis_cross_check_test, all_methods_agree_on_random_permutation )
+{
+  const auto pi = permutation::random( 5u, GetParam() );
+  const auto tbs = transformation_based_synthesis( pi );
+  const auto bidi = transformation_based_synthesis_bidirectional( pi );
+  const auto dbs = decomposition_based_synthesis( pi );
+  for ( uint64_t x = 0u; x < pi.size(); ++x )
+  {
+    ASSERT_EQ( tbs.simulate( x ), pi[x] );
+    ASSERT_EQ( bidi.simulate( x ), pi[x] );
+    ASSERT_EQ( dbs.simulate( x ), pi[x] );
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P( seeds, synthesis_cross_check_test,
+                          ::testing::Range( uint64_t{ 1000 }, uint64_t{ 1012 } ) );
+
+} // namespace
+} // namespace qda

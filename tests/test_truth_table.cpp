@@ -1,0 +1,323 @@
+#include "kernel/bits.hpp"
+#include "kernel/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qda
+{
+namespace
+{
+
+TEST( truth_table_test, constant_zero_on_construction )
+{
+  truth_table tt( 3u );
+  EXPECT_EQ( tt.num_vars(), 3u );
+  EXPECT_EQ( tt.num_bits(), 8u );
+  EXPECT_TRUE( tt.is_constant0() );
+  EXPECT_FALSE( tt.is_constant1() );
+  EXPECT_EQ( tt.count_ones(), 0u );
+}
+
+TEST( truth_table_test, constant_one )
+{
+  const auto tt = truth_table::constant( 4u, true );
+  EXPECT_TRUE( tt.is_constant1() );
+  EXPECT_EQ( tt.count_ones(), 16u );
+}
+
+TEST( truth_table_test, constant_one_small_is_masked )
+{
+  const auto tt = truth_table::constant( 2u, true );
+  EXPECT_EQ( tt.count_ones(), 4u );
+  EXPECT_EQ( tt.words()[0], 0xfull );
+}
+
+TEST( truth_table_test, rejects_too_many_variables )
+{
+  EXPECT_THROW( truth_table( truth_table::max_num_vars + 1u ), std::invalid_argument );
+}
+
+TEST( truth_table_test, projection_small_variables )
+{
+  for ( uint32_t var = 0u; var < 4u; ++var )
+  {
+    const auto tt = truth_table::projection( 4u, var );
+    for ( uint64_t x = 0u; x < 16u; ++x )
+    {
+      EXPECT_EQ( tt.get_bit( x ), test_bit( x, var ) ) << "var=" << var << " x=" << x;
+    }
+  }
+}
+
+TEST( truth_table_test, projection_large_variables )
+{
+  for ( uint32_t var = 5u; var < 9u; ++var )
+  {
+    const auto tt = truth_table::projection( 9u, var );
+    for ( uint64_t x = 0u; x < tt.num_bits(); ++x )
+    {
+      ASSERT_EQ( tt.get_bit( x ), test_bit( x, var ) ) << "var=" << var << " x=" << x;
+    }
+  }
+}
+
+TEST( truth_table_test, projection_out_of_range_throws )
+{
+  EXPECT_THROW( truth_table::projection( 3u, 3u ), std::invalid_argument );
+}
+
+TEST( truth_table_test, set_get_flip_roundtrip )
+{
+  truth_table tt( 7u );
+  tt.set_bit( 100u, true );
+  EXPECT_TRUE( tt.get_bit( 100u ) );
+  tt.flip_bit( 100u );
+  EXPECT_FALSE( tt.get_bit( 100u ) );
+  EXPECT_THROW( tt.get_bit( 128u ), std::out_of_range );
+  EXPECT_THROW( tt.set_bit( 128u, true ), std::out_of_range );
+}
+
+TEST( truth_table_test, binary_string_roundtrip )
+{
+  const auto tt = truth_table::from_binary_string( "0110100110010110" );
+  EXPECT_EQ( tt.num_vars(), 4u );
+  EXPECT_EQ( tt.to_binary_string(), "0110100110010110" );
+}
+
+TEST( truth_table_test, binary_string_rejects_bad_input )
+{
+  EXPECT_THROW( truth_table::from_binary_string( "011" ), std::invalid_argument );
+  EXPECT_THROW( truth_table::from_binary_string( "01x0" ), std::invalid_argument );
+}
+
+TEST( truth_table_test, hex_string_roundtrip )
+{
+  const auto tt = truth_table::from_hex_string( 4u, "8000" );
+  EXPECT_TRUE( tt.get_bit( 15u ) );
+  EXPECT_EQ( tt.count_ones(), 1u );
+  EXPECT_EQ( tt.to_hex_string(), "8000" );
+
+  const auto and2 = truth_table::from_hex_string( 2u, "8" );
+  EXPECT_EQ( and2, truth_table::projection( 2u, 0u ) & truth_table::projection( 2u, 1u ) );
+}
+
+TEST( truth_table_test, hex_string_rejects_bad_input )
+{
+  EXPECT_THROW( truth_table::from_hex_string( 4u, "800" ), std::invalid_argument );
+  EXPECT_THROW( truth_table::from_hex_string( 4u, "80g0" ), std::invalid_argument );
+}
+
+TEST( truth_table_test, bitwise_operators )
+{
+  const auto a = truth_table::projection( 3u, 0u );
+  const auto b = truth_table::projection( 3u, 1u );
+  const auto sum = a ^ b;
+  const auto conj = a & b;
+  const auto disj = a | b;
+  for ( uint64_t x = 0u; x < 8u; ++x )
+  {
+    const bool xa = ( x >> 0u ) & 1u;
+    const bool xb = ( x >> 1u ) & 1u;
+    EXPECT_EQ( sum.get_bit( x ), xa != xb );
+    EXPECT_EQ( conj.get_bit( x ), xa && xb );
+    EXPECT_EQ( disj.get_bit( x ), xa || xb );
+  }
+  EXPECT_EQ( ( ~a ).count_ones(), 4u );
+}
+
+TEST( truth_table_test, operand_size_mismatch_throws )
+{
+  const auto a = truth_table::projection( 3u, 0u );
+  const auto b = truth_table::projection( 4u, 0u );
+  EXPECT_THROW( a & b, std::invalid_argument );
+}
+
+TEST( truth_table_test, cofactors_small )
+{
+  /* f = x0 & x1 */
+  const auto f = truth_table::projection( 2u, 0u ) & truth_table::projection( 2u, 1u );
+  EXPECT_TRUE( f.cofactor0( 0u ).is_constant0() );
+  EXPECT_EQ( f.cofactor1( 0u ), truth_table::projection( 2u, 1u ) );
+  EXPECT_TRUE( f.cofactor0( 1u ).is_constant0() );
+  EXPECT_EQ( f.cofactor1( 1u ), truth_table::projection( 2u, 0u ) );
+}
+
+TEST( truth_table_test, cofactors_match_pointwise_definition )
+{
+  const auto f = random_truth_table( 8u, 42u );
+  for ( uint32_t var = 0u; var < 8u; ++var )
+  {
+    const auto c0 = f.cofactor0( var );
+    const auto c1 = f.cofactor1( var );
+    for ( uint64_t x = 0u; x < f.num_bits(); ++x )
+    {
+      const uint64_t x0 = x & ~( uint64_t{ 1 } << var );
+      const uint64_t x1 = x | ( uint64_t{ 1 } << var );
+      ASSERT_EQ( c0.get_bit( x ), f.get_bit( x0 ) );
+      ASSERT_EQ( c1.get_bit( x ), f.get_bit( x1 ) );
+    }
+  }
+}
+
+TEST( truth_table_test, shannon_expansion_reconstructs_function )
+{
+  const auto f = random_truth_table( 7u, 7u );
+  for ( uint32_t var = 0u; var < 7u; ++var )
+  {
+    const auto xi = truth_table::projection( 7u, var );
+    const auto reconstructed = ( ~xi & f.cofactor0( var ) ) | ( xi & f.cofactor1( var ) );
+    ASSERT_EQ( reconstructed, f ) << "var=" << var;
+  }
+}
+
+TEST( truth_table_test, support_and_dependency )
+{
+  const auto f = truth_table::projection( 5u, 1u ) ^ truth_table::projection( 5u, 3u );
+  EXPECT_FALSE( f.depends_on( 0u ) );
+  EXPECT_TRUE( f.depends_on( 1u ) );
+  EXPECT_FALSE( f.depends_on( 2u ) );
+  EXPECT_TRUE( f.depends_on( 3u ) );
+  EXPECT_FALSE( f.depends_on( 4u ) );
+  EXPECT_EQ( f.support(), ( std::vector<uint32_t>{ 1u, 3u } ) );
+}
+
+TEST( truth_table_test, swap_variables_is_involution )
+{
+  const auto f = random_truth_table( 6u, 99u );
+  const auto g = f.swap_variables( 1u, 4u );
+  EXPECT_EQ( g.swap_variables( 1u, 4u ), f );
+  for ( uint64_t x = 0u; x < f.num_bits(); ++x )
+  {
+    ASSERT_EQ( g.get_bit( x ), f.get_bit( swap_bits( x, 1u, 4u ) ) );
+  }
+}
+
+TEST( truth_table_test, extend_to_keeps_semantics )
+{
+  const auto f = truth_table::projection( 2u, 0u ) & truth_table::projection( 2u, 1u );
+  const auto g = f.extend_to( 5u );
+  EXPECT_EQ( g.num_vars(), 5u );
+  for ( uint64_t x = 0u; x < g.num_bits(); ++x )
+  {
+    ASSERT_EQ( g.get_bit( x ), f.get_bit( x & 3u ) );
+  }
+  EXPECT_THROW( g.extend_to( 2u ), std::invalid_argument );
+}
+
+TEST( truth_table_test, ordering_is_total_on_samples )
+{
+  /* character i of the string is f(i), so "0001" is the numerically
+   * larger table (bit 3 set) and "0010" the smaller one (bit 2 set) */
+  const auto a = truth_table::from_binary_string( "0001" );
+  const auto b = truth_table::from_binary_string( "0010" );
+  EXPECT_TRUE( b < a );
+  EXPECT_FALSE( a < b );
+  EXPECT_FALSE( a < a );
+}
+
+TEST( truth_table_test, inner_product_function_values )
+{
+  const auto f = inner_product_function( 2u ); /* x0 y0 ^ x1 y1, y at vars 2,3 */
+  for ( uint64_t x = 0u; x < 16u; ++x )
+  {
+    const bool expected = ( ( x & 1u ) && ( ( x >> 2u ) & 1u ) ) !=
+                          ( ( ( x >> 1u ) & 1u ) && ( ( x >> 3u ) & 1u ) );
+    ASSERT_EQ( f.get_bit( x ), expected );
+  }
+}
+
+TEST( truth_table_test, inner_product_interleaved_matches_paper_instance )
+{
+  /* paper Fig. 4: f(a,b,c,d) = (a and b) xor (c and d): pairs (0,1) and (2,3) */
+  const auto f = inner_product_function( 2u, /*interleaved=*/true );
+  for ( uint64_t x = 0u; x < 16u; ++x )
+  {
+    const bool a = x & 1u, b = ( x >> 1u ) & 1u, c = ( x >> 2u ) & 1u, d = ( x >> 3u ) & 1u;
+    ASSERT_EQ( f.get_bit( x ), ( a && b ) != ( c && d ) );
+  }
+}
+
+TEST( truth_table_test, hidden_weighted_bit_function_spot_checks )
+{
+  const auto f = hidden_weighted_bit_function( 4u );
+  EXPECT_FALSE( f.get_bit( 0u ) );    /* weight 0 -> 0 */
+  EXPECT_TRUE( f.get_bit( 1u ) );     /* weight 1, bit 0 of 0001 = 1 */
+  EXPECT_FALSE( f.get_bit( 2u ) );    /* weight 1, bit 0 of 0010 = 0 */
+  EXPECT_TRUE( f.get_bit( 3u ) );     /* weight 2, bit 1 of 0011 = 1 */
+  EXPECT_TRUE( f.get_bit( 15u ) );    /* weight 4, bit 3 of 1111 = 1 */
+}
+
+TEST( truth_table_test, majority_function_counts )
+{
+  const auto f = majority_function( 3u );
+  EXPECT_EQ( f.count_ones(), 4u );
+  EXPECT_TRUE( f.get_bit( 0b011u ) );
+  EXPECT_FALSE( f.get_bit( 0b001u ) );
+  EXPECT_TRUE( f.get_bit( 0b111u ) );
+}
+
+TEST( truth_table_test, random_truth_table_is_deterministic_per_seed )
+{
+  EXPECT_EQ( random_truth_table( 8u, 5u ), random_truth_table( 8u, 5u ) );
+  EXPECT_NE( random_truth_table( 8u, 5u ), random_truth_table( 8u, 6u ) );
+}
+
+class truth_table_word_boundary_test : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P( truth_table_word_boundary_test, projection_consistent_across_word_sizes )
+{
+  const uint32_t num_vars = GetParam();
+  for ( uint32_t var = 0u; var < num_vars; ++var )
+  {
+    const auto tt = truth_table::projection( num_vars, var );
+    EXPECT_EQ( tt.count_ones(), tt.num_bits() / 2u );
+    /* sampled pointwise check */
+    for ( uint64_t x = 0u; x < tt.num_bits(); x += 17u )
+    {
+      ASSERT_EQ( tt.get_bit( x ), test_bit( x, var ) );
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P( var_counts, truth_table_word_boundary_test,
+                          ::testing::Values( 1u, 2u, 5u, 6u, 7u, 8u, 10u, 12u ) );
+
+TEST( bits_test, popcount_parity )
+{
+  EXPECT_EQ( popcount64( 0u ), 0u );
+  EXPECT_EQ( popcount64( 0xffull ), 8u );
+  EXPECT_TRUE( parity64( 0b111u ) );
+  EXPECT_FALSE( parity64( 0b110011u ) );
+  EXPECT_TRUE( inner_product_bits( 0b1100u, 0b0100u ) );
+  EXPECT_FALSE( inner_product_bits( 0b1100u, 0b1100u ) );
+}
+
+TEST( bits_test, log2_and_powers )
+{
+  EXPECT_TRUE( is_power_of_two( 1u ) );
+  EXPECT_TRUE( is_power_of_two( 64u ) );
+  EXPECT_FALSE( is_power_of_two( 0u ) );
+  EXPECT_FALSE( is_power_of_two( 12u ) );
+  EXPECT_EQ( log2_ceil( 1u ), 0u );
+  EXPECT_EQ( log2_ceil( 2u ), 1u );
+  EXPECT_EQ( log2_ceil( 3u ), 2u );
+  EXPECT_EQ( log2_ceil( 1024u ), 10u );
+}
+
+TEST( bits_test, bit_surgery )
+{
+  EXPECT_EQ( assign_bit( 0u, 3u, true ), 8u );
+  EXPECT_EQ( assign_bit( 8u, 3u, false ), 0u );
+  EXPECT_EQ( flip_bit( 0u, 0u ), 1u );
+  EXPECT_EQ( swap_bits( 0b10u, 0u, 1u ), 0b01u );
+  EXPECT_EQ( swap_bits( 0b11u, 0u, 1u ), 0b11u );
+  EXPECT_EQ( least_significant_bit( 0b1000u ), 3u );
+  EXPECT_EQ( most_significant_bit( 0b1000u ), 3u );
+}
+
+} // namespace
+} // namespace qda
