@@ -7,16 +7,35 @@
  *  sweeps the hidden-weighted-bit family to larger sizes.  The paper
  *  prints final circuit statistics (`ps -c`); we report the same
  *  numbers for every pipeline stage plus wall-clock compile time.
+ *
+ *  E1b/E1c additionally measure the pass-manager infrastructure: the
+ *  overhead of running the same pipeline through the registry/spec
+ *  machinery instead of the direct fluent flow, and the speedup of the
+ *  compilation cache on repeated identical compilations.
  */
 #include "core/flow.hpp"
+#include "pipeline/pass_manager.hpp"
+#include "pipeline/timing.hpp"
 
-#include <chrono>
 #include <cstdio>
+#include <string>
+
+namespace
+{
+
+using clock_type = qda::detail::steady_clock;
+using qda::detail::elapsed_ms_since;
+
+std::string eq5_spec( uint32_t n )
+{
+  return "revgen --hwb " + std::to_string( n ) + "; tbs; revsimp; rptm; tpar; ps";
+}
+
+} // namespace
 
 int main()
 {
   using namespace qda;
-  using clock = std::chrono::steady_clock;
 
   std::printf( "E1: revgen --hwb N; tbs; revsimp; rptm; tpar; ps -c\n" );
   std::printf( "%-4s %-10s %-10s %-9s %-9s %-8s %-7s %-7s %-10s\n", "N", "tbs-gates",
@@ -24,7 +43,7 @@ int main()
 
   for ( uint32_t n = 4u; n <= 8u; ++n )
   {
-    const auto start = clock::now();
+    const auto start = clock_type::now();
     flow pipeline;
     pipeline.revgen_hwb( n ).tbs();
     const auto tbs_gates = pipeline.reversible().num_gates();
@@ -32,8 +51,7 @@ int main()
     const auto simp_gates = pipeline.reversible().num_gates();
     pipeline.rptm().tpar();
     const auto stats = pipeline.ps();
-    const double elapsed_ms =
-        std::chrono::duration<double, std::milli>( clock::now() - start ).count();
+    const double elapsed_ms = elapsed_ms_since( start );
 
     std::printf( "%-4u %-10zu %-10zu %-9llu %-9llu %-8llu %-7llu %-7llu %-10.2f\n", n,
                  tbs_gates, simp_gates,
@@ -50,5 +68,59 @@ int main()
     }
   }
   std::printf( "verification: hwb-4..6 quantum circuits equivalent to their permutations\n" );
+
+  /* ---- E1b: pass-manager overhead vs the direct fluent flow ---- */
+
+  std::printf( "\nE1b: pass-manager overhead vs direct fluent flow (uncached)\n" );
+  std::printf( "%-4s %-6s %-12s %-12s %-10s\n", "N", "reps", "fluent-ms", "manager-ms",
+               "overhead" );
+  for ( uint32_t n = 4u; n <= 7u; ++n )
+  {
+    const uint32_t reps = n <= 6u ? 20u : 5u;
+
+    const auto fluent_start = clock_type::now();
+    for ( uint32_t r = 0u; r < reps; ++r )
+    {
+      flow pipeline;
+      pipeline.revgen_hwb( n ).tbs().revsimp().rptm().tpar().ps();
+    }
+    const double fluent_ms = elapsed_ms_since( fluent_start ) / reps;
+
+    pass_manager uncached( /*enable_cache=*/false );
+    const auto spec = parse_pipeline( eq5_spec( n ) );
+    const auto manager_start = clock_type::now();
+    for ( uint32_t r = 0u; r < reps; ++r )
+    {
+      uncached.run( spec );
+    }
+    const double manager_ms = elapsed_ms_since( manager_start ) / reps;
+
+    std::printf( "%-4u %-6u %-12.3f %-12.3f %+.1f%%\n", n, reps, fluent_ms, manager_ms,
+                 fluent_ms > 0.0 ? 100.0 * ( manager_ms - fluent_ms ) / fluent_ms : 0.0 );
+  }
+
+  /* ---- E1c: compilation-cache hit/miss timings ---- */
+
+  std::printf( "\nE1c: compilation cache (second identical run served from cache)\n" );
+  std::printf( "%-4s %-12s %-12s %-9s\n", "N", "miss-ms", "hit-ms", "speedup" );
+  for ( uint32_t n = 4u; n <= 8u; ++n )
+  {
+    pass_manager cached;
+    const auto spec = parse_pipeline( eq5_spec( n ) );
+    const auto miss = cached.run( spec );
+    const auto hit = cached.run( spec );
+    if ( miss.cache_hit || !hit.cache_hit )
+    {
+      std::printf( "CACHE MISBEHAVED for n=%u\n", n );
+      return 1;
+    }
+    std::printf( "%-4u %-12.3f %-12.3f %8.0fx\n", n, miss.total_ms, hit.total_ms,
+                 hit.total_ms > 0.0 ? miss.total_ms / hit.total_ms : 0.0 );
+  }
+
+  /* per-pass breakdown of the paper's hwb-4 instance */
+  pass_manager manager;
+  std::printf( "\nper-pass breakdown (hwb-4):\n%s",
+               format_report( manager.run( eq5_spec( 4u ) ) ).c_str() );
   return 0;
 }

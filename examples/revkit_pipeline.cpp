@@ -9,6 +9,7 @@
  *  final quantum circuit against the original permutation.
  */
 #include "core/flow.hpp"
+#include "pipeline/pass_manager.hpp"
 
 #include <cstdio>
 
@@ -16,6 +17,12 @@ int main()
 {
   using namespace qda;
 
+  /* the shell string itself, through the pass manager */
+  pass_manager manager;
+  const auto compiled = manager.run( "revgen --hwb 4; tbs; revsimp; rptm; tpar; ps" );
+  std::printf( "%s\n", format_report( compiled ).c_str() );
+
+  /* the same pipeline through the fluent flow API */
   flow pipeline;
   pipeline.revgen_hwb( 4u ); /* revgen --hwb 4 */
   pipeline.tbs();            /* tbs */

@@ -1,116 +1,94 @@
 #include "core/flow.hpp"
 
-#include "optimization/peephole.hpp"
-#include "optimization/phase_folding.hpp"
-#include "optimization/revsimp.hpp"
+#include "pipeline/timing.hpp"
 #include "simulator/unitary.hpp"
-#include "synthesis/decomposition_based.hpp"
-#include "synthesis/revgen.hpp"
-#include "synthesis/transformation_based.hpp"
 
 #include <stdexcept>
 
 namespace qda
 {
 
+flow& flow::apply( const std::string& pass_name, pass_arguments args )
+{
+  /* the previous report's exit statistics are this pass's entry
+   * statistics; reusing them avoids an O(gates) recomputation */
+  const auto* stats_hint = reports_.empty() ? nullptr : &reports_.back().statistics_after;
+  reports_.push_back( pass_manager::apply_pass(
+      ir_, pass_invocation{ pass_name, std::move( args ) }, pass_registry::instance(),
+      stats_hint ) );
+  return *this;
+}
+
 flow& flow::revgen_hwb( uint32_t num_vars )
 {
-  return revgen( hwb_permutation( num_vars ) );
+  pass_arguments args;
+  args.add_option( "hwb", std::to_string( num_vars ) );
+  return apply( "revgen", std::move( args ) );
 }
 
 flow& flow::revgen( permutation target )
 {
-  permutation_ = std::move( target );
-  reversible_.reset();
-  quantum_.reset();
+  /* arbitrary permutations have no shell encoding; load the IR directly
+   * but record the same report fields apply_pass would */
+  pass_report report;
+  report.name = "revgen";
+  report.stage_before = ir_.current;
+  report.gates_before = ir_.current_gate_count();
+  report.statistics_before =
+      reports_.empty() ? ir_.current_statistics() : reports_.back().statistics_after;
+  const auto start = detail::steady_clock::now();
+  ir_.set_permutation( std::move( target ) );
+  report.elapsed_ms = detail::elapsed_ms_since( start );
+  report.stage_after = stage::permutation;
+  reports_.push_back( std::move( report ) );
   return *this;
 }
-
-namespace
-{
-
-const permutation& require_permutation( const std::optional<permutation>& p )
-{
-  if ( !p )
-  {
-    throw std::logic_error( "flow: no permutation; run revgen first" );
-  }
-  return *p;
-}
-
-const rev_circuit& require_reversible( const std::optional<rev_circuit>& c )
-{
-  if ( !c )
-  {
-    throw std::logic_error( "flow: no reversible circuit; run a synthesis command first" );
-  }
-  return *c;
-}
-
-const clifford_t_result& require_quantum( const std::optional<clifford_t_result>& c )
-{
-  if ( !c )
-  {
-    throw std::logic_error( "flow: no quantum circuit; run rptm first" );
-  }
-  return *c;
-}
-
-} // namespace
 
 flow& flow::tbs()
 {
-  reversible_ = transformation_based_synthesis( require_permutation( permutation_ ) );
-  quantum_.reset();
-  return *this;
+  return apply( "tbs" );
 }
 
 flow& flow::tbs_bidirectional()
 {
-  reversible_ = transformation_based_synthesis_bidirectional( require_permutation( permutation_ ) );
-  quantum_.reset();
-  return *this;
+  pass_arguments args;
+  args.add_flag( "bidirectional" );
+  return apply( "tbs", std::move( args ) );
 }
 
 flow& flow::dbs()
 {
-  reversible_ = decomposition_based_synthesis( require_permutation( permutation_ ) );
-  quantum_.reset();
-  return *this;
+  return apply( "dbs" );
 }
 
 flow& flow::revsimp()
 {
-  reversible_ = qda::revsimp( require_reversible( reversible_ ) );
-  quantum_.reset();
-  return *this;
+  return apply( "revsimp" );
 }
 
 flow& flow::rptm( bool use_relative_phase )
 {
-  clifford_t_options options;
-  options.use_relative_phase = use_relative_phase;
-  quantum_ = map_to_clifford_t( require_reversible( reversible_ ), options );
-  return *this;
+  pass_arguments args;
+  if ( !use_relative_phase )
+  {
+    args.add_flag( "no-relative-phase" );
+  }
+  return apply( "rptm", std::move( args ) );
 }
 
 flow& flow::tpar()
 {
-  require_quantum( quantum_ );
-  quantum_->circuit = phase_folding( quantum_->circuit );
-  return *this;
+  return apply( "tpar" );
 }
 
 flow& flow::peephole()
 {
-  require_quantum( quantum_ );
-  quantum_->circuit = peephole_optimize( quantum_->circuit );
-  return *this;
+  return apply( "peephole" );
 }
 
 circuit_statistics flow::ps() const
 {
-  return compute_statistics( require_quantum( quantum_ ).circuit );
+  return compute_statistics( ir_.require_quantum().circuit );
 }
 
 std::string flow::ps_line() const
@@ -120,23 +98,23 @@ std::string flow::ps_line() const
 
 const permutation& flow::current_permutation() const
 {
-  return require_permutation( permutation_ );
+  return ir_.require_permutation();
 }
 
 const rev_circuit& flow::reversible() const
 {
-  return require_reversible( reversible_ );
+  return ir_.require_reversible();
 }
 
 const qcircuit& flow::quantum() const
 {
-  return require_quantum( quantum_ ).circuit;
+  return ir_.require_quantum().circuit;
 }
 
 bool flow::verify() const
 {
-  const auto& target = require_permutation( permutation_ );
-  const auto& result = require_quantum( quantum_ );
+  const auto& target = ir_.require_permutation();
+  const auto& result = ir_.require_quantum();
   if ( result.circuit.num_qubits() > 14u )
   {
     throw std::invalid_argument( "flow::verify: circuit too large for explicit verification" );

@@ -16,19 +16,21 @@
  *          .tpar()            // phase folding T-count optimization
  *          .ps();             // print statistics
  *
- *  The pipeline is staged: a permutation (after revgen), a reversible
- *  circuit (after a synthesis command) and a quantum circuit (after
- *  rptm); commands check they are invoked in a valid stage.
+ *  Since the pipeline subsystem landed, `flow` is a thin fluent shim
+ *  over the pass manager (pipeline/pass_manager.hpp): every mutating
+ *  command resolves to the registered pass of the same shell name,
+ *  stage checking and instrumentation included (`ps()` is a const
+ *  inspection helper computed directly, without a report entry).  The
+ *  same pipelines can be run from their RevKit shell strings via
+ *  `pass_manager::run`.
  */
 #pragma once
 
-#include "kernel/permutation.hpp"
-#include "mapping/clifford_t.hpp"
-#include "quantum/qcircuit.hpp"
-#include "reversible/rev_circuit.hpp"
+#include "pipeline/ir.hpp"
+#include "pipeline/pass_manager.hpp"
 
-#include <optional>
 #include <string>
+#include <vector>
 
 namespace qda
 {
@@ -67,15 +69,22 @@ public:
   const rev_circuit& reversible() const;
   const qcircuit& quantum() const;
 
+  /*! \brief The staged IR backing this flow. */
+  const staged_ir& ir() const noexcept { return ir_; }
+
+  /*! \brief Per-pass timing/statistics reports, in execution order. */
+  const std::vector<pass_report>& reports() const noexcept { return reports_; }
+
   /*! \brief Verifies the quantum circuit still implements the generated
    *         permutation (helpers clean), for n small enough to expand.
    */
   bool verify() const;
 
 private:
-  std::optional<permutation> permutation_;
-  std::optional<rev_circuit> reversible_;
-  std::optional<clifford_t_result> quantum_;
+  flow& apply( const std::string& pass_name, pass_arguments args = {} );
+
+  staged_ir ir_;
+  std::vector<pass_report> reports_;
 };
 
 } // namespace qda

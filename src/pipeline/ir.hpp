@@ -1,0 +1,181 @@
+/*! \file ir.hpp
+ *  \brief Staged intermediate representation of the compilation pipeline.
+ *
+ *  The paper's Eq. (5) flow is staged: `revgen` produces a permutation,
+ *  a synthesis command turns it into a reversible MCT circuit, `rptm`
+ *  maps that to a Clifford+T quantum circuit, and routing legalizes it
+ *  for a physical device.  `staged_ir` carries a program through those
+ *  representations; every pass (pipeline/pass_registry.hpp) declares
+ *  which stages it accepts and which stage it produces, and the pass
+ *  manager validates the transitions.
+ */
+#pragma once
+
+#include "kernel/permutation.hpp"
+#include "mapping/clifford_t.hpp"
+#include "mapping/router.hpp"
+#include "quantum/qcircuit.hpp"
+#include "reversible/rev_circuit.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace qda
+{
+
+/*! \brief Compilation stages, in pipeline order. */
+enum class stage : uint8_t
+{
+  empty,       /*!< nothing loaded yet */
+  permutation, /*!< Boolean-function level (after a generator) */
+  reversible,  /*!< MCT circuit level (after synthesis) */
+  quantum,     /*!< Clifford+T level (after rptm) */
+  mapped       /*!< device level (after routing) */
+};
+
+/*! \brief Printable stage name. */
+inline const char* stage_name( stage s )
+{
+  switch ( s )
+  {
+  case stage::empty: return "empty";
+  case stage::permutation: return "permutation";
+  case stage::reversible: return "reversible";
+  case stage::quantum: return "quantum";
+  default: return "mapped";
+  }
+}
+
+/*! \brief A program moving through the pipeline stages.
+ *
+ *  Earlier-stage artifacts are kept when a later stage is entered (the
+ *  permutation remains available for verification after mapping);
+ *  re-entering an earlier stage resets everything downstream.
+ */
+struct staged_ir
+{
+  std::optional<permutation> target_permutation;
+  std::optional<rev_circuit> reversible;
+  std::optional<clifford_t_result> quantum;
+  std::optional<routing_result> mapped;
+
+  /*! \brief Statistics recorded by the most recent `ps` pass. */
+  std::optional<circuit_statistics> last_statistics;
+
+  stage current = stage::empty;
+
+  /* ---- stage transitions (reset all downstream artifacts) ---- */
+
+  void set_permutation( permutation p )
+  {
+    target_permutation = std::move( p );
+    reversible.reset();
+    quantum.reset();
+    mapped.reset();
+    current = stage::permutation;
+  }
+
+  void set_reversible( rev_circuit c )
+  {
+    reversible = std::move( c );
+    quantum.reset();
+    mapped.reset();
+    current = stage::reversible;
+  }
+
+  void set_quantum( clifford_t_result r )
+  {
+    quantum = std::move( r );
+    mapped.reset();
+    current = stage::quantum;
+  }
+
+  void set_mapped( routing_result r )
+  {
+    mapped = std::move( r );
+    current = stage::mapped;
+  }
+
+  /* ---- checked accessors ---- */
+
+  const permutation& require_permutation() const
+  {
+    if ( !target_permutation )
+    {
+      throw std::logic_error( "pipeline: no permutation; run a generator (revgen) first" );
+    }
+    return *target_permutation;
+  }
+
+  const rev_circuit& require_reversible() const
+  {
+    if ( !reversible )
+    {
+      throw std::logic_error( "pipeline: no reversible circuit; run a synthesis command first" );
+    }
+    return *reversible;
+  }
+
+  const clifford_t_result& require_quantum() const
+  {
+    if ( !quantum )
+    {
+      throw std::logic_error( "pipeline: no quantum circuit; run rptm first" );
+    }
+    return *quantum;
+  }
+
+  const routing_result& require_mapped() const
+  {
+    if ( !mapped )
+    {
+      throw std::logic_error( "pipeline: no mapped circuit; run route first" );
+    }
+    return *mapped;
+  }
+
+  /*! \brief The circuit of the deepest stage reached (quantum or mapped). */
+  const qcircuit& current_circuit() const
+  {
+    if ( mapped )
+    {
+      return mapped->circuit;
+    }
+    return require_quantum().circuit;
+  }
+
+  /*! \brief Gate count of the current stage's circuit (0 before synthesis). */
+  uint64_t current_gate_count() const
+  {
+    switch ( current )
+    {
+    case stage::reversible:
+      return reversible ? reversible->num_gates() : 0u;
+    case stage::quantum:
+      return quantum ? quantum->circuit.num_gates() : 0u;
+    case stage::mapped:
+      return mapped ? mapped->circuit.num_gates() : 0u;
+    default:
+      return 0u;
+    }
+  }
+
+  /*! \brief Statistics of the current circuit, when a quantum or mapped
+   *         circuit exists.
+   */
+  std::optional<circuit_statistics> current_statistics() const
+  {
+    if ( current == stage::quantum && quantum )
+    {
+      return compute_statistics( quantum->circuit );
+    }
+    if ( current == stage::mapped && mapped )
+    {
+      return compute_statistics( mapped->circuit );
+    }
+    return std::nullopt;
+  }
+};
+
+} // namespace qda

@@ -1,0 +1,135 @@
+/*! \file pass_manager.hpp
+ *  \brief Pipeline execution engine with instrumentation and caching.
+ *
+ *  Executes a `pipeline_spec` over a `staged_ir`: each pass is resolved
+ *  through the pass registry, its stage precondition is checked, its
+ *  wall-clock time and circuit-size effect are recorded in a
+ *  `pass_report`, and the whole compilation can be memoized in a cache
+ *  keyed on the input fingerprint plus the canonical pipeline spec --
+ *  repeated compilations of the same program (the common case in
+ *  batched/server settings) return instantly.
+ */
+#pragma once
+
+#include "pipeline/ir.hpp"
+#include "pipeline/spec_parser.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief Record of one executed pass. */
+struct pass_report
+{
+  std::string name;      /*!< pass name */
+  std::string arguments; /*!< canonical argument rendering */
+
+  stage stage_before = stage::empty;
+  stage stage_after = stage::empty;
+
+  double elapsed_ms = 0.0;
+
+  /*! Gate count at the pass boundary (reversible or quantum stage;
+   *  0 when the stage has no circuit yet). */
+  uint64_t gates_before = 0u;
+  uint64_t gates_after = 0u;
+
+  /*! Full statistics, recorded when a quantum/mapped circuit exists. */
+  std::optional<circuit_statistics> statistics_before;
+  std::optional<circuit_statistics> statistics_after;
+};
+
+/*! \brief Compilation cache counters. */
+struct cache_statistics
+{
+  uint64_t hits = 0u;
+  uint64_t misses = 0u;
+  uint64_t entries = 0u;
+};
+
+/*! \brief Result of running a pipeline. */
+struct compilation_result
+{
+  staged_ir ir;
+  std::vector<pass_report> reports;
+  std::string spec;      /*!< canonical spec string */
+  uint64_t cache_key = 0u;
+  bool cache_hit = false;
+  double total_ms = 0.0;
+};
+
+/*! \brief Executes pipelines over the staged IR. */
+class pass_manager
+{
+public:
+  /*! \brief `max_cache_entries` bounds the memoization cache; the
+   *         oldest compilation is evicted first (FIFO).
+   */
+  explicit pass_manager( bool enable_cache = true,
+                         const pass_registry& registry = pass_registry::instance(),
+                         size_t max_cache_entries = 256u );
+
+  /*! \brief Parses and runs RevKit shell syntax from the empty stage. */
+  compilation_result run( const std::string& spec_text );
+
+  /*! \brief Runs a parsed pipeline from the empty stage. */
+  compilation_result run( const pipeline_spec& spec );
+
+  /*! \brief Runs a parsed pipeline over an existing IR. */
+  compilation_result run( const pipeline_spec& spec, staged_ir initial );
+
+  /*! \brief Applies one pass to an IR, enforcing its stage signature
+   *         (std::logic_error on violation) and argument vocabulary
+   *         (std::invalid_argument).  Used by the fluent `qda::flow`.
+   *
+   *  `stats_before` (when non-null) spares recomputing the entry
+   *  statistics the caller already knows from the previous report.
+   */
+  static pass_report apply_pass( staged_ir& ir, const pass_invocation& invocation,
+                                 const pass_registry& registry = pass_registry::instance(),
+                                 const std::optional<circuit_statistics>* stats_before = nullptr );
+
+  static pass_report apply_pass( staged_ir& ir, const std::string& name,
+                                 const pass_arguments& args = {},
+                                 const pass_registry& registry = pass_registry::instance() );
+
+  /*! \brief Fingerprint of (initial IR, spec); the cache key. */
+  static uint64_t compute_cache_key( const pipeline_spec& spec, const staged_ir& initial );
+
+  cache_statistics cache_stats() const;
+  void clear_cache();
+
+private:
+  /*! A cached compilation plus an independent second fingerprint of
+   *  its (initial IR, spec) input; a stale hit requires both 64-bit
+   *  hashes to collide at once.  The result is held by shared_ptr so a
+   *  hit only copies a pointer while the mutex is held; the deep copy
+   *  happens outside the lock. */
+  struct cache_entry
+  {
+    std::shared_ptr<const compilation_result> result;
+    uint64_t check = 0u;
+  };
+
+  const pass_registry& registry_;
+  bool cache_enabled_;
+  size_t max_cache_entries_;
+
+  mutable std::mutex cache_mutex_;
+  std::map<uint64_t, cache_entry> cache_;
+  std::deque<uint64_t> cache_order_; /*!< insertion order for FIFO eviction */
+  cache_statistics cache_stats_;
+};
+
+/*! \brief Human-readable per-pass table of a compilation. */
+std::string format_report( const compilation_result& result );
+
+} // namespace qda

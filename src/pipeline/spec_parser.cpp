@@ -1,0 +1,162 @@
+#include "pipeline/spec_parser.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace qda
+{
+
+namespace
+{
+
+bool is_name_char( char c )
+{
+  return std::isalnum( static_cast<unsigned char>( c ) ) != 0 || c == '_' || c == '-';
+}
+
+bool is_valid_pass_name( const std::string& name )
+{
+  if ( name.empty() || name.front() == '-' )
+  {
+    return false;
+  }
+  for ( const char c : name )
+  {
+    if ( !is_name_char( c ) )
+    {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> tokenize( const std::string& command )
+{
+  std::vector<std::string> tokens;
+  std::istringstream stream( command );
+  std::string token;
+  while ( stream >> token )
+  {
+    tokens.push_back( token );
+  }
+  return tokens;
+}
+
+pass_invocation parse_command( const std::vector<std::string>& tokens )
+{
+  pass_invocation invocation;
+  invocation.name = tokens.front();
+  if ( !is_valid_pass_name( invocation.name ) )
+  {
+    throw std::invalid_argument( "pipeline spec: invalid pass name '" + invocation.name + "'" );
+  }
+
+  for ( size_t i = 1u; i < tokens.size(); ++i )
+  {
+    const auto& token = tokens[i];
+    if ( token.rfind( "--", 0u ) == 0u )
+    {
+      const auto key = token.substr( 2u );
+      if ( key.empty() )
+      {
+        throw std::invalid_argument( "pipeline spec: empty option name in '" +
+                                     invocation.name + "'" );
+      }
+      /* `--key value` is an option; `--key` followed by another switch
+       * (or nothing) is a long flag */
+      if ( i + 1u < tokens.size() && tokens[i + 1u].front() != '-' )
+      {
+        invocation.args.add_option( key, tokens[i + 1u] );
+        ++i;
+      }
+      else
+      {
+        invocation.args.add_flag( key );
+      }
+    }
+    else if ( token.size() >= 2u && token.front() == '-' &&
+              std::isalpha( static_cast<unsigned char>( token[1] ) ) != 0 )
+    {
+      /* short flags, possibly bundled: -c, -cv */
+      for ( size_t j = 1u; j < token.size(); ++j )
+      {
+        invocation.args.add_flag( std::string( 1u, token[j] ) );
+      }
+    }
+    else
+    {
+      invocation.args.add_positional( token );
+    }
+  }
+  return invocation;
+}
+
+} // namespace
+
+std::string pass_invocation::to_string() const
+{
+  const auto rendered = args.to_string();
+  return rendered.empty() ? name : name + " " + rendered;
+}
+
+std::string pipeline_spec::to_string() const
+{
+  std::string result;
+  for ( const auto& invocation : passes )
+  {
+    if ( !result.empty() )
+    {
+      result += "; ";
+    }
+    result += invocation.to_string();
+  }
+  return result;
+}
+
+pipeline_spec parse_pipeline( const std::string& text )
+{
+  pipeline_spec spec;
+  std::string command;
+  const auto flush = [&]() {
+    const auto tokens = tokenize( command );
+    if ( !tokens.empty() )
+    {
+      spec.passes.push_back( parse_command( tokens ) );
+    }
+    command.clear();
+  };
+  for ( const char c : text )
+  {
+    if ( c == ';' || c == '\n' )
+    {
+      flush();
+    }
+    else
+    {
+      command += c;
+    }
+  }
+  flush();
+  return spec;
+}
+
+stage validate_pipeline( const pipeline_spec& spec, const pass_registry& registry,
+                         stage initial )
+{
+  stage current = initial;
+  for ( const auto& invocation : spec.passes )
+  {
+    const auto& info = registry.at( invocation.name ); /* throws if unknown */
+    info.check_arguments( invocation.args );
+    if ( !info.accepts_stage( current ) )
+    {
+      throw std::logic_error( std::string( "pipeline spec: pass '" ) + invocation.name +
+                              "' cannot run at stage '" + stage_name( current ) + "'" );
+    }
+    current = info.produces.value_or( current );
+  }
+  return current;
+}
+
+} // namespace qda

@@ -1,0 +1,68 @@
+/*! \file spec_parser.hpp
+ *  \brief Parser for RevKit shell pipeline specifications.
+ *
+ *  The paper drives RevKit with command strings such as Eq. (5):
+ *
+ *      revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c
+ *
+ *  This module parses that syntax into a `pipeline_spec` -- a sequence
+ *  of named pass invocations with arguments -- which the pass manager
+ *  executes.  Parsing is registry-independent; `validate_pipeline`
+ *  additionally resolves names against a pass registry and checks the
+ *  stage transitions statically.
+ */
+#pragma once
+
+#include "pipeline/pass_registry.hpp"
+
+#include <string>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief One `name --arg value ...` command of a pipeline. */
+struct pass_invocation
+{
+  std::string name;
+  pass_arguments args;
+
+  /*! \brief Canonical shell rendering ("revgen --hwb 4"). */
+  std::string to_string() const;
+};
+
+/*! \brief A parsed pipeline: an ordered sequence of pass invocations. */
+struct pipeline_spec
+{
+  std::vector<pass_invocation> passes;
+
+  bool empty() const noexcept { return passes.empty(); }
+  size_t size() const noexcept { return passes.size(); }
+
+  /*! \brief Canonical shell rendering; parsing it again round-trips. */
+  std::string to_string() const;
+};
+
+/*! \brief Parses RevKit shell syntax into a pipeline spec.
+ *
+ *  Commands are separated by `;` or newlines; empty commands are
+ *  skipped.  Within a command, the first word is the pass name and the
+ *  remaining words are arguments (`--name value`, `--flag`, `-c`).
+ *  Throws std::invalid_argument on malformed input (bad pass name,
+ *  empty option name).  Pass names are not resolved here -- use
+ *  `validate_pipeline` for that.
+ */
+pipeline_spec parse_pipeline( const std::string& text );
+
+/*! \brief Statically validates a pipeline against a registry.
+ *
+ *  Checks that every pass exists (std::invalid_argument), that its
+ *  arguments are within the declared vocabulary (std::invalid_argument)
+ *  and that the stage transitions are legal starting from `initial`
+ *  (std::logic_error).  Returns the stage after the last pass.
+ */
+stage validate_pipeline( const pipeline_spec& spec,
+                         const pass_registry& registry = pass_registry::instance(),
+                         stage initial = stage::empty );
+
+} // namespace qda

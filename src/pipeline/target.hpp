@@ -1,0 +1,125 @@
+/*! \file target.hpp
+ *  \brief Execution targets: one interface over every backend.
+ *
+ *  The paper's ProjectQ flow swaps the local simulator for the IBM chip
+ *  "by changing two lines of code" (Sec. VII).  This module provides
+ *  that property for our stack: the state-vector simulator, the
+ *  stabilizer (CHP) simulator and the noisy IBM device model all
+ *  implement `target`, and the `target_registry` dispatches a compiled
+ *  circuit to any of them by name.  Routing is applied only for
+ *  constrained targets (those with a coupling map).
+ */
+#pragma once
+
+#include "mapping/coupling_map.hpp"
+#include "quantum/qcircuit.hpp"
+#include "simulator/noise.hpp"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief One backend execution. */
+struct execution_result
+{
+  std::string target_name;
+  std::map<uint64_t, uint64_t> counts; /*!< outcome (by measure order) -> shots */
+  uint64_t shots = 0u;
+
+  /* routing bookkeeping; 0 for unconstrained targets */
+  uint64_t added_swaps = 0u;
+  uint64_t added_direction_fixes = 0u;
+
+  double elapsed_ms = 0.0;
+};
+
+/*! \brief An execution backend. */
+class target
+{
+public:
+  virtual ~target() = default;
+
+  virtual const std::string& name() const noexcept = 0;
+  virtual std::string description() const = 0;
+
+  /*! \brief True if circuits must be routed onto a coupling map. */
+  virtual bool constrained() const noexcept { return false; }
+
+  /*! \brief The device topology of a constrained target, else nullptr. */
+  virtual const coupling_map* device() const noexcept { return nullptr; }
+
+  /*! \brief Empty string if the circuit can run here, else the reason
+   *         it cannot (e.g. non-Clifford gate on the stabilizer target).
+   */
+  virtual std::string unsupported_reason( const qcircuit& circuit ) const;
+
+  /*! \brief Executes `shots` shots.  The circuit is assumed legal for
+   *         the target (the registry routes constrained targets first).
+   */
+  virtual execution_result execute( const qcircuit& circuit, uint64_t shots,
+                                    uint64_t seed ) = 0;
+};
+
+/* ---- backend factories ---- */
+
+/*! \brief Full state-vector simulation (exact, <= ~26 qubits). */
+std::unique_ptr<target> make_statevector_target();
+
+/*! \brief Stabilizer (CHP) simulation (Clifford circuits, hundreds of qubits). */
+std::unique_ptr<target> make_stabilizer_target();
+
+/*! \brief Noisy device model behind a coupling map (routing + Pauli noise). */
+std::unique_ptr<target> make_device_target( std::string name, coupling_map device,
+                                            noise_model model );
+
+/*! \brief Dispatch table of execution backends. */
+class target_registry
+{
+public:
+  /*! \brief The process-wide registry with the built-in targets
+   *         (statevector, stabilizer, ibm_qx2/ibm_qx4/ibm_qx5 noisy
+   *         models and ibm_qx4_ideal).
+   */
+  static target_registry& instance();
+
+  /*! \brief An empty registry (for tests / custom deployments). */
+  target_registry() = default;
+
+  /*! \brief Registers a target; throws std::invalid_argument on
+   *         duplicate or empty name.
+   */
+  void register_target( std::shared_ptr<target> backend );
+
+  bool contains( const std::string& name ) const;
+
+  /*! \brief Looks a target up; throws std::invalid_argument if unknown. */
+  target& at( const std::string& name ) const;
+
+  /*! \brief Registered target names, sorted. */
+  std::vector<std::string> names() const;
+
+  size_t size() const noexcept { return targets_.size(); }
+
+  /*! \brief Runs `circuit` on the named target.
+   *
+   *  Constrained targets get the circuit routed onto their coupling map
+   *  first (SWAP insertion / direction fixes recorded in the result);
+   *  unconstrained targets execute the logical circuit directly.
+   *  Throws std::invalid_argument for an unknown target or a circuit
+   *  the target cannot execute.
+   */
+  execution_result run( const std::string& name, const qcircuit& circuit, uint64_t shots,
+                        uint64_t seed = 1u ) const;
+
+private:
+  std::map<std::string, std::shared_ptr<target>> targets_;
+};
+
+/*! \brief Installs the built-in targets into `registry`. */
+void register_builtin_targets( target_registry& registry );
+
+} // namespace qda

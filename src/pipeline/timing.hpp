@@ -1,0 +1,18 @@
+/*! \file timing.hpp
+ *  \brief Shared wall-clock helper of the pipeline instrumentation.
+ */
+#pragma once
+
+#include <chrono>
+
+namespace qda::detail
+{
+
+using steady_clock = std::chrono::steady_clock;
+
+inline double elapsed_ms_since( steady_clock::time_point start )
+{
+  return std::chrono::duration<double, std::milli>( steady_clock::now() - start ).count();
+}
+
+} // namespace qda::detail

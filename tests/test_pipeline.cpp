@@ -1,0 +1,356 @@
+#include "core/flow.hpp"
+#include "pipeline/pass_manager.hpp"
+#include "pipeline/pass_registry.hpp"
+#include "pipeline/spec_parser.hpp"
+#include "simulator/unitary.hpp"
+#include "synthesis/revgen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qda
+{
+namespace
+{
+
+constexpr const char* eq5 = "revgen --hwb 4; tbs; revsimp; rptm; tpar; ps";
+
+/* ---------------- spec parser ---------------- */
+
+TEST( spec_parser_test, parses_eq5_command_string )
+{
+  const auto spec = parse_pipeline( "revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c" );
+  ASSERT_EQ( spec.size(), 6u );
+  EXPECT_EQ( spec.passes[0].name, "revgen" );
+  EXPECT_EQ( spec.passes[0].args.option( "hwb" ).value_or( "" ), "4" );
+  EXPECT_EQ( spec.passes[1].name, "tbs" );
+  EXPECT_EQ( spec.passes[4].name, "tpar" );
+  EXPECT_EQ( spec.passes[5].name, "ps" );
+  EXPECT_TRUE( spec.passes[5].args.has_flag( "c" ) );
+}
+
+TEST( spec_parser_test, round_trips_canonical_form )
+{
+  const auto text = "revgen --hwb 4;  tbs ;revsimp; rptm; tpar;; ps -c";
+  const auto spec = parse_pipeline( text );
+  const auto canonical = spec.to_string();
+  EXPECT_EQ( canonical, "revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c" );
+  /* parsing the canonical form is a fixed point */
+  EXPECT_EQ( parse_pipeline( canonical ).to_string(), canonical );
+}
+
+TEST( spec_parser_test, skips_empty_commands_and_newlines )
+{
+  const auto spec = parse_pipeline( "revgen --hwb 3\n tbs\n\n; rptm;" );
+  ASSERT_EQ( spec.size(), 3u );
+  EXPECT_EQ( spec.passes[2].name, "rptm" );
+}
+
+TEST( spec_parser_test, rejects_invalid_pass_name )
+{
+  EXPECT_THROW( parse_pipeline( "rev!gen --hwb 4" ), std::invalid_argument );
+  EXPECT_THROW( parse_pipeline( "--hwb 4" ), std::invalid_argument );
+}
+
+TEST( spec_parser_test, rejects_empty_option_name )
+{
+  EXPECT_THROW( parse_pipeline( "revgen -- 4" ), std::invalid_argument );
+}
+
+TEST( spec_parser_test, long_flags_and_options_distinguished )
+{
+  const auto spec = parse_pipeline( "tbs --bidirectional; rptm --no-relative-phase" );
+  EXPECT_TRUE( spec.passes[0].args.has_flag( "bidirectional" ) );
+  EXPECT_TRUE( spec.passes[1].args.has_flag( "no-relative-phase" ) );
+  EXPECT_FALSE( spec.passes[1].args.has_option( "no-relative-phase" ) );
+}
+
+/* ---------------- validation ---------------- */
+
+TEST( spec_validation_test, unknown_pass_name_is_rejected )
+{
+  const auto spec = parse_pipeline( "revgen --hwb 4; frobnicate" );
+  EXPECT_THROW( validate_pipeline( spec ), std::invalid_argument );
+}
+
+TEST( spec_validation_test, wrong_stage_invocation_is_rejected )
+{
+  /* tbs needs a permutation */
+  EXPECT_THROW( validate_pipeline( parse_pipeline( "tbs" ) ), std::logic_error );
+  /* rptm before synthesis */
+  EXPECT_THROW( validate_pipeline( parse_pipeline( "revgen --hwb 3; rptm" ) ),
+                std::logic_error );
+  /* tpar before rptm */
+  EXPECT_THROW( validate_pipeline( parse_pipeline( "revgen --hwb 3; tbs; tpar" ) ),
+                std::logic_error );
+  /* ps before any circuit */
+  EXPECT_THROW( validate_pipeline( parse_pipeline( "revgen --hwb 3; ps" ) ),
+                std::logic_error );
+}
+
+TEST( spec_validation_test, malformed_arguments_are_rejected )
+{
+  /* non-numeric value */
+  EXPECT_THROW( validate_pipeline( parse_pipeline( "revgen --hwb four; tbs" ) ),
+                std::invalid_argument );
+  /* unknown argument for the pass */
+  EXPECT_THROW( validate_pipeline( parse_pipeline( "revgen --hwb 4; tbs --frob 3" ) ),
+                std::invalid_argument );
+  /* option used as flag (missing value) */
+  EXPECT_THROW( validate_pipeline( parse_pipeline( "revgen --hwb" ) ),
+                std::invalid_argument );
+  /* stray positional argument */
+  EXPECT_THROW( validate_pipeline( parse_pipeline( "revgen --hwb 4; tbs now" ) ),
+                std::invalid_argument );
+  /* repeated option */
+  EXPECT_THROW( validate_pipeline( parse_pipeline( "revgen --hwb 4 --hwb 5; tbs" ) ),
+                std::invalid_argument );
+}
+
+TEST( spec_validation_test, revgen_requires_exactly_one_generator )
+{
+  pass_manager manager( /*enable_cache=*/false );
+  EXPECT_THROW( manager.run( "revgen" ), std::invalid_argument );
+  EXPECT_THROW( manager.run( "revgen --hwb 4 --gray 3" ), std::invalid_argument );
+}
+
+TEST( spec_validation_test, reports_final_stage )
+{
+  EXPECT_EQ( validate_pipeline( parse_pipeline( "revgen --hwb 4" ) ), stage::permutation );
+  EXPECT_EQ( validate_pipeline( parse_pipeline( "revgen --hwb 4; tbs" ) ), stage::reversible );
+  EXPECT_EQ( validate_pipeline( parse_pipeline( eq5 ) ), stage::quantum );
+  EXPECT_EQ( validate_pipeline(
+                 parse_pipeline( "revgen --hwb 4; tbs; rptm; route --device ibm_qx4" ) ),
+             stage::mapped );
+}
+
+/* ---------------- pass registry ---------------- */
+
+TEST( pass_registry_test, builtin_passes_are_registered )
+{
+  auto& registry = pass_registry::instance();
+  for ( const char* name :
+        { "revgen", "tbs", "dbs", "revsimp", "rptm", "tpar", "peephole", "route", "ps" } )
+  {
+    EXPECT_TRUE( registry.contains( name ) ) << name;
+  }
+  EXPECT_THROW( registry.at( "nope" ), std::invalid_argument );
+}
+
+TEST( pass_registry_test, duplicate_registration_is_rejected )
+{
+  pass_registry registry;
+  register_builtin_passes( registry );
+  pass_info duplicate;
+  duplicate.name = "tbs";
+  duplicate.accepts = { stage::permutation };
+  duplicate.produces = stage::reversible;
+  duplicate.run = []( staged_ir&, const pass_arguments& ) {};
+  EXPECT_THROW( registry.register_pass( std::move( duplicate ) ), std::invalid_argument );
+}
+
+TEST( pass_registry_test, custom_pass_participates_in_pipelines )
+{
+  pass_registry registry;
+  register_builtin_passes( registry );
+  pass_info reverse_pass;
+  reverse_pass.name = "reverse";
+  reverse_pass.summary = "replace the reversible circuit by its inverse";
+  reverse_pass.accepts = { stage::reversible };
+  reverse_pass.produces = stage::reversible;
+  reverse_pass.run = []( staged_ir& ir, const pass_arguments& ) {
+    ir.set_reversible( ir.require_reversible().inverse() );
+  };
+  registry.register_pass( std::move( reverse_pass ) );
+
+  pass_manager manager( /*enable_cache=*/false, registry );
+  const auto result = manager.run( "revgen --hwb 3; tbs; reverse; reverse" );
+  EXPECT_EQ( result.ir.require_reversible().to_permutation(),
+             hwb_permutation( 3u ) );
+}
+
+/* ---------------- pass manager ---------------- */
+
+TEST( pass_manager_test, eq5_matches_fluent_flow )
+{
+  flow fluent;
+  const auto fluent_stats = fluent.revgen_hwb( 4u ).tbs().revsimp().rptm().tpar().ps();
+
+  pass_manager manager;
+  const auto result = manager.run( eq5 );
+
+  ASSERT_TRUE( result.ir.last_statistics.has_value() );
+  const auto& stats = *result.ir.last_statistics;
+  EXPECT_EQ( stats.num_qubits, fluent_stats.num_qubits );
+  EXPECT_EQ( stats.num_gates, fluent_stats.num_gates );
+  EXPECT_EQ( stats.t_count, fluent_stats.t_count );
+  EXPECT_EQ( stats.t_depth, fluent_stats.t_depth );
+  EXPECT_EQ( stats.cnot_count, fluent_stats.cnot_count );
+  EXPECT_EQ( stats.h_count, fluent_stats.h_count );
+  EXPECT_EQ( stats.depth, fluent_stats.depth );
+
+  /* the compiled circuit still implements hwb-4 */
+  const auto& target = result.ir.require_permutation();
+  EXPECT_TRUE( circuit_implements_permutation_with_helpers(
+      result.ir.require_quantum().circuit, target.num_vars(), target.images(),
+      /*up_to_phase=*/true ) );
+}
+
+TEST( pass_manager_test, per_pass_reports_are_recorded )
+{
+  pass_manager manager( /*enable_cache=*/false );
+  const auto result = manager.run( eq5 );
+  ASSERT_EQ( result.reports.size(), 6u );
+  EXPECT_EQ( result.reports[0].name, "revgen" );
+  EXPECT_EQ( result.reports[0].stage_before, stage::empty );
+  EXPECT_EQ( result.reports[0].stage_after, stage::permutation );
+  EXPECT_EQ( result.reports[1].stage_after, stage::reversible );
+  EXPECT_GT( result.reports[1].gates_after, 0u );
+  /* revsimp must not grow the circuit */
+  EXPECT_LE( result.reports[2].gates_after, result.reports[2].gates_before );
+  EXPECT_EQ( result.reports[3].stage_after, stage::quantum );
+  ASSERT_TRUE( result.reports[4].statistics_after.has_value() );
+  /* tpar must not raise T-count */
+  ASSERT_TRUE( result.reports[4].statistics_before.has_value() );
+  EXPECT_LE( result.reports[4].statistics_after->t_count,
+             result.reports[4].statistics_before->t_count );
+  for ( const auto& report : result.reports )
+  {
+    EXPECT_GE( report.elapsed_ms, 0.0 );
+  }
+  EXPECT_FALSE( format_report( result ).empty() );
+}
+
+TEST( pass_manager_test, second_identical_run_hits_cache )
+{
+  pass_manager manager;
+  const auto first = manager.run( eq5 );
+  EXPECT_FALSE( first.cache_hit );
+  const auto second = manager.run( eq5 );
+  EXPECT_TRUE( second.cache_hit );
+  EXPECT_EQ( second.cache_key, first.cache_key );
+  const auto stats = manager.cache_stats();
+  EXPECT_EQ( stats.hits, 1u );
+  EXPECT_EQ( stats.misses, 1u );
+  EXPECT_EQ( stats.entries, 1u );
+
+  /* the cached result is the same compilation */
+  ASSERT_TRUE( second.ir.last_statistics.has_value() );
+  EXPECT_EQ( second.ir.last_statistics->t_count, first.ir.last_statistics->t_count );
+  EXPECT_EQ( second.ir.require_quantum().circuit.num_gates(),
+             first.ir.require_quantum().circuit.num_gates() );
+}
+
+TEST( pass_manager_test, different_specs_use_different_cache_entries )
+{
+  pass_manager manager;
+  const auto a = manager.run( "revgen --hwb 4; tbs; rptm" );
+  const auto b = manager.run( "revgen --hwb 4; tbs --bidirectional; rptm" );
+  EXPECT_NE( a.cache_key, b.cache_key );
+  EXPECT_FALSE( b.cache_hit );
+  manager.clear_cache();
+  EXPECT_EQ( manager.cache_stats().entries, 0u );
+  EXPECT_FALSE( manager.run( "revgen --hwb 4; tbs; rptm" ).cache_hit );
+}
+
+TEST( pass_manager_test, cache_key_depends_on_initial_ir )
+{
+  staged_ir a;
+  a.set_permutation( permutation::random( 4u, 1u ) );
+  staged_ir b;
+  b.set_permutation( permutation::random( 4u, 2u ) );
+  const auto spec = parse_pipeline( "tbs; rptm" );
+  EXPECT_NE( pass_manager::compute_cache_key( spec, a ),
+             pass_manager::compute_cache_key( spec, b ) );
+
+  pass_manager manager;
+  const auto result = manager.run( spec, a );
+  EXPECT_FALSE( result.cache_hit );
+  EXPECT_TRUE( manager.run( spec, a ).cache_hit );
+  EXPECT_FALSE( manager.run( spec, b ).cache_hit );
+}
+
+TEST( pass_manager_test, cache_is_bounded_with_fifo_eviction )
+{
+  pass_manager manager( /*enable_cache=*/true, pass_registry::instance(),
+                        /*max_cache_entries=*/2u );
+  manager.run( "revgen --hwb 3; tbs" );
+  manager.run( "revgen --hwb 4; tbs" );
+  manager.run( "revgen --hwb 5; tbs" ); /* evicts the hwb-3 entry */
+  EXPECT_EQ( manager.cache_stats().entries, 2u );
+  EXPECT_TRUE( manager.run( "revgen --hwb 5; tbs" ).cache_hit );
+  EXPECT_TRUE( manager.run( "revgen --hwb 4; tbs" ).cache_hit );
+  EXPECT_FALSE( manager.run( "revgen --hwb 3; tbs" ).cache_hit );
+}
+
+TEST( pass_manager_test, disabled_cache_never_hits )
+{
+  pass_manager manager( /*enable_cache=*/false );
+  EXPECT_FALSE( manager.run( eq5 ).cache_hit );
+  EXPECT_FALSE( manager.run( eq5 ).cache_hit );
+  EXPECT_EQ( manager.cache_stats().hits, 0u );
+  EXPECT_EQ( manager.cache_stats().misses, 0u );
+}
+
+TEST( pass_manager_test, route_pass_produces_mapped_stage )
+{
+  pass_manager manager( /*enable_cache=*/false );
+  const auto result =
+      manager.run( "revgen --hwb 4; tbs; revsimp; rptm; tpar; route --device ibm_qx4; ps" );
+  EXPECT_EQ( result.ir.current, stage::mapped );
+  const auto& mapped = result.ir.require_mapped();
+  EXPECT_EQ( mapped.circuit.num_qubits(), 5u );
+  ASSERT_TRUE( result.ir.last_statistics.has_value() );
+  /* routed statistics reflect the device circuit, not the logical one */
+  EXPECT_EQ( result.ir.last_statistics->num_gates,
+             compute_statistics( mapped.circuit ).num_gates );
+  EXPECT_GE( result.ir.last_statistics->num_gates,
+             compute_statistics( result.ir.require_quantum().circuit ).num_gates );
+  EXPECT_THROW( manager.run( "revgen --hwb 4; tbs; rptm; route --device mars" ),
+                std::invalid_argument );
+  /* conflicting topologies must not silently pick one */
+  EXPECT_THROW( manager.run( "revgen --hwb 4; tbs; rptm; route --device ibm_qx5 --linear 3" ),
+                std::invalid_argument );
+}
+
+TEST( pass_manager_test, stage_errors_surface_as_logic_error )
+{
+  staged_ir ir;
+  EXPECT_THROW( pass_manager::apply_pass( ir, "tbs" ), std::logic_error );
+  pass_arguments args;
+  args.add_option( "hwb", "3" );
+  pass_manager::apply_pass( ir, "revgen", args );
+  EXPECT_EQ( ir.current, stage::permutation );
+  EXPECT_THROW( pass_manager::apply_pass( ir, "tpar" ), std::logic_error );
+}
+
+/* ---------------- flow shim ---------------- */
+
+TEST( flow_shim_test, fluent_flow_records_pass_reports )
+{
+  flow pipeline;
+  pipeline.revgen_hwb( 4u ).tbs().revsimp().rptm().tpar();
+  ASSERT_EQ( pipeline.reports().size(), 5u );
+  EXPECT_EQ( pipeline.reports()[1].name, "tbs" );
+  EXPECT_EQ( pipeline.reports()[4].stage_after, stage::quantum );
+  EXPECT_EQ( pipeline.ir().current, stage::quantum );
+}
+
+TEST( flow_shim_test, flow_and_spec_pipeline_agree_on_random_permutation )
+{
+  const auto target = permutation::random( 4u, 99u );
+
+  flow fluent;
+  fluent.revgen( target ).tbs().revsimp().rptm().tpar();
+
+  staged_ir initial;
+  initial.set_permutation( target );
+  pass_manager manager( /*enable_cache=*/false );
+  const auto result = manager.run( parse_pipeline( "tbs; revsimp; rptm; tpar" ), initial );
+
+  EXPECT_EQ( result.ir.require_quantum().circuit.num_gates(),
+             fluent.quantum().num_gates() );
+  EXPECT_TRUE( fluent.verify() );
+}
+
+} // namespace
+} // namespace qda

@@ -1,0 +1,154 @@
+#include "pipeline/pass_manager.hpp"
+#include "pipeline/target.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qda
+{
+namespace
+{
+
+/*! \brief Deterministic Clifford circuit: |00> -> |11>, measured. */
+qcircuit deterministic_clifford()
+{
+  qcircuit circuit( 2u );
+  circuit.x( 0u );
+  circuit.cx( 0u, 1u );
+  circuit.measure_all();
+  return circuit;
+}
+
+TEST( target_registry_test, builtin_targets_are_registered )
+{
+  auto& registry = target_registry::instance();
+  for ( const char* name :
+        { "statevector", "stabilizer", "ibm_qx2", "ibm_qx4", "ibm_qx4_ideal", "ibm_qx5" } )
+  {
+    EXPECT_TRUE( registry.contains( name ) ) << name;
+  }
+  EXPECT_THROW( registry.at( "qpu_on_mars" ), std::invalid_argument );
+  EXPECT_THROW( registry.run( "qpu_on_mars", deterministic_clifford(), 8u ),
+                std::invalid_argument );
+}
+
+TEST( target_registry_test, duplicate_registration_is_rejected )
+{
+  target_registry registry;
+  registry.register_target( make_statevector_target() );
+  EXPECT_THROW( registry.register_target( make_statevector_target() ),
+                std::invalid_argument );
+  EXPECT_THROW( registry.register_target( nullptr ), std::invalid_argument );
+}
+
+TEST( target_registry_test, constrained_flags_and_devices )
+{
+  auto& registry = target_registry::instance();
+  EXPECT_FALSE( registry.at( "statevector" ).constrained() );
+  EXPECT_EQ( registry.at( "statevector" ).device(), nullptr );
+  EXPECT_FALSE( registry.at( "stabilizer" ).constrained() );
+  EXPECT_TRUE( registry.at( "ibm_qx4" ).constrained() );
+  ASSERT_NE( registry.at( "ibm_qx4" ).device(), nullptr );
+  EXPECT_EQ( registry.at( "ibm_qx4" ).device()->num_qubits(), 5u );
+}
+
+TEST( target_registry_test, all_three_backend_kinds_agree_on_deterministic_circuit )
+{
+  auto& registry = target_registry::instance();
+  const auto circuit = deterministic_clifford();
+  for ( const char* name : { "statevector", "stabilizer", "ibm_qx4_ideal" } )
+  {
+    const auto result = registry.run( name, circuit, 32u, 7u );
+    EXPECT_EQ( result.target_name, name );
+    EXPECT_EQ( result.shots, 32u );
+    ASSERT_EQ( result.counts.size(), 1u ) << name;
+    EXPECT_EQ( result.counts.begin()->first, 0b11u ) << name;
+    EXPECT_EQ( result.counts.begin()->second, 32u ) << name;
+  }
+}
+
+TEST( target_registry_test, routing_applied_only_for_constrained_targets )
+{
+  /* distant CNOT on the qx4 line forces SWAPs or direction fixes */
+  qcircuit circuit( 5u );
+  circuit.x( 0u );
+  circuit.cx( 0u, 4u );
+  circuit.measure_all();
+  auto& registry = target_registry::instance();
+
+  const auto device = registry.run( "ibm_qx4_ideal", circuit, 16u, 3u );
+  EXPECT_GT( device.added_swaps + device.added_direction_fixes, 0u );
+
+  const auto logical = registry.run( "statevector", circuit, 16u, 3u );
+  EXPECT_EQ( logical.added_swaps + logical.added_direction_fixes, 0u );
+
+  /* logical outcome survives routing on the ideal device */
+  ASSERT_EQ( device.counts.size(), 1u );
+  EXPECT_EQ( device.counts.begin()->first, logical.counts.begin()->first );
+}
+
+TEST( target_registry_test, stabilizer_rejects_non_clifford_circuits )
+{
+  qcircuit circuit( 1u );
+  circuit.t( 0u );
+  circuit.measure_all();
+  EXPECT_THROW( target_registry::instance().run( "stabilizer", circuit, 8u ),
+                std::invalid_argument );
+}
+
+TEST( target_registry_test, statevector_rejects_oversized_circuits )
+{
+  qcircuit circuit( 30u );
+  circuit.h( 0u );
+  circuit.measure_all();
+  EXPECT_THROW( target_registry::instance().run( "statevector", circuit, 1u ),
+                std::invalid_argument );
+}
+
+TEST( target_registry_test, device_rejects_circuits_larger_than_chip )
+{
+  qcircuit circuit( 8u );
+  circuit.h( 0u );
+  circuit.measure_all();
+  EXPECT_THROW( target_registry::instance().run( "ibm_qx4", circuit, 1u ),
+                std::invalid_argument );
+}
+
+TEST( target_registry_test, noisy_device_spreads_outcomes )
+{
+  qcircuit circuit( 2u );
+  circuit.h( 0u );
+  circuit.cx( 0u, 1u );
+  circuit.measure_all();
+  const auto result = target_registry::instance().run( "ibm_qx4", circuit, 2048u, 7u );
+  uint64_t total = 0u;
+  for ( const auto& [outcome, count] : result.counts )
+  {
+    total += count;
+  }
+  EXPECT_EQ( total, 2048u );
+  EXPECT_GT( result.counts.size(), 2u );
+}
+
+TEST( target_registry_test, compiled_eq5_circuit_dispatches_to_backends )
+{
+  /* compile the paper's Eq. (5) program, then execute the result on an
+   * unconstrained and a constrained backend through one interface */
+  pass_manager manager;
+  const auto compiled = manager.run( "revgen --hwb 4; tbs; revsimp; rptm; tpar" );
+  auto circuit = compiled.ir.require_quantum().circuit;
+  circuit.measure_all();
+
+  auto& registry = target_registry::instance();
+  const auto exact = registry.run( "statevector", circuit, 16u, 11u );
+  ASSERT_EQ( exact.counts.size(), 1u );
+  /* hwb maps |0...0> to itself; helpers stay clean */
+  EXPECT_EQ( exact.counts.begin()->first, 0u );
+
+  ASSERT_LE( circuit.num_qubits(), 5u );
+  const auto device = registry.run( "ibm_qx4_ideal", circuit, 16u, 11u );
+  ASSERT_EQ( device.counts.size(), 1u );
+  EXPECT_EQ( device.counts.begin()->first, 0u );
+}
+
+} // namespace
+} // namespace qda
