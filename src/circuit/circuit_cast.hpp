@@ -1,0 +1,32 @@
+/*! \file circuit_cast.hpp
+ *  \brief Lowering hook between circuit levels of the Eq. (5) flow.
+ *
+ *  `circuit_cast<To>(from, args...)` converts a circuit of one level
+ *  into the next (permutation -> reversible -> Clifford+T -> mapped)
+ *  through the `circuit_lowering` customization point.  Each lowering
+ *  lives with the layer that implements it (e.g. mapping/clifford_t.hpp
+ *  specializes `rev_circuit -> clifford_t_result` for `rptm`), so the
+ *  pipeline calls one uniform entry point instead of bespoke per-pass
+ *  conversion functions.
+ */
+#pragma once
+
+#include <utility>
+
+namespace qda
+{
+
+/*! \brief Customization point: specialize with a static
+ *         `To apply( const From&, Args&&... )`.
+ */
+template<typename To, typename From>
+struct circuit_lowering; /* primary template intentionally undefined */
+
+/*! \brief Lowers `from` to representation `To`. */
+template<typename To, typename From, typename... Args>
+To circuit_cast( const From& from, Args&&... args )
+{
+  return circuit_lowering<To, From>::apply( from, std::forward<Args>( args )... );
+}
+
+} // namespace qda

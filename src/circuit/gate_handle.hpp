@@ -1,0 +1,28 @@
+/*! \file gate_handle.hpp
+ *  \brief Stable identifiers for gates inside the unified circuit IR.
+ *
+ *  A handle names one gate for the lifetime of its circuit: it survives
+ *  tombstone erasure of *other* gates, rewriter commits, and storage
+ *  compaction.  Handles of erased gates become dangling and are
+ *  reported dead by `circuit::alive`.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace qda::ir
+{
+
+/*! \brief Sentinel for "no slot / no id / no pool entry". */
+inline constexpr uint32_t npos = 0xFFFFFFFFu;
+
+/*! \brief Stable, circuit-scoped gate identifier. */
+struct gate_handle
+{
+  uint32_t id = npos;
+
+  constexpr bool valid() const noexcept { return id != npos; }
+  constexpr bool operator==( const gate_handle& other ) const noexcept = default;
+};
+
+} // namespace qda::ir

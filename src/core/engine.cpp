@@ -135,12 +135,13 @@ void main_engine::apply( const qcircuit& sub_circuit, const std::vector<uint32_t
   {
     throw std::invalid_argument( "main_engine::apply: mapping too short" );
   }
-  for ( auto gate : sub_circuit.gates() )
+  for ( const auto& view : sub_circuit.gates() )
   {
-    if ( gate.kind == gate_kind::barrier )
+    if ( view.kind == gate_kind::barrier )
     {
       continue;
     }
+    qgate gate = view.materialize();
     if ( gate.kind != gate_kind::global_phase )
     {
       for ( auto& control : gate.controls )

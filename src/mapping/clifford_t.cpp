@@ -3,6 +3,7 @@
 #include "kernel/bits.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -103,7 +104,7 @@ struct mct_emitter
     }
   }
 
-  void emit_mct( const std::vector<uint32_t>& controls, uint32_t target ) const
+  void emit_mct( std::span<const uint32_t> controls, uint32_t target ) const
   {
     const uint32_t k = static_cast<uint32_t>( controls.size() );
     if ( k == 0u )

@@ -11,6 +11,7 @@
  */
 #pragma once
 
+#include "circuit/circuit_cast.hpp"
 #include "quantum/qcircuit.hpp"
 #include "reversible/rev_circuit.hpp"
 
@@ -58,5 +59,39 @@ clifford_t_result lower_multi_controlled_gates( const qcircuit& circuit,
 
 /*! \brief T-count of one k-control MCT under this mapping. */
 uint64_t mct_t_count( uint32_t num_controls, bool use_relative_phase = true );
+
+/*! \brief `circuit_cast` lowering of the `rptm` stage: reversible MCT
+ *         level down to Clifford+T (with helper-qubit bookkeeping).
+ */
+template<>
+struct circuit_lowering<clifford_t_result, rev_circuit>
+{
+  static clifford_t_result apply( const rev_circuit& circuit,
+                                  const clifford_t_options& options = {} )
+  {
+    return map_to_clifford_t( circuit, options );
+  }
+};
+
+/*! \brief Same lowering when only the quantum circuit is needed. */
+template<>
+struct circuit_lowering<qcircuit, rev_circuit>
+{
+  static qcircuit apply( const rev_circuit& circuit, const clifford_t_options& options = {} )
+  {
+    return map_to_clifford_t( circuit, options ).circuit;
+  }
+};
+
+/*! \brief `circuit_cast` lowering of in-circuit mcx/mcz gates. */
+template<>
+struct circuit_lowering<clifford_t_result, qcircuit>
+{
+  static clifford_t_result apply( const qcircuit& circuit,
+                                  const clifford_t_options& options = {} )
+  {
+    return lower_multi_controlled_gates( circuit, options );
+  }
+};
 
 } // namespace qda

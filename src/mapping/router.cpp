@@ -121,12 +121,10 @@ struct router
         circuit.global_phase( gate.angle );
         break;
       default:
-      {
-        qgate mapped = gate;
-        mapped.target = layout[gate.target];
-        circuit.add_gate( mapped );
+        /* single-qubit gate: relocate the target, keep everything else */
+        circuit.add_gate( qgate_view( gate.kind, gate.controls, layout[gate.target],
+                                      gate.target2, gate.angle ) );
         break;
-      }
       }
     }
   }

@@ -224,7 +224,7 @@ qcircuit resynthesize_linear_regions( const qcircuit& circuit, uint32_t section_
       }
       else
       {
-        local.swap_gate( local_of[gate.target], local_of[gate.target2] );
+        local.swap_( local_of[gate.target], local_of[gate.target2] );
       }
     }
     auto resynthesized = pmh_linear_synthesis( linear_map_of_circuit( local ), section_size );

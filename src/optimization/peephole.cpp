@@ -1,10 +1,6 @@
 #include "optimization/peephole.hpp"
 
-#include "optimization/phase_folding.hpp"
-
 #include <algorithm>
-#include <optional>
-#include <vector>
 
 namespace qda
 {
@@ -12,22 +8,63 @@ namespace qda
 namespace
 {
 
-bool touches_any( const qgate& gate, const std::vector<uint32_t>& qubits )
+using ct_columns = ir::cliffordt_policy::columns;
+
+/*! Qubits of row `slot` into `buffer` (barrier/global_phase: none). */
+void collect_qubits( const ct_columns& cols, uint32_t slot, std::vector<uint32_t>& buffer )
 {
-  const auto own = gate.qubits();
-  if ( gate.kind == gate_kind::barrier )
+  buffer.clear();
+  const auto kind = cols.kind[slot];
+  if ( kind == gate_kind::barrier || kind == gate_kind::global_phase )
+  {
+    return;
+  }
+  const auto controls = cols.controls_of( slot );
+  buffer.assign( controls.begin(), controls.end() );
+  buffer.push_back( cols.target[slot] );
+  if ( kind == gate_kind::swap )
+  {
+    buffer.push_back( cols.target2[slot] );
+  }
+}
+
+bool touches_any( const ct_columns& cols, uint32_t slot, const std::vector<uint32_t>& qubits )
+{
+  if ( cols.kind[slot] == gate_kind::barrier )
   {
     return true; /* barriers block movement by design */
   }
-  return std::any_of( own.begin(), own.end(), [&]( uint32_t q ) {
-    return std::count( qubits.begin(), qubits.end(), q ) != 0u;
-  } );
+  if ( cols.kind[slot] == gate_kind::global_phase )
+  {
+    return false;
+  }
+  const auto touches = [&]( uint32_t q ) {
+    return std::find( qubits.begin(), qubits.end(), q ) != qubits.end();
+  };
+  for ( const auto control : cols.controls_of( slot ) )
+  {
+    if ( touches( control ) )
+    {
+      return true;
+    }
+  }
+  if ( touches( cols.target[slot] ) )
+  {
+    return true;
+  }
+  return cols.kind[slot] == gate_kind::swap && touches( cols.target2[slot] );
 }
 
-bool same_operands( const qgate& a, const qgate& b )
+bool same_operands( const ct_columns& cols, uint32_t i, uint32_t j )
 {
-  return a.kind == b.kind && a.controls == b.controls && a.target == b.target &&
-         a.target2 == b.target2;
+  if ( cols.kind[i] != cols.kind[j] || cols.target[i] != cols.target[j] ||
+       cols.target2[i] != cols.target2[j] )
+  {
+    return false;
+  }
+  const auto ci = cols.controls_of( i );
+  const auto cj = cols.controls_of( j );
+  return std::equal( ci.begin(), ci.end(), cj.begin(), cj.end() );
 }
 
 /*! True for self-inverse gate kinds where an identical adjacent pair
@@ -61,65 +98,97 @@ bool are_adjoint_kinds( gate_kind a, gate_kind b )
          ( a == gate_kind::tdg && b == gate_kind::t );
 }
 
-bool one_sweep( std::vector<qgate>& gates )
+bool one_sweep( qcircuit::core_type& core, qcircuit::rewriter& rewriter,
+                std::vector<uint32_t>& qubits )
 {
-  for ( size_t i = 0u; i < gates.size(); ++i )
+  const auto& cols = core.columns();
+  const uint32_t num_slots = core.num_slots();
+  bool changed = false;
+
+  uint32_t i = 0u;
+  while ( i < num_slots )
   {
-    const auto qubits = gates[i].qubits();
-    if ( gates[i].kind == gate_kind::barrier || gates[i].kind == gate_kind::global_phase ||
-         gates[i].kind == gate_kind::measure )
+    if ( !core.slot_alive( i ) )
     {
+      ++i;
       continue;
     }
-    for ( size_t j = i + 1u; j < gates.size(); ++j )
+    const auto kind = cols.kind[i];
+    if ( kind == gate_kind::barrier || kind == gate_kind::global_phase ||
+         kind == gate_kind::measure )
     {
-      if ( !touches_any( gates[j], qubits ) )
+      ++i;
+      continue;
+    }
+    collect_qubits( cols, i, qubits );
+    bool changed_here = false;
+    for ( uint32_t j = i + 1u; j < num_slots; ++j )
+    {
+      if ( !core.slot_alive( j ) )
+      {
+        continue;
+      }
+      if ( !touches_any( cols, j, qubits ) )
       {
         continue; /* disjoint: keep scanning */
       }
       /* first blocking/interacting gate found */
       const bool cancel_pair =
-          ( is_self_inverse( gates[i].kind ) && same_operands( gates[i], gates[j] ) ) ||
-          ( are_adjoint_kinds( gates[i].kind, gates[j].kind ) &&
-            gates[i].target == gates[j].target );
+          ( is_self_inverse( kind ) && same_operands( cols, i, j ) ) ||
+          ( are_adjoint_kinds( kind, cols.kind[j] ) && cols.target[i] == cols.target[j] );
       if ( cancel_pair )
       {
-        gates.erase( gates.begin() + static_cast<ptrdiff_t>( j ) );
-        gates.erase( gates.begin() + static_cast<ptrdiff_t>( i ) );
-        return true;
+        rewriter.erase_slot( i );
+        rewriter.erase_slot( j );
+        changed_here = true;
       }
       /* the interacting gate blocks any further match for gate i */
       break;
     }
+    if ( changed_here )
+    {
+      /* step back one alive gate: its partner may have just been exposed */
+      changed = true;
+      i = core.previous_alive( i );
+    }
+    else
+    {
+      ++i;
+    }
   }
-  return false;
+  return changed;
 }
 
 } // namespace
 
-qcircuit peephole_optimize( const qcircuit& circuit, uint32_t max_rounds )
+void peephole_in_place( qcircuit& circuit, uint32_t max_rounds )
 {
   /* phase fusion (t t -> s etc.) is delegated to phase folding, which
    * merges phase gates globally; this pass handles the non-diagonal
    * cancellations it cannot see */
-  std::vector<qgate> gates( circuit.gates() );
+  auto& core = circuit.core();
+  auto rewriter = circuit.rewrite();
+  std::vector<uint32_t> qubits;
   for ( uint32_t round = 0u; round < max_rounds; ++round )
   {
     bool changed = false;
-    while ( one_sweep( gates ) )
+    while ( one_sweep( core, rewriter, qubits ) )
     {
       changed = true;
+      rewriter.commit(); /* compact tombstones once per full sweep */
     }
     if ( !changed )
     {
       break;
     }
   }
-  qcircuit result( circuit.num_qubits() );
-  for ( const auto& gate : gates )
-  {
-    result.add_gate( gate );
-  }
+  rewriter.commit();
+}
+
+qcircuit peephole_optimize( const qcircuit& circuit, uint32_t max_rounds )
+{
+  qcircuit result( circuit );
+  peephole_in_place( result, max_rounds );
   return result;
 }
 

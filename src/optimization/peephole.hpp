@@ -6,6 +6,10 @@
  *  the same qubit fuse (T T = S, S S = Z, ...).  "Adjacent" is modulo
  *  gates acting on disjoint qubits, so the pass also catches pairs that
  *  drift apart during routing.
+ *
+ *  The pass runs on the unified IR: cancellations are O(1) tombstone
+ *  erasures through the rewriter, so no per-change gate-vector rebuild
+ *  happens on the hot path (storage compacts once per sweep).
  */
 #pragma once
 
@@ -14,9 +18,12 @@
 namespace qda
 {
 
-/*! \brief Cancels and fuses gates; the result is equivalent up to the
- *         explicitly tracked global phase.
+/*! \brief Cancels and fuses gates in place; the result is equivalent
+ *         up to the explicitly tracked global phase.
  */
+void peephole_in_place( qcircuit& circuit, uint32_t max_rounds = 8u );
+
+/*! \brief Optimized copy of `circuit`. */
 qcircuit peephole_optimize( const qcircuit& circuit, uint32_t max_rounds = 8u );
 
 } // namespace qda

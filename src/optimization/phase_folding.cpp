@@ -15,9 +15,9 @@ namespace
 constexpr double pi = std::numbers::pi;
 
 /*! Phase angle contributed by a phase-type gate, if it is one. */
-std::optional<double> phase_angle( const qgate& gate )
+std::optional<double> phase_angle( gate_kind kind, double gate_angle )
 {
-  switch ( gate.kind )
+  switch ( kind )
   {
   case gate_kind::z:
     return pi;
@@ -30,7 +30,7 @@ std::optional<double> phase_angle( const qgate& gate )
   case gate_kind::tdg:
     return -pi / 4.0;
   case gate_kind::rz:
-    return gate.angle;
+    return gate_angle;
   default:
     return std::nullopt;
   }
@@ -45,15 +45,23 @@ struct affine_label
 
 struct phase_term
 {
-  double angle = 0.0;       /*!< accumulated parity-phase coefficient */
-  size_t anchor_index = 0u; /*!< gate index where the merged gate is emitted */
+  double angle = 0.0;        /*!< accumulated parity-phase coefficient */
+  uint32_t anchor_slot = 0u; /*!< storage slot where the merged gate is emitted */
   bool anchor_constant = false;
 };
 
-/*! Emits e^{i alpha v} on `qubit` as canonical Clifford+T gates when
+qgate make_phase_gate( gate_kind kind, uint32_t qubit )
+{
+  qgate gate;
+  gate.kind = kind;
+  gate.target = qubit;
+  return gate;
+}
+
+/*! Collects e^{i alpha v} on `qubit` as canonical Clifford+T gates when
  *  alpha is a multiple of pi/4, else as one Rz (global phase returned).
  */
-double emit_phase( qcircuit& out, uint32_t qubit, double alpha )
+double collect_phase_gates( std::vector<qgate>& out, uint32_t qubit, double alpha )
 {
   /* normalize into [0, 2 pi) */
   alpha = std::fmod( alpha, 2.0 * pi );
@@ -68,26 +76,36 @@ double emit_phase( qcircuit& out, uint32_t qubit, double alpha )
     switch ( k % 8 )
     {
     case 0: break;
-    case 1: out.t( qubit ); break;
-    case 2: out.s( qubit ); break;
-    case 3: out.s( qubit ); out.t( qubit ); break;
-    case 4: out.z( qubit ); break;
-    case 5: out.z( qubit ); out.t( qubit ); break;
-    case 6: out.sdg( qubit ); break;
-    case 7: out.tdg( qubit ); break;
+    case 1: out.push_back( make_phase_gate( gate_kind::t, qubit ) ); break;
+    case 2: out.push_back( make_phase_gate( gate_kind::s, qubit ) ); break;
+    case 3:
+      out.push_back( make_phase_gate( gate_kind::s, qubit ) );
+      out.push_back( make_phase_gate( gate_kind::t, qubit ) );
+      break;
+    case 4: out.push_back( make_phase_gate( gate_kind::z, qubit ) ); break;
+    case 5:
+      out.push_back( make_phase_gate( gate_kind::z, qubit ) );
+      out.push_back( make_phase_gate( gate_kind::t, qubit ) );
+      break;
+    case 6: out.push_back( make_phase_gate( gate_kind::sdg, qubit ) ); break;
+    case 7: out.push_back( make_phase_gate( gate_kind::tdg, qubit ) ); break;
     }
     return 0.0;
   }
   /* Rz(alpha) = e^{-i alpha/2} diag(1, e^{i alpha}) */
-  out.rz( qubit, alpha );
+  qgate rz = make_phase_gate( gate_kind::rz, qubit );
+  rz.angle = alpha;
+  out.push_back( rz );
   return alpha / 2.0;
 }
 
 } // namespace
 
-qcircuit phase_folding( const qcircuit& circuit )
+void phase_folding_in_place( qcircuit& circuit )
 {
   const uint32_t num_qubits = circuit.num_qubits();
+  auto& core = circuit.core();
+  core.compact(); /* pass 1 records slots; start from dense storage */
 
   std::vector<affine_label> labels( num_qubits );
   uint32_t next_variable = 0u;
@@ -122,20 +140,21 @@ qcircuit phase_folding( const qcircuit& circuit )
 
   /* pass 1: collect phase terms keyed by (epoch, parity mask) */
   std::map<std::pair<uint64_t, uint64_t>, phase_term> terms;
-  std::map<size_t, std::pair<uint64_t, uint64_t>> anchors; /* gate index -> key */
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> anchors; /* slot -> key */
   double global_phase_total = 0.0;
 
-  const auto& gates = circuit.gates();
-  for ( size_t index = 0u; index < gates.size(); ++index )
+  const auto& cols = core.columns();
+  for ( uint32_t slot = 0u; slot < core.num_slots(); ++slot )
   {
-    const auto& gate = gates[index];
-    if ( const auto angle = phase_angle( gate ) )
+    const auto kind = cols.kind[slot];
+    const uint32_t target = cols.target[slot];
+    if ( const auto angle = phase_angle( kind, cols.angle_of( slot ) ) )
     {
-      if ( gate.kind == gate_kind::rz )
+      if ( kind == gate_kind::rz )
       {
         global_phase_total -= *angle / 2.0; /* Rz carries a global factor */
       }
-      const auto& label = labels[gate.target];
+      const auto& label = labels[target];
       if ( label.mask == 0u )
       {
         /* phase on a constant value: pure global phase */
@@ -149,9 +168,9 @@ qcircuit phase_folding( const qcircuit& circuit )
       auto [it, inserted] = terms.try_emplace( key );
       if ( inserted )
       {
-        it->second.anchor_index = index;
+        it->second.anchor_slot = slot;
         it->second.anchor_constant = label.constant;
-        anchors.emplace( index, key );
+        anchors.emplace( slot, key );
       }
       if ( label.constant )
       {
@@ -165,18 +184,20 @@ qcircuit phase_folding( const qcircuit& circuit )
       continue;
     }
 
-    switch ( gate.kind )
+    switch ( kind )
     {
     case gate_kind::x:
-      labels[gate.target].constant = !labels[gate.target].constant;
+      labels[target].constant = !labels[target].constant;
       break;
     case gate_kind::cx:
-      labels[gate.target].mask ^= labels[gate.controls[0]].mask;
-      labels[gate.target].constant =
-          labels[gate.target].constant != labels[gate.controls[0]].constant;
+    {
+      const uint32_t control = cols.controls_of( slot )[0];
+      labels[target].mask ^= labels[control].mask;
+      labels[target].constant = labels[target].constant != labels[control].constant;
       break;
+    }
     case gate_kind::swap:
-      std::swap( labels[gate.target], labels[gate.target2] );
+      std::swap( labels[target], labels[cols.target2[slot]] );
       break;
     case gate_kind::cz:
     case gate_kind::mcz:
@@ -184,48 +205,64 @@ qcircuit phase_folding( const qcircuit& circuit )
     case gate_kind::global_phase:
       break; /* diagonal or neutral: labels unchanged */
     case gate_kind::mcx:
-      fresh_label( gate.target ); /* value becomes non-affine */
+      fresh_label( target ); /* value becomes non-affine */
       break;
     default:
       /* h, y, rx, ry, measure: value no longer tracked */
-      fresh_label( gate.target );
+      fresh_label( target );
       break;
     }
   }
 
-  /* pass 2: rebuild, emitting merged phases at their anchors */
-  qcircuit result( num_qubits );
-  for ( size_t index = 0u; index < gates.size(); ++index )
+  /* pass 2: rewrite in place, emitting merged phases at their anchors */
+  auto rewriter = circuit.rewrite();
+  std::vector<qgate> merged;
+  for ( uint32_t slot = 0u; slot < core.num_slots(); ++slot )
   {
-    const auto& gate = gates[index];
-    if ( phase_angle( gate ) )
+    if ( !phase_angle( cols.kind[slot], cols.angle_of( slot ) ) )
     {
-      const auto anchor = anchors.find( index );
-      if ( anchor == anchors.end() )
-      {
-        continue; /* folded away */
-      }
-      const auto& term = terms.at( anchor->second );
-      double alpha = term.angle;
-      if ( term.anchor_constant )
-      {
-        /* gate acts on the complemented value: emit -alpha, compensate */
-        global_phase_total += alpha;
-        alpha = -alpha;
-      }
-      /* Rz(alpha) carries an extra e^{-i alpha/2}; compensate so the
-       * rebuilt circuit equals the original exactly */
-      global_phase_total += emit_phase( result, gate.target, alpha );
       continue;
     }
-    result.add_gate( gate );
+    const uint32_t target = cols.target[slot];
+    rewriter.erase_slot( slot );
+    const auto anchor = anchors.find( slot );
+    if ( anchor == anchors.end() )
+    {
+      continue; /* folded away */
+    }
+    const auto& term = terms.at( anchor->second );
+    double alpha = term.angle;
+    if ( term.anchor_constant )
+    {
+      /* gate acts on the complemented value: emit -alpha, compensate */
+      global_phase_total += alpha;
+      alpha = -alpha;
+    }
+    /* Rz(alpha) carries an extra e^{-i alpha/2}; compensate so the
+     * rewritten circuit equals the original exactly */
+    merged.clear();
+    global_phase_total += collect_phase_gates( merged, target, alpha );
+    for ( const auto& gate : merged )
+    {
+      rewriter.insert_before_slot( slot, gate );
+    }
   }
 
   global_phase_total = std::fmod( global_phase_total, 2.0 * pi );
   if ( std::abs( global_phase_total ) > 1e-12 )
   {
-    result.global_phase( global_phase_total );
+    qgate phase;
+    phase.kind = gate_kind::global_phase;
+    phase.angle = global_phase_total;
+    rewriter.append( phase );
   }
+  rewriter.commit();
+}
+
+qcircuit phase_folding( const qcircuit& circuit )
+{
+  qcircuit result( circuit );
+  phase_folding_in_place( result );
   return result;
 }
 

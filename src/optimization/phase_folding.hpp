@@ -20,9 +20,14 @@
 namespace qda
 {
 
-/*! \brief Folds mergeable phase gates; the result is equivalent up to
+/*! \brief Folds mergeable phase gates in place through the IR rewriter
+ *         (phase gates erase as tombstones, merged gates insert at their
+ *         anchors in one batched commit); the result is equivalent up to
  *         the explicitly appended global phase.
  */
+void phase_folding_in_place( qcircuit& circuit );
+
+/*! \brief Folded copy of `circuit`. */
 qcircuit phase_folding( const qcircuit& circuit );
 
 } // namespace qda

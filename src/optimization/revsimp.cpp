@@ -2,98 +2,158 @@
 
 #include "kernel/bits.hpp"
 
-#include <optional>
-#include <vector>
-
 namespace qda
 {
 
 namespace
 {
 
+using mct_columns = ir::mct_policy::columns;
+
 /*! ESOP distance of two control cubes (occurrence or polarity per line). */
-uint32_t control_distance( const rev_gate& a, const rev_gate& b )
+uint32_t control_distance( const mct_columns& cols, uint32_t i, uint32_t j )
 {
-  const uint64_t occurrence_diff = a.controls ^ b.controls;
-  const uint64_t phase_diff = ( a.polarity ^ b.polarity ) & a.controls & b.controls;
+  const uint64_t occurrence_diff = cols.controls[i] ^ cols.controls[j];
+  const uint64_t phase_diff =
+      ( cols.polarity[i] ^ cols.polarity[j] ) & cols.controls[i] & cols.controls[j];
   return popcount64( occurrence_diff | phase_diff );
 }
 
 /*! Merges two same-target gates at control distance 1. */
-rev_gate merge_gates( const rev_gate& a, const rev_gate& b )
+rev_gate merge_gates( const mct_columns& cols, uint32_t i, uint32_t j )
 {
-  const uint64_t occurrence_diff = a.controls ^ b.controls;
-  const uint64_t phase_diff = ( a.polarity ^ b.polarity ) & a.controls & b.controls;
+  const uint64_t occurrence_diff = cols.controls[i] ^ cols.controls[j];
+  const uint64_t phase_diff =
+      ( cols.polarity[i] ^ cols.polarity[j] ) & cols.controls[i] & cols.controls[j];
   const uint32_t line = least_significant_bit( occurrence_diff | phase_diff );
   const uint64_t bit = uint64_t{ 1 } << line;
 
-  if ( ( a.controls & bit ) && ( b.controls & bit ) )
+  rev_gate merged;
+  if ( ( cols.controls[i] & bit ) && ( cols.controls[j] & bit ) )
   {
     /* opposite polarities: drop the control */
-    return rev_gate( a.controls & ~bit, a.polarity & ~bit, a.target );
+    merged.controls = cols.controls[i] & ~bit;
+    merged.polarity = cols.polarity[i] & ~bit;
+    merged.target = cols.target[i];
+    return merged;
   }
   /* present in exactly one: keep with inverted polarity */
-  const rev_gate& with = ( a.controls & bit ) ? a : b;
-  return rev_gate( with.controls, with.polarity ^ bit, with.target );
+  const uint32_t with = ( cols.controls[i] & bit ) ? i : j;
+  merged.controls = cols.controls[with];
+  merged.polarity = cols.polarity[with] ^ bit;
+  merged.target = cols.target[with];
+  return merged;
 }
 
-/*! One simplification sweep; returns true if the gate list changed. */
-bool sweep( std::vector<rev_gate>& gates )
+/*! Mask-level `rev_gate::commutes_with` over two storage rows. */
+bool slots_commute( const mct_columns& cols, uint32_t i, uint32_t j )
 {
-  for ( size_t i = 0u; i < gates.size(); ++i )
+  if ( cols.target[i] == cols.target[j] )
   {
-    for ( size_t j = i + 1u; j < gates.size(); ++j )
+    return true;
+  }
+  const bool target_in_other = ( cols.controls[j] >> cols.target[i] ) & 1u;
+  const bool other_in_this = ( cols.controls[i] >> cols.target[j] ) & 1u;
+  if ( !target_in_other && !other_in_this )
+  {
+    return true;
+  }
+  return ( cols.controls[i] & cols.controls[j] &
+           ( cols.polarity[i] ^ cols.polarity[j] ) ) != 0u;
+}
+
+/*! One simplification sweep over the tombstoned storage; cancellations
+ *  and merges are applied as it goes (no restart, no vector rebuild).
+ *  After a change the scan steps back one alive gate, so cascades of
+ *  newly-adjacent pairs collapse within the same sweep -- an O(1)
+ *  resumption the old copy-rebuild pass could not afford.  Returns true
+ *  if the gate list changed.
+ */
+bool sweep( rev_circuit::core_type& core, rev_circuit::rewriter& rewriter )
+{
+  const auto& cols = core.columns();
+  const uint32_t num_slots = core.num_slots();
+  bool changed = false;
+
+  uint32_t i = 0u;
+  while ( i < num_slots )
+  {
+    if ( !core.slot_alive( i ) )
     {
-      const bool same_target = gates[i].target == gates[j].target;
-      if ( same_target )
+      ++i;
+      continue;
+    }
+    bool changed_here = false;
+    for ( uint32_t j = i + 1u; j < num_slots; ++j )
+    {
+      if ( !core.slot_alive( j ) )
       {
-        const uint32_t distance = control_distance( gates[i], gates[j] );
+        continue;
+      }
+      if ( cols.target[i] == cols.target[j] )
+      {
+        const uint32_t distance = control_distance( cols, i, j );
         if ( distance == 0u )
         {
-          gates.erase( gates.begin() + static_cast<ptrdiff_t>( j ) );
-          gates.erase( gates.begin() + static_cast<ptrdiff_t>( i ) );
-          return true;
+          rewriter.erase_slot( i );
+          rewriter.erase_slot( j );
+          changed_here = true;
+          break;
         }
         if ( distance == 1u )
         {
           /* gate i commutes past everything up to j, so it can be moved
            * adjacent to gate j; the merged gate must live at j's slot */
-          gates[j] = merge_gates( gates[i], gates[j] );
-          gates.erase( gates.begin() + static_cast<ptrdiff_t>( i ) );
-          return true;
+          rewriter.replace_slot( j, merge_gates( cols, i, j ) );
+          rewriter.erase_slot( i );
+          changed_here = true;
+          break;
         }
       }
-      if ( !gates[i].commutes_with( gates[j] ) )
+      if ( !slots_commute( cols, i, j ) )
       {
-        break; /* cannot move candidates past this gate */
+        break; /* cannot move candidate i past this gate */
       }
     }
+    if ( changed_here )
+    {
+      changed = true;
+      i = core.previous_alive( i );
+    }
+    else
+    {
+      ++i;
+    }
   }
-  return false;
+  return changed;
 }
 
 } // namespace
 
-rev_circuit revsimp( const rev_circuit& circuit, uint32_t max_rounds )
+void revsimp_in_place( rev_circuit& circuit, uint32_t max_rounds )
 {
-  std::vector<rev_gate> gates( circuit.gates() );
+  auto& core = circuit.core();
+  auto rewriter = circuit.rewrite();
   for ( uint32_t round = 0u; round < max_rounds; ++round )
   {
     bool changed = false;
-    while ( sweep( gates ) )
+    while ( sweep( core, rewriter ) )
     {
       changed = true;
+      rewriter.commit(); /* compact tombstones once per full sweep */
     }
     if ( !changed )
     {
       break;
     }
   }
-  rev_circuit result( circuit.num_lines() );
-  for ( const auto& gate : gates )
-  {
-    result.add_gate( gate );
-  }
+  rewriter.commit();
+}
+
+rev_circuit revsimp( const rev_circuit& circuit, uint32_t max_rounds )
+{
+  rev_circuit result( circuit );
+  revsimp_in_place( result, max_rounds );
   return result;
 }
 

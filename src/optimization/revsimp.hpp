@@ -9,6 +9,11 @@
  *   - merging: two gates on the same target whose control cubes are at
  *     ESOP distance 1 fuse into a single cheaper gate, e.g.
  *     T(x0, x1 -> t) T(x0, !x1 -> t) = T(x0 -> t).
+ *
+ *  The pass runs on the unified IR: cancellations are O(1) tombstone
+ *  erasures through the rewriter and merges are in-place row
+ *  replacements, so no per-change gate-vector rebuild happens on the
+ *  hot path (storage compacts once per sweep).
  */
 #pragma once
 
@@ -17,7 +22,10 @@
 namespace qda
 {
 
-/*! \brief Simplifies a reversible circuit; the result is equivalent. */
+/*! \brief Simplifies `circuit` in place; the result is equivalent. */
+void revsimp_in_place( rev_circuit& circuit, uint32_t max_rounds = 16u );
+
+/*! \brief Simplified copy of a reversible circuit. */
 rev_circuit revsimp( const rev_circuit& circuit, uint32_t max_rounds = 16u );
 
 } // namespace qda

@@ -1,0 +1,103 @@
+/*! \file revsimp_reference.hpp
+ *  \brief The pre-refactor `revsimp` kept verbatim as a baseline.
+ *
+ *  This is the copy-rebuild implementation the unified-IR rewriter
+ *  version replaced: gates are copied into a vector, every cancellation
+ *  or merge pays an O(n) `vector::erase` and restarts the sweep from
+ *  scratch.  It exists only as the independent reference that
+ *  `tests/test_circuit_ir.cpp` validates the rewriter pass against and
+ *  that `bench/bench_eq5_pipeline.cpp` (E1d) measures it against --
+ *  product code must use `revsimp` / `revsimp_in_place`.
+ */
+#pragma once
+
+#include "kernel/bits.hpp"
+#include "reversible/rev_circuit.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace qda::reference
+{
+
+inline uint32_t control_distance( const rev_gate& a, const rev_gate& b )
+{
+  const uint64_t occurrence_diff = a.controls ^ b.controls;
+  const uint64_t phase_diff = ( a.polarity ^ b.polarity ) & a.controls & b.controls;
+  return popcount64( occurrence_diff | phase_diff );
+}
+
+inline rev_gate merge_gates( const rev_gate& a, const rev_gate& b )
+{
+  const uint64_t occurrence_diff = a.controls ^ b.controls;
+  const uint64_t phase_diff = ( a.polarity ^ b.polarity ) & a.controls & b.controls;
+  const uint32_t line = least_significant_bit( occurrence_diff | phase_diff );
+  const uint64_t bit = uint64_t{ 1 } << line;
+  if ( ( a.controls & bit ) && ( b.controls & bit ) )
+  {
+    return rev_gate( a.controls & ~bit, a.polarity & ~bit, a.target );
+  }
+  const rev_gate& with = ( a.controls & bit ) ? a : b;
+  return rev_gate( with.controls, with.polarity ^ bit, with.target );
+}
+
+inline bool sweep( std::vector<rev_gate>& gates )
+{
+  for ( size_t i = 0u; i < gates.size(); ++i )
+  {
+    for ( size_t j = i + 1u; j < gates.size(); ++j )
+    {
+      if ( gates[i].target == gates[j].target )
+      {
+        const uint32_t distance = control_distance( gates[i], gates[j] );
+        if ( distance == 0u )
+        {
+          gates.erase( gates.begin() + static_cast<ptrdiff_t>( j ) );
+          gates.erase( gates.begin() + static_cast<ptrdiff_t>( i ) );
+          return true;
+        }
+        if ( distance == 1u )
+        {
+          gates[j] = merge_gates( gates[i], gates[j] );
+          gates.erase( gates.begin() + static_cast<ptrdiff_t>( i ) );
+          return true;
+        }
+      }
+      if ( !gates[i].commutes_with( gates[j] ) )
+      {
+        break;
+      }
+    }
+  }
+  return false;
+}
+
+inline rev_circuit revsimp( const rev_circuit& circuit, uint32_t max_rounds = 16u )
+{
+  std::vector<rev_gate> gates;
+  gates.reserve( circuit.num_gates() );
+  for ( const auto& gate : circuit.gates() )
+  {
+    gates.push_back( gate );
+  }
+  for ( uint32_t round = 0u; round < max_rounds; ++round )
+  {
+    bool changed = false;
+    while ( sweep( gates ) )
+    {
+      changed = true;
+    }
+    if ( !changed )
+    {
+      break;
+    }
+  }
+  rev_circuit result( circuit.num_lines() );
+  for ( const auto& gate : gates )
+  {
+    result.add_gate( gate );
+  }
+  return result;
+}
+
+} // namespace qda::reference

@@ -8,6 +8,13 @@
  *  representations; every pass (pipeline/pass_registry.hpp) declares
  *  which stages it accepts and which stage it produces, and the pass
  *  manager validates the transitions.
+ *
+ *  Both circuit-carrying stages hold facades over the same unified
+ *  gate-graph core (`qda::ir::circuit`, src/circuit/): `rev_circuit`
+ *  with the MCT policy, `qcircuit` with the Clifford+T policy.  Stage
+ *  transitions therefore move one storage representation through
+ *  `circuit_cast` lowerings instead of converting between unrelated
+ *  containers.
  */
 #pragma once
 
@@ -34,7 +41,7 @@ enum class stage : uint8_t
   mapped       /*!< device level (after routing) */
 };
 
-/*! \brief Printable stage name. */
+/*! \brief Printable stage name ("unknown" for invalid enum values). */
 inline const char* stage_name( stage s )
 {
   switch ( s )
@@ -43,8 +50,9 @@ inline const char* stage_name( stage s )
   case stage::permutation: return "permutation";
   case stage::reversible: return "reversible";
   case stage::quantum: return "quantum";
-  default: return "mapped";
+  case stage::mapped: return "mapped";
   }
+  return "unknown";
 }
 
 /*! \brief A program moving through the pipeline stages.

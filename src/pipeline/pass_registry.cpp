@@ -374,7 +374,10 @@ void register_builtin_passes( pass_registry& registry )
       []( staged_ir& ir, const pass_arguments& args ) {
         const auto rounds = static_cast<uint32_t>(
             args.option_uint_or( "revsimp", "max-rounds", 16u ) );
-        ir.set_reversible( revsimp( ir.require_reversible(), rounds ) );
+        ir.require_reversible();
+        auto circuit = std::move( *ir.reversible );
+        revsimp_in_place( circuit, rounds );
+        ir.set_reversible( std::move( circuit ) );
       } } );
 
   registry.register_pass( pass_info{
@@ -389,7 +392,8 @@ void register_builtin_passes( pass_registry& registry )
         clifford_t_options options;
         options.use_relative_phase = !args.has_flag( "no-relative-phase" );
         options.keep_toffoli = args.has_flag( "keep-toffoli" );
-        ir.set_quantum( map_to_clifford_t( ir.require_reversible(), options ) );
+        ir.set_quantum(
+            circuit_cast<clifford_t_result>( ir.require_reversible(), options ) );
       } } );
 
   registry.register_pass( pass_info{
@@ -403,7 +407,7 @@ void register_builtin_passes( pass_registry& registry )
       []( staged_ir& ir, const pass_arguments& ) {
         ir.require_quantum();
         auto result = std::move( *ir.quantum );
-        result.circuit = phase_folding( result.circuit );
+        phase_folding_in_place( result.circuit );
         ir.set_quantum( std::move( result ) );
       } } );
 
@@ -420,7 +424,7 @@ void register_builtin_passes( pass_registry& registry )
             args.option_uint_or( "peephole", "max-rounds", 8u ) );
         ir.require_quantum();
         auto result = std::move( *ir.quantum );
-        result.circuit = peephole_optimize( result.circuit, rounds );
+        peephole_in_place( result.circuit, rounds );
         ir.set_quantum( std::move( result ) );
       } } );
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -11,6 +12,8 @@ namespace qda
 std::string write_qasm( const qcircuit& circuit )
 {
   std::ostringstream out;
+  /* max_digits10: angles survive emit -> parse -> emit exactly */
+  out.precision( 17 );
   out << "OPENQASM 2.0;\n";
   out << "include \"qelib1.inc\";\n";
   out << "qreg q[" << circuit.num_qubits() << "];\n";
@@ -84,15 +87,35 @@ struct qasm_parser
     {
       ++pos;
     }
-    /* comments */
-    if ( pos + 1u < text.size() && text[pos] == '/' && text[pos + 1u] == '/' )
+  }
+
+  /*! Whitespace and comments; used inside statements, where comments
+   *  carry no meaning.  Statement boundaries go through comment_line()
+   *  first so marker comments (global phase) are not silently eaten.
+   */
+  void skip_trivia()
+  {
+    while ( comment_line() )
     {
-      while ( pos < text.size() && text[pos] != '\n' )
-      {
-        ++pos;
-      }
-      skip_space();
     }
+  }
+
+  /*! Consumes one "//" comment if next, returning its text. */
+  std::optional<std::string> comment_line()
+  {
+    skip_space();
+    if ( pos + 1u >= text.size() || text[pos] != '/' || text[pos + 1u] != '/' )
+    {
+      return std::nullopt;
+    }
+    const size_t start = pos + 2u;
+    size_t end = text.find( '\n', start );
+    if ( end == std::string_view::npos )
+    {
+      end = text.size();
+    }
+    pos = end;
+    return std::string( text.substr( start, end - start ) );
   }
 
   bool eof()
@@ -103,7 +126,7 @@ struct qasm_parser
 
   std::string token()
   {
-    skip_space();
+    skip_trivia();
     const size_t start = pos;
     if ( pos < text.size() &&
          ( std::isalnum( static_cast<unsigned char>( text[pos] ) ) || text[pos] == '_' ) )
@@ -188,10 +211,23 @@ qcircuit read_qasm( std::string_view text )
   uint32_t num_qubits = 0u;
   std::vector<qgate> pending;
 
+  constexpr std::string_view gphase_marker = " global phase ";
+
   /* header */
   while ( !parser.eof() )
   {
     const size_t before = parser.pos;
+    if ( const auto comment = parser.comment_line() )
+    {
+      /* a marker after the qreg is the first gate-stream statement and
+       * belongs to the body loop; before it, comments are just trivia */
+      if ( num_qubits != 0u && comment->rfind( gphase_marker, 0u ) == 0u )
+      {
+        parser.pos = before;
+        break;
+      }
+      continue; /* tool banners etc. before/inside the header */
+    }
     const auto word = parser.token();
     if ( word == "OPENQASM" || word == "include" || word == "creg" )
     {
@@ -223,6 +259,24 @@ qcircuit read_qasm( std::string_view text )
 
   while ( !parser.eof() )
   {
+    if ( const auto comment = parser.comment_line() )
+    {
+      /* re-import the global-phase marker emitted by write_qasm; other
+       * comments (including prose that merely mentions a global phase)
+       * are ignored */
+      if ( comment->rfind( gphase_marker, 0u ) == 0u )
+      {
+        try
+        {
+          circuit.global_phase( std::stod( comment->substr( gphase_marker.size() ) ) );
+        }
+        catch ( const std::exception& )
+        {
+          /* not a numeric marker: plain comment */
+        }
+      }
+      continue;
+    }
     const auto word = parser.token();
     if ( const auto it = simple.find( word ); it != simple.end() )
     {
@@ -272,7 +326,7 @@ qcircuit read_qasm( std::string_view text )
       parser.expect( "," );
       const auto b = parser.qubit_operand();
       parser.expect( ";" );
-      circuit.swap_gate( a, b );
+      circuit.swap_( a, b );
     }
     else if ( word == "ccx" )
     {

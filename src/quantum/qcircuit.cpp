@@ -7,54 +7,100 @@
 namespace qda
 {
 
-qcircuit::qcircuit( uint32_t num_qubits ) : num_qubits_( num_qubits ) {}
+qcircuit::qcircuit( uint32_t num_qubits ) : core_( num_qubits ) {}
 
-void qcircuit::add_gate( qgate gate )
+qgate_view qcircuit::gate( size_t index ) const
 {
-  for ( const auto qubit : gate.qubits() )
+  if ( index >= core_.num_gates() )
   {
-    check_qubit( qubit );
+    throw std::out_of_range( "qcircuit::gate: index out of range" );
+  }
+  return core_.gate_at( index );
+}
+
+void qcircuit::check_qubit( uint32_t qubit ) const
+{
+  if ( qubit >= num_qubits() )
+  {
+    throw std::invalid_argument( "qcircuit: qubit index out of range" );
+  }
+}
+
+void qcircuit::check_operands( const qgate_view& gate ) const
+{
+  if ( gate.kind == gate_kind::barrier || gate.kind == gate_kind::global_phase )
+  {
+    return;
+  }
+  check_qubit( gate.target );
+  if ( gate.kind == gate_kind::swap )
+  {
+    check_qubit( gate.target2 );
+    if ( gate.target == gate.target2 )
+    {
+      throw std::invalid_argument( "qcircuit::add_gate: swap needs two distinct qubits" );
+    }
   }
   /* controls must be distinct and differ from the target */
-  auto sorted = gate.controls;
-  std::sort( sorted.begin(), sorted.end() );
-  if ( std::adjacent_find( sorted.begin(), sorted.end() ) != sorted.end() ||
-       std::find( sorted.begin(), sorted.end(), gate.target ) != sorted.end() )
+  for ( size_t i = 0u; i < gate.controls.size(); ++i )
   {
-    throw std::invalid_argument( "qcircuit::add_gate: repeated operand qubits" );
+    check_qubit( gate.controls[i] );
+    if ( gate.controls[i] == gate.target )
+    {
+      throw std::invalid_argument( "qcircuit::add_gate: repeated operand qubits" );
+    }
+    for ( size_t j = i + 1u; j < gate.controls.size(); ++j )
+    {
+      if ( gate.controls[i] == gate.controls[j] )
+      {
+        throw std::invalid_argument( "qcircuit::add_gate: repeated operand qubits" );
+      }
+    }
   }
-  if ( gate.kind == gate_kind::swap && gate.target == gate.target2 )
-  {
-    throw std::invalid_argument( "qcircuit::add_gate: swap needs two distinct qubits" );
-  }
-  gates_.push_back( std::move( gate ) );
+}
+
+ir::gate_handle qcircuit::add_gate( const qgate& gate )
+{
+  return add_gate( qgate_view( gate ) );
+}
+
+ir::gate_handle qcircuit::add_gate( const qgate_view& gate )
+{
+  check_operands( gate );
+  return core_.emplace( gate.kind, gate.controls, gate.target, gate.target2, gate.angle );
 }
 
 void qcircuit::cx( uint32_t control, uint32_t target )
 {
-  qgate gate;
-  gate.kind = gate_kind::cx;
-  gate.controls = { control };
-  gate.target = target;
-  add_gate( std::move( gate ) );
+  check_qubit( control );
+  check_qubit( target );
+  if ( control == target )
+  {
+    throw std::invalid_argument( "qcircuit::add_gate: repeated operand qubits" );
+  }
+  core_.emplace( gate_kind::cx, std::span<const uint32_t>( &control, 1u ), target, 0u, 0.0 );
 }
 
 void qcircuit::cz( uint32_t control, uint32_t target )
 {
-  qgate gate;
-  gate.kind = gate_kind::cz;
-  gate.controls = { control };
-  gate.target = target;
-  add_gate( std::move( gate ) );
+  check_qubit( control );
+  check_qubit( target );
+  if ( control == target )
+  {
+    throw std::invalid_argument( "qcircuit::add_gate: repeated operand qubits" );
+  }
+  core_.emplace( gate_kind::cz, std::span<const uint32_t>( &control, 1u ), target, 0u, 0.0 );
 }
 
-void qcircuit::swap_gate( uint32_t a, uint32_t b )
+void qcircuit::swap_( uint32_t a, uint32_t b )
 {
-  qgate gate;
-  gate.kind = gate_kind::swap;
-  gate.target = a;
-  gate.target2 = b;
-  add_gate( std::move( gate ) );
+  check_qubit( a );
+  check_qubit( b );
+  if ( a == b )
+  {
+    throw std::invalid_argument( "qcircuit::add_gate: swap needs two distinct qubits" );
+  }
+  core_.emplace( gate_kind::swap, std::span<const uint32_t>{}, a, b, 0.0 );
 }
 
 void qcircuit::mcx( std::vector<uint32_t> controls, uint32_t target )
@@ -69,11 +115,9 @@ void qcircuit::mcx( std::vector<uint32_t> controls, uint32_t target )
     cx( controls[0], target );
     return;
   }
-  qgate gate;
-  gate.kind = gate_kind::mcx;
-  gate.controls = std::move( controls );
-  gate.target = target;
-  add_gate( std::move( gate ) );
+  check_operands(
+      qgate_view( gate_kind::mcx, std::span<const uint32_t>( controls ), target, 0u, 0.0 ) );
+  core_.emplace( gate_kind::mcx, std::span<const uint32_t>( controls ), target, 0u, 0.0 );
 }
 
 void qcircuit::mcz( std::vector<uint32_t> controls, uint32_t target )
@@ -88,24 +132,20 @@ void qcircuit::mcz( std::vector<uint32_t> controls, uint32_t target )
     cz( controls[0], target );
     return;
   }
-  qgate gate;
-  gate.kind = gate_kind::mcz;
-  gate.controls = std::move( controls );
-  gate.target = target;
-  add_gate( std::move( gate ) );
+  check_operands(
+      qgate_view( gate_kind::mcz, std::span<const uint32_t>( controls ), target, 0u, 0.0 ) );
+  core_.emplace( gate_kind::mcz, std::span<const uint32_t>( controls ), target, 0u, 0.0 );
 }
 
 void qcircuit::measure( uint32_t qubit )
 {
-  qgate gate;
-  gate.kind = gate_kind::measure;
-  gate.target = qubit;
-  add_gate( std::move( gate ) );
+  check_qubit( qubit );
+  core_.emplace( gate_kind::measure, std::span<const uint32_t>{}, qubit, 0u, 0.0 );
 }
 
 void qcircuit::measure_all()
 {
-  for ( uint32_t qubit = 0u; qubit < num_qubits_; ++qubit )
+  for ( uint32_t qubit = 0u; qubit < num_qubits(); ++qubit )
   {
     measure( qubit );
   }
@@ -113,39 +153,32 @@ void qcircuit::measure_all()
 
 void qcircuit::barrier()
 {
-  qgate gate;
-  gate.kind = gate_kind::barrier;
-  gates_.push_back( std::move( gate ) );
+  core_.emplace( gate_kind::barrier, std::span<const uint32_t>{}, 0u, 0u, 0.0 );
 }
 
 void qcircuit::global_phase( double angle )
 {
-  qgate gate;
-  gate.kind = gate_kind::global_phase;
-  gate.angle = angle;
-  gates_.push_back( std::move( gate ) );
+  core_.emplace( gate_kind::global_phase, std::span<const uint32_t>{}, 0u, 0u, angle );
 }
 
 void qcircuit::append( const qcircuit& other )
 {
-  if ( other.num_qubits_ > num_qubits_ )
+  if ( other.num_qubits() > num_qubits() )
   {
     throw std::invalid_argument( "qcircuit::append: other circuit has more qubits" );
   }
-  for ( const auto& gate : other.gates_ )
-  {
-    gates_.push_back( gate );
-  }
+  core_.append_from( other.core_ );
 }
 
 void qcircuit::append_mapped( const qcircuit& other, const std::vector<uint32_t>& mapping )
 {
-  if ( mapping.size() < other.num_qubits_ )
+  if ( mapping.size() < other.num_qubits() )
   {
     throw std::invalid_argument( "qcircuit::append_mapped: mapping too short" );
   }
-  for ( auto gate : other.gates_ )
+  for ( const auto& view : other.gates() )
   {
+    qgate gate = view.materialize();
     for ( auto& control : gate.controls )
     {
       control = mapping[control];
@@ -158,39 +191,53 @@ void qcircuit::append_mapped( const qcircuit& other, const std::vector<uint32_t>
         gate.target2 = mapping[gate.target2];
       }
     }
-    add_gate( std::move( gate ) );
+    add_gate( gate );
   }
 }
 
 qcircuit qcircuit::adjoint() const
 {
-  qcircuit result( num_qubits_ );
-  for ( auto it = gates_.rbegin(); it != gates_.rend(); ++it )
+  qcircuit result( num_qubits() );
+  result.core_.reserve( num_gates() );
+  for ( uint32_t slot = core_.num_slots(); slot-- > 0u; )
   {
-    if ( it->kind == gate_kind::barrier )
+    if ( !core_.slot_alive( slot ) )
+    {
+      continue;
+    }
+    const auto view = core_.view_at_slot( slot );
+    if ( view.kind == gate_kind::barrier )
     {
       result.barrier();
       continue;
     }
-    result.add_gate( it->adjoint() );
+    result.add_gate( view.adjoint() );
   }
   return result;
 }
 
 bool qcircuit::has_measurements() const noexcept
 {
-  return std::any_of( gates_.begin(), gates_.end(),
-                      []( const qgate& g ) { return g.kind == gate_kind::measure; } );
+  const auto& kinds = core_.columns().kind;
+  for ( uint32_t slot = 0u; slot < core_.num_slots(); ++slot )
+  {
+    if ( core_.slot_alive( slot ) && kinds[slot] == gate_kind::measure )
+    {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<uint32_t> qcircuit::measured_qubits() const
 {
   std::vector<uint32_t> result;
-  for ( const auto& gate : gates_ )
+  const auto& cols = core_.columns();
+  for ( uint32_t slot = 0u; slot < core_.num_slots(); ++slot )
   {
-    if ( gate.kind == gate_kind::measure )
+    if ( core_.slot_alive( slot ) && cols.kind[slot] == gate_kind::measure )
     {
-      result.push_back( gate.target );
+      result.push_back( cols.target[slot] );
     }
   }
   return result;
@@ -199,7 +246,7 @@ std::vector<uint32_t> qcircuit::measured_qubits() const
 std::string qcircuit::to_string() const
 {
   std::ostringstream out;
-  for ( const auto& gate : gates_ )
+  for ( const auto& gate : gates() )
   {
     out << gate.to_string() << '\n';
   }
@@ -208,8 +255,8 @@ std::string qcircuit::to_string() const
 
 std::string qcircuit::to_ascii() const
 {
-  std::vector<std::string> rows( num_qubits_ );
-  for ( uint32_t q = 0u; q < num_qubits_; ++q )
+  std::vector<std::string> rows( num_qubits() );
+  for ( uint32_t q = 0u; q < num_qubits(); ++q )
   {
     rows[q] = "q" + std::to_string( q ) + ( q < 10u ? " " : "" ) + ": ";
   }
@@ -219,7 +266,7 @@ std::string qcircuit::to_ascii() const
       row.resize( std::max( row.size(), width ), '-' );
     }
   };
-  for ( const auto& gate : gates_ )
+  for ( const auto& gate : gates() )
   {
     if ( gate.kind == gate_kind::barrier || gate.kind == gate_kind::global_phase )
     {
@@ -275,27 +322,14 @@ std::string qcircuit::to_ascii() const
 
 void qcircuit::add_simple( gate_kind kind, uint32_t qubit )
 {
-  qgate gate;
-  gate.kind = kind;
-  gate.target = qubit;
-  add_gate( std::move( gate ) );
+  check_qubit( qubit );
+  core_.emplace( kind, std::span<const uint32_t>{}, qubit, 0u, 0.0 );
 }
 
 void qcircuit::add_rotation( gate_kind kind, uint32_t qubit, double angle )
 {
-  qgate gate;
-  gate.kind = kind;
-  gate.target = qubit;
-  gate.angle = angle;
-  add_gate( std::move( gate ) );
-}
-
-void qcircuit::check_qubit( uint32_t qubit ) const
-{
-  if ( qubit >= num_qubits_ )
-  {
-    throw std::invalid_argument( "qcircuit: qubit index out of range" );
-  }
+  check_qubit( qubit );
+  core_.emplace( kind, std::span<const uint32_t>{}, qubit, 0u, angle );
 }
 
 circuit_statistics compute_statistics( const qcircuit& circuit )

@@ -3,11 +3,20 @@
  *
  *  The quantum circuit is the compilation target of the reversible
  *  level and the input of the hardware mapping and simulation stages.
- *  Gate order follows circuit reading order: gates_[0] is applied
- *  first (paper Fig. 1: time moves left to right).
+ *  Gate order follows circuit reading order: the first gate of
+ *  `gates()` is applied first (paper Fig. 1: time moves left to right).
+ *
+ *  Since the unified-IR redesign this class is a thin typed facade over
+ *  `qda::ir::circuit<cliffordt_policy>`: gate kinds, targets, operand
+ *  slab offsets and angle-pool indices live in struct-of-arrays
+ *  columns, `gates()` is a zero-copy view yielding `qgate_view`, and
+ *  passes mutate in place through `rewrite()` instead of rebuilding
+ *  gate vectors.
  */
 #pragma once
 
+#include "circuit/circuit.hpp"
+#include "circuit/cliffordt_policy.hpp"
 #include "quantum/qgate.hpp"
 
 #include <cstdint>
@@ -21,16 +30,23 @@ namespace qda
 class qcircuit
 {
 public:
+  using core_type = ir::circuit<ir::cliffordt_policy>;
+  using gates_view = core_type::gates_view;
+  using rewriter = core_type::rewriter;
+
   explicit qcircuit( uint32_t num_qubits );
 
-  uint32_t num_qubits() const noexcept { return num_qubits_; }
-  size_t num_gates() const noexcept { return gates_.size(); }
-  bool empty() const noexcept { return gates_.empty(); }
+  uint32_t num_qubits() const noexcept { return core_.num_wires(); }
+  size_t num_gates() const noexcept { return core_.num_gates(); }
+  bool empty() const noexcept { return core_.empty(); }
 
-  const std::vector<qgate>& gates() const noexcept { return gates_; }
-  const qgate& gate( size_t index ) const { return gates_.at( index ); }
+  /*! \brief Zero-copy view of the alive gates in circuit order. */
+  gates_view gates() const noexcept { return core_.gates(); }
+  qgate_view gate( size_t index ) const;
 
-  void add_gate( qgate gate );
+  ir::gate_handle add_gate( const qgate& gate );
+  /*! \brief Appends straight from a view (no control-vector copy). */
+  ir::gate_handle add_gate( const qgate_view& gate );
 
   /* single-qubit builders */
   void h( uint32_t qubit ) { add_simple( gate_kind::h, qubit ); }
@@ -48,7 +64,12 @@ public:
   /* multi-qubit builders */
   void cx( uint32_t control, uint32_t target );
   void cz( uint32_t control, uint32_t target );
-  void swap_gate( uint32_t a, uint32_t b );
+  void swap_( uint32_t a, uint32_t b );
+  [[deprecated( "renamed to swap_ for builder-vocabulary consistency" )]] void
+  swap_gate( uint32_t a, uint32_t b )
+  {
+    swap_( a, b );
+  }
   void mcx( std::vector<uint32_t> controls, uint32_t target );
   void mcz( std::vector<uint32_t> controls, uint32_t target );
   void ccx( uint32_t c0, uint32_t c1, uint32_t target ) { mcx( { c0, c1 }, target ); }
@@ -69,6 +90,11 @@ public:
    */
   qcircuit adjoint() const;
 
+  /*! \brief The inverse circuit: dagger of each gate, reversed order
+   *         (parity with `rev_circuit::inverse`; same as `adjoint`).
+   */
+  qcircuit inverse() const { return adjoint(); }
+
   /*! \brief True if the circuit contains a measurement. */
   bool has_measurements() const noexcept;
 
@@ -82,13 +108,27 @@ public:
    */
   std::string to_ascii() const;
 
+  bool operator==( const qcircuit& other ) const { return core_.equal( other.core_ ); }
+
+  /* ---- unified-IR access (passes and tools) ---- */
+
+  /*! \brief The shared gate-graph core (SoA columns, handles, slots). */
+  const core_type& core() const noexcept { return core_; }
+  core_type& core() noexcept { return core_; }
+
+  /*! \brief In-place batched mutation; see `ir::circuit::rewriter`.
+   *         Gates supplied to the rewriter are trusted to be valid for
+   *         this circuit's qubit count.
+   */
+  rewriter rewrite() { return core_.rewrite(); }
+
 private:
   void add_simple( gate_kind kind, uint32_t qubit );
   void add_rotation( gate_kind kind, uint32_t qubit, double angle );
   void check_qubit( uint32_t qubit ) const;
+  void check_operands( const qgate_view& gate ) const;
 
-  uint32_t num_qubits_;
-  std::vector<qgate> gates_;
+  core_type core_;
 };
 
 /*! \brief Gate statistics (the `ps -c` of the paper's Eq. (5)). */

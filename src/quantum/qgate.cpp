@@ -1,5 +1,6 @@
 #include "quantum/qgate.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -7,22 +8,22 @@
 namespace qda
 {
 
-std::vector<uint32_t> qgate::qubits() const
+std::vector<uint32_t> qgate_view::qubits() const
 {
-  std::vector<uint32_t> result = controls;
+  if ( kind == gate_kind::global_phase || kind == gate_kind::barrier )
+  {
+    return {};
+  }
+  std::vector<uint32_t> result( controls.begin(), controls.end() );
   result.push_back( target );
   if ( kind == gate_kind::swap )
   {
     result.push_back( target2 );
   }
-  if ( kind == gate_kind::global_phase || kind == gate_kind::barrier )
-  {
-    result.clear();
-  }
   return result;
 }
 
-bool qgate::is_clifford() const noexcept
+bool qgate_view::is_clifford() const noexcept
 {
   switch ( kind )
   {
@@ -41,13 +42,24 @@ bool qgate::is_clifford() const noexcept
   }
 }
 
-qgate qgate::adjoint() const
+qgate qgate_view::materialize() const
+{
+  qgate result;
+  result.kind = kind;
+  result.controls.assign( controls.begin(), controls.end() );
+  result.target = target;
+  result.target2 = target2;
+  result.angle = angle;
+  return result;
+}
+
+qgate qgate_view::adjoint() const
 {
   if ( kind == gate_kind::measure )
   {
     throw std::logic_error( "qgate::adjoint: measurement is not invertible" );
   }
-  qgate result = *this;
+  qgate result = materialize();
   switch ( kind )
   {
   case gate_kind::s:
@@ -74,7 +86,7 @@ qgate qgate::adjoint() const
   return result;
 }
 
-std::string qgate::to_string() const
+std::string qgate_view::to_string() const
 {
   std::string result = gate_name( kind );
   if ( kind == gate_kind::rx || kind == gate_kind::ry || kind == gate_kind::rz ||
@@ -90,6 +102,34 @@ std::string qgate::to_string() const
     first = false;
   }
   return result;
+}
+
+bool operator==( const qgate_view& a, const qgate_view& b ) noexcept
+{
+  return a.kind == b.kind && a.target == b.target && a.target2 == b.target2 &&
+         a.angle == b.angle &&
+         std::equal( a.controls.begin(), a.controls.end(), b.controls.begin(),
+                     b.controls.end() );
+}
+
+std::vector<uint32_t> qgate::qubits() const
+{
+  return qgate_view( *this ).qubits();
+}
+
+bool qgate::is_clifford() const noexcept
+{
+  return qgate_view( *this ).is_clifford();
+}
+
+qgate qgate::adjoint() const
+{
+  return qgate_view( *this ).adjoint();
+}
+
+std::string qgate::to_string() const
+{
+  return qgate_view( *this ).to_string();
 }
 
 std::array<std::complex<double>, 4> single_qubit_matrix( gate_kind kind, double angle )

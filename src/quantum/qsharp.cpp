@@ -14,7 +14,7 @@ std::string qubit_ref( uint32_t index )
   return "qubits[" + std::to_string( index ) + "]";
 }
 
-void emit_gate( std::ostringstream& out, const qgate& gate )
+void emit_gate( std::ostringstream& out, const qgate_view& gate )
 {
   const std::string indent = "            ";
   switch ( gate.kind )

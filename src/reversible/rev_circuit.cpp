@@ -11,7 +11,7 @@
 namespace qda
 {
 
-rev_circuit::rev_circuit( uint32_t num_lines ) : num_lines_( num_lines )
+rev_circuit::rev_circuit( uint32_t num_lines ) : core_( num_lines )
 {
   if ( num_lines > 64u )
   {
@@ -34,51 +34,73 @@ void check_gate_lines( const rev_gate& gate, uint32_t num_lines )
 
 } // namespace
 
-void rev_circuit::add_gate( const rev_gate& gate )
+rev_gate rev_circuit::gate( size_t index ) const
 {
-  check_gate_lines( gate, num_lines_ );
-  gates_.push_back( gate );
+  if ( index >= core_.num_gates() )
+  {
+    throw std::out_of_range( "rev_circuit::gate: index out of range" );
+  }
+  return core_.gate_at( index );
+}
+
+ir::gate_handle rev_circuit::add_gate( const rev_gate& gate )
+{
+  check_gate_lines( gate, num_lines() );
+  return core_.emplace( gate.controls, gate.polarity, gate.target );
 }
 
 void rev_circuit::append( const rev_circuit& other )
 {
-  if ( other.num_lines_ != num_lines_ )
+  if ( other.num_lines() != num_lines() )
   {
     throw std::invalid_argument( "rev_circuit::append: line count mismatch" );
   }
-  gates_.insert( gates_.end(), other.gates_.begin(), other.gates_.end() );
+  core_.append_from( other.core_ );
 }
 
-void rev_circuit::prepend_gate( const rev_gate& gate )
+ir::gate_handle rev_circuit::prepend_gate( const rev_gate& gate )
 {
-  check_gate_lines( gate, num_lines_ );
-  gates_.insert( gates_.begin(), gate );
+  check_gate_lines( gate, num_lines() );
+  return core_.prepend( gate );
 }
 
 rev_circuit rev_circuit::inverse() const
 {
-  rev_circuit result( num_lines_ );
-  result.gates_.assign( gates_.rbegin(), gates_.rend() );
+  rev_circuit result( num_lines() );
+  result.core_.reserve( num_gates() );
+  const auto& cols = core_.columns();
+  for ( uint32_t slot = core_.num_slots(); slot-- > 0u; )
+  {
+    if ( core_.slot_alive( slot ) )
+    {
+      result.core_.emplace( cols.controls[slot], cols.polarity[slot], cols.target[slot] );
+    }
+  }
   return result;
 }
 
 uint64_t rev_circuit::simulate( uint64_t input ) const
 {
+  const auto& cols = core_.columns();
   uint64_t state = input;
-  for ( const auto& gate : gates_ )
+  for ( uint32_t slot = 0u; slot < core_.num_slots(); ++slot )
   {
-    state = gate.apply( state );
+    if ( core_.slot_alive( slot ) &&
+         ( ( state ^ cols.polarity[slot] ) & cols.controls[slot] ) == 0u )
+    {
+      state ^= uint64_t{ 1 } << cols.target[slot];
+    }
   }
   return state;
 }
 
 permutation rev_circuit::to_permutation() const
 {
-  if ( num_lines_ > 20u )
+  if ( num_lines() > 20u )
   {
     throw std::invalid_argument( "rev_circuit::to_permutation: too many lines for explicit expansion" );
   }
-  permutation result( num_lines_ );
+  permutation result( num_lines() );
   for ( uint64_t x = 0u; x < result.size(); ++x )
   {
     result.set_image( x, simulate( x ) );
@@ -88,11 +110,11 @@ permutation rev_circuit::to_permutation() const
 
 truth_table rev_circuit::output_function( uint32_t line ) const
 {
-  if ( line >= num_lines_ )
+  if ( line >= num_lines() )
   {
     throw std::invalid_argument( "rev_circuit::output_function: line out of range" );
   }
-  truth_table result( num_lines_ );
+  truth_table result( num_lines() );
   for ( uint64_t x = 0u; x < result.num_bits(); ++x )
   {
     result.set_bit( x, test_bit( simulate( x ), line ) );
@@ -103,7 +125,7 @@ truth_table rev_circuit::output_function( uint32_t line ) const
 uint64_t rev_circuit::control_count() const noexcept
 {
   uint64_t total = 0u;
-  for ( const auto& gate : gates_ )
+  for ( const auto& gate : gates() )
   {
     total += gate.num_controls();
   }
@@ -112,8 +134,8 @@ uint64_t rev_circuit::control_count() const noexcept
 
 std::vector<uint64_t> rev_circuit::control_histogram() const
 {
-  std::vector<uint64_t> histogram( num_lines_, 0u );
-  for ( const auto& gate : gates_ )
+  std::vector<uint64_t> histogram( num_lines(), 0u );
+  for ( const auto& gate : gates() )
   {
     histogram[gate.num_controls()] += 1u;
   }
@@ -123,7 +145,7 @@ std::vector<uint64_t> rev_circuit::control_histogram() const
 uint64_t rev_circuit::quantum_cost() const noexcept
 {
   uint64_t total = 0u;
-  for ( const auto& gate : gates_ )
+  for ( const auto& gate : gates() )
   {
     const uint32_t k = gate.num_controls();
     if ( k <= 1u )
@@ -145,10 +167,10 @@ uint64_t rev_circuit::quantum_cost() const noexcept
 std::string rev_circuit::to_ascii() const
 {
   std::ostringstream out;
-  for ( uint32_t line = 0u; line < num_lines_; ++line )
+  for ( uint32_t line = 0u; line < num_lines(); ++line )
   {
     out << 'x' << line << ( line < 10u ? " " : "" ) << ": ";
-    for ( const auto& gate : gates_ )
+    for ( const auto& gate : gates() )
     {
       if ( gate.target == line )
       {

@@ -6,9 +6,16 @@
  *  representation between Boolean-function-level synthesis and the
  *  quantum (Clifford+T) level: circuits produced by the algorithms in
  *  src/synthesis/ are later mapped gate-by-gate by src/mapping/.
+ *
+ *  Since the unified-IR redesign this class is a thin typed facade over
+ *  `qda::ir::circuit<mct_policy>`: gates live in struct-of-arrays
+ *  columns, `gates()` is a zero-copy view, and passes mutate in place
+ *  through `rewrite()` instead of rebuilding gate vectors.
  */
 #pragma once
 
+#include "circuit/circuit.hpp"
+#include "circuit/mct_policy.hpp"
 #include "kernel/permutation.hpp"
 #include "kernel/truth_table.hpp"
 #include "reversible/rev_gate.hpp"
@@ -25,33 +32,38 @@ namespace qda
 class rev_circuit
 {
 public:
+  using core_type = ir::circuit<ir::mct_policy>;
+  using gates_view = core_type::gates_view;
+  using rewriter = core_type::rewriter;
+
   explicit rev_circuit( uint32_t num_lines );
 
-  uint32_t num_lines() const noexcept { return num_lines_; }
-  size_t num_gates() const noexcept { return gates_.size(); }
-  bool empty() const noexcept { return gates_.empty(); }
+  uint32_t num_lines() const noexcept { return core_.num_wires(); }
+  size_t num_gates() const noexcept { return core_.num_gates(); }
+  bool empty() const noexcept { return core_.empty(); }
 
-  const std::vector<rev_gate>& gates() const noexcept { return gates_; }
-  const rev_gate& gate( size_t index ) const { return gates_.at( index ); }
+  /*! \brief Zero-copy view of the alive gates in circuit order. */
+  gates_view gates() const noexcept { return core_.gates(); }
+  rev_gate gate( size_t index ) const;
 
   /*! \brief Appends a gate (validates line indices). */
-  void add_gate( const rev_gate& gate );
+  ir::gate_handle add_gate( const rev_gate& gate );
 
-  void add_not( uint32_t target ) { add_gate( rev_gate::not_gate( target ) ); }
-  void add_cnot( uint32_t control, uint32_t target )
+  ir::gate_handle add_not( uint32_t target ) { return add_gate( rev_gate::not_gate( target ) ); }
+  ir::gate_handle add_cnot( uint32_t control, uint32_t target )
   {
-    add_gate( rev_gate::cnot( control, target ) );
+    return add_gate( rev_gate::cnot( control, target ) );
   }
-  void add_toffoli( uint32_t control0, uint32_t control1, uint32_t target )
+  ir::gate_handle add_toffoli( uint32_t control0, uint32_t control1, uint32_t target )
   {
-    add_gate( rev_gate::toffoli( control0, control1, target ) );
+    return add_gate( rev_gate::toffoli( control0, control1, target ) );
   }
 
   /*! \brief Appends all gates of `other` (line counts must agree). */
   void append( const rev_circuit& other );
 
   /*! \brief Prepends a gate (used by bidirectional synthesis). */
-  void prepend_gate( const rev_gate& gate );
+  ir::gate_handle prepend_gate( const rev_gate& gate );
 
   /*! \brief The inverse circuit: gates reversed (MCT gates are self-inverse). */
   rev_circuit inverse() const;
@@ -77,14 +89,25 @@ public:
    */
   uint64_t quantum_cost() const noexcept;
 
-  bool operator==( const rev_circuit& other ) const = default;
+  bool operator==( const rev_circuit& other ) const { return core_.equal( other.core_ ); }
 
   /*! \brief Multi-line ASCII diagram (one row per line). */
   std::string to_ascii() const;
 
+  /* ---- unified-IR access (passes and tools) ---- */
+
+  /*! \brief The shared gate-graph core (SoA columns, handles, slots). */
+  const core_type& core() const noexcept { return core_; }
+  core_type& core() noexcept { return core_; }
+
+  /*! \brief In-place batched mutation; see `ir::circuit::rewriter`.
+   *         Gates supplied to the rewriter are trusted to be valid for
+   *         this circuit's line count.
+   */
+  rewriter rewrite() { return core_.rewrite(); }
+
 private:
-  uint32_t num_lines_;
-  std::vector<rev_gate> gates_;
+  core_type core_;
 };
 
 /*! \brief Functional equivalence of two reversible circuits (n <= 20:

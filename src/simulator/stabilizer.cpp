@@ -211,7 +211,7 @@ bool stabilizer_simulator::measure( uint32_t qubit )
   return scratch.sign;
 }
 
-void stabilizer_simulator::apply_gate( const qgate& gate )
+void stabilizer_simulator::apply_gate( const qgate_view& gate )
 {
   switch ( gate.kind )
   {

@@ -54,7 +54,7 @@ public:
   /*! \brief Applies a gate; throws std::invalid_argument for
    *         non-Clifford gates (t, rz, ...).
    */
-  void apply_gate( const qgate& gate );
+  void apply_gate( const qgate_view& gate );
 
   /*! \brief Runs a full circuit; measurement outcomes are recorded. */
   void run( const qcircuit& circuit );

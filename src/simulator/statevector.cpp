@@ -63,7 +63,7 @@ void statevector_simulator::apply_single_qubit( const std::array<amplitude, 4>& 
 }
 
 void statevector_simulator::apply_controlled_single_qubit(
-    const std::array<amplitude, 4>& matrix, const std::vector<uint32_t>& controls, uint32_t qubit )
+    const std::array<amplitude, 4>& matrix, std::span<const uint32_t> controls, uint32_t qubit )
 {
   uint64_t control_mask = 0u;
   for ( const auto control : controls )
@@ -132,7 +132,7 @@ bool statevector_simulator::measure_qubit( uint32_t qubit )
   return outcome;
 }
 
-void statevector_simulator::apply_gate( const qgate& gate )
+void statevector_simulator::apply_gate( const qgate_view& gate )
 {
   switch ( gate.kind )
   {

@@ -12,6 +12,7 @@
 #include "quantum/qcircuit.hpp"
 
 #include <complex>
+#include <span>
 #include <cstdint>
 #include <map>
 #include <random>
@@ -42,7 +43,7 @@ public:
   /*! \brief Applies one gate (measure collapses with the internal RNG;
    *         the outcome is appended to `measurement_record()`).
    */
-  void apply_gate( const qgate& gate );
+  void apply_gate( const qgate_view& gate );
 
   /*! \brief Applies all gates of a circuit. */
   void run( const qcircuit& circuit );
@@ -68,7 +69,7 @@ public:
 private:
   void apply_single_qubit( const std::array<amplitude, 4>& matrix, uint32_t qubit );
   void apply_controlled_single_qubit( const std::array<amplitude, 4>& matrix,
-                                      const std::vector<uint32_t>& controls, uint32_t qubit );
+                                      std::span<const uint32_t> controls, uint32_t qubit );
   void apply_swap( uint32_t a, uint32_t b );
   bool measure_qubit( uint32_t qubit );
 

@@ -1,0 +1,321 @@
+/*! \file test_circuit_ir.cpp
+ *  \brief The unified gate-graph IR: handles, tombstones, rewriter,
+ *         zero-copy views and the `circuit_cast` lowering hook.
+ */
+#include "circuit/circuit.hpp"
+#include "circuit/circuit_cast.hpp"
+#include "kernel/bits.hpp"
+#include "mapping/clifford_t.hpp"
+#include "optimization/peephole.hpp"
+#include "optimization/phase_folding.hpp"
+#include "optimization/revsimp.hpp"
+#include "optimization/revsimp_reference.hpp"
+#include "quantum/qcircuit.hpp"
+#include "reversible/rev_circuit.hpp"
+#include "simulator/unitary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace qda
+{
+namespace
+{
+
+TEST( circuit_ir_test, handles_stay_stable_across_erase_and_compaction )
+{
+  rev_circuit circuit( 3u );
+  const auto h0 = circuit.add_not( 0u );
+  const auto h1 = circuit.add_cnot( 0u, 1u );
+  const auto h2 = circuit.add_toffoli( 0u, 1u, 2u );
+  const auto h3 = circuit.add_not( 2u );
+
+  {
+    auto rewriter = circuit.rewrite();
+    rewriter.erase( h1 );
+  } /* destructor commits and compacts */
+
+  EXPECT_EQ( circuit.num_gates(), 3u );
+  EXPECT_EQ( circuit.core().num_tombstones(), 0u );
+  EXPECT_TRUE( circuit.core().alive( h0 ) );
+  EXPECT_FALSE( circuit.core().alive( h1 ) );
+  EXPECT_TRUE( circuit.core().alive( h2 ) );
+  /* handles resolve to the same gates at their new slots */
+  EXPECT_EQ( circuit.core()[h0], rev_gate::not_gate( 0u ) );
+  EXPECT_EQ( circuit.core()[h2], rev_gate::toffoli( 0u, 1u, 2u ) );
+  EXPECT_EQ( circuit.core()[h3], rev_gate::not_gate( 2u ) );
+  EXPECT_EQ( circuit.core().slot_of( h3 ), 2u );
+}
+
+TEST( circuit_ir_test, erased_handles_are_rejected_not_dereferenced )
+{
+  rev_circuit circuit( 2u );
+  circuit.add_not( 0u );
+  const auto handle = circuit.add_cnot( 0u, 1u );
+  {
+    auto rewriter = circuit.rewrite();
+    rewriter.erase( handle );
+    rewriter.erase( handle ); /* idempotent, not UB */
+    EXPECT_THROW( rewriter.replace( handle, rev_gate::not_gate( 1u ) ), std::out_of_range );
+    EXPECT_THROW( rewriter.insert_before( handle, rev_gate::not_gate( 1u ) ),
+                  std::out_of_range );
+    EXPECT_THROW( rewriter.insert_after( handle, rev_gate::not_gate( 1u ) ),
+                  std::out_of_range );
+  }
+  EXPECT_EQ( circuit.num_gates(), 1u );
+  EXPECT_FALSE( circuit.core().alive( handle ) );
+  EXPECT_EQ( circuit.core().slot_of( handle ), ir::npos );
+  EXPECT_THROW( circuit.core()[handle], std::out_of_range );
+}
+
+TEST( circuit_ir_test, tombstone_erase_is_deferred_until_commit )
+{
+  rev_circuit circuit( 2u );
+  circuit.add_not( 0u );
+  circuit.add_not( 1u );
+  circuit.add_cnot( 0u, 1u );
+
+  auto rewriter = circuit.rewrite();
+  rewriter.erase_slot( 1u );
+
+  /* before commit: slot count unchanged, alive count and views adjust */
+  EXPECT_EQ( circuit.core().num_slots(), 3u );
+  EXPECT_EQ( circuit.num_gates(), 2u );
+  EXPECT_EQ( circuit.core().num_tombstones(), 1u );
+  EXPECT_EQ( circuit.gate( 1u ), rev_gate::cnot( 0u, 1u ) );
+
+  rewriter.commit();
+  EXPECT_EQ( circuit.core().num_slots(), 2u );
+  EXPECT_EQ( circuit.core().num_tombstones(), 0u );
+}
+
+TEST( circuit_ir_test, rewriter_batches_inserts_in_document_order )
+{
+  qcircuit circuit( 1u );
+  circuit.h( 0u );
+  circuit.s( 0u );
+
+  qgate x_gate;
+  x_gate.kind = gate_kind::x;
+  qgate z_gate;
+  z_gate.kind = gate_kind::z;
+  qgate t_gate;
+  t_gate.kind = gate_kind::t;
+
+  {
+    auto rewriter = circuit.rewrite();
+    rewriter.insert_after_slot( 0u, x_gate );  /* after h */
+    rewriter.insert_before_slot( 1u, z_gate ); /* before s, after the after-insert */
+    rewriter.append( t_gate );
+  }
+
+  ASSERT_EQ( circuit.num_gates(), 5u );
+  EXPECT_EQ( circuit.gate( 0u ).kind, gate_kind::h );
+  EXPECT_EQ( circuit.gate( 1u ).kind, gate_kind::x );
+  EXPECT_EQ( circuit.gate( 2u ).kind, gate_kind::z );
+  EXPECT_EQ( circuit.gate( 3u ).kind, gate_kind::s );
+  EXPECT_EQ( circuit.gate( 4u ).kind, gate_kind::t );
+}
+
+TEST( circuit_ir_test, replace_keeps_slot_and_handle )
+{
+  rev_circuit circuit( 3u );
+  circuit.add_not( 0u );
+  const auto handle = circuit.add_cnot( 0u, 1u );
+  circuit.add_not( 2u );
+
+  {
+    auto rewriter = circuit.rewrite();
+    rewriter.replace( handle, rev_gate::toffoli( 0u, 2u, 1u ) );
+  }
+
+  EXPECT_EQ( circuit.num_gates(), 3u );
+  EXPECT_EQ( circuit.core().slot_of( handle ), 1u );
+  EXPECT_EQ( circuit.gate( 1u ), rev_gate::toffoli( 0u, 2u, 1u ) );
+}
+
+TEST( circuit_ir_test, quantum_views_span_the_operand_slab )
+{
+  qcircuit circuit( 3u );
+  circuit.ccx( 0u, 1u, 2u );
+  const auto view = circuit.gate( 0u );
+  /* zero-copy: the controls span points straight into the SoA slab */
+  EXPECT_EQ( view.controls.data(), circuit.core().columns().operands.data() );
+  ASSERT_EQ( view.controls.size(), 2u );
+  EXPECT_EQ( view.controls[0], 0u );
+  EXPECT_EQ( view.controls[1], 1u );
+}
+
+TEST( circuit_ir_test, angle_pool_deduplicates )
+{
+  qcircuit circuit( 2u );
+  circuit.rz( 0u, 0.25 );
+  circuit.rz( 1u, 0.25 );
+  circuit.rz( 0u, 0.5 );
+  EXPECT_EQ( circuit.core().columns().angles.size(), 2u );
+  EXPECT_EQ( circuit.gate( 1u ).angle, 0.25 );
+  EXPECT_EQ( circuit.gate( 2u ).angle, 0.5 );
+}
+
+TEST( circuit_ir_test, gates_view_equality_is_structural )
+{
+  qcircuit a( 2u );
+  a.h( 0u );
+  a.cx( 0u, 1u );
+  qcircuit b( 2u );
+  b.h( 0u );
+  b.cx( 0u, 1u );
+  EXPECT_TRUE( a.gates() == b.gates() );
+  b.t( 1u );
+  EXPECT_FALSE( a.gates() == b.gates() );
+}
+
+TEST( circuit_ir_test, circuit_cast_runs_the_rptm_lowering )
+{
+  rev_circuit circuit( 3u );
+  circuit.add_toffoli( 0u, 1u, 2u );
+  circuit.add_cnot( 0u, 1u );
+
+  const auto via_cast = circuit_cast<clifford_t_result>( circuit );
+  const auto direct = map_to_clifford_t( circuit );
+  EXPECT_EQ( via_cast.num_helper_qubits, direct.num_helper_qubits );
+  EXPECT_TRUE( via_cast.circuit == direct.circuit );
+
+  const auto circuit_only = circuit_cast<qcircuit>( circuit );
+  EXPECT_TRUE( circuit_only == direct.circuit );
+}
+
+TEST( circuit_ir_test, rewriter_revsimp_matches_legacy_reference )
+{
+  std::mt19937_64 rng( 7u );
+  for ( uint32_t trial = 0u; trial < 50u; ++trial )
+  {
+    rev_circuit circuit( 4u );
+    for ( uint32_t g = 0u; g < 24u; ++g )
+    {
+      const uint32_t target = rng() % 4u;
+      const uint64_t controls = rng() & 0xfu & ~( uint64_t{ 1 } << target );
+      circuit.add_gate( rev_gate( controls, rng() & 0xfu, target ) );
+    }
+    const auto baseline = reference::revsimp( circuit );
+    rev_circuit in_place( circuit );
+    revsimp_in_place( in_place );
+    EXPECT_TRUE( revsimp( circuit ) == in_place ); /* wrapper == in-place */
+    EXPECT_TRUE( equivalent( circuit, in_place ) );
+    EXPECT_TRUE( equivalent( baseline, in_place ) );
+    /* ESOP merging is not confluent, so the two scan orders may settle
+     * on different fixpoints; across 500 sampled circuits the count
+     * never differed by more than one gate in either direction */
+    EXPECT_LE( in_place.num_gates(), baseline.num_gates() + 1u );
+  }
+
+  /* full-cancellation family: both must collapse to nothing */
+  rev_circuit mirror( 4u );
+  std::vector<rev_gate> half;
+  for ( uint32_t g = 0u; g < 16u; ++g )
+  {
+    const uint32_t target = rng() % 4u;
+    const uint64_t controls = rng() & 0xfu & ~( uint64_t{ 1 } << target );
+    const rev_gate gate( controls, rng() & 0xfu, target );
+    mirror.add_gate( gate );
+    half.push_back( gate );
+  }
+  for ( auto it = half.rbegin(); it != half.rend(); ++it )
+  {
+    mirror.add_gate( *it );
+  }
+  EXPECT_EQ( reference::revsimp( mirror ).num_gates(), 0u );
+  rev_circuit collapsed( mirror );
+  revsimp_in_place( collapsed );
+  EXPECT_EQ( collapsed.num_gates(), 0u );
+}
+
+TEST( circuit_ir_test, in_place_peephole_and_folding_preserve_semantics )
+{
+  qcircuit circuit( 3u );
+  circuit.h( 0u );
+  circuit.t( 0u );
+  circuit.cx( 0u, 1u );
+  circuit.t( 1u );
+  circuit.cx( 0u, 1u );
+  circuit.tdg( 1u );
+  circuit.h( 2u );
+  circuit.h( 2u );
+
+  qcircuit optimized( circuit );
+  peephole_in_place( optimized );
+  phase_folding_in_place( optimized );
+  EXPECT_LT( optimized.num_gates(), circuit.num_gates() );
+  EXPECT_TRUE( circuits_equivalent( circuit, optimized ) );
+}
+
+TEST( circuit_ir_test, qcircuit_inverse_matches_adjoint_parity )
+{
+  qcircuit circuit( 2u );
+  circuit.h( 0u );
+  circuit.t( 0u );
+  circuit.cx( 0u, 1u );
+  circuit.rz( 1u, 0.3 );
+
+  EXPECT_TRUE( circuit.inverse() == circuit.adjoint() );
+
+  qcircuit composed( 2u );
+  composed.append( circuit );
+  composed.append( circuit.inverse() );
+  EXPECT_TRUE( circuits_equivalent( composed, qcircuit( 2u ) ) );
+}
+
+TEST( circuit_ir_test, deprecated_swap_gate_alias_still_works )
+{
+  qcircuit circuit( 2u );
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  circuit.swap_gate( 0u, 1u );
+#pragma GCC diagnostic pop
+  EXPECT_EQ( circuit.gate( 0u ).kind, gate_kind::swap );
+}
+
+TEST( circuit_ir_test, self_referencing_views_and_self_append_are_safe )
+{
+  qcircuit circuit( 4u );
+  circuit.mcx( { 0u, 1u, 2u }, 3u );
+  circuit.h( 0u );
+  /* duplicating a gate through its own view must not corrupt the slab,
+   * even when the slab reallocates mid-append */
+  for ( uint32_t rep = 0u; rep < 64u; ++rep )
+  {
+    circuit.add_gate( circuit.gate( 0u ) );
+  }
+  ASSERT_EQ( circuit.num_gates(), 66u );
+  const auto last = circuit.gate( 65u );
+  ASSERT_EQ( last.controls.size(), 3u );
+  EXPECT_EQ( last.controls[2], 2u );
+
+  qcircuit doubled( 2u );
+  doubled.cx( 0u, 1u );
+  doubled.t( 1u );
+  doubled.append( doubled ); /* self-append: snapshot, then copy */
+  ASSERT_EQ( doubled.num_gates(), 4u );
+  EXPECT_EQ( doubled.gate( 2u ).kind, gate_kind::cx );
+  EXPECT_EQ( doubled.gate( 2u ).controls[0], 0u );
+
+  rev_circuit rev_doubled( 2u );
+  rev_doubled.add_cnot( 0u, 1u );
+  rev_doubled.append( rev_doubled );
+  EXPECT_EQ( rev_doubled.num_gates(), 2u );
+  EXPECT_EQ( rev_doubled.gate( 1u ), rev_gate::cnot( 0u, 1u ) );
+}
+
+TEST( circuit_ir_test, prepend_keeps_existing_handles_valid )
+{
+  rev_circuit circuit( 2u );
+  const auto first = circuit.add_cnot( 0u, 1u );
+  circuit.prepend_gate( rev_gate::not_gate( 0u ) );
+  EXPECT_EQ( circuit.gate( 0u ), rev_gate::not_gate( 0u ) );
+  EXPECT_EQ( circuit.core().slot_of( first ), 1u );
+  EXPECT_EQ( circuit.core()[first], rev_gate::cnot( 0u, 1u ) );
+}
+
+} // namespace
+} // namespace qda

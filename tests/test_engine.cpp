@@ -112,7 +112,7 @@ TEST( engine_test, control_block_adds_controls )
   const auto& gates = eng.circuit().gates();
   ASSERT_EQ( gates.size(), 3u );
   EXPECT_EQ( gates[0].kind, gate_kind::cx );
-  EXPECT_EQ( gates[0].controls, ( std::vector<uint32_t>{ 2u } ) );
+  EXPECT_EQ( gates[0].materialize().controls, ( std::vector<uint32_t>{ 2u } ) );
   EXPECT_EQ( gates[1].kind, gate_kind::mcx );
   EXPECT_EQ( gates[2].kind, gate_kind::cz );
 }

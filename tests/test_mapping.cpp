@@ -253,7 +253,7 @@ TEST( router_test, cz_and_swap_inputs )
   const auto device = coupling_map::linear( 3u );
   qcircuit circuit( 3u );
   circuit.cz( 0u, 2u );
-  circuit.swap_gate( 0u, 1u );
+  circuit.swap_( 0u, 1u );
   const auto routed = route_circuit( circuit, device );
   /* validate up to layout: compose with layout-inverting permutation */
   EXPECT_GT( routed.circuit.num_gates(), 2u );

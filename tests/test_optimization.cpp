@@ -252,7 +252,7 @@ TEST( pmh_test, compresses_redundant_cnot_chains )
 TEST( pmh_test, swap_handling_and_errors )
 {
   qcircuit circuit( 2u );
-  circuit.swap_gate( 0u, 1u );
+  circuit.swap_( 0u, 1u );
   const auto matrix = linear_map_of_circuit( circuit );
   EXPECT_EQ( matrix, ( linear_matrix{ 2u, 1u } ) );
 

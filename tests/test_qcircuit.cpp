@@ -67,7 +67,7 @@ TEST( qcircuit_test, builders_and_validation )
   EXPECT_EQ( circuit.num_gates(), 3u );
   EXPECT_THROW( circuit.h( 3u ), std::invalid_argument );
   EXPECT_THROW( circuit.cx( 1u, 1u ), std::invalid_argument );
-  EXPECT_THROW( circuit.swap_gate( 2u, 2u ), std::invalid_argument );
+  EXPECT_THROW( circuit.swap_( 2u, 2u ), std::invalid_argument );
   EXPECT_THROW( circuit.mcx( { 0u, 0u }, 1u ), std::invalid_argument );
 }
 
@@ -158,7 +158,7 @@ TEST( qasm_test, roundtrip_preserves_semantics )
   circuit.sdg( 2u );
   circuit.cx( 0u, 1u );
   circuit.cz( 1u, 2u );
-  circuit.swap_gate( 0u, 2u );
+  circuit.swap_( 0u, 2u );
   circuit.ccx( 0u, 1u, 2u );
   circuit.rz( 0u, 0.75 );
 

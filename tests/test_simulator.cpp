@@ -109,7 +109,7 @@ TEST( statevector_test, swap_gate )
 {
   qcircuit circuit( 2u );
   circuit.x( 0u );
-  circuit.swap_gate( 0u, 1u );
+  circuit.swap_( 0u, 1u );
   statevector_simulator simulator( 2u );
   simulator.run( circuit );
   EXPECT_NEAR( simulator.probability_of( 0b10u ), 1.0, tolerance );
