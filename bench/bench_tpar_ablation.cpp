@@ -1,20 +1,48 @@
 /*! \file bench_tpar_ablation.cpp
  *  \brief Experiment E7: T-count optimization ablation (`tpar` stage).
  *
- *  Quantifies the effect of the two T-cost levers of the Eq. (5)
- *  pipeline: relative-phase Toffoli mapping (rptm) and phase folding
- *  (tpar).  For each benchmark the table reports the T-count with
- *  plain 7-T mapping, with rptm, and with rptm + tpar, plus the CNOT
- *  count after Patel-Markov-Hayes resynthesis of linear regions.
- *  All variants are verified equivalent.
+ *  Quantifies the effect of the three T/CNOT-cost levers of the
+ *  Eq. (5) pipeline: relative-phase Toffoli mapping (rptm), phase
+ *  folding (`tpar --fold-only`), and parity-network resynthesis (the
+ *  full `tpar`).  For each benchmark the table reports T-count and
+ *  CNOT count with plain 7-T mapping, with rptm, with rptm + fold,
+ *  and with rptm + full tpar.  All variants are verified equivalent,
+ *  and the per-case numbers are written to BENCH_tpar.json for
+ *  cross-PR quality tracking.  The run fails if resynthesis ever
+ *  raises the T-count over fold-only.
  */
 #include "core/flow.hpp"
-#include "optimization/linear_synthesis.hpp"
 #include "synthesis/revgen.hpp"
 
 #include <cstdio>
 #include <string>
 #include <vector>
+
+namespace
+{
+
+struct variant_stats
+{
+  unsigned long long t = 0u;
+  unsigned long long cnot = 0u;
+  unsigned long long gates = 0u;
+};
+
+variant_stats stats_of( const qda::flow& pipeline )
+{
+  const auto stats = pipeline.ps();
+  return { stats.t_count, stats.cnot_count, stats.num_gates };
+}
+
+void print_json_variant( std::FILE* json, const char* name, const variant_stats& stats,
+                         bool last )
+{
+  std::fprintf( json,
+                "      \"%s\": { \"t\": %llu, \"cnot\": %llu, \"gates\": %llu }%s\n", name,
+                stats.t, stats.cnot, stats.gates, last ? "" : "," );
+}
+
+} // namespace
 
 int main()
 {
@@ -34,40 +62,65 @@ int main()
       { "fig7-pi", paper_fig7_permutation() },
       { "rand5", permutation::random( 5u, 99u ) } };
 
-  std::printf( "E7: T-count ablation -- plain vs rptm vs rptm+tpar\n" );
-  std::printf( "%-9s %-10s %-9s %-14s %-10s %-12s\n", "case", "plain-T", "rptm-T",
-               "rptm+tpar-T", "CNOT", "CNOT+pmh" );
+  std::printf( "E7: T-count ablation -- plain vs rptm vs rptm+tpar vs +resynth\n" );
+  std::printf( "%-9s %-9s %-8s %-8s %-8s %-10s %-10s\n", "case", "plain-T", "rptm-T",
+               "fold-T", "full-T", "fold-CNOT", "full-CNOT" );
+
+  std::FILE* json = std::fopen( "BENCH_tpar.json", "w" );
+  if ( json == nullptr )
+  {
+    std::printf( "could not open BENCH_tpar.json for writing\n" );
+    return 1;
+  }
+  std::fprintf( json, "{\n  \"experiment\": \"tpar_ablation\",\n  \"cases\": [\n" );
 
   bool all_ok = true;
-  for ( const auto& test : cases )
+  for ( size_t index = 0u; index < cases.size(); ++index )
   {
+    const auto& test = cases[index];
+
     flow plain;
     plain.revgen( test.target ).tbs().revsimp().rptm( /*use_relative_phase=*/false );
-    const auto plain_t = plain.ps().t_count;
+    const auto plain_stats = stats_of( plain );
 
     flow with_rptm;
-    with_rptm.revgen( test.target ).tbs().revsimp().rptm( /*use_relative_phase=*/true );
-    const auto rptm_t = with_rptm.ps().t_count;
+    with_rptm.revgen( test.target ).tbs().revsimp().rptm();
+    const auto rptm_stats = stats_of( with_rptm );
+
+    flow fold_only;
+    fold_only.revgen( test.target ).tbs().revsimp().rptm().tpar( /*resynth=*/false );
+    const auto fold_stats = stats_of( fold_only );
 
     flow full;
     full.revgen( test.target ).tbs().revsimp().rptm().tpar();
-    const auto full_stats = full.ps();
+    const auto full_stats = stats_of( full );
 
-    const auto resynthesized = resynthesize_linear_regions( full.quantum() );
-    const auto pmh_cnots = compute_statistics( resynthesized ).cnot_count;
+    const bool verified = test.target.num_vars() > 6u ||
+                          ( plain.verify() && with_rptm.verify() && fold_only.verify() &&
+                            full.verify() );
+    /* resynthesis re-emits the folded terms: it must never cost T gates */
+    const bool t_ok = full_stats.t <= fold_stats.t;
+    all_ok = all_ok && verified && t_ok;
 
-    const bool ok = test.target.num_vars() > 6u ||
-                    ( plain.verify() && with_rptm.verify() && full.verify() );
-    all_ok = all_ok && ok;
+    std::printf( "%-9s %-9llu %-8llu %-8llu %-8llu %-10llu %-10llu%s%s\n",
+                 test.name.c_str(), plain_stats.t, rptm_stats.t, fold_stats.t, full_stats.t,
+                 fold_stats.cnot, full_stats.cnot, verified ? "" : "  VERIFY-FAIL",
+                 t_ok ? "" : "  T-REGRESSION" );
 
-    std::printf( "%-9s %-10llu %-9llu %-14llu %-10llu %-12llu%s\n", test.name.c_str(),
-                 static_cast<unsigned long long>( plain_t ),
-                 static_cast<unsigned long long>( rptm_t ),
-                 static_cast<unsigned long long>( full_stats.t_count ),
-                 static_cast<unsigned long long>( full_stats.cnot_count ),
-                 static_cast<unsigned long long>( pmh_cnots ), ok ? "" : "  VERIFY-FAIL" );
+    std::fprintf( json, "    { \"name\": \"%s\", \"verified\": %s,\n", test.name.c_str(),
+                  verified ? "true" : "false" );
+    print_json_variant( json, "plain", plain_stats, false );
+    print_json_variant( json, "rptm", rptm_stats, false );
+    print_json_variant( json, "rptm_tpar", fold_stats, false );
+    print_json_variant( json, "rptm_tpar_resynth", full_stats, true );
+    std::fprintf( json, "    }%s\n", index + 1u < cases.size() ? "," : "" );
   }
+  std::fprintf( json, "  ]\n}\n" );
+  std::fclose( json );
+
   std::printf( "\nreading: rptm cuts the T-count of every multi-controlled cascade;\n"
-               "tpar folds the remaining mergeable phases (paper refs [42], [69]).\n" );
+               "tpar folds the remaining mergeable phases and resynthesis rebuilds\n"
+               "each region's CNOT skeleton (paper refs [42], [69]).\n" );
+  std::printf( "wrote BENCH_tpar.json\n" );
   return all_ok ? 0 : 1;
 }

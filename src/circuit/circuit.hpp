@@ -311,6 +311,10 @@ public:
     {
       return queue( slot * 2u, gate );
     }
+    gate_handle insert_before_slot( uint32_t slot, gate_type&& gate )
+    {
+      return queue( slot * 2u, std::move( gate ) );
+    }
     gate_handle insert_after_slot( uint32_t slot, const gate_type& gate )
     {
       return queue( slot * 2u + 1u, gate );
@@ -336,11 +340,12 @@ public:
     friend class circuit;
     explicit rewriter( circuit* c ) : c_( c ) {}
 
-    gate_handle queue( uint32_t key, const gate_type& gate )
+    template<typename Gate>
+    gate_handle queue( uint32_t key, Gate&& gate )
     {
       const uint32_t id = static_cast<uint32_t>( c_->slot_of_.size() );
       c_->slot_of_.push_back( npos );
-      pending_.push_back( { key, id, gate } );
+      pending_.push_back( { key, id, std::forward<Gate>( gate ) } );
       return { id };
     }
 

@@ -76,9 +76,14 @@ flow& flow::rptm( bool use_relative_phase )
   return apply( "rptm", std::move( args ) );
 }
 
-flow& flow::tpar()
+flow& flow::tpar( bool resynth )
 {
-  return apply( "tpar" );
+  pass_arguments args;
+  if ( !resynth )
+  {
+    args.add_flag( "fold-only" );
+  }
+  return apply( "tpar", std::move( args ) );
 }
 
 flow& flow::peephole()

@@ -13,7 +13,7 @@
  *          .tbs()             // transformation-based synthesis
  *          .revsimp()         // reversible simplification
  *          .rptm()            // relative-phase Toffoli mapping
- *          .tpar()            // phase folding T-count optimization
+ *          .tpar()            // phase-polynomial T-count optimization
  *          .ps();             // print statistics
  *
  *  Since the pipeline subsystem landed, `flow` is a thin fluent shim
@@ -55,7 +55,10 @@ public:
   flow& rptm( bool use_relative_phase = true );
 
   /* ---- quantum optimization ---- */
-  flow& tpar();
+  /*! \brief T-count optimization; `resynth = false` runs the fold-only
+   *         variant (`tpar --fold-only`), keeping the CNOT skeleton.
+   */
+  flow& tpar( bool resynth = true );
   flow& peephole();
 
   /* ---- inspection ---- */

@@ -8,7 +8,10 @@
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace qda
 {
@@ -83,6 +86,327 @@ constexpr inline uint64_t swap_bits( uint64_t word, uint32_t i, uint32_t j ) noe
   const uint64_t x = ( ( word >> i ) ^ ( word >> j ) ) & 1u;
   return word ^ ( ( x << i ) | ( x << j ) );
 }
+
+/*! \brief Dynamic-width bit vector for parity and linear-map rows.
+ *
+ *  Replaces the fixed 64-variable masks previously used for parity
+ *  tracking (`phase_folding`'s epoch hack) and for `linear_matrix` rows
+ *  (the 64-qubit cap of `pmh_linear_synthesis`).  The representation is
+ *  normalized at *both* ends: a word offset skips leading zero words
+ *  and trailing zero words are trimmed, so every operation costs the
+ *  active span only.  This matters for unbounded parity tracking,
+ *  where labels over variable 9000+ would otherwise drag 140 dense
+ *  words through every XOR.  The first active word is stored inline,
+ *  so vectors spanning up to 64 bits (any 64-aligned window) never
+ *  touch the heap.
+ */
+class bitvec
+{
+public:
+  bitvec() = default;
+  bitvec( uint64_t word ) noexcept : word0_( word ) {}
+
+  bool none() const noexcept { return word0_ == 0u && tail_.empty(); }
+  bool any() const noexcept { return !none(); }
+
+  bool test( uint32_t index ) const noexcept
+  {
+    return test_bit( word_at( index / 64u ), index % 64u );
+  }
+
+  void set( uint32_t index )
+  {
+    const uint32_t word = index / 64u;
+    if ( none() )
+    {
+      offset_ = word;
+      word0_ = uint64_t{ 1 } << ( index % 64u );
+      return;
+    }
+    writable_word( word ) |= uint64_t{ 1 } << ( index % 64u );
+  }
+
+  void flip( uint32_t index )
+  {
+    const uint32_t word = index / 64u;
+    if ( none() )
+    {
+      offset_ = word;
+      word0_ = uint64_t{ 1 } << ( index % 64u );
+      return;
+    }
+    writable_word( word ) ^= uint64_t{ 1 } << ( index % 64u );
+    normalize();
+  }
+
+  void clear() noexcept
+  {
+    offset_ = 0u;
+    word0_ = 0u;
+    tail_.clear();
+  }
+
+  /*! \brief Number of set bits. */
+  uint32_t count() const noexcept
+  {
+    uint32_t total = popcount64( word0_ );
+    for ( const uint64_t word : tail_ )
+    {
+      total += popcount64( word );
+    }
+    return total;
+  }
+
+  /*! \brief Index of the highest set bit; undefined when none(). */
+  uint32_t top_bit() const noexcept
+  {
+    if ( !tail_.empty() )
+    {
+      const uint32_t word = static_cast<uint32_t>( tail_.size() ) - 1u;
+      return 64u * ( offset_ + word + 1u ) + most_significant_bit( tail_[word] );
+    }
+    return 64u * offset_ + most_significant_bit( word0_ );
+  }
+
+  /*! \brief The low 64 bits (bits >= 64, if any, are not represented). */
+  uint64_t low_word() const noexcept { return word_at( 0u ); }
+
+  bitvec& operator^=( const bitvec& other )
+  {
+    if ( this == &other )
+    {
+      clear();
+      return *this;
+    }
+    if ( other.none() )
+    {
+      return *this;
+    }
+    if ( none() )
+    {
+      return *this = other;
+    }
+    const uint32_t other_end = other.offset_ + 1u + static_cast<uint32_t>( other.tail_.size() );
+    if ( other.offset_ < offset_ )
+    {
+      grow_front( offset_ - other.offset_ );
+    }
+    if ( other_end > end_word() )
+    {
+      tail_.resize( other_end - offset_ - 1u, 0u );
+    }
+    const uint32_t rel = other.offset_ - offset_;
+    word_ref( rel ) ^= other.word0_;
+    for ( size_t i = 0u; i < other.tail_.size(); ++i )
+    {
+      word_ref( rel + 1u + static_cast<uint32_t>( i ) ) ^= other.tail_[i];
+    }
+    normalize();
+    return *this;
+  }
+
+  bitvec& operator&=( const bitvec& other )
+  {
+    word0_ &= other.word_at( offset_ );
+    for ( size_t i = 0u; i < tail_.size(); ++i )
+    {
+      tail_[i] &= other.word_at( offset_ + 1u + static_cast<uint32_t>( i ) );
+    }
+    normalize();
+    return *this;
+  }
+
+  friend bitvec operator^( bitvec a, const bitvec& b )
+  {
+    a ^= b;
+    return a;
+  }
+
+  friend bitvec operator&( bitvec a, const bitvec& b )
+  {
+    a &= b;
+    return a;
+  }
+
+  /*! \brief Parity of the AND of two vectors (GF(2) inner product). */
+  friend bool inner_parity( const bitvec& a, const bitvec& b ) noexcept
+  {
+    const bitvec* lo = &a;
+    const bitvec* hi = &b;
+    if ( hi->offset_ < lo->offset_ )
+    {
+      const bitvec* t = lo;
+      lo = hi;
+      hi = t;
+    }
+    uint32_t ones = 0u;
+    ones += popcount64( hi->word0_ & lo->word_at( hi->offset_ ) );
+    for ( size_t i = 0u; i < hi->tail_.size(); ++i )
+    {
+      ones += popcount64( hi->tail_[i] &
+                          lo->word_at( hi->offset_ + 1u + static_cast<uint32_t>( i ) ) );
+    }
+    return ( ones & 1u ) != 0u;
+  }
+
+  bool operator==( const bitvec& other ) const = default;
+
+  /*! \brief Numeric (MSB-first) order; a strict weak order for maps. */
+  bool operator<( const bitvec& other ) const noexcept
+  {
+    const uint32_t end_a = none() ? 0u : end_word();
+    const uint32_t end_b = other.none() ? 0u : other.end_word();
+    if ( end_a != end_b )
+    {
+      return end_a < end_b;
+    }
+    for ( uint32_t word = end_a; word-- > 0u; )
+    {
+      const uint64_t wa = word_at( word );
+      const uint64_t wb = other.word_at( word );
+      if ( wa != wb )
+      {
+        return wa < wb;
+      }
+    }
+    return false;
+  }
+
+  size_t hash() const noexcept
+  {
+    uint64_t state = mix( word0_ ^ ( uint64_t{ offset_ } * 0x9e3779b97f4a7c15ull ) );
+    for ( const uint64_t word : tail_ )
+    {
+      state = mix( state ^ word );
+    }
+    return static_cast<size_t>( state );
+  }
+
+  /*! \brief Calls `fn(index)` for every set bit in increasing order. */
+  template<typename Fn>
+  void for_each_set_bit( Fn&& fn ) const
+  {
+    uint32_t base = 64u * offset_;
+    for ( uint64_t word = word0_; word != 0u; word &= word - 1u )
+    {
+      fn( base + least_significant_bit( word ) );
+    }
+    for ( size_t i = 0u; i < tail_.size(); ++i )
+    {
+      base = 64u * ( offset_ + static_cast<uint32_t>( i ) + 1u );
+      for ( uint64_t word = tail_[i]; word != 0u; word &= word - 1u )
+      {
+        fn( base + least_significant_bit( word ) );
+      }
+    }
+  }
+
+  /*! \brief Set-bit list, e.g. "{0, 3, 65}". */
+  std::string to_string() const
+  {
+    std::string result = "{";
+    for_each_set_bit( [&result]( uint32_t index ) {
+      if ( result.size() > 1u )
+      {
+        result += ", ";
+      }
+      result += std::to_string( index );
+    } );
+    result += "}";
+    return result;
+  }
+
+private:
+  static constexpr uint64_t mix( uint64_t x ) noexcept
+  {
+    x ^= x >> 30u;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27u;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31u;
+    return x;
+  }
+
+  /*! One past the highest stored word index. */
+  uint32_t end_word() const noexcept
+  {
+    return offset_ + 1u + static_cast<uint32_t>( tail_.size() );
+  }
+
+  /*! Stored word at global index `word`, zero outside the span. */
+  uint64_t word_at( uint32_t word ) const noexcept
+  {
+    if ( word < offset_ )
+    {
+      return 0u;
+    }
+    const uint32_t rel = word - offset_;
+    if ( rel == 0u )
+    {
+      return word0_;
+    }
+    return rel - 1u < tail_.size() ? tail_[rel - 1u] : 0u;
+  }
+
+  uint64_t& word_ref( uint32_t rel ) noexcept
+  {
+    return rel == 0u ? word0_ : tail_[rel - 1u];
+  }
+
+  /*! Grows the span by `extra` zero words at the front (offset_ drops). */
+  void grow_front( uint32_t extra )
+  {
+    tail_.insert( tail_.begin(), extra, 0u );
+    tail_[extra - 1u] = word0_;
+    word0_ = 0u;
+    offset_ -= extra;
+  }
+
+  /*! Mutable word at global index `word`, growing the span as needed. */
+  uint64_t& writable_word( uint32_t word )
+  {
+    if ( word < offset_ )
+    {
+      grow_front( offset_ - word );
+    }
+    const uint32_t rel = word - offset_;
+    if ( rel > tail_.size() )
+    {
+      tail_.resize( rel, 0u );
+    }
+    return word_ref( rel );
+  }
+
+  /*! Restores both-ends normalization after a mutation. */
+  void normalize() noexcept
+  {
+    while ( !tail_.empty() && tail_.back() == 0u )
+    {
+      tail_.pop_back();
+    }
+    if ( word0_ != 0u )
+    {
+      return;
+    }
+    size_t first = 0u;
+    while ( first < tail_.size() && tail_[first] == 0u )
+    {
+      ++first;
+    }
+    if ( first == tail_.size() )
+    {
+      clear();
+      return;
+    }
+    offset_ += static_cast<uint32_t>( first ) + 1u;
+    word0_ = tail_[first];
+    tail_.erase( tail_.begin(), tail_.begin() + static_cast<ptrdiff_t>( first ) + 1u );
+  }
+
+  uint32_t offset_ = 0u;        /*!< global index of the first stored word */
+  uint64_t word0_ = 0u;         /*!< word `offset_`, stored inline */
+  std::vector<uint64_t> tail_;  /*!< words offset_+1.., no trailing zeros */
+};
 
 /*! \brief The six canonical single-word projection masks x_0 .. x_5.
  *

@@ -1,45 +1,13 @@
 /*! \file linear_synthesis.hpp
- *  \brief CNOT (linear reversible) circuit synthesis, Patel-Markov-Hayes.
+ *  \brief Forwarding header: PMH linear synthesis moved to phasepoly/.
  *
- *  CNOT-only circuits compute invertible linear maps over GF(2).  The
- *  asymptotically optimal O(n^2 / log n) algorithm of Patel, Markov and
- *  Hayes re-synthesizes such maps with block-wise Gaussian elimination;
- *  applied to the linear regions left behind by synthesis it reduces
- *  CNOT counts (a standard companion of the T-count optimization in the
- *  paper's Eq. (5) pipeline).
+ *  The Patel-Markov-Hayes synthesizer is the linear epilogue of the
+ *  phase-polynomial subsystem and now lives in
+ *  `phasepoly/linear_synthesis.hpp` (with dynamic-width rows instead of
+ *  the former 64-qubit cap, and affine X handling).  This header keeps
+ *  the historical include path working; new code should include the
+ *  phasepoly path directly.
  */
 #pragma once
 
-#include "quantum/qcircuit.hpp"
-
-#include <cstdint>
-#include <vector>
-
-namespace qda
-{
-
-/*! \brief An invertible linear map over GF(2): row i holds the mask of
- *         inputs XORed into output i.
- */
-using linear_matrix = std::vector<uint64_t>;
-
-/*! \brief Extracts the linear map of a CNOT/SWAP-only circuit.
- *         Throws std::invalid_argument on other gates.
- */
-linear_matrix linear_map_of_circuit( const qcircuit& circuit );
-
-/*! \brief True if the matrix is invertible over GF(2). */
-bool is_invertible( const linear_matrix& matrix );
-
-/*! \brief Synthesizes a CNOT circuit computing `matrix` with the
- *         Patel-Markov-Hayes block algorithm (`section_size` columns per
- *         block; 2 is a good default for n <= 64).
- */
-qcircuit pmh_linear_synthesis( const linear_matrix& matrix, uint32_t section_size = 2u );
-
-/*! \brief Re-synthesizes maximal CNOT runs inside a circuit with PMH,
- *         leaving other gates untouched.
- */
-qcircuit resynthesize_linear_regions( const qcircuit& circuit, uint32_t section_size = 2u );
-
-} // namespace qda
+#include "phasepoly/linear_synthesis.hpp"

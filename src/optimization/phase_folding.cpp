@@ -1,262 +1,13 @@
 #include "optimization/phase_folding.hpp"
 
-#include <cmath>
-#include <map>
-#include <numbers>
-#include <optional>
-#include <vector>
+#include "phasepoly/fold.hpp"
 
 namespace qda
 {
 
-namespace
-{
-
-constexpr double pi = std::numbers::pi;
-
-/*! Phase angle contributed by a phase-type gate, if it is one. */
-std::optional<double> phase_angle( gate_kind kind, double gate_angle )
-{
-  switch ( kind )
-  {
-  case gate_kind::z:
-    return pi;
-  case gate_kind::s:
-    return pi / 2.0;
-  case gate_kind::sdg:
-    return -pi / 2.0;
-  case gate_kind::t:
-    return pi / 4.0;
-  case gate_kind::tdg:
-    return -pi / 4.0;
-  case gate_kind::rz:
-    return gate_angle;
-  default:
-    return std::nullopt;
-  }
-}
-
-/*! Affine label of a qubit: parity of region variables plus a constant. */
-struct affine_label
-{
-  uint64_t mask = 0u;
-  bool constant = false;
-};
-
-struct phase_term
-{
-  double angle = 0.0;        /*!< accumulated parity-phase coefficient */
-  uint32_t anchor_slot = 0u; /*!< storage slot where the merged gate is emitted */
-  bool anchor_constant = false;
-};
-
-qgate make_phase_gate( gate_kind kind, uint32_t qubit )
-{
-  qgate gate;
-  gate.kind = kind;
-  gate.target = qubit;
-  return gate;
-}
-
-/*! Collects e^{i alpha v} on `qubit` as canonical Clifford+T gates when
- *  alpha is a multiple of pi/4, else as one Rz (global phase returned).
- */
-double collect_phase_gates( std::vector<qgate>& out, uint32_t qubit, double alpha )
-{
-  /* normalize into [0, 2 pi) */
-  alpha = std::fmod( alpha, 2.0 * pi );
-  if ( alpha < 0.0 )
-  {
-    alpha += 2.0 * pi;
-  }
-  const double steps = alpha / ( pi / 4.0 );
-  const long k = std::lround( steps );
-  if ( std::abs( steps - static_cast<double>( k ) ) < 1e-9 )
-  {
-    switch ( k % 8 )
-    {
-    case 0: break;
-    case 1: out.push_back( make_phase_gate( gate_kind::t, qubit ) ); break;
-    case 2: out.push_back( make_phase_gate( gate_kind::s, qubit ) ); break;
-    case 3:
-      out.push_back( make_phase_gate( gate_kind::s, qubit ) );
-      out.push_back( make_phase_gate( gate_kind::t, qubit ) );
-      break;
-    case 4: out.push_back( make_phase_gate( gate_kind::z, qubit ) ); break;
-    case 5:
-      out.push_back( make_phase_gate( gate_kind::z, qubit ) );
-      out.push_back( make_phase_gate( gate_kind::t, qubit ) );
-      break;
-    case 6: out.push_back( make_phase_gate( gate_kind::sdg, qubit ) ); break;
-    case 7: out.push_back( make_phase_gate( gate_kind::tdg, qubit ) ); break;
-    }
-    return 0.0;
-  }
-  /* Rz(alpha) = e^{-i alpha/2} diag(1, e^{i alpha}) */
-  qgate rz = make_phase_gate( gate_kind::rz, qubit );
-  rz.angle = alpha;
-  out.push_back( rz );
-  return alpha / 2.0;
-}
-
-} // namespace
-
 void phase_folding_in_place( qcircuit& circuit )
 {
-  const uint32_t num_qubits = circuit.num_qubits();
-  auto& core = circuit.core();
-  core.compact(); /* pass 1 records slots; start from dense storage */
-
-  std::vector<affine_label> labels( num_qubits );
-  uint32_t next_variable = 0u;
-  uint64_t epoch = 0u;
-
-  const auto fresh_label = [&]( uint32_t qubit ) {
-    if ( next_variable >= 64u )
-    {
-      /* variable space exhausted: start a new epoch so stale masks never
-       * merge with new ones */
-      ++epoch;
-      next_variable = 0u;
-      for ( auto& label : labels )
-      {
-        label = { uint64_t{ 1 } << next_variable, false };
-        ++next_variable;
-        if ( next_variable >= 64u )
-        {
-          ++epoch;
-          next_variable = 0u;
-        }
-      }
-    }
-    labels[qubit] = { uint64_t{ 1 } << next_variable, false };
-    ++next_variable;
-  };
-
-  for ( uint32_t qubit = 0u; qubit < num_qubits; ++qubit )
-  {
-    fresh_label( qubit );
-  }
-
-  /* pass 1: collect phase terms keyed by (epoch, parity mask) */
-  std::map<std::pair<uint64_t, uint64_t>, phase_term> terms;
-  std::map<uint32_t, std::pair<uint64_t, uint64_t>> anchors; /* slot -> key */
-  double global_phase_total = 0.0;
-
-  const auto& cols = core.columns();
-  for ( uint32_t slot = 0u; slot < core.num_slots(); ++slot )
-  {
-    const auto kind = cols.kind[slot];
-    const uint32_t target = cols.target[slot];
-    if ( const auto angle = phase_angle( kind, cols.angle_of( slot ) ) )
-    {
-      if ( kind == gate_kind::rz )
-      {
-        global_phase_total -= *angle / 2.0; /* Rz carries a global factor */
-      }
-      const auto& label = labels[target];
-      if ( label.mask == 0u )
-      {
-        /* phase on a constant value: pure global phase */
-        if ( label.constant )
-        {
-          global_phase_total += *angle;
-        }
-        continue;
-      }
-      const auto key = std::make_pair( epoch, label.mask );
-      auto [it, inserted] = terms.try_emplace( key );
-      if ( inserted )
-      {
-        it->second.anchor_slot = slot;
-        it->second.anchor_constant = label.constant;
-        anchors.emplace( slot, key );
-      }
-      if ( label.constant )
-      {
-        it->second.angle -= *angle;
-        global_phase_total += *angle;
-      }
-      else
-      {
-        it->second.angle += *angle;
-      }
-      continue;
-    }
-
-    switch ( kind )
-    {
-    case gate_kind::x:
-      labels[target].constant = !labels[target].constant;
-      break;
-    case gate_kind::cx:
-    {
-      const uint32_t control = cols.controls_of( slot )[0];
-      labels[target].mask ^= labels[control].mask;
-      labels[target].constant = labels[target].constant != labels[control].constant;
-      break;
-    }
-    case gate_kind::swap:
-      std::swap( labels[target], labels[cols.target2[slot]] );
-      break;
-    case gate_kind::cz:
-    case gate_kind::mcz:
-    case gate_kind::barrier:
-    case gate_kind::global_phase:
-      break; /* diagonal or neutral: labels unchanged */
-    case gate_kind::mcx:
-      fresh_label( target ); /* value becomes non-affine */
-      break;
-    default:
-      /* h, y, rx, ry, measure: value no longer tracked */
-      fresh_label( target );
-      break;
-    }
-  }
-
-  /* pass 2: rewrite in place, emitting merged phases at their anchors */
-  auto rewriter = circuit.rewrite();
-  std::vector<qgate> merged;
-  for ( uint32_t slot = 0u; slot < core.num_slots(); ++slot )
-  {
-    if ( !phase_angle( cols.kind[slot], cols.angle_of( slot ) ) )
-    {
-      continue;
-    }
-    const uint32_t target = cols.target[slot];
-    rewriter.erase_slot( slot );
-    const auto anchor = anchors.find( slot );
-    if ( anchor == anchors.end() )
-    {
-      continue; /* folded away */
-    }
-    const auto& term = terms.at( anchor->second );
-    double alpha = term.angle;
-    if ( term.anchor_constant )
-    {
-      /* gate acts on the complemented value: emit -alpha, compensate */
-      global_phase_total += alpha;
-      alpha = -alpha;
-    }
-    /* Rz(alpha) carries an extra e^{-i alpha/2}; compensate so the
-     * rewritten circuit equals the original exactly */
-    merged.clear();
-    global_phase_total += collect_phase_gates( merged, target, alpha );
-    for ( const auto& gate : merged )
-    {
-      rewriter.insert_before_slot( slot, gate );
-    }
-  }
-
-  global_phase_total = std::fmod( global_phase_total, 2.0 * pi );
-  if ( std::abs( global_phase_total ) > 1e-12 )
-  {
-    qgate phase;
-    phase.kind = gate_kind::global_phase;
-    phase.angle = global_phase_total;
-    rewriter.append( phase );
-  }
-  rewriter.commit();
+  phasepoly::fold_phases_in_place( circuit );
 }
 
 qcircuit phase_folding( const qcircuit& circuit )

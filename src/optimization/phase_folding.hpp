@@ -1,17 +1,15 @@
 /*! \file phase_folding.hpp
- *  \brief Phase-polynomial folding: the T-count optimization stage.
+ *  \brief Phase folding: the fold-only client of the phase-polynomial
+ *         subsystem.
  *
- *  Stand-in for the paper's `tpar` stage (Amy-Maslov-Mosca [69]): inside
- *  regions of {CNOT, X, SWAP, phase} gates, the value of every qubit is
- *  an affine function of the region's inputs.  Phase gates (T, S, Z and
- *  adjoints, Rz) applied to the *same* affine value merge into a single
- *  phase gate, cancelling or combining T gates.  Hadamards and other
- *  non-affine gates re-seed the tracked labels.
- *
- *  Unlike full T-par no re-scheduling for T-depth is attempted; the
- *  circuit structure is preserved and only phase gates move/merge, which
- *  keeps the pass trivially functionality-preserving (up to global
- *  phase, which is tracked explicitly).
+ *  Historically this file implemented the stand-in for the paper's
+ *  `tpar` stage (Amy-Maslov-Mosca [69]) directly, with parity labels
+ *  capped at 64 variables.  The engine now lives in `src/phasepoly/`
+ *  with unbounded dynamic-width labels; these entry points run the
+ *  fold-only half (merge/cancel phase gates, keep the CNOT skeleton),
+ *  which keeps the pass trivially functionality-preserving (up to the
+ *  explicitly tracked global phase).  For the full T-par including
+ *  parity-network resynthesis use `phasepoly::tpar_in_place`.
  */
 #pragma once
 

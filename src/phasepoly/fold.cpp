@@ -1,0 +1,169 @@
+#include "phasepoly/fold.hpp"
+
+#include "phasepoly/parity_table.hpp"
+#include "phasepoly/phase_polynomial.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace qda::phasepoly
+{
+
+namespace
+{
+
+constexpr double pi = std::numbers::pi;
+
+struct fold_term
+{
+  double angle = 0.0;        /*!< accumulated parity-phase coefficient */
+  uint32_t anchor_slot = 0u; /*!< storage slot where the merged gate is emitted */
+  bool anchor_constant = false;
+};
+
+} // namespace
+
+void fold_phases_in_place( qcircuit& circuit )
+{
+  const uint32_t num_qubits = circuit.num_qubits();
+  auto& core = circuit.core();
+  core.compact(); /* pass 1 records slots; start from dense storage */
+
+  /* affine label per qubit: parity of introduced variables + complement */
+  std::vector<bitvec> labels( num_qubits );
+  std::vector<uint8_t> constants( num_qubits, 0u );
+  uint32_t next_variable = 0u;
+
+  const auto fresh_label = [&]( uint32_t qubit ) {
+    labels[qubit].clear();
+    labels[qubit].set( next_variable++ );
+    constants[qubit] = 0u;
+  };
+
+  for ( uint32_t qubit = 0u; qubit < num_qubits; ++qubit )
+  {
+    fresh_label( qubit );
+  }
+
+  /* pass 1: collect phase terms keyed by parity label */
+  constexpr uint32_t no_anchor = 0xffffffffu;
+  parity_table table;
+  std::vector<fold_term> terms;
+  std::vector<uint32_t> anchor_of( core.num_slots(), no_anchor ); /* slot -> term */
+  double global_phase_total = 0.0;
+
+  const auto& cols = core.columns();
+  for ( uint32_t slot = 0u; slot < core.num_slots(); ++slot )
+  {
+    const auto kind = cols.kind[slot];
+    const uint32_t target = cols.target[slot];
+    if ( const auto angle = phase_angle_of( kind, cols.angle_of( slot ) ) )
+    {
+      if ( kind == gate_kind::rz )
+      {
+        global_phase_total -= *angle / 2.0; /* Rz carries a global factor */
+      }
+      if ( labels[target].none() )
+      {
+        /* phase on a constant value: pure global phase */
+        if ( constants[target] )
+        {
+          global_phase_total += *angle;
+        }
+        continue;
+      }
+      const auto [index, inserted] = table.find_or_insert( labels[target] );
+      if ( inserted )
+      {
+        terms.push_back( { 0.0, slot, constants[target] != 0u } );
+        anchor_of[slot] = index;
+      }
+      if ( constants[target] != 0u )
+      {
+        terms[index].angle -= *angle;
+        global_phase_total += *angle;
+      }
+      else
+      {
+        terms[index].angle += *angle;
+      }
+      continue;
+    }
+
+    switch ( kind )
+    {
+    case gate_kind::x:
+      constants[target] ^= 1u;
+      break;
+    case gate_kind::cx:
+    {
+      const uint32_t control = cols.controls_of( slot )[0];
+      labels[target] ^= labels[control];
+      constants[target] ^= constants[control];
+      break;
+    }
+    case gate_kind::swap:
+    {
+      const uint32_t other = cols.target2[slot];
+      std::swap( labels[target], labels[other] );
+      std::swap( constants[target], constants[other] );
+      break;
+    }
+    case gate_kind::cz:
+    case gate_kind::mcz:
+    case gate_kind::barrier:
+    case gate_kind::global_phase:
+      break; /* diagonal or neutral: labels unchanged */
+    default:
+      /* h, y, rx, ry, mcx, measure: value no longer tracked */
+      fresh_label( target );
+      break;
+    }
+  }
+
+  /* pass 2: rewrite in place, emitting merged phases at their anchors */
+  auto rewriter = circuit.rewrite();
+  std::vector<qgate> merged;
+  for ( uint32_t slot = 0u; slot < core.num_slots(); ++slot )
+  {
+    if ( !phase_angle_of( cols.kind[slot], cols.angle_of( slot ) ) )
+    {
+      continue;
+    }
+    const uint32_t target = cols.target[slot];
+    rewriter.erase_slot( slot );
+    if ( anchor_of[slot] == no_anchor )
+    {
+      continue; /* folded away */
+    }
+    const auto& term = terms[anchor_of[slot]];
+    double alpha = term.angle;
+    if ( term.anchor_constant )
+    {
+      /* gate acts on the complemented value: emit -alpha, compensate */
+      global_phase_total += alpha;
+      alpha = -alpha;
+    }
+    /* Rz(alpha) carries an extra e^{-i alpha/2}; compensate so the
+     * rewritten circuit equals the original exactly */
+    merged.clear();
+    global_phase_total += emit_phase_gates( merged, target, alpha );
+    for ( const auto& gate : merged )
+    {
+      rewriter.insert_before_slot( slot, gate );
+    }
+  }
+
+  global_phase_total = std::fmod( global_phase_total, 2.0 * pi );
+  if ( std::abs( global_phase_total ) > 1e-12 )
+  {
+    qgate phase;
+    phase.kind = gate_kind::global_phase;
+    phase.angle = global_phase_total;
+    rewriter.append( phase );
+  }
+  rewriter.commit();
+}
+
+} // namespace qda::phasepoly

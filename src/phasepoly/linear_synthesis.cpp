@@ -1,36 +1,63 @@
-#include "optimization/linear_synthesis.hpp"
+#include "phasepoly/linear_synthesis.hpp"
 
 #include <algorithm>
 #include <map>
 #include <stdexcept>
+#include <utility>
 
 namespace qda
 {
 
-linear_matrix linear_map_of_circuit( const qcircuit& circuit )
+linear_matrix identity_matrix( uint32_t n )
 {
-  linear_matrix matrix( circuit.num_qubits() );
-  for ( uint32_t row = 0u; row < circuit.num_qubits(); ++row )
+  linear_matrix matrix( n );
+  for ( uint32_t row = 0u; row < n; ++row )
   {
-    matrix[row] = uint64_t{ 1 } << row;
+    matrix[row].set( row );
   }
+  return matrix;
+}
+
+affine_map affine_map_of_circuit( const qcircuit& circuit )
+{
+  affine_map map{ identity_matrix( circuit.num_qubits() ), {} };
   for ( const auto& gate : circuit.gates() )
   {
     switch ( gate.kind )
     {
     case gate_kind::cx:
-      matrix[gate.target] ^= matrix[gate.controls[0]];
+    {
+      const uint32_t control = gate.controls[0];
+      map.linear[gate.target] ^= map.linear[control];
+      if ( map.constants.test( control ) )
+      {
+        map.constants.flip( gate.target );
+      }
       break;
+    }
     case gate_kind::swap:
-      std::swap( matrix[gate.target], matrix[gate.target2] );
+      std::swap( map.linear[gate.target], map.linear[gate.target2] );
+      if ( map.constants.test( gate.target ) != map.constants.test( gate.target2 ) )
+      {
+        map.constants.flip( gate.target );
+        map.constants.flip( gate.target2 );
+      }
+      break;
+    case gate_kind::x:
+      map.constants.flip( gate.target );
       break;
     case gate_kind::barrier:
       break;
     default:
-      throw std::invalid_argument( "linear_map_of_circuit: non-linear gate" );
+      throw std::invalid_argument( "affine_map_of_circuit: non-affine gate" );
     }
   }
-  return matrix;
+  return map;
+}
+
+linear_matrix linear_map_of_circuit( const qcircuit& circuit )
+{
+  return affine_map_of_circuit( circuit ).linear;
 }
 
 bool is_invertible( const linear_matrix& matrix )
@@ -40,7 +67,7 @@ bool is_invertible( const linear_matrix& matrix )
   for ( uint32_t col = 0u; col < n; ++col )
   {
     uint32_t pivot = col;
-    while ( pivot < n && !( ( work[pivot] >> col ) & 1u ) )
+    while ( pivot < n && !work[pivot].test( col ) )
     {
       ++pivot;
     }
@@ -51,7 +78,7 @@ bool is_invertible( const linear_matrix& matrix )
     std::swap( work[col], work[pivot] );
     for ( uint32_t row = 0u; row < n; ++row )
     {
-      if ( row != col && ( ( work[row] >> col ) & 1u ) )
+      if ( row != col && work[row].test( col ) )
       {
         work[row] ^= work[col];
       }
@@ -76,16 +103,18 @@ std::vector<row_op> lower_synth( linear_matrix& matrix, uint32_t section_size )
   for ( uint32_t section_start = 0u; section_start < n; section_start += section_size )
   {
     const uint32_t section_end = std::min( section_start + section_size, n );
-    const uint64_t section_mask = ( section_end >= 64u ? ~uint64_t{ 0 }
-                                                       : ( uint64_t{ 1 } << section_end ) - 1u ) &
-                                  ~( ( uint64_t{ 1 } << section_start ) - 1u );
+    bitvec section_mask;
+    for ( uint32_t col = section_start; col < section_end; ++col )
+    {
+      section_mask.set( col );
+    }
 
     /* step A: merge rows with identical sub-row patterns */
-    std::map<uint64_t, uint32_t> patterns;
+    std::map<bitvec, uint32_t> patterns;
     for ( uint32_t row = section_start; row < n; ++row )
     {
-      const uint64_t sub = matrix[row] & section_mask;
-      if ( sub == 0u )
+      const bitvec sub = matrix[row] & section_mask;
+      if ( sub.none() )
       {
         continue;
       }
@@ -103,10 +132,10 @@ std::vector<row_op> lower_synth( linear_matrix& matrix, uint32_t section_size )
     /* step B: Gaussian elimination inside the section */
     for ( uint32_t col = section_start; col < section_end; ++col )
     {
-      if ( !( ( matrix[col] >> col ) & 1u ) )
+      if ( !matrix[col].test( col ) )
       {
         uint32_t pivot = col + 1u;
-        while ( pivot < n && !( ( matrix[pivot] >> col ) & 1u ) )
+        while ( pivot < n && !matrix[pivot].test( col ) )
         {
           ++pivot;
         }
@@ -119,7 +148,7 @@ std::vector<row_op> lower_synth( linear_matrix& matrix, uint32_t section_size )
       }
       for ( uint32_t row = col + 1u; row < n; ++row )
       {
-        if ( ( matrix[row] >> col ) & 1u )
+        if ( matrix[row].test( col ) )
         {
           matrix[row] ^= matrix[col];
           ops.emplace_back( col, row );
@@ -133,33 +162,28 @@ std::vector<row_op> lower_synth( linear_matrix& matrix, uint32_t section_size )
 linear_matrix transpose( const linear_matrix& matrix )
 {
   const uint32_t n = static_cast<uint32_t>( matrix.size() );
-  linear_matrix result( n, 0u );
+  linear_matrix result( n );
   for ( uint32_t row = 0u; row < n; ++row )
   {
-    for ( uint32_t col = 0u; col < n; ++col )
-    {
-      if ( ( matrix[row] >> col ) & 1u )
-      {
-        result[col] |= uint64_t{ 1 } << row;
-      }
-    }
+    matrix[row].for_each_set_bit( [&result, row]( uint32_t col ) {
+      result[col].set( row );
+    } );
   }
   return result;
 }
 
 } // namespace
 
-qcircuit pmh_linear_synthesis( const linear_matrix& matrix, uint32_t section_size )
+namespace detail
 {
-  if ( matrix.size() > 64u )
-  {
-    throw std::invalid_argument( "pmh_linear_synthesis: at most 64 qubits" );
-  }
+
+std::vector<std::pair<uint32_t, uint32_t>> pmh_cnot_ops( const linear_matrix& matrix,
+                                                         uint32_t section_size )
+{
   if ( section_size == 0u )
   {
     throw std::invalid_argument( "pmh_linear_synthesis: section size must be positive" );
   }
-  const uint32_t n = static_cast<uint32_t>( matrix.size() );
 
   linear_matrix work = matrix;
   const auto phase1 = lower_synth( work, section_size );          /* work now upper triangular */
@@ -169,14 +193,27 @@ qcircuit pmh_linear_synthesis( const linear_matrix& matrix, uint32_t section_siz
   /* composition (see derivation in the unit tests):
    *   gates = phase2 ops in emission order with control/target swapped,
    *           then phase1 ops in reverse emission order               */
-  qcircuit circuit( n );
+  std::vector<std::pair<uint32_t, uint32_t>> ops;
+  ops.reserve( phase1.size() + phase2.size() );
   for ( const auto& [control, target] : phase2 )
   {
-    circuit.cx( target, control );
+    ops.emplace_back( target, control );
   }
   for ( auto it = phase1.rbegin(); it != phase1.rend(); ++it )
   {
-    circuit.cx( it->first, it->second );
+    ops.emplace_back( it->first, it->second );
+  }
+  return ops;
+}
+
+} // namespace detail
+
+qcircuit pmh_linear_synthesis( const linear_matrix& matrix, uint32_t section_size )
+{
+  qcircuit circuit( static_cast<uint32_t>( matrix.size() ) );
+  for ( const auto& [control, target] : detail::pmh_cnot_ops( matrix, section_size ) )
+  {
+    circuit.cx( control, target );
   }
   return circuit;
 }
@@ -214,7 +251,7 @@ qcircuit resynthesize_linear_regions( const qcircuit& circuit, uint32_t section_
     {
       local_of[touched[i]] = i;
     }
-    /* extract the local linear map */
+    /* extract the local affine map */
     qcircuit local( static_cast<uint32_t>( touched.size() ) );
     for ( const auto& gate : region )
     {
@@ -222,12 +259,20 @@ qcircuit resynthesize_linear_regions( const qcircuit& circuit, uint32_t section_
       {
         local.cx( local_of[gate.controls[0]], local_of[gate.target] );
       }
-      else
+      else if ( gate.kind == gate_kind::swap )
       {
         local.swap_( local_of[gate.target], local_of[gate.target2] );
       }
+      else
+      {
+        local.x( local_of[gate.target] );
+      }
     }
-    auto resynthesized = pmh_linear_synthesis( linear_map_of_circuit( local ), section_size );
+    const auto map = affine_map_of_circuit( local );
+    auto resynthesized = pmh_linear_synthesis( map.linear, section_size );
+    map.constants.for_each_set_bit( [&resynthesized]( uint32_t wire ) {
+      resynthesized.x( wire );
+    } );
     if ( resynthesized.num_gates() < region.size() )
     {
       result.append_mapped( resynthesized, touched );
@@ -244,7 +289,8 @@ qcircuit resynthesize_linear_regions( const qcircuit& circuit, uint32_t section_
 
   for ( const auto& gate : circuit.gates() )
   {
-    if ( gate.kind == gate_kind::cx || gate.kind == gate_kind::swap )
+    if ( gate.kind == gate_kind::cx || gate.kind == gate_kind::swap ||
+         gate.kind == gate_kind::x )
     {
       region.push_back( gate );
     }

@@ -1,0 +1,84 @@
+/*! \file linear_synthesis.hpp
+ *  \brief CNOT (linear reversible) circuit synthesis, Patel-Markov-Hayes.
+ *
+ *  CNOT-only circuits compute invertible linear maps over GF(2); with
+ *  X gates they compute affine maps (a linear part plus a constant
+ *  offset).  The asymptotically optimal O(n^2 / log n) algorithm of
+ *  Patel, Markov and Hayes re-synthesizes linear maps with block-wise
+ *  Gaussian elimination; it is the epilogue of the parity-network
+ *  resynthesizer (phasepoly/resynthesis.hpp) and a standalone
+ *  CNOT-count optimization (a standard companion of the T-count
+ *  optimization in the paper's Eq. (5) pipeline).
+ *
+ *  Rows are dynamic-width `bitvec`s since the unified phase-polynomial
+ *  subsystem landed, so the former 64-qubit cap is gone.
+ */
+#pragma once
+
+#include "kernel/bits.hpp"
+#include "quantum/qcircuit.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief An invertible linear map over GF(2): row i holds the mask of
+ *         inputs XORed into output i.
+ */
+using linear_matrix = std::vector<bitvec>;
+
+/*! \brief An affine map over GF(2): output i = linear[i] . x (+)
+ *         constants[i].  Computed by CNOT/SWAP/X circuits.
+ */
+struct affine_map
+{
+  linear_matrix linear;
+  bitvec constants;
+};
+
+/*! \brief The n x n identity map. */
+linear_matrix identity_matrix( uint32_t n );
+
+/*! \brief Extracts the affine map of a CNOT/SWAP/X-only circuit.
+ *         Throws std::invalid_argument on other gates.
+ */
+affine_map affine_map_of_circuit( const qcircuit& circuit );
+
+/*! \brief Extracts the linear part of the map of a CNOT/SWAP/X-only
+ *         circuit (X gates contribute only to the affine constants,
+ *         which this accessor drops; use `affine_map_of_circuit` to
+ *         keep them).  Throws std::invalid_argument on other gates.
+ */
+linear_matrix linear_map_of_circuit( const qcircuit& circuit );
+
+/*! \brief True if the matrix is invertible over GF(2). */
+bool is_invertible( const linear_matrix& matrix );
+
+/*! \brief Synthesizes a CNOT circuit computing `matrix` with the
+ *         Patel-Markov-Hayes block algorithm (`section_size` columns per
+ *         block; 2 is a good default up to a few dozen qubits).
+ */
+qcircuit pmh_linear_synthesis( const linear_matrix& matrix, uint32_t section_size = 2u );
+
+namespace detail
+{
+
+/*! \brief The PMH CNOT list for `matrix` as (control, target) pairs in
+ *         application order, without materializing a circuit (the
+ *         allocation-free core of `pmh_linear_synthesis`, used per
+ *         region by the parity-network resynthesizer).
+ */
+std::vector<std::pair<uint32_t, uint32_t>> pmh_cnot_ops( const linear_matrix& matrix,
+                                                         uint32_t section_size );
+
+} // namespace detail
+
+/*! \brief Re-synthesizes maximal CNOT/SWAP/X runs inside a circuit with
+ *         PMH (X offsets re-applied after the linear network), leaving
+ *         other gates untouched.
+ */
+qcircuit resynthesize_linear_regions( const qcircuit& circuit, uint32_t section_size = 2u );
+
+} // namespace qda

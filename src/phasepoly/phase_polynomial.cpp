@@ -1,0 +1,202 @@
+#include "phasepoly/phase_polynomial.hpp"
+
+#include "phasepoly/parity_table.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace qda::phasepoly
+{
+
+namespace
+{
+
+constexpr double pi = std::numbers::pi;
+
+qgate make_phase_gate( gate_kind kind, uint32_t qubit )
+{
+  qgate gate;
+  gate.kind = kind;
+  gate.target = qubit;
+  return gate;
+}
+
+} // namespace
+
+std::optional<double> phase_angle_of( gate_kind kind, double gate_angle )
+{
+  switch ( kind )
+  {
+  case gate_kind::z:
+    return pi;
+  case gate_kind::s:
+    return pi / 2.0;
+  case gate_kind::sdg:
+    return -pi / 2.0;
+  case gate_kind::t:
+    return pi / 4.0;
+  case gate_kind::tdg:
+    return -pi / 4.0;
+  case gate_kind::rz:
+    return gate_angle;
+  default:
+    return std::nullopt;
+  }
+}
+
+double emit_phase_gates( std::vector<qgate>& out, uint32_t qubit, double alpha )
+{
+  /* normalize into [0, 2 pi) */
+  alpha = std::fmod( alpha, 2.0 * pi );
+  if ( alpha < 0.0 )
+  {
+    alpha += 2.0 * pi;
+  }
+  const double steps = alpha / ( pi / 4.0 );
+  const long k = std::lround( steps );
+  if ( std::abs( steps - static_cast<double>( k ) ) < 1e-9 )
+  {
+    switch ( k % 8 )
+    {
+    case 0: break;
+    case 1: out.push_back( make_phase_gate( gate_kind::t, qubit ) ); break;
+    case 2: out.push_back( make_phase_gate( gate_kind::s, qubit ) ); break;
+    case 3:
+      out.push_back( make_phase_gate( gate_kind::s, qubit ) );
+      out.push_back( make_phase_gate( gate_kind::t, qubit ) );
+      break;
+    case 4: out.push_back( make_phase_gate( gate_kind::z, qubit ) ); break;
+    case 5:
+      out.push_back( make_phase_gate( gate_kind::z, qubit ) );
+      out.push_back( make_phase_gate( gate_kind::t, qubit ) );
+      break;
+    case 6: out.push_back( make_phase_gate( gate_kind::sdg, qubit ) ); break;
+    case 7: out.push_back( make_phase_gate( gate_kind::tdg, qubit ) ); break;
+    }
+    return 0.0;
+  }
+  /* Rz(alpha) = e^{-i alpha/2} diag(1, e^{i alpha}) */
+  qgate rz = make_phase_gate( gate_kind::rz, qubit );
+  rz.angle = alpha;
+  out.push_back( rz );
+  return alpha / 2.0;
+}
+
+phase_polynomial extract_phase_polynomial( const qcircuit& circuit, uint32_t first_slot,
+                                           uint32_t end_slot,
+                                           const std::vector<uint32_t>& qubits )
+{
+  const uint32_t num_vars = static_cast<uint32_t>( qubits.size() );
+  std::vector<uint32_t> local_of( circuit.num_qubits(), 0u );
+  for ( uint32_t i = 0u; i < num_vars; ++i )
+  {
+    local_of[qubits[i]] = i;
+  }
+
+  phase_polynomial poly;
+  poly.num_vars = num_vars;
+
+  /* wire states: parity over region inputs plus a complement bit */
+  std::vector<bitvec> labels( num_vars );
+  bitvec constants;
+  for ( uint32_t i = 0u; i < num_vars; ++i )
+  {
+    labels[i].set( i );
+  }
+
+  parity_table table;
+  std::vector<double> angles;
+
+  const auto& core = circuit.core();
+  const auto& cols = core.columns();
+  for ( uint32_t slot = first_slot; slot < end_slot; ++slot )
+  {
+    if ( !core.slot_alive( slot ) )
+    {
+      continue;
+    }
+    const auto kind = cols.kind[slot];
+    const uint32_t target = cols.target[slot];
+    if ( const auto angle = phase_angle_of( kind, cols.angle_of( slot ) ) )
+    {
+      if ( kind == gate_kind::rz )
+      {
+        poly.global_phase -= *angle / 2.0; /* Rz carries a global factor */
+      }
+      const uint32_t wire = local_of[target];
+      const bool complemented = constants.test( wire );
+      if ( labels[wire].none() )
+      {
+        if ( complemented )
+        {
+          poly.global_phase += *angle;
+        }
+        continue;
+      }
+      const auto [index, inserted] = table.find_or_insert( labels[wire] );
+      if ( inserted )
+      {
+        angles.push_back( 0.0 );
+      }
+      if ( complemented )
+      {
+        /* theta (1 (+) v) = theta - theta v */
+        angles[index] -= *angle;
+        poly.global_phase += *angle;
+      }
+      else
+      {
+        angles[index] += *angle;
+      }
+      continue;
+    }
+    switch ( kind )
+    {
+    case gate_kind::x:
+      constants.flip( local_of[target] );
+      break;
+    case gate_kind::cx:
+    {
+      const uint32_t control = local_of[cols.controls_of( slot )[0]];
+      const uint32_t wire = local_of[target];
+      labels[wire] ^= labels[control];
+      if ( constants.test( control ) )
+      {
+        constants.flip( wire );
+      }
+      break;
+    }
+    case gate_kind::swap:
+    {
+      const uint32_t a = local_of[target];
+      const uint32_t b = local_of[cols.target2[slot]];
+      std::swap( labels[a], labels[b] );
+      if ( constants.test( a ) != constants.test( b ) )
+      {
+        constants.flip( a );
+        constants.flip( b );
+      }
+      break;
+    }
+    case gate_kind::global_phase:
+      poly.global_phase += cols.angle_of( slot );
+      break;
+    case gate_kind::barrier:
+      break;
+    default:
+      throw std::logic_error( "extract_phase_polynomial: non-affine gate in region" );
+    }
+  }
+
+  poly.terms.reserve( table.size() );
+  for ( uint32_t index = 0u; index < table.size(); ++index )
+  {
+    poly.terms.push_back( { table.key( index ), angles[index] } );
+  }
+  poly.output_linear = std::move( labels );
+  poly.output_constants = std::move( constants );
+  return poly;
+}
+
+} // namespace qda::phasepoly

@@ -1,0 +1,73 @@
+/*! \file phase_polynomial.hpp
+ *  \brief The phase-polynomial IR of the T-count optimization stage.
+ *
+ *  Inside a region of {CNOT, X, SWAP, phase} gates every qubit carries
+ *  an affine function of the region's inputs, and the region's unitary
+ *  factors as
+ *
+ *      |x>  ->  e^{i (g + sum_p a_p (p . x))} |F x (+) f>
+ *
+ *  i.e. a phase polynomial (terms `a_p` over parities `p`), an
+ *  invertible linear map `F`, a constant offset `f`, and a global
+ *  phase `g`.  This is the canonical mid-level IR of T-par-style
+ *  optimizers (Amy-Maslov-Mosca, paper ref [69]): merging terms with
+ *  equal parity cancels phases, and the CNOT skeleton can be rebuilt
+ *  from scratch by parity-network synthesis (resynthesis.hpp).
+ *
+ *  Parities are dynamic-width `bitvec`s, so neither the number of
+ *  region variables nor the qubit count is capped at 64 (the former
+ *  stand-in's "epoch" hack).
+ */
+#pragma once
+
+#include "kernel/bits.hpp"
+#include "quantum/qcircuit.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace qda::phasepoly
+{
+
+/*! \brief Diagonal-phase angle contributed by a phase-type gate
+ *         (z, s, sdg, t, tdg, rz), or nullopt for other kinds.
+ */
+std::optional<double> phase_angle_of( gate_kind kind, double gate_angle );
+
+/*! \brief Emits e^{i alpha v} on `qubit` as canonical Clifford+T gates
+ *         when alpha is a multiple of pi/4, else as one Rz.  Returns
+ *         the global-phase compensation the caller must accumulate so
+ *         the emitted gates equal the diagonal exactly.
+ */
+double emit_phase_gates( std::vector<qgate>& out, uint32_t qubit, double alpha );
+
+/*! \brief One parity-phase term: angle `angle` on parity `parity`. */
+struct phase_term
+{
+  bitvec parity;
+  double angle = 0.0;
+};
+
+/*! \brief A region's phase polynomial plus its affine output map. */
+struct phase_polynomial
+{
+  uint32_t num_vars = 0u;            /*!< region inputs (== region wires) */
+  std::vector<phase_term> terms;     /*!< distinct parities, merged angles */
+  std::vector<bitvec> output_linear; /*!< row i = input parity of output wire i */
+  bitvec output_constants;           /*!< bit i set = output wire i complemented */
+  double global_phase = 0.0;         /*!< e^{i g} factored out during extraction */
+};
+
+/*! \brief Extracts the phase polynomial of the circuit slots
+ *         [first_slot, end_slot) over the region wires `qubits`
+ *         (region-local wire i is circuit qubit `qubits[i]`).  The
+ *         range must contain only {x, cx, swap, phase, global_phase,
+ *         barrier} gates touching `qubits`; throws std::logic_error
+ *         otherwise.
+ */
+phase_polynomial extract_phase_polynomial( const qcircuit& circuit, uint32_t first_slot,
+                                           uint32_t end_slot,
+                                           const std::vector<uint32_t>& qubits );
+
+} // namespace qda::phasepoly

@@ -4,8 +4,8 @@
 #include "mapping/coupling_map.hpp"
 #include "mapping/router.hpp"
 #include "optimization/peephole.hpp"
-#include "optimization/phase_folding.hpp"
 #include "optimization/revsimp.hpp"
+#include "phasepoly/phasepoly.hpp"
 #include "synthesis/decomposition_based.hpp"
 #include "synthesis/revgen.hpp"
 #include "synthesis/transformation_based.hpp"
@@ -398,16 +398,19 @@ void register_builtin_passes( pass_registry& registry )
 
   registry.register_pass( pass_info{
       "tpar",
-      "phase-polynomial folding (T-count optimization)",
+      "phase-polynomial T-count optimization (fold + parity-network resynthesis)",
       { stage::quantum },
       stage::quantum,
       {},
+      { "fold-only", "no-resynth" },
       {},
-      {},
-      []( staged_ir& ir, const pass_arguments& ) {
+      []( staged_ir& ir, const pass_arguments& args ) {
+        phasepoly::tpar_options options;
+        options.resynthesize =
+            !args.has_flag( "fold-only" ) && !args.has_flag( "no-resynth" );
         ir.require_quantum();
         auto result = std::move( *ir.quantum );
-        phase_folding_in_place( result.circuit );
+        phasepoly::tpar_in_place( result.circuit, options );
         ir.set_quantum( std::move( result ) );
       } } );
 

@@ -220,6 +220,26 @@ TEST( pass_manager_test, per_pass_reports_are_recorded )
   EXPECT_FALSE( format_report( result ).empty() );
 }
 
+TEST( pass_manager_test, tpar_fold_only_keeps_t_count_but_more_cnots )
+{
+  pass_manager manager( /*enable_cache=*/false );
+  const auto fold_only =
+      manager.run( "revgen --hwb 5; tbs; revsimp; rptm; tpar --fold-only; ps" );
+  const auto full = manager.run( "revgen --hwb 5; tbs; revsimp; rptm; tpar; ps" );
+  ASSERT_TRUE( fold_only.ir.quantum.has_value() );
+  ASSERT_TRUE( full.ir.quantum.has_value() );
+  const auto stats_fold = compute_statistics( fold_only.ir.quantum->circuit );
+  const auto stats_full = compute_statistics( full.ir.quantum->circuit );
+  /* resynthesis must not cost T gates and should not add CNOTs */
+  EXPECT_LE( stats_full.t_count, stats_fold.t_count );
+  EXPECT_LE( stats_full.cnot_count, stats_fold.cnot_count );
+  /* --no-resynth is an alias for --fold-only */
+  const auto alias =
+      manager.run( "revgen --hwb 5; tbs; revsimp; rptm; tpar --no-resynth; ps" );
+  ASSERT_TRUE( alias.ir.quantum.has_value() );
+  EXPECT_TRUE( alias.ir.quantum->circuit == fold_only.ir.quantum->circuit );
+}
+
 TEST( pass_manager_test, second_identical_run_hits_cache )
 {
   pass_manager manager;
