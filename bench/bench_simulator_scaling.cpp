@@ -1,25 +1,73 @@
 /*! \file bench_simulator_scaling.cpp
- *  \brief Experiment E9: state-vector simulator throughput.
+ *  \brief Experiment E9: simulation engine throughput (before/after).
  *
  *  Context for the paper's Sec. I discussion of classical simulability
- *  (45 qubits needed 0.5 PB on a supercomputer): we measure gate
- *  throughput of the full state-vector simulator as qubit count grows,
- *  using google-benchmark for the timing loop.  Memory doubles per
- *  qubit; time per gate grows as O(2^n).
+ *  (45 qubits needed 0.5 PB on a supercomputer): the whole
+ *  design-automation loop executes compiled circuits on the local
+ *  simulators, so simulation throughput bounds every Fig. 6 / Fig. 8
+ *  experiment.  This bench measures the high-throughput engine against
+ *  the naive scalar reference on three axes and writes the numbers to
+ *  BENCH_sim.json for cross-PR tracking:
+ *
+ *   1. end-to-end state-vector gate throughput on random layered
+ *      circuits (the tracked 20-qubit workload, plus a brickwork
+ *      variant that limits cross-layer fusion);
+ *   2. per-kernel microbenchmarks (generic 2x2 vs specialized
+ *      diagonal / permutation / bit-deposit-controlled kernels);
+ *   3. multi-shot sampling: cumulative-distribution sampling vs
+ *      per-shot O(2^n) scans, and the stabilizer snapshot sampler vs
+ *      per-shot circuit re-runs.
+ *
+ *  The run fails (exit 1) if the fused engine misses its speedup
+ *  floors: >= 5x end-to-end on the 20-qubit layered workload and
+ *  >= 10x on stabilizer_sample_counts at 8192 shots.
  */
-#include "quantum/qcircuit.hpp"
+#include "core/hidden_shift.hpp"
+#include "simulator/fusion.hpp"
+#include "simulator/kernels.hpp"
+#include "simulator/stabilizer.hpp"
 #include "simulator/statevector.hpp"
 
-#include <benchmark/benchmark.h>
-
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
 #include <random>
+#include <string>
+#include <vector>
 
 namespace
 {
 
 using namespace qda;
+using clock_type = std::chrono::steady_clock;
 
-qcircuit random_layered_circuit( uint32_t num_qubits, uint32_t num_layers, uint64_t seed )
+double seconds_of( const std::function<void()>& body, uint32_t min_reps = 1u,
+                   double min_time = 0.1 )
+{
+  double best = 1e100;
+  double total = 0.0;
+  uint32_t reps = 0u;
+  while ( reps < min_reps || total < min_time )
+  {
+    const auto start = clock_type::now();
+    body();
+    const double elapsed =
+        std::chrono::duration_cast<std::chrono::duration<double>>( clock_type::now() - start )
+            .count();
+    best = std::min( best, elapsed );
+    total += elapsed;
+    ++reps;
+    if ( reps >= 64u )
+    {
+      break;
+    }
+  }
+  return best;
+}
+
+qcircuit random_layered_circuit( uint32_t num_qubits, uint32_t num_layers, uint64_t seed,
+                                 bool brickwork = false )
 {
   std::mt19937_64 rng( seed );
   qcircuit circuit( num_qubits );
@@ -34,7 +82,11 @@ qcircuit random_layered_circuit( uint32_t num_qubits, uint32_t num_layers, uint6
       default: circuit.rz( q, 0.3 ); break;
       }
     }
-    for ( uint32_t q = 0u; q + 1u < num_qubits; q += 2u )
+    /* fixed pairs in the tracked workload; the brickwork variant
+     * alternates the pair offset so dense blocks cannot chain across
+     * layers on one pair */
+    const uint32_t offset = brickwork ? layer & 1u : 0u;
+    for ( uint32_t q = offset; q + 1u < num_qubits; q += 2u )
     {
       if ( layer & 1u )
       {
@@ -49,24 +101,387 @@ qcircuit random_layered_circuit( uint32_t num_qubits, uint32_t num_layers, uint6
   return circuit;
 }
 
-void simulate_random_circuit( benchmark::State& state )
+struct end_to_end_result
 {
-  const uint32_t num_qubits = static_cast<uint32_t>( state.range( 0 ) );
-  const auto circuit = random_layered_circuit( num_qubits, 4u, 42u );
-  for ( auto _ : state )
+  uint32_t num_qubits = 0u;
+  uint64_t gates = 0u;
+  double naive_s = 0.0;
+  double fused_s = 0.0;
+  double speedup() const { return naive_s / fused_s; }
+  double fused_gates_per_s() const { return static_cast<double>( gates ) / fused_s; }
+  double naive_gates_per_s() const { return static_cast<double>( gates ) / naive_s; }
+};
+
+end_to_end_result bench_end_to_end( uint32_t num_qubits, bool brickwork )
+{
+  const auto circuit = random_layered_circuit( num_qubits, 8u, 42u, brickwork );
+  end_to_end_result result;
+  result.num_qubits = num_qubits;
+  result.gates = circuit.num_gates();
+  statevector_simulator check_fused( num_qubits );
+  check_fused.run( circuit );
+  statevector_simulator check_naive( num_qubits );
+  check_naive.run_naive( circuit );
+  double worst = 0.0;
+  for ( uint64_t i = 0u; i < check_fused.state().size(); ++i )
   {
+    worst = std::max( worst, std::abs( check_fused.state()[i] - check_naive.state()[i] ) );
+  }
+  if ( worst > 1e-12 )
+  {
+    std::printf( "E9: VERIFY-FAIL fused/naive deviate by %.3g at %u qubits\n", worst,
+                 num_qubits );
+    std::exit( 1 );
+  }
+  result.naive_s = seconds_of( [&] {
+    statevector_simulator simulator( num_qubits );
+    simulator.run_naive( circuit );
+  } );
+  result.fused_s = seconds_of( [&] {
     statevector_simulator simulator( num_qubits );
     simulator.run( circuit );
-    benchmark::DoNotOptimize( simulator.state().data() );
+  } );
+  return result;
+}
+
+struct kernel_result
+{
+  std::string name;
+  double naive_ns_per_amp = 0.0;
+  double fast_ns_per_amp = 0.0;
+};
+
+/*! Times `reps` applications of one gate through the naive generic
+ *  matmul and through the specialized kernel dispatch. */
+kernel_result bench_kernel( const std::string& name, const qgate& gate, uint32_t num_qubits,
+                            uint32_t reps )
+{
+  const double amps = static_cast<double>( uint64_t{ 1 } << num_qubits ) * reps;
+  kernel_result result;
+  result.name = name;
+  qcircuit circuit( num_qubits );
+  for ( uint32_t i = 0u; i < reps; ++i )
+  {
+    circuit.add_gate( gate );
   }
-  state.counters["gates_per_s"] = benchmark::Counter(
-      static_cast<double>( circuit.num_gates() * state.iterations() ),
-      benchmark::Counter::kIsRate );
-  state.counters["amplitudes"] = static_cast<double>( uint64_t{ 1 } << num_qubits );
+  statevector_simulator naive( num_qubits );
+  result.naive_ns_per_amp = 1e9 * seconds_of( [&] { naive.run_naive( circuit ); } ) / amps;
+  statevector_simulator fast( num_qubits );
+  result.fast_ns_per_amp = 1e9 * seconds_of( [&] {
+                             for ( const auto& view : circuit.gates() )
+                             {
+                               fast.apply_gate( view );
+                             }
+                           } ) /
+                           amps;
+  return result;
+}
+
+/*! The pre-rework sampler: naive unitary run + per-shot O(2^n) scans. */
+std::map<uint64_t, uint64_t> naive_sample_counts( const qcircuit& circuit, uint64_t shots,
+                                                  uint64_t seed )
+{
+  qcircuit unitary_part( circuit.num_qubits() );
+  std::vector<uint32_t> measured;
+  for ( const auto& gate : circuit.gates() )
+  {
+    if ( gate.kind == gate_kind::measure )
+    {
+      measured.push_back( gate.target );
+    }
+    else if ( gate.kind != gate_kind::barrier )
+    {
+      unitary_part.add_gate( gate );
+    }
+  }
+  statevector_simulator simulator( circuit.num_qubits() );
+  simulator.run_naive( unitary_part );
+  std::mt19937_64 rng( seed );
+  std::map<uint64_t, uint64_t> counts;
+  for ( uint64_t shot = 0u; shot < shots; ++shot )
+  {
+    const uint64_t full = simulator.sample( rng );
+    uint64_t key = 0u;
+    for ( uint32_t i = 0u; i < measured.size(); ++i )
+    {
+      if ( ( full >> measured[i] ) & 1u )
+      {
+        key |= uint64_t{ 1 } << i;
+      }
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+/*! The pre-rework stabilizer sampler: fresh tableau + full circuit
+ *  re-run per shot (single RNG stream, matching the fixed semantics). */
+std::map<uint64_t, uint64_t> naive_stabilizer_counts( const qcircuit& circuit, uint64_t shots,
+                                                      uint64_t seed )
+{
+  std::mt19937_64 rng( seed );
+  std::map<uint64_t, uint64_t> counts;
+  for ( uint64_t shot = 0u; shot < shots; ++shot )
+  {
+    stabilizer_simulator simulator( circuit.num_qubits() );
+    uint64_t key = 0u;
+    uint32_t measure_index = 0u;
+    for ( const auto& gate : circuit.gates() )
+    {
+      if ( gate.kind == gate_kind::measure )
+      {
+        const bool bit = simulator.measure( gate.target, rng );
+        if ( bit && measure_index < 64u )
+        {
+          key |= uint64_t{ 1 } << measure_index;
+        }
+        ++measure_index;
+      }
+      else
+      {
+        simulator.apply_gate( gate );
+      }
+    }
+    ++counts[key];
+  }
+  return counts;
+}
+
+/*! Deep random Clifford circuit with randomized measurements on a few
+ *  qubits: the honest per-shot stabilizer sampling workload. */
+qcircuit random_clifford_sampling_circuit( uint32_t num_qubits, uint32_t num_gates,
+                                           uint32_t measured_qubits, uint64_t seed )
+{
+  std::mt19937_64 rng( seed );
+  qcircuit circuit( num_qubits );
+  for ( uint32_t g = 0u; g < num_gates; ++g )
+  {
+    const uint32_t q = rng() % num_qubits;
+    switch ( rng() % 6u )
+    {
+    case 0u: circuit.h( q ); break;
+    case 1u: circuit.s( q ); break;
+    case 2u: circuit.x( q ); break;
+    case 3u: circuit.cz( q, ( q + 1u + rng() % ( num_qubits - 1u ) ) % num_qubits ); break;
+    case 4u: circuit.swap_( q, ( q + 1u ) % num_qubits ); break;
+    default: circuit.cx( q, ( q + 1u + rng() % ( num_qubits - 1u ) ) % num_qubits ); break;
+    }
+  }
+  for ( uint32_t m = 0u; m < measured_qubits; ++m )
+  {
+    circuit.h( m ); /* force random outcomes */
+    circuit.measure( m );
+  }
+  return circuit;
 }
 
 } // namespace
 
-BENCHMARK( simulate_random_circuit )->DenseRange( 8, 20, 2 )->Unit( benchmark::kMillisecond );
+int main()
+{
+  /* QDA_BENCH_SMOKE=1 shrinks every workload so the Debug and
+   * sanitizer CI jobs can smoke-run the bench; the tracked numbers and
+   * the acceptance floors come from full Release runs */
+  const char* smoke_env = std::getenv( "QDA_BENCH_SMOKE" );
+  const bool smoke = smoke_env != nullptr && smoke_env[0] == '1';
 
-BENCHMARK_MAIN();
+  std::printf( "E9: simulation engine throughput (naive reference vs fused engine)%s\n",
+               smoke ? " [smoke]" : "" );
+  std::printf( "threads: %u (QDA_SIM_THREADS to override)\n\n", sim::num_threads() );
+
+  const uint32_t big_qubits = smoke ? 16u : 20u;
+
+  /* ---- 1. end-to-end state-vector throughput ---- */
+  std::printf( "%-22s %8s %12s %12s %9s\n", "workload", "gates", "naive Mg/s", "fused Mg/s",
+               "speedup" );
+  std::vector<end_to_end_result> layered;
+  for ( const uint32_t n : std::vector<uint32_t>( smoke ? std::vector<uint32_t>{ 12u, 16u }
+                                                        : std::vector<uint32_t>{ 12u, 16u, 20u } ) )
+  {
+    layered.push_back( bench_end_to_end( n, /*brickwork=*/false ) );
+    const auto& r = layered.back();
+    std::printf( "%-22s %8llu %12.3f %12.3f %8.1fx\n",
+                 ( "layered-" + std::to_string( n ) + "q" ).c_str(),
+                 static_cast<unsigned long long>( r.gates ), 1e-6 * r.naive_gates_per_s(),
+                 1e-6 * r.fused_gates_per_s(), r.speedup() );
+  }
+  const auto brickwork = bench_end_to_end( big_qubits, /*brickwork=*/true );
+  std::printf( "%-22s %8llu %12.3f %12.3f %8.1fx\n",
+               ( "brickwork-" + std::to_string( big_qubits ) + "q" ).c_str(),
+               static_cast<unsigned long long>( brickwork.gates ),
+               1e-6 * brickwork.naive_gates_per_s(), 1e-6 * brickwork.fused_gates_per_s(),
+               brickwork.speedup() );
+
+  /* ---- 2. per-kernel microbenchmarks ---- */
+  std::printf( "\n%-22s %14s %14s %9s\n",
+               ( "kernel (" + std::to_string( big_qubits ) + " qubits)" ).c_str(),
+               "naive ns/amp", "fast ns/amp", "speedup" );
+  std::vector<kernel_result> kernels;
+  const auto add_kernel = [&]( const std::string& name, const qgate& gate ) {
+    kernels.push_back( bench_kernel( name, gate, big_qubits, smoke ? 2u : 8u ) );
+    const auto& k = kernels.back();
+    std::printf( "%-22s %14.3f %14.3f %8.1fx\n", k.name.c_str(), k.naive_ns_per_amp,
+                 k.fast_ns_per_amp, k.naive_ns_per_amp / k.fast_ns_per_amp );
+  };
+  qgate gate;
+  gate.kind = gate_kind::h;
+  gate.target = 3u;
+  add_kernel( "h (generic 2x2)", gate );
+  gate.kind = gate_kind::x;
+  add_kernel( "x (permutation)", gate );
+  gate.kind = gate_kind::t;
+  add_kernel( "t (masked phase)", gate );
+  gate.kind = gate_kind::rz;
+  gate.angle = 0.3;
+  add_kernel( "rz (diagonal)", gate );
+  gate.kind = gate_kind::cx;
+  gate.angle = 0.0;
+  gate.controls = { 7u };
+  add_kernel( "cx (bit-deposit)", gate );
+  gate.kind = gate_kind::cz;
+  add_kernel( "cz (masked phase)", gate );
+  gate.kind = gate_kind::mcx;
+  gate.controls = { 7u, 11u, 15u };
+  add_kernel( "mcx-3 (bit-deposit)", gate );
+  gate.kind = gate_kind::mcz;
+  add_kernel( "mcz-3 (masked phase)", gate );
+
+  /* ---- 3. multi-shot sampling ---- */
+  const uint64_t shots = smoke ? 512u : 8192u;
+  auto sampling_circuit = random_layered_circuit( big_qubits, 4u, 7u );
+  sampling_circuit.measure_all();
+  const auto fast_counts = sample_counts( sampling_circuit, shots, 11u );
+  const auto slow_counts = naive_sample_counts( sampling_circuit, shots, 11u );
+  if ( fast_counts != slow_counts )
+  {
+    std::printf( "E9: VERIFY-FAIL sample_counts disagrees with the naive sampler\n" );
+    return 1;
+  }
+  const double sv_naive_s =
+      seconds_of( [&] { naive_sample_counts( sampling_circuit, shots, 11u ); } );
+  const double sv_fast_s = seconds_of( [&] { sample_counts( sampling_circuit, shots, 11u ); } );
+
+  /* stabilizer: deterministic Bravyi-Gosset inner-product instance */
+  const uint32_t half = smoke ? 8u : 32u;
+  std::vector<bool> shift( 2u * half );
+  std::mt19937_64 shift_rng( 5u );
+  for ( auto&& bit : shift )
+  {
+    bit = ( shift_rng() & 1u ) != 0u;
+  }
+  const auto hidden_shift = clifford_hidden_shift_circuit( half, shift );
+  const auto st_fast = stabilizer_sample_counts( hidden_shift, shots, 3u );
+  const auto st_slow = naive_stabilizer_counts( hidden_shift, shots, 3u );
+  if ( st_fast != st_slow )
+  {
+    std::printf( "E9: VERIFY-FAIL stabilizer snapshot sampler disagrees with re-runs\n" );
+    return 1;
+  }
+  const double st_naive_s =
+      seconds_of( [&] { naive_stabilizer_counts( hidden_shift, shots, 3u ); } );
+  const double st_fast_s =
+      seconds_of( [&] { stabilizer_sample_counts( hidden_shift, shots, 3u ); } );
+
+  /* stabilizer: deep prefix with randomized measurements (per-shot path) */
+  const auto clifford_random =
+      random_clifford_sampling_circuit( smoke ? 24u : 48u, smoke ? 400u : 2000u, 8u, 13u );
+  const auto cr_fast = stabilizer_sample_counts( clifford_random, shots, 9u );
+  const auto cr_slow = naive_stabilizer_counts( clifford_random, shots, 9u );
+  if ( cr_fast != cr_slow )
+  {
+    std::printf( "E9: VERIFY-FAIL stabilizer random-measure sampler disagrees\n" );
+    return 1;
+  }
+  const double cr_naive_s =
+      seconds_of( [&] { naive_stabilizer_counts( clifford_random, shots, 9u ); } );
+  const double cr_fast_s =
+      seconds_of( [&] { stabilizer_sample_counts( clifford_random, shots, 9u ); } );
+
+  std::printf( "\n%-34s %11s %11s %9s\n",
+               ( "multi-shot (" + std::to_string( shots ) + " shots)" ).c_str(), "naive s",
+               "fast s", "speedup" );
+  std::printf( "%-34s %11.4f %11.4f %8.1fx\n", "statevector sample_counts", sv_naive_s,
+               sv_fast_s, sv_naive_s / sv_fast_s );
+  std::printf( "%-34s %11.4f %11.4f %8.1fx\n", "stabilizer hidden-shift", st_naive_s,
+               st_fast_s, st_naive_s / st_fast_s );
+  std::printf( "%-34s %11.4f %11.4f %8.1fx\n", "stabilizer random-measure", cr_naive_s,
+               cr_fast_s, cr_naive_s / cr_fast_s );
+
+  /* ---- BENCH_sim.json ---- */
+  std::FILE* json = std::fopen( "BENCH_sim.json", "w" );
+  if ( json == nullptr )
+  {
+    std::printf( "could not open BENCH_sim.json for writing\n" );
+    return 1;
+  }
+  std::fprintf( json, "{\n  \"experiment\": \"simulation_engine\",\n" );
+  std::fprintf( json, "  \"threads\": %u,\n", sim::num_threads() );
+  std::fprintf( json, "  \"end_to_end\": [\n" );
+  const auto print_end_to_end = [&]( const char* name, const end_to_end_result& r, bool last ) {
+    std::fprintf( json,
+                  "    { \"name\": \"%s\", \"qubits\": %u, \"gates\": %llu, "
+                  "\"naive_gates_per_s\": %.1f, \"fused_gates_per_s\": %.1f, "
+                  "\"speedup\": %.2f }%s\n",
+                  name, r.num_qubits, static_cast<unsigned long long>( r.gates ),
+                  r.naive_gates_per_s(), r.fused_gates_per_s(), r.speedup(), last ? "" : "," );
+  };
+  for ( size_t i = 0u; i < layered.size(); ++i )
+  {
+    const std::string name = "layered-" + std::to_string( layered[i].num_qubits ) + "q";
+    print_end_to_end( name.c_str(), layered[i], false );
+  }
+  const std::string brickwork_name = "brickwork-" + std::to_string( big_qubits ) + "q";
+  print_end_to_end( brickwork_name.c_str(), brickwork, true );
+  std::fprintf( json, "  ],\n  \"kernels\": [\n" );
+  for ( size_t i = 0u; i < kernels.size(); ++i )
+  {
+    std::fprintf( json,
+                  "    { \"name\": \"%s\", \"naive_ns_per_amp\": %.4f, "
+                  "\"fast_ns_per_amp\": %.4f, \"speedup\": %.2f }%s\n", kernels[i].name.c_str(),
+                  kernels[i].naive_ns_per_amp, kernels[i].fast_ns_per_amp,
+                  kernels[i].naive_ns_per_amp / kernels[i].fast_ns_per_amp,
+                  i + 1u < kernels.size() ? "," : "" );
+  }
+  std::fprintf( json, "  ],\n  \"sampling\": [\n" );
+  const auto sampling_name = [&]( const std::string& base, uint32_t qubits ) {
+    return base + "-" + std::to_string( qubits ) + "q-" + std::to_string( shots ) + "shots";
+  };
+  std::fprintf( json,
+                "    { \"name\": \"%s\", \"naive_s\": %.5f, "
+                "\"fast_s\": %.5f, \"speedup\": %.2f },\n",
+                sampling_name( "statevector", big_qubits ).c_str(), sv_naive_s, sv_fast_s,
+                sv_naive_s / sv_fast_s );
+  std::fprintf( json,
+                "    { \"name\": \"%s\", \"naive_s\": %.5f, "
+                "\"fast_s\": %.5f, \"speedup\": %.2f },\n",
+                sampling_name( "stabilizer-hidden-shift", 2u * half ).c_str(), st_naive_s,
+                st_fast_s, st_naive_s / st_fast_s );
+  std::fprintf( json,
+                "    { \"name\": \"%s\", "
+                "\"naive_s\": %.5f, \"fast_s\": %.5f, \"speedup\": %.2f }\n",
+                sampling_name( "stabilizer-random-measure", smoke ? 24u : 48u ).c_str(),
+                cr_naive_s, cr_fast_s, cr_naive_s / cr_fast_s );
+  std::fprintf( json, "  ]\n}\n" );
+  std::fclose( json );
+  std::printf( "\nwrote BENCH_sim.json\n" );
+
+  /* ---- acceptance floors (full runs only) ---- */
+  bool ok = true;
+  if ( smoke )
+  {
+    return 0;
+  }
+  const double layered_20q_speedup = layered.back().speedup();
+  if ( layered_20q_speedup < 5.0 )
+  {
+    std::printf( "E9: FAIL 20-qubit layered speedup %.1fx < 5x\n", layered_20q_speedup );
+    ok = false;
+  }
+  if ( st_naive_s / st_fast_s < 10.0 )
+  {
+    std::printf( "E9: FAIL stabilizer hidden-shift speedup %.1fx < 10x\n",
+                 st_naive_s / st_fast_s );
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

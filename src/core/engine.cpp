@@ -230,6 +230,11 @@ uint64_t main_engine::run( uint64_t seed ) const
   return outcome;
 }
 
+std::map<uint64_t, uint64_t> main_engine::sample_counts( uint64_t shots, uint64_t seed ) const
+{
+  return qda::sample_counts( circuit(), shots, seed );
+}
+
 void main_engine::emit_simple( gate_kind kind, uint32_t qubit )
 {
   qgate gate;

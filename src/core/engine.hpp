@@ -25,6 +25,7 @@
 #include "quantum/qcircuit.hpp"
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -110,6 +111,15 @@ public:
    *         yield deterministic outcomes.
    */
   uint64_t run( uint64_t seed = 1u ) const;
+
+  /*! \brief Simulates the unitary part once and histograms `shots`
+   *         sampled outcomes of the measured qubits (bit i of the key =
+   *         i-th measure gate); fused kernels + cumulative-distribution
+   *         sampling instead of per-shot re-simulation.  Throws
+   *         std::invalid_argument if no measure gate was emitted
+   *         (unlike run(), which returns 0 for such circuits).
+   */
+  std::map<uint64_t, uint64_t> sample_counts( uint64_t shots, uint64_t seed = 1u ) const;
 
 private:
   friend class meta_scope;

@@ -25,7 +25,8 @@ public:
 
   std::string description() const override
   {
-    return "exact state-vector simulation (all 2^n amplitudes)";
+    return "exact state-vector simulation (all 2^n amplitudes; fused, "
+           "specialized, multithreaded kernels -- see QDA_SIM_THREADS)";
   }
 
   std::string unsupported_reason( const qcircuit& circuit ) const override
@@ -62,7 +63,8 @@ public:
 
   std::string description() const override
   {
-    return "Aaronson-Gottesman CHP tableau simulation (Clifford only)";
+    return "Aaronson-Gottesman CHP tableau simulation (Clifford only; "
+           "one-run snapshot sampling across shots)";
   }
 
   std::string unsupported_reason( const qcircuit& circuit ) const override

@@ -1,0 +1,703 @@
+#include "simulator/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace qda::sim
+{
+
+namespace
+{
+
+/*! Below this many iterations a kernel runs inline: thread hand-off
+ *  costs more than the work itself on small state vectors. */
+constexpr uint64_t min_parallel_work = uint64_t{ 1 } << 16u;
+
+/*! Fixed reduction block: partials are always computed over the same
+ *  index blocks, so sums do not depend on the thread count. */
+constexpr uint64_t reduction_block = uint64_t{ 1 } << 15u;
+
+/*! True while this thread executes inside a parallel_for body. */
+thread_local bool inside_parallel_region = false;
+
+uint32_t env_thread_count()
+{
+  const char* env = std::getenv( "QDA_SIM_THREADS" );
+  if ( env != nullptr )
+  {
+    const long parsed = std::strtol( env, nullptr, 10 );
+    if ( parsed > 0 )
+    {
+      return static_cast<uint32_t>( std::min( parsed, 256l ) );
+    }
+  }
+  const uint32_t hardware = std::thread::hardware_concurrency();
+  return hardware == 0u ? 1u : hardware;
+}
+
+/*! \brief Persistent worker pool (workers = threads - 1; the calling
+ *         thread always participates).  One job runs at a time.
+ */
+class worker_pool
+{
+public:
+  static worker_pool& instance()
+  {
+    static worker_pool pool;
+    return pool;
+  }
+
+  uint32_t threads()
+  {
+    std::lock_guard<std::mutex> lock( config_mutex_ );
+    return resolved_count();
+  }
+
+  void set_threads( uint32_t count )
+  {
+    std::lock_guard<std::mutex> lock( config_mutex_ );
+    override_ = count;
+  }
+
+  void run( uint64_t n, const std::function<void( uint64_t, uint64_t )>& body,
+            uint64_t work_per_item )
+  {
+    uint32_t threads = 0u;
+    {
+      std::lock_guard<std::mutex> lock( config_mutex_ );
+      threads = resolved_count();
+    }
+    /* nested parallel_for (e.g. per-column kernels inside a parallel
+     * column sweep) runs inline: the pool is not re-entrant */
+    if ( threads <= 1u || n * work_per_item < min_parallel_work || inside_parallel_region )
+    {
+      body( 0u, n );
+      return;
+    }
+    std::lock_guard<std::mutex> job_lock( job_mutex_ ); /* one job at a time */
+    ensure_workers( threads - 1u );
+
+    /* contiguous chunks; over-decompose 4x for load balance, with a
+     * minimum chunk worth ~2^12 units of work */
+    const uint64_t min_chunk =
+        std::max<uint64_t>( 1u, ( uint64_t{ 1 } << 12u ) / std::max<uint64_t>( work_per_item, 1u ) );
+    const uint64_t chunk =
+        std::max<uint64_t>( ( n + threads * 4u - 1u ) / ( threads * 4u ), min_chunk );
+    chunks_.clear();
+    for ( uint64_t begin = 0u; begin < n; begin += chunk )
+    {
+      chunks_.emplace_back( begin, std::min( n, begin + chunk ) );
+    }
+    next_chunk_.store( 0u, std::memory_order_relaxed );
+
+    {
+      std::unique_lock<std::mutex> lock( state_mutex_ );
+      body_ = &body;
+      active_ = workers_.size();
+      ++epoch_;
+      start_cv_.notify_all();
+    }
+    inside_parallel_region = true;
+    process( body ); /* the caller is a worker too; never throws */
+    inside_parallel_region = false;
+    std::exception_ptr pending;
+    {
+      std::unique_lock<std::mutex> lock( state_mutex_ );
+      done_cv_.wait( lock, [this] { return active_ == 0u; } );
+      body_ = nullptr;
+      pending = std::exchange( pending_exception_, nullptr );
+    }
+    if ( pending )
+    {
+      std::rethrow_exception( pending );
+    }
+  }
+
+private:
+  worker_pool() = default;
+
+  ~worker_pool() { shutdown(); }
+
+  uint32_t resolved_count()
+  {
+    if ( override_ != 0u )
+    {
+      return override_;
+    }
+    if ( auto_count_ == 0u )
+    {
+      auto_count_ = env_thread_count();
+    }
+    return auto_count_;
+  }
+
+  void ensure_workers( uint32_t desired )
+  {
+    if ( workers_.size() == desired )
+    {
+      return;
+    }
+    shutdown();
+    std::lock_guard<std::mutex> lock( state_mutex_ );
+    stop_ = false;
+    workers_.reserve( desired );
+    for ( uint32_t i = 0u; i < desired; ++i )
+    {
+      workers_.emplace_back( [this] { worker_loop(); } );
+    }
+  }
+
+  void shutdown()
+  {
+    {
+      std::lock_guard<std::mutex> lock( state_mutex_ );
+      if ( workers_.empty() )
+      {
+        return;
+      }
+      stop_ = true;
+      start_cv_.notify_all();
+    }
+    for ( auto& worker : workers_ )
+    {
+      worker.join();
+    }
+    workers_.clear();
+  }
+
+  void worker_loop()
+  {
+    inside_parallel_region = true; /* workers never orchestrate nested jobs */
+    uint64_t seen_epoch = 0u;
+    std::unique_lock<std::mutex> lock( state_mutex_ );
+    for ( ;; )
+    {
+      start_cv_.wait( lock, [&] { return stop_ || epoch_ != seen_epoch; } );
+      if ( stop_ )
+      {
+        return;
+      }
+      seen_epoch = epoch_;
+      const auto* body = body_;
+      lock.unlock();
+      process( *body );
+      lock.lock();
+      if ( --active_ == 0u )
+      {
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void process( const std::function<void( uint64_t, uint64_t )>& body )
+  {
+    for ( ;; )
+    {
+      const size_t index = next_chunk_.fetch_add( 1u, std::memory_order_relaxed );
+      if ( index >= chunks_.size() )
+      {
+        return;
+      }
+      try
+      {
+        body( chunks_[index].first, chunks_[index].second );
+      }
+      catch ( ... )
+      {
+        /* record the first exception, drain the remaining chunks, and
+         * let run() rethrow after every worker has stopped -- a throw
+         * must never unwind through a worker (std::terminate) or leave
+         * the job running while the caller's frame dies */
+        {
+          std::lock_guard<std::mutex> lock( state_mutex_ );
+          if ( !pending_exception_ )
+          {
+            pending_exception_ = std::current_exception();
+          }
+        }
+        next_chunk_.store( chunks_.size(), std::memory_order_relaxed );
+        return;
+      }
+    }
+  }
+
+  std::mutex config_mutex_;
+  uint32_t override_ = 0u;
+  uint32_t auto_count_ = 0u;
+
+  std::mutex job_mutex_;
+  std::mutex state_mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  std::vector<std::pair<uint64_t, uint64_t>> chunks_;
+  std::atomic<size_t> next_chunk_{ 0u };
+  const std::function<void( uint64_t, uint64_t )>* body_ = nullptr;
+  std::exception_ptr pending_exception_;
+  size_t active_ = 0u;
+  uint64_t epoch_ = 0u;
+  bool stop_ = false;
+};
+
+/*! Applies `f(start, length)` over maximal CONTIGUOUS runs of the
+ *  indices with the given set/clear bits: all free bits below the
+ *  lowest fixed bit form one run, so the hot inner loops stay
+ *  vectorizable; the masked carry only advances between runs.
+ *  Parallelized by matching-element count, not run count. */
+template <typename F>
+void for_each_masked_run( uint64_t dim, uint64_t set_mask, uint64_t clear_mask, F&& f )
+{
+  const uint64_t fixed = set_mask | clear_mask;
+  if ( fixed == 0u )
+  {
+    parallel_for( dim, [&]( uint64_t begin, uint64_t end ) { f( begin, end - begin ); } );
+    return;
+  }
+  const uint64_t run = uint64_t{ 1 } << std::countr_zero( fixed );
+  /* enumerate run starts: low run bits pinned to zero */
+  const masked_range range( dim, set_mask, clear_mask | ( run - 1u ) );
+  const uint64_t total = range.count * run; /* matching elements */
+  if ( total == 0u )
+  {
+    return;
+  }
+  if ( run == 1u )
+  {
+    /* bit 0 is fixed: no contiguous runs, skip the run bookkeeping */
+    parallel_for( total, [&]( uint64_t begin, uint64_t end ) {
+      uint64_t index = range.nth( begin );
+      for ( uint64_t j = begin; j < end; ++j )
+      {
+        f( index, 1u );
+        index = range.next( index );
+      }
+    } );
+    return;
+  }
+  parallel_for( total, [&]( uint64_t begin, uint64_t end ) {
+    uint64_t offset = begin % run;
+    uint64_t base = range.nth( begin / run );
+    uint64_t remaining = end - begin;
+    while ( remaining != 0u )
+    {
+      const uint64_t length = std::min( run - offset, remaining );
+      f( base + offset, length );
+      remaining -= length;
+      offset = 0u;
+      base = range.next( base );
+    }
+  } );
+}
+
+/*! Dense fused-block matvec with a compile-time block size so the
+ *  gather / matvec / scatter fully unrolls. */
+template <uint32_t K>
+void fused_kq_impl( amplitude* state, uint64_t dim, uint64_t support,
+                    const uint64_t* offsets, const amplitude* matrix )
+{
+  constexpr uint64_t block = uint64_t{ 1 } << K;
+  if ( support == block - 1u )
+  {
+    /* support is the low K qubits: groups are contiguous in memory */
+    parallel_for( dim >> K, [&]( uint64_t begin, uint64_t end ) {
+      for ( uint64_t group = begin; group < end; ++group )
+      {
+        amplitude* amps = state + ( group << K );
+        amplitude gathered[block];
+        for ( uint64_t c = 0u; c < block; ++c )
+        {
+          gathered[c] = amps[c];
+        }
+        for ( uint64_t r = 0u; r < block; ++r )
+        {
+          amplitude acc{ 0.0 };
+          const amplitude* row = matrix + r * block;
+          for ( uint64_t c = 0u; c < block; ++c )
+          {
+            acc += row[c] * gathered[c];
+          }
+          amps[r] = acc;
+        }
+      }
+    } );
+    return;
+  }
+  for_each_masked_run( dim, 0u, support, [&]( uint64_t start, uint64_t length ) {
+    for ( uint64_t base = start; base < start + length; ++base )
+    {
+      amplitude gathered[block];
+      for ( uint64_t c = 0u; c < block; ++c )
+      {
+        gathered[c] = state[base | offsets[c]];
+      }
+      for ( uint64_t r = 0u; r < block; ++r )
+      {
+        amplitude acc{ 0.0 };
+        const amplitude* row = matrix + r * block;
+        for ( uint64_t c = 0u; c < block; ++c )
+        {
+          acc += row[c] * gathered[c];
+        }
+        state[base | offsets[r]] = acc;
+      }
+    }
+  } );
+}
+
+void fused_kq_generic( amplitude* state, uint64_t dim, uint64_t support, uint32_t k,
+                       const uint64_t* offsets, const amplitude* matrix )
+{
+  const uint64_t block = uint64_t{ 1 } << k;
+  for_each_masked_run( dim, 0u, support, [&]( uint64_t start, uint64_t length ) {
+    for ( uint64_t base = start; base < start + length; ++base )
+    {
+      amplitude gathered[uint64_t{ 1 } << 10u];
+      for ( uint64_t c = 0u; c < block; ++c )
+      {
+        gathered[c] = state[base | offsets[c]];
+      }
+      for ( uint64_t r = 0u; r < block; ++r )
+      {
+        amplitude acc{ 0.0 };
+        const amplitude* row = matrix + r * block;
+        for ( uint64_t c = 0u; c < block; ++c )
+        {
+          acc += row[c] * gathered[c];
+        }
+        state[base | offsets[r]] = acc;
+      }
+    }
+  } );
+}
+
+} // namespace
+
+uint32_t num_threads()
+{
+  return worker_pool::instance().threads();
+}
+
+void set_num_threads( uint32_t count )
+{
+  worker_pool::instance().set_threads( count );
+}
+
+void parallel_for( uint64_t n, const std::function<void( uint64_t, uint64_t )>& body,
+                   uint64_t work_per_item )
+{
+  if ( n == 0u )
+  {
+    return;
+  }
+  worker_pool::instance().run( n, body, work_per_item );
+}
+
+double blocked_sum( uint64_t n, const std::function<double( uint64_t, uint64_t )>& block )
+{
+  if ( n == 0u )
+  {
+    return 0.0;
+  }
+  const uint64_t num_blocks = ( n + reduction_block - 1u ) / reduction_block;
+  if ( num_blocks == 1u )
+  {
+    return block( 0u, n );
+  }
+  std::vector<double> partials( num_blocks );
+  parallel_for(
+      num_blocks,
+      [&]( uint64_t begin, uint64_t end ) {
+        for ( uint64_t b = begin; b < end; ++b )
+        {
+          partials[b] = block( b * reduction_block, std::min( n, ( b + 1u ) * reduction_block ) );
+        }
+      },
+      reduction_block );
+  double total = 0.0;
+  for ( const double partial : partials )
+  {
+    total += partial; /* fixed block order: thread-count independent */
+  }
+  return total;
+}
+
+void apply_1q( amplitude* state, uint64_t dim, uint32_t qubit,
+               const std::array<amplitude, 4>& m )
+{
+  const uint64_t bit = uint64_t{ 1 } << qubit;
+  const amplitude m0 = m[0], m1 = m[1], m2 = m[2], m3 = m[3];
+  for_each_masked_run( dim, 0u, bit, [&]( uint64_t start, uint64_t length ) {
+    /* local copies: keeps the coefficients in registers even when the
+     * chunk body is compiled behind the std::function boundary */
+    const amplitude w0 = m0, w1 = m1, w2 = m2, w3 = m3;
+    amplitude* lo = state + start;
+    amplitude* hi = lo + bit;
+    for ( uint64_t i = 0u; i < length; ++i )
+    {
+      const amplitude a0 = lo[i];
+      const amplitude a1 = hi[i];
+      lo[i] = w0 * a0 + w1 * a1;
+      hi[i] = w2 * a0 + w3 * a1;
+    }
+  } );
+}
+
+void apply_1q_diag( amplitude* state, uint64_t dim, uint32_t qubit, amplitude p0, amplitude p1 )
+{
+  const uint64_t bit = uint64_t{ 1 } << qubit;
+  if ( p0 == amplitude{ 1.0 } )
+  {
+    for_each_masked_run( dim, bit, 0u, [&]( uint64_t start, uint64_t length ) {
+      const amplitude w = p1;
+      amplitude* amp = state + start;
+      for ( uint64_t i = 0u; i < length; ++i )
+      {
+        amp[i] *= w;
+      }
+    } );
+    return;
+  }
+  if ( p1 == amplitude{ 1.0 } )
+  {
+    for_each_masked_run( dim, 0u, bit, [&]( uint64_t start, uint64_t length ) {
+      const amplitude w = p0;
+      amplitude* amp = state + start;
+      for ( uint64_t i = 0u; i < length; ++i )
+      {
+        amp[i] *= w;
+      }
+    } );
+    return;
+  }
+  /* both phases non-trivial (e.g. rz): one pass over the pairs */
+  for_each_masked_run( dim, 0u, bit, [&]( uint64_t start, uint64_t length ) {
+    const amplitude w0 = p0, w1 = p1;
+    amplitude* lo = state + start;
+    amplitude* hi = lo + bit;
+    for ( uint64_t i = 0u; i < length; ++i )
+    {
+      lo[i] *= w0;
+      hi[i] *= w1;
+    }
+  } );
+}
+
+void apply_1q_antidiag( amplitude* state, uint64_t dim, uint32_t qubit, amplitude p01,
+                        amplitude p10 )
+{
+  const uint64_t bit = uint64_t{ 1 } << qubit;
+  for_each_masked_run( dim, 0u, bit, [&]( uint64_t start, uint64_t length ) {
+    const amplitude w01 = p01, w10 = p10;
+    amplitude* lo = state + start;
+    amplitude* hi = lo + bit;
+    for ( uint64_t i = 0u; i < length; ++i )
+    {
+      const amplitude a0 = lo[i];
+      lo[i] = w01 * hi[i];
+      hi[i] = w10 * a0;
+    }
+  } );
+}
+
+void apply_phase_masked( amplitude* state, uint64_t dim, uint64_t mask, amplitude phase )
+{
+  for_each_masked_run( dim, mask, 0u, [&]( uint64_t start, uint64_t length ) {
+    const amplitude w = phase;
+    amplitude* amp = state + start;
+    for ( uint64_t i = 0u; i < length; ++i )
+    {
+      amp[i] *= w;
+    }
+  } );
+}
+
+void apply_mcx( amplitude* state, uint64_t dim, uint64_t control_mask, uint32_t target )
+{
+  const uint64_t bit = uint64_t{ 1 } << target;
+  for_each_masked_run( dim, control_mask, bit, [&]( uint64_t start, uint64_t length ) {
+    amplitude* lo = state + start;
+    amplitude* hi = lo + bit;
+    for ( uint64_t i = 0u; i < length; ++i )
+    {
+      std::swap( lo[i], hi[i] );
+    }
+  } );
+}
+
+void apply_mc1q( amplitude* state, uint64_t dim, uint64_t control_mask, uint32_t target,
+                 const std::array<amplitude, 4>& m )
+{
+  const uint64_t bit = uint64_t{ 1 } << target;
+  const amplitude m0 = m[0], m1 = m[1], m2 = m[2], m3 = m[3];
+  for_each_masked_run( dim, control_mask, bit, [&]( uint64_t start, uint64_t length ) {
+    const amplitude w0 = m0, w1 = m1, w2 = m2, w3 = m3;
+    amplitude* lo = state + start;
+    amplitude* hi = lo + bit;
+    for ( uint64_t i = 0u; i < length; ++i )
+    {
+      const amplitude a0 = lo[i];
+      const amplitude a1 = hi[i];
+      lo[i] = w0 * a0 + w1 * a1;
+      hi[i] = w2 * a0 + w3 * a1;
+    }
+  } );
+}
+
+void apply_swap( amplitude* state, uint64_t dim, uint32_t a, uint32_t b )
+{
+  const uint64_t bit_a = uint64_t{ 1 } << a;
+  const uint64_t bit_b = uint64_t{ 1 } << b;
+  const uint64_t both = bit_a | bit_b;
+  for_each_masked_run( dim, bit_a, bit_b, [&]( uint64_t start, uint64_t length ) {
+    for ( uint64_t i = start; i < start + length; ++i )
+    {
+      std::swap( state[i], state[i ^ both] );
+    }
+  } );
+}
+
+void apply_scalar( amplitude* state, uint64_t dim, amplitude factor )
+{
+  parallel_for( dim, [&]( uint64_t begin, uint64_t end ) {
+    const amplitude w = factor;
+    for ( uint64_t i = begin; i < end; ++i )
+    {
+      state[i] *= w;
+    }
+  } );
+}
+
+void apply_diag_table( amplitude* state, uint64_t dim, std::span<const uint32_t> qubits,
+                       std::span<const amplitude> table )
+{
+  const uint32_t k = static_cast<uint32_t>( qubits.size() );
+  /* contiguous runs below the lowest involved qubit share one key base */
+  const uint64_t low_bit = uint64_t{ 1 } << qubits.front();
+  for_each_masked_run( dim, 0u, 0u, [&]( uint64_t begin, uint64_t length ) {
+    const uint64_t end = begin + length;
+    uint64_t i = begin;
+    while ( i < end )
+    {
+      uint64_t key = 0u;
+      for ( uint32_t j = 0u; j < k; ++j )
+      {
+        key |= ( ( i >> qubits[j] ) & 1u ) << j;
+      }
+      const amplitude phase = table[key];
+      const uint64_t stretch = std::min( end, ( i | ( low_bit - 1u ) ) + 1u );
+      for ( ; i < stretch; ++i )
+      {
+        state[i] *= phase;
+      }
+    }
+  } );
+}
+
+void apply_fused_kq( amplitude* state, uint64_t dim, std::span<const uint32_t> qubits,
+                     std::span<const amplitude> matrix )
+{
+  const uint32_t k = static_cast<uint32_t>( qubits.size() );
+  if ( k > 10u )
+  {
+    /* the gather buffers hold at most 2^10 amplitudes */
+    throw std::invalid_argument( "apply_fused_kq: dense blocks support at most 10 qubits" );
+  }
+  const uint64_t block = uint64_t{ 1 } << k;
+  uint64_t support = 0u;
+  std::vector<uint64_t> offsets( block, 0u );
+  for ( uint32_t j = 0u; j < k; ++j )
+  {
+    support |= uint64_t{ 1 } << qubits[j];
+  }
+  for ( uint64_t local = 0u; local < block; ++local )
+  {
+    uint64_t offset = 0u;
+    for ( uint32_t j = 0u; j < k; ++j )
+    {
+      if ( ( local >> j ) & 1u )
+      {
+        offset |= uint64_t{ 1 } << qubits[j];
+      }
+    }
+    offsets[local] = offset;
+  }
+  switch ( k )
+  {
+  case 1u: fused_kq_impl<1u>( state, dim, support, offsets.data(), matrix.data() ); break;
+  case 2u: fused_kq_impl<2u>( state, dim, support, offsets.data(), matrix.data() ); break;
+  case 3u: fused_kq_impl<3u>( state, dim, support, offsets.data(), matrix.data() ); break;
+  case 4u: fused_kq_impl<4u>( state, dim, support, offsets.data(), matrix.data() ); break;
+  case 5u: fused_kq_impl<5u>( state, dim, support, offsets.data(), matrix.data() ); break;
+  default: fused_kq_generic( state, dim, support, k, offsets.data(), matrix.data() ); break;
+  }
+}
+
+double norm_sum( const amplitude* state, uint64_t dim )
+{
+  return blocked_sum( dim, [&]( uint64_t begin, uint64_t end ) {
+    double sum = 0.0;
+    for ( uint64_t i = begin; i < end; ++i )
+    {
+      sum += std::norm( state[i] );
+    }
+    return sum;
+  } );
+}
+
+double prob_one( const amplitude* state, uint64_t dim, uint32_t qubit )
+{
+  const uint64_t bit = uint64_t{ 1 } << qubit;
+  const masked_range range( dim, bit, 0u );
+  return blocked_sum( range.count, [&]( uint64_t begin, uint64_t end ) {
+    double sum = 0.0;
+    uint64_t index = range.nth( begin );
+    for ( uint64_t j = begin; j < end; ++j )
+    {
+      sum += std::norm( state[index] );
+      index = range.next( index );
+    }
+    return sum;
+  } );
+}
+
+void collapse( amplitude* state, uint64_t dim, uint32_t qubit, bool outcome, double renorm )
+{
+  const uint64_t bit = uint64_t{ 1 } << qubit;
+  /* keep the outcome half (rescaled), zero the other half */
+  for_each_masked_run( dim, outcome ? bit : 0u, outcome ? 0u : bit,
+                       [&]( uint64_t start, uint64_t length ) {
+                         const double w = renorm;
+                         amplitude* amp = state + start;
+                         for ( uint64_t i = 0u; i < length; ++i )
+                         {
+                           amp[i] *= w;
+                         }
+                       } );
+  for_each_masked_run( dim, outcome ? 0u : bit, outcome ? bit : 0u,
+                       [&]( uint64_t start, uint64_t length ) {
+                         amplitude* amp = state + start;
+                         for ( uint64_t i = 0u; i < length; ++i )
+                         {
+                           amp[i] = 0.0;
+                         }
+                       } );
+}
+
+void probabilities_into( const amplitude* state, uint64_t dim, double* out )
+{
+  parallel_for( dim, [&]( uint64_t begin, uint64_t end ) {
+    for ( uint64_t i = begin; i < end; ++i )
+    {
+      out[i] = std::norm( state[i] );
+    }
+  } );
+}
+
+} // namespace qda::sim

@@ -38,11 +38,23 @@ std::map<uint64_t, uint64_t> sample_counts_noisy( const qcircuit& circuit,
                                                   uint64_t seed )
 {
   std::vector<uint32_t> measured;
+  /* decode the gate stream once: the per-shot loop reuses the views and
+   * the touched-qubit lists instead of re-materializing them per shot */
+  struct gate_step
+  {
+    qgate_view view;
+    std::vector<uint32_t> qubits;
+  };
+  std::vector<gate_step> steps;
   for ( const auto& gate : circuit.gates() )
   {
     if ( gate.kind == gate_kind::measure )
     {
       measured.push_back( gate.target );
+    }
+    else if ( gate.kind != gate_kind::barrier )
+    {
+      steps.push_back( { gate, gate.qubits() } );
     }
   }
   if ( measured.empty() )
@@ -58,14 +70,10 @@ std::map<uint64_t, uint64_t> sample_counts_noisy( const qcircuit& circuit,
   for ( uint64_t shot = 0u; shot < shots; ++shot )
   {
     simulator.reset();
-    for ( const auto& gate : circuit.gates() )
+    for ( const auto& step : steps )
     {
-      if ( gate.kind == gate_kind::measure || gate.kind == gate_kind::barrier )
-      {
-        continue; /* measured at the end via sampling */
-      }
-      simulator.apply_gate( gate );
-      const auto qubits = gate.qubits();
+      simulator.apply_gate( step.view );
+      const auto& qubits = step.qubits;
       if ( qubits.size() == 1u )
       {
         if ( uniform( rng ) < model.p_single )

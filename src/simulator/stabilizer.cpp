@@ -71,28 +71,41 @@ void stabilizer_simulator::apply_s( uint32_t qubit )
 
 void stabilizer_simulator::apply_sdg( uint32_t qubit )
 {
-  apply_z( qubit );
-  apply_s( qubit );
+  /* S^3: X -> -Y, Y -> X, Z -> Z in one pass */
+  for ( auto& row : rows_ )
+  {
+    const bool x = get_x( row, qubit );
+    const bool z = get_z( row, qubit );
+    row.sign ^= x && !z;
+    set_z( row, qubit, x != z );
+  }
 }
 
 void stabilizer_simulator::apply_z( uint32_t qubit )
 {
-  apply_s( qubit );
-  apply_s( qubit );
+  /* Z conjugation flips the sign of X and Y components */
+  for ( auto& row : rows_ )
+  {
+    row.sign ^= get_x( row, qubit );
+  }
 }
 
 void stabilizer_simulator::apply_x( uint32_t qubit )
 {
-  apply_h( qubit );
-  apply_z( qubit );
-  apply_h( qubit );
+  /* X conjugation flips the sign of Z and Y components */
+  for ( auto& row : rows_ )
+  {
+    row.sign ^= get_z( row, qubit );
+  }
 }
 
 void stabilizer_simulator::apply_y( uint32_t qubit )
 {
-  /* conjugation by Y equals conjugation by XZ (global phase irrelevant) */
-  apply_z( qubit );
-  apply_x( qubit );
+  /* Y conjugation flips the sign of X and Z (but not Y) components */
+  for ( auto& row : rows_ )
+  {
+    row.sign ^= get_x( row, qubit ) != get_z( row, qubit );
+  }
 }
 
 void stabilizer_simulator::apply_cx( uint32_t control, uint32_t target )
@@ -111,16 +124,33 @@ void stabilizer_simulator::apply_cx( uint32_t control, uint32_t target )
 
 void stabilizer_simulator::apply_cz( uint32_t control, uint32_t target )
 {
-  apply_h( target );
-  apply_cx( control, target );
-  apply_h( target );
+  /* direct update: X_c -> X_c Z_t, X_t -> Z_c X_t, Z's fixed */
+  for ( auto& row : rows_ )
+  {
+    const bool xc = get_x( row, control );
+    const bool zc = get_z( row, control );
+    const bool xt = get_x( row, target );
+    const bool zt = get_z( row, target );
+    row.sign ^= xc && xt && ( zc != zt );
+    set_z( row, control, zc != xt );
+    set_z( row, target, zt != xc );
+  }
 }
 
 void stabilizer_simulator::apply_swap( uint32_t a, uint32_t b )
 {
-  apply_cx( a, b );
-  apply_cx( b, a );
-  apply_cx( a, b );
+  /* pure qubit relabeling: swap the a and b columns of X and Z */
+  for ( auto& row : rows_ )
+  {
+    const bool xa = get_x( row, a );
+    const bool xb = get_x( row, b );
+    const bool za = get_z( row, a );
+    const bool zb = get_z( row, b );
+    set_x( row, a, xb );
+    set_x( row, b, xa );
+    set_z( row, a, zb );
+    set_z( row, b, za );
+  }
 }
 
 void stabilizer_simulator::rowsum( pauli_row& target, const pauli_row& source ) const
@@ -169,6 +199,12 @@ bool stabilizer_simulator::is_deterministic( uint32_t qubit ) const
 
 bool stabilizer_simulator::measure( uint32_t qubit )
 {
+  return measure( qubit, rng_ );
+}
+
+bool stabilizer_simulator::measure( uint32_t qubit, std::mt19937_64& rng )
+{
+  last_measure_random_ = false;
   uint32_t pivot = 2u * num_qubits_;
   for ( uint32_t p = num_qubits_; p < 2u * num_qubits_; ++p )
   {
@@ -193,7 +229,8 @@ bool stabilizer_simulator::measure( uint32_t qubit )
     rows_[pivot] = pauli_row{ std::vector<uint64_t>( num_words_, 0u ),
                               std::vector<uint64_t>( num_words_, 0u ), false };
     set_z( rows_[pivot], qubit, true );
-    const bool outcome = ( rng_() & 1u ) != 0u;
+    last_measure_random_ = true;
+    const bool outcome = ( rng() & 1u ) != 0u;
     rows_[pivot].sign = outcome;
     return outcome;
   }
@@ -266,22 +303,99 @@ void stabilizer_simulator::run( const qcircuit& circuit )
   }
 }
 
+stabilizer_simulator::snapshot stabilizer_simulator::save() const
+{
+  snapshot saved;
+  saved.x_.reserve( rows_.size() );
+  saved.z_.reserve( rows_.size() );
+  saved.signs_.reserve( rows_.size() );
+  for ( const auto& row : rows_ )
+  {
+    saved.x_.push_back( row.x );
+    saved.z_.push_back( row.z );
+    saved.signs_.push_back( row.sign );
+  }
+  return saved;
+}
+
+void stabilizer_simulator::restore( const snapshot& saved )
+{
+  if ( saved.x_.size() != rows_.size() )
+  {
+    throw std::invalid_argument( "stabilizer_simulator::restore: snapshot size mismatch" );
+  }
+  for ( size_t i = 0u; i < rows_.size(); ++i )
+  {
+    rows_[i].x = saved.x_[i]; /* same length: assignment reuses storage */
+    rows_[i].z = saved.z_[i];
+    rows_[i].sign = saved.signs_[i];
+  }
+}
+
 std::map<uint64_t, uint64_t> stabilizer_sample_counts( const qcircuit& circuit, uint64_t shots,
                                                        uint64_t seed )
 {
+  /* simulate the unitary prefix once; every shot then restores the
+   * tableau and replays only the tail from the first measurement on */
+  stabilizer_simulator simulator( circuit.num_qubits() );
+  std::vector<qgate_view> tail;
+  bool in_tail = false;
+  for ( const auto& gate : circuit.gates() )
+  {
+    if ( !in_tail && gate.kind == gate_kind::measure )
+    {
+      in_tail = true;
+    }
+    if ( in_tail )
+    {
+      tail.push_back( gate );
+    }
+    else
+    {
+      simulator.apply_gate( gate );
+    }
+  }
+
   std::map<uint64_t, uint64_t> counts;
+  if ( tail.empty() )
+  {
+    counts[0u] = shots; /* no measurements: every shot reads the empty record */
+    return counts;
+  }
+
+  const auto snap = simulator.save();
+  /* one RNG stream for the whole sampling run: reseeding with
+   * seed + shot correlates statistics across overlapping calls */
+  std::mt19937_64 rng( seed );
   for ( uint64_t shot = 0u; shot < shots; ++shot )
   {
-    stabilizer_simulator simulator( circuit.num_qubits(), seed + shot );
-    simulator.run( circuit );
+    simulator.restore( snap );
     uint64_t key = 0u;
-    const auto& record = simulator.measurement_record();
-    for ( uint32_t i = 0u; i < record.size() && i < 64u; ++i )
+    uint32_t measure_index = 0u;
+    bool any_random = false;
+    for ( const auto& gate : tail )
     {
-      if ( record[i].second )
+      if ( gate.kind == gate_kind::measure )
       {
-        key |= uint64_t{ 1 } << i;
+        const bool bit = simulator.measure( gate.target, rng );
+        any_random = any_random || simulator.last_measure_was_random();
+        if ( bit && measure_index < 64u )
+        {
+          key |= uint64_t{ 1 } << measure_index;
+        }
+        ++measure_index;
       }
+      else
+      {
+        simulator.apply_gate( gate );
+      }
+    }
+    if ( shot == 0u && !any_random )
+    {
+      /* no randomness consumed: every shot is identical (e.g. the
+       * deterministic Bravyi-Gosset inner-product instances) */
+      counts[key] = shots;
+      return counts;
     }
     ++counts[key];
   }

@@ -11,7 +11,11 @@
  *
  *  Representation: the standard 2n x (2n+1) binary tableau; rows
  *  0..n-1 are destabilizers, n..2n-1 stabilizers; each row stores X and
- *  Z bit vectors plus a sign bit.
+ *  Z bit vectors plus a sign bit.  Every Clifford generator has a
+ *  direct single-pass tableau update (X/Y/Z/Sdg/CZ/SWAP included --
+ *  they are not composed from H and S), and `stabilizer_sample_counts`
+ *  simulates the unitary prefix once and snapshots the tableau per
+ *  shot instead of re-running the whole circuit `shots` times.
  */
 #pragma once
 
@@ -45,8 +49,20 @@ public:
   void apply_cz( uint32_t control, uint32_t target );
   void apply_swap( uint32_t a, uint32_t b );
 
-  /*! \brief Measures `qubit` in the computational basis (collapsing). */
+  /*! \brief Measures `qubit` in the computational basis (collapsing),
+   *         drawing any random outcome from the internal RNG.
+   */
   bool measure( uint32_t qubit );
+
+  /*! \brief Measures `qubit`, drawing any random outcome from `rng`
+   *         (lets a multi-shot sampler share one seeded stream).
+   */
+  bool measure( uint32_t qubit, std::mt19937_64& rng );
+
+  /*! \brief True if the most recent measure() drew from the RNG
+   *         (i.e. the outcome was not deterministic).
+   */
+  bool last_measure_was_random() const noexcept { return last_measure_random_; }
 
   /*! \brief True if the next measurement of `qubit` is deterministic. */
   bool is_deterministic( uint32_t qubit ) const;
@@ -64,6 +80,23 @@ public:
   {
     return measurements_;
   }
+
+  /*! \brief Opaque copy of the tableau (not the measurement record). */
+  class snapshot
+  {
+    friend class stabilizer_simulator;
+    std::vector<std::vector<uint64_t>> x_;
+    std::vector<std::vector<uint64_t>> z_;
+    std::vector<bool> signs_;
+  };
+
+  /*! \brief Captures the current tableau. */
+  snapshot save() const;
+
+  /*! \brief Restores a tableau captured by `save` (reuses the existing
+   *         row storage: no allocation when sizes match).
+   */
+  void restore( const snapshot& saved );
 
 private:
   struct pauli_row
@@ -86,10 +119,15 @@ private:
   std::vector<pauli_row> rows_; /* 2n rows: destabilizers then stabilizers */
   std::mt19937_64 rng_;
   std::vector<std::pair<uint32_t, bool>> measurements_;
+  bool last_measure_random_ = false;
 };
 
-/*! \brief Runs `circuit` `shots` times on fresh tableaux and histograms
- *         the measured outcomes (bit i = i-th measure gate).
+/*! \brief Runs `circuit` `shots` times and histograms the measured
+ *         outcomes (bit i = i-th measure gate).  The unitary prefix is
+ *         simulated once; each shot restores a tableau snapshot and
+ *         replays only the measurement tail.  All shots draw from ONE
+ *         RNG stream seeded with `seed` (per-shot reseeding would
+ *         correlate shot statistics across overlapping calls).
  */
 std::map<uint64_t, uint64_t> stabilizer_sample_counts( const qcircuit& circuit, uint64_t shots,
                                                        uint64_t seed = 1u );

@@ -1,6 +1,11 @@
 #include "simulator/statevector.hpp"
 
+#include "simulator/fusion.hpp"
+#include "simulator/kernels.hpp"
+
+#include <algorithm>
 #include <cmath>
+#include <numbers>
 #include <numeric>
 #include <stdexcept>
 
@@ -17,6 +22,16 @@ uint64_t checked_dimension( uint32_t num_qubits )
     throw std::invalid_argument( "statevector_simulator: too many qubits for full state vector" );
   }
   return uint64_t{ 1 } << num_qubits;
+}
+
+uint64_t control_mask_of( std::span<const uint32_t> controls )
+{
+  uint64_t mask = 0u;
+  for ( const auto control : controls )
+  {
+    mask |= uint64_t{ 1 } << control;
+  }
+  return mask;
 }
 
 } // namespace
@@ -44,8 +59,81 @@ void statevector_simulator::set_basis_state( uint64_t basis_state )
   state_[basis_state] = 1.0;
 }
 
-void statevector_simulator::apply_single_qubit( const std::array<amplitude, 4>& matrix,
-                                                uint32_t qubit )
+/* ---- specialized single-gate dispatch ---- */
+
+void statevector_simulator::specialized_apply_gate( const qgate_view& gate )
+{
+  amplitude* state = state_.data();
+  const uint64_t dim = state_.size();
+  switch ( gate.kind )
+  {
+  case gate_kind::h:
+  case gate_kind::rx:
+  case gate_kind::ry:
+    sim::apply_1q( state, dim, gate.target, single_qubit_matrix( gate.kind, gate.angle ) );
+    break;
+  case gate_kind::x:
+    sim::apply_mcx( state, dim, 0u, gate.target );
+    break;
+  case gate_kind::y:
+    sim::apply_1q_antidiag( state, dim, gate.target, amplitude( 0.0, -1.0 ),
+                            amplitude( 0.0, 1.0 ) );
+    break;
+  case gate_kind::z:
+    sim::apply_phase_masked( state, dim, uint64_t{ 1 } << gate.target, amplitude{ -1.0 } );
+    break;
+  case gate_kind::s:
+    sim::apply_phase_masked( state, dim, uint64_t{ 1 } << gate.target, amplitude( 0.0, 1.0 ) );
+    break;
+  case gate_kind::sdg:
+    sim::apply_phase_masked( state, dim, uint64_t{ 1 } << gate.target, amplitude( 0.0, -1.0 ) );
+    break;
+  case gate_kind::t:
+  case gate_kind::tdg:
+  {
+    const double sign = gate.kind == gate_kind::t ? 1.0 : -1.0;
+    sim::apply_phase_masked( state, dim, uint64_t{ 1 } << gate.target,
+                             std::exp( amplitude( 0.0, sign * std::numbers::pi / 4.0 ) ) );
+    break;
+  }
+  case gate_kind::rz:
+    sim::apply_1q_diag( state, dim, gate.target,
+                        std::exp( amplitude( 0.0, -gate.angle / 2.0 ) ),
+                        std::exp( amplitude( 0.0, gate.angle / 2.0 ) ) );
+    break;
+  case gate_kind::cx:
+  case gate_kind::mcx:
+    sim::apply_mcx( state, dim, control_mask_of( gate.controls ), gate.target );
+    break;
+  case gate_kind::cz:
+  case gate_kind::mcz:
+    sim::apply_phase_masked(
+        state, dim, control_mask_of( gate.controls ) | ( uint64_t{ 1 } << gate.target ),
+        amplitude{ -1.0 } );
+    break;
+  case gate_kind::swap:
+    sim::apply_swap( state, dim, gate.target, gate.target2 );
+    break;
+  case gate_kind::measure:
+    measurements_.emplace_back( gate.target, measure_qubit( gate.target ) );
+    break;
+  case gate_kind::barrier:
+    break;
+  case gate_kind::global_phase:
+    sim::apply_scalar( state, dim, std::exp( amplitude( 0.0, gate.angle ) ) );
+    break;
+  }
+}
+
+void statevector_simulator::apply_gate( const qgate_view& gate )
+{
+  specialized_apply_gate( gate );
+}
+
+/* ---- naive reference path (cross-checks, before/after bench) ---- */
+
+void statevector_simulator::naive_apply_single_qubit( const std::array<amplitude, 4>& matrix,
+                                                      uint32_t qubit )
 {
   const uint64_t stride = uint64_t{ 1 } << qubit;
   for ( uint64_t base = 0u; base < state_.size(); base += 2u * stride )
@@ -62,14 +150,10 @@ void statevector_simulator::apply_single_qubit( const std::array<amplitude, 4>& 
   }
 }
 
-void statevector_simulator::apply_controlled_single_qubit(
+void statevector_simulator::naive_apply_controlled_single_qubit(
     const std::array<amplitude, 4>& matrix, std::span<const uint32_t> controls, uint32_t qubit )
 {
-  uint64_t control_mask = 0u;
-  for ( const auto control : controls )
-  {
-    control_mask |= uint64_t{ 1 } << control;
-  }
+  const uint64_t control_mask = control_mask_of( controls );
   const uint64_t stride = uint64_t{ 1 } << qubit;
   for ( uint64_t base = 0u; base < state_.size(); base += 2u * stride )
   {
@@ -89,7 +173,7 @@ void statevector_simulator::apply_controlled_single_qubit(
   }
 }
 
-void statevector_simulator::apply_swap( uint32_t a, uint32_t b )
+void statevector_simulator::naive_apply_swap( uint32_t a, uint32_t b )
 {
   const uint64_t bit_a = uint64_t{ 1 } << a;
   const uint64_t bit_b = uint64_t{ 1 } << b;
@@ -104,35 +188,7 @@ void statevector_simulator::apply_swap( uint32_t a, uint32_t b )
   }
 }
 
-bool statevector_simulator::measure_qubit( uint32_t qubit )
-{
-  const uint64_t bit = uint64_t{ 1 } << qubit;
-  double p_one = 0.0;
-  for ( uint64_t i = 0u; i < state_.size(); ++i )
-  {
-    if ( i & bit )
-    {
-      p_one += std::norm( state_[i] );
-    }
-  }
-  std::uniform_real_distribution<double> dist( 0.0, 1.0 );
-  const bool outcome = dist( rng_ ) < p_one;
-  const double renorm = 1.0 / std::sqrt( outcome ? p_one : 1.0 - p_one );
-  for ( uint64_t i = 0u; i < state_.size(); ++i )
-  {
-    if ( ( ( i & bit ) != 0u ) == outcome )
-    {
-      state_[i] *= renorm;
-    }
-    else
-    {
-      state_[i] = 0.0;
-    }
-  }
-  return outcome;
-}
-
-void statevector_simulator::apply_gate( const qgate_view& gate )
+void statevector_simulator::naive_apply_gate( const qgate_view& gate )
 {
   switch ( gate.kind )
   {
@@ -147,20 +203,20 @@ void statevector_simulator::apply_gate( const qgate_view& gate )
   case gate_kind::rx:
   case gate_kind::ry:
   case gate_kind::rz:
-    apply_single_qubit( single_qubit_matrix( gate.kind, gate.angle ), gate.target );
+    naive_apply_single_qubit( single_qubit_matrix( gate.kind, gate.angle ), gate.target );
     break;
   case gate_kind::cx:
   case gate_kind::mcx:
-    apply_controlled_single_qubit( single_qubit_matrix( gate_kind::x, 0.0 ), gate.controls,
-                                   gate.target );
+    naive_apply_controlled_single_qubit( single_qubit_matrix( gate_kind::x, 0.0 ), gate.controls,
+                                         gate.target );
     break;
   case gate_kind::cz:
   case gate_kind::mcz:
-    apply_controlled_single_qubit( single_qubit_matrix( gate_kind::z, 0.0 ), gate.controls,
-                                   gate.target );
+    naive_apply_controlled_single_qubit( single_qubit_matrix( gate_kind::z, 0.0 ), gate.controls,
+                                         gate.target );
     break;
   case gate_kind::swap:
-    apply_swap( gate.target, gate.target2 );
+    naive_apply_swap( gate.target, gate.target2 );
     break;
   case gate_kind::measure:
     measurements_.emplace_back( gate.target, measure_qubit( gate.target ) );
@@ -179,17 +235,55 @@ void statevector_simulator::apply_gate( const qgate_view& gate )
   }
 }
 
+/* ---- measurement ---- */
+
+bool statevector_simulator::measure_qubit( uint32_t qubit )
+{
+  const double p_one = sim::prob_one( state_.data(), state_.size(), qubit );
+  std::uniform_real_distribution<double> dist( 0.0, 1.0 );
+  const bool outcome = dist( rng_ ) < p_one;
+  const double renorm = 1.0 / std::sqrt( outcome ? p_one : 1.0 - p_one );
+  sim::collapse( state_.data(), state_.size(), qubit, outcome, renorm );
+  return outcome;
+}
+
+/* ---- execution ---- */
+
 void statevector_simulator::run( const qcircuit& circuit )
 {
   if ( circuit.num_qubits() != num_qubits_ )
   {
     throw std::invalid_argument( "statevector_simulator::run: qubit count mismatch" );
   }
+  run_program( sim::compile( circuit ) );
+}
+
+void statevector_simulator::run_naive( const qcircuit& circuit )
+{
+  if ( circuit.num_qubits() != num_qubits_ )
+  {
+    throw std::invalid_argument( "statevector_simulator::run_naive: qubit count mismatch" );
+  }
   for ( const auto& gate : circuit.gates() )
   {
-    apply_gate( gate );
+    naive_apply_gate( gate );
   }
 }
+
+void statevector_simulator::run_program( const sim::program& prog )
+{
+  if ( prog.num_qubits != num_qubits_ )
+  {
+    throw std::invalid_argument( "statevector_simulator::run_program: qubit count mismatch" );
+  }
+  sim::execute( prog, state_.data(), state_.size(), [this]( uint32_t qubit ) {
+    const bool outcome = measure_qubit( qubit );
+    measurements_.emplace_back( qubit, outcome );
+    return outcome;
+  } );
+}
+
+/* ---- observables ---- */
 
 double statevector_simulator::probability_of( uint64_t basis_state ) const
 {
@@ -203,10 +297,7 @@ double statevector_simulator::probability_of( uint64_t basis_state ) const
 std::vector<double> statevector_simulator::probabilities() const
 {
   std::vector<double> result( state_.size() );
-  for ( uint64_t i = 0u; i < state_.size(); ++i )
-  {
-    result[i] = std::norm( state_[i] );
-  }
+  sim::probabilities_into( state_.data(), state_.size(), result.data() );
   return result;
 }
 
@@ -227,45 +318,57 @@ uint64_t statevector_simulator::sample( std::mt19937_64& rng ) const
 
 double statevector_simulator::norm() const
 {
-  double total = 0.0;
-  for ( const auto& amp : state_ )
+  return sim::norm_sum( state_.data(), state_.size() );
+}
+
+/* ---- multi-shot sampling ---- */
+
+shot_sampler::shot_sampler( const statevector_simulator& simulator )
+    : cumulative_( simulator.state().size() )
+{
+  const auto& state = simulator.state();
+  double running = 0.0;
+  for ( uint64_t i = 0u; i < state.size(); ++i )
   {
-    total += std::norm( amp );
+    running += std::norm( state[i] );
+    cumulative_[i] = running;
   }
-  return total;
+}
+
+uint64_t shot_sampler::sample( std::mt19937_64& rng ) const
+{
+  std::uniform_real_distribution<double> dist( 0.0, 1.0 );
+  const double threshold = dist( rng );
+  const auto it = std::lower_bound( cumulative_.begin(), cumulative_.end(), threshold );
+  if ( it == cumulative_.end() )
+  {
+    return cumulative_.size() - 1u;
+  }
+  return static_cast<uint64_t>( it - cumulative_.begin() );
 }
 
 std::map<uint64_t, uint64_t> sample_counts( const qcircuit& circuit, uint64_t shots, uint64_t seed )
 {
-  /* split the circuit into its unitary prefix and the measured qubits */
-  qcircuit unitary_part( circuit.num_qubits() );
+  /* compile the unitary part straight from the gate view (no circuit
+   * copy); measures are recorded, not executed */
   std::vector<uint32_t> measured;
-  for ( const auto& gate : circuit.gates() )
-  {
-    if ( gate.kind == gate_kind::measure )
-    {
-      measured.push_back( gate.target );
-    }
-    else if ( gate.kind != gate_kind::barrier )
-    {
-      unitary_part.add_gate( gate );
-    }
-  }
+  const auto prog = sim::compile_unitary_prefix( circuit, measured );
   if ( measured.empty() )
   {
     throw std::invalid_argument( "sample_counts: circuit has no measurements" );
   }
 
   statevector_simulator simulator( circuit.num_qubits() );
-  simulator.run( unitary_part );
+  simulator.run_program( prog );
 
+  const shot_sampler sampler( simulator );
   std::mt19937_64 rng( seed );
   std::map<uint64_t, uint64_t> counts;
   for ( uint64_t shot = 0u; shot < shots; ++shot )
   {
-    const uint64_t full = simulator.sample( rng );
+    const uint64_t full = sampler.sample( rng );
     uint64_t key = 0u;
-    for ( uint32_t i = 0u; i < measured.size(); ++i )
+    for ( uint32_t i = 0u; i < measured.size() && i < 64u; ++i )
     {
       if ( ( full >> measured[i] ) & 1u )
       {

@@ -6,6 +6,13 @@
  *  index arithmetic.  Comfortable up to ~24 qubits on a laptop, which
  *  covers every experiment in the paper (the paper's own discussion of
  *  45-qubit simulations needed 0.5 PB, Sec. I).
+ *
+ *  Execution goes through the high-throughput engine: `run` compiles
+ *  the circuit with gate fusion (simulator/fusion.hpp) and executes
+ *  specialized, multithreaded kernels (simulator/kernels.hpp);
+ *  `apply_gate` dispatches a single gate to its specialized kernel.
+ *  `run_naive` keeps the original scalar gate-by-gate reference path
+ *  for cross-checking and benchmarking.
  */
 #pragma once
 
@@ -22,7 +29,12 @@
 namespace qda
 {
 
-/*! \brief State-vector simulator with gate-by-gate execution. */
+namespace sim
+{
+struct program;
+}
+
+/*! \brief State-vector simulator with fused, specialized kernels. */
 class statevector_simulator
 {
 public:
@@ -40,21 +52,35 @@ public:
   /*! \brief Prepares a computational basis state. */
   void set_basis_state( uint64_t basis_state );
 
-  /*! \brief Applies one gate (measure collapses with the internal RNG;
-   *         the outcome is appended to `measurement_record()`).
+  /*! \brief Applies one gate through its specialized kernel (measure
+   *         collapses with the internal RNG; the outcome is appended to
+   *         `measurement_record()`).
    */
   void apply_gate( const qgate_view& gate );
 
-  /*! \brief Applies all gates of a circuit. */
+  /*! \brief Applies all gates of a circuit (compiled with gate fusion,
+   *         executed with specialized multithreaded kernels).
+   */
   void run( const qcircuit& circuit );
+
+  /*! \brief Reference path: gate-by-gate generic 2x2 matmuls, no
+   *         fusion, no specialization.  Kept for cross-checks and the
+   *         before/after benchmark.
+   */
+  void run_naive( const qcircuit& circuit );
+
+  /*! \brief Executes a pre-compiled kernel program (see sim::compile). */
+  void run_program( const sim::program& prog );
 
   /*! \brief Probability of observing `basis_state` on full measurement. */
   double probability_of( uint64_t basis_state ) const;
 
-  /*! \brief All 2^n outcome probabilities. */
+  /*! \brief All 2^n outcome probabilities (one parallel pass). */
   std::vector<double> probabilities() const;
 
-  /*! \brief Samples a full measurement without collapsing the state. */
+  /*! \brief Samples a full measurement without collapsing the state.
+   *         One O(2^n) scan per call; use `shot_sampler` for many shots.
+   */
   uint64_t sample( std::mt19937_64& rng ) const;
 
   /*! \brief Measurement outcomes recorded so far (qubit, bit). */
@@ -63,14 +89,18 @@ public:
     return measurements_;
   }
 
-  /*! \brief Squared norm (should stay 1 within numerical error). */
+  /*! \brief Squared norm (should stay 1 within numerical error);
+   *         deterministic blocked reduction, thread-count independent.
+   */
   double norm() const;
 
 private:
-  void apply_single_qubit( const std::array<amplitude, 4>& matrix, uint32_t qubit );
-  void apply_controlled_single_qubit( const std::array<amplitude, 4>& matrix,
-                                      std::span<const uint32_t> controls, uint32_t qubit );
-  void apply_swap( uint32_t a, uint32_t b );
+  void specialized_apply_gate( const qgate_view& gate );
+  void naive_apply_gate( const qgate_view& gate );
+  void naive_apply_single_qubit( const std::array<amplitude, 4>& matrix, uint32_t qubit );
+  void naive_apply_controlled_single_qubit( const std::array<amplitude, 4>& matrix,
+                                            std::span<const uint32_t> controls, uint32_t qubit );
+  void naive_apply_swap( uint32_t a, uint32_t b );
   bool measure_qubit( uint32_t qubit );
 
   uint32_t num_qubits_;
@@ -79,9 +109,27 @@ private:
   std::vector<std::pair<uint32_t, bool>> measurements_;
 };
 
+/*! \brief Multi-shot sampler over a prepared state: builds the
+ *         cumulative outcome distribution once (O(2^n)), then draws
+ *         each shot by binary search (O(n)) instead of an O(2^n) scan.
+ */
+class shot_sampler
+{
+public:
+  explicit shot_sampler( const statevector_simulator& simulator );
+
+  /*! \brief Draws one full-register outcome (no state collapse). */
+  uint64_t sample( std::mt19937_64& rng ) const;
+
+private:
+  std::vector<double> cumulative_;
+};
+
 /*! \brief Runs `circuit` `shots` times and histograms the outcomes of the
  *         measured qubits (bit i of the key = i-th measured qubit).
- *         The unitary part is simulated once; sampling reuses the state.
+ *         The unitary part is compiled (fused) and simulated once;
+ *         sampling reuses the state via a cumulative-distribution
+ *         binary search per shot.
  */
 std::map<uint64_t, uint64_t> sample_counts( const qcircuit& circuit, uint64_t shots,
                                             uint64_t seed = 1u );

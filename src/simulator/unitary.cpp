@@ -1,5 +1,7 @@
 #include "simulator/unitary.hpp"
 
+#include "simulator/fusion.hpp"
+#include "simulator/kernels.hpp"
 #include "simulator/statevector.hpp"
 
 #include <cmath>
@@ -20,13 +22,22 @@ unitary_matrix build_unitary( const qcircuit& circuit )
   }
   const uint64_t dimension = uint64_t{ 1 } << circuit.num_qubits();
   unitary_matrix result( dimension );
-  statevector_simulator simulator( circuit.num_qubits() );
-  for ( uint64_t column = 0u; column < dimension; ++column )
-  {
-    simulator.set_basis_state( column );
-    simulator.run( circuit );
-    result[column] = simulator.state();
-  }
+  /* compile once, then push every basis column through the specialized
+   * kernels -- parallel over columns (each column is small, so its own
+   * kernels run inline) instead of re-walking the circuit per column */
+  const auto prog = sim::compile( circuit );
+  sim::parallel_for(
+      dimension,
+      [&]( uint64_t begin, uint64_t end ) {
+        for ( uint64_t column = begin; column < end; ++column )
+        {
+          auto& column_state = result[column];
+          column_state.assign( dimension, std::complex<double>{ 0.0 } );
+          column_state[column] = 1.0;
+          sim::execute( prog, column_state.data(), dimension );
+        }
+      },
+      /*work_per_item=*/dimension * std::max<uint64_t>( prog.ops.size(), 1u ) );
   return result;
 }
 
