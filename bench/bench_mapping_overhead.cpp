@@ -1,20 +1,31 @@
 /*! \file bench_mapping_overhead.cpp
- *  \brief Experiment E10: coupling-map routing overhead.
+ *  \brief Experiment E10: hardware-mapping quality (BENCH_map.json).
  *
- *  Ablation of the Fig. 6 pipeline's hardware-mapping stage: the same
- *  logical circuits routed onto IBM QX2, QX4, QX5, a line and a fully
- *  connected device.  Reports inserted SWAPs, CNOT direction fixes and
- *  the growth in CNOT count and depth -- the overhead a real chip pays
- *  relative to the logical circuit.
+ *  Two ablations of the Fig. 6 pipeline's mapping stage on hwb and
+ *  hidden-shift workloads:
+ *
+ *  1. MCT lowering strategies: T/CNOT/H/depth and helper-qubit cost of
+ *     the clean V-chain (with and without relative phase), the Barenco
+ *     dirty-ancilla chain, the ancilla-free recursive split and the
+ *     automatic cost-model selection.
+ *  2. Routers: SWAPs, direction fixes, CNOTs and depth of the greedy
+ *     baseline vs the SABRE lookahead router across IBM QX2/QX4/QX5, a
+ *     16-qubit line and an all-to-all device.
+ *
+ *  Emits BENCH_map.json and (outside QDA_BENCH_SMOKE) enforces the
+ *  no-regression floor: SABRE must insert >= 25% fewer SWAPs than the
+ *  greedy baseline in aggregate.
  */
 #include "core/hidden_shift.hpp"
+#include "mapping/clifford_t.hpp"
 #include "mapping/router.hpp"
 #include "optimization/peephole.hpp"
 #include "synthesis/revgen.hpp"
 #include "synthesis/transformation_based.hpp"
-#include "mapping/clifford_t.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -22,60 +33,237 @@ int main()
 {
   using namespace qda;
 
-  struct logical_case
+  const char* smoke_env = std::getenv( "QDA_BENCH_SMOKE" );
+  const bool smoke = smoke_env != nullptr && std::string( smoke_env ) == "1";
+
+  /* ---- workloads ---- */
+
+  struct rev_workload
+  {
+    std::string name;
+    rev_circuit circuit;
+  };
+  struct quantum_workload
   {
     std::string name;
     qcircuit circuit;
   };
 
-  std::vector<logical_case> cases;
+  std::vector<rev_workload> rev_workloads;
+  rev_workloads.push_back( { "hwb4", transformation_based_synthesis( hwb_permutation( 4u ) ) } );
+  if ( !smoke )
+  {
+    rev_workloads.push_back(
+        { "hwb6", transformation_based_synthesis( hwb_permutation( 6u ) ) } );
+  }
+
+  std::vector<quantum_workload> quantum_workloads;
   {
     const auto f = inner_product_function( 2u, /*interleaved=*/true );
-    cases.push_back( { "hs-fig5 (4q)", hidden_shift_circuit( { f, 1u } ) } );
-  }
-  {
-    const auto reversible = transformation_based_synthesis( hwb_permutation( 4u ) );
-    auto mapped = map_to_clifford_t( reversible );
-    mapped.circuit.measure_all();
-    cases.push_back( { "hwb4-cliff (5q)", std::move( mapped.circuit ) } );
+    quantum_workloads.push_back( { "hs-fig5", hidden_shift_circuit( { f, 1u } ) } );
   }
   {
     const auto f = mm_bent_function::paper_fig7();
-    const auto logical = hidden_shift_circuit_mm( f, 5u );
-    auto lowered = lower_multi_controlled_gates( logical );
-    cases.push_back( { "hs-fig8 (6q)", std::move( lowered.circuit ) } );
+    quantum_workloads.push_back( { "hs-fig8", hidden_shift_circuit_mm( f, 5u ) } );
+  }
+
+  /* ---- 1. lowering strategies ---- */
+
+  struct strategy_row
+  {
+    std::string workload;
+    std::string strategy;
+    circuit_statistics stats;
+    uint32_t helpers;
+  };
+  std::vector<strategy_row> strategy_rows;
+
+  struct strategy_config
+  {
+    const char* label;
+    mct_strategy strategy;
+    bool relative_phase;
+  };
+  const std::vector<strategy_config> strategy_configs{
+      { "clean-rp", mct_strategy::clean, true },
+      { "clean", mct_strategy::clean, false },
+      { "dirty", mct_strategy::dirty, true },
+      { "recursive", mct_strategy::recursive, true },
+      { "auto", mct_strategy::automatic, true },
+  };
+
+  std::printf( "E10a: MCT lowering strategies (infeasible strategies fall back per gate)\n" );
+  std::printf( "%-10s %-10s %-7s %-8s %-8s %-8s %-8s %-8s\n", "workload", "strategy", "qubits",
+               "helpers", "T", "CNOT", "H", "depth" );
+  const auto record_strategy = [&]( const std::string& workload, const char* label,
+                                    const clifford_t_result& mapped ) {
+    const auto stats = compute_statistics( mapped.circuit );
+    strategy_rows.push_back( { workload, label, stats, mapped.num_helper_qubits } );
+    std::printf( "%-10s %-10s %-7u %-8u %-8llu %-8llu %-8llu %-8llu\n", workload.c_str(), label,
+                 stats.num_qubits, mapped.num_helper_qubits,
+                 static_cast<unsigned long long>( stats.t_count ),
+                 static_cast<unsigned long long>( stats.cnot_count ),
+                 static_cast<unsigned long long>( stats.h_count ),
+                 static_cast<unsigned long long>( stats.depth ) );
+  };
+  for ( const auto& workload : rev_workloads )
+  {
+    for ( const auto& config : strategy_configs )
+    {
+      clifford_t_options options;
+      options.strategy = config.strategy;
+      options.use_relative_phase = config.relative_phase;
+      record_strategy( workload.name, config.label,
+                       map_to_clifford_t( workload.circuit, options ) );
+    }
+  }
+  for ( const auto& workload : quantum_workloads )
+  {
+    for ( const auto& config : strategy_configs )
+    {
+      clifford_t_options options;
+      options.strategy = config.strategy;
+      options.use_relative_phase = config.relative_phase;
+      record_strategy( workload.name, config.label,
+                       lower_multi_controlled_gates( workload.circuit, options ) );
+    }
+  }
+
+  /* ---- 2. routers ---- */
+
+  struct routed_workload
+  {
+    std::string name;
+    qcircuit circuit;
+  };
+  std::vector<routed_workload> routed_workloads;
+  for ( const auto& workload : rev_workloads )
+  {
+    auto mapped = map_to_clifford_t( workload.circuit );
+    mapped.circuit.measure_all();
+    routed_workloads.push_back( { workload.name + "-cliff", std::move( mapped.circuit ) } );
+  }
+  for ( const auto& workload : quantum_workloads )
+  {
+    auto lowered = lower_multi_controlled_gates( workload.circuit );
+    routed_workloads.push_back( { workload.name, std::move( lowered.circuit ) } );
   }
 
   std::vector<coupling_map> devices{ coupling_map::ibm_qx2(), coupling_map::ibm_qx4(),
                                      coupling_map::ibm_qx5(), coupling_map::linear( 16u ),
                                      coupling_map::fully_connected( 16u ) };
 
-  std::printf( "E10: routing overhead per device\n" );
-  std::printf( "%-16s %-10s %-7s %-9s %-12s %-12s %-12s\n", "circuit", "device", "swaps",
-               "dirfixes", "2q-logical", "CNOT-phys", "depth-phys" );
-
-  for ( const auto& test : cases )
+  struct routing_row
   {
-    const auto logical_stats = compute_statistics( test.circuit );
+    std::string workload;
+    std::string device;
+    std::string router;
+    uint64_t swaps;
+    uint64_t direction_fixes;
+    circuit_statistics stats;
+  };
+  std::vector<routing_row> routing_rows;
+  uint64_t greedy_total_swaps = 0u;
+  uint64_t sabre_total_swaps = 0u;
+
+  std::printf( "\nE10b: routing overhead per device and router\n" );
+  std::printf( "%-14s %-10s %-8s %-7s %-9s %-12s %-12s\n", "circuit", "device", "router",
+               "swaps", "dirfixes", "CNOT-phys", "depth-phys" );
+  for ( const auto& workload : routed_workloads )
+  {
     for ( const auto& device : devices )
     {
-      if ( test.circuit.num_qubits() > device.num_qubits() )
+      if ( workload.circuit.num_qubits() > device.num_qubits() )
       {
         continue;
       }
-      const auto routed = route_circuit( test.circuit, device );
-      const auto polished = peephole_optimize( routed.circuit );
-      const auto physical_stats = compute_statistics( polished );
-      std::printf( "%-16s %-10s %-7llu %-9llu %-12llu %-12llu %-12llu\n", test.name.c_str(),
-                   device.name().c_str(),
-                   static_cast<unsigned long long>( routed.added_swaps ),
-                   static_cast<unsigned long long>( routed.added_direction_fixes ),
-                   static_cast<unsigned long long>( logical_stats.two_qubit_count ),
-                   static_cast<unsigned long long>( physical_stats.cnot_count ),
-                   static_cast<unsigned long long>( physical_stats.depth ) );
+      for ( const auto router : { router_kind::greedy, router_kind::sabre } )
+      {
+        router_options options;
+        options.kind = router;
+        const auto routed = route_circuit( workload.circuit, device, options );
+        const auto polished = peephole_optimize( routed.circuit );
+        const auto stats = compute_statistics( polished );
+        routing_rows.push_back( { workload.name, device.name(), router_kind_name( router ),
+                                  routed.added_swaps, routed.added_direction_fixes, stats } );
+        if ( router == router_kind::greedy )
+        {
+          greedy_total_swaps += routed.added_swaps;
+        }
+        else
+        {
+          sabre_total_swaps += routed.added_swaps;
+        }
+        std::printf( "%-14s %-10s %-8s %-7llu %-9llu %-12llu %-12llu\n", workload.name.c_str(),
+                     device.name().c_str(), router_kind_name( router ),
+                     static_cast<unsigned long long>( routed.added_swaps ),
+                     static_cast<unsigned long long>( routed.added_direction_fixes ),
+                     static_cast<unsigned long long>( stats.cnot_count ),
+                     static_cast<unsigned long long>( stats.depth ) );
+      }
     }
   }
-  std::printf( "\nreading: restricted, directed topologies (qx4) pay SWAPs and H-conjugation;\n"
-               "all-to-all coupling routes for free.\n" );
+
+  const double reduction =
+      greedy_total_swaps == 0u
+          ? 0.0
+          : 100.0 * ( 1.0 - static_cast<double>( sabre_total_swaps ) /
+                                static_cast<double>( greedy_total_swaps ) );
+  std::printf( "\ntotal SWAPs: greedy %llu, sabre %llu (%.1f%% fewer; floor 25%%)\n",
+               static_cast<unsigned long long>( greedy_total_swaps ),
+               static_cast<unsigned long long>( sabre_total_swaps ), reduction );
+
+  /* ---- BENCH_map.json ---- */
+
+  std::FILE* json = std::fopen( "BENCH_map.json", "w" );
+  if ( json == nullptr )
+  {
+    std::printf( "could not open BENCH_map.json for writing\n" );
+    return 1;
+  }
+  std::fprintf( json, "{\n  \"smoke\": %s,\n  \"strategies\": [\n", smoke ? "true" : "false" );
+  for ( size_t i = 0u; i < strategy_rows.size(); ++i )
+  {
+    const auto& row = strategy_rows[i];
+    std::fprintf( json,
+                  "    {\"workload\": \"%s\", \"strategy\": \"%s\", \"qubits\": %u, "
+                  "\"helpers\": %u, \"t\": %llu, \"cnot\": %llu, \"h\": %llu, "
+                  "\"depth\": %llu}%s\n",
+                  row.workload.c_str(), row.strategy.c_str(), row.stats.num_qubits, row.helpers,
+                  static_cast<unsigned long long>( row.stats.t_count ),
+                  static_cast<unsigned long long>( row.stats.cnot_count ),
+                  static_cast<unsigned long long>( row.stats.h_count ),
+                  static_cast<unsigned long long>( row.stats.depth ),
+                  i + 1u < strategy_rows.size() ? "," : "" );
+  }
+  std::fprintf( json, "  ],\n  \"routing\": [\n" );
+  for ( size_t i = 0u; i < routing_rows.size(); ++i )
+  {
+    const auto& row = routing_rows[i];
+    std::fprintf( json,
+                  "    {\"workload\": \"%s\", \"device\": \"%s\", \"router\": \"%s\", "
+                  "\"swaps\": %llu, \"direction_fixes\": %llu, \"cnot\": %llu, "
+                  "\"t\": %llu, \"depth\": %llu}%s\n",
+                  row.workload.c_str(), row.device.c_str(), row.router.c_str(),
+                  static_cast<unsigned long long>( row.swaps ),
+                  static_cast<unsigned long long>( row.direction_fixes ),
+                  static_cast<unsigned long long>( row.stats.cnot_count ),
+                  static_cast<unsigned long long>( row.stats.t_count ),
+                  static_cast<unsigned long long>( row.stats.depth ),
+                  i + 1u < routing_rows.size() ? "," : "" );
+  }
+  std::fprintf( json,
+                "  ],\n  \"summary\": {\"greedy_swaps\": %llu, \"sabre_swaps\": %llu, "
+                "\"swap_reduction_percent\": %.2f, \"floor_percent\": 25.0}\n}\n",
+                static_cast<unsigned long long>( greedy_total_swaps ),
+                static_cast<unsigned long long>( sabre_total_swaps ), reduction );
+  std::fclose( json );
+  std::printf( "wrote BENCH_map.json\n" );
+
+  if ( !smoke && reduction < 25.0 )
+  {
+    std::printf( "FAIL: SABRE swap reduction %.1f%% is below the 25%% floor\n", reduction );
+    return 1;
+  }
   return 0;
 }

@@ -235,6 +235,14 @@ std::map<uint64_t, uint64_t> main_engine::sample_counts( uint64_t shots, uint64_
   return qda::sample_counts( circuit(), shots, seed );
 }
 
+execution_result main_engine::execute_on( const std::string& target_name, uint64_t shots,
+                                          uint64_t seed ) const
+{
+  /* constrained targets lower multi-controlled gates themselves, with
+   * their own cost weights and qubit budget (run_on_ibm_model) */
+  return target_registry::instance().run( target_name, circuit(), shots, seed );
+}
+
 void main_engine::emit_simple( gate_kind kind, uint32_t qubit )
 {
   qgate gate;

@@ -22,11 +22,13 @@
  */
 #pragma once
 
+#include "pipeline/target.hpp"
 #include "quantum/qcircuit.hpp"
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace qda
@@ -120,6 +122,16 @@ public:
    *         (unlike run(), which returns 0 for such circuits).
    */
   std::map<uint64_t, uint64_t> sample_counts( uint64_t shots, uint64_t seed = 1u ) const;
+
+  /*! \brief Runs the accumulated circuit on a registered execution
+   *         target by name -- the paper's "switch the backend by
+   *         changing two lines of code" (Sec. VII).  Constrained
+   *         (device) targets first get multi-controlled gates lowered
+   *         with the target's own cost weights and qubit budget, then
+   *         the registry routes onto the coupling map.
+   */
+  execution_result execute_on( const std::string& target_name, uint64_t shots,
+                               uint64_t seed = 1u ) const;
 
 private:
   friend class meta_scope;

@@ -76,6 +76,25 @@ flow& flow::rptm( bool use_relative_phase )
   return apply( "rptm", std::move( args ) );
 }
 
+flow& flow::rptm_strategy( const std::string& strategy, const std::string& cost_target )
+{
+  pass_arguments args;
+  args.add_option( "strategy", strategy );
+  if ( !cost_target.empty() )
+  {
+    args.add_option( "cost-target", cost_target );
+  }
+  return apply( "rptm", std::move( args ) );
+}
+
+flow& flow::route( const std::string& device, const std::string& router )
+{
+  pass_arguments args;
+  args.add_option( "device", device );
+  args.add_option( "router", router );
+  return apply( "route", std::move( args ) );
+}
+
 flow& flow::tpar( bool resynth )
 {
   pass_arguments args;
@@ -114,6 +133,11 @@ const rev_circuit& flow::reversible() const
 const qcircuit& flow::quantum() const
 {
   return ir_.require_quantum().circuit;
+}
+
+const routing_result& flow::mapped() const
+{
+  return ir_.require_mapped();
 }
 
 bool flow::verify() const

@@ -54,6 +54,18 @@ public:
   /* ---- mapping ---- */
   flow& rptm( bool use_relative_phase = true );
 
+  /*! \brief `rptm --strategy S [--cost-target T]`: MCT lowering with an
+   *         explicit strategy ("auto", "clean", "dirty", "recursive")
+   *         and optionally the cost model of a registered target.
+   */
+  flow& rptm_strategy( const std::string& strategy, const std::string& cost_target = "" );
+
+  /*! \brief `route --device D --router R`: legalizes the quantum
+   *         circuit for a device coupling map (default `ibm_qx4` with
+   *         the SABRE lookahead router).
+   */
+  flow& route( const std::string& device = "ibm_qx4", const std::string& router = "sabre" );
+
   /* ---- quantum optimization ---- */
   /*! \brief T-count optimization; `resynth = false` runs the fold-only
    *         variant (`tpar --fold-only`), keeping the CNOT skeleton.
@@ -71,6 +83,7 @@ public:
   const permutation& current_permutation() const;
   const rev_circuit& reversible() const;
   const qcircuit& quantum() const;
+  const routing_result& mapped() const;
 
   /*! \brief The staged IR backing this flow. */
   const staged_ir& ir() const noexcept { return ir_; }

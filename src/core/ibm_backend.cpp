@@ -4,16 +4,35 @@
 #include "mapping/router.hpp"
 #include "optimization/peephole.hpp"
 
+#include <algorithm>
+
 namespace qda
 {
 
 ibm_execution run_on_ibm_model( const qcircuit& logical, const coupling_map& device,
-                                const noise_model& model, uint64_t shots, uint64_t seed )
+                                const noise_model& model, uint64_t shots, uint64_t seed,
+                                std::optional<mapping_cost_weights> weights )
 {
-  /* legalize gate set first: expand any multi-controlled gates */
-  const auto lowered = lower_multi_controlled_gates( logical );
-  auto routed = route_circuit( lowered.circuit, device );
-  /* clean up the H-conjugation debris the router leaves behind */
+  /* legalize the gate set first, skipping the pass entirely when the
+   * caller (e.g. main_engine::execute_on) already lowered */
+  const auto gates = logical.gates();
+  const bool needs_lowering =
+      std::any_of( gates.begin(), gates.end(), []( const qgate_view& gate ) {
+        return gate.kind == gate_kind::mcx || gate.kind == gate_kind::mcz;
+      } );
+  const qcircuit* prepared = &logical;
+  std::optional<clifford_t_result> lowered;
+  if ( needs_lowering )
+  {
+    clifford_t_options lowering;
+    lowering.weights = weights.value_or( mapping_cost_weights::noisy_device() );
+    lowering.max_qubits = device.num_qubits();
+    lowered = lower_multi_controlled_gates( logical, lowering );
+    prepared = &lowered->circuit;
+  }
+  /* SABRE lookahead routing with layout search (router_options default) */
+  auto routed = route_circuit( *prepared, device, router_options{} );
+  /* clean up what the emission-time H merging could not see */
   const auto polished = peephole_optimize( routed.circuit );
   ibm_execution result{ sample_counts_noisy( polished, model, shots, seed ), polished,
                         routed.added_swaps, routed.added_direction_fixes };

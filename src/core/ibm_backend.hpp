@@ -11,10 +11,12 @@
 #pragma once
 
 #include "mapping/coupling_map.hpp"
+#include "mapping/mct_lowering.hpp"
 #include "quantum/qcircuit.hpp"
 #include "simulator/noise.hpp"
 
 #include <map>
+#include <optional>
 
 namespace qda
 {
@@ -30,11 +32,15 @@ struct ibm_execution
 
 /*! \brief Routes `logical` onto `device` and runs `shots` noisy shots.
  *
- *  The outcome key's bit i corresponds to the i-th measure gate of the
- *  logical circuit (routing preserves the order), so results read back
- *  in logical qubit order.
+ *  Remaining multi-controlled gates are lowered first under `weights`
+ *  (the target's cost model; defaults to the CNOT-heavy noisy-device
+ *  weights) with the device size as qubit budget.  The outcome key's
+ *  bit i corresponds to the i-th measure gate of the logical circuit
+ *  (routing preserves the order), so results read back in logical
+ *  qubit order.
  */
 ibm_execution run_on_ibm_model( const qcircuit& logical, const coupling_map& device,
-                                const noise_model& model, uint64_t shots, uint64_t seed = 1u );
+                                const noise_model& model, uint64_t shots, uint64_t seed = 1u,
+                                std::optional<mapping_cost_weights> weights = std::nullopt );
 
 } // namespace qda

@@ -1,0 +1,113 @@
+#include "mapping/ancilla.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qda
+{
+
+ancilla_manager::ancilla_manager( uint32_t num_data_lines, std::optional<uint32_t> max_qubits )
+    : data_lines_( num_data_lines ), max_qubits_( max_qubits ), total_wires_( num_data_lines )
+{
+  if ( max_qubits_ && *max_qubits_ < num_data_lines )
+  {
+    throw std::invalid_argument(
+        "ancilla_manager: qubit budget is smaller than the data line count" );
+  }
+}
+
+uint32_t ancilla_manager::clean_capacity() const noexcept
+{
+  const uint32_t growth =
+      max_qubits_ ? *max_qubits_ - total_wires_ : ~uint32_t{ 0 } - total_wires_;
+  return static_cast<uint32_t>( free_clean_.size() ) + growth;
+}
+
+std::vector<uint32_t> ancilla_manager::acquire_clean( uint32_t count )
+{
+  if ( !can_acquire_clean( count ) )
+  {
+    throw std::invalid_argument( "ancilla_manager: clean helper request exceeds qubit budget" );
+  }
+  std::vector<uint32_t> helpers;
+  helpers.reserve( count );
+  while ( helpers.size() < count && !free_clean_.empty() )
+  {
+    helpers.push_back( free_clean_.back() );
+    free_clean_.pop_back();
+  }
+  while ( helpers.size() < count )
+  {
+    helpers.push_back( total_wires_ );
+    held_.push_back( 0 );
+    ++total_wires_;
+  }
+  for ( const auto helper : helpers )
+  {
+    held_[helper - data_lines_] = 1;
+  }
+  std::sort( helpers.begin(), helpers.end() );
+  return helpers;
+}
+
+void ancilla_manager::release_clean( const std::vector<uint32_t>& helpers )
+{
+  for ( const auto helper : helpers )
+  {
+    if ( helper < data_lines_ || helper >= total_wires_ || !held_[helper - data_lines_] )
+    {
+      throw std::invalid_argument( "ancilla_manager: releasing a helper that is not held" );
+    }
+    held_[helper - data_lines_] = 0;
+    free_clean_.push_back( helper );
+  }
+}
+
+std::vector<char> ancilla_manager::busy_mask( const std::vector<uint32_t>& busy ) const
+{
+  std::vector<char> mask( total_wires_, 0 );
+  for ( const auto wire : busy )
+  {
+    if ( wire < total_wires_ )
+    {
+      mask[wire] = 1;
+    }
+  }
+  /* helpers currently acquired by the caller are not idle either */
+  for ( uint32_t helper = 0u; helper < held_.size(); ++helper )
+  {
+    if ( held_[helper] )
+    {
+      mask[data_lines_ + helper] = 1;
+    }
+  }
+  return mask;
+}
+
+uint32_t ancilla_manager::num_idle( const std::vector<uint32_t>& busy ) const
+{
+  const auto mask = busy_mask( busy );
+  return static_cast<uint32_t>( std::count( mask.begin(), mask.end(), 0 ) );
+}
+
+std::vector<uint32_t> ancilla_manager::borrow_dirty( uint32_t count,
+                                                     const std::vector<uint32_t>& busy ) const
+{
+  const auto mask = busy_mask( busy );
+  std::vector<uint32_t> borrowed;
+  borrowed.reserve( count );
+  for ( uint32_t wire = 0u; wire < total_wires_ && borrowed.size() < count; ++wire )
+  {
+    if ( !mask[wire] )
+    {
+      borrowed.push_back( wire );
+    }
+  }
+  if ( borrowed.size() < count )
+  {
+    throw std::invalid_argument( "ancilla_manager: not enough idle wires to borrow" );
+  }
+  return borrowed;
+}
+
+} // namespace qda

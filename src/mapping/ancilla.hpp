@@ -1,0 +1,83 @@
+/*! \file ancilla.hpp
+ *  \brief Helper-qubit bookkeeping for the hardware-mapping stage.
+ *
+ *  Lowering a multiple-controlled Toffoli needs scratch qubits, and
+ *  their price depends on their state: a *clean* helper is known to be
+ *  |0> and enables the cheap V-chain, while a *dirty* helper is any
+ *  idle wire borrowed in an unknown state and returned unchanged
+ *  (Barenco et al. [40]).  The ancilla manager owns both pools for one
+ *  mapping run: clean helpers are appended after the data lines, reused
+ *  across gates once released, and capped by an optional device qubit
+ *  budget; dirty helpers are found among the wires a gate does not
+ *  touch.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief Clean/dirty helper-qubit pools of one mapping run. */
+class ancilla_manager
+{
+public:
+  /*! \brief Manages helpers for a circuit of `num_data_lines` wires.
+   *
+   *  `max_qubits` caps the total wire count (data plus helpers), e.g.
+   *  at a device's qubit count; without it clean helpers grow freely.
+   */
+  explicit ancilla_manager( uint32_t num_data_lines,
+                            std::optional<uint32_t> max_qubits = std::nullopt );
+
+  uint32_t num_data_lines() const noexcept { return data_lines_; }
+
+  /*! \brief Data lines plus helpers allocated so far. */
+  uint32_t num_wires() const noexcept { return total_wires_; }
+
+  /*! \brief Clean helper wires appended after the data lines. */
+  uint32_t num_helpers() const noexcept { return total_wires_ - data_lines_; }
+
+  /*! \brief Clean helpers obtainable right now (free pool + growth). */
+  uint32_t clean_capacity() const noexcept;
+
+  bool can_acquire_clean( uint32_t count ) const noexcept
+  {
+    return count <= clean_capacity();
+  }
+
+  /*! \brief Takes `count` clean (|0>) helpers, growing the circuit if
+   *         the free pool runs short.  Throws std::invalid_argument
+   *         when the qubit budget cannot cover the request.
+   */
+  std::vector<uint32_t> acquire_clean( uint32_t count );
+
+  /*! \brief Returns helpers to the clean pool.  The caller guarantees
+   *         they were restored to |0> (the V-chain uncomputes them).
+   */
+  void release_clean( const std::vector<uint32_t>& helpers );
+
+  /*! \brief Idle wires a gate occupying `busy` wires could borrow. */
+  uint32_t num_idle( const std::vector<uint32_t>& busy ) const;
+
+  /*! \brief Picks `count` idle wires disjoint from `busy` to serve as
+   *         dirty ancillas (returned in ascending order; data lines
+   *         first, then free clean helpers).  Throws
+   *         std::invalid_argument if fewer than `count` are idle.
+   */
+  std::vector<uint32_t> borrow_dirty( uint32_t count,
+                                      const std::vector<uint32_t>& busy ) const;
+
+private:
+  std::vector<char> busy_mask( const std::vector<uint32_t>& busy ) const;
+
+  uint32_t data_lines_;
+  std::optional<uint32_t> max_qubits_;
+  uint32_t total_wires_;
+  std::vector<uint32_t> free_clean_;  /* released helpers, reused LIFO */
+  std::vector<char> held_;            /* per-helper: currently acquired */
+};
+
+} // namespace qda

@@ -1,6 +1,7 @@
 #include "mapping/clifford_t.hpp"
 
 #include "kernel/bits.hpp"
+#include "mapping/ancilla.hpp"
 
 #include <algorithm>
 #include <span>
@@ -12,217 +13,134 @@ namespace qda
 
 void append_toffoli_clifford_t( qcircuit& circuit, uint32_t c0, uint32_t c1, uint32_t target )
 {
-  /* standard 7-T decomposition (Nielsen-Chuang Fig. 4.9) */
-  circuit.h( target );
-  circuit.cx( c1, target );
-  circuit.tdg( target );
-  circuit.cx( c0, target );
-  circuit.t( target );
-  circuit.cx( c1, target );
-  circuit.tdg( target );
-  circuit.cx( c0, target );
-  circuit.t( c1 );
-  circuit.t( target );
-  circuit.h( target );
-  circuit.cx( c0, c1 );
-  circuit.t( c0 );
-  circuit.tdg( c1 );
-  circuit.cx( c0, c1 );
+  std::vector<qgate> gates;
+  emit_toffoli_clifford_t( gates, c0, c1, target );
+  for ( const auto& gate : gates )
+  {
+    circuit.add_gate( gate );
+  }
 }
 
 void append_relative_phase_toffoli( qcircuit& circuit, uint32_t c0, uint32_t c1, uint32_t target,
                                     bool adjoint )
 {
-  /* Maslov [42]: RCCX with 4 T gates.  The gate sequence is a palindrome
-   * under inversion (reversing and adjointing each gate reproduces the
-   * same list), so RCCX is an involution and compute/uncompute emit the
-   * identical cascade. */
+  /* RCCX is an involution (its gate list is a palindrome under
+   * inversion), so compute and uncompute emit the identical cascade. */
   (void)adjoint;
-  circuit.h( target );
-  circuit.t( target );
-  circuit.cx( c1, target );
-  circuit.tdg( target );
-  circuit.cx( c0, target );
-  circuit.t( target );
-  circuit.cx( c1, target );
-  circuit.tdg( target );
-  circuit.h( target );
+  std::vector<qgate> gates;
+  emit_relative_phase_toffoli( gates, c0, c1, target );
+  for ( const auto& gate : gates )
+  {
+    circuit.add_gate( gate );
+  }
 }
 
 uint64_t mct_t_count( uint32_t num_controls, bool use_relative_phase )
 {
-  if ( num_controls <= 1u )
-  {
-    return 0u;
-  }
-  if ( num_controls == 2u )
-  {
-    return 7u;
-  }
-  const uint32_t chain = num_controls - 2u;
-  return use_relative_phase ? 7u + 8u * chain : 7u + 14u * chain;
+  return mct_lowering_cost( num_controls, mct_strategy::clean, use_relative_phase ).t_count;
 }
 
 namespace
 {
 
-/*! Shared MCT emitter: lowers one multi-controlled X (positive controls)
- *  into Clifford+T over `circuit`, using clean helper qubits starting at
- *  `helper_base` for gates with more than two controls.
- */
-struct mct_emitter
+mct_emit_options emit_options_of( const clifford_t_options& options )
 {
-  qcircuit& circuit;
-  uint32_t helper_base;
-  const clifford_t_options& options;
+  return { options.use_relative_phase, options.keep_toffoli, options.strategy,
+           options.weights };
+}
 
-  void emit_toffoli( uint32_t c0, uint32_t c1, uint32_t target ) const
+qcircuit build_circuit( const ancilla_manager& ancillas, std::vector<qgate>&& gates )
+{
+  qcircuit circuit( ancillas.num_wires() );
+  for ( const auto& gate : gates )
   {
-    if ( options.keep_toffoli )
-    {
-      circuit.ccx( c0, c1, target );
-    }
-    else
-    {
-      append_toffoli_clifford_t( circuit, c0, c1, target );
-    }
+    circuit.add_gate( gate );
   }
-
-  void emit_chain_toffoli( uint32_t c0, uint32_t c1, uint32_t target, bool adjoint ) const
-  {
-    if ( options.keep_toffoli )
-    {
-      circuit.ccx( c0, c1, target );
-    }
-    else if ( options.use_relative_phase )
-    {
-      append_relative_phase_toffoli( circuit, c0, c1, target, adjoint );
-    }
-    else
-    {
-      append_toffoli_clifford_t( circuit, c0, c1, target );
-    }
-  }
-
-  void emit_mct( std::span<const uint32_t> controls, uint32_t target ) const
-  {
-    const uint32_t k = static_cast<uint32_t>( controls.size() );
-    if ( k == 0u )
-    {
-      circuit.x( target );
-      return;
-    }
-    if ( k == 1u )
-    {
-      circuit.cx( controls[0], target );
-      return;
-    }
-    if ( k == 2u )
-    {
-      emit_toffoli( controls[0], controls[1], target );
-      return;
-    }
-    /* V-chain over clean helpers a0..a_{k-3}:
-     *   a0 = c0 & c1;  a_i = c_{i+1} & a_{i-1};  target ^= c_{k-1} & a_{k-3} */
-    std::vector<std::pair<std::pair<uint32_t, uint32_t>, uint32_t>> chain;
-    uint32_t previous = helper_base;
-    chain.push_back( { { controls[0], controls[1] }, previous } );
-    for ( uint32_t i = 2u; i + 1u < k; ++i )
-    {
-      const uint32_t helper = helper_base + ( i - 1u );
-      chain.push_back( { { controls[i], previous }, helper } );
-      previous = helper;
-    }
-    for ( const auto& [cs, helper] : chain )
-    {
-      emit_chain_toffoli( cs.first, cs.second, helper, /*adjoint=*/false );
-    }
-    emit_toffoli( controls[k - 1u], previous, target );
-    for ( auto it = chain.rbegin(); it != chain.rend(); ++it )
-    {
-      emit_chain_toffoli( it->first.first, it->first.second, it->second, /*adjoint=*/true );
-    }
-  }
-};
+  return circuit;
+}
 
 } // namespace
 
 clifford_t_result map_to_clifford_t( const rev_circuit& source, const clifford_t_options& options )
 {
-  uint32_t max_controls = 0u;
-  for ( const auto& gate : source.gates() )
-  {
-    max_controls = std::max( max_controls, gate.num_controls() );
-  }
   const uint32_t num_lines = source.num_lines();
-  const uint32_t num_helpers = max_controls > 2u ? max_controls - 2u : 0u;
+  ancilla_manager ancillas( num_lines, options.max_qubits );
+  const auto emit_options = emit_options_of( options );
+  std::vector<qgate> out;
 
-  qcircuit circuit( num_lines + num_helpers );
-  const mct_emitter emitter{ circuit, num_lines, options };
+  /* Lazy X conjugation of negative controls: bit `line` set means an X
+   * is pending on that line.  A pending flip is only resolved when a
+   * gate controls on the line in the other polarity -- consecutive
+   * gates sharing negative controls emit no X pairs between them.
+   * Pending flips commute with gates that use the line as target or
+   * borrow it as a (state-restoring) dirty ancilla. */
+  uint64_t flipped = 0u;
 
   for ( const auto& gate : source.gates() )
   {
-    /* conjugate negative controls with X */
-    std::vector<uint32_t> negatives;
     std::vector<uint32_t> controls;
     for ( uint32_t line = 0u; line < num_lines; ++line )
     {
-      if ( ( gate.controls >> line ) & 1u )
+      if ( !( ( gate.controls >> line ) & 1u ) )
       {
-        controls.push_back( line );
-        if ( !( ( gate.polarity >> line ) & 1u ) )
-        {
-          negatives.push_back( line );
-        }
+        continue;
+      }
+      controls.push_back( line );
+      const bool want_flip = !( ( gate.polarity >> line ) & 1u );
+      if ( ( ( flipped >> line ) & 1u ) != want_flip )
+      {
+        qgate x;
+        x.kind = gate_kind::x;
+        x.target = line;
+        out.push_back( std::move( x ) );
+        flipped ^= uint64_t{ 1 } << line;
       }
     }
-    for ( const auto line : negatives )
+    emit_mct_gate( out, ancillas, controls, gate.target, emit_options );
+  }
+  for ( uint32_t line = 0u; line < num_lines; ++line )
+  {
+    if ( ( flipped >> line ) & 1u )
     {
-      circuit.x( line );
-    }
-    emitter.emit_mct( controls, gate.target );
-    for ( const auto line : negatives )
-    {
-      circuit.x( line );
+      qgate x;
+      x.kind = gate_kind::x;
+      x.target = line;
+      out.push_back( std::move( x ) );
     }
   }
-  return { std::move( circuit ), num_helpers };
+  return { build_circuit( ancillas, std::move( out ) ), ancillas.num_helpers() };
 }
 
 clifford_t_result lower_multi_controlled_gates( const qcircuit& source,
                                                 const clifford_t_options& options )
 {
-  uint32_t max_controls = 0u;
-  for ( const auto& gate : source.gates() )
-  {
-    if ( gate.kind == gate_kind::mcx || gate.kind == gate_kind::mcz )
-    {
-      max_controls = std::max( max_controls, static_cast<uint32_t>( gate.controls.size() ) );
-    }
-  }
-  const uint32_t num_helpers = max_controls > 2u ? max_controls - 2u : 0u;
-
-  qcircuit circuit( source.num_qubits() + num_helpers );
-  const mct_emitter emitter{ circuit, source.num_qubits(), options };
+  ancilla_manager ancillas( source.num_qubits(), options.max_qubits );
+  const auto emit_options = emit_options_of( options );
+  std::vector<qgate> out;
 
   for ( const auto& gate : source.gates() )
   {
     switch ( gate.kind )
     {
     case gate_kind::mcx:
-      emitter.emit_mct( gate.controls, gate.target );
+      emit_mct_gate( out, ancillas, gate.controls, gate.target, emit_options );
       break;
     case gate_kind::mcz:
-      circuit.h( gate.target );
-      emitter.emit_mct( gate.controls, gate.target );
-      circuit.h( gate.target );
+    {
+      qgate h;
+      h.kind = gate_kind::h;
+      h.target = gate.target;
+      out.push_back( h );
+      emit_mct_gate( out, ancillas, gate.controls, gate.target, emit_options );
+      out.push_back( h );
       break;
+    }
     default:
-      circuit.add_gate( gate );
+      out.push_back( gate.materialize() );
       break;
     }
   }
-  return { std::move( circuit ), num_helpers };
+  return { build_circuit( ancillas, std::move( out ) ), ancillas.num_helpers() };
 }
 
 } // namespace qda

@@ -3,17 +3,23 @@
  *
  *  This is the `rptm` stage of the paper's Eq. (5) pipeline: Toffoli
  *  gates are expressed over {H, T, T^dagger, CNOT} (refs [40]-[42]).
- *  Multiple-controlled gates are first decomposed into a V-chain of
- *  Toffolis over clean helper qubits; with the relative-phase option
- *  (Maslov [42]) the compute/uncompute Toffolis of the chain are
- *  replaced by 4-T relative-phase Toffolis whose phases cancel pairwise,
- *  cutting the T-count roughly in half.
+ *  Multiple-controlled gates go through the strategy-dispatched lowerer
+ *  (mapping/mct_lowering.hpp): a per-gate cost model picks between the
+ *  clean V-chain (relative-phase Toffolis by default, Maslov [42]), the
+ *  Barenco dirty-ancilla chain, and the ancilla-free recursive split,
+ *  subject to the ancilla manager's qubit budget.  Negative controls
+ *  are conjugated with X lazily: a flip stays pending until a gate
+ *  needs the line in the opposite polarity, so back-to-back gates
+ *  sharing negative controls emit no cancelling X pairs.
  */
 #pragma once
 
 #include "circuit/circuit_cast.hpp"
+#include "mapping/mct_lowering.hpp"
 #include "quantum/qcircuit.hpp"
 #include "reversible/rev_circuit.hpp"
+
+#include <optional>
 
 namespace qda
 {
@@ -26,6 +32,14 @@ struct clifford_t_options
   /*! Keep ccx/mcx as opaque gates instead of expanding to Clifford+T
    *  (useful when a later pass or backend handles them natively). */
   bool keep_toffoli = false;
+  /*! Lowering strategy; `automatic` picks per gate by weighted cost. */
+  mct_strategy strategy = mct_strategy::automatic;
+  /*! Cost-model weights (take them from `target::cost_weights()` to
+   *  map for a specific backend). */
+  mapping_cost_weights weights{};
+  /*! Total qubit budget (data lines + helpers), e.g. the device size.
+   *  Unset = clean helpers may grow freely. */
+  std::optional<uint32_t> max_qubits{};
 };
 
 /*! \brief Result of the mapping. */
@@ -57,7 +71,9 @@ void append_relative_phase_toffoli( qcircuit& circuit, uint32_t c0, uint32_t c1,
 clifford_t_result lower_multi_controlled_gates( const qcircuit& circuit,
                                                 const clifford_t_options& options = {} );
 
-/*! \brief T-count of one k-control MCT under this mapping. */
+/*! \brief T-count of one k-control MCT under the clean V-chain (legacy
+ *         shorthand for `mct_lowering_cost(k, clean, rp).t_count`).
+ */
 uint64_t mct_t_count( uint32_t num_controls, bool use_relative_phase = true );
 
 /*! \brief `circuit_cast` lowering of the `rptm` stage: reversible MCT

@@ -88,6 +88,69 @@ uint32_t coupling_map::distance( uint32_t from, uint32_t to ) const
   return static_cast<uint32_t>( path.size() - 1u );
 }
 
+std::vector<std::vector<uint32_t>> coupling_map::all_distances() const
+{
+  std::vector<std::vector<uint32_t>> distances( num_qubits_,
+                                                std::vector<uint32_t>( num_qubits_,
+                                                                       num_qubits_ ) );
+  for ( uint32_t source = 0u; source < num_qubits_; ++source )
+  {
+    auto& row = distances[source];
+    row[source] = 0u;
+    std::deque<uint32_t> queue{ source };
+    while ( !queue.empty() )
+    {
+      const uint32_t current = queue.front();
+      queue.pop_front();
+      for ( const auto next : neighbours_[current] )
+      {
+        if ( row[next] == num_qubits_ )
+        {
+          row[next] = row[current] + 1u;
+          queue.push_back( next );
+        }
+      }
+    }
+  }
+  return distances;
+}
+
+void coupling_map::add_swap_edge( uint32_t a, uint32_t b )
+{
+  if ( !are_adjacent( a, b ) )
+  {
+    throw std::invalid_argument( "coupling_map: swap edge between non-adjacent qubits" );
+  }
+  if ( !has_swap_edge( a, b ) )
+  {
+    swap_edges_.emplace_back( a, b );
+  }
+}
+
+bool coupling_map::has_swap_edge( uint32_t a, uint32_t b ) const
+{
+  return std::find( swap_edges_.begin(), swap_edges_.end(), std::pair{ a, b } ) !=
+             swap_edges_.end() ||
+         std::find( swap_edges_.begin(), swap_edges_.end(), std::pair{ b, a } ) !=
+             swap_edges_.end();
+}
+
+coupling_map coupling_map::with_native_swaps() const
+{
+  coupling_map result = *this;
+  for ( uint32_t a = 0u; a < num_qubits_; ++a )
+  {
+    for ( const auto b : neighbours_[a] )
+    {
+      if ( a < b )
+      {
+        result.add_swap_edge( a, b );
+      }
+    }
+  }
+  return result;
+}
+
 coupling_map coupling_map::ibm_qx2()
 {
   return coupling_map( 5u, { { 0u, 1u }, { 0u, 2u }, { 1u, 2u }, { 3u, 2u }, { 3u, 4u }, { 4u, 2u } },

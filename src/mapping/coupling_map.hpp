@@ -43,6 +43,25 @@ public:
   /*! \brief Undirected distance (hops); num_qubits() if disconnected. */
   uint32_t distance( uint32_t from, uint32_t to ) const;
 
+  /*! \brief All-pairs undirected distances (num_qubits() where
+   *         disconnected); one BFS per qubit.
+   */
+  std::vector<std::vector<uint32_t>> all_distances() const;
+
+  /* ---- native SWAP support ---- */
+
+  /*! \brief Marks a coupled pair as offering a native SWAP (the router
+   *         then emits one `swap` gate instead of three CNOTs).
+   *         Throws std::invalid_argument for non-adjacent qubits.
+   */
+  void add_swap_edge( uint32_t a, uint32_t b );
+
+  /*! \brief True if the pair supports a native SWAP (either order). */
+  bool has_swap_edge( uint32_t a, uint32_t b ) const;
+
+  /*! \brief Copy of this map with every coupled pair SWAP-native. */
+  coupling_map with_native_swaps() const;
+
   /* ---- device library ---- */
 
   /*! \brief IBM QX2 "Yorktown" (5 qubits). */
@@ -67,7 +86,8 @@ private:
   uint32_t num_qubits_;
   std::vector<std::pair<uint32_t, uint32_t>> edges_;
   std::string name_;
-  std::vector<std::vector<uint32_t>> neighbours_; /* undirected adjacency */
+  std::vector<std::vector<uint32_t>> neighbours_;         /* undirected adjacency */
+  std::vector<std::pair<uint32_t, uint32_t>> swap_edges_; /* native SWAP pairs */
 };
 
 } // namespace qda

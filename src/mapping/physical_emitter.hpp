@@ -1,0 +1,161 @@
+/*! \file physical_emitter.hpp
+ *  \brief Device-level gate emission shared by the routers.
+ *
+ *  Routing decisions (which SWAP, which layout) and gate legalization
+ *  (CNOT direction, SWAP expansion) are separate concerns; this emitter
+ *  owns the latter.  It fixes CNOTs that run against the native edge
+ *  direction by H conjugation, uses a native SWAP edge when the
+ *  coupling map offers one instead of expanding to three CNOTs, and
+ *  cancels H-H pairs at emission time: adjacent direction fixes (and
+ *  cz conjugations) that share a qubit would otherwise leave
+ *  back-to-back Hadamards for a later peephole to clean up.
+ */
+#pragma once
+
+#include "mapping/coupling_map.hpp"
+#include "quantum/qcircuit.hpp"
+#include "quantum/qgate.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace qda
+{
+
+namespace detail
+{
+
+/*! \brief Gate sink over physical qubits with emission-time cleanup. */
+class physical_emitter
+{
+public:
+  physical_emitter( const coupling_map& device, bool use_native_swap )
+      : device_( device ), use_native_swap_( use_native_swap ),
+        pending_h_( device.num_qubits(), 0 ), circuit_( device.num_qubits() )
+  {
+  }
+
+  uint64_t added_swaps() const noexcept { return added_swaps_; }
+  uint64_t added_direction_fixes() const noexcept { return added_direction_fixes_; }
+
+  /*! \brief Finalizes and surrenders the emitted physical circuit
+   *         (flushes any still-pending Hadamards).
+   */
+  qcircuit take_circuit()
+  {
+    for ( uint32_t qubit = 0u; qubit < pending_h_.size(); ++qubit )
+    {
+      touch( qubit );
+    }
+    return std::move( circuit_ );
+  }
+
+  /*! \brief Emits H lazily: a pending H toggles off against a second H
+   *         on the same wire with no work, and materializes only when
+   *         another gate touches the wire.
+   */
+  void h( uint32_t qubit ) { pending_h_[qubit] = !pending_h_[qubit]; }
+
+  /*! \brief Emits a direction-respecting CNOT between adjacent qubits. */
+  void cx( uint32_t control, uint32_t target )
+  {
+    if ( device_.has_directed_edge( control, target ) )
+    {
+      push_cx( control, target );
+      return;
+    }
+    if ( !device_.has_directed_edge( target, control ) )
+    {
+      throw std::logic_error( "router: emit cx on non-adjacent qubits" );
+    }
+    /* reverse the native direction with Hadamards; the leading pair
+     * cancels against the trailing pair of a preceding reversal */
+    h( control );
+    h( target );
+    push_cx( target, control );
+    h( control );
+    h( target );
+    ++added_direction_fixes_;
+  }
+
+  /*! \brief Emits cz through H-conjugated cx (symmetric, any order). */
+  void cz( uint32_t control, uint32_t target )
+  {
+    h( target );
+    cx( control, target );
+    h( target );
+  }
+
+  /*! \brief Emits a SWAP of two adjacent qubits: one native swap gate
+   *         when the map offers the edge, else three CNOTs (direction
+   *         fixes merged).
+   */
+  void swap( uint32_t a, uint32_t b )
+  {
+    ++added_swaps_;
+    if ( use_native_swap_ && device_.has_swap_edge( a, b ) )
+    {
+      touch( a );
+      touch( b );
+      circuit_.swap_( a, b );
+      return;
+    }
+    /* orient the outer CNOTs along the native direction if one exists */
+    if ( !device_.has_directed_edge( a, b ) && device_.has_directed_edge( b, a ) )
+    {
+      std::swap( a, b );
+    }
+    cx( a, b );
+    cx( b, a );
+    cx( a, b );
+  }
+
+  /*! \brief Passes one already-physical gate through unchanged.
+   *         Barriers fence the H cancellation on every wire.
+   */
+  void passthrough( const qgate_view& gate )
+  {
+    if ( gate.kind == gate_kind::barrier )
+    {
+      for ( uint32_t qubit = 0u; qubit < pending_h_.size(); ++qubit )
+      {
+        touch( qubit );
+      }
+    }
+    for ( const auto qubit : gate.qubits() )
+    {
+      touch( qubit );
+    }
+    circuit_.add_gate( gate );
+  }
+
+private:
+  /*! Materializes a pending H before the wire is used by another gate. */
+  void touch( uint32_t qubit )
+  {
+    if ( pending_h_[qubit] )
+    {
+      pending_h_[qubit] = 0;
+      circuit_.h( qubit );
+    }
+  }
+
+  void push_cx( uint32_t control, uint32_t target )
+  {
+    touch( control );
+    touch( target );
+    circuit_.cx( control, target );
+  }
+
+  const coupling_map& device_;
+  bool use_native_swap_;
+  std::vector<char> pending_h_;
+  qcircuit circuit_;
+  uint64_t added_swaps_ = 0u;
+  uint64_t added_direction_fixes_ = 0u;
+};
+
+} // namespace detail
+
+} // namespace qda

@@ -1,88 +1,117 @@
 #include "mapping/router.hpp"
 
+#include "mapping/physical_emitter.hpp"
+#include "mapping/sabre.hpp"
+
 #include <numeric>
 #include <stdexcept>
 
 namespace qda
 {
 
+const char* router_kind_name( router_kind kind )
+{
+  switch ( kind )
+  {
+  case router_kind::greedy: return "greedy";
+  case router_kind::sabre: return "sabre";
+  }
+  return "unknown";
+}
+
+std::optional<router_kind> parse_router_kind( const std::string& name )
+{
+  if ( name == "greedy" )
+  {
+    return router_kind::greedy;
+  }
+  if ( name == "sabre" )
+  {
+    return router_kind::sabre;
+  }
+  return std::nullopt;
+}
+
+std::vector<uint32_t> validate_layout( const std::vector<uint32_t>& layout,
+                                       uint32_t num_qubits )
+{
+  if ( layout.size() != num_qubits )
+  {
+    throw std::invalid_argument( "router: initial layout size must match the device" );
+  }
+  std::vector<uint32_t> inverse( num_qubits, ~uint32_t{ 0 } );
+  for ( uint32_t logical = 0u; logical < num_qubits; ++logical )
+  {
+    const uint32_t physical = layout[logical];
+    if ( physical >= num_qubits || inverse[physical] != ~uint32_t{ 0 } )
+    {
+      throw std::invalid_argument( "router: initial layout is not a permutation" );
+    }
+    inverse[physical] = logical;
+  }
+  return inverse;
+}
+
 namespace
 {
 
-struct router
+/*! The baseline router: identity layout, each two-qubit gate routed in
+ *  isolation by walking the control along a shortest path.
+ */
+struct greedy_router
 {
   const coupling_map& device;
-  qcircuit circuit;
+  detail::physical_emitter emitter;
   std::vector<uint32_t> layout;   /* logical -> physical */
   std::vector<uint32_t> inverse;  /* physical -> logical */
-  uint64_t added_swaps = 0u;
-  uint64_t added_direction_fixes = 0u;
+  uint64_t logical_swap_gates = 0u; /* emitted for the program, not for routing */
 
-  explicit router( const coupling_map& dev )
-      : device( dev ), circuit( dev.num_qubits() ), layout( dev.num_qubits() ),
+  greedy_router( const coupling_map& dev, const router_options& options )
+      : device( dev ), emitter( dev, options.use_native_swap ), layout( dev.num_qubits() ),
         inverse( dev.num_qubits() )
   {
-    std::iota( layout.begin(), layout.end(), 0u );
-    std::iota( inverse.begin(), inverse.end(), 0u );
+    if ( options.initial_layout )
+    {
+      layout = *options.initial_layout;
+      inverse = validate_layout( layout, device.num_qubits() );
+    }
+    else
+    {
+      std::iota( layout.begin(), layout.end(), 0u );
+      std::iota( inverse.begin(), inverse.end(), 0u );
+    }
   }
 
-  /*! Emits a direction-respecting CNOT between adjacent physical qubits. */
-  void emit_cx_physical( uint32_t control, uint32_t target )
+  void swap_physical( uint32_t a, uint32_t b )
   {
-    if ( device.has_directed_edge( control, target ) )
-    {
-      circuit.cx( control, target );
-      return;
-    }
-    if ( !device.has_directed_edge( target, control ) )
-    {
-      throw std::logic_error( "router: emit_cx_physical on non-adjacent qubits" );
-    }
-    /* reverse the native direction with Hadamards */
-    circuit.h( control );
-    circuit.h( target );
-    circuit.cx( target, control );
-    circuit.h( control );
-    circuit.h( target );
-    ++added_direction_fixes;
-  }
-
-  /*! Emits a SWAP of two adjacent physical qubits as three CNOTs. */
-  void emit_swap_physical( uint32_t a, uint32_t b )
-  {
-    emit_cx_physical( a, b );
-    emit_cx_physical( b, a );
-    emit_cx_physical( a, b );
-    ++added_swaps;
-    std::swap( inverse[a], inverse[b] );
-    layout[inverse[a]] = a;
-    layout[inverse[b]] = b;
+    emitter.swap( a, b );
+    relabel_swapped( layout, inverse, a, b );
   }
 
   /*! Moves two logical qubits adjacent, then runs `emit` on the
    *  physical pair.
    */
   template<typename EmitFn>
-  void route_two_qubit( uint32_t logical_control, uint32_t logical_target, EmitFn&& emit )
+  void route_two_qubit( uint32_t logical_a, uint32_t logical_b, EmitFn&& emit )
   {
-    uint32_t pc = layout[logical_control];
-    uint32_t pt = layout[logical_target];
-    if ( !device.are_adjacent( pc, pt ) )
+    uint32_t pa = layout[logical_a];
+    uint32_t pb = layout[logical_b];
+    if ( !device.are_adjacent( pa, pb ) )
     {
-      const auto path = device.shortest_path( pc, pt );
+      const auto path = device.shortest_path( pa, pb );
       if ( path.empty() )
       {
         throw std::invalid_argument( "router: device graph is disconnected" );
       }
-      /* walk the control towards the target, stopping one hop short */
+      /* walk the first qubit towards the second, stopping one hop short */
       for ( size_t step = 0u; step + 2u < path.size(); ++step )
       {
-        emit_swap_physical( path[step], path[step + 1u] );
+        swap_physical( path[step], path[step + 1u] );
       }
-      pc = layout[logical_control];
-      pt = layout[logical_target];
+      pa = layout[logical_a];
+      pb = layout[logical_b];
     }
-    emit( pc, pt );
+    emit( pa, pb );
   }
 
   void run( const qcircuit& source )
@@ -93,37 +122,31 @@ struct router
       {
       case gate_kind::cx:
         route_two_qubit( gate.controls[0], gate.target,
-                         [&]( uint32_t pc, uint32_t pt ) { emit_cx_physical( pc, pt ); } );
+                         [&]( uint32_t pc, uint32_t pt ) { emitter.cx( pc, pt ); } );
         break;
       case gate_kind::cz:
-        /* cz = H(t) cx H(t); symmetric so any direction works */
-        route_two_qubit( gate.controls[0], gate.target, [&]( uint32_t pc, uint32_t pt ) {
-          circuit.h( pt );
-          emit_cx_physical( pc, pt );
-          circuit.h( pt );
-        } );
+        route_two_qubit( gate.controls[0], gate.target,
+                         [&]( uint32_t pc, uint32_t pt ) { emitter.cz( pc, pt ); } );
         break;
       case gate_kind::swap:
+        /* a logical SWAP: emit the physical swap WITHOUT relabeling the
+         * layout (emit-plus-relabel would cancel to a net no-op) */
         route_two_qubit( gate.target, gate.target2, [&]( uint32_t pa, uint32_t pb ) {
-          emit_swap_physical( pa, pb );
+          emitter.swap( pa, pb );
+          ++logical_swap_gates; /* not a routing-inserted SWAP */
         } );
         break;
       case gate_kind::mcx:
       case gate_kind::mcz:
         throw std::invalid_argument( "router: map multi-controlled gates to Clifford+T first" );
-      case gate_kind::measure:
-        circuit.measure( layout[gate.target] );
-        break;
       case gate_kind::barrier:
-        circuit.barrier();
-        break;
       case gate_kind::global_phase:
-        circuit.global_phase( gate.angle );
+        emitter.passthrough( gate );
         break;
       default:
-        /* single-qubit gate: relocate the target, keep everything else */
-        circuit.add_gate( qgate_view( gate.kind, gate.controls, layout[gate.target],
-                                      gate.target2, gate.angle ) );
+        /* single-qubit gate or measure: relocate the target */
+        emitter.passthrough( qgate_view( gate.kind, gate.controls, layout[gate.target],
+                                         gate.target2, gate.angle ) );
         break;
       }
     }
@@ -134,15 +157,30 @@ struct router
 
 routing_result route_circuit( const qcircuit& source, const coupling_map& device )
 {
+  router_options options;
+  options.kind = router_kind::greedy;
+  options.initial_layout.reset();
+  return route_circuit( source, device, options );
+}
+
+routing_result route_circuit( const qcircuit& source, const coupling_map& device,
+                              const router_options& options )
+{
   if ( source.num_qubits() > device.num_qubits() )
   {
     throw std::invalid_argument( "route_circuit: circuit needs more qubits than the device has" );
   }
-  router r( device );
-  std::vector<uint32_t> initial = r.layout;
-  r.run( source );
-  return { std::move( r.circuit ), std::move( initial ), std::move( r.layout ), r.added_swaps,
-           r.added_direction_fixes };
+  if ( options.kind == router_kind::sabre )
+  {
+    return sabre_route( source, device, options );
+  }
+
+  greedy_router router( device, options );
+  std::vector<uint32_t> initial = router.layout;
+  router.run( source );
+  return { router.emitter.take_circuit(), std::move( initial ), std::move( router.layout ),
+           router.emitter.added_swaps() - router.logical_swap_gates,
+           router.emitter.added_direction_fixes() };
 }
 
 } // namespace qda

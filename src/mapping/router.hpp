@@ -2,23 +2,43 @@
  *  \brief Qubit placement and SWAP routing onto a coupling map.
  *
  *  Legalizes a logical Clifford+T circuit for a physical device: CNOTs
- *  between non-adjacent qubits are routed by inserting SWAPs along a
- *  shortest path, and CNOTs against the native direction are reversed
- *  by conjugation with Hadamards (4 extra H).  This stage sits between
- *  the Clifford+T mapping and the (noisy) device execution in the
- *  Fig. 6 reproduction.
+ *  between non-adjacent qubits are routed by inserting SWAPs, and
+ *  CNOTs against the native direction are reversed by H conjugation
+ *  (adjacent fixes merge their Hadamards; native SWAP edges are used
+ *  where the map offers them).  Two routers are available:
+ *
+ *  - `greedy`: the baseline.  Identity layout, each CNOT routed in
+ *    isolation along a shortest path.
+ *  - `sabre`: front-layer scheduling over the gate dependency DAG with
+ *    extended-set lookahead and decay-weighted SWAP selection (Li,
+ *    Ding, Xie, ASPLOS'19), plus an initial-layout search by
+ *    reverse-traversal refinement.
+ *
+ *  This stage sits between the Clifford+T mapping and the (noisy)
+ *  device execution in the Fig. 6 reproduction.
  */
 #pragma once
 
 #include "mapping/coupling_map.hpp"
 #include "quantum/qcircuit.hpp"
 
+#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace qda
 {
 
-/*! \brief Routing result: device-level circuit and layout bookkeeping. */
+/*! \brief Routing result: device-level circuit and layout bookkeeping.
+ *
+ *  Layouts map logical qubit q to the physical wire holding it; the
+ *  physical circuit expects logical q's *input* on wire
+ *  `initial_layout[q]` and leaves its output on `final_layout[q]`
+ *  (circuits starting from |0...0> may ignore the initial layout).
+ *  Measure gates keep their logical order, so outcome bit i still
+ *  belongs to the i-th logical measurement.
+ */
 struct routing_result
 {
   qcircuit circuit;                    /*!< circuit over physical qubits */
@@ -28,13 +48,71 @@ struct routing_result
   uint64_t added_direction_fixes = 0u; /*!< CNOT reversals */
 };
 
-/*! \brief Routes `circuit` onto `device`.
+/*! \brief Router selection. */
+enum class router_kind : uint8_t
+{
+  greedy, /*!< per-gate shortest-path baseline */
+  sabre   /*!< lookahead router with layout search */
+};
+
+/*! \brief Printable router name. */
+const char* router_kind_name( router_kind kind );
+
+/*! \brief Parses a router name ("greedy", "sabre"). */
+std::optional<router_kind> parse_router_kind( const std::string& name );
+
+/*! \brief Options of the routing stage. */
+struct router_options
+{
+  router_kind kind = router_kind::sabre;
+
+  /*! SABRE lookahead window: 2-qubit gates beyond the front layer. */
+  uint32_t extended_set_size = 20u;
+  /*! Weight of the extended set against the front layer. */
+  double extended_weight = 0.5;
+  /*! Decay added to a qubit's score multiplier per SWAP it joins
+   *  (spreads consecutive SWAPs across the device). */
+  double decay_increment = 0.1;
+  /*! Reverse-traversal refinement rounds of the initial-layout search
+   *  (0 = identity layout). */
+  uint32_t layout_iterations = 3u;
+  /*! Emit one native swap gate where the map offers the edge. */
+  bool use_native_swap = true;
+  /*! Fixed initial layout (logical -> physical, one entry per device
+   *  qubit); disables the layout search. */
+  std::optional<std::vector<uint32_t>> initial_layout{};
+};
+
+/*! \brief Validates a logical -> physical layout for a device of
+ *         `num_qubits` wires (size match, permutation) and returns its
+ *         inverse (physical -> logical).  Shared by both routers;
+ *         throws std::invalid_argument on malformed layouts.
+ */
+std::vector<uint32_t> validate_layout( const std::vector<uint32_t>& layout,
+                                       uint32_t num_qubits );
+
+/*! \brief Relabels a layout/inverse pair after the values on physical
+ *         wires `a` and `b` exchanged (routing SWAP or absorbed
+ *         logical SWAP).  Shared by both routers.
+ */
+inline void relabel_swapped( std::vector<uint32_t>& layout, std::vector<uint32_t>& inverse,
+                             uint32_t a, uint32_t b )
+{
+  std::swap( inverse[a], inverse[b] );
+  layout[inverse[a]] = a;
+  layout[inverse[b]] = b;
+}
+
+/*! \brief Routes `circuit` onto `device` with the greedy baseline
+ *         router (identity layout; kept as the comparison baseline).
  *
  *  The input may contain single-qubit gates, cx, cz, swap, measure and
- *  barrier (run the Clifford+T mapping first for mcx/mcz).  cz and swap
- *  are expressed through cx during routing.  The initial layout is the
- *  identity.
+ *  barrier (run the Clifford+T mapping first for mcx/mcz).
  */
 routing_result route_circuit( const qcircuit& circuit, const coupling_map& device );
+
+/*! \brief Routes `circuit` onto `device` with the selected router. */
+routing_result route_circuit( const qcircuit& circuit, const coupling_map& device,
+                              const router_options& options );
 
 } // namespace qda

@@ -1,0 +1,410 @@
+#include "mapping/sabre.hpp"
+
+#include "mapping/physical_emitter.hpp"
+#include "quantum/dag.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace qda
+{
+
+namespace
+{
+
+/*! Physical operand pair of a routing-relevant two-qubit gate. */
+std::pair<uint32_t, uint32_t> operands_of( const qgate_view& gate )
+{
+  if ( gate.kind == gate_kind::swap )
+  {
+    return { gate.target, gate.target2 };
+  }
+  return { gate.controls[0], gate.target };
+}
+
+struct sabre_run
+{
+  const gate_dag& dag;
+  const coupling_map& device;
+  const std::vector<std::vector<uint32_t>>& dist;
+  const router_options& options;
+
+  detail::physical_emitter emitter;
+  std::vector<uint32_t> layout;  /* logical -> physical */
+  std::vector<uint32_t> inverse; /* physical -> logical */
+  std::vector<uint32_t> indegree;
+  std::vector<uint32_t> front; /* ready gates, circuit order */
+  std::vector<double> decay;
+  uint32_t executed = 0u;
+  uint32_t stalled_swaps = 0u;
+
+  /* scratch of extended_set(): epoch-stamped lazy view of `indegree`
+   * so each SWAP decision only touches the gates its BFS visits */
+  mutable std::vector<uint32_t> scratch_remaining;
+  mutable std::vector<uint32_t> scratch_stamp;
+  mutable uint32_t scratch_epoch = 0u;
+
+  sabre_run( const gate_dag& dag_, const coupling_map& device_,
+             const std::vector<std::vector<uint32_t>>& dist_, const router_options& options_,
+             std::vector<uint32_t> initial_layout )
+      : dag( dag_ ), device( device_ ), dist( dist_ ), options( options_ ),
+        emitter( device_, options_.use_native_swap ), layout( std::move( initial_layout ) ),
+        inverse( device_.num_qubits() ), indegree( dag_.size() ),
+        decay( device_.num_qubits(), 1.0 ), scratch_remaining( dag_.size() ),
+        scratch_stamp( dag_.size(), 0u )
+  {
+    for ( uint32_t logical = 0u; logical < layout.size(); ++logical )
+    {
+      inverse[layout[logical]] = logical;
+    }
+    for ( uint32_t index = 0u; index < dag.size(); ++index )
+    {
+      indegree[index] = dag.num_predecessors( index );
+    }
+    front = dag.roots();
+  }
+
+  bool executable( uint32_t index ) const
+  {
+    const auto& gate = dag.gate( index );
+    if ( gate.kind == gate_kind::swap )
+    {
+      return true; /* absorbed into the layout, needs no adjacency */
+    }
+    if ( !dag.is_two_qubit( index ) )
+    {
+      return true;
+    }
+    const auto [a, b] = operands_of( gate );
+    return device.are_adjacent( layout[a], layout[b] );
+  }
+
+  void execute( uint32_t index )
+  {
+    const auto& gate = dag.gate( index );
+    switch ( gate.kind )
+    {
+    case gate_kind::cx:
+      emitter.cx( layout[gate.controls[0]], layout[gate.target] );
+      break;
+    case gate_kind::cz:
+      emitter.cz( layout[gate.controls[0]], layout[gate.target] );
+      break;
+    case gate_kind::swap:
+      /* a logical SWAP needs no gates at all: relabel the layout */
+      relabel_swapped( layout, inverse, layout[gate.target], layout[gate.target2] );
+      break;
+    case gate_kind::mcx:
+    case gate_kind::mcz:
+      throw std::invalid_argument( "router: map multi-controlled gates to Clifford+T first" );
+    case gate_kind::barrier:
+    case gate_kind::global_phase:
+      emitter.passthrough( gate );
+      break;
+    default:
+      emitter.passthrough( qgate_view( gate.kind, gate.controls, layout[gate.target],
+                                       gate.target2, gate.angle ) );
+      break;
+    }
+    ++executed;
+    for ( const auto successor : dag.successors( index ) )
+    {
+      if ( --indegree[successor] == 0u )
+      {
+        front.push_back( successor );
+      }
+    }
+  }
+
+  /*! Executes every executable front gate; true if any gate ran. */
+  bool drain()
+  {
+    bool any = false;
+    bool progress = true;
+    while ( progress )
+    {
+      progress = false;
+      for ( size_t i = 0u; i < front.size(); )
+      {
+        const uint32_t index = front[i];
+        if ( executable( index ) )
+        {
+          front.erase( front.begin() + static_cast<int64_t>( i ) );
+          execute( index );
+          progress = true;
+          any = true;
+        }
+        else
+        {
+          ++i;
+        }
+      }
+    }
+    if ( any )
+    {
+      std::fill( decay.begin(), decay.end(), 1.0 );
+      stalled_swaps = 0u;
+    }
+    return any;
+  }
+
+  /*! Upcoming two-qubit gates beyond the front layer (BFS over the DAG). */
+  std::vector<uint32_t> extended_set() const
+  {
+    std::vector<uint32_t> result;
+    if ( options.extended_set_size == 0u )
+    {
+      return result;
+    }
+    ++scratch_epoch;
+    const auto residual = [&]( uint32_t index ) -> uint32_t& {
+      if ( scratch_stamp[index] != scratch_epoch )
+      {
+        scratch_stamp[index] = scratch_epoch;
+        scratch_remaining[index] = indegree[index];
+      }
+      return scratch_remaining[index];
+    };
+    std::vector<uint32_t> queue = front;
+    for ( size_t i = 0u; i < queue.size() && result.size() < options.extended_set_size; ++i )
+    {
+      for ( const auto successor : dag.successors( queue[i] ) )
+      {
+        if ( --residual( successor ) == 0u )
+        {
+          queue.push_back( successor );
+          if ( dag.is_two_qubit( successor ) &&
+               dag.gate( successor ).kind != gate_kind::swap )
+          {
+            result.push_back( successor );
+            if ( result.size() >= options.extended_set_size )
+            {
+              break;
+            }
+          }
+        }
+      }
+    }
+    return result;
+  }
+
+  uint32_t mapped_distance( uint32_t index, uint32_t swapped_a, uint32_t swapped_b ) const
+  {
+    const auto [la, lb] = operands_of( dag.gate( index ) );
+    auto place = [&]( uint32_t logical ) {
+      const uint32_t physical = layout[logical];
+      if ( physical == swapped_a )
+      {
+        return swapped_b;
+      }
+      if ( physical == swapped_b )
+      {
+        return swapped_a;
+      }
+      return physical;
+    };
+    return dist[place( la )][place( lb )];
+  }
+
+  double score_swap( uint32_t a, uint32_t b, const std::vector<uint32_t>& blocked,
+                     const std::vector<uint32_t>& extended ) const
+  {
+    double front_cost = 0.0;
+    for ( const auto index : blocked )
+    {
+      front_cost += static_cast<double>( mapped_distance( index, a, b ) );
+    }
+    front_cost /= static_cast<double>( blocked.size() );
+    double extended_cost = 0.0;
+    if ( !extended.empty() )
+    {
+      for ( const auto index : extended )
+      {
+        extended_cost += static_cast<double>( mapped_distance( index, a, b ) );
+      }
+      extended_cost *= options.extended_weight / static_cast<double>( extended.size() );
+    }
+    return std::max( decay[a], decay[b] ) * ( front_cost + extended_cost );
+  }
+
+  void apply_swap( uint32_t a, uint32_t b )
+  {
+    emitter.swap( a, b );
+    relabel_swapped( layout, inverse, a, b );
+    decay[a] += options.decay_increment;
+    decay[b] += options.decay_increment;
+    ++stalled_swaps;
+  }
+
+  /*! Fallback when heuristic SWAPs fail to unblock anything for too
+   *  long: walk the first blocked gate's operands together (greedy).
+   */
+  void force_route_first()
+  {
+    const auto [la, lb] = operands_of( dag.gate( front.front() ) );
+    const auto path = device.shortest_path( layout[la], layout[lb] );
+    if ( path.empty() )
+    {
+      throw std::invalid_argument( "router: device graph is disconnected" );
+    }
+    for ( size_t step = 0u; step + 2u < path.size(); ++step )
+    {
+      apply_swap( path[step], path[step + 1u] );
+    }
+  }
+
+  void choose_and_apply_swap()
+  {
+    /* every remaining front gate is a blocked two-qubit gate */
+    const auto& blocked = front;
+
+    const uint32_t stall_limit = 2u * device.num_qubits() * device.num_qubits() + 16u;
+    if ( stalled_swaps > stall_limit )
+    {
+      force_route_first();
+      return;
+    }
+    const auto extended = extended_set();
+
+    /* candidate SWAPs: edges touching a qubit of a blocked gate */
+    std::vector<char> involved( device.num_qubits(), 0 );
+    for ( const auto index : blocked )
+    {
+      const auto [la, lb] = operands_of( dag.gate( index ) );
+      involved[layout[la]] = 1;
+      involved[layout[lb]] = 1;
+    }
+    double best_score = 0.0;
+    uint32_t best_a = 0u;
+    uint32_t best_b = 0u;
+    bool found = false;
+    for ( const auto& [a, b] : device.edges() )
+    {
+      if ( a > b && device.has_directed_edge( b, a ) )
+      {
+        continue; /* bidirected pair: already scored via the (b, a) entry */
+      }
+      const uint32_t lo = std::min( a, b );
+      const uint32_t hi = std::max( a, b );
+      if ( !involved[lo] && !involved[hi] )
+      {
+        continue;
+      }
+      const double score = score_swap( lo, hi, blocked, extended );
+      if ( !found || score < best_score )
+      {
+        found = true;
+        best_score = score;
+        best_a = lo;
+        best_b = hi;
+      }
+    }
+    if ( !found )
+    {
+      force_route_first();
+      return;
+    }
+    apply_swap( best_a, best_b );
+  }
+
+  void run()
+  {
+    drain();
+    while ( executed < dag.size() )
+    {
+      choose_and_apply_swap();
+      drain();
+    }
+  }
+};
+
+/*! Reversed interaction pattern of `circuit` for the layout search
+ *  (measurements, barriers and global phases dropped; gate adjoints are
+ *  irrelevant to routing).
+ */
+qcircuit reverse_for_layout( const qcircuit& circuit )
+{
+  std::vector<qgate_view> views;
+  for ( const auto& gate : circuit.gates() )
+  {
+    if ( gate.is_unitary() && gate.kind != gate_kind::global_phase )
+    {
+      views.push_back( gate );
+    }
+  }
+  qcircuit reversed( circuit.num_qubits() );
+  for ( auto it = views.rbegin(); it != views.rend(); ++it )
+  {
+    reversed.add_gate( *it );
+  }
+  return reversed;
+}
+
+routing_result finish( sabre_run&& run, std::vector<uint32_t> initial_layout )
+{
+  return { run.emitter.take_circuit(), std::move( initial_layout ), std::move( run.layout ),
+           run.emitter.added_swaps(), run.emitter.added_direction_fixes() };
+}
+
+} // namespace
+
+routing_result sabre_route( const qcircuit& source, const coupling_map& device,
+                            const router_options& options )
+{
+  if ( source.num_qubits() > device.num_qubits() )
+  {
+    throw std::invalid_argument( "route_circuit: circuit needs more qubits than the device has" );
+  }
+  const auto dist = device.all_distances();
+  const gate_dag dag( source );
+
+  std::vector<uint32_t> layout( device.num_qubits() );
+  std::iota( layout.begin(), layout.end(), 0u );
+
+  if ( options.initial_layout )
+  {
+    layout = *options.initial_layout;
+    validate_layout( layout, device.num_qubits() );
+  }
+  else if ( options.layout_iterations > 0u )
+  {
+    /* reverse-traversal refinement: route forward, use the final layout
+     * to route the reversed circuit, whose final layout becomes the next
+     * forward initial layout.  Routing is deterministic, so the best
+     * forward trial's output is kept and returned directly instead of
+     * re-routing its layout. */
+    const auto reversed = reverse_for_layout( source );
+    const gate_dag reversed_dag( reversed );
+    std::vector<uint32_t> best_layout = layout;
+    uint64_t best_swaps = ~uint64_t{ 0 };
+    std::optional<sabre_run> best_run;
+    auto current = layout;
+    for ( uint32_t iteration = 0u; iteration <= options.layout_iterations; ++iteration )
+    {
+      sabre_run forward( dag, device, dist, options, current );
+      forward.run();
+      const auto forward_exit_layout = forward.layout;
+      if ( forward.emitter.added_swaps() < best_swaps )
+      {
+        best_swaps = forward.emitter.added_swaps();
+        best_layout = current;
+        best_run.emplace( std::move( forward ) );
+      }
+      if ( iteration == options.layout_iterations )
+      {
+        break;
+      }
+      sabre_run backward( reversed_dag, device, dist, options, forward_exit_layout );
+      backward.run();
+      current = backward.layout;
+    }
+    return finish( std::move( *best_run ), std::move( best_layout ) );
+  }
+
+  sabre_run final_run( dag, device, dist, options, layout );
+  final_run.run();
+  return finish( std::move( final_run ), std::move( layout ) );
+}
+
+} // namespace qda

@@ -3,6 +3,7 @@
 #include "mapping/clifford_t.hpp"
 #include "mapping/coupling_map.hpp"
 #include "mapping/router.hpp"
+#include "pipeline/target.hpp"
 #include "optimization/peephole.hpp"
 #include "optimization/revsimp.hpp"
 #include "phasepoly/phasepoly.hpp"
@@ -382,16 +383,37 @@ void register_builtin_passes( pass_registry& registry )
 
   registry.register_pass( pass_info{
       "rptm",
-      "map MCT gates to Clifford+T (relative-phase Toffolis by default)",
+      "map MCT gates to Clifford+T (strategy-dispatched lowering, relative-phase by default)",
       { stage::reversible },
       stage::quantum,
-      {},
+      { "strategy", "cost-target" },
       { "no-relative-phase", "keep-toffoli" },
       {},
       []( staged_ir& ir, const pass_arguments& args ) {
         clifford_t_options options;
         options.use_relative_phase = !args.has_flag( "no-relative-phase" );
         options.keep_toffoli = args.has_flag( "keep-toffoli" );
+        if ( const auto name = args.option( "strategy" ) )
+        {
+          const auto strategy = parse_mct_strategy( *name );
+          if ( !strategy )
+          {
+            throw std::invalid_argument( "rptm: unknown strategy '" + *name +
+                                         "' (known: auto, clean, dirty, recursive)" );
+          }
+          options.strategy = *strategy;
+        }
+        if ( const auto name = args.option( "cost-target" ) )
+        {
+          /* derive the cost model from the execution target's declared
+           * weights; constrained targets also cap the qubit budget */
+          const auto& backend = target_registry::instance().at( *name );
+          options.weights = backend.cost_weights();
+          if ( backend.constrained() )
+          {
+            options.max_qubits = backend.device()->num_qubits();
+          }
+        }
         ir.set_quantum(
             circuit_cast<clifford_t_result>( ir.require_reversible(), options ) );
       } } );
@@ -433,14 +455,30 @@ void register_builtin_passes( pass_registry& registry )
 
   registry.register_pass( pass_info{
       "route",
-      "legalize for a device coupling map (SWAP insertion, direction fixes)",
+      "legalize for a device coupling map (SABRE lookahead router by default)",
       { stage::quantum },
       stage::mapped,
-      { "device", "linear", "ring" },
+      { "device", "linear", "ring", "router", "lookahead", "layout-trials" },
       {},
-      { "linear", "ring" },
+      { "linear", "ring", "lookahead", "layout-trials" },
       []( staged_ir& ir, const pass_arguments& args ) {
-        ir.set_mapped( route_circuit( ir.require_quantum().circuit, resolve_device( args ) ) );
+        router_options options;
+        if ( const auto name = args.option( "router" ) )
+        {
+          const auto kind = parse_router_kind( *name );
+          if ( !kind )
+          {
+            throw std::invalid_argument( "route: unknown router '" + *name +
+                                         "' (known: greedy, sabre)" );
+          }
+          options.kind = *kind;
+        }
+        options.extended_set_size = static_cast<uint32_t>(
+            args.option_uint_or( "route", "lookahead", options.extended_set_size ) );
+        options.layout_iterations = static_cast<uint32_t>(
+            args.option_uint_or( "route", "layout-trials", options.layout_iterations ) );
+        ir.set_mapped(
+            route_circuit( ir.require_quantum().circuit, resolve_device( args ), options ) );
       } } );
 
   registry.register_pass( pass_info{

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "mapping/coupling_map.hpp"
+#include "mapping/mct_lowering.hpp"
 #include "quantum/qcircuit.hpp"
 #include "simulator/noise.hpp"
 
@@ -51,6 +52,13 @@ public:
 
   /*! \brief The device topology of a constrained target, else nullptr. */
   virtual const coupling_map* device() const noexcept { return nullptr; }
+
+  /*! \brief Weights of the mapping cost model for this backend; the
+   *         `rptm` pass derives per-gate MCT lowering decisions from
+   *         them (`rptm --cost-target NAME`).  Defaults to balanced
+   *         weights; noisy devices weight CNOTs heavily.
+   */
+  virtual mapping_cost_weights cost_weights() const { return {}; }
 
   /*! \brief Empty string if the circuit can run here, else the reason
    *         it cannot (e.g. non-Clifford gate on the stabilizer target).

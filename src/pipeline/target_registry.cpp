@@ -130,19 +130,19 @@ public:
 
   const coupling_map* device() const noexcept override { return &device_; }
 
+  mapping_cost_weights cost_weights() const override
+  {
+    return mapping_cost_weights::noisy_device();
+  }
+
   std::string unsupported_reason( const qcircuit& circuit ) const override
   {
+    /* multi-controlled gates are fine: execute() lowers them with this
+     * target's cost weights under the device qubit budget */
     if ( circuit.num_qubits() > device_.num_qubits() )
     {
       return name_ + ": circuit needs " + std::to_string( circuit.num_qubits() ) +
              " qubits but the device has " + std::to_string( device_.num_qubits() );
-    }
-    for ( const auto& gate : circuit.gates() )
-    {
-      if ( gate.kind == gate_kind::mcx || gate.kind == gate_kind::mcz )
-      {
-        return name_ + ": multi-controlled gates must be lowered to Clifford+T first (rptm)";
-      }
     }
     return {};
   }
@@ -150,7 +150,8 @@ public:
   execution_result execute( const qcircuit& circuit, uint64_t shots, uint64_t seed ) override
   {
     const auto start = steady_clock::now();
-    const auto execution = run_on_ibm_model( circuit, device_, model_, shots, seed );
+    const auto execution =
+        run_on_ibm_model( circuit, device_, model_, shots, seed, cost_weights() );
     execution_result result;
     result.target_name = name_;
     result.shots = shots;

@@ -1,0 +1,64 @@
+#include "quantum/dag.hpp"
+
+#include <algorithm>
+
+namespace qda
+{
+
+gate_dag::gate_dag( const qcircuit& circuit )
+{
+  for ( const auto& gate : circuit.gates() )
+  {
+    gates_.push_back( gate );
+  }
+  const uint32_t n = size();
+  successors_.resize( n );
+  num_predecessors_.assign( n, 0u );
+  two_qubit_.assign( n, 0 );
+
+  /* last gate seen on each wire; barriers and global phases fence all */
+  std::vector<int64_t> last( circuit.num_qubits(), -1 );
+  std::vector<uint32_t> wires;
+  for ( uint32_t index = 0u; index < n; ++index )
+  {
+    const auto& gate = gates_[index];
+    wires.clear();
+    if ( gate.kind == gate_kind::barrier || gate.kind == gate_kind::global_phase ||
+         gate.kind == gate_kind::measure )
+    {
+      for ( uint32_t q = 0u; q < circuit.num_qubits(); ++q )
+      {
+        wires.push_back( q );
+      }
+    }
+    else
+    {
+      wires = gate.qubits();
+    }
+    two_qubit_[index] = gate.kind == gate_kind::cx || gate.kind == gate_kind::cz ||
+                        gate.kind == gate_kind::swap;
+
+    uint32_t preds = 0u;
+    for ( const auto wire : wires )
+    {
+      const int64_t previous = last[wire];
+      if ( previous >= 0 )
+      {
+        auto& succ = successors_[static_cast<uint32_t>( previous )];
+        if ( std::find( succ.begin(), succ.end(), index ) == succ.end() )
+        {
+          succ.push_back( index );
+          ++preds;
+        }
+      }
+      last[wire] = index;
+    }
+    num_predecessors_[index] = preds;
+    if ( preds == 0u )
+    {
+      roots_.push_back( index );
+    }
+  }
+}
+
+} // namespace qda

@@ -1,0 +1,57 @@
+/*! \file dag.hpp
+ *  \brief Gate dependency DAG view over a quantum circuit.
+ *
+ *  Routing and scheduling passes reason about which gates *could* run
+ *  next rather than the linear gate order: gate B depends on gate A iff
+ *  they share a qubit and A comes first.  `gate_dag` materializes that
+ *  partial order once (per-qubit last-writer scan, O(gates)) and hands
+ *  out zero-copy `qgate_view`s of the underlying circuit, which must
+ *  outlive the DAG unmutated.  Barriers, measurements and global
+ *  phases act as full scheduling fences, so schedulers cannot reorder
+ *  measurement outcomes against their logical bit order.
+ */
+#pragma once
+
+#include "quantum/qcircuit.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace qda
+{
+
+/*! \brief Immutable dependency DAG over a circuit's gates. */
+class gate_dag
+{
+public:
+  explicit gate_dag( const qcircuit& circuit );
+
+  uint32_t size() const noexcept { return static_cast<uint32_t>( gates_.size() ); }
+
+  /*! \brief Zero-copy view of gate `index` (circuit order). */
+  const qgate_view& gate( uint32_t index ) const { return gates_[index]; }
+
+  /*! \brief Gates that depend directly on `index` (deduplicated). */
+  const std::vector<uint32_t>& successors( uint32_t index ) const
+  {
+    return successors_[index];
+  }
+
+  /*! \brief Number of direct dependencies of `index`. */
+  uint32_t num_predecessors( uint32_t index ) const { return num_predecessors_[index]; }
+
+  /*! \brief Gates with no dependencies, in circuit order. */
+  const std::vector<uint32_t>& roots() const noexcept { return roots_; }
+
+  /*! \brief True if the gate constrains routing (two distinct wires). */
+  bool is_two_qubit( uint32_t index ) const { return two_qubit_[index]; }
+
+private:
+  std::vector<qgate_view> gates_;
+  std::vector<std::vector<uint32_t>> successors_;
+  std::vector<uint32_t> num_predecessors_;
+  std::vector<uint32_t> roots_;
+  std::vector<char> two_qubit_;
+};
+
+} // namespace qda

@@ -188,5 +188,29 @@ TEST( engine_test, dagger_inside_compute_fig7_pattern )
   EXPECT_TRUE( circuits_equivalent( eng.circuit(), expected ) );
 }
 
+TEST( main_engine_test, execute_on_switches_backends_by_name )
+{
+  /* the paper's "change two lines of code" (Sec. VII): the same program
+   * runs on the simulator and the device model by target name; the
+   * device path lowers the mcx with the target's own cost model first */
+  main_engine eng( 4u );
+  eng.x( 0u );
+  eng.x( 1u );
+  eng.x( 2u );
+  eng.mcx( { 0u, 1u, 2u }, 3u );
+  eng.measure_all();
+
+  const auto simulated = eng.execute_on( "statevector", 32u, 5u );
+  ASSERT_EQ( simulated.counts.size(), 1u );
+  EXPECT_EQ( simulated.counts.begin()->first, 0b1111u );
+  EXPECT_EQ( simulated.added_swaps, 0u );
+
+  const auto device = eng.execute_on( "ibm_qx4_ideal", 32u, 5u );
+  ASSERT_EQ( device.counts.size(), 1u );
+  EXPECT_EQ( device.counts.begin()->first, 0b1111u );
+
+  EXPECT_THROW( eng.execute_on( "nope", 8u ), std::invalid_argument );
+}
+
 } // namespace
 } // namespace qda

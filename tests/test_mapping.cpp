@@ -259,6 +259,22 @@ TEST( router_test, cz_and_swap_inputs )
   EXPECT_GT( routed.circuit.num_gates(), 2u );
 }
 
+TEST( router_test, greedy_logical_swap_takes_effect )
+{
+  /* regression: the logical SWAP must move the value, not cancel
+   * against its own layout relabeling */
+  const auto device = coupling_map::linear( 2u );
+  qcircuit circuit( 2u );
+  circuit.x( 0u );
+  circuit.swap_( 0u, 1u );
+  circuit.measure_all();
+  const auto routed = route_circuit( circuit, device );
+  EXPECT_EQ( routed.added_swaps, 0u ) << "a program swap is not a routing-inserted one";
+  const auto counts = sample_counts( routed.circuit, 16u, 3u );
+  ASSERT_EQ( counts.size(), 1u );
+  EXPECT_EQ( counts.begin()->first, 0b10u ); /* logical q1 carries the 1 */
+}
+
 TEST( router_test, rejects_oversized_circuits_and_mcx )
 {
   const auto device = coupling_map::linear( 2u );
@@ -268,6 +284,210 @@ TEST( router_test, rejects_oversized_circuits_and_mcx )
   qcircuit with_mcx( 4u );
   with_mcx.mcx( { 0u, 1u, 2u }, 3u );
   EXPECT_THROW( route_circuit( with_mcx, coupling_map::linear( 4u ) ), std::invalid_argument );
+
+  router_options sabre;
+  EXPECT_THROW( route_circuit( too_big, device, sabre ), std::invalid_argument );
+  EXPECT_THROW( route_circuit( with_mcx, coupling_map::linear( 4u ), sabre ),
+                std::invalid_argument );
+}
+
+TEST( router_test, merged_direction_fix_hadamards )
+{
+  /* two consecutive reversed CNOTs: the inner H pairs cancel at
+   * emission, leaving 4 Hadamards instead of 8 */
+  const auto qx4 = coupling_map::ibm_qx4();
+  qcircuit circuit( 5u );
+  circuit.cx( 0u, 1u ); /* only 1->0 is native */
+  circuit.cx( 0u, 1u );
+  const auto routed = route_circuit( circuit, qx4 );
+  EXPECT_EQ( routed.added_direction_fixes, 2u );
+  EXPECT_EQ( compute_statistics( routed.circuit ).h_count, 4u );
+  EXPECT_TRUE( circuits_equivalent( routed.circuit, circuit ) );
+}
+
+TEST( router_test, native_swap_edge_is_used )
+{
+  const auto device = coupling_map::linear( 3u ).with_native_swaps();
+  EXPECT_TRUE( device.has_swap_edge( 0u, 1u ) );
+  EXPECT_FALSE( coupling_map::linear( 3u ).has_swap_edge( 0u, 1u ) );
+  EXPECT_THROW( coupling_map::linear( 3u ).add_swap_edge( 0u, 2u ), std::invalid_argument );
+
+  qcircuit circuit( 3u );
+  circuit.cx( 0u, 2u ); /* forces one routing SWAP */
+  const auto routed = route_circuit( circuit, device );
+  EXPECT_EQ( routed.added_swaps, 1u );
+  uint64_t native_swaps = 0u;
+  for ( const auto& gate : routed.circuit.gates() )
+  {
+    native_swaps += gate.kind == gate_kind::swap ? 1u : 0u;
+  }
+  EXPECT_EQ( native_swaps, 1u ) << "native edge should emit one swap gate, not 3 CNOTs";
+
+  router_options no_native;
+  no_native.kind = router_kind::greedy;
+  no_native.use_native_swap = false;
+  const auto expanded = route_circuit( circuit, device, no_native );
+  for ( const auto& gate : expanded.circuit.gates() )
+  {
+    EXPECT_NE( gate.kind, gate_kind::swap );
+  }
+}
+
+/* ---------------------------------------------------------------- */
+/* SABRE router                                                     */
+/* ---------------------------------------------------------------- */
+
+/*! Functional routing check honoring both layouts: for every basis
+ *  input, logical qubit q enters on initial_layout[q] and must exit on
+ *  final_layout[q] with the value the logical circuit computes.
+ */
+void expect_routing_equivalent( const qcircuit& logical, const routing_result& routed,
+                                uint32_t num_logical )
+{
+  const uint32_t physical_width = routed.circuit.num_qubits();
+  for ( uint64_t input = 0u; input < ( uint64_t{ 1 } << num_logical ); ++input )
+  {
+    qcircuit logical_program( num_logical );
+    qcircuit physical_program( physical_width );
+    for ( uint32_t q = 0u; q < num_logical; ++q )
+    {
+      if ( ( input >> q ) & 1u )
+      {
+        logical_program.x( q );
+        physical_program.x( routed.initial_layout[q] );
+      }
+    }
+    logical_program.append( logical );
+    physical_program.append( routed.circuit );
+
+    statevector_simulator sim_logical( num_logical );
+    sim_logical.run( logical_program );
+    statevector_simulator sim_physical( physical_width );
+    sim_physical.run( physical_program );
+
+    uint64_t logical_out = 0u;
+    for ( uint64_t basis = 0u; basis < ( uint64_t{ 1 } << num_logical ); ++basis )
+    {
+      if ( sim_logical.probability_of( basis ) > 0.5 )
+      {
+        logical_out = basis;
+      }
+    }
+    uint64_t physical_out = 0u;
+    for ( uint64_t basis = 0u; basis < ( uint64_t{ 1 } << physical_width ); ++basis )
+    {
+      if ( sim_physical.probability_of( basis ) > 0.5 )
+      {
+        physical_out = basis;
+      }
+    }
+    for ( uint32_t q = 0u; q < num_logical; ++q )
+    {
+      ASSERT_EQ( ( logical_out >> q ) & 1u,
+                 ( physical_out >> routed.final_layout[q] ) & 1u )
+          << "input=" << input << " q=" << q;
+    }
+  }
+}
+
+TEST( sabre_test, preserves_semantics_on_directed_device )
+{
+  const auto qx4 = coupling_map::ibm_qx4();
+  qcircuit plain( 5u );
+  plain.x( 0u );
+  plain.cx( 0u, 4u );
+  plain.cx( 1u, 3u );
+  plain.cx( 0u, 2u );
+  plain.cz( 3u, 4u );
+  plain.swap_( 0u, 1u );
+  plain.cx( 1u, 4u );
+  router_options options;
+  const auto routed = route_circuit( plain, qx4, options );
+  expect_routing_equivalent( plain, routed, 5u );
+}
+
+TEST( sabre_test, logical_swaps_are_absorbed_into_the_layout )
+{
+  const auto device = coupling_map::linear( 4u );
+  qcircuit circuit( 4u );
+  circuit.swap_( 0u, 3u );
+  router_options options;
+  const auto routed = route_circuit( circuit, device, options );
+  /* a logical SWAP costs no gates: it is a relabeling */
+  EXPECT_EQ( routed.added_swaps, 0u );
+  EXPECT_EQ( routed.circuit.num_gates(), 0u );
+  expect_routing_equivalent( circuit, routed, 4u );
+}
+
+TEST( sabre_test, measurement_order_is_preserved )
+{
+  const auto device = coupling_map::linear( 4u );
+  qcircuit circuit( 4u );
+  circuit.x( 3u );
+  circuit.cx( 0u, 3u ); /* forces movement */
+  circuit.measure_all();
+  router_options options;
+  const auto routed = route_circuit( circuit, device, options );
+  const auto counts = sample_counts( routed.circuit, 128u, 3u );
+  ASSERT_EQ( counts.size(), 1u );
+  /* outcome bit i = i-th logical measurement: q3=1 -> 0b1000 */
+  EXPECT_EQ( counts.begin()->first, 0b1000u );
+}
+
+TEST( sabre_test, beats_or_matches_greedy_on_routed_workload )
+{
+  /* hwb4 mapped to Clifford+T, routed onto a 16-qubit line: the
+   * lookahead router must not insert more SWAPs than the baseline */
+  const auto reversible = transformation_based_synthesis( hwb_permutation( 4u ) );
+  const auto mapped = map_to_clifford_t( reversible );
+  const auto device = coupling_map::linear( 16u );
+  const auto greedy = route_circuit( mapped.circuit, device );
+  router_options options;
+  const auto sabre = route_circuit( mapped.circuit, device, options );
+  EXPECT_LE( sabre.added_swaps, greedy.added_swaps );
+  EXPECT_GT( greedy.added_swaps, 0u );
+}
+
+TEST( sabre_test, explicit_initial_layout_is_respected )
+{
+  const auto device = coupling_map::linear( 3u );
+  qcircuit circuit( 3u );
+  circuit.cx( 0u, 2u );
+  router_options options;
+  options.initial_layout = std::vector<uint32_t>{ 0u, 2u, 1u }; /* 0 and 2 adjacent */
+  const auto routed = route_circuit( circuit, device, options );
+  EXPECT_EQ( routed.initial_layout, ( std::vector<uint32_t>{ 0u, 2u, 1u } ) );
+  EXPECT_EQ( routed.added_swaps, 0u );
+  expect_routing_equivalent( circuit, routed, 3u );
+
+  router_options bad;
+  bad.initial_layout = std::vector<uint32_t>{ 0u, 0u, 1u };
+  EXPECT_THROW( route_circuit( circuit, device, bad ), std::invalid_argument );
+}
+
+TEST( sabre_test, parse_helpers )
+{
+  EXPECT_EQ( parse_router_kind( "sabre" ), router_kind::sabre );
+  EXPECT_EQ( parse_router_kind( "greedy" ), router_kind::greedy );
+  EXPECT_EQ( parse_router_kind( "qiskit" ), std::nullopt );
+  EXPECT_STREQ( router_kind_name( router_kind::sabre ), "sabre" );
+  EXPECT_EQ( parse_mct_strategy( "dirty" ), mct_strategy::dirty );
+  EXPECT_EQ( parse_mct_strategy( "auto" ), mct_strategy::automatic );
+  EXPECT_EQ( parse_mct_strategy( "bogus" ), std::nullopt );
+}
+
+TEST( coupling_map_test, all_distances_matches_pairwise )
+{
+  const auto qx5 = coupling_map::ibm_qx5();
+  const auto matrix = qx5.all_distances();
+  ASSERT_EQ( matrix.size(), 16u );
+  for ( uint32_t a = 0u; a < 16u; a += 3u )
+  {
+    for ( uint32_t b = 0u; b < 16u; b += 5u )
+    {
+      EXPECT_EQ( matrix[a][b], qx5.distance( a, b ) ) << a << "," << b;
+    }
+  }
 }
 
 } // namespace

@@ -355,6 +355,60 @@ TEST( flow_shim_test, fluent_flow_records_pass_reports )
   EXPECT_EQ( pipeline.ir().current, stage::quantum );
 }
 
+TEST( mapping_flags_test, rptm_strategy_and_cost_target )
+{
+  pass_manager manager( /*enable_cache=*/false );
+  /* forcing the clean chain reproduces the default T-count */
+  const auto clean = manager.run( "revgen --hwb 4; tbs; rptm --strategy clean; ps" );
+  const auto automatic = manager.run( "revgen --hwb 4; tbs; rptm --strategy auto; ps" );
+  ASSERT_TRUE( clean.ir.last_statistics && automatic.ir.last_statistics );
+  EXPECT_EQ( clean.ir.last_statistics->t_count, automatic.ir.last_statistics->t_count );
+
+  /* deriving the cost model from a device target caps the qubit budget */
+  const auto device_mapped =
+      manager.run( "revgen --hwb 4; tbs; rptm --cost-target ibm_qx4; ps" );
+  ASSERT_TRUE( device_mapped.ir.last_statistics );
+  EXPECT_LE( device_mapped.ir.last_statistics->num_qubits, 5u );
+
+  EXPECT_THROW( manager.run( "revgen --hwb 4; tbs; rptm --strategy vchain" ),
+                std::invalid_argument );
+  EXPECT_THROW( manager.run( "revgen --hwb 4; tbs; rptm --cost-target nope" ),
+                std::invalid_argument );
+}
+
+TEST( mapping_flags_test, route_router_selection )
+{
+  pass_manager manager( /*enable_cache=*/false );
+  const auto greedy = manager.run(
+      "revgen --hwb 4; tbs; rptm; route --device ibm_qx5 --router greedy" );
+  const auto sabre = manager.run(
+      "revgen --hwb 4; tbs; rptm; route --device ibm_qx5 --router sabre" );
+  ASSERT_TRUE( greedy.ir.mapped && sabre.ir.mapped );
+  EXPECT_LE( sabre.ir.mapped->added_swaps, greedy.ir.mapped->added_swaps );
+  EXPECT_NO_THROW( manager.run(
+      "revgen --hwb 4; tbs; rptm; route --router sabre --lookahead 8 --layout-trials 1" ) );
+
+  /* default router is sabre */
+  const auto defaulted = manager.run( "revgen --hwb 4; tbs; rptm; route --device ibm_qx5" );
+  ASSERT_TRUE( defaulted.ir.mapped );
+  EXPECT_EQ( defaulted.ir.mapped->added_swaps, sabre.ir.mapped->added_swaps );
+
+  EXPECT_THROW( manager.run( "revgen --hwb 4; tbs; rptm; route --router tokyo" ),
+                std::invalid_argument );
+  EXPECT_THROW( manager.run( "revgen --hwb 4; tbs; rptm; route --lookahead x" ),
+                std::invalid_argument );
+}
+
+TEST( mapping_flags_test, flow_route_and_strategy_shims )
+{
+  flow pipeline;
+  pipeline.revgen_hwb( 4u ).tbs().rptm_strategy( "clean", "statevector" ).route( "ibm_qx4" );
+  EXPECT_EQ( pipeline.ir().current, stage::mapped );
+  const auto& mapped = pipeline.mapped();
+  EXPECT_EQ( mapped.circuit.num_qubits(), 5u );
+  EXPECT_EQ( mapped.initial_layout.size(), 5u );
+}
+
 TEST( flow_shim_test, flow_and_spec_pipeline_agree_on_random_permutation )
 {
   const auto target = permutation::random( 4u, 99u );
