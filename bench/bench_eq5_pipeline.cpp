@@ -24,7 +24,8 @@
 #include "optimization/revsimp.hpp"
 #include "optimization/revsimp_reference.hpp"
 #include "pipeline/pass_manager.hpp"
-#include "pipeline/timing.hpp"
+#include "telemetry/clock.hpp"
+#include "telemetry/metadata.hpp"
 
 #include <cstdio>
 #include <random>
@@ -34,8 +35,8 @@
 namespace
 {
 
-using clock_type = qda::detail::steady_clock;
-using qda::detail::elapsed_ms_since;
+using clock_type = qda::telemetry::steady_clock;
+using qda::telemetry::elapsed_ms_since;
 
 std::string eq5_spec( uint32_t n )
 {
@@ -204,7 +205,8 @@ int main()
     std::printf( "could not open BENCH_eq5.json for writing\n" );
     return 1;
   }
-  std::fprintf( json, "{\n  \"experiment\": \"eq5_pipeline\",\n  \"sizes\": [\n" );
+  std::fprintf( json, "{\n  \"experiment\": \"eq5_pipeline\",\n  %s,\n  \"sizes\": [\n",
+                telemetry::bench_metadata_json().c_str() );
   pass_manager json_manager( /*enable_cache=*/false );
   for ( uint32_t n = 4u; n <= 8u; ++n )
   {

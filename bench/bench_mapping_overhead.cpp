@@ -22,6 +22,7 @@
 #include "optimization/peephole.hpp"
 #include "synthesis/revgen.hpp"
 #include "synthesis/transformation_based.hpp"
+#include "telemetry/metadata.hpp"
 
 #include <cstdio>
 #include <cstdlib>
@@ -221,7 +222,8 @@ int main()
     std::printf( "could not open BENCH_map.json for writing\n" );
     return 1;
   }
-  std::fprintf( json, "{\n  \"smoke\": %s,\n  \"strategies\": [\n", smoke ? "true" : "false" );
+  std::fprintf( json, "{\n  \"experiment\": \"mapping_overhead\",\n  %s,\n  \"smoke\": %s,\n  \"strategies\": [\n",
+                telemetry::bench_metadata_json().c_str(), smoke ? "true" : "false" );
   for ( size_t i = 0u; i < strategy_rows.size(); ++i )
   {
     const auto& row = strategy_rows[i];

@@ -27,6 +27,7 @@
 #include "simulator/kernels.hpp"
 #include "simulator/stabilizer.hpp"
 #include "simulator/statevector.hpp"
+#include "telemetry/metadata.hpp"
 
 #include <chrono>
 #include <cmath>
@@ -415,6 +416,7 @@ int main()
     return 1;
   }
   std::fprintf( json, "{\n  \"experiment\": \"simulation_engine\",\n" );
+  std::fprintf( json, "  %s,\n", telemetry::bench_metadata_json().c_str() );
   std::fprintf( json, "  \"threads\": %u,\n", sim::num_threads() );
   std::fprintf( json, "  \"end_to_end\": [\n" );
   const auto print_end_to_end = [&]( const char* name, const end_to_end_result& r, bool last ) {

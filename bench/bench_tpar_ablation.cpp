@@ -13,6 +13,7 @@
  */
 #include "core/flow.hpp"
 #include "synthesis/revgen.hpp"
+#include "telemetry/metadata.hpp"
 
 #include <cstdio>
 #include <string>
@@ -72,7 +73,8 @@ int main()
     std::printf( "could not open BENCH_tpar.json for writing\n" );
     return 1;
   }
-  std::fprintf( json, "{\n  \"experiment\": \"tpar_ablation\",\n  \"cases\": [\n" );
+  std::fprintf( json, "{\n  \"experiment\": \"tpar_ablation\",\n  %s,\n  \"cases\": [\n",
+                telemetry::bench_metadata_json().c_str() );
 
   bool all_ok = true;
   for ( size_t index = 0u; index < cases.size(); ++index )

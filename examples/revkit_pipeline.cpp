@@ -1,37 +1,70 @@
 /*! \file revkit_pipeline.cpp
  *  \brief The RevKit shell pipeline of paper Eq. (5), programmatically.
  *
- *      revgen --hwb 4; tbs; revsimp; rptm; tpar; ps -c
+ *      revgen --hwb N; tbs; revsimp; rptm; tpar; ps -c
  *
- *  Generates the 4-variable hidden-weighted-bit permutation,
- *  synthesizes, simplifies, maps to Clifford+T with relative-phase
- *  Toffolis, folds phases and prints statistics -- then verifies the
- *  final quantum circuit against the original permutation.
+ *  Generates the N-variable hidden-weighted-bit permutation (default
+ *  N = 4, `--hwb N` to change), synthesizes, simplifies, maps to
+ *  Clifford+T with relative-phase Toffolis, folds phases and prints the
+ *  per-pass cost-delta table -- then verifies the final quantum circuit
+ *  against the original permutation.
+ *
+ *  Observability: `--trace out.json` writes a Chrome trace (open in
+ *  chrome://tracing or https://ui.perfetto.dev) and `--report` prints
+ *  the hierarchical span summary plus the metrics table.
  */
 #include "core/flow.hpp"
 #include "pipeline/pass_manager.hpp"
+#include "telemetry/session.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
-int main()
+int main( int argc, char** argv )
 {
   using namespace qda;
 
+  telemetry::session session( telemetry::session_options::from_cli( argc, argv ) );
+
+  uint32_t hwb_size = 4u;
+  for ( int i = 1; i < argc; ++i )
+  {
+    if ( std::strcmp( argv[i], "--hwb" ) == 0 && i + 1 < argc )
+    {
+      hwb_size = static_cast<uint32_t>( std::atoi( argv[++i] ) );
+    }
+    else
+    {
+      std::fprintf( stderr, "usage: %s [--hwb N] [--trace out.json] [--report]\n", argv[0] );
+      return 2;
+    }
+  }
+  if ( hwb_size < 1u || hwb_size > 10u )
+  {
+    std::fprintf( stderr, "revkit_pipeline: --hwb N must be in [1, 10]\n" );
+    return 2;
+  }
+
   /* the shell string itself, through the pass manager */
+  const std::string spec = "revgen --hwb " + std::to_string( hwb_size ) +
+                           "; tbs; revsimp; rptm; tpar; ps";
   pass_manager manager;
-  const auto compiled = manager.run( "revgen --hwb 4; tbs; revsimp; rptm; tpar; ps" );
+  const auto compiled = manager.run( spec );
   std::printf( "%s\n", format_report( compiled ).c_str() );
+  std::printf( "%s\n", format_cost_table( compiled ).c_str() );
 
   /* the same pipeline through the fluent flow API */
   flow pipeline;
-  pipeline.revgen_hwb( 4u ); /* revgen --hwb 4 */
-  pipeline.tbs();            /* tbs */
+  pipeline.revgen_hwb( hwb_size ); /* revgen --hwb N */
+  pipeline.tbs();                  /* tbs */
   std::printf( "after tbs:     %zu MCT gates\n", pipeline.reversible().num_gates() );
-  pipeline.revsimp();        /* revsimp */
+  pipeline.revsimp();              /* revsimp */
   std::printf( "after revsimp: %zu MCT gates\n", pipeline.reversible().num_gates() );
-  pipeline.rptm();           /* rptm */
+  pipeline.rptm();                 /* rptm */
   std::printf( "after rptm:    %s\n", pipeline.ps_line().c_str() );
-  pipeline.tpar();           /* tpar */
+  pipeline.tpar();                 /* tpar */
   std::printf( "after tpar:    %s\n", pipeline.ps_line().c_str() ); /* ps -c */
 
   const bool ok = pipeline.verify();

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Guard the benchmark floors: fail when a freshly produced BENCH_*.json
+regresses an enforced ratio metric by more than the tolerance relative to
+the committed baseline.
+
+Only machine-comparable *ratio* metrics are checked (speedups and the
+swap-reduction percentage) -- absolute wall-clock numbers shift with the
+host and are ignored.
+
+Usage:
+    scripts/check_bench_regression.py \
+        --baseline-dir . --current-dir build [--tolerance 0.20]
+
+Exit status: 0 = no regression, 1 = regression, 2 = usage/setup error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError as err:
+        print(f"error: {path} is not valid JSON: {err}")
+        sys.exit(2)
+
+
+def collect_metrics(directory):
+    """Maps metric-path -> value for every enforced ratio metric found.
+
+    Only the workloads whose floors the benches themselves enforce are
+    gated; small micro-workloads (layered-12q and friends) swing well
+    over 20% run-to-run and would make the gate flaky.
+    """
+    metrics = {}
+
+    sim = load(os.path.join(directory, "BENCH_sim.json"))
+    if sim is not None:
+        for row in sim.get("end_to_end", []):
+            if row["name"] == "layered-20q":
+                metrics[f"sim.end_to_end.{row['name']}.speedup"] = row["speedup"]
+        for row in sim.get("sampling", []):
+            if row["name"].startswith("stabilizer"):
+                metrics[f"sim.sampling.{row['name']}.speedup"] = row["speedup"]
+
+    mapping = load(os.path.join(directory, "BENCH_map.json"))
+    if mapping is not None:
+        summary = mapping.get("summary", {})
+        if "swap_reduction_percent" in summary:
+            metrics["map.swap_reduction_percent"] = summary["swap_reduction_percent"]
+
+    eq5 = load(os.path.join(directory, "BENCH_eq5.json"))
+    if eq5 is not None:
+        micro = eq5.get("revsimp_microbench", {})
+        if "speedup" in micro:
+            metrics["eq5.revsimp_microbench.speedup"] = micro["speedup"]
+
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory with the committed BENCH_*.json files")
+    parser.add_argument("--current-dir", default="build",
+                        help="directory with the freshly produced BENCH_*.json files")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative drop before failing (default 0.20)")
+    args = parser.parse_args()
+
+    baseline = collect_metrics(args.baseline_dir)
+    current = collect_metrics(args.current_dir)
+
+    if not baseline:
+        print(f"error: no baseline BENCH_*.json found in {args.baseline_dir}")
+        return 2
+    if not current:
+        print(f"error: no fresh BENCH_*.json found in {args.current_dir}")
+        return 2
+
+    failures = []
+    checked = 0
+    for name, base_value in sorted(baseline.items()):
+        if name not in current:
+            print(f"skip  {name}: not in current run (workload set differs)")
+            continue
+        checked += 1
+        cur_value = current[name]
+        floor = base_value * (1.0 - args.tolerance)
+        status = "ok   "
+        if cur_value < floor:
+            status = "FAIL "
+            failures.append(name)
+        print(f"{status}{name}: baseline {base_value:.2f} -> current {cur_value:.2f} "
+              f"(floor {floor:.2f})")
+
+    if checked == 0:
+        print("error: baseline and current runs share no metrics")
+        return 2
+    if failures:
+        print(f"\n{len(failures)} metric(s) regressed by more than "
+              f"{args.tolerance:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"\nall {checked} enforced metric(s) within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include "simulator/statevector.hpp"
+#include "telemetry/trace.hpp"
 
 #include <algorithm>
 #include <stdexcept>
@@ -216,6 +217,9 @@ const qcircuit& main_engine::circuit() const
 uint64_t main_engine::run( uint64_t seed ) const
 {
   const auto& final_circuit = circuit();
+  QDA_TRACE_SPAN_NAMED( run_span, "engine.run" );
+  run_span.attr( "qubits", static_cast<int64_t>( num_qubits_ ) )
+      .attr( "gates", static_cast<int64_t>( final_circuit.num_gates() ) );
   statevector_simulator simulator( num_qubits_, seed );
   simulator.run( final_circuit );
   uint64_t outcome = 0u;
@@ -240,6 +244,8 @@ execution_result main_engine::execute_on( const std::string& target_name, uint64
 {
   /* constrained targets lower multi-controlled gates themselves, with
    * their own cost weights and qubit budget (run_on_ibm_model) */
+  QDA_TRACE_SPAN_NAMED( exec_span, "engine.execute_on" );
+  exec_span.attr( "target", target_name ).attr( "shots", shots );
   return target_registry::instance().run( target_name, circuit(), shots, seed );
 }
 

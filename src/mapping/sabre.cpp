@@ -2,6 +2,8 @@
 
 #include "mapping/physical_emitter.hpp"
 #include "quantum/dag.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 #include <algorithm>
 #include <numeric>
@@ -145,6 +147,7 @@ struct sabre_run
     {
       std::fill( decay.begin(), decay.end(), 1.0 );
       stalled_swaps = 0u;
+      QDA_COUNT( "sabre.decay_resets" );
     }
     return any;
   }
@@ -210,6 +213,7 @@ struct sabre_run
   double score_swap( uint32_t a, uint32_t b, const std::vector<uint32_t>& blocked,
                      const std::vector<uint32_t>& extended ) const
   {
+    QDA_COUNT( "sabre.swap_candidates" );
     double front_cost = 0.0;
     for ( const auto index : blocked )
     {
@@ -242,6 +246,7 @@ struct sabre_run
    */
   void force_route_first()
   {
+    QDA_COUNT( "sabre.force_routes" );
     const auto [la, lb] = operands_of( dag.gate( front.front() ) );
     const auto path = device.shortest_path( layout[la], layout[lb] );
     if ( path.empty() )
@@ -258,6 +263,8 @@ struct sabre_run
   {
     /* every remaining front gate is a blocked two-qubit gate */
     const auto& blocked = front;
+    QDA_HISTOGRAM( "sabre.front_layer", static_cast<double>( front.size() ),
+                   { 1.0, 2.0, 4.0, 8.0, 16.0, 32.0 } );
 
     const uint32_t stall_limit = 2u * device.num_qubits() * device.num_qubits() + 16u;
     if ( stalled_swaps > stall_limit )
@@ -356,6 +363,11 @@ routing_result sabre_route( const qcircuit& source, const coupling_map& device,
   {
     throw std::invalid_argument( "route_circuit: circuit needs more qubits than the device has" );
   }
+  QDA_TRACE_SPAN_NAMED( route_span, "sabre.route" );
+  route_span.attr( "gates", static_cast<int64_t>( source.num_gates() ) )
+      .attr( "logical_qubits", static_cast<int64_t>( source.num_qubits() ) )
+      .attr( "physical_qubits", static_cast<int64_t>( device.num_qubits() ) )
+      .attr( "layout_iterations", static_cast<int64_t>( options.layout_iterations ) );
   const auto dist = device.all_distances();
   const gate_dag dag( source );
 
@@ -399,12 +411,16 @@ routing_result sabre_route( const qcircuit& source, const coupling_map& device,
       backward.run();
       current = backward.layout;
     }
-    return finish( std::move( *best_run ), std::move( best_layout ) );
+    auto best = finish( std::move( *best_run ), std::move( best_layout ) );
+    route_span.attr( "swaps", best.added_swaps );
+    return best;
   }
 
   sabre_run final_run( dag, device, dist, options, layout );
   final_run.run();
-  return finish( std::move( final_run ), std::move( layout ) );
+  auto result = finish( std::move( final_run ), std::move( layout ) );
+  route_span.attr( "swaps", result.added_swaps );
+  return result;
 }
 
 } // namespace qda

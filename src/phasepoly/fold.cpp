@@ -2,6 +2,8 @@
 
 #include "phasepoly/parity_table.hpp"
 #include "phasepoly/phase_polynomial.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 #include <cmath>
 #include <numbers>
@@ -26,6 +28,8 @@ struct fold_term
 
 void fold_phases_in_place( qcircuit& circuit )
 {
+  QDA_TRACE_SPAN_NAMED( fold_span, "tpar.fold" );
+  fold_span.attr( "gates", static_cast<int64_t>( circuit.num_gates() ) );
   const uint32_t num_qubits = circuit.num_qubits();
   auto& core = circuit.core();
   core.compact(); /* pass 1 records slots; start from dense storage */
@@ -78,6 +82,10 @@ void fold_phases_in_place( qcircuit& circuit )
       {
         terms.push_back( { 0.0, slot, constants[target] != 0u } );
         anchor_of[slot] = index;
+      }
+      else
+      {
+        QDA_COUNT( "tpar.parities_folded" );
       }
       if ( constants[target] != 0u )
       {

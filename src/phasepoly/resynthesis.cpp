@@ -1,6 +1,8 @@
 #include "phasepoly/resynthesis.hpp"
 
 #include "phasepoly/linear_synthesis.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -215,6 +217,8 @@ void append_key_angle( std::string& key, double angle )
 void resynthesize_parity_regions_in_place( qcircuit& circuit,
                                            const resynthesis_options& options )
 {
+  QDA_TRACE_SPAN_NAMED( resynth_span, "tpar.resynth" );
+  resynth_span.attr( "gates", static_cast<int64_t>( circuit.num_gates() ) );
   auto& core = circuit.core();
   core.compact(); /* region bounds are slot ranges; start dense */
 
@@ -295,8 +299,13 @@ void resynthesize_parity_regions_in_place( qcircuit& circuit,
     if ( ( linear_count >= 2u || ( linear_count >= 1u && phase_count >= 1u ) ) &&
          touched.size() <= 256u )
     {
+      QDA_COUNT( "tpar.regions_extracted" );
       auto [cache_it, fresh] = patterns.try_emplace( key );
       cached_network& cached = cache_it->second;
+      if ( !fresh )
+      {
+        QDA_COUNT( "tpar.memo_hits" );
+      }
       if ( fresh )
       {
         const auto poly = extract_phase_polynomial( circuit, begin, end, touched );
@@ -313,6 +322,7 @@ void resynthesize_parity_regions_in_place( qcircuit& circuit,
       }
       if ( cached.improves )
       {
+        QDA_COUNT( "tpar.regions_resynthesized" );
         for ( uint32_t slot = begin; slot < end; ++slot )
         {
           rewriter.erase_slot( slot );

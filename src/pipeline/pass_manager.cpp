@@ -1,6 +1,8 @@
 #include "pipeline/pass_manager.hpp"
 
-#include "pipeline/timing.hpp"
+#include "telemetry/clock.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 #include <cstdio>
 #include <sstream>
@@ -67,11 +69,21 @@ pass_report pass_manager::apply_pass( staged_ir& ir, const pass_invocation& invo
   report.arguments = invocation.args.to_string();
   report.stage_before = ir.current;
   report.gates_before = ir.current_gate_count();
+  report.helpers_before = ir.quantum ? ir.quantum->num_helper_qubits : 0u;
   report.statistics_before = stats_before ? *stats_before : ir.current_statistics();
+
+  QDA_TRACE_SPAN_NAMED( pass_span, std::string( "pass." ) + invocation.name );
+  if ( !report.arguments.empty() )
+  {
+    pass_span.attr( "args", report.arguments );
+  }
+  pass_span.attr( "stage_in", std::string( stage_name( report.stage_before ) ) );
+  pass_span.attr( "gates_in", static_cast<int64_t>( report.gates_before ) );
 
   const auto start = steady_clock::now();
   info.run( ir, invocation.args );
   report.elapsed_ms = elapsed_ms_since( start );
+  QDA_COUNT( "pipeline.passes_run" );
 
   const auto expected = info.produces.value_or( report.stage_before );
   if ( ir.current != expected )
@@ -82,6 +94,7 @@ pass_report pass_manager::apply_pass( staged_ir& ir, const pass_invocation& invo
   }
 
   report.stage_after = ir.current;
+  report.helpers_after = ir.quantum ? ir.quantum->num_helper_qubits : 0u;
   if ( !info.produces )
   {
     /* inspection pass: the circuit is unchanged by contract */
@@ -92,6 +105,14 @@ pass_report pass_manager::apply_pass( staged_ir& ir, const pass_invocation& invo
   {
     report.gates_after = ir.current_gate_count();
     report.statistics_after = ir.current_statistics();
+  }
+  pass_span.attr( "gates_out", static_cast<int64_t>( report.gates_after ) );
+  if ( report.statistics_after )
+  {
+    pass_span.attr( "t_count", static_cast<int64_t>( report.statistics_after->t_count ) );
+    pass_span.attr( "cnot", static_cast<int64_t>( report.statistics_after->cnot_count ) );
+    pass_span.attr( "depth", static_cast<int64_t>( report.statistics_after->depth ) );
+    pass_span.attr( "qubits", static_cast<int64_t>( report.statistics_after->num_qubits ) );
   }
   return report;
 }
@@ -188,6 +209,8 @@ compilation_result pass_manager::run( const pipeline_spec& spec, staged_ir initi
   const auto start = steady_clock::now();
   validate_pipeline( spec, registry_, initial.current );
   const auto canonical = spec.to_string();
+  QDA_TRACE_SPAN_NAMED( run_span, "pipeline.run" );
+  run_span.attr( "spec", canonical );
 
   uint64_t key = 0u;
   uint64_t check = 0u;
@@ -213,12 +236,15 @@ compilation_result pass_manager::run( const pipeline_spec& spec, staged_ir initi
     }
     if ( cached )
     {
+      QDA_COUNT( "pipeline.cache.hit" );
+      run_span.attr( "cache", std::string( "hit" ) );
       /* deep copy outside the lock */
       auto result = *cached;
       result.cache_hit = true;
       result.total_ms = elapsed_ms_since( start );
       return result;
     }
+    QDA_COUNT( "pipeline.cache.miss" );
   }
 
   compilation_result result;
@@ -245,6 +271,7 @@ compilation_result pass_manager::run( const pipeline_spec& spec, staged_ir initi
       {
         cache_.erase( cache_order_.front() );
         cache_order_.pop_front();
+        QDA_COUNT( "pipeline.cache.evict" );
       }
     }
     else
@@ -293,6 +320,59 @@ std::string format_report( const compilation_result& result )
   std::snprintf( line, sizeof( line ), "total: %.3f ms%s\n", result.total_ms,
                  result.cache_hit ? " (cache hit)" : "" );
   out << line;
+  return out.str();
+}
+
+namespace
+{
+
+/*! "before -> after" cell, or "-" when the pass saw no such value. */
+std::string delta_cell( uint64_t before, uint64_t after, bool have_before, bool have_after )
+{
+  if ( !have_after )
+  {
+    return "-";
+  }
+  if ( !have_before || before == after )
+  {
+    return std::to_string( after );
+  }
+  return std::to_string( before ) + "->" + std::to_string( after );
+}
+
+} // namespace
+
+std::string format_cost_table( const compilation_result& result )
+{
+  std::ostringstream out;
+  out << "per-pass circuit cost (" << result.spec << ")\n";
+  char line[224];
+  std::snprintf( line, sizeof( line ), "%-10s %12s %14s %14s %14s %10s %9s %9s\n", "pass",
+                 "gates", "T-count", "CNOT", "depth", "qubits", "ancillae", "ms" );
+  out << line;
+  for ( const auto& report : result.reports )
+  {
+    const auto& before = report.statistics_before;
+    const auto& after = report.statistics_after;
+    const auto stat_cell = [&]( auto member ) {
+      return delta_cell( before ? static_cast<uint64_t>( ( *before ).*member ) : 0u,
+                         after ? static_cast<uint64_t>( ( *after ).*member ) : 0u,
+                         before.has_value(), after.has_value() );
+    };
+    std::snprintf(
+        line, sizeof( line ), "%-10s %12s %14s %14s %14s %10s %9s %9.3f\n",
+        report.name.c_str(),
+        delta_cell( report.gates_before, report.gates_after, true, true ).c_str(),
+        stat_cell( &circuit_statistics::t_count ).c_str(),
+        stat_cell( &circuit_statistics::cnot_count ).c_str(),
+        stat_cell( &circuit_statistics::depth ).c_str(),
+        stat_cell( &circuit_statistics::num_qubits ).c_str(),
+        delta_cell( report.helpers_before, report.helpers_after, true,
+                    report.helpers_after > 0u || report.helpers_before > 0u )
+            .c_str(),
+        report.elapsed_ms );
+    out << line;
+  }
   return out.str();
 }
 

@@ -42,6 +42,11 @@ struct pass_report
   uint64_t gates_before = 0u;
   uint64_t gates_after = 0u;
 
+  /*! Clean helper qubits (ancillae) at the pass boundary; nonzero only
+   *  once the quantum stage exists. */
+  uint32_t helpers_before = 0u;
+  uint32_t helpers_after = 0u;
+
   /*! Full statistics, recorded when a quantum/mapped circuit exists. */
   std::optional<circuit_statistics> statistics_before;
   std::optional<circuit_statistics> statistics_after;
@@ -131,5 +136,12 @@ private:
 
 /*! \brief Human-readable per-pass table of a compilation. */
 std::string format_report( const compilation_result& result );
+
+/*! \brief Fig. 6-style per-pass cost-delta table: what each pass did to
+ *         T-count, CNOT count, depth, qubits and ancillae.  Rows appear
+ *         once a quantum circuit exists (earlier passes show the MCT
+ *         gate count only); deltas are rendered as before -> after.
+ */
+std::string format_cost_table( const compilation_result& result );
 
 } // namespace qda

@@ -1,18 +1,11 @@
 /*! \file timing.hpp
- *  \brief Shared wall-clock helper of the pipeline instrumentation.
+ *  \brief Forwarding header: the wall-clock helpers moved to
+ *         telemetry/clock.hpp when the observability subsystem landed.
+ *
+ *  Kept so pre-telemetry includes (`pipeline/timing.hpp` for
+ *  `qda::detail::elapsed_ms_since`) keep compiling; new code should
+ *  include telemetry/clock.hpp directly.
  */
 #pragma once
 
-#include <chrono>
-
-namespace qda::detail
-{
-
-using steady_clock = std::chrono::steady_clock;
-
-inline double elapsed_ms_since( steady_clock::time_point start )
-{
-  return std::chrono::duration<double, std::milli>( steady_clock::now() - start ).count();
-}
-
-} // namespace qda::detail
+#include "telemetry/clock.hpp"

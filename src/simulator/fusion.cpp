@@ -1,6 +1,10 @@
 #include "simulator/fusion.hpp"
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <stdexcept>
@@ -303,6 +307,7 @@ private:
   {
     if ( is_near_identity( m ) )
     {
+      QDA_COUNT_N( "sim.fusion.identity_dropped_gates", source_gates );
       return; /* e.g. H H or X X runs cancel entirely */
     }
     op o;
@@ -543,6 +548,8 @@ private:
     o.kind = op_kind::diag_table;
     o.table_qubits = std::move( qubits );
     o.table = std::move( table );
+    QDA_COUNT( "sim.fusion.diag_tables" );
+    QDA_COUNT_N( "sim.fusion.diag_table_gates", o.source_gates );
     result_.ops.push_back( std::move( o ) );
   }
 
@@ -624,6 +631,8 @@ private:
         apply_local( local, columns[c].data(), block_dim );
       }
     }
+    QDA_COUNT( "sim.fusion.dense_blocks" );
+    QDA_COUNT_N( "sim.fusion.dense_block_gates", blk.sources );
     op fused;
     fused.kind = op_kind::fused_kq;
     fused.source_gates = blk.sources;
@@ -648,12 +657,64 @@ private:
 program compile_impl( const qcircuit& circuit, std::vector<uint32_t>* measured,
                       const compile_options& options )
 {
+  QDA_TRACE_SPAN_NAMED( compile_span, "sim.compile" );
   compiler c( circuit.num_qubits(), options );
   for ( const auto& gate : circuit.gates() )
   {
     c.add_gate( gate, measured );
   }
-  return c.finish();
+  auto prog = c.finish();
+  compile_span.attr( "gates", prog.source_gate_count )
+      .attr( "ops", static_cast<int64_t>( prog.ops.size() ) );
+  return prog;
+}
+
+/*! Telemetry of one kernel dispatch: per-kind invocation counts and the
+ *  amplitudes each kernel actually walks (masked kernels enumerate only
+ *  the control-satisfying subspace).  One relaxed atomic add per op --
+ *  ops are already fused, so this is far off the per-amplitude path.
+ */
+void record_dispatch( const op& o, uint64_t dim )
+{
+  struct instrument
+  {
+    telemetry::counter* calls;
+    telemetry::counter* amplitudes;
+  };
+  static const std::array<const char*, 10> names = {
+    "unitary_1q", "diag_1q",  "antidiag_1q", "phase_masked", "diag_table",
+    "fused_kq",   "mcx",      "swap_2q",     "scalar",       "measure" };
+  static std::array<instrument, 10> instruments = [] {
+    std::array<instrument, 10> table{};
+    auto& registry = telemetry::metrics_registry::instance();
+    for ( size_t i = 0u; i < table.size(); ++i )
+    {
+      table[i].calls =
+          &registry.get_counter( std::string( "sim.kernel." ) + names[i] + ".calls" );
+      table[i].amplitudes =
+          &registry.get_counter( std::string( "sim.kernel." ) + names[i] + ".amplitudes" );
+    }
+    return table;
+  }();
+
+  uint64_t touched = dim;
+  switch ( o.kind )
+  {
+  case op_kind::phase_masked:
+    touched = dim >> std::popcount( o.mask );
+    break;
+  case op_kind::mcx:
+    touched = dim >> std::popcount( o.mask );
+    break;
+  case op_kind::swap_2q:
+    touched = dim / 2u;
+    break;
+  default:
+    break;
+  }
+  const auto index = static_cast<size_t>( o.kind );
+  instruments[index].calls->add( 1u );
+  instruments[index].amplitudes->add( touched );
 }
 
 } // namespace
@@ -681,6 +742,13 @@ void execute( const program& prog, amplitude* state, uint64_t dim,
 {
   for ( const auto& o : prog.ops )
   {
+    if constexpr ( telemetry::compiled_in )
+    {
+      if ( telemetry::enabled() )
+      {
+        record_dispatch( o, dim );
+      }
+    }
     switch ( o.kind )
     {
     case op_kind::unitary_1q:

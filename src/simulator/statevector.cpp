@@ -2,6 +2,7 @@
 
 #include "simulator/fusion.hpp"
 #include "simulator/kernels.hpp"
+#include "telemetry/trace.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -276,6 +277,10 @@ void statevector_simulator::run_program( const sim::program& prog )
   {
     throw std::invalid_argument( "statevector_simulator::run_program: qubit count mismatch" );
   }
+  QDA_TRACE_SPAN_NAMED( run_span, "sim.run" );
+  run_span.attr( "qubits", static_cast<int64_t>( num_qubits_ ) )
+      .attr( "ops", static_cast<int64_t>( prog.ops.size() ) )
+      .attr( "source_gates", prog.source_gate_count );
   sim::execute( prog, state_.data(), state_.size(), [this]( uint32_t qubit ) {
     const bool outcome = measure_qubit( qubit );
     measurements_.emplace_back( qubit, outcome );
@@ -349,6 +354,8 @@ uint64_t shot_sampler::sample( std::mt19937_64& rng ) const
 
 std::map<uint64_t, uint64_t> sample_counts( const qcircuit& circuit, uint64_t shots, uint64_t seed )
 {
+  QDA_TRACE_SPAN_NAMED( sample_span, "sim.sample_counts" );
+  sample_span.attr( "shots", shots );
   /* compile the unitary part straight from the gate view (no circuit
    * copy); measures are recorded, not executed */
   std::vector<uint32_t> measured;

@@ -1,0 +1,57 @@
+#include "telemetry/metadata.hpp"
+
+#include "telemetry/trace.hpp"
+
+#include <ctime>
+#include <thread>
+
+#ifndef QDA_GIT_SHA
+#define QDA_GIT_SHA "unknown"
+#endif
+
+#ifndef QDA_BUILD_TYPE
+#define QDA_BUILD_TYPE "unknown"
+#endif
+
+namespace qda::telemetry
+{
+
+run_metadata bench_metadata()
+{
+  run_metadata meta;
+  meta.git_sha = QDA_GIT_SHA;
+  meta.build_type = QDA_BUILD_TYPE;
+  meta.threads = std::thread::hardware_concurrency();
+  meta.telemetry_compiled_in = compiled_in;
+
+  std::time_t now = std::time( nullptr );
+  std::tm utc{};
+#if defined( _WIN32 )
+  gmtime_s( &utc, &now );
+#else
+  gmtime_r( &now, &utc );
+#endif
+  char stamp[32];
+  std::strftime( stamp, sizeof( stamp ), "%Y-%m-%dT%H:%M:%SZ", &utc );
+  meta.timestamp = stamp;
+  return meta;
+}
+
+std::string bench_metadata_json()
+{
+  const auto meta = bench_metadata();
+  std::string json = "\"metadata\": { \"git_sha\": \"";
+  json += meta.git_sha;
+  json += "\", \"build_type\": \"";
+  json += meta.build_type;
+  json += "\", \"threads\": ";
+  json += std::to_string( meta.threads );
+  json += ", \"timestamp\": \"";
+  json += meta.timestamp;
+  json += "\", \"telemetry_compiled_in\": ";
+  json += meta.telemetry_compiled_in ? "true" : "false";
+  json += " }";
+  return json;
+}
+
+} // namespace qda::telemetry

@@ -1,0 +1,34 @@
+/*! \file metadata.hpp
+ *  \brief Shared run metadata for every BENCH_*.json emitter.
+ *
+ *  A benchmark JSON that cannot be correlated with the commit, build
+ *  type and machine that produced it is a number without a unit: every
+ *  emitter embeds the same `"metadata"` object via
+ *  `bench_metadata_json()` so cross-PR comparisons (and the CI
+ *  regression gate, scripts/check_bench_regression.py) know what they
+ *  are comparing.
+ */
+#pragma once
+
+#include <string>
+
+namespace qda::telemetry
+{
+
+/*! \brief Identity of one benchmark/trace run. */
+struct run_metadata
+{
+  std::string git_sha;    /*!< short commit hash baked in at configure time */
+  std::string build_type; /*!< CMake build type */
+  unsigned threads = 0u;  /*!< std::thread::hardware_concurrency() */
+  std::string timestamp;  /*!< ISO-8601 UTC, e.g. 2026-08-07T12:34:56Z */
+  bool telemetry_compiled_in = false;
+};
+
+run_metadata bench_metadata();
+
+/*! \brief The metadata as a JSON object fragment:
+ *         `"metadata": { "git_sha": ..., ... }` (no trailing comma). */
+std::string bench_metadata_json();
+
+} // namespace qda::telemetry

@@ -1,0 +1,194 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace qda::telemetry
+{
+
+histogram::histogram( std::vector<double> upper_bounds )
+    : upper_bounds_( std::move( upper_bounds ) ), buckets_( upper_bounds_.size() + 1u )
+{
+}
+
+void histogram::record( double value ) noexcept
+{
+  const auto it = std::lower_bound( upper_bounds_.begin(), upper_bounds_.end(), value );
+  const size_t index = static_cast<size_t>( it - upper_bounds_.begin() );
+  buckets_[index].fetch_add( 1u, std::memory_order_relaxed );
+  count_.fetch_add( 1u, std::memory_order_relaxed );
+  sum_.fetch_add( value, std::memory_order_relaxed );
+}
+
+std::vector<uint64_t> histogram::bucket_counts() const
+{
+  std::vector<uint64_t> counts( buckets_.size() );
+  for ( size_t i = 0u; i < buckets_.size(); ++i )
+  {
+    counts[i] = buckets_[i].load( std::memory_order_relaxed );
+  }
+  return counts;
+}
+
+void histogram::reset() noexcept
+{
+  for ( auto& bucket : buckets_ )
+  {
+    bucket.store( 0u, std::memory_order_relaxed );
+  }
+  count_.store( 0u, std::memory_order_relaxed );
+  sum_.store( 0.0, std::memory_order_relaxed );
+}
+
+metrics_registry& metrics_registry::instance()
+{
+  static metrics_registry global;
+  return global;
+}
+
+counter& metrics_registry::get_counter( const std::string& name )
+{
+  std::lock_guard<std::mutex> guard( mutex_ );
+  return counters_[name];
+}
+
+gauge& metrics_registry::get_gauge( const std::string& name )
+{
+  std::lock_guard<std::mutex> guard( mutex_ );
+  return gauges_[name];
+}
+
+histogram& metrics_registry::get_histogram( const std::string& name,
+                                            std::vector<double> upper_bounds )
+{
+  std::lock_guard<std::mutex> guard( mutex_ );
+  const auto it = histograms_.find( name );
+  if ( it != histograms_.end() )
+  {
+    return it->second;
+  }
+  return histograms_.try_emplace( name, std::move( upper_bounds ) ).first->second;
+}
+
+metrics_snapshot metrics_registry::snapshot() const
+{
+  metrics_snapshot result;
+  std::lock_guard<std::mutex> guard( mutex_ );
+  for ( const auto& [name, instrument] : counters_ )
+  {
+    result.counters.emplace_back( name, instrument.value() );
+  }
+  for ( const auto& [name, instrument] : gauges_ )
+  {
+    result.gauges.emplace_back( name, instrument.value() );
+  }
+  for ( const auto& [name, instrument] : histograms_ )
+  {
+    metrics_snapshot::histogram_entry entry;
+    entry.name = name;
+    entry.upper_bounds = instrument.upper_bounds();
+    entry.bucket_counts = instrument.bucket_counts();
+    entry.count = instrument.count();
+    entry.sum = instrument.sum();
+    result.histograms.push_back( std::move( entry ) );
+  }
+  return result;
+}
+
+void metrics_registry::reset()
+{
+  std::lock_guard<std::mutex> guard( mutex_ );
+  for ( auto& [name, instrument] : counters_ )
+  {
+    static_cast<void>( name );
+    instrument.reset();
+  }
+  for ( auto& [name, instrument] : gauges_ )
+  {
+    static_cast<void>( name );
+    instrument.reset();
+  }
+  for ( auto& [name, instrument] : histograms_ )
+  {
+    static_cast<void>( name );
+    instrument.reset();
+  }
+}
+
+std::string format_metrics( const metrics_snapshot& snapshot )
+{
+  std::ostringstream out;
+  char line[192];
+  bool any = false;
+  for ( const auto& [name, value] : snapshot.counters )
+  {
+    if ( value == 0u )
+    {
+      continue;
+    }
+    if ( !any )
+    {
+      out << "metrics:\n";
+      any = true;
+    }
+    std::snprintf( line, sizeof( line ), "  %-52s %14llu\n", name.c_str(),
+                   static_cast<unsigned long long>( value ) );
+    out << line;
+  }
+  for ( const auto& [name, value] : snapshot.gauges )
+  {
+    if ( value == 0.0 )
+    {
+      continue;
+    }
+    if ( !any )
+    {
+      out << "metrics:\n";
+      any = true;
+    }
+    std::snprintf( line, sizeof( line ), "  %-52s %14.3f\n", name.c_str(), value );
+    out << line;
+  }
+  for ( const auto& entry : snapshot.histograms )
+  {
+    if ( entry.count == 0u )
+    {
+      continue;
+    }
+    if ( !any )
+    {
+      out << "metrics:\n";
+      any = true;
+    }
+    std::snprintf( line, sizeof( line ), "  %-52s %14llu  mean %.3f\n", entry.name.c_str(),
+                   static_cast<unsigned long long>( entry.count ),
+                   entry.sum / static_cast<double>( entry.count ) );
+    out << line;
+    std::string buckets = "    buckets:";
+    for ( size_t i = 0u; i < entry.bucket_counts.size(); ++i )
+    {
+      char piece[64];
+      if ( i < entry.upper_bounds.size() )
+      {
+        std::snprintf( piece, sizeof( piece ), " <=%g: %llu", entry.upper_bounds[i],
+                       static_cast<unsigned long long>( entry.bucket_counts[i] ) );
+      }
+      else
+      {
+        std::snprintf( piece, sizeof( piece ), " >%g: %llu",
+                       entry.upper_bounds.empty() ? 0.0 : entry.upper_bounds.back(),
+                       static_cast<unsigned long long>( entry.bucket_counts[i] ) );
+      }
+      buckets += piece;
+    }
+    out << buckets << "\n";
+  }
+  if ( !any )
+  {
+    out << "metrics: (none recorded)\n";
+  }
+  return out.str();
+}
+
+} // namespace qda::telemetry

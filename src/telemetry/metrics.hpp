@@ -1,0 +1,174 @@
+/*! \file metrics.hpp
+ *  \brief Counters, gauges and fixed-bucket histograms.
+ *
+ *  The aggregate half of the telemetry subsystem: where trace spans
+ *  answer "where did the time go", metrics answer "how often did the
+ *  hot paths take each decision" -- kernel dispatches per kind,
+ *  swap-candidate evaluations, parity-table folds, cache hits.
+ *
+ *  Instruments are named, process-global and thread-safe: updates are
+ *  single relaxed atomic RMWs, so they are safe (and cheap) inside the
+ *  simulator's thread pool.  The `QDA_COUNT`/`QDA_COUNT_N` macros
+ *  compile to nothing when `QDA_TELEMETRY_ENABLED=0` and to one
+ *  branch + cached-reference increment when enabled at runtime; the
+ *  name lookup happens once per call site (function-local static).
+ */
+#pragma once
+
+#include "telemetry/trace.hpp" /* compiled_in + the enable switch */
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qda::telemetry
+{
+
+/*! \brief Monotonic counter. */
+class counter
+{
+public:
+  void add( uint64_t amount = 1u ) noexcept
+  {
+    value_.fetch_add( amount, std::memory_order_relaxed );
+  }
+
+  uint64_t value() const noexcept { return value_.load( std::memory_order_relaxed ); }
+
+  void reset() noexcept { value_.store( 0u, std::memory_order_relaxed ); }
+
+private:
+  std::atomic<uint64_t> value_{ 0u };
+};
+
+/*! \brief Last-write-wins gauge. */
+class gauge
+{
+public:
+  void set( double value ) noexcept { value_.store( value, std::memory_order_relaxed ); }
+
+  double value() const noexcept { return value_.load( std::memory_order_relaxed ); }
+
+  void reset() noexcept { value_.store( 0.0, std::memory_order_relaxed ); }
+
+private:
+  std::atomic<double> value_{ 0.0 };
+};
+
+/*! \brief Histogram over fixed bucket upper bounds (plus overflow). */
+class histogram
+{
+public:
+  explicit histogram( std::vector<double> upper_bounds );
+
+  void record( double value ) noexcept;
+
+  const std::vector<double>& upper_bounds() const noexcept { return upper_bounds_; }
+
+  /*! Bucket counts; one extra trailing bucket counts values above the
+   *  last bound. */
+  std::vector<uint64_t> bucket_counts() const;
+
+  uint64_t count() const noexcept { return count_.load( std::memory_order_relaxed ); }
+  double sum() const noexcept { return sum_.load( std::memory_order_relaxed ); }
+
+  void reset() noexcept;
+
+private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;
+  std::atomic<uint64_t> count_{ 0u };
+  std::atomic<double> sum_{ 0.0 };
+};
+
+/*! \brief Snapshot of every instrument, for printing and JSON export. */
+struct metrics_snapshot
+{
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+
+  struct histogram_entry
+  {
+    std::string name;
+    std::vector<double> upper_bounds;
+    std::vector<uint64_t> bucket_counts;
+    uint64_t count = 0u;
+    double sum = 0.0;
+  };
+  std::vector<histogram_entry> histograms;
+};
+
+/*! \brief Process-global instrument registry (names are stable for the
+ *         process lifetime; instruments never move once created). */
+class metrics_registry
+{
+public:
+  static metrics_registry& instance();
+
+  counter& get_counter( const std::string& name );
+  gauge& get_gauge( const std::string& name );
+  /*! First registration under a name fixes the bucket bounds. */
+  histogram& get_histogram( const std::string& name, std::vector<double> upper_bounds );
+
+  metrics_snapshot snapshot() const;
+
+  /*! \brief Zeroes every instrument (instruments stay registered). */
+  void reset();
+
+private:
+  mutable std::mutex mutex_;
+  std::map<std::string, counter> counters_;
+  std::map<std::string, gauge> gauges_;
+  std::map<std::string, histogram> histograms_;
+};
+
+/*! \brief Human-readable table of a snapshot (skips zero instruments). */
+std::string format_metrics( const metrics_snapshot& snapshot );
+
+/*! \brief Shared runtime switch of trace + metrics recording. */
+inline bool enabled() noexcept
+{
+  return tracer::instance().enabled();
+}
+
+inline void set_enabled( bool on ) noexcept
+{
+  tracer::instance().set_enabled( on );
+}
+
+} // namespace qda::telemetry
+
+#if QDA_TELEMETRY_ENABLED
+/*! Adds `amount` to counter `name`; the registry lookup runs once per
+ *  call site and only if recording was ever enabled there. */
+#define QDA_COUNT_N( name, amount )                                                     \
+  do                                                                                    \
+  {                                                                                     \
+    if ( ::qda::telemetry::enabled() )                                                  \
+    {                                                                                   \
+      static ::qda::telemetry::counter& qda_telem_counter =                             \
+          ::qda::telemetry::metrics_registry::instance().get_counter( name );           \
+      qda_telem_counter.add( static_cast<uint64_t>( amount ) );                         \
+    }                                                                                   \
+  } while ( 0 )
+/*! Records `value` into histogram `name` with `...` bucket bounds. */
+#define QDA_HISTOGRAM( name, value, ... )                                               \
+  do                                                                                    \
+  {                                                                                     \
+    if ( ::qda::telemetry::enabled() )                                                  \
+    {                                                                                   \
+      static ::qda::telemetry::histogram& qda_telem_hist =                              \
+          ::qda::telemetry::metrics_registry::instance().get_histogram( name,           \
+                                                                        __VA_ARGS__ );  \
+      qda_telem_hist.record( static_cast<double>( value ) );                            \
+    }                                                                                   \
+  } while ( 0 )
+#else
+#define QDA_COUNT_N( name, amount ) static_cast<void>( 0 )
+#define QDA_HISTOGRAM( name, value, ... ) static_cast<void>( 0 )
+#endif
+
+#define QDA_COUNT( name ) QDA_COUNT_N( name, 1u )

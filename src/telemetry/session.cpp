@@ -1,0 +1,117 @@
+#include "telemetry/session.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace qda::telemetry
+{
+
+namespace
+{
+
+/*! QDA_TRACE values that enable recording but name no output file. */
+bool is_switch_value( const char* value )
+{
+  return std::strcmp( value, "1" ) == 0 || std::strcmp( value, "true" ) == 0 ||
+         std::strcmp( value, "on" ) == 0;
+}
+
+} // namespace
+
+session_options session_options::from_cli( int& argc, char** argv )
+{
+  session_options options;
+  int write = 1;
+  for ( int read = 1; read < argc; ++read )
+  {
+    if ( std::strcmp( argv[read], "--report" ) == 0 )
+    {
+      options.print_report = true;
+    }
+    else if ( std::strcmp( argv[read], "--trace" ) == 0 && read + 1 < argc )
+    {
+      options.trace_path = argv[++read];
+    }
+    else
+    {
+      argv[write++] = argv[read];
+    }
+  }
+  argc = write;
+  return options;
+}
+
+session::session( session_options options ) : options_( std::move( options ) )
+{
+  active_ = !options_.trace_path.empty() || options_.print_report ||
+            tracer::instance().enabled();
+  if ( active_ )
+  {
+    tracer::instance().clear();
+    metrics_registry::instance().reset();
+    set_enabled( true );
+  }
+}
+
+session::~session()
+{
+  finish();
+}
+
+void session::finish()
+{
+  if ( finished_ || !active_ )
+  {
+    finished_ = true;
+    return;
+  }
+  finished_ = true;
+
+  if ( !options_.trace_path.empty() )
+  {
+    std::ofstream out( options_.trace_path );
+    if ( out )
+    {
+      tracer::instance().export_chrome_trace( out );
+      std::printf( "telemetry: wrote trace to %s\n", options_.trace_path.c_str() );
+    }
+    else
+    {
+      std::fprintf( stderr, "telemetry: could not open %s for writing\n",
+                    options_.trace_path.c_str() );
+    }
+  }
+  else
+  {
+    flush_env_trace(); /* honor QDA_TRACE even when a flag-less session ends */
+  }
+
+  if ( options_.print_report )
+  {
+    std::fputs( tracer::instance().summary().c_str(), stdout );
+    std::fputs( format_metrics( metrics_registry::instance().snapshot() ).c_str(), stdout );
+  }
+
+  set_enabled( false );
+}
+
+std::string flush_env_trace()
+{
+  const char* env = std::getenv( "QDA_TRACE" );
+  if ( env == nullptr || *env == '\0' || is_switch_value( env ) )
+  {
+    return {};
+  }
+  std::ofstream out( env );
+  if ( !out )
+  {
+    std::fprintf( stderr, "telemetry: could not open %s (QDA_TRACE) for writing\n", env );
+    return {};
+  }
+  tracer::instance().export_chrome_trace( out );
+  return env;
+}
+
+} // namespace qda::telemetry

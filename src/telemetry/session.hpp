@@ -1,0 +1,68 @@
+/*! \file session.hpp
+ *  \brief The single sink that turns recorded telemetry into artifacts.
+ *
+ *  A `session` brackets an instrumented run: constructing one enables
+ *  recording (clearing leftovers), `finish()` -- or the destructor --
+ *  writes the Chrome trace JSON to the configured path and/or prints
+ *  the hierarchical span summary plus the metrics table.  Drivers wire
+ *  it to CLI flags:
+ *
+ *      telemetry::session session(
+ *          telemetry::session_options::from_cli( argc, argv ) );
+ *
+ *  understands `--trace <file>` and `--report`.  Independently, the
+ *  `QDA_TRACE=<file>` environment variable arms tracing in any binary
+ *  with no code changes: the tracer enables itself on first use and
+ *  `flush_env_trace()` (installed via atexit on first session-less use,
+ *  and called by every session finish) writes the file.
+ */
+#pragma once
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+#include <string>
+
+namespace qda::telemetry
+{
+
+/*! \brief What a session records and where it lands. */
+struct session_options
+{
+  std::string trace_path; /*!< Chrome trace JSON output; empty = none */
+  bool print_report = false; /*!< print span summary + metrics at finish */
+
+  /*! \brief Consumes `--trace <file>` / `--report` from a CLI argument
+   *         vector (recognized arguments are removed from argc/argv).
+   */
+  static session_options from_cli( int& argc, char** argv );
+};
+
+/*! \brief RAII telemetry session. */
+class session
+{
+public:
+  explicit session( session_options options );
+  ~session();
+
+  session( const session& ) = delete;
+  session& operator=( const session& ) = delete;
+
+  /*! \brief Writes artifacts and disables recording (idempotent). */
+  void finish();
+
+  /*! \brief True when this session records anything at all. */
+  bool active() const noexcept { return active_; }
+
+private:
+  session_options options_;
+  bool active_ = false;
+  bool finished_ = false;
+};
+
+/*! \brief Writes the trace to the `QDA_TRACE` path, if the variable
+ *         names one (values "1"/"true" enable recording without a
+ *         file).  Returns the path written, empty if none. */
+std::string flush_env_trace();
+
+} // namespace qda::telemetry

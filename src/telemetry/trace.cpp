@@ -1,0 +1,325 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace qda::telemetry
+{
+
+namespace
+{
+
+/*! JSON string escaping for names, keys and string attributes. */
+void append_json_escaped( std::string& out, const std::string& text )
+{
+  for ( const char c : text )
+  {
+    switch ( c )
+    {
+    case '"': out += "\\\""; break;
+    case '\\': out += "\\\\"; break;
+    case '\n': out += "\\n"; break;
+    case '\r': out += "\\r"; break;
+    case '\t': out += "\\t"; break;
+    default:
+      if ( static_cast<unsigned char>( c ) < 0x20u )
+      {
+        char buffer[8];
+        std::snprintf( buffer, sizeof( buffer ), "\\u%04x", c );
+        out += buffer;
+      }
+      else
+      {
+        out += c;
+      }
+    }
+  }
+}
+
+std::string format_double( double value )
+{
+  char buffer[64];
+  std::snprintf( buffer, sizeof( buffer ), "%.17g", value );
+  return buffer;
+}
+
+} // namespace
+
+tracer::tracer() : epoch_( steady_clock::now() )
+{
+  /* QDA_TRACE=<path> (or QDA_TRACE=1) turns tracing on without code
+   * changes; the session layer handles writing the file at exit */
+  if ( const char* env = std::getenv( "QDA_TRACE" ); env != nullptr && *env != '\0' )
+  {
+    enabled_.store( true, std::memory_order_relaxed );
+  }
+}
+
+tracer& tracer::instance()
+{
+  static tracer global;
+  return global;
+}
+
+void tracer::set_buffer_capacity( size_t capacity )
+{
+  std::lock_guard<std::mutex> guard( registry_mutex_ );
+  buffer_capacity_ = std::max<size_t>( capacity, 16u );
+}
+
+detail::trace_buffer& tracer::local_buffer()
+{
+  thread_local detail::trace_buffer* cached = nullptr;
+  if ( cached == nullptr )
+  {
+    std::lock_guard<std::mutex> guard( registry_mutex_ );
+    buffers_.push_back( std::make_unique<detail::trace_buffer>(
+        static_cast<uint32_t>( buffers_.size() ), buffer_capacity_ ) );
+    cached = buffers_.back().get();
+  }
+  return *cached;
+}
+
+void tracer::clear()
+{
+  std::lock_guard<std::mutex> guard( registry_mutex_ );
+  for ( auto& buffer : buffers_ )
+  {
+    buffer->recorded.store( 0u, std::memory_order_relaxed );
+  }
+  epoch_ = steady_clock::now();
+}
+
+std::vector<trace_event> tracer::collect() const
+{
+  std::vector<trace_event> events;
+  std::lock_guard<std::mutex> guard( registry_mutex_ );
+  for ( const auto& buffer : buffers_ )
+  {
+    const uint64_t recorded = buffer->recorded.load( std::memory_order_acquire );
+    const uint64_t capacity = buffer->slots.size();
+    const uint64_t live = std::min( recorded, capacity );
+    for ( uint64_t i = recorded - live; i < recorded; ++i )
+    {
+      events.push_back( buffer->slots[i % capacity] );
+    }
+  }
+  return events;
+}
+
+uint64_t tracer::dropped() const
+{
+  uint64_t total = 0u;
+  std::lock_guard<std::mutex> guard( registry_mutex_ );
+  for ( const auto& buffer : buffers_ )
+  {
+    const uint64_t recorded = buffer->recorded.load( std::memory_order_acquire );
+    const uint64_t capacity = buffer->slots.size();
+    total += recorded > capacity ? recorded - capacity : 0u;
+  }
+  return total;
+}
+
+void tracer::export_chrome_trace( std::ostream& out ) const
+{
+  const auto events = collect();
+  std::string line;
+  out << "{ \"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  for ( const auto& event : events )
+  {
+    line.clear();
+    if ( !first )
+    {
+      line += ",\n";
+    }
+    first = false;
+    line += "  { \"name\": \"";
+    append_json_escaped( line, event.name );
+    line += "\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    line += std::to_string( event.thread + 1u );
+    /* Chrome trace timestamps are microseconds; keep ns precision */
+    char stamp[64];
+    std::snprintf( stamp, sizeof( stamp ), ", \"ts\": %.3f, \"dur\": %.3f",
+                   static_cast<double>( event.start_ns ) / 1e3,
+                   static_cast<double>( event.duration_ns ) / 1e3 );
+    line += stamp;
+    if ( !event.attributes.empty() )
+    {
+      line += ", \"args\": { ";
+      bool first_attr = true;
+      for ( const auto& attr : event.attributes )
+      {
+        if ( !first_attr )
+        {
+          line += ", ";
+        }
+        first_attr = false;
+        line += '"';
+        append_json_escaped( line, attr.key );
+        line += "\": ";
+        switch ( attr.kind )
+        {
+        case attribute::type::i64: line += std::to_string( attr.i ); break;
+        case attribute::type::f64: line += format_double( attr.d ); break;
+        case attribute::type::str:
+          line += '"';
+          append_json_escaped( line, attr.s );
+          line += '"';
+          break;
+        }
+      }
+      line += " }";
+    }
+    line += " }";
+    out << line;
+  }
+  out << "\n] }\n";
+}
+
+namespace
+{
+
+struct summary_node
+{
+  std::string name;
+  uint64_t count = 0u;
+  uint64_t total_ns = 0u;
+  std::vector<std::unique_ptr<summary_node>> children; /* first-seen order */
+
+  summary_node& child( const std::string& child_name )
+  {
+    for ( auto& existing : children )
+    {
+      if ( existing->name == child_name )
+      {
+        return *existing;
+      }
+    }
+    children.push_back( std::make_unique<summary_node>() );
+    children.back()->name = child_name;
+    return *children.back();
+  }
+};
+
+void print_node( std::ostringstream& out, const summary_node& node, uint32_t indent )
+{
+  uint64_t children_ns = 0u;
+  for ( const auto& child : node.children )
+  {
+    children_ns += child->total_ns;
+  }
+  const uint64_t self_ns = node.total_ns > children_ns ? node.total_ns - children_ns : 0u;
+  char line[192];
+  std::string label( indent * 2u, ' ' );
+  label += node.name;
+  std::snprintf( line, sizeof( line ), "  %-44s %7llu %12.3f %12.3f\n", label.c_str(),
+                 static_cast<unsigned long long>( node.count ),
+                 static_cast<double>( node.total_ns ) / 1e6,
+                 static_cast<double>( self_ns ) / 1e6 );
+  out << line;
+  for ( const auto& child : node.children )
+  {
+    print_node( out, *child, indent + 1u );
+  }
+}
+
+} // namespace
+
+std::string tracer::summary() const
+{
+  auto events = collect();
+
+  /* per-thread reconstruction: sort by start; the recorded depth pins
+   * each event to its level, so path[depth] tracking rebuilds the tree
+   * even when parents close (and are recorded) after their children */
+  std::map<uint32_t, std::vector<const trace_event*>> by_thread;
+  for ( const auto& event : events )
+  {
+    by_thread[event.thread].push_back( &event );
+  }
+
+  summary_node root;
+  size_t thread_count = by_thread.size();
+  for ( auto& [thread, thread_events] : by_thread )
+  {
+    static_cast<void>( thread );
+    std::sort( thread_events.begin(), thread_events.end(),
+               []( const trace_event* a, const trace_event* b ) {
+                 if ( a->start_ns != b->start_ns )
+                 {
+                   return a->start_ns < b->start_ns;
+                 }
+                 return a->depth < b->depth;
+               } );
+    std::vector<summary_node*> path;
+    for ( const auto* event : thread_events )
+    {
+      /* ancestors lost to ring overwrite clamp to the nearest live level */
+      const uint32_t level = std::min<uint32_t>( event->depth,
+                                                 static_cast<uint32_t>( path.size() ) );
+      summary_node* parent = level == 0u ? &root : path[level - 1u];
+      summary_node& node = parent->child( event->name );
+      node.count += 1u;
+      node.total_ns += event->duration_ns;
+      path.resize( level );
+      path.push_back( &node );
+    }
+  }
+
+  std::ostringstream out;
+  out << "trace summary: " << events.size() << " span(s) across " << thread_count
+      << " thread(s)";
+  if ( const uint64_t lost = dropped(); lost > 0u )
+  {
+    out << ", " << lost << " dropped";
+  }
+  out << "\n";
+  char header[192];
+  std::snprintf( header, sizeof( header ), "  %-44s %7s %12s %12s\n", "span", "count",
+                 "total-ms", "self-ms" );
+  out << header;
+  for ( const auto& child : root.children )
+  {
+    print_node( out, *child, 1u );
+  }
+  return out.str();
+}
+
+void span::open_with( std::string name )
+{
+  auto& buffer = tracer::instance().local_buffer();
+  buffer_ = &buffer;
+  name_ = std::move( name );
+  depth_ = buffer.depth++;
+  start_ = steady_clock::now();
+}
+
+void span::close()
+{
+  if ( buffer_ == nullptr )
+  {
+    return;
+  }
+  const auto end = steady_clock::now();
+  const auto epoch = tracer::instance().epoch();
+  trace_event event;
+  event.name = std::move( name_ );
+  event.start_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>( start_ - epoch ).count() );
+  event.duration_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>( end - start_ ).count() );
+  event.thread = buffer_->thread;
+  event.depth = depth_;
+  event.attributes = std::move( attributes_ );
+  buffer_->depth--;
+  buffer_->push( std::move( event ) );
+  buffer_ = nullptr;
+  attributes_.clear();
+}
+
+} // namespace qda::telemetry

@@ -1,0 +1,281 @@
+/*! \file trace.hpp
+ *  \brief Structured event tracing with scoped RAII spans.
+ *
+ *  The tracing half of the telemetry subsystem.  Instrumented code
+ *  opens spans:
+ *
+ *      void route() {
+ *        QDA_TRACE_SPAN( "sabre.route" );
+ *        ...
+ *      }
+ *
+ *  and the tracer records one timed event per span into a per-thread
+ *  ring buffer: recording takes no lock (the owning thread is the only
+ *  writer of its ring), so instrumented hot loops stay hot.  Recorded
+ *  traces export as Chrome `trace_event` JSON -- loadable in
+ *  `chrome://tracing` or https://ui.perfetto.dev -- and as a
+ *  human-readable hierarchical summary (count / total / self time per
+ *  span path).
+ *
+ *  Cost model, in order of magnitude:
+ *    - compiled out (`QDA_TELEMETRY_ENABLED=0`): spans vanish entirely;
+ *    - compiled in, disabled (the default at runtime): one relaxed
+ *      atomic load and branch per span;
+ *    - enabled: two clock reads plus one ring write per span.
+ *
+ *  Spans go where phases begin, not inside per-amplitude or per-gate
+ *  inner loops; counters (telemetry/metrics.hpp) cover those.
+ *
+ *  Exporting is meant for quiescent moments (end of a compile, end of a
+ *  session): a thread writing its ring while another thread exports is
+ *  memory-safe for the counters but may observe a partially updated
+ *  slot.
+ */
+#pragma once
+
+#include "telemetry/clock.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef QDA_TELEMETRY_ENABLED
+#define QDA_TELEMETRY_ENABLED 1
+#endif
+
+namespace qda::telemetry
+{
+
+/*! \brief True when telemetry hooks are compiled in at all. */
+inline constexpr bool compiled_in = QDA_TELEMETRY_ENABLED != 0;
+
+/*! \brief One typed span attribute. */
+struct attribute
+{
+  enum class type : uint8_t
+  {
+    i64,
+    f64,
+    str
+  };
+
+  std::string key;
+  type kind = type::i64;
+  int64_t i = 0;
+  double d = 0.0;
+  std::string s;
+};
+
+/*! \brief One recorded span (closed). */
+struct trace_event
+{
+  std::string name;
+  uint64_t start_ns = 0u; /*!< relative to the tracer epoch */
+  uint64_t duration_ns = 0u;
+  uint32_t thread = 0u; /*!< sequential tracer-assigned thread id */
+  uint32_t depth = 0u;  /*!< span nesting depth at open (0 = root) */
+  std::vector<attribute> attributes;
+};
+
+namespace detail
+{
+
+/*! \brief Per-thread event ring; the owning thread is the only writer. */
+struct trace_buffer
+{
+  explicit trace_buffer( uint32_t thread_id, size_t capacity )
+      : thread( thread_id ), slots( capacity )
+  {
+  }
+
+  uint32_t thread;
+  uint32_t depth = 0u;
+  std::vector<trace_event> slots;
+  /*! total events ever recorded; the newest min(recorded, capacity)
+   *  slots are live (older ones were overwritten, ring-style) */
+  std::atomic<uint64_t> recorded{ 0u };
+
+  void push( trace_event&& event )
+  {
+    const uint64_t seq = recorded.load( std::memory_order_relaxed );
+    slots[seq % slots.size()] = std::move( event );
+    recorded.store( seq + 1u, std::memory_order_release );
+  }
+};
+
+} // namespace detail
+
+/*! \brief Process-global tracer: owns every thread's ring. */
+class tracer
+{
+public:
+  /*! The instance; on first use honors the `QDA_TRACE` environment
+   *  variable (see session.hpp) by enabling itself. */
+  static tracer& instance();
+
+  void set_enabled( bool enabled ) noexcept
+  {
+    enabled_.store( enabled, std::memory_order_relaxed );
+  }
+
+  bool enabled() const noexcept { return enabled_.load( std::memory_order_relaxed ); }
+
+  /*! \brief Ring capacity (events) for threads registered after the call. */
+  void set_buffer_capacity( size_t capacity );
+
+  /*! \brief Drops all recorded events (call while instrumented code is
+   *         quiescent). */
+  void clear();
+
+  /*! \brief Snapshot of all live events, all threads, in ring order. */
+  std::vector<trace_event> collect() const;
+
+  /*! \brief Events that fell out of full rings, across all threads. */
+  uint64_t dropped() const;
+
+  /*! \brief Writes Chrome `trace_event` JSON (the whole object). */
+  void export_chrome_trace( std::ostream& out ) const;
+
+  /*! \brief Hierarchical count/total/self summary of the trace. */
+  std::string summary() const;
+
+  steady_clock::time_point epoch() const noexcept { return epoch_; }
+
+  /*! \brief The calling thread's ring (registered on first use). */
+  detail::trace_buffer& local_buffer();
+
+private:
+  tracer();
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::unique_ptr<detail::trace_buffer>> buffers_;
+  size_t buffer_capacity_ = size_t{ 1 } << 16;
+  std::atomic<bool> enabled_{ false };
+  steady_clock::time_point epoch_;
+};
+
+/*! \brief Scoped RAII span; records one event when it closes.
+ *
+ *  Open/closed state is decided at construction from the tracer's
+ *  runtime switch, so a disabled span costs one branch.
+ */
+class span
+{
+public:
+  explicit span( const char* name ) { open( name ); }
+  explicit span( std::string name )
+  {
+    if ( tracer::instance().enabled() )
+    {
+      open_with( std::move( name ) );
+    }
+  }
+
+  span( const span& ) = delete;
+  span& operator=( const span& ) = delete;
+
+  ~span() { close(); }
+
+  /*! \brief Attaches a typed attribute (no-op when the span is closed). */
+  span& attr( const char* key, int64_t value )
+  {
+    if ( buffer_ )
+    {
+      attribute a;
+      a.key = key;
+      a.kind = attribute::type::i64;
+      a.i = value;
+      attributes_.push_back( std::move( a ) );
+    }
+    return *this;
+  }
+
+  span& attr( const char* key, uint64_t value )
+  {
+    return attr( key, static_cast<int64_t>( value ) );
+  }
+
+  span& attr( const char* key, double value )
+  {
+    if ( buffer_ )
+    {
+      attribute a;
+      a.key = key;
+      a.kind = attribute::type::f64;
+      a.d = value;
+      attributes_.push_back( std::move( a ) );
+    }
+    return *this;
+  }
+
+  span& attr( const char* key, std::string value )
+  {
+    if ( buffer_ )
+    {
+      attribute a;
+      a.key = key;
+      a.kind = attribute::type::str;
+      a.s = std::move( value );
+      attributes_.push_back( std::move( a ) );
+    }
+    return *this;
+  }
+
+  /*! \brief Closes early (the destructor then does nothing). */
+  void close();
+
+private:
+  void open( const char* name )
+  {
+    if ( tracer::instance().enabled() )
+    {
+      open_with( std::string( name ) );
+    }
+  }
+
+  void open_with( std::string name );
+
+  detail::trace_buffer* buffer_ = nullptr;
+  std::string name_;
+  steady_clock::time_point start_;
+  uint32_t depth_ = 0u;
+  std::vector<attribute> attributes_;
+};
+
+/*! \brief Stand-in for `span` when telemetry is compiled out. */
+struct null_span
+{
+  template<typename... Args>
+  explicit null_span( const Args&... ) noexcept
+  {
+  }
+
+  template<typename Key, typename Value>
+  null_span& attr( const Key&, const Value& ) noexcept
+  {
+    return *this;
+  }
+
+  void close() noexcept {}
+};
+
+} // namespace qda::telemetry
+
+#define QDA_TELEM_CONCAT_IMPL( a, b ) a##b
+#define QDA_TELEM_CONCAT( a, b ) QDA_TELEM_CONCAT_IMPL( a, b )
+
+#if QDA_TELEMETRY_ENABLED
+/*! Anonymous scoped span: `QDA_TRACE_SPAN( "sabre.route" );` */
+#define QDA_TRACE_SPAN( ... ) \
+  ::qda::telemetry::span QDA_TELEM_CONCAT( qda_trace_span_, __LINE__ )( __VA_ARGS__ )
+/*! Named scoped span, for attaching attributes:
+ *  `QDA_TRACE_SPAN_NAMED( span_var, "tpar.fold" ); span_var.attr( ... );` */
+#define QDA_TRACE_SPAN_NAMED( var, ... ) ::qda::telemetry::span var( __VA_ARGS__ )
+#else
+#define QDA_TRACE_SPAN( ... ) static_cast<void>( 0 )
+#define QDA_TRACE_SPAN_NAMED( var, ... ) ::qda::telemetry::null_span var
+#endif
