@@ -61,6 +61,15 @@ def collect_metrics(directory):
         if "speedup" in micro:
             metrics["eq5.revsimp_microbench.speedup"] = micro["speedup"]
 
+    serve = load(os.path.join(directory, "BENCH_serve.json"))
+    if serve is not None and not serve.get("smoke", False):
+        summary = serve.get("summary", {})
+        if "speedup_8_workers_vs_serial_baseline" in summary:
+            metrics["serve.speedup_8_workers_vs_serial_baseline"] = \
+                summary["speedup_8_workers_vs_serial_baseline"]
+        if "structural_hit_rate" in summary:
+            metrics["serve.structural_hit_rate"] = summary["structural_hit_rate"]
+
     return metrics
 
 

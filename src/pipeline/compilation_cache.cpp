@@ -1,0 +1,189 @@
+#include "pipeline/compilation_cache.hpp"
+
+#include "pipeline/pass_manager.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace qda
+{
+
+namespace
+{
+
+/* ---- FNV-1a fingerprinting ---- */
+
+constexpr uint64_t fnv_offset = 0xcbf29ce484222325ull;
+constexpr uint64_t fnv_prime = 0x100000001b3ull;
+
+/*! Second, independent seed for the collision-check fingerprint. */
+constexpr uint64_t check_seed = 0x9e3779b97f4a7c15ull;
+
+void hash_bytes( uint64_t& state, const void* data, size_t size )
+{
+  const auto* bytes = static_cast<const unsigned char*>( data );
+  for ( size_t i = 0u; i < size; ++i )
+  {
+    state ^= bytes[i];
+    state *= fnv_prime;
+  }
+}
+
+void hash_string( uint64_t& state, const std::string& text )
+{
+  const auto size = static_cast<uint64_t>( text.size() );
+  hash_bytes( state, &size, sizeof( size ) );
+  hash_bytes( state, text.data(), text.size() );
+}
+
+void hash_u64( uint64_t& state, uint64_t value )
+{
+  hash_bytes( state, &value, sizeof( value ) );
+}
+
+/*! \brief FNV-1a over the initial IR and canonical spec, from `seed`;
+ *         two different seeds give two independent fingerprints.
+ */
+uint64_t input_fingerprint( const pipeline_spec& spec, const staged_ir& initial,
+                            uint64_t seed )
+{
+  uint64_t state = seed;
+  hash_u64( state, static_cast<uint64_t>( initial.current ) );
+  /* every optional section hashes a presence marker, and variable-length
+   * sections a count, so the byte stream is injective over IR values */
+  hash_u64( state, initial.target_permutation ? 1u : 0u );
+  if ( initial.target_permutation )
+  {
+    hash_u64( state, initial.target_permutation->num_vars() );
+    for ( const auto image : initial.target_permutation->images() )
+    {
+      hash_u64( state, image );
+    }
+  }
+  hash_u64( state, initial.reversible ? 1u : 0u );
+  if ( initial.reversible )
+  {
+    hash_u64( state, initial.reversible->num_lines() );
+    hash_u64( state, initial.reversible->num_gates() );
+    for ( const auto& gate : initial.reversible->gates() )
+    {
+      hash_u64( state, gate.controls );
+      hash_u64( state, gate.polarity );
+      hash_u64( state, gate.target );
+    }
+  }
+  hash_u64( state, initial.quantum ? 1u : 0u );
+  if ( initial.quantum )
+  {
+    hash_u64( state, initial.quantum->num_helper_qubits );
+    hash_string( state, initial.quantum->circuit.to_string() );
+  }
+  hash_u64( state, initial.mapped ? 1u : 0u );
+  if ( initial.mapped )
+  {
+    hash_string( state, initial.mapped->circuit.to_string() );
+  }
+  hash_u64( state, initial.last_statistics ? 1u : 0u );
+  if ( initial.last_statistics )
+  {
+    const auto& s = *initial.last_statistics;
+    for ( const uint64_t value : { uint64_t{ s.num_qubits }, s.num_gates, s.t_count, s.t_depth,
+                                   s.h_count, s.cnot_count, s.two_qubit_count, s.clifford_count,
+                                   s.depth, s.num_measurements } )
+    {
+      hash_u64( state, value );
+    }
+  }
+  hash_string( state, spec.to_string() );
+  return state;
+}
+
+} // namespace
+
+structural_key compute_structural_key( const pipeline_spec& spec, const staged_ir& initial )
+{
+  return { input_fingerprint( spec, initial, fnv_offset ),
+           input_fingerprint( spec, initial, check_seed ) };
+}
+
+structural_key compute_text_key( const std::string& raw_spec_text )
+{
+  uint64_t primary = fnv_offset;
+  uint64_t check = check_seed;
+  hash_string( primary, raw_spec_text );
+  hash_string( check, raw_spec_text );
+  return { primary, check };
+}
+
+/* ---------------------------------------------------------------- */
+/* lru_compilation_cache                                            */
+/* ---------------------------------------------------------------- */
+
+lru_compilation_cache::lru_compilation_cache( size_t max_entries )
+    : max_entries_( max_entries )
+{
+}
+
+std::shared_ptr<const compilation_result>
+lru_compilation_cache::lookup( const structural_key& key )
+{
+  std::lock_guard<std::mutex> guard( mutex_ );
+  const auto it = index_.find( key.primary );
+  /* the primary key is a non-cryptographic 64-bit hash; a stale hit
+   * requires the independent check fingerprint to collide as well */
+  if ( it == index_.end() || !( it->second->first == key ) )
+  {
+    ++stats_.misses;
+    QDA_COUNT( "pipeline.cache.miss" );
+    return nullptr;
+  }
+  ++stats_.hits;
+  QDA_COUNT( "pipeline.cache.hit" );
+  order_.splice( order_.begin(), order_, it->second ); /* touch-on-hit */
+  return it->second->second;
+}
+
+void lru_compilation_cache::store( const structural_key& key,
+                                   std::shared_ptr<const compilation_result> result )
+{
+  if ( max_entries_ == 0u )
+  {
+    return;
+  }
+  std::lock_guard<std::mutex> guard( mutex_ );
+  const auto it = index_.find( key.primary );
+  if ( it != index_.end() )
+  {
+    /* refresh (or replace a primary-hash collision with the fresh one) */
+    it->second->first = key;
+    it->second->second = std::move( result );
+    order_.splice( order_.begin(), order_, it->second );
+  }
+  else
+  {
+    order_.emplace_front( key, std::move( result ) );
+    index_.emplace( key.primary, order_.begin() );
+    while ( order_.size() > max_entries_ )
+    {
+      index_.erase( order_.back().first.primary );
+      order_.pop_back();
+      ++stats_.evictions;
+      QDA_COUNT( "pipeline.cache.evict" );
+    }
+  }
+  stats_.entries = order_.size();
+}
+
+cache_statistics lru_compilation_cache::statistics() const
+{
+  std::lock_guard<std::mutex> guard( mutex_ );
+  return stats_;
+}
+
+void lru_compilation_cache::clear()
+{
+  std::lock_guard<std::mutex> guard( mutex_ );
+  order_.clear();
+  index_.clear();
+  stats_ = cache_statistics{};
+}
+
+} // namespace qda

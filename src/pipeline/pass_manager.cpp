@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 namespace qda
 {
@@ -16,39 +17,20 @@ namespace
 using detail::elapsed_ms_since;
 using detail::steady_clock;
 
-/* ---- FNV-1a fingerprinting ---- */
-
-constexpr uint64_t fnv_offset = 0xcbf29ce484222325ull;
-constexpr uint64_t fnv_prime = 0x100000001b3ull;
-
-void hash_bytes( uint64_t& state, const void* data, size_t size )
-{
-  const auto* bytes = static_cast<const unsigned char*>( data );
-  for ( size_t i = 0u; i < size; ++i )
-  {
-    state ^= bytes[i];
-    state *= fnv_prime;
-  }
-}
-
-void hash_string( uint64_t& state, const std::string& text )
-{
-  const auto size = static_cast<uint64_t>( text.size() );
-  hash_bytes( state, &size, sizeof( size ) );
-  hash_bytes( state, text.data(), text.size() );
-}
-
-void hash_u64( uint64_t& state, uint64_t value )
-{
-  hash_bytes( state, &value, sizeof( value ) );
-}
-
 } // namespace
 
 pass_manager::pass_manager( bool enable_cache, const pass_registry& registry,
                             size_t max_cache_entries )
-    : registry_( registry ), cache_enabled_( enable_cache ),
-      max_cache_entries_( max_cache_entries )
+    : registry_( registry ),
+      cache_( enable_cache && max_cache_entries > 0u
+                  ? std::make_shared<lru_compilation_cache>( max_cache_entries )
+                  : nullptr )
+{
+}
+
+pass_manager::pass_manager( std::shared_ptr<compilation_cache> cache,
+                            const pass_registry& registry )
+    : registry_( registry ), cache_( std::move( cache ) )
 {
 }
 
@@ -124,74 +106,9 @@ pass_report pass_manager::apply_pass( staged_ir& ir, const std::string& name,
   return apply_pass( ir, pass_invocation{ name, args }, registry );
 }
 
-namespace
-{
-
-/*! \brief FNV-1a over the initial IR and canonical spec, from `seed`;
- *         two different seeds give two independent fingerprints.
- */
-uint64_t input_fingerprint( const pipeline_spec& spec, const staged_ir& initial,
-                            uint64_t seed )
-{
-  uint64_t state = seed;
-  hash_u64( state, static_cast<uint64_t>( initial.current ) );
-  /* every optional section hashes a presence marker, and variable-length
-   * sections a count, so the byte stream is injective over IR values */
-  hash_u64( state, initial.target_permutation ? 1u : 0u );
-  if ( initial.target_permutation )
-  {
-    hash_u64( state, initial.target_permutation->num_vars() );
-    for ( const auto image : initial.target_permutation->images() )
-    {
-      hash_u64( state, image );
-    }
-  }
-  hash_u64( state, initial.reversible ? 1u : 0u );
-  if ( initial.reversible )
-  {
-    hash_u64( state, initial.reversible->num_lines() );
-    hash_u64( state, initial.reversible->num_gates() );
-    for ( const auto& gate : initial.reversible->gates() )
-    {
-      hash_u64( state, gate.controls );
-      hash_u64( state, gate.polarity );
-      hash_u64( state, gate.target );
-    }
-  }
-  hash_u64( state, initial.quantum ? 1u : 0u );
-  if ( initial.quantum )
-  {
-    hash_u64( state, initial.quantum->num_helper_qubits );
-    hash_string( state, initial.quantum->circuit.to_string() );
-  }
-  hash_u64( state, initial.mapped ? 1u : 0u );
-  if ( initial.mapped )
-  {
-    hash_string( state, initial.mapped->circuit.to_string() );
-  }
-  hash_u64( state, initial.last_statistics ? 1u : 0u );
-  if ( initial.last_statistics )
-  {
-    const auto& s = *initial.last_statistics;
-    for ( const uint64_t value : { uint64_t{ s.num_qubits }, s.num_gates, s.t_count, s.t_depth,
-                                   s.h_count, s.cnot_count, s.two_qubit_count, s.clifford_count,
-                                   s.depth, s.num_measurements } )
-    {
-      hash_u64( state, value );
-    }
-  }
-  hash_string( state, spec.to_string() );
-  return state;
-}
-
-/*! Second, independent seed for the collision-check fingerprint. */
-constexpr uint64_t check_seed = 0x9e3779b97f4a7c15ull;
-
-} // namespace
-
 uint64_t pass_manager::compute_cache_key( const pipeline_spec& spec, const staged_ir& initial )
 {
-  return input_fingerprint( spec, initial, fnv_offset );
+  return compute_structural_key( spec, initial ).primary;
 }
 
 compilation_result pass_manager::run( const std::string& spec_text )
@@ -206,95 +123,109 @@ compilation_result pass_manager::run( const pipeline_spec& spec )
 
 compilation_result pass_manager::run( const pipeline_spec& spec, staged_ir initial )
 {
+  return run( spec, std::move( initial ), run_plan{} );
+}
+
+compilation_result pass_manager::run( const pipeline_spec& spec, staged_ir initial,
+                                      const run_plan& plan, const pass_observer& observer )
+{
   const auto start = steady_clock::now();
-  validate_pipeline( spec, registry_, initial.current );
+  if ( plan.first_pass > spec.size() )
+  {
+    throw std::logic_error( "pipeline: run_plan resumes past the end of the spec" );
+  }
+  if ( plan.first_pass > 0u && !plan.cache_key )
+  {
+    throw std::logic_error(
+        "pipeline: a resumed run needs the original input's cache key" );
+  }
+  /* validate the part that will actually execute, from the stage the
+   * (possibly mid-pipeline) initial IR is at */
+  {
+    stage current = initial.current;
+    for ( size_t i = plan.first_pass; i < spec.size(); ++i )
+    {
+      const auto& invocation = spec.passes[i];
+      const auto& info = registry_.at( invocation.name ); /* throws if unknown */
+      info.check_arguments( invocation.args );
+      if ( !info.accepts_stage( current ) )
+      {
+        throw std::logic_error( std::string( "pipeline spec: pass '" ) + invocation.name +
+                                "' cannot run at stage '" + stage_name( current ) + "'" );
+      }
+      current = info.produces.value_or( current );
+    }
+  }
+
   const auto canonical = spec.to_string();
   QDA_TRACE_SPAN_NAMED( run_span, "pipeline.run" );
   run_span.attr( "spec", canonical );
 
-  uint64_t key = 0u;
-  uint64_t check = 0u;
-  if ( cache_enabled_ )
+  structural_key key{};
+  if ( cache_ || plan.cache_key )
   {
-    key = compute_cache_key( spec, initial );
-    check = input_fingerprint( spec, initial, check_seed );
-    std::shared_ptr<const compilation_result> cached;
+    key = plan.cache_key ? *plan.cache_key : compute_structural_key( spec, initial );
+  }
+  if ( cache_ && plan.lookup )
+  {
+    if ( auto cached = cache_->lookup( key ) )
     {
-      std::lock_guard<std::mutex> guard( cache_mutex_ );
-      const auto it = cache_.find( key );
-      /* the key is a non-cryptographic 64-bit hash; a stale hit requires
-       * the independent check fingerprint to collide simultaneously */
-      if ( it != cache_.end() && it->second.check == check )
-      {
-        ++cache_stats_.hits;
-        cached = it->second.result;
-      }
-      else
-      {
-        ++cache_stats_.misses;
-      }
-    }
-    if ( cached )
-    {
-      QDA_COUNT( "pipeline.cache.hit" );
       run_span.attr( "cache", std::string( "hit" ) );
-      /* deep copy outside the lock */
+      /* deep copy outside any cache lock */
       auto result = *cached;
       result.cache_hit = true;
       result.total_ms = elapsed_ms_since( start );
       return result;
     }
-    QDA_COUNT( "pipeline.cache.miss" );
   }
 
   compilation_result result;
   result.ir = std::move( initial );
   result.spec = canonical;
-  result.cache_key = key;
+  result.cache_key = key.primary;
+  result.reused_passes = static_cast<uint32_t>( plan.first_pass );
   result.reports.reserve( spec.size() );
-  for ( const auto& invocation : spec.passes )
+  for ( auto report : plan.prefix_reports )
+  {
+    report.reused = true;
+    result.reports.push_back( std::move( report ) );
+  }
+  if ( result.reused_passes > 0u )
+  {
+    run_span.attr( "reused_passes", static_cast<int64_t>( result.reused_passes ) );
+    QDA_COUNT_N( "pipeline.passes_reused", result.reused_passes );
+  }
+  for ( size_t i = plan.first_pass; i < spec.size(); ++i )
   {
     const auto* stats_hint =
         result.reports.empty() ? nullptr : &result.reports.back().statistics_after;
-    result.reports.push_back( apply_pass( result.ir, invocation, registry_, stats_hint ) );
+    result.reports.push_back(
+        apply_pass( result.ir, spec.passes[i], registry_, stats_hint ) );
+    if ( observer )
+    {
+      observer( i, result.ir, result.reports );
+    }
   }
   result.total_ms = elapsed_ms_since( start );
 
-  if ( cache_enabled_ && max_cache_entries_ > 0u )
+  if ( cache_ )
   {
-    auto stored = std::make_shared<const compilation_result>( result );
-    std::lock_guard<std::mutex> guard( cache_mutex_ );
-    if ( cache_.emplace( key, cache_entry{ stored, check } ).second )
-    {
-      cache_order_.push_back( key );
-      while ( cache_.size() > max_cache_entries_ )
-      {
-        cache_.erase( cache_order_.front() );
-        cache_order_.pop_front();
-        QDA_COUNT( "pipeline.cache.evict" );
-      }
-    }
-    else
-    {
-      cache_[key] = cache_entry{ stored, check }; /* key collision: keep the fresh one */
-    }
-    cache_stats_.entries = cache_.size();
+    cache_->store( key, std::make_shared<const compilation_result>( result ) );
   }
   return result;
 }
 
 cache_statistics pass_manager::cache_stats() const
 {
-  std::lock_guard<std::mutex> guard( cache_mutex_ );
-  return cache_stats_;
+  return cache_ ? cache_->statistics() : cache_statistics{};
 }
 
 void pass_manager::clear_cache()
 {
-  std::lock_guard<std::mutex> guard( cache_mutex_ );
-  cache_.clear();
-  cache_order_.clear();
-  cache_stats_ = cache_statistics{};
+  if ( cache_ )
+  {
+    cache_->clear();
+  }
 }
 
 std::string format_report( const compilation_result& result )
@@ -309,12 +240,12 @@ std::string format_report( const compilation_result& result )
   {
     const auto t_count =
         report.statistics_after ? std::to_string( report.statistics_after->t_count ) : "-";
-    std::snprintf( line, sizeof( line ), "%-10s %-12s %-12s %10llu %10llu %9s %9.3f\n",
+    std::snprintf( line, sizeof( line ), "%-10s %-12s %-12s %10llu %10llu %9s %9.3f%s\n",
                    report.name.c_str(), stage_name( report.stage_before ),
                    stage_name( report.stage_after ),
                    static_cast<unsigned long long>( report.gates_before ),
                    static_cast<unsigned long long>( report.gates_after ), t_count.c_str(),
-                   report.elapsed_ms );
+                   report.elapsed_ms, report.reused ? " (reused)" : "" );
     out << line;
   }
   std::snprintf( line, sizeof( line ), "total: %.3f ms%s\n", result.total_ms,

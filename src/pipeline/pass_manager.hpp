@@ -4,21 +4,29 @@
  *  Executes a `pipeline_spec` over a `staged_ir`: each pass is resolved
  *  through the pass registry, its stage precondition is checked, its
  *  wall-clock time and circuit-size effect are recorded in a
- *  `pass_report`, and the whole compilation can be memoized in a cache
- *  keyed on the input fingerprint plus the canonical pipeline spec --
- *  repeated compilations of the same program (the common case in
- *  batched/server settings) return instantly.
+ *  `pass_report`, and the whole compilation can be memoized in a
+ *  pluggable cache backend (pipeline/compilation_cache.hpp) keyed on
+ *  the structural fingerprint of the input IR plus the canonical
+ *  pipeline spec -- repeated compilations of the same program (the
+ *  common case in batched/server settings) return instantly.
+ *
+ *  Execution is *resumable*: a caller holding a mid-pipeline snapshot
+ *  (the compile server's cross-job prefix cache, server/) can start a
+ *  run at pass index k over that snapshot via a `run_plan`, and observe
+ *  every executed pass through a `pass_observer` to harvest new
+ *  snapshots.  A pass manager has no mutable state of its own beyond
+ *  the (thread-safe) cache backend, so one instance may be driven from
+ *  many threads concurrently.
  */
 #pragma once
 
+#include "pipeline/compilation_cache.hpp"
 #include "pipeline/ir.hpp"
 #include "pipeline/spec_parser.hpp"
 
 #include <cstdint>
-#include <deque>
-#include <map>
+#include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +45,11 @@ struct pass_report
 
   double elapsed_ms = 0.0;
 
+  /*! True when the pass was not executed by this run: its effect was
+   *  replayed from a cached pipeline prefix (elapsed_ms then reports
+   *  the cost of the run that originally executed it). */
+  bool reused = false;
+
   /*! Gate count at the pass boundary (reversible or quantum stage;
    *  0 when the stage has no circuit yet). */
   uint64_t gates_before = 0u;
@@ -52,14 +65,6 @@ struct pass_report
   std::optional<circuit_statistics> statistics_after;
 };
 
-/*! \brief Compilation cache counters. */
-struct cache_statistics
-{
-  uint64_t hits = 0u;
-  uint64_t misses = 0u;
-  uint64_t entries = 0u;
-};
-
 /*! \brief Result of running a pipeline. */
 struct compilation_result
 {
@@ -68,19 +73,65 @@ struct compilation_result
   std::string spec;      /*!< canonical spec string */
   uint64_t cache_key = 0u;
   bool cache_hit = false;
+  uint32_t reused_passes = 0u; /*!< leading passes replayed from a prefix snapshot */
   double total_ms = 0.0;
+};
+
+/*! \brief Called after every pass a run actually executes.
+ *
+ *  `pass_index` is the pass's position in the full spec; `reports`
+ *  holds every report up to and including that pass (reused prefix
+ *  reports first).  The compile server snapshots `ir` here to feed its
+ *  cross-job prefix cache.
+ */
+using pass_observer =
+    std::function<void( size_t pass_index, const staged_ir& ir,
+                        const std::vector<pass_report>& reports )>;
+
+/*! \brief How a run starts and how its result is keyed.
+ *
+ *  The default plan describes a plain cold run: start at pass 0, look
+ *  the input up in the cache, store the result under its own
+ *  structural key.
+ */
+struct run_plan
+{
+  /*! Passes [0, first_pass) are already applied to the initial IR
+   *  handed to `run`; execution starts at `first_pass`. */
+  size_t first_pass = 0u;
+
+  /*! Reports of the skipped passes, replayed (marked `reused`) at the
+   *  front of the result. */
+  std::vector<pass_report> prefix_reports;
+
+  /*! Cache key for the final result.  Mandatory when `first_pass > 0`
+   *  (the mid-pipeline IR no longer fingerprints to the original
+   *  input); defaults to the structural key of (spec, initial). */
+  std::optional<structural_key> cache_key;
+
+  /*! When false, the cache is not probed before executing (the caller
+   *  already did); the result is still stored. */
+  bool lookup = true;
 };
 
 /*! \brief Executes pipelines over the staged IR. */
 class pass_manager
 {
 public:
-  /*! \brief `max_cache_entries` bounds the memoization cache; the
-   *         oldest compilation is evicted first (FIFO).
+  /*! \brief `max_cache_entries` bounds the built-in LRU memoization
+   *         cache; the least-recently-used compilation is evicted
+   *         first (hits refresh recency).
    */
   explicit pass_manager( bool enable_cache = true,
                          const pass_registry& registry = pass_registry::instance(),
                          size_t max_cache_entries = 256u );
+
+  /*! \brief Uses `cache` as the memoization backend (nullptr disables
+   *         caching).  The backend may be shared between managers; the
+   *         compile server plugs its sharded cache in here.
+   */
+  explicit pass_manager( std::shared_ptr<compilation_cache> cache,
+                         const pass_registry& registry = pass_registry::instance() );
 
   /*! \brief Parses and runs RevKit shell syntax from the empty stage. */
   compilation_result run( const std::string& spec_text );
@@ -90,6 +141,12 @@ public:
 
   /*! \brief Runs a parsed pipeline over an existing IR. */
   compilation_result run( const pipeline_spec& spec, staged_ir initial );
+
+  /*! \brief Runs (or resumes) a pipeline as described by `plan`,
+   *         reporting executed passes to `observer` (when set).
+   */
+  compilation_result run( const pipeline_spec& spec, staged_ir initial,
+                          const run_plan& plan, const pass_observer& observer = {} );
 
   /*! \brief Applies one pass to an IR, enforcing its stage signature
    *         (std::logic_error on violation) and argument vocabulary
@@ -106,32 +163,20 @@ public:
                                  const pass_arguments& args = {},
                                  const pass_registry& registry = pass_registry::instance() );
 
-  /*! \brief Fingerprint of (initial IR, spec); the cache key. */
+  /*! \brief Primary half of the structural fingerprint of (initial IR,
+   *         spec); the legacy 64-bit cache key.
+   */
   static uint64_t compute_cache_key( const pipeline_spec& spec, const staged_ir& initial );
+
+  /*! \brief The memoization backend (nullptr when caching is off). */
+  const std::shared_ptr<compilation_cache>& cache() const noexcept { return cache_; }
 
   cache_statistics cache_stats() const;
   void clear_cache();
 
 private:
-  /*! A cached compilation plus an independent second fingerprint of
-   *  its (initial IR, spec) input; a stale hit requires both 64-bit
-   *  hashes to collide at once.  The result is held by shared_ptr so a
-   *  hit only copies a pointer while the mutex is held; the deep copy
-   *  happens outside the lock. */
-  struct cache_entry
-  {
-    std::shared_ptr<const compilation_result> result;
-    uint64_t check = 0u;
-  };
-
   const pass_registry& registry_;
-  bool cache_enabled_;
-  size_t max_cache_entries_;
-
-  mutable std::mutex cache_mutex_;
-  std::map<uint64_t, cache_entry> cache_;
-  std::deque<uint64_t> cache_order_; /*!< insertion order for FIFO eviction */
-  cache_statistics cache_stats_;
+  std::shared_ptr<compilation_cache> cache_;
 };
 
 /*! \brief Human-readable per-pass table of a compilation. */

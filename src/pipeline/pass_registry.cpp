@@ -40,6 +40,13 @@ void pass_arguments::add_positional( std::string value )
   positional_.push_back( std::move( value ) );
 }
 
+void pass_arguments::canonicalize()
+{
+  std::sort( flags_.begin(), flags_.end() );
+  std::stable_sort( options_.begin(), options_.end(),
+                    []( const auto& a, const auto& b ) { return a.first < b.first; } );
+}
+
 bool pass_arguments::empty() const noexcept
 {
   return flags_.empty() && options_.empty() && positional_.empty();

@@ -38,6 +38,15 @@ public:
   void add_option( std::string name, std::string value );
   void add_positional( std::string value );
 
+  /*! \brief Sorts options and flags by name so argument order does not
+   *         affect equality, rendering, or cache keys.  Positional
+   *         arguments keep their order (it is meaningful).  Lookup is
+   *         by name everywhere, so canonicalization never changes what
+   *         a pass sees.  The spec parser canonicalizes every parsed
+   *         invocation.
+   */
+  void canonicalize();
+
   bool empty() const noexcept;
 
   bool has_flag( const std::string& name ) const;

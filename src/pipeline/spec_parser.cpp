@@ -89,6 +89,9 @@ pass_invocation parse_command( const std::vector<std::string>& tokens )
       invocation.args.add_positional( token );
     }
   }
+  /* canonical argument order: specs differing only in flag/option order
+   * parse to identical invocations (and identical cache keys) */
+  invocation.args.canonicalize();
   return invocation;
 }
 

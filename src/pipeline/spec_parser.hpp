@@ -48,6 +48,9 @@ struct pipeline_spec
  *  Commands are separated by `;` or newlines; empty commands are
  *  skipped.  Within a command, the first word is the pass name and the
  *  remaining words are arguments (`--name value`, `--flag`, `-c`).
+ *  Parsing normalizes: whitespace, empty segments, and flag/option
+ *  order never affect the resulting spec, so equivalent spellings of a
+ *  pipeline share one canonical form (and one structural cache key).
  *  Throws std::invalid_argument on malformed input (bad pass name,
  *  empty option name).  Pass names are not resolved here -- use
  *  `validate_pipeline` for that.

@@ -1,0 +1,432 @@
+#include "server/compile_server.hpp"
+
+#include "telemetry/clock.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace qda::server
+{
+
+namespace
+{
+
+using detail::elapsed_ms_since;
+using detail::steady_clock;
+
+void set_queue_depth_gauge( size_t depth )
+{
+#if QDA_TELEMETRY_ENABLED
+  if ( telemetry::enabled() )
+  {
+    telemetry::metrics_registry::instance().get_gauge( "server.queue_depth" ).set(
+        static_cast<double>( depth ) );
+  }
+#else
+  static_cast<void>( depth );
+#endif
+}
+
+} // namespace
+
+compile_server::compile_server( server_options options )
+    : options_( std::move( options ) ),
+      registry_( options_.registry ? *options_.registry : pass_registry::instance() ),
+      cache_( std::make_shared<sharded_compilation_cache>( options_.cache_shards,
+                                                           options_.cache_capacity ) ),
+      prefixes_( options_.prefix_shards, options_.prefix_capacity ),
+      manager_( options_.enable_result_cache && options_.cache_capacity > 0u
+                    ? std::shared_ptr<compilation_cache>( cache_ )
+                    : nullptr,
+                registry_ )
+{
+  auto workers = options_.num_workers;
+  if ( workers == 0u )
+  {
+    workers = std::max( 1u, std::thread::hardware_concurrency() );
+  }
+  workers_.reserve( workers );
+  for ( uint32_t i = 0u; i < workers; ++i )
+  {
+    workers_.emplace_back( [this] { worker_loop(); } );
+  }
+}
+
+compile_server::~compile_server()
+{
+  shutdown();
+}
+
+std::future<compile_response> compile_server::submit( const std::string& spec_text )
+{
+  const auto submit_time = steady_clock::now();
+  /* parse + validate before admission: malformed requests fail the
+   * caller directly and never consume queue capacity */
+  auto spec = parse_pipeline( spec_text );
+  validate_pipeline( spec, registry_ );
+  const auto key = options_.keying == key_mode::structural
+                       ? compute_structural_key( spec, staged_ir{} )
+                       : compute_text_key( spec_text );
+
+  const bool use_cache = options_.enable_result_cache && options_.cache_capacity > 0u;
+
+  std::unique_lock<std::mutex> lock( state_mutex_ );
+  if ( stopping_ )
+  {
+    throw std::runtime_error( "compile_server: submit after shutdown" );
+  }
+  ++stats_.submitted;
+  QDA_COUNT( "server.jobs.submitted" );
+
+  /* fast path: an earlier identical job already produced the result */
+  if ( use_cache )
+  {
+    if ( auto cached = cache_->lookup( key ) )
+    {
+      ++stats_.completed;
+      ++stats_.cache_hits;
+      QDA_COUNT( "server.jobs.cache_hit" );
+      QDA_COUNT( "server.jobs.completed" );
+      lock.unlock();
+      compile_response response;
+      response.result = std::move( cached );
+      response.cache_hit = true;
+      response.reused_passes = 0u;
+      response.total_ms = elapsed_ms_since( submit_time );
+      std::promise<compile_response> promise;
+      auto future = promise.get_future();
+      promise.set_value( std::move( response ) );
+      return future;
+    }
+  }
+
+  /* coalesce: attach to an identical job that is queued or in flight */
+  if ( options_.coalesce_identical )
+  {
+    const auto it = active_.find( key );
+    if ( it != active_.end() )
+    {
+      ++stats_.coalesced;
+      QDA_COUNT( "server.jobs.coalesced" );
+      it->second->waiters.emplace_back( std::promise<compile_response>{}, submit_time );
+      return it->second->waiters.back().first.get_future();
+    }
+  }
+
+  /* admission control */
+  while ( queue_.size() >= options_.max_queue_depth && !stopping_ )
+  {
+    if ( options_.reject_when_full )
+    {
+      ++stats_.rejected;
+      QDA_COUNT( "server.jobs.rejected" );
+      throw server_overloaded( "compile_server: queue full (" +
+                               std::to_string( options_.max_queue_depth ) + " pending)" );
+    }
+    space_available_.wait( lock );
+  }
+  if ( stopping_ )
+  {
+    throw std::runtime_error( "compile_server: submit after shutdown" );
+  }
+
+  auto job_ptr = std::make_shared<job>();
+  job_ptr->spec = std::move( spec );
+  job_ptr->canonical = job_ptr->spec.to_string();
+  job_ptr->key = key;
+  job_ptr->enqueued_at = submit_time;
+  job_ptr->waiters.emplace_back( std::promise<compile_response>{}, submit_time );
+  auto future = job_ptr->waiters.back().first.get_future();
+
+  queue_.push_back( job_ptr );
+  if ( options_.coalesce_identical )
+  {
+    active_.emplace( key, job_ptr );
+  }
+  stats_.peak_queue_depth = std::max<uint64_t>( stats_.peak_queue_depth, queue_.size() );
+  set_queue_depth_gauge( queue_.size() );
+  work_available_.notify_one();
+  return future;
+}
+
+void compile_server::worker_loop()
+{
+  for ( ;; )
+  {
+    std::shared_ptr<job> job_ptr;
+    {
+      std::unique_lock<std::mutex> lock( state_mutex_ );
+      work_available_.wait( lock, [this] { return stopping_ || !queue_.empty(); } );
+      if ( queue_.empty() )
+      {
+        return; /* stopping and fully drained */
+      }
+      job_ptr = std::move( queue_.front() );
+      queue_.pop_front();
+      set_queue_depth_gauge( queue_.size() );
+    }
+    space_available_.notify_one();
+    execute( job_ptr );
+  }
+}
+
+void compile_server::record_queue_wait( double wait_ms )
+{
+  /* caller holds state_mutex_ */
+  stats_.total_queue_wait_ms += wait_ms;
+  size_t bucket = queue_wait_bounds_ms.size();
+  for ( size_t i = 0u; i < queue_wait_bounds_ms.size(); ++i )
+  {
+    if ( wait_ms <= queue_wait_bounds_ms[i] )
+    {
+      bucket = i;
+      break;
+    }
+  }
+  ++stats_.queue_wait_histogram[bucket];
+}
+
+void compile_server::execute( const std::shared_ptr<job>& job_ptr )
+{
+  const auto started = steady_clock::now();
+  const auto queue_wait_ms = elapsed_ms_since( job_ptr->enqueued_at );
+  QDA_HISTOGRAM( "server.queue_wait_ms", queue_wait_ms,
+                 { 0.05, 0.2, 1.0, 5.0, 20.0, 100.0, 500.0, 2000.0 } );
+
+  QDA_TRACE_SPAN_NAMED( job_span, "server.job" );
+  job_span.attr( "spec", job_ptr->canonical );
+  job_span.attr( "queue_wait_ms", queue_wait_ms );
+
+  const auto& spec = job_ptr->spec;
+  const bool use_prefixes = options_.enable_prefix_reuse &&
+                            options_.prefix_capacity > 0u && spec.size() >= 2u;
+
+  /* structural keys of every proper pipeline prefix over the empty
+   * input; [len] = first len passes */
+  if ( use_prefixes )
+  {
+    job_ptr->prefix_keys.resize( spec.size() );
+    pipeline_spec prefix;
+    prefix.passes.reserve( spec.size() - 1u );
+    for ( size_t len = 1u; len < spec.size(); ++len )
+    {
+      prefix.passes.push_back( spec.passes[len - 1u] );
+      job_ptr->prefix_keys[len] = compute_structural_key( prefix, staged_ir{} );
+    }
+  }
+
+  run_plan plan;
+  plan.cache_key = job_ptr->key;
+  plan.lookup = false; /* already probed at admission */
+  staged_ir initial;
+  double resumed_saved_ms = 0.0;
+  if ( use_prefixes )
+  {
+    const auto match = prefixes_.find_longest( job_ptr->prefix_keys );
+    if ( match.passes > 0u )
+    {
+      initial = match.entry->ir; /* snapshot copy; the entry stays shared */
+      plan.first_pass = match.passes;
+      plan.prefix_reports = match.entry->reports;
+      for ( const auto& report : plan.prefix_reports )
+      {
+        resumed_saved_ms += report.elapsed_ms;
+      }
+      QDA_COUNT( "server.prefix.hit" );
+      QDA_COUNT_N( "server.prefix.passes_skipped", match.passes );
+      job_span.attr( "reused_passes", static_cast<int64_t>( match.passes ) );
+    }
+  }
+
+  pass_observer observer;
+  if ( use_prefixes )
+  {
+    observer = [this, &job_ptr, &spec]( size_t pass_index, const staged_ir& ir,
+                                        const std::vector<pass_report>& reports ) {
+      const auto len = pass_index + 1u;
+      if ( len >= spec.size() ) /* the full result lives in the result cache */
+      {
+        return;
+      }
+      const auto& key = job_ptr->prefix_keys[len];
+      if ( prefixes_.contains( key ) )
+      {
+        return;
+      }
+      prefixes_.store( key, prefix_entry{ ir, reports } );
+      QDA_COUNT( "server.prefix.snapshot" );
+    };
+  }
+
+  compile_response response;
+  std::exception_ptr error;
+  try
+  {
+    auto result = manager_.run( spec, std::move( initial ), plan, observer );
+    response.reused_passes = result.reused_passes;
+    response.queue_wait_ms = queue_wait_ms;
+    response.result = std::make_shared<const compilation_result>( std::move( result ) );
+  }
+  catch ( ... )
+  {
+    error = std::current_exception();
+  }
+  const auto compile_ms = elapsed_ms_since( started );
+  job_span.attr( "compile_ms", compile_ms );
+
+  /* completion: detach the job, then fulfill every attached submission */
+  decltype( job_ptr->waiters ) waiters;
+  {
+    std::lock_guard<std::mutex> guard( state_mutex_ );
+    if ( options_.coalesce_identical )
+    {
+      /* the result is already stored in the shared cache, so any
+       * submission racing this erase hits the cache instead */
+      active_.erase( job_ptr->key );
+    }
+    record_queue_wait( queue_wait_ms );
+    if ( error )
+    {
+      ++stats_.failed;
+      QDA_COUNT( "server.jobs.failed" );
+    }
+    else
+    {
+      ++stats_.compiled;
+      stats_.completed += job_ptr->waiters.size();
+      stats_.passes_executed += job_ptr->spec.size() - response.reused_passes;
+      if ( response.reused_passes > 0u )
+      {
+        ++stats_.prefix_hits;
+        stats_.prefix_passes_skipped += response.reused_passes;
+        stats_.prefix_saved_ms += resumed_saved_ms;
+      }
+      QDA_COUNT( "server.jobs.compiled" );
+      QDA_COUNT_N( "server.jobs.completed", job_ptr->waiters.size() );
+    }
+    waiters.swap( job_ptr->waiters );
+  }
+
+  bool first = true;
+  for ( auto& [promise, submit_time] : waiters )
+  {
+    if ( error )
+    {
+      promise.set_exception( error );
+    }
+    else
+    {
+      auto copy = response;
+      copy.coalesced = !first;
+      copy.total_ms = elapsed_ms_since( submit_time );
+      promise.set_value( std::move( copy ) );
+    }
+    first = false;
+  }
+}
+
+void compile_server::shutdown()
+{
+  {
+    std::lock_guard<std::mutex> guard( state_mutex_ );
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  space_available_.notify_all();
+  for ( auto& worker : workers_ )
+  {
+    if ( worker.joinable() )
+    {
+      worker.join();
+    }
+  }
+}
+
+server_statistics compile_server::statistics() const
+{
+  server_statistics stats;
+  {
+    std::lock_guard<std::mutex> guard( state_mutex_ );
+    stats = stats_;
+  }
+  stats.result_cache = cache_->statistics();
+  stats.result_shards = cache_->per_shard_statistics();
+  stats.prefix_cache = prefixes_.statistics();
+  return stats;
+}
+
+size_t compile_server::queue_depth() const
+{
+  std::lock_guard<std::mutex> guard( state_mutex_ );
+  return queue_.size();
+}
+
+std::string format_server_report( const server_statistics& stats )
+{
+  std::ostringstream out;
+  char line[256];
+  out << "compile server report\n";
+  std::snprintf( line, sizeof( line ),
+                 "  jobs: %llu submitted, %llu completed (%llu cache hits, %llu coalesced, "
+                 "%llu compiled), %llu rejected, %llu failed\n",
+                 static_cast<unsigned long long>( stats.submitted ),
+                 static_cast<unsigned long long>( stats.completed ),
+                 static_cast<unsigned long long>( stats.cache_hits ),
+                 static_cast<unsigned long long>( stats.coalesced ),
+                 static_cast<unsigned long long>( stats.compiled ),
+                 static_cast<unsigned long long>( stats.rejected ),
+                 static_cast<unsigned long long>( stats.failed ) );
+  out << line;
+  std::snprintf( line, sizeof( line ),
+                 "  result cache: %llu entries / %zu shards, %llu hits, %llu misses, "
+                 "%llu evictions (%.1f%% request hit rate)\n",
+                 static_cast<unsigned long long>( stats.result_cache.entries ),
+                 stats.result_shards.size(),
+                 static_cast<unsigned long long>( stats.result_cache.hits ),
+                 static_cast<unsigned long long>( stats.result_cache.misses ),
+                 static_cast<unsigned long long>( stats.result_cache.evictions ),
+                 100.0 * stats.hit_rate() );
+  out << line;
+  std::snprintf( line, sizeof( line ),
+                 "  prefix reuse: %llu resumed compiles, %llu passes skipped, "
+                 "%.3f ms of pass time saved, %llu snapshots held\n",
+                 static_cast<unsigned long long>( stats.prefix_hits ),
+                 static_cast<unsigned long long>( stats.prefix_passes_skipped ),
+                 stats.prefix_saved_ms,
+                 static_cast<unsigned long long>( stats.prefix_cache.entries ) );
+  out << line;
+  const auto waits = static_cast<double>( stats.compiled );
+  std::snprintf( line, sizeof( line ),
+                 "  queue: peak depth %llu, mean wait %.3f ms over %llu executed jobs\n",
+                 static_cast<unsigned long long>( stats.peak_queue_depth ),
+                 waits > 0.0 ? stats.total_queue_wait_ms / waits : 0.0,
+                 static_cast<unsigned long long>( stats.compiled ) );
+  out << line;
+  out << "  queue wait histogram (ms):";
+  for ( size_t i = 0u; i < stats.queue_wait_histogram.size(); ++i )
+  {
+    if ( stats.queue_wait_histogram[i] == 0u )
+    {
+      continue;
+    }
+    if ( i < queue_wait_bounds_ms.size() )
+    {
+      std::snprintf( line, sizeof( line ), "  <=%g: %llu", queue_wait_bounds_ms[i],
+                     static_cast<unsigned long long>( stats.queue_wait_histogram[i] ) );
+    }
+    else
+    {
+      std::snprintf( line, sizeof( line ), "  >%g: %llu",
+                     queue_wait_bounds_ms.back(),
+                     static_cast<unsigned long long>( stats.queue_wait_histogram[i] ) );
+    }
+    out << line;
+  }
+  out << "\n";
+  return out.str();
+}
+
+} // namespace qda::server

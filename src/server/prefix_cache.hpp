@@ -1,0 +1,91 @@
+/*! \file prefix_cache.hpp
+ *  \brief Cross-job cache of mid-pipeline IR snapshots.
+ *
+ *  Every compilation the server executes snapshots its staged IR after
+ *  each pass, keyed by the structural hash of (pipeline prefix, input).
+ *  A later job whose spec shares a leading pass sequence with any prior
+ *  job -- `revgen --hwb 6; tbs; revsimp; rptm; tpar` after
+ *  `revgen --hwb 6; tbs; revsimp; rptm; peephole` -- resumes from the
+ *  deepest cached snapshot instead of recompiling the shared prefix
+ *  from scratch.  Storage is a `sharded_lru`, so snapshot harvesting
+ *  and probing scale with the worker pool.
+ */
+#pragma once
+
+#include "pipeline/pass_manager.hpp"
+#include "server/sharded_lru.hpp"
+
+#include <vector>
+
+namespace qda::server
+{
+
+/*! \brief One resumable snapshot: the IR after a pipeline prefix plus
+ *         the reports of the passes that produced it. */
+struct prefix_entry
+{
+  staged_ir ir;
+  std::vector<pass_report> reports;
+};
+
+/*! \brief What a prefix probe found. */
+struct prefix_match
+{
+  size_t passes = 0u; /*!< length of the cached prefix; 0 = no match */
+  std::shared_ptr<const prefix_entry> entry;
+};
+
+class prefix_cache
+{
+public:
+  prefix_cache( size_t num_shards, size_t capacity ) : map_( num_shards, capacity ) {}
+
+  /*! \brief Probes for the *deepest* cached prefix of `spec` (over the
+   *         given input keys), longest first.  `prefix_keys[i]` must be
+   *         the structural key of the first `i` passes; only indexes
+   *         `1 .. spec.size()-1` are probed (a full match is the result
+   *         cache's job).
+   */
+  prefix_match find_longest( const std::vector<structural_key>& prefix_keys )
+  {
+    if ( prefix_keys.size() < 2u )
+    {
+      return {};
+    }
+    for ( size_t len = prefix_keys.size() - 1u; len >= 1u; --len )
+    {
+      if ( auto entry = map_.find( prefix_keys[len] ) )
+      {
+        return { len, std::move( entry ) };
+      }
+    }
+    return {};
+  }
+
+  /*! \brief Stores a snapshot for the prefix of length `passes` (no-op
+   *         if an entry already exists -- snapshots of one prefix are
+   *         interchangeable).
+   */
+  void store( const structural_key& key, prefix_entry entry )
+  {
+    if ( map_.contains( key ) )
+    {
+      return;
+    }
+    map_.insert( key, std::make_shared<const prefix_entry>( std::move( entry ) ) );
+  }
+
+  bool contains( const structural_key& key ) const { return map_.contains( key ); }
+
+  shard_statistics statistics() const { return map_.statistics(); }
+  std::vector<shard_statistics> per_shard_statistics() const
+  {
+    return map_.per_shard_statistics();
+  }
+  void clear() { map_.clear(); }
+
+private:
+  sharded_lru<prefix_entry> map_;
+};
+
+} // namespace qda::server

@@ -1,0 +1,45 @@
+/*! \file sharded_cache.hpp
+ *  \brief Sharded structural-hash result cache for the compile server.
+ *
+ *  Implements the pass manager's pluggable `compilation_cache`
+ *  interface over a `sharded_lru`: per-shard mutexes and true-LRU
+ *  eviction replace the original global-mutex FIFO backend, so many
+ *  workers can hit/miss concurrently with contention only inside one
+ *  key partition.  Per-shard hit/miss/eviction counters feed the
+ *  server's telemetry report.
+ */
+#pragma once
+
+#include "pipeline/compilation_cache.hpp"
+#include "server/sharded_lru.hpp"
+
+namespace qda::server
+{
+
+class sharded_compilation_cache final : public compilation_cache
+{
+public:
+  /*! \brief `num_shards` independent partitions sharing `capacity`
+   *         entries in total.
+   */
+  sharded_compilation_cache( size_t num_shards, size_t capacity );
+
+  std::shared_ptr<const compilation_result> lookup( const structural_key& key ) override;
+  void store( const structural_key& key,
+              std::shared_ptr<const compilation_result> result ) override;
+  cache_statistics statistics() const override;
+  void clear() override;
+
+  /*! \brief Per-shard counters, for telemetry and shard-balance checks. */
+  std::vector<shard_statistics> per_shard_statistics() const
+  {
+    return map_.per_shard_statistics();
+  }
+
+  size_t num_shards() const noexcept { return map_.num_shards(); }
+
+private:
+  sharded_lru<compilation_result> map_;
+};
+
+} // namespace qda::server

@@ -289,17 +289,102 @@ TEST( pass_manager_test, cache_key_depends_on_initial_ir )
   EXPECT_FALSE( manager.run( spec, b ).cache_hit );
 }
 
-TEST( pass_manager_test, cache_is_bounded_with_fifo_eviction )
+TEST( pass_manager_test, cache_is_bounded_with_lru_eviction )
 {
   pass_manager manager( /*enable_cache=*/true, pass_registry::instance(),
                         /*max_cache_entries=*/2u );
   manager.run( "revgen --hwb 3; tbs" );
   manager.run( "revgen --hwb 4; tbs" );
-  manager.run( "revgen --hwb 5; tbs" ); /* evicts the hwb-3 entry */
+  EXPECT_EQ( manager.cache_stats().evictions, 0u );
+
+  /* touching hwb-3 refreshes its recency, so inserting hwb-5 evicts
+   * hwb-4 (FIFO would evict hwb-3, the oldest insertion) */
+  EXPECT_TRUE( manager.run( "revgen --hwb 3; tbs" ).cache_hit );
+  manager.run( "revgen --hwb 5; tbs" );
+  EXPECT_EQ( manager.cache_stats().evictions, 1u );
   EXPECT_EQ( manager.cache_stats().entries, 2u );
-  EXPECT_TRUE( manager.run( "revgen --hwb 5; tbs" ).cache_hit );
-  EXPECT_TRUE( manager.run( "revgen --hwb 4; tbs" ).cache_hit );
-  EXPECT_FALSE( manager.run( "revgen --hwb 3; tbs" ).cache_hit );
+
+  EXPECT_TRUE( manager.run( "revgen --hwb 3; tbs" ).cache_hit );
+  EXPECT_FALSE( manager.run( "revgen --hwb 4; tbs" ).cache_hit ); /* evicts hwb-5 */
+  EXPECT_EQ( manager.cache_stats().evictions, 2u );
+  EXPECT_EQ( manager.cache_stats().entries, 2u );
+}
+
+TEST( spec_parser_test, canonicalizes_flag_and_option_order )
+{
+  /* parsing is registry-independent, so canonicalization is testable
+   * with a made-up vocabulary */
+  const auto a = parse_pipeline( "foo -b -a --zeta 1 --eta 2 pos1 pos2" );
+  const auto b = parse_pipeline( "foo --eta 2 -a --zeta 1 -b pos1 pos2" );
+  EXPECT_EQ( a.to_string(), b.to_string() );
+  /* positionals keep their order */
+  EXPECT_EQ( a.passes[0].args.positional(), b.passes[0].args.positional() );
+}
+
+TEST( spec_parser_test, equivalent_spellings_share_structural_keys )
+{
+  const auto clean = parse_pipeline( "revgen --hwb 4; tbs; rptm" );
+  const auto messy = parse_pipeline( " revgen  --hwb 4 ;; tbs ;\n rptm " );
+  EXPECT_EQ( clean.to_string(), messy.to_string() );
+  EXPECT_EQ( compute_structural_key( clean, staged_ir{} ),
+             compute_structural_key( messy, staged_ir{} ) );
+  /* ...so equivalent spellings dedup to one cache entry */
+  pass_manager manager;
+  EXPECT_FALSE( manager.run( clean ).cache_hit );
+  EXPECT_TRUE( manager.run( messy ).cache_hit );
+  EXPECT_EQ( manager.cache_stats().entries, 1u );
+}
+
+TEST( pass_manager_test, resumes_from_mid_pipeline_snapshot )
+{
+  const auto spec = parse_pipeline( eq5 );
+  pass_manager manager( /*enable_cache=*/false );
+
+  /* harvest the IR after pass 2 (revsimp) through the observer */
+  staged_ir snapshot;
+  std::vector<pass_report> snapshot_reports;
+  run_plan cold;
+  const auto observer = [&]( size_t pass_index, const staged_ir& ir,
+                             const std::vector<pass_report>& reports ) {
+    if ( pass_index == 2u )
+    {
+      snapshot = ir;
+      snapshot_reports = reports;
+    }
+  };
+  const auto full = manager.run( spec, staged_ir{}, cold, observer );
+  ASSERT_EQ( snapshot_reports.size(), 3u );
+
+  run_plan plan;
+  plan.first_pass = 3u;
+  plan.prefix_reports = snapshot_reports;
+  plan.cache_key = compute_structural_key( spec, staged_ir{} );
+  const auto resumed = manager.run( spec, std::move( snapshot ), plan );
+
+  EXPECT_EQ( resumed.reused_passes, 3u );
+  ASSERT_EQ( resumed.reports.size(), full.reports.size() );
+  EXPECT_TRUE( resumed.reports[0].reused );
+  EXPECT_TRUE( resumed.reports[2].reused );
+  EXPECT_FALSE( resumed.reports[3].reused );
+  ASSERT_TRUE( resumed.ir.last_statistics.has_value() );
+  EXPECT_EQ( resumed.ir.last_statistics->t_count, full.ir.last_statistics->t_count );
+  EXPECT_TRUE( resumed.ir.require_quantum().circuit == full.ir.require_quantum().circuit );
+}
+
+TEST( pass_manager_test, resume_plan_requires_cache_key )
+{
+  const auto spec = parse_pipeline( "revgen --hwb 3; tbs" );
+  pass_manager manager( /*enable_cache=*/false );
+  run_plan plan;
+  plan.first_pass = 1u; /* but no cache_key override */
+  staged_ir initial;
+  initial.set_permutation( permutation::random( 3u, 7u ) );
+  EXPECT_THROW( manager.run( spec, std::move( initial ), plan ), std::logic_error );
+
+  run_plan beyond;
+  beyond.first_pass = 3u; /* past the end of a 2-pass spec */
+  beyond.cache_key = compute_structural_key( spec, staged_ir{} );
+  EXPECT_THROW( manager.run( spec, staged_ir{}, beyond ), std::logic_error );
 }
 
 TEST( pass_manager_test, disabled_cache_never_hits )
