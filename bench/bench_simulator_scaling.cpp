@@ -25,6 +25,7 @@
 #include "core/hidden_shift.hpp"
 #include "simulator/fusion.hpp"
 #include "simulator/kernels.hpp"
+#include "simulator/simd.hpp"
 #include "simulator/stabilizer.hpp"
 #include "simulator/statevector.hpp"
 #include "telemetry/metadata.hpp"
@@ -288,7 +289,8 @@ int main()
 
   std::printf( "E9: simulation engine throughput (naive reference vs fused engine)%s\n",
                smoke ? " [smoke]" : "" );
-  std::printf( "threads: %u (QDA_SIM_THREADS to override)\n\n", sim::num_threads() );
+  std::printf( "threads: %u (QDA_SIM_THREADS to override), isa: %s (QDA_SIM_ISA to override)\n\n",
+               sim::num_threads(), sim::isa_name( sim::active_isa() ) );
 
   const uint32_t big_qubits = smoke ? 16u : 20u;
 
@@ -312,6 +314,46 @@ int main()
                static_cast<unsigned long long>( brickwork.gates ),
                1e-6 * brickwork.naive_gates_per_s(), 1e-6 * brickwork.fused_gates_per_s(),
                brickwork.speedup() );
+
+  /* cross-check the cache-blocked tile schedule against the naive
+   * reference.  The default tile size (16 qubits) never kicks in at the
+   * smoke workload sizes, so force a small tile here: this keeps the
+   * tiled executor covered by the Debug and sanitizer smoke runs too. */
+  {
+    const auto tiled_circuit = random_layered_circuit( big_qubits, 8u, 42u, /*brickwork=*/true );
+    sim::compile_options tiled_options;
+    tiled_options.tile_qubits = big_qubits - 6u;
+    const auto tiled_program = sim::compile( tiled_circuit, tiled_options );
+    bool has_tiled_segment = false;
+    for ( const auto& segment : tiled_program.segments )
+    {
+      has_tiled_segment = has_tiled_segment || segment.tiled;
+    }
+    if ( !has_tiled_segment )
+    {
+      std::printf( "E9: VERIFY-FAIL no tiled segment at tile_qubits=%u\n",
+                   tiled_options.tile_qubits );
+      return 1;
+    }
+    statevector_simulator tiled_sim( big_qubits );
+    tiled_sim.run_program( tiled_program );
+    statevector_simulator naive_sim( big_qubits );
+    naive_sim.run_naive( tiled_circuit );
+    double tiled_worst = 0.0;
+    for ( uint64_t i = 0u; i < tiled_sim.state().size(); ++i )
+    {
+      tiled_worst =
+          std::max( tiled_worst, std::abs( tiled_sim.state()[i] - naive_sim.state()[i] ) );
+    }
+    if ( tiled_worst > 1e-12 )
+    {
+      std::printf( "E9: VERIFY-FAIL tiled schedule deviates by %.3g at %u qubits\n", tiled_worst,
+                   big_qubits );
+      return 1;
+    }
+    std::printf( "tiled schedule (tile_qubits=%u): verified against naive to 1e-12\n",
+                 tiled_options.tile_qubits );
+  }
 
   /* ---- 2. per-kernel microbenchmarks ---- */
   std::printf( "\n%-22s %14s %14s %9s\n",
@@ -415,10 +457,16 @@ int main()
     std::printf( "could not open BENCH_sim.json for writing\n" );
     return 1;
   }
+  /* every section records the thread count and ISA it actually ran
+   * with (they can differ per invocation via QDA_SIM_THREADS and
+   * QDA_SIM_ISA, and the dispatched ISA depends on the host CPU) */
+  const std::string section_meta = "\"threads\": " + std::to_string( sim::num_threads() ) +
+                                   ", \"isa\": \"" +
+                                   sim::isa_name( sim::active_isa() ) + "\"";
   std::fprintf( json, "{\n  \"experiment\": \"simulation_engine\",\n" );
   std::fprintf( json, "  %s,\n", telemetry::bench_metadata_json().c_str() );
-  std::fprintf( json, "  \"threads\": %u,\n", sim::num_threads() );
-  std::fprintf( json, "  \"end_to_end\": [\n" );
+  std::fprintf( json, "  %s,\n", section_meta.c_str() );
+  std::fprintf( json, "  \"end_to_end\": { %s, \"results\": [\n", section_meta.c_str() );
   const auto print_end_to_end = [&]( const char* name, const end_to_end_result& r, bool last ) {
     std::fprintf( json,
                   "    { \"name\": \"%s\", \"qubits\": %u, \"gates\": %llu, "
@@ -434,7 +482,7 @@ int main()
   }
   const std::string brickwork_name = "brickwork-" + std::to_string( big_qubits ) + "q";
   print_end_to_end( brickwork_name.c_str(), brickwork, true );
-  std::fprintf( json, "  ],\n  \"kernels\": [\n" );
+  std::fprintf( json, "  ] },\n  \"kernels\": { %s, \"results\": [\n", section_meta.c_str() );
   for ( size_t i = 0u; i < kernels.size(); ++i )
   {
     std::fprintf( json,
@@ -444,7 +492,7 @@ int main()
                   kernels[i].naive_ns_per_amp / kernels[i].fast_ns_per_amp,
                   i + 1u < kernels.size() ? "," : "" );
   }
-  std::fprintf( json, "  ],\n  \"sampling\": [\n" );
+  std::fprintf( json, "  ] },\n  \"sampling\": { %s, \"results\": [\n", section_meta.c_str() );
   const auto sampling_name = [&]( const std::string& base, uint32_t qubits ) {
     return base + "-" + std::to_string( qubits ) + "q-" + std::to_string( shots ) + "shots";
   };
@@ -463,7 +511,7 @@ int main()
                 "\"naive_s\": %.5f, \"fast_s\": %.5f, \"speedup\": %.2f }\n",
                 sampling_name( "stabilizer-random-measure", smoke ? 24u : 48u ).c_str(),
                 cr_naive_s, cr_fast_s, cr_naive_s / cr_fast_s );
-  std::fprintf( json, "  ]\n}\n" );
+  std::fprintf( json, "  ] }\n}\n" );
   std::fclose( json );
   std::printf( "\nwrote BENCH_sim.json\n" );
 
@@ -477,6 +525,21 @@ int main()
   if ( layered_20q_speedup < 5.0 )
   {
     std::printf( "E9: FAIL 20-qubit layered speedup %.1fx < 5x\n", layered_20q_speedup );
+    ok = false;
+  }
+  /* 2x the pre-SIMD committed number (624.8 fused gates/s): the
+   * brickwork workload defeats cross-layer fusion, so this floor tracks
+   * the raw fused_kq block throughput rather than fusion quality */
+  if ( brickwork.fused_gates_per_s() < 1249.6 )
+  {
+    std::printf( "E9: FAIL brickwork-20q fused throughput %.1f gates/s < 1249.6\n",
+                 brickwork.fused_gates_per_s() );
+    ok = false;
+  }
+  const double h_kernel_speedup = kernels.front().naive_ns_per_amp / kernels.front().fast_ns_per_amp;
+  if ( h_kernel_speedup < 1.5 )
+  {
+    std::printf( "E9: FAIL generic 2x2 kernel speedup %.1fx < 1.5x\n", h_kernel_speedup );
     ok = false;
   }
   if ( st_naive_s / st_fast_s < 10.0 )

@@ -3,9 +3,10 @@
 regresses an enforced ratio metric by more than the tolerance relative to
 the committed baseline.
 
-Only machine-comparable *ratio* metrics are checked (speedups and the
-swap-reduction percentage) -- absolute wall-clock numbers shift with the
-host and are ignored.
+Only machine-comparable *ratio* metrics are compared against the
+baseline (speedups and the swap-reduction percentage) -- absolute
+wall-clock numbers shift with the host.  A small set of absolute floors
+(ABSOLUTE_FLOORS) is additionally enforced on the current run only.
 
 Usage:
     scripts/check_bench_regression.py \
@@ -31,6 +32,15 @@ def load(path):
         sys.exit(2)
 
 
+# hard floors on the current run, independent of the baseline ratio gate
+ABSOLUTE_FLOORS = {
+    # 2x the pre-SIMD committed brickwork-20q fused throughput (624.8)
+    "sim.end_to_end.brickwork-20q.fused_gates_per_s": 1249.6,
+    # generic 2x2 kernel must beat the naive scalar path clearly
+    "sim.kernels.generic-2x2.speedup": 1.5,
+}
+
+
 def collect_metrics(directory):
     """Maps metric-path -> value for every enforced ratio metric found.
 
@@ -40,12 +50,29 @@ def collect_metrics(directory):
     """
     metrics = {}
 
+    def section_rows(data, key):
+        """Sections are `{..., "results": [...]}` objects since the SIMD
+        rework (per-section threads/isa metadata); older baselines used
+        bare lists."""
+        section = data.get(key, [])
+        if isinstance(section, dict):
+            return section.get("results", [])
+        return section
+
     sim = load(os.path.join(directory, "BENCH_sim.json"))
     if sim is not None:
-        for row in sim.get("end_to_end", []):
+        for row in section_rows(sim, "end_to_end"):
             if row["name"] == "layered-20q":
                 metrics[f"sim.end_to_end.{row['name']}.speedup"] = row["speedup"]
-        for row in sim.get("sampling", []):
+            if row["name"] == "brickwork-20q":
+                metrics[f"sim.end_to_end.{row['name']}.speedup"] = row["speedup"]
+                # gated by ABSOLUTE_FLOORS only, not by the ratio loop
+                metrics[f"sim.end_to_end.{row['name']}.fused_gates_per_s"] = \
+                    row["fused_gates_per_s"]
+        for row in section_rows(sim, "kernels"):
+            if row["name"].startswith("h "):
+                metrics["sim.kernels.generic-2x2.speedup"] = row["speedup"]
+        for row in section_rows(sim, "sampling"):
             if row["name"].startswith("stabilizer"):
                 metrics[f"sim.sampling.{row['name']}.speedup"] = row["speedup"]
 
@@ -96,6 +123,8 @@ def main():
     failures = []
     checked = 0
     for name, base_value in sorted(baseline.items()):
+        if name.endswith("gates_per_s"):
+            continue  # absolute metric: floor-gated only, hosts differ
         if name not in current:
             print(f"skip  {name}: not in current run (workload set differs)")
             continue
@@ -108,6 +137,18 @@ def main():
             failures.append(name)
         print(f"{status}{name}: baseline {base_value:.2f} -> current {cur_value:.2f} "
               f"(floor {floor:.2f})")
+
+    for name, floor in sorted(ABSOLUTE_FLOORS.items()):
+        if name not in current:
+            print(f"skip  {name}: not in current run (absolute floor)")
+            continue
+        checked += 1
+        cur_value = current[name]
+        status = "ok   "
+        if cur_value < floor:
+            status = "FAIL "
+            failures.append(name)
+        print(f"{status}{name}: current {cur_value:.2f} (absolute floor {floor:.2f})")
 
     if checked == 0:
         print("error: baseline and current runs share no metrics")

@@ -1,5 +1,7 @@
 #include "simulator/fusion.hpp"
 
+#include "simulator/schedule.hpp"
+#include "simulator/simd.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -66,45 +68,6 @@ bool is_single_qubit_kind( gate_kind kind )
   default:
     return false;
   }
-}
-
-/*! True for ops that are diagonal in the computational basis. */
-bool is_diag_op( const op& o )
-{
-  return o.kind == op_kind::diag_1q || o.kind == op_kind::phase_masked ||
-         o.kind == op_kind::scalar || o.kind == op_kind::diag_table;
-}
-
-/*! Qubits an op touches, as a bit mask. */
-uint64_t op_support( const op& o )
-{
-  switch ( o.kind )
-  {
-  case op_kind::unitary_1q:
-  case op_kind::diag_1q:
-  case op_kind::antidiag_1q:
-  case op_kind::measure:
-    return uint64_t{ 1 } << o.qubit;
-  case op_kind::phase_masked:
-    return o.mask;
-  case op_kind::mcx:
-    return o.mask | ( uint64_t{ 1 } << o.qubit );
-  case op_kind::swap_2q:
-    return ( uint64_t{ 1 } << o.qubit ) | ( uint64_t{ 1 } << o.qubit2 );
-  case op_kind::diag_table:
-  case op_kind::fused_kq:
-  {
-    uint64_t mask = 0u;
-    for ( const auto qubit : o.table_qubits )
-    {
-      mask |= uint64_t{ 1 } << qubit;
-    }
-    return mask;
-  }
-  case op_kind::scalar:
-    return 0u;
-  }
-  return 0u;
 }
 
 /*! Applies `o` to a 2^k local state vector (used to build dense fused
@@ -334,7 +297,7 @@ private:
   void emit( op o )
   {
     const uint64_t support = op_support( o );
-    const bool diagonal = is_diag_op( o );
+    const bool diagonal = op_is_diagonal( o );
 
     if ( diagonal && !options_.fuse_diagonals )
     {
@@ -664,8 +627,20 @@ program compile_impl( const qcircuit& circuit, std::vector<uint32_t>* measured,
     c.add_gate( gate, measured );
   }
   auto prog = c.finish();
+  if ( options.tile_scheduling )
+  {
+    schedule_options tiling;
+    tiling.tile_qubits = options.tile_qubits;
+    schedule_tiles( prog, tiling );
+  }
+  int64_t tiled_segments = 0;
+  for ( const auto& seg : prog.segments )
+  {
+    tiled_segments += seg.tiled ? 1 : 0;
+  }
   compile_span.attr( "gates", prog.source_gate_count )
-      .attr( "ops", static_cast<int64_t>( prog.ops.size() ) );
+      .attr( "ops", static_cast<int64_t>( prog.ops.size() ) )
+      .attr( "tiled_segments", tiled_segments );
   return prog;
 }
 
@@ -697,6 +672,16 @@ void record_dispatch( const op& o, uint64_t dim )
     return table;
   }();
 
+  /* which primitive table served this dispatch */
+  static std::array<telemetry::counter*, 3> isa_counters = [] {
+    auto& registry = telemetry::metrics_registry::instance();
+    return std::array<telemetry::counter*, 3>{
+      &registry.get_counter( "sim.kernel.isa.scalar" ),
+      &registry.get_counter( "sim.kernel.isa.avx2" ),
+      &registry.get_counter( "sim.kernel.isa.avx512" ),
+    };
+  }();
+
   uint64_t touched = dim;
   switch ( o.kind )
   {
@@ -715,9 +700,90 @@ void record_dispatch( const op& o, uint64_t dim )
   const auto index = static_cast<size_t>( o.kind );
   instruments[index].calls->add( 1u );
   instruments[index].amplitudes->add( touched );
+  isa_counters[static_cast<size_t>( active_isa() )]->add( 1u );
 }
 
 } // namespace
+
+uint64_t op_support( const op& o )
+{
+  switch ( o.kind )
+  {
+  case op_kind::unitary_1q:
+  case op_kind::diag_1q:
+  case op_kind::antidiag_1q:
+  case op_kind::measure:
+    return uint64_t{ 1 } << o.qubit;
+  case op_kind::phase_masked:
+    return o.mask;
+  case op_kind::mcx:
+    return o.mask | ( uint64_t{ 1 } << o.qubit );
+  case op_kind::swap_2q:
+    return ( uint64_t{ 1 } << o.qubit ) | ( uint64_t{ 1 } << o.qubit2 );
+  case op_kind::diag_table:
+  case op_kind::fused_kq:
+  {
+    uint64_t mask = 0u;
+    for ( const auto qubit : o.table_qubits )
+    {
+      mask |= uint64_t{ 1 } << qubit;
+    }
+    return mask;
+  }
+  case op_kind::scalar:
+    return 0u;
+  }
+  return 0u;
+}
+
+bool op_is_diagonal( const op& o )
+{
+  return o.kind == op_kind::diag_1q || o.kind == op_kind::phase_masked ||
+         o.kind == op_kind::scalar || o.kind == op_kind::diag_table;
+}
+
+void apply_op( const op& o, amplitude* state, uint64_t dim )
+{
+  switch ( o.kind )
+  {
+  case op_kind::unitary_1q:
+    apply_1q( state, dim, o.qubit, o.m );
+    break;
+  case op_kind::diag_1q:
+    apply_1q_diag( state, dim, o.qubit, o.m[0], o.m[3] );
+    break;
+  case op_kind::antidiag_1q:
+    if ( o.m[1] == amplitude{ 1.0 } && o.m[2] == amplitude{ 1.0 } )
+    {
+      apply_mcx( state, dim, 0u, o.qubit ); /* plain X: pure swaps */
+    }
+    else
+    {
+      apply_1q_antidiag( state, dim, o.qubit, o.m[1], o.m[2] );
+    }
+    break;
+  case op_kind::phase_masked:
+    apply_phase_masked( state, dim, o.mask, o.m[0] );
+    break;
+  case op_kind::diag_table:
+    apply_diag_table( state, dim, o.table_qubits, o.table );
+    break;
+  case op_kind::fused_kq:
+    apply_fused_kq( state, dim, o.table_qubits, o.table );
+    break;
+  case op_kind::mcx:
+    apply_mcx( state, dim, o.mask, o.qubit );
+    break;
+  case op_kind::swap_2q:
+    apply_swap( state, dim, o.qubit, o.qubit2 );
+    break;
+  case op_kind::scalar:
+    apply_scalar( state, dim, o.m[0] );
+    break;
+  case op_kind::measure:
+    throw std::logic_error( "sim::apply_op: measure ops need the executor's callback" );
+  }
+}
 
 program compile( const qcircuit& circuit, const compile_options& options )
 {
@@ -737,58 +803,83 @@ void execute( const program& prog, amplitude* state, uint64_t dim )
   } );
 }
 
+namespace
+{
+
+void execute_one( const op& o, amplitude* state, uint64_t dim,
+                  const std::function<bool( uint32_t )>& measure_cb )
+{
+  if constexpr ( telemetry::compiled_in )
+  {
+    if ( telemetry::enabled() )
+    {
+      record_dispatch( o, dim );
+    }
+  }
+  if ( o.kind == op_kind::measure )
+  {
+    measure_cb( o.qubit );
+    return;
+  }
+  apply_op( o, state, dim );
+}
+
+} // namespace
+
 void execute( const program& prog, amplitude* state, uint64_t dim,
               const std::function<bool( uint32_t )>& measure_cb )
 {
-  for ( const auto& o : prog.ops )
+  if ( prog.segments.empty() )
   {
+    for ( const auto& o : prog.ops )
+    {
+      execute_one( o, state, dim, measure_cb );
+    }
+    return;
+  }
+  const uint32_t tq = prog.tile_qubits;
+  const uint64_t tile_dim = uint64_t{ 1 } << tq;
+  for ( const auto& seg : prog.segments )
+  {
+    if ( !seg.tiled )
+    {
+      for ( const auto index : seg.op_indices )
+      {
+        execute_one( prog.ops[index], state, dim, measure_cb );
+      }
+      continue;
+    }
     if constexpr ( telemetry::compiled_in )
     {
       if ( telemetry::enabled() )
       {
-        record_dispatch( o, dim );
+        for ( const auto index : seg.op_indices )
+        {
+          record_dispatch( prog.ops[index], dim );
+        }
+        QDA_COUNT( "sim.schedule.tiled_segments" );
+        QDA_COUNT_N( "sim.schedule.tiled_ops", seg.op_indices.size() );
+        QDA_COUNT_N( "sim.schedule.tiles_swept", dim >> tq );
+        QDA_HISTOGRAM( "sim.schedule.ops_per_tile_sweep",
+                       static_cast<double>( seg.op_indices.size() ),
+                       { 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0 } );
       }
     }
-    switch ( o.kind )
-    {
-    case op_kind::unitary_1q:
-      apply_1q( state, dim, o.qubit, o.m );
-      break;
-    case op_kind::diag_1q:
-      apply_1q_diag( state, dim, o.qubit, o.m[0], o.m[3] );
-      break;
-    case op_kind::antidiag_1q:
-      if ( o.m[1] == amplitude{ 1.0 } && o.m[2] == amplitude{ 1.0 } )
-      {
-        apply_mcx( state, dim, 0u, o.qubit ); /* plain X: pure swaps */
-      }
-      else
-      {
-        apply_1q_antidiag( state, dim, o.qubit, o.m[1], o.m[2] );
-      }
-      break;
-    case op_kind::phase_masked:
-      apply_phase_masked( state, dim, o.mask, o.m[0] );
-      break;
-    case op_kind::diag_table:
-      apply_diag_table( state, dim, o.table_qubits, o.table );
-      break;
-    case op_kind::fused_kq:
-      apply_fused_kq( state, dim, o.table_qubits, o.table );
-      break;
-    case op_kind::mcx:
-      apply_mcx( state, dim, o.mask, o.qubit );
-      break;
-    case op_kind::swap_2q:
-      apply_swap( state, dim, o.qubit, o.qubit2 );
-      break;
-    case op_kind::scalar:
-      apply_scalar( state, dim, o.m[0] );
-      break;
-    case op_kind::measure:
-      measure_cb( o.qubit );
-      break;
-    }
+    /* sweep each cache-resident tile once for the whole segment; tiles
+     * are disjoint windows, so the usual deterministic chunking holds */
+    parallel_for(
+        dim >> tq,
+        [&]( uint64_t begin, uint64_t end ) {
+          for ( uint64_t tile = begin; tile < end; ++tile )
+          {
+            amplitude* window = state + ( tile << tq );
+            for ( const auto index : seg.op_indices )
+            {
+              apply_op( prog.ops[index], window, tile_dim );
+            }
+          }
+        },
+        tile_dim * seg.op_indices.size() );
   }
 }
 

@@ -75,6 +75,28 @@ struct compile_options
    *         amplitude, so wide blocks stop being memory-bound.
    */
   uint32_t max_dense_fusion_qubits = 3u;
+  /*! \brief Cache-blocked tile scheduling (schedule.hpp): group ops
+   *         whose support fits in the low tile qubits into per-tile
+   *         sweeps so each L2-sized amplitude tile is loaded once per
+   *         group instead of once per op.
+   */
+  bool tile_scheduling = true;
+  /*! \brief Amplitude tile size as a qubit count; 0 = automatic
+   *         (QDA_SIM_TILE_QUBITS environment variable, else 16: 2^16
+   *         amplitudes = 1 MiB, sized for L2).
+   */
+  uint32_t tile_qubits = 0u;
+};
+
+/*! \brief A run of consecutive ops in execution order.  A tiled segment
+ *         only references ops supported on the low tile qubits and is
+ *         executed tile by tile (all ops back to back per tile); a
+ *         non-tiled segment is a single full-sweep op.
+ */
+struct tile_segment
+{
+  bool tiled = false;
+  std::vector<uint32_t> op_indices; /*!< indices into program::ops */
 };
 
 /*! \brief A compiled kernel program over a fixed qubit count. */
@@ -83,6 +105,11 @@ struct program
   uint32_t num_qubits = 0u;
   std::vector<op> ops;
   uint64_t source_gate_count = 0u; /*!< gates consumed (barriers excluded) */
+
+  /*! \brief Cache-blocked schedule (schedule_tiles).  Empty = execute
+   *         `ops` front to back with full-dimension sweeps. */
+  std::vector<tile_segment> segments;
+  uint32_t tile_qubits = 0u; /*!< tile size backing `segments` */
 
   uint64_t dimension() const noexcept { return uint64_t{ 1 } << num_qubits; }
 };
@@ -96,6 +123,19 @@ program compile( const qcircuit& circuit, const compile_options& options = {} );
  */
 program compile_unitary_prefix( const qcircuit& circuit, std::vector<uint32_t>& measured,
                                 const compile_options& options = {} );
+
+/*! \brief Qubits an op touches, as a bit mask (scalar ops: 0). */
+uint64_t op_support( const op& o );
+
+/*! \brief True for ops that are diagonal in the computational basis. */
+bool op_is_diagonal( const op& o );
+
+/*! \brief Applies one compiled op to an amplitude window.  `dim` may be
+ *         a tile-sized window smaller than the program dimension when
+ *         the op's support fits inside it; measure ops are rejected
+ *         with std::logic_error.
+ */
+void apply_op( const op& o, amplitude* state, uint64_t dim );
 
 /*! \brief Executes a measurement-free program on `state` (throws
  *         std::logic_error on a measure op).

@@ -1,5 +1,7 @@
 #include "simulator/kernels.hpp"
 
+#include "simulator/simd.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <bit>
@@ -296,83 +298,82 @@ void for_each_masked_run( uint64_t dim, uint64_t set_mask, uint64_t clear_mask, 
   } );
 }
 
-/*! Dense fused-block matvec with a compile-time block size so the
- *  gather / matvec / scatter fully unrolls. */
-template <uint32_t K>
-void fused_kq_impl( amplitude* state, uint64_t dim, uint64_t support,
-                    const uint64_t* offsets, const amplitude* matrix )
+/*! Dense fused-block apply.  `cols` is the column-major transpose of
+ *  the caller's row-major matrix, so the matvec primitive streams one
+ *  contiguous column per input coefficient. */
+void fused_kq_groups( amplitude* state, uint64_t dim, uint64_t support, uint32_t k,
+                      const uint64_t* offsets, const amplitude* cols )
 {
-  constexpr uint64_t block = uint64_t{ 1 } << K;
+  const uint64_t block = uint64_t{ 1 } << k;
+  const simd_ops& ops = active_ops();
   if ( support == block - 1u )
   {
-    /* support is the low K qubits: groups are contiguous in memory */
-    parallel_for( dim >> K, [&]( uint64_t begin, uint64_t end ) {
-      for ( uint64_t group = begin; group < end; ++group )
+    /* support is the low k qubits: groups are contiguous in memory and
+     * the whole chunk goes to the batched primitive in one call */
+    parallel_for(
+        dim >> k,
+        [&]( uint64_t begin, uint64_t end ) {
+          ops.matvec_batch( state + ( begin << k ), cols, block, end - begin );
+        },
+        block );
+    return;
+  }
+  /* scattered support with long runs of group bases (support clear of
+   * the low bits): feed the strided amplitude streams to the primitive
+   * directly -- no staging copies.  Stream c is contiguous across the
+   * run because group bases within a run are consecutive.  The path
+   * choice depends only on (block, support), never on chunk bounds, so
+   * thread splits stay bit-identical. */
+  const uint64_t run = uint64_t{ 1 } << std::countr_zero( support );
+  if ( ( block == 4u || block == 8u ) && run >= 4u )
+  {
+    for_each_masked_run( dim, 0u, support, [&]( uint64_t start, uint64_t length ) {
+      amplitude* streams[8];
+      for ( uint64_t c = 0u; c < block; ++c )
       {
-        amplitude* amps = state + ( group << K );
-        amplitude gathered[block];
-        for ( uint64_t c = 0u; c < block; ++c )
-        {
-          gathered[c] = amps[c];
-        }
-        for ( uint64_t r = 0u; r < block; ++r )
-        {
-          amplitude acc{ 0.0 };
-          const amplitude* row = matrix + r * block;
-          for ( uint64_t c = 0u; c < block; ++c )
-          {
-            acc += row[c] * gathered[c];
-          }
-          amps[r] = acc;
-        }
+        streams[c] = state + start + offsets[c];
       }
+      ops.block_streams( streams, block, length, cols );
     } );
     return;
   }
-  for_each_masked_run( dim, 0u, support, [&]( uint64_t start, uint64_t length ) {
-    for ( uint64_t base = start; base < start + length; ++base )
+  /* short runs or wide blocks: stage a batch of groups contiguously,
+   * transform them in place with one primitive call, scatter back.
+   * Groups are batched ACROSS runs so the primitive call amortizes even
+   * when the support pins the low bits (runs of one or two groups). */
+  constexpr uint64_t staging_amps = uint64_t{ 1 } << 11u;
+  const uint64_t groups_per_batch = std::max<uint64_t>( staging_amps >> k, 1u );
+  const masked_range bases( dim, 0u, support );
+  parallel_for( bases.count, [&]( uint64_t begin, uint64_t end ) {
+    alignas( 64 ) amplitude staging[staging_amps];
+    uint64_t group_base[staging_amps >> 1u];
+    uint64_t index = bases.nth( begin );
+    uint64_t remaining = end - begin;
+    while ( remaining != 0u )
     {
-      amplitude gathered[block];
-      for ( uint64_t c = 0u; c < block; ++c )
+      const uint64_t batch = std::min( groups_per_batch, remaining );
+      amplitude* dst = staging;
+      for ( uint64_t g = 0u; g < batch; ++g, dst += block )
       {
-        gathered[c] = state[base | offsets[c]];
-      }
-      for ( uint64_t r = 0u; r < block; ++r )
-      {
-        amplitude acc{ 0.0 };
-        const amplitude* row = matrix + r * block;
+        group_base[g] = index;
+        const amplitude* src = state + index;
         for ( uint64_t c = 0u; c < block; ++c )
         {
-          acc += row[c] * gathered[c];
+          dst[c] = src[offsets[c]];
         }
-        state[base | offsets[r]] = acc;
+        index = bases.next( index );
       }
-    }
-  } );
-}
-
-void fused_kq_generic( amplitude* state, uint64_t dim, uint64_t support, uint32_t k,
-                       const uint64_t* offsets, const amplitude* matrix )
-{
-  const uint64_t block = uint64_t{ 1 } << k;
-  for_each_masked_run( dim, 0u, support, [&]( uint64_t start, uint64_t length ) {
-    for ( uint64_t base = start; base < start + length; ++base )
-    {
-      amplitude gathered[uint64_t{ 1 } << 10u];
-      for ( uint64_t c = 0u; c < block; ++c )
+      ops.matvec_batch( staging, cols, block, batch );
+      const amplitude* out = staging;
+      for ( uint64_t g = 0u; g < batch; ++g, out += block )
       {
-        gathered[c] = state[base | offsets[c]];
-      }
-      for ( uint64_t r = 0u; r < block; ++r )
-      {
-        amplitude acc{ 0.0 };
-        const amplitude* row = matrix + r * block;
-        for ( uint64_t c = 0u; c < block; ++c )
+        amplitude* dst_state = state + group_base[g];
+        for ( uint64_t r = 0u; r < block; ++r )
         {
-          acc += row[c] * gathered[c];
+          dst_state[offsets[r]] = out[r];
         }
-        state[base | offsets[r]] = acc;
       }
+      remaining -= batch;
     }
   } );
 }
@@ -431,122 +432,130 @@ double blocked_sum( uint64_t n, const std::function<double( uint64_t, uint64_t )
 void apply_1q( amplitude* state, uint64_t dim, uint32_t qubit,
                const std::array<amplitude, 4>& m )
 {
+  const simd_ops& ops = active_ops();
+  if ( qubit == 0u )
+  {
+    /* pairs are adjacent in memory: chunk at pair granularity */
+    parallel_for(
+        dim >> 1u,
+        [&]( uint64_t begin, uint64_t end ) {
+          ops.pair_2x2_interleaved( state + 2u * begin, end - begin, m.data() );
+        },
+        2u );
+    return;
+  }
   const uint64_t bit = uint64_t{ 1 } << qubit;
-  const amplitude m0 = m[0], m1 = m[1], m2 = m[2], m3 = m[3];
   for_each_masked_run( dim, 0u, bit, [&]( uint64_t start, uint64_t length ) {
-    /* local copies: keeps the coefficients in registers even when the
-     * chunk body is compiled behind the std::function boundary */
-    const amplitude w0 = m0, w1 = m1, w2 = m2, w3 = m3;
-    amplitude* lo = state + start;
-    amplitude* hi = lo + bit;
-    for ( uint64_t i = 0u; i < length; ++i )
-    {
-      const amplitude a0 = lo[i];
-      const amplitude a1 = hi[i];
-      lo[i] = w0 * a0 + w1 * a1;
-      hi[i] = w2 * a0 + w3 * a1;
-    }
+    ops.pair_2x2( state + start, state + start + bit, length, m.data() );
   } );
 }
 
 void apply_1q_diag( amplitude* state, uint64_t dim, uint32_t qubit, amplitude p0, amplitude p1 )
 {
+  const simd_ops& ops = active_ops();
+  if ( qubit == 0u )
+  {
+    /* adjacent pairs: one contiguous pass, even/odd lanes carry p0/p1 */
+    parallel_for(
+        dim >> 1u,
+        [&]( uint64_t begin, uint64_t end ) {
+          ops.scale_pairs( state + 2u * begin, end - begin, p0, p1 );
+        },
+        2u );
+    return;
+  }
   const uint64_t bit = uint64_t{ 1 } << qubit;
   if ( p0 == amplitude{ 1.0 } )
   {
     for_each_masked_run( dim, bit, 0u, [&]( uint64_t start, uint64_t length ) {
-      const amplitude w = p1;
-      amplitude* amp = state + start;
-      for ( uint64_t i = 0u; i < length; ++i )
-      {
-        amp[i] *= w;
-      }
+      ops.scale( state + start, length, p1 );
     } );
     return;
   }
   if ( p1 == amplitude{ 1.0 } )
   {
     for_each_masked_run( dim, 0u, bit, [&]( uint64_t start, uint64_t length ) {
-      const amplitude w = p0;
-      amplitude* amp = state + start;
-      for ( uint64_t i = 0u; i < length; ++i )
-      {
-        amp[i] *= w;
-      }
+      ops.scale( state + start, length, p0 );
     } );
     return;
   }
   /* both phases non-trivial (e.g. rz): one pass over the pairs */
   for_each_masked_run( dim, 0u, bit, [&]( uint64_t start, uint64_t length ) {
-    const amplitude w0 = p0, w1 = p1;
-    amplitude* lo = state + start;
-    amplitude* hi = lo + bit;
-    for ( uint64_t i = 0u; i < length; ++i )
-    {
-      lo[i] *= w0;
-      hi[i] *= w1;
-    }
+    ops.scale( state + start, length, p0 );
+    ops.scale( state + start + bit, length, p1 );
   } );
 }
 
 void apply_1q_antidiag( amplitude* state, uint64_t dim, uint32_t qubit, amplitude p01,
                         amplitude p10 )
 {
+  const simd_ops& ops = active_ops();
+  if ( qubit == 0u )
+  {
+    const amplitude m[4] = { amplitude{ 0.0 }, p01, p10, amplitude{ 0.0 } };
+    parallel_for(
+        dim >> 1u,
+        [&]( uint64_t begin, uint64_t end ) {
+          ops.pair_2x2_interleaved( state + 2u * begin, end - begin, m );
+        },
+        2u );
+    return;
+  }
   const uint64_t bit = uint64_t{ 1 } << qubit;
   for_each_masked_run( dim, 0u, bit, [&]( uint64_t start, uint64_t length ) {
-    const amplitude w01 = p01, w10 = p10;
-    amplitude* lo = state + start;
-    amplitude* hi = lo + bit;
-    for ( uint64_t i = 0u; i < length; ++i )
-    {
-      const amplitude a0 = lo[i];
-      lo[i] = w01 * hi[i];
-      hi[i] = w10 * a0;
-    }
+    ops.pair_antidiag( state + start, state + start + bit, length, p01, p10 );
   } );
 }
 
 void apply_phase_masked( amplitude* state, uint64_t dim, uint64_t mask, amplitude phase )
 {
+  const simd_ops& ops = active_ops();
+  if ( mask & 1u )
+  {
+    /* bit 0 in the mask: iterate pair space (even base indices) so the
+     * inner pass stays contiguous; the even lane multiplies by one */
+    for_each_masked_run( dim >> 1u, mask >> 1u, 0u, [&]( uint64_t start, uint64_t length ) {
+      ops.scale_pairs( state + 2u * start, length, amplitude{ 1.0 }, phase );
+    } );
+    return;
+  }
   for_each_masked_run( dim, mask, 0u, [&]( uint64_t start, uint64_t length ) {
-    const amplitude w = phase;
-    amplitude* amp = state + start;
-    for ( uint64_t i = 0u; i < length; ++i )
-    {
-      amp[i] *= w;
-    }
+    ops.scale( state + start, length, phase );
   } );
 }
 
 void apply_mcx( amplitude* state, uint64_t dim, uint64_t control_mask, uint32_t target )
 {
+  const simd_ops& ops = active_ops();
+  if ( target == 0u )
+  {
+    for_each_masked_run( dim >> 1u, control_mask >> 1u, 0u,
+                         [&]( uint64_t start, uint64_t length ) {
+                           ops.swap_adjacent( state + 2u * start, length );
+                         } );
+    return;
+  }
   const uint64_t bit = uint64_t{ 1 } << target;
   for_each_masked_run( dim, control_mask, bit, [&]( uint64_t start, uint64_t length ) {
-    amplitude* lo = state + start;
-    amplitude* hi = lo + bit;
-    for ( uint64_t i = 0u; i < length; ++i )
-    {
-      std::swap( lo[i], hi[i] );
-    }
+    ops.swap_ranges( state + start, state + start + bit, length );
   } );
 }
 
 void apply_mc1q( amplitude* state, uint64_t dim, uint64_t control_mask, uint32_t target,
                  const std::array<amplitude, 4>& m )
 {
+  const simd_ops& ops = active_ops();
+  if ( target == 0u )
+  {
+    for_each_masked_run( dim >> 1u, control_mask >> 1u, 0u,
+                         [&]( uint64_t start, uint64_t length ) {
+                           ops.pair_2x2_interleaved( state + 2u * start, length, m.data() );
+                         } );
+    return;
+  }
   const uint64_t bit = uint64_t{ 1 } << target;
-  const amplitude m0 = m[0], m1 = m[1], m2 = m[2], m3 = m[3];
   for_each_masked_run( dim, control_mask, bit, [&]( uint64_t start, uint64_t length ) {
-    const amplitude w0 = m0, w1 = m1, w2 = m2, w3 = m3;
-    amplitude* lo = state + start;
-    amplitude* hi = lo + bit;
-    for ( uint64_t i = 0u; i < length; ++i )
-    {
-      const amplitude a0 = lo[i];
-      const amplitude a1 = hi[i];
-      lo[i] = w0 * a0 + w1 * a1;
-      hi[i] = w2 * a0 + w3 * a1;
-    }
+    ops.pair_2x2( state + start, state + start + bit, length, m.data() );
   } );
 }
 
@@ -555,22 +564,19 @@ void apply_swap( amplitude* state, uint64_t dim, uint32_t a, uint32_t b )
   const uint64_t bit_a = uint64_t{ 1 } << a;
   const uint64_t bit_b = uint64_t{ 1 } << b;
   const uint64_t both = bit_a | bit_b;
+  const simd_ops& ops = active_ops();
+  /* runs vary only bits below min(a, b), so the XOR partner of a run is
+   * itself a contiguous run at a fixed offset */
   for_each_masked_run( dim, bit_a, bit_b, [&]( uint64_t start, uint64_t length ) {
-    for ( uint64_t i = start; i < start + length; ++i )
-    {
-      std::swap( state[i], state[i ^ both] );
-    }
+    ops.swap_ranges( state + start, state + ( start ^ both ), length );
   } );
 }
 
 void apply_scalar( amplitude* state, uint64_t dim, amplitude factor )
 {
+  const simd_ops& ops = active_ops();
   parallel_for( dim, [&]( uint64_t begin, uint64_t end ) {
-    const amplitude w = factor;
-    for ( uint64_t i = begin; i < end; ++i )
-    {
-      state[i] *= w;
-    }
+    ops.scale( state + begin, end - begin, factor );
   } );
 }
 
@@ -578,25 +584,10 @@ void apply_diag_table( amplitude* state, uint64_t dim, std::span<const uint32_t>
                        std::span<const amplitude> table )
 {
   const uint32_t k = static_cast<uint32_t>( qubits.size() );
-  /* contiguous runs below the lowest involved qubit share one key base */
-  const uint64_t low_bit = uint64_t{ 1 } << qubits.front();
-  for_each_masked_run( dim, 0u, 0u, [&]( uint64_t begin, uint64_t length ) {
-    const uint64_t end = begin + length;
-    uint64_t i = begin;
-    while ( i < end )
-    {
-      uint64_t key = 0u;
-      for ( uint32_t j = 0u; j < k; ++j )
-      {
-        key |= ( ( i >> qubits[j] ) & 1u ) << j;
-      }
-      const amplitude phase = table[key];
-      const uint64_t stretch = std::min( end, ( i | ( low_bit - 1u ) ) + 1u );
-      for ( ; i < stretch; ++i )
-      {
-        state[i] *= phase;
-      }
-    }
+  const simd_ops& ops = active_ops();
+  /* the primitive exploits constant keys on stretches below qubits[0] */
+  parallel_for( dim, [&]( uint64_t begin, uint64_t end ) {
+    ops.diag_table( state + begin, begin, end - begin, qubits.data(), k, table.data() );
   } );
 }
 
@@ -628,15 +619,16 @@ void apply_fused_kq( amplitude* state, uint64_t dim, std::span<const uint32_t> q
     }
     offsets[local] = offset;
   }
-  switch ( k )
+  /* transpose once per call: the matvec primitive wants column-major */
+  std::vector<amplitude> cols( block * block );
+  for ( uint64_t r = 0u; r < block; ++r )
   {
-  case 1u: fused_kq_impl<1u>( state, dim, support, offsets.data(), matrix.data() ); break;
-  case 2u: fused_kq_impl<2u>( state, dim, support, offsets.data(), matrix.data() ); break;
-  case 3u: fused_kq_impl<3u>( state, dim, support, offsets.data(), matrix.data() ); break;
-  case 4u: fused_kq_impl<4u>( state, dim, support, offsets.data(), matrix.data() ); break;
-  case 5u: fused_kq_impl<5u>( state, dim, support, offsets.data(), matrix.data() ); break;
-  default: fused_kq_generic( state, dim, support, k, offsets.data(), matrix.data() ); break;
+    for ( uint64_t c = 0u; c < block; ++c )
+    {
+      cols[c * block + r] = matrix[r * block + c];
+    }
   }
+  fused_kq_groups( state, dim, support, k, offsets.data(), cols.data() );
 }
 
 double norm_sum( const amplitude* state, uint64_t dim )

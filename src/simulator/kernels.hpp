@@ -18,6 +18,10 @@
  *  `set_num_threads`).  Every kernel writes disjoint elements and every
  *  reduction sums fixed-size blocks in index order, so results are
  *  bit-identical regardless of the thread count.
+ *
+ *  The contiguous inner loops dispatch to the runtime-selected SIMD
+ *  primitive table (simd.hpp: scalar / AVX2 / AVX-512, override with
+ *  QDA_SIM_ISA); this file owns only the masked index iteration.
  */
 #pragma once
 

@@ -1,0 +1,132 @@
+#include "simulator/schedule.hpp"
+
+#include "telemetry/metrics.hpp"
+
+#include <cstdlib>
+
+namespace qda::sim
+{
+
+namespace
+{
+
+/*! Per-segment bookkeeping during the walk. */
+struct open_segment
+{
+  bool tiled = false;
+  bool all_diagonal = true;
+  bool has_measure = false;
+  uint64_t support = 0u;
+  std::vector<uint32_t> op_indices;
+};
+
+bool commutes_past( uint64_t support, bool diagonal, const open_segment& seg )
+{
+  if ( seg.has_measure )
+  {
+    return false; /* never move anything across a measurement */
+  }
+  if ( ( support & seg.support ) == 0u )
+  {
+    return true;
+  }
+  return diagonal && seg.all_diagonal;
+}
+
+} // namespace
+
+uint32_t default_tile_qubits()
+{
+  static const uint32_t resolved = [] {
+    if ( const char* env = std::getenv( "QDA_SIM_TILE_QUBITS" ) )
+    {
+      const long parsed = std::strtol( env, nullptr, 10 );
+      if ( parsed >= 8l && parsed <= 24l )
+      {
+        return static_cast<uint32_t>( parsed );
+      }
+    }
+    /* 2^16 amplitudes = 1 MiB: fits typical L2 with room for the gate
+     * tables and gather buffers */
+    return 16u;
+  }();
+  return resolved;
+}
+
+void schedule_tiles( program& prog, const schedule_options& options )
+{
+  prog.segments.clear();
+  prog.tile_qubits = 0u;
+  const uint32_t tq = options.tile_qubits != 0u ? options.tile_qubits : default_tile_qubits();
+  if ( prog.num_qubits <= tq )
+  {
+    return; /* one tile would cover the whole state: nothing to block */
+  }
+  const uint64_t tile_mask = ( uint64_t{ 1 } << tq ) - 1u;
+
+  std::vector<open_segment> segments;
+  for ( uint32_t i = 0u; i < prog.ops.size(); ++i )
+  {
+    const op& o = prog.ops[i];
+    const uint64_t support = op_support( o );
+    const bool diagonal = op_is_diagonal( o );
+    const bool eligible = o.kind != op_kind::measure && ( support & ~tile_mask ) == 0u;
+
+    if ( !eligible )
+    {
+      open_segment full;
+      full.tiled = false;
+      full.all_diagonal = diagonal;
+      full.has_measure = o.kind == op_kind::measure;
+      full.support = support;
+      full.op_indices.push_back( i );
+      segments.push_back( std::move( full ) );
+      continue;
+    }
+
+    /* walk the segments back to front: join the first tiled segment we
+     * can reach by commuting past everything behind it */
+    open_segment* home = nullptr;
+    for ( size_t s = segments.size(); s-- > 0u; )
+    {
+      open_segment& candidate = segments[s];
+      if ( candidate.tiled )
+      {
+        home = &candidate; /* in-order join is always valid */
+        break;
+      }
+      if ( !commutes_past( support, diagonal, candidate ) )
+      {
+        break;
+      }
+    }
+    if ( home != nullptr )
+    {
+      home->support |= support;
+      home->all_diagonal = home->all_diagonal && diagonal;
+      home->op_indices.push_back( i );
+    }
+    else
+    {
+      open_segment fresh;
+      fresh.tiled = true;
+      fresh.all_diagonal = diagonal;
+      fresh.support = support;
+      fresh.op_indices.push_back( i );
+      segments.push_back( std::move( fresh ) );
+    }
+  }
+
+  prog.tile_qubits = tq;
+  prog.segments.reserve( segments.size() );
+  for ( auto& seg : segments )
+  {
+    tile_segment out;
+    /* a lone op gains nothing from per-tile dispatch: run it full */
+    out.tiled = seg.tiled && seg.op_indices.size() > 1u;
+    out.op_indices = std::move( seg.op_indices );
+    prog.segments.push_back( std::move( out ) );
+  }
+}
+
+} // namespace qda::sim

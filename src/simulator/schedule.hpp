@@ -1,0 +1,46 @@
+/*! \file schedule.hpp
+ *  \brief Cache-blocked tile scheduling for compiled kernel programs.
+ *
+ *  A 20+ qubit statevector (16+ MiB) does not fit in L2, so executing a
+ *  program op by op streams the whole array from memory once per op --
+ *  exactly the brickwork-circuit regime where fusion alone cannot help
+ *  because neighbouring blocks never merge.  This pass partitions the
+ *  amplitude array into 2^tile_qubits-sized tiles (1 MiB by default,
+ *  sized for L2) and groups consecutive ops whose support lies inside
+ *  the low tile qubits into *tiled segments*: the executor then sweeps
+ *  each tile once per segment, applying every op of the segment back to
+ *  back while the tile is cache-resident.
+ *
+ *  Grouping reorders ops only past ops they provably commute with
+ *  (disjoint support, or diagonal past diagonal -- the same rules the
+ *  fusion compiler uses), so the scheduled program implements the same
+ *  unitary.  Measurements never move.  Tiles are disjoint amplitude
+ *  windows, so the executor parallelizes over tiles with the usual
+ *  deterministic chunking.
+ */
+#pragma once
+
+#include "simulator/fusion.hpp"
+
+namespace qda::sim
+{
+
+/*! \brief Tiling knobs. */
+struct schedule_options
+{
+  /*! \brief Tile size as a qubit count; 0 = `default_tile_qubits()`. */
+  uint32_t tile_qubits = 0u;
+};
+
+/*! \brief Tile size used when callers pass 0: the QDA_SIM_TILE_QUBITS
+ *         environment variable (clamped to [8, 24]), else 16.
+ */
+uint32_t default_tile_qubits();
+
+/*! \brief Builds `prog.segments` / `prog.tile_qubits`.  Programs on at
+ *         most tile_qubits qubits are left unscheduled (one tile would
+ *         cover the whole state).
+ */
+void schedule_tiles( program& prog, const schedule_options& options = {} );
+
+} // namespace qda::sim

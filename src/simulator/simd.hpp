@@ -1,0 +1,139 @@
+/*! \file simd.hpp
+ *  \brief Runtime-dispatched SIMD primitives for the statevector kernels.
+ *
+ *  The bottom layer of the simulation engine: a table of contiguous-
+ *  range primitives (complex scale, amplitude-pair 2x2, antidiagonal,
+ *  range swap, dense block matvec, fused diagonal table) with one
+ *  implementation per instruction set:
+ *
+ *   - scalar: portable C++, compiled with the baseline flags;
+ *   - avx2:   256-bit paths (2 amplitudes per vector) using FMA with
+ *             the interleaved-complex shuffle/fmadd idiom;
+ *   - avx512: 512-bit paths (4 amplitudes per vector).
+ *
+ *  The active table is chosen once at startup via cpuid and can be
+ *  overridden with `QDA_SIM_ISA=scalar|avx2|avx512` or `set_isa`
+ *  (requests are clamped to what the CPU and the build support).
+ *
+ *  Determinism contract: within one ISA, every primitive computes each
+ *  element with a fixed per-element formula -- the scalar tails of the
+ *  vector paths replicate the vector-lane rounding (same FMA order) --
+ *  so results are bit-identical no matter how a range is chunked across
+ *  threads.  Different ISAs round differently (FMA vs separate
+ *  multiply/add) and agree to ~1 ulp per operation, well inside the
+ *  engine-wide 1e-12 cross-check tolerance.
+ */
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace qda::sim
+{
+
+using amplitude = std::complex<double>;
+
+/*! \brief Instruction sets the kernel layer can dispatch to. */
+enum class isa_kind : uint8_t
+{
+  scalar = 0,
+  avx2 = 1,
+  avx512 = 2
+};
+
+/*! \brief Lower-case name of an ISA ("scalar", "avx2", "avx512"). */
+const char* isa_name( isa_kind isa ) noexcept;
+
+/*! \brief Parses an ISA name; returns false on an unknown string. */
+bool isa_from_name( const char* name, isa_kind& out ) noexcept;
+
+/*! \brief Best ISA the CPU *and* this build support. */
+isa_kind detected_isa() noexcept;
+
+/*! \brief True when `isa` is usable on this CPU with this build. */
+bool isa_available( isa_kind isa ) noexcept;
+
+/*! \brief ISA the kernels currently dispatch to: `detected_isa()`
+ *         unless overridden by QDA_SIM_ISA or `set_isa`.
+ */
+isa_kind active_isa() noexcept;
+
+/*! \brief Requests an ISA (clamped to `detected_isa()` when the CPU or
+ *         build lacks it); returns the ISA actually activated.
+ */
+isa_kind set_isa( isa_kind isa ) noexcept;
+
+/*! \brief Per-ISA table of contiguous-range kernel primitives.  All
+ *         ranges are dense in memory; the masked-run iteration above
+ *         them lives in kernels.cpp and is ISA-independent.
+ */
+struct simd_ops
+{
+  isa_kind isa = isa_kind::scalar;
+
+  /*! amp[i] *= w for i in [0, n). */
+  void ( *scale )( amplitude* amp, uint64_t n, amplitude w );
+
+  /*! amp[2i] *= p0, amp[2i+1] *= p1 for i in [0, n_pairs): the
+   *  qubit-0 diagonal (and bit-0 masked phase, with p0 = 1). */
+  void ( *scale_pairs )( amplitude* amp, uint64_t n_pairs, amplitude p0, amplitude p1 );
+
+  /*! Generic 2x2 over split halves: (lo[i], hi[i]) pairs, m row-major. */
+  void ( *pair_2x2 )( amplitude* lo, amplitude* hi, uint64_t n, const amplitude* m );
+
+  /*! Generic 2x2 over adjacent pairs (amp[2i], amp[2i+1]): qubit 0. */
+  void ( *pair_2x2_interleaved )( amplitude* amp, uint64_t n_pairs, const amplitude* m );
+
+  /*! lo[i] = m01 * hi[i]; hi[i] = m10 * lo_old[i]. */
+  void ( *pair_antidiag )( amplitude* lo, amplitude* hi, uint64_t n, amplitude m01,
+                           amplitude m10 );
+
+  /*! a[i] <-> b[i] (X / CX / MCX runs with target above bit 0). */
+  void ( *swap_ranges )( amplitude* a, amplitude* b, uint64_t n );
+
+  /*! amp[2i] <-> amp[2i+1] (X runs with target bit 0). */
+  void ( *swap_adjacent )( amplitude* amp, uint64_t n_pairs );
+
+  /*! In-place dense-block apply over `groups` consecutive blocks of
+   *  `bs` amplitudes:  amp[g*bs + r] = sum_c old[g*bs + c] * cols[c*bs + r]
+   *  with cols COLUMN-major (one block column contiguous); bs <= 1024.
+   *  Batched so the per-block dispatch cost amortizes and the vector
+   *  paths can keep the (tiny) matrix hot across blocks. */
+  void ( *matvec_batch )( amplitude* amp, const amplitude* cols, uint64_t bs, uint64_t groups );
+
+  /*! k-stream in-place dense-block apply: streams[c] points to the c-th
+   *  block member of `n` consecutive group bases (stream c = state +
+   *  base + offsets[c], contiguous in memory because group bases within
+   *  a run are consecutive).  out_r[j] = sum_c cols[c*bs + r] * in_c[j],
+   *  cols COLUMN-major as in matvec_batch; bs <= 8 only -- {4, 8} take
+   *  the vector path, other sizes fall back to a scalar sweep. */
+  void ( *block_streams )( amplitude* const* streams, uint64_t bs, uint64_t n,
+                           const amplitude* cols );
+
+  /*! Fused diagonal table over a contiguous index window: multiplies
+   *  amp[i] by table[key(base + i)] where key gathers the bits of
+   *  `qubits` (qubits[j] -> bit j, ascending).  Exploits constant keys
+   *  across stretches below qubits[0]. */
+  void ( *diag_table )( amplitude* amp, uint64_t base, uint64_t n, const uint32_t* qubits,
+                        uint32_t k, const amplitude* table );
+};
+
+/*! \brief The primitive table for `active_isa()`. */
+const simd_ops& active_ops() noexcept;
+
+/*! \brief The primitive table for a specific ISA (falls back to scalar
+ *         when unavailable).
+ */
+const simd_ops& ops_for( isa_kind isa ) noexcept;
+
+namespace detail
+{
+/*! Per-ISA tables; nullptr when the build or CPU lacks the ISA.  The
+ *  AVX TUs are always compiled -- without their -m flags they compile
+ *  to a stub returning nullptr. */
+const simd_ops* scalar_ops() noexcept;
+const simd_ops* avx2_ops() noexcept;
+const simd_ops* avx512_ops() noexcept;
+} // namespace detail
+
+} // namespace qda::sim

@@ -1,0 +1,438 @@
+/*! \file simd_avx2.cpp
+ *  \brief AVX2+FMA primitive table (2 amplitudes per 256-bit vector).
+ *
+ *  This TU is always part of the build; without QDA_SIMD_BUILD_AVX2
+ *  (set by CMake when -mavx2 -mfma are accepted) it compiles to a stub
+ *  returning nullptr.  Scalar tails replicate the vector-lane rounding
+ *  exactly (std::fma compiles to vfmadd here) so any chunk split across
+ *  threads lands on the same bits.
+ */
+#include "simulator/simd.hpp"
+
+#if defined( QDA_SIMD_BUILD_AVX2 ) && ( defined( __x86_64__ ) || defined( __i386__ ) )
+
+#include <cmath>
+#include <immintrin.h>
+
+namespace qda::sim
+{
+
+namespace
+{
+
+/* Interleaved-complex coefficient: broadcast real part plus the
+ * sign-alternated imaginary part, so x*w is two fmadds with no
+ * fmaddsub sign surprises when accumulating. */
+struct coeff
+{
+  __m256d re;
+  __m256d im_alt;
+  double wr;
+  double wi;
+};
+
+inline coeff make_coeff( amplitude w ) noexcept
+{
+  coeff c;
+  c.wr = w.real();
+  c.wi = w.imag();
+  c.re = _mm256_set1_pd( c.wr );
+  c.im_alt = _mm256_setr_pd( -c.wi, c.wi, -c.wi, c.wi );
+  return c;
+}
+
+inline __m256d swap_reim( __m256d x ) noexcept
+{
+  return _mm256_permute_pd( x, 0x5 );
+}
+
+/* [x0*w, x1*w] for two interleaved complex amplitudes. */
+inline __m256d cmul( __m256d x, const coeff& w ) noexcept
+{
+  return _mm256_fmadd_pd( swap_reim( x ), w.im_alt, _mm256_mul_pd( x, w.re ) );
+}
+
+/* acc + x*w, matching cmul's rounding structure. */
+inline __m256d cmul_acc( __m256d acc, __m256d x, const coeff& w ) noexcept
+{
+  return _mm256_fmadd_pd( swap_reim( x ), w.im_alt, _mm256_fmadd_pd( x, w.re, acc ) );
+}
+
+/* Scalar replicas of the vector lanes -- same FMA placement, same bits. */
+inline amplitude cmul1( amplitude x, const coeff& w ) noexcept
+{
+  const double xr = x.real(), xi = x.imag();
+  return { std::fma( xi, -w.wi, xr * w.wr ), std::fma( xr, w.wi, xi * w.wr ) };
+}
+
+inline amplitude cmul_acc1( amplitude acc, amplitude x, const coeff& w ) noexcept
+{
+  const double xr = x.real(), xi = x.imag();
+  return { std::fma( xi, -w.wi, std::fma( xr, w.wr, acc.real() ) ),
+           std::fma( xr, w.wi, std::fma( xi, w.wr, acc.imag() ) ) };
+}
+
+void scale_avx2( amplitude* amp, uint64_t n, amplitude w )
+{
+  const coeff c = make_coeff( w );
+  double* p = reinterpret_cast<double*>( amp );
+  uint64_t i = 0u;
+  for ( ; i + 2u <= n; i += 2u )
+  {
+    _mm256_storeu_pd( p + 2u * i, cmul( _mm256_loadu_pd( p + 2u * i ), c ) );
+  }
+  for ( ; i < n; ++i )
+  {
+    amp[i] = cmul1( amp[i], c );
+  }
+}
+
+void scale_pairs_avx2( amplitude* amp, uint64_t n_pairs, amplitude p0, amplitude p1 )
+{
+  /* one vector holds exactly one (even, odd) pair */
+  const __m256d re = _mm256_setr_pd( p0.real(), p0.real(), p1.real(), p1.real() );
+  const __m256d im_alt = _mm256_setr_pd( -p0.imag(), p0.imag(), -p1.imag(), p1.imag() );
+  double* p = reinterpret_cast<double*>( amp );
+  for ( uint64_t i = 0u; i < n_pairs; ++i )
+  {
+    const __m256d x = _mm256_loadu_pd( p + 4u * i );
+    _mm256_storeu_pd( p + 4u * i,
+                      _mm256_fmadd_pd( swap_reim( x ), im_alt, _mm256_mul_pd( x, re ) ) );
+  }
+}
+
+void pair_2x2_avx2( amplitude* lo, amplitude* hi, uint64_t n, const amplitude* m )
+{
+  const coeff c0 = make_coeff( m[0] ), c1 = make_coeff( m[1] );
+  const coeff c2 = make_coeff( m[2] ), c3 = make_coeff( m[3] );
+  double* plo = reinterpret_cast<double*>( lo );
+  double* phi = reinterpret_cast<double*>( hi );
+  uint64_t i = 0u;
+  for ( ; i + 2u <= n; i += 2u )
+  {
+    const __m256d a0 = _mm256_loadu_pd( plo + 2u * i );
+    const __m256d a1 = _mm256_loadu_pd( phi + 2u * i );
+    _mm256_storeu_pd( plo + 2u * i, cmul_acc( cmul( a0, c0 ), a1, c1 ) );
+    _mm256_storeu_pd( phi + 2u * i, cmul_acc( cmul( a0, c2 ), a1, c3 ) );
+  }
+  for ( ; i < n; ++i )
+  {
+    const amplitude a0 = lo[i];
+    const amplitude a1 = hi[i];
+    lo[i] = cmul_acc1( cmul1( a0, c0 ), a1, c1 );
+    hi[i] = cmul_acc1( cmul1( a0, c2 ), a1, c3 );
+  }
+}
+
+void pair_2x2_interleaved_avx2( amplitude* amp, uint64_t n_pairs, const amplitude* m )
+{
+  /* one vector = one (a0, a1) pair; low 128 computes a0' with (m0, m1),
+   * high 128 computes a1' with (m3, m2) against the half-swapped copy */
+  const __m256d re_a = _mm256_setr_pd( m[0].real(), m[0].real(), m[3].real(), m[3].real() );
+  const __m256d im_a =
+      _mm256_setr_pd( -m[0].imag(), m[0].imag(), -m[3].imag(), m[3].imag() );
+  const __m256d re_b = _mm256_setr_pd( m[1].real(), m[1].real(), m[2].real(), m[2].real() );
+  const __m256d im_b =
+      _mm256_setr_pd( -m[1].imag(), m[1].imag(), -m[2].imag(), m[2].imag() );
+  double* p = reinterpret_cast<double*>( amp );
+  for ( uint64_t i = 0u; i < n_pairs; ++i )
+  {
+    const __m256d x = _mm256_loadu_pd( p + 4u * i );
+    const __m256d y = _mm256_permute2f128_pd( x, x, 0x01 );
+    const __m256d t = _mm256_fmadd_pd( swap_reim( x ), im_a, _mm256_mul_pd( x, re_a ) );
+    const __m256d r =
+        _mm256_fmadd_pd( swap_reim( y ), im_b, _mm256_fmadd_pd( y, re_b, t ) );
+    _mm256_storeu_pd( p + 4u * i, r );
+  }
+}
+
+void pair_antidiag_avx2( amplitude* lo, amplitude* hi, uint64_t n, amplitude m01,
+                         amplitude m10 )
+{
+  const coeff c01 = make_coeff( m01 ), c10 = make_coeff( m10 );
+  double* plo = reinterpret_cast<double*>( lo );
+  double* phi = reinterpret_cast<double*>( hi );
+  uint64_t i = 0u;
+  for ( ; i + 2u <= n; i += 2u )
+  {
+    const __m256d a0 = _mm256_loadu_pd( plo + 2u * i );
+    const __m256d a1 = _mm256_loadu_pd( phi + 2u * i );
+    _mm256_storeu_pd( plo + 2u * i, cmul( a1, c01 ) );
+    _mm256_storeu_pd( phi + 2u * i, cmul( a0, c10 ) );
+  }
+  for ( ; i < n; ++i )
+  {
+    const amplitude a0 = lo[i];
+    lo[i] = cmul1( hi[i], c01 );
+    hi[i] = cmul1( a0, c10 );
+  }
+}
+
+void swap_ranges_avx2( amplitude* a, amplitude* b, uint64_t n )
+{
+  double* pa = reinterpret_cast<double*>( a );
+  double* pb = reinterpret_cast<double*>( b );
+  uint64_t i = 0u;
+  for ( ; i + 2u <= n; i += 2u )
+  {
+    const __m256d va = _mm256_loadu_pd( pa + 2u * i );
+    const __m256d vb = _mm256_loadu_pd( pb + 2u * i );
+    _mm256_storeu_pd( pa + 2u * i, vb );
+    _mm256_storeu_pd( pb + 2u * i, va );
+  }
+  for ( ; i < n; ++i )
+  {
+    const amplitude tmp = a[i];
+    a[i] = b[i];
+    b[i] = tmp;
+  }
+}
+
+void swap_adjacent_avx2( amplitude* amp, uint64_t n_pairs )
+{
+  double* p = reinterpret_cast<double*>( amp );
+  for ( uint64_t i = 0u; i < n_pairs; ++i )
+  {
+    const __m256d x = _mm256_loadu_pd( p + 4u * i );
+    _mm256_storeu_pd( p + 4u * i, _mm256_permute2f128_pd( x, x, 0x01 ) );
+  }
+}
+
+/* One block, out-of-place: the generic fallback of the batch below. */
+void matvec_avx2( amplitude* out, const amplitude* cols, const amplitude* in, uint64_t bs )
+{
+  double* po = reinterpret_cast<double*>( out );
+  uint64_t r = 0u;
+  for ( ; r + 2u <= bs; r += 2u )
+  {
+    _mm256_storeu_pd( po + 2u * r, _mm256_setzero_pd() );
+  }
+  for ( ; r < bs; ++r )
+  {
+    out[r] = amplitude{ 0.0 };
+  }
+  for ( uint64_t c = 0u; c < bs; ++c )
+  {
+    const coeff w = make_coeff( in[c] );
+    const double* pc = reinterpret_cast<const double*>( cols + c * bs );
+    uint64_t rr = 0u;
+    for ( ; rr + 2u <= bs; rr += 2u )
+    {
+      const __m256d acc = _mm256_loadu_pd( po + 2u * rr );
+      const __m256d x = _mm256_loadu_pd( pc + 2u * rr );
+      _mm256_storeu_pd( po + 2u * rr, cmul_acc( acc, x, w ) );
+    }
+    for ( ; rr < bs; ++rr )
+    {
+      out[rr] = cmul_acc1( out[rr], cols[c * bs + rr], w );
+    }
+  }
+}
+
+/*! Small dense blocks (4 or 8 amplitudes = VPG vectors per group): the
+ *  reim-swapped columns are precomputed once so the inner loop is pure
+ *  broadcast + FMA -- same per-element formula as cmul_acc, so results
+ *  match the generic path's rounding exactly. */
+template<int VPG>
+void matvec_batch_small_avx2( amplitude* amp, const amplitude* cols, uint64_t groups )
+{
+  const uint64_t bs = 2u * VPG;
+  alignas( 32 ) double sw[2u * 64u];
+  const double* pc = reinterpret_cast<const double*>( cols );
+  for ( uint64_t i = 0u; i + 4u <= 2u * bs * bs; i += 4u )
+  {
+    _mm256_store_pd( sw + i, swap_reim( _mm256_loadu_pd( pc + i ) ) );
+  }
+  const __m256d sign_even = _mm256_setr_pd( -0.0, 0.0, -0.0, 0.0 );
+  double* p = reinterpret_cast<double*>( amp );
+  for ( uint64_t g = 0u; g < groups; ++g, p += 2u * bs )
+  {
+    __m256d acc[VPG];
+    for ( int v = 0; v < VPG; ++v )
+    {
+      acc[v] = _mm256_setzero_pd();
+    }
+    for ( uint64_t c = 0u; c < bs; ++c )
+    {
+      const __m256d wre = _mm256_set1_pd( p[2u * c] );
+      const __m256d wim_alt = _mm256_xor_pd( _mm256_set1_pd( p[2u * c + 1u] ), sign_even );
+      for ( int v = 0; v < VPG; ++v )
+      {
+        const __m256d col = _mm256_loadu_pd( pc + 2u * c * bs + 4u * v );
+        const __m256d col_sw = _mm256_load_pd( sw + 2u * c * bs + 4u * v );
+        acc[v] = _mm256_fmadd_pd( col_sw, wim_alt, _mm256_fmadd_pd( col, wre, acc[v] ) );
+      }
+    }
+    for ( int v = 0; v < VPG; ++v )
+    {
+      _mm256_storeu_pd( p + 4u * v, acc[v] );
+    }
+  }
+}
+
+void matvec_batch_avx2( amplitude* amp, const amplitude* cols, uint64_t bs, uint64_t groups )
+{
+  if ( bs == 4u )
+  {
+    matvec_batch_small_avx2<2>( amp, cols, groups );
+    return;
+  }
+  if ( bs == 8u )
+  {
+    matvec_batch_small_avx2<4>( amp, cols, groups );
+    return;
+  }
+  alignas( 32 ) amplitude tmp[uint64_t{ 1 } << 10u];
+  for ( uint64_t g = 0u; g < groups; ++g )
+  {
+    amplitude* grp = amp + g * bs;
+    double* pg = reinterpret_cast<double*>( grp );
+    double* pt = reinterpret_cast<double*>( tmp );
+    uint64_t i = 0u;
+    for ( ; i + 2u <= bs; i += 2u )
+    {
+      _mm256_store_pd( pt + 2u * i, _mm256_loadu_pd( pg + 2u * i ) );
+    }
+    for ( ; i < bs; ++i )
+    {
+      tmp[i] = grp[i];
+    }
+    matvec_avx2( grp, cols, tmp, bs );
+  }
+}
+
+/*! BS strided streams, no staging copies: all BS inputs are loaded
+ *  before any output is stored, coefficients broadcast from the cols
+ *  memory (L1-hot, 1 KiB at most).  Same per-element FMA formula as the
+ *  batch path, so any chunking of `n` is bit-identical. */
+template<int BS>
+void block_streams_impl_avx2( amplitude* const* streams, uint64_t n, const amplitude* cols )
+{
+  const double* pm = reinterpret_cast<const double*>( cols );
+  const __m256d sign_even = _mm256_setr_pd( -0.0, 0.0, -0.0, 0.0 );
+  uint64_t j = 0u;
+  for ( ; j + 2u <= n; j += 2u )
+  {
+    __m256d x[BS], xs[BS];
+    for ( int c = 0; c < BS; ++c )
+    {
+      x[c] = _mm256_loadu_pd( reinterpret_cast<const double*>( streams[c] + j ) );
+      xs[c] = swap_reim( x[c] );
+    }
+    for ( int r = 0; r < BS; ++r )
+    {
+      __m256d acc = _mm256_setzero_pd();
+      for ( int c = 0; c < BS; ++c )
+      {
+        const __m256d wre = _mm256_set1_pd( pm[2 * ( c * BS + r )] );
+        const __m256d wim_alt =
+            _mm256_xor_pd( _mm256_set1_pd( pm[2 * ( c * BS + r ) + 1] ), sign_even );
+        acc = _mm256_fmadd_pd( xs[c], wim_alt, _mm256_fmadd_pd( x[c], wre, acc ) );
+      }
+      _mm256_storeu_pd( reinterpret_cast<double*>( streams[r] + j ), acc );
+    }
+  }
+  for ( ; j < n; ++j )
+  {
+    amplitude x1[BS];
+    for ( int c = 0; c < BS; ++c )
+    {
+      x1[c] = streams[c][j];
+    }
+    for ( int r = 0; r < BS; ++r )
+    {
+      amplitude acc{ 0.0 };
+      for ( int c = 0; c < BS; ++c )
+      {
+        acc = cmul_acc1( acc, x1[c], make_coeff( cols[c * BS + r] ) );
+      }
+      streams[r][j] = acc;
+    }
+  }
+}
+
+void block_streams_avx2( amplitude* const* streams, uint64_t bs, uint64_t n,
+                         const amplitude* cols )
+{
+  if ( bs == 4u )
+  {
+    block_streams_impl_avx2<4>( streams, n, cols );
+    return;
+  }
+  if ( bs == 8u )
+  {
+    block_streams_impl_avx2<8>( streams, n, cols );
+    return;
+  }
+  /* other sizes: scalar sweep with the vector-lane FMA formula */
+  amplitude x[8];
+  for ( uint64_t j = 0u; j < n; ++j )
+  {
+    for ( uint64_t c = 0u; c < bs; ++c )
+    {
+      x[c] = streams[c][j];
+    }
+    for ( uint64_t r = 0u; r < bs; ++r )
+    {
+      amplitude acc{ 0.0 };
+      for ( uint64_t c = 0u; c < bs; ++c )
+      {
+        acc = cmul_acc1( acc, x[c], make_coeff( cols[c * bs + r] ) );
+      }
+      streams[r][j] = acc;
+    }
+  }
+}
+
+void diag_table_avx2( amplitude* amp, uint64_t base, uint64_t n, const uint32_t* qubits,
+                      uint32_t k, const amplitude* table )
+{
+  const uint64_t stretch_len = uint64_t{ 1 } << qubits[0];
+  const uint64_t end = base + n;
+  uint64_t i = base;
+  while ( i < end )
+  {
+    uint64_t key = 0u;
+    for ( uint32_t j = 0u; j < k; ++j )
+    {
+      key |= ( ( i >> qubits[j] ) & 1u ) << j;
+    }
+    const uint64_t stretch = std::min( end, ( i | ( stretch_len - 1u ) ) + 1u );
+    scale_avx2( amp + ( i - base ), stretch - i, table[key] );
+    i = stretch;
+  }
+}
+
+const simd_ops avx2_table = {
+  isa_kind::avx2,   scale_avx2,        scale_pairs_avx2,  pair_2x2_avx2,
+  pair_2x2_interleaved_avx2, pair_antidiag_avx2, swap_ranges_avx2, swap_adjacent_avx2,
+  matvec_batch_avx2, block_streams_avx2, diag_table_avx2,
+};
+
+} // namespace
+
+namespace detail
+{
+
+const simd_ops* avx2_ops() noexcept
+{
+  return &avx2_table;
+}
+
+} // namespace detail
+
+} // namespace qda::sim
+
+#else
+
+namespace qda::sim::detail
+{
+
+const simd_ops* avx2_ops() noexcept
+{
+  return nullptr;
+}
+
+} // namespace qda::sim::detail
+
+#endif

@@ -1,0 +1,465 @@
+/*! \file simd_avx512.cpp
+ *  \brief AVX-512F primitive table (4 amplitudes per 512-bit vector).
+ *
+ *  Same contract as simd_avx2.cpp: always compiled, stubs to nullptr
+ *  without QDA_SIMD_BUILD_AVX512, and every scalar tail replicates the
+ *  vector-lane FMA rounding so thread-chunk splits stay bit-identical.
+ *  Only AVX-512F intrinsics are used (no VL/DQ dependence).
+ */
+#include "simulator/simd.hpp"
+
+#if defined( QDA_SIMD_BUILD_AVX512 ) && ( defined( __x86_64__ ) || defined( __i386__ ) )
+
+#include <cmath>
+#include <immintrin.h>
+
+namespace qda::sim
+{
+
+namespace
+{
+
+struct coeff
+{
+  __m512d re;
+  __m512d im_alt;
+  double wr;
+  double wi;
+};
+
+inline coeff make_coeff( amplitude w ) noexcept
+{
+  coeff c;
+  c.wr = w.real();
+  c.wi = w.imag();
+  c.re = _mm512_set1_pd( c.wr );
+  c.im_alt = _mm512_setr_pd( -c.wi, c.wi, -c.wi, c.wi, -c.wi, c.wi, -c.wi, c.wi );
+  return c;
+}
+
+inline __m512d swap_reim( __m512d x ) noexcept
+{
+  return _mm512_permute_pd( x, 0x55 );
+}
+
+/* swap the two 128-bit complex slots inside each 256-bit half */
+inline __m512d swap_pairs( __m512d x ) noexcept
+{
+  return _mm512_shuffle_f64x2( x, x, _MM_SHUFFLE( 2, 3, 0, 1 ) );
+}
+
+inline __m512d cmul( __m512d x, const coeff& w ) noexcept
+{
+  return _mm512_fmadd_pd( swap_reim( x ), w.im_alt, _mm512_mul_pd( x, w.re ) );
+}
+
+inline __m512d cmul_acc( __m512d acc, __m512d x, const coeff& w ) noexcept
+{
+  return _mm512_fmadd_pd( swap_reim( x ), w.im_alt, _mm512_fmadd_pd( x, w.re, acc ) );
+}
+
+inline amplitude cmul1( amplitude x, const coeff& w ) noexcept
+{
+  const double xr = x.real(), xi = x.imag();
+  return { std::fma( xi, -w.wi, xr * w.wr ), std::fma( xr, w.wi, xi * w.wr ) };
+}
+
+inline amplitude cmul_acc1( amplitude acc, amplitude x, const coeff& w ) noexcept
+{
+  const double xr = x.real(), xi = x.imag();
+  return { std::fma( xi, -w.wi, std::fma( xr, w.wr, acc.real() ) ),
+           std::fma( xr, w.wi, std::fma( xi, w.wr, acc.imag() ) ) };
+}
+
+void scale_avx512( amplitude* amp, uint64_t n, amplitude w )
+{
+  const coeff c = make_coeff( w );
+  double* p = reinterpret_cast<double*>( amp );
+  uint64_t i = 0u;
+  for ( ; i + 4u <= n; i += 4u )
+  {
+    _mm512_storeu_pd( p + 2u * i, cmul( _mm512_loadu_pd( p + 2u * i ), c ) );
+  }
+  for ( ; i < n; ++i )
+  {
+    amp[i] = cmul1( amp[i], c );
+  }
+}
+
+void scale_pairs_avx512( amplitude* amp, uint64_t n_pairs, amplitude p0, amplitude p1 )
+{
+  const __m512d re = _mm512_setr_pd( p0.real(), p0.real(), p1.real(), p1.real(), p0.real(),
+                                     p0.real(), p1.real(), p1.real() );
+  const __m512d im_alt = _mm512_setr_pd( -p0.imag(), p0.imag(), -p1.imag(), p1.imag(),
+                                         -p0.imag(), p0.imag(), -p1.imag(), p1.imag() );
+  const coeff c0 = make_coeff( p0 ), c1 = make_coeff( p1 );
+  double* p = reinterpret_cast<double*>( amp );
+  uint64_t i = 0u;
+  for ( ; i + 2u <= n_pairs; i += 2u )
+  {
+    const __m512d x = _mm512_loadu_pd( p + 4u * i );
+    _mm512_storeu_pd( p + 4u * i,
+                      _mm512_fmadd_pd( swap_reim( x ), im_alt, _mm512_mul_pd( x, re ) ) );
+  }
+  for ( ; i < n_pairs; ++i )
+  {
+    amp[2u * i] = cmul1( amp[2u * i], c0 );
+    amp[2u * i + 1u] = cmul1( amp[2u * i + 1u], c1 );
+  }
+}
+
+void pair_2x2_avx512( amplitude* lo, amplitude* hi, uint64_t n, const amplitude* m )
+{
+  const coeff c0 = make_coeff( m[0] ), c1 = make_coeff( m[1] );
+  const coeff c2 = make_coeff( m[2] ), c3 = make_coeff( m[3] );
+  double* plo = reinterpret_cast<double*>( lo );
+  double* phi = reinterpret_cast<double*>( hi );
+  uint64_t i = 0u;
+  for ( ; i + 4u <= n; i += 4u )
+  {
+    const __m512d a0 = _mm512_loadu_pd( plo + 2u * i );
+    const __m512d a1 = _mm512_loadu_pd( phi + 2u * i );
+    _mm512_storeu_pd( plo + 2u * i, cmul_acc( cmul( a0, c0 ), a1, c1 ) );
+    _mm512_storeu_pd( phi + 2u * i, cmul_acc( cmul( a0, c2 ), a1, c3 ) );
+  }
+  for ( ; i < n; ++i )
+  {
+    const amplitude a0 = lo[i];
+    const amplitude a1 = hi[i];
+    lo[i] = cmul_acc1( cmul1( a0, c0 ), a1, c1 );
+    hi[i] = cmul_acc1( cmul1( a0, c2 ), a1, c3 );
+  }
+}
+
+void pair_2x2_interleaved_avx512( amplitude* amp, uint64_t n_pairs, const amplitude* m )
+{
+  const __m512d re_a = _mm512_setr_pd( m[0].real(), m[0].real(), m[3].real(), m[3].real(),
+                                       m[0].real(), m[0].real(), m[3].real(), m[3].real() );
+  const __m512d im_a = _mm512_setr_pd( -m[0].imag(), m[0].imag(), -m[3].imag(), m[3].imag(),
+                                       -m[0].imag(), m[0].imag(), -m[3].imag(), m[3].imag() );
+  const __m512d re_b = _mm512_setr_pd( m[1].real(), m[1].real(), m[2].real(), m[2].real(),
+                                       m[1].real(), m[1].real(), m[2].real(), m[2].real() );
+  const __m512d im_b = _mm512_setr_pd( -m[1].imag(), m[1].imag(), -m[2].imag(), m[2].imag(),
+                                       -m[1].imag(), m[1].imag(), -m[2].imag(), m[2].imag() );
+  const coeff c0 = make_coeff( m[0] ), c1 = make_coeff( m[1] );
+  const coeff c2 = make_coeff( m[2] ), c3 = make_coeff( m[3] );
+  double* p = reinterpret_cast<double*>( amp );
+  uint64_t i = 0u;
+  for ( ; i + 2u <= n_pairs; i += 2u )
+  {
+    const __m512d x = _mm512_loadu_pd( p + 4u * i );
+    const __m512d y = swap_pairs( x );
+    const __m512d t = _mm512_fmadd_pd( swap_reim( x ), im_a, _mm512_mul_pd( x, re_a ) );
+    const __m512d r = _mm512_fmadd_pd( swap_reim( y ), im_b, _mm512_fmadd_pd( y, re_b, t ) );
+    _mm512_storeu_pd( p + 4u * i, r );
+  }
+  for ( ; i < n_pairs; ++i )
+  {
+    const amplitude a0 = amp[2u * i];
+    const amplitude a1 = amp[2u * i + 1u];
+    amp[2u * i] = cmul_acc1( cmul1( a0, c0 ), a1, c1 );
+    amp[2u * i + 1u] = cmul_acc1( cmul1( a1, c3 ), a0, c2 );
+  }
+}
+
+void pair_antidiag_avx512( amplitude* lo, amplitude* hi, uint64_t n, amplitude m01,
+                           amplitude m10 )
+{
+  const coeff c01 = make_coeff( m01 ), c10 = make_coeff( m10 );
+  double* plo = reinterpret_cast<double*>( lo );
+  double* phi = reinterpret_cast<double*>( hi );
+  uint64_t i = 0u;
+  for ( ; i + 4u <= n; i += 4u )
+  {
+    const __m512d a0 = _mm512_loadu_pd( plo + 2u * i );
+    const __m512d a1 = _mm512_loadu_pd( phi + 2u * i );
+    _mm512_storeu_pd( plo + 2u * i, cmul( a1, c01 ) );
+    _mm512_storeu_pd( phi + 2u * i, cmul( a0, c10 ) );
+  }
+  for ( ; i < n; ++i )
+  {
+    const amplitude a0 = lo[i];
+    lo[i] = cmul1( hi[i], c01 );
+    hi[i] = cmul1( a0, c10 );
+  }
+}
+
+void swap_ranges_avx512( amplitude* a, amplitude* b, uint64_t n )
+{
+  double* pa = reinterpret_cast<double*>( a );
+  double* pb = reinterpret_cast<double*>( b );
+  uint64_t i = 0u;
+  for ( ; i + 4u <= n; i += 4u )
+  {
+    const __m512d va = _mm512_loadu_pd( pa + 2u * i );
+    const __m512d vb = _mm512_loadu_pd( pb + 2u * i );
+    _mm512_storeu_pd( pa + 2u * i, vb );
+    _mm512_storeu_pd( pb + 2u * i, va );
+  }
+  for ( ; i < n; ++i )
+  {
+    const amplitude tmp = a[i];
+    a[i] = b[i];
+    b[i] = tmp;
+  }
+}
+
+void swap_adjacent_avx512( amplitude* amp, uint64_t n_pairs )
+{
+  double* p = reinterpret_cast<double*>( amp );
+  uint64_t i = 0u;
+  for ( ; i + 2u <= n_pairs; i += 2u )
+  {
+    const __m512d x = _mm512_loadu_pd( p + 4u * i );
+    _mm512_storeu_pd( p + 4u * i, swap_pairs( x ) );
+  }
+  for ( ; i < n_pairs; ++i )
+  {
+    const amplitude tmp = amp[2u * i];
+    amp[2u * i] = amp[2u * i + 1u];
+    amp[2u * i + 1u] = tmp;
+  }
+}
+
+/* One block, out-of-place: the generic fallback of the batch below. */
+void matvec_avx512( amplitude* out, const amplitude* cols, const amplitude* in, uint64_t bs )
+{
+  double* po = reinterpret_cast<double*>( out );
+  uint64_t r = 0u;
+  for ( ; r + 4u <= bs; r += 4u )
+  {
+    _mm512_storeu_pd( po + 2u * r, _mm512_setzero_pd() );
+  }
+  for ( ; r < bs; ++r )
+  {
+    out[r] = amplitude{ 0.0 };
+  }
+  for ( uint64_t c = 0u; c < bs; ++c )
+  {
+    const coeff w = make_coeff( in[c] );
+    const double* pc = reinterpret_cast<const double*>( cols + c * bs );
+    uint64_t rr = 0u;
+    for ( ; rr + 4u <= bs; rr += 4u )
+    {
+      const __m512d acc = _mm512_loadu_pd( po + 2u * rr );
+      const __m512d x = _mm512_loadu_pd( pc + 2u * rr );
+      _mm512_storeu_pd( po + 2u * rr, cmul_acc( acc, x, w ) );
+    }
+    for ( ; rr < bs; ++rr )
+    {
+      out[rr] = cmul_acc1( out[rr], cols[c * bs + rr], w );
+    }
+  }
+}
+
+/*! Small dense blocks (4 or 8 amplitudes = VPG vectors per group): the
+ *  reim-swapped columns are precomputed once so the inner loop is pure
+ *  broadcast + FMA -- same per-element formula as cmul_acc, so results
+ *  match the generic path's rounding exactly. */
+template<int VPG>
+void matvec_batch_small_avx512( amplitude* amp, const amplitude* cols, uint64_t groups )
+{
+  const uint64_t bs = 4u * VPG;
+  alignas( 64 ) double sw[2u * 64u];
+  const double* pc = reinterpret_cast<const double*>( cols );
+  for ( uint64_t i = 0u; i + 8u <= 2u * bs * bs; i += 8u )
+  {
+    _mm512_store_pd( sw + i, swap_reim( _mm512_loadu_pd( pc + i ) ) );
+  }
+  const __m512d sign_even = _mm512_setr_pd( -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0 );
+  double* p = reinterpret_cast<double*>( amp );
+  for ( uint64_t g = 0u; g < groups; ++g, p += 2u * bs )
+  {
+    __m512d acc[VPG];
+    for ( int v = 0; v < VPG; ++v )
+    {
+      acc[v] = _mm512_setzero_pd();
+    }
+    for ( uint64_t c = 0u; c < bs; ++c )
+    {
+      const __m512d wre = _mm512_set1_pd( p[2u * c] );
+      /* xor via the integer domain: _mm512_xor_pd needs AVX-512DQ */
+      const __m512d wim_alt = _mm512_castsi512_pd(
+          _mm512_xor_si512( _mm512_castpd_si512( _mm512_set1_pd( p[2u * c + 1u] ) ),
+                            _mm512_castpd_si512( sign_even ) ) );
+      for ( int v = 0; v < VPG; ++v )
+      {
+        const __m512d col = _mm512_loadu_pd( pc + 2u * c * bs + 8u * v );
+        const __m512d col_sw = _mm512_load_pd( sw + 2u * c * bs + 8u * v );
+        acc[v] = _mm512_fmadd_pd( col_sw, wim_alt, _mm512_fmadd_pd( col, wre, acc[v] ) );
+      }
+    }
+    for ( int v = 0; v < VPG; ++v )
+    {
+      _mm512_storeu_pd( p + 8u * v, acc[v] );
+    }
+  }
+}
+
+void matvec_batch_avx512( amplitude* amp, const amplitude* cols, uint64_t bs, uint64_t groups )
+{
+  if ( bs == 4u )
+  {
+    matvec_batch_small_avx512<1>( amp, cols, groups );
+    return;
+  }
+  if ( bs == 8u )
+  {
+    matvec_batch_small_avx512<2>( amp, cols, groups );
+    return;
+  }
+  alignas( 64 ) amplitude tmp[uint64_t{ 1 } << 10u];
+  for ( uint64_t g = 0u; g < groups; ++g )
+  {
+    amplitude* grp = amp + g * bs;
+    double* pg = reinterpret_cast<double*>( grp );
+    double* pt = reinterpret_cast<double*>( tmp );
+    uint64_t i = 0u;
+    for ( ; i + 4u <= bs; i += 4u )
+    {
+      _mm512_store_pd( pt + 2u * i, _mm512_loadu_pd( pg + 2u * i ) );
+    }
+    for ( ; i < bs; ++i )
+    {
+      tmp[i] = grp[i];
+    }
+    matvec_avx512( grp, cols, tmp, bs );
+  }
+}
+
+/*! BS strided streams, no staging copies: all BS inputs are loaded
+ *  before any output is stored, coefficients broadcast from the cols
+ *  memory (L1-hot, 1 KiB at most).  Same per-element FMA formula as the
+ *  batch path, so any chunking of `n` is bit-identical. */
+template<int BS>
+void block_streams_impl_avx512( amplitude* const* streams, uint64_t n, const amplitude* cols )
+{
+  const double* pm = reinterpret_cast<const double*>( cols );
+  const __m512d sign_even = _mm512_setr_pd( -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0 );
+  uint64_t j = 0u;
+  for ( ; j + 4u <= n; j += 4u )
+  {
+    __m512d x[BS], xs[BS];
+    for ( int c = 0; c < BS; ++c )
+    {
+      x[c] = _mm512_loadu_pd( reinterpret_cast<const double*>( streams[c] + j ) );
+      xs[c] = swap_reim( x[c] );
+    }
+    for ( int r = 0; r < BS; ++r )
+    {
+      __m512d acc = _mm512_setzero_pd();
+      for ( int c = 0; c < BS; ++c )
+      {
+        const __m512d wre = _mm512_set1_pd( pm[2 * ( c * BS + r )] );
+        const __m512d wim_alt = _mm512_castsi512_pd( _mm512_xor_si512(
+            _mm512_castpd_si512( _mm512_set1_pd( pm[2 * ( c * BS + r ) + 1] ) ),
+            _mm512_castpd_si512( sign_even ) ) );
+        acc = _mm512_fmadd_pd( xs[c], wim_alt, _mm512_fmadd_pd( x[c], wre, acc ) );
+      }
+      _mm512_storeu_pd( reinterpret_cast<double*>( streams[r] + j ), acc );
+    }
+  }
+  for ( ; j < n; ++j )
+  {
+    amplitude x1[BS];
+    for ( int c = 0; c < BS; ++c )
+    {
+      x1[c] = streams[c][j];
+    }
+    for ( int r = 0; r < BS; ++r )
+    {
+      amplitude acc{ 0.0 };
+      for ( int c = 0; c < BS; ++c )
+      {
+        acc = cmul_acc1( acc, x1[c], make_coeff( cols[c * BS + r] ) );
+      }
+      streams[r][j] = acc;
+    }
+  }
+}
+
+void block_streams_avx512( amplitude* const* streams, uint64_t bs, uint64_t n,
+                           const amplitude* cols )
+{
+  if ( bs == 4u )
+  {
+    block_streams_impl_avx512<4>( streams, n, cols );
+    return;
+  }
+  if ( bs == 8u )
+  {
+    block_streams_impl_avx512<8>( streams, n, cols );
+    return;
+  }
+  /* other sizes: scalar sweep with the vector-lane FMA formula */
+  amplitude x[8];
+  for ( uint64_t j = 0u; j < n; ++j )
+  {
+    for ( uint64_t c = 0u; c < bs; ++c )
+    {
+      x[c] = streams[c][j];
+    }
+    for ( uint64_t r = 0u; r < bs; ++r )
+    {
+      amplitude acc{ 0.0 };
+      for ( uint64_t c = 0u; c < bs; ++c )
+      {
+        acc = cmul_acc1( acc, x[c], make_coeff( cols[c * bs + r] ) );
+      }
+      streams[r][j] = acc;
+    }
+  }
+}
+
+void diag_table_avx512( amplitude* amp, uint64_t base, uint64_t n, const uint32_t* qubits,
+                        uint32_t k, const amplitude* table )
+{
+  const uint64_t stretch_len = uint64_t{ 1 } << qubits[0];
+  const uint64_t end = base + n;
+  uint64_t i = base;
+  while ( i < end )
+  {
+    uint64_t key = 0u;
+    for ( uint32_t j = 0u; j < k; ++j )
+    {
+      key |= ( ( i >> qubits[j] ) & 1u ) << j;
+    }
+    const uint64_t stretch = std::min( end, ( i | ( stretch_len - 1u ) ) + 1u );
+    scale_avx512( amp + ( i - base ), stretch - i, table[key] );
+    i = stretch;
+  }
+}
+
+const simd_ops avx512_table = {
+  isa_kind::avx512,   scale_avx512,        scale_pairs_avx512,  pair_2x2_avx512,
+  pair_2x2_interleaved_avx512, pair_antidiag_avx512, swap_ranges_avx512, swap_adjacent_avx512,
+  matvec_batch_avx512, block_streams_avx512, diag_table_avx512,
+};
+
+} // namespace
+
+namespace detail
+{
+
+const simd_ops* avx512_ops() noexcept
+{
+  return &avx512_table;
+}
+
+} // namespace detail
+
+} // namespace qda::sim
+
+#else
+
+namespace qda::sim::detail
+{
+
+const simd_ops* avx512_ops() noexcept
+{
+  return nullptr;
+}
+
+} // namespace qda::sim::detail
+
+#endif

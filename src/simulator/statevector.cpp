@@ -2,6 +2,7 @@
 
 #include "simulator/fusion.hpp"
 #include "simulator/kernels.hpp"
+#include "simulator/simd.hpp"
 #include "telemetry/trace.hpp"
 
 #include <algorithm>
@@ -278,9 +279,16 @@ void statevector_simulator::run_program( const sim::program& prog )
     throw std::invalid_argument( "statevector_simulator::run_program: qubit count mismatch" );
   }
   QDA_TRACE_SPAN_NAMED( run_span, "sim.run" );
+  int64_t tiled_segments = 0;
+  for ( const auto& seg : prog.segments )
+  {
+    tiled_segments += seg.tiled ? 1 : 0;
+  }
   run_span.attr( "qubits", static_cast<int64_t>( num_qubits_ ) )
       .attr( "ops", static_cast<int64_t>( prog.ops.size() ) )
-      .attr( "source_gates", prog.source_gate_count );
+      .attr( "source_gates", prog.source_gate_count )
+      .attr( "isa", sim::isa_name( sim::active_isa() ) )
+      .attr( "tiled_segments", tiled_segments );
   sim::execute( prog, state_.data(), state_.size(), [this]( uint32_t qubit ) {
     const bool outcome = measure_qubit( qubit );
     measurements_.emplace_back( qubit, outcome );

@@ -25,7 +25,9 @@ unitary_matrix build_unitary( const qcircuit& circuit )
   /* compile once, then push every basis column through the specialized
    * kernels -- parallel over columns (each column is small, so its own
    * kernels run inline) instead of re-walking the circuit per column */
-  const auto prog = sim::compile( circuit );
+  sim::compile_options options;
+  options.tile_scheduling = false; /* columns are tiny; tiles add nothing */
+  const auto prog = sim::compile( circuit, options );
   sim::parallel_for(
       dimension,
       [&]( uint64_t begin, uint64_t end ) {
