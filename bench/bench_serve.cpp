@@ -141,10 +141,13 @@ struct config_result
 };
 
 /*! Runs the whole request stream through one server configuration with
- *  four client threads, wall-clocked end to end. */
+ *  four client threads, wall-clocked end to end.  When \p per_job is
+ *  set, every request is submitted with those job options (the
+ *  fault-tolerant submit path); the workload itself stays healthy. */
 config_result run_config( const std::string& name, server_options options,
                           const std::vector<std::string>& unique,
-                          const std::vector<std::pair<size_t, size_t>>& requests )
+                          const std::vector<std::pair<size_t, size_t>>& requests,
+                          const job_options* per_job = nullptr )
 {
   config_result row;
   row.name = name;
@@ -168,7 +171,16 @@ config_result run_config( const std::string& name, server_options options,
       for ( size_t i = begin; i < end; ++i )
       {
         const auto& [pick, variant] = requests[i];
-        futures.push_back( server.submit( respell( unique[pick], variant ) ) );
+        const auto spelled = respell( unique[pick], variant );
+        if ( per_job != nullptr )
+        {
+          auto handle = server.submit( spelled, *per_job );
+          futures.push_back( std::move( handle.future() ) );
+        }
+        else
+        {
+          futures.push_back( server.submit( spelled ) );
+        }
       }
       for ( auto& future : futures )
       {
@@ -255,6 +267,15 @@ int main()
     exact.enable_prefix_reuse = false; /* text keys have no pass structure */
     rows.push_back( run_config( "exact_text_8w", exact, unique, requests ) );
   }
+  {
+    /* healthy workload through the fault-tolerant submit path: degrade
+     * policy armed but never triggered -- measures the overhead of the
+     * cancellation/rollback plumbing itself */
+    server::job_options degrade;
+    degrade.policy = failure_policy::degrade;
+    rows.push_back(
+        run_config( "degrade_8w", amortized_options( 8u ), unique, requests, &degrade ) );
+  }
 
   std::printf( "\n%-16s %-8s %-10s %-11s %-10s %-9s %-9s %-9s %-8s\n", "config", "workers",
                "wall-ms", "compiles/s", "hit-rate", "compiled", "hits", "coalesced",
@@ -284,6 +305,7 @@ int main()
   const auto& amortized_1 = find_row( "amortized_1w" );
   const auto& amortized_8 = find_row( "amortized_8w" );
   const auto& exact_text = find_row( "exact_text_8w" );
+  const auto& degrade_8 = find_row( "degrade_8w" );
 
   const double speedup =
       serial.throughput > 0.0 ? amortized_8.throughput / serial.throughput : 0.0;
@@ -291,6 +313,8 @@ int main()
       amortized_1.throughput > 0.0 ? amortized_8.throughput / amortized_1.throughput : 0.0;
   const double structural_hit_rate = amortized_8.stats.hit_rate();
   const double exact_hit_rate = exact_text.stats.hit_rate();
+  const double degrade_healthy_ratio =
+      amortized_8.throughput > 0.0 ? degrade_8.throughput / amortized_8.throughput : 0.0;
 
   std::printf( "\nsummary:\n" );
   std::printf( "  8-worker amortized vs serial baseline: %.1fx\n", speedup );
@@ -301,6 +325,10 @@ int main()
   std::printf( "  prefix reuse at 8 workers: %llu passes skipped, %.1f ms saved\n",
                static_cast<unsigned long long>( amortized_8.stats.prefix_passes_skipped ),
                amortized_8.stats.prefix_saved_ms );
+  std::printf( "  fault-path overhead on a healthy workload: %.1f%% "
+               "(degrade policy at %.1f req/s vs strict at %.1f)\n",
+               100.0 * ( 1.0 - degrade_healthy_ratio ), degrade_8.throughput,
+               amortized_8.throughput );
   std::printf( "\n%s", format_server_report( amortized_8.stats ).c_str() );
 
   /* ---- machine-readable record for cross-PR tracking ---- */
@@ -328,7 +356,9 @@ int main()
         "\"wall_ms\": %.1f, \"throughput_per_sec\": %.1f, \"hit_rate\": %.4f, "
         "\"compiled\": %llu, \"cache_hits\": %llu, \"coalesced\": %llu, "
         "\"prefix_hits\": %llu, \"prefix_passes_skipped\": %llu, "
-        "\"prefix_saved_ms\": %.1f, \"peak_queue_depth\": %llu }%s\n",
+        "\"prefix_saved_ms\": %.1f, \"peak_queue_depth\": %llu, "
+        "\"failed\": %llu, \"cancelled\": %llu, \"deadline_exceeded\": %llu, "
+        "\"degraded\": %llu, \"retried\": %llu }%s\n",
         row.name.c_str(), row.workers, row.amortized ? "true" : "false",
         row.keying.c_str(), row.wall_ms, row.throughput, row.stats.hit_rate(),
         static_cast<unsigned long long>( row.stats.compiled ),
@@ -338,15 +368,21 @@ int main()
         static_cast<unsigned long long>( row.stats.prefix_passes_skipped ),
         row.stats.prefix_saved_ms,
         static_cast<unsigned long long>( row.stats.peak_queue_depth ),
+        static_cast<unsigned long long>( row.stats.failed ),
+        static_cast<unsigned long long>( row.stats.cancelled ),
+        static_cast<unsigned long long>( row.stats.deadline_exceeded ),
+        static_cast<unsigned long long>( row.stats.degraded ),
+        static_cast<unsigned long long>( row.stats.retried ),
         i + 1u < rows.size() ? "," : "" );
   }
   std::fprintf( json, "  ],\n" );
   std::fprintf( json,
                 "  \"summary\": { \"speedup_8_workers_vs_serial_baseline\": %.2f, "
                 "\"thread_scaling_8v1\": %.2f, \"structural_hit_rate\": %.4f, "
-                "\"exact_text_hit_rate\": %.4f, \"hit_rate_gain\": %.4f }\n}\n",
+                "\"exact_text_hit_rate\": %.4f, \"hit_rate_gain\": %.4f, "
+                "\"degrade_healthy_ratio\": %.4f }\n}\n",
                 speedup, thread_scaling, structural_hit_rate, exact_hit_rate,
-                structural_hit_rate - exact_hit_rate );
+                structural_hit_rate - exact_hit_rate, degrade_healthy_ratio );
   std::fclose( json );
   std::printf( "wrote BENCH_serve.json\n" );
 
@@ -366,11 +402,29 @@ int main()
                    structural_hit_rate, exact_hit_rate );
       failed = true;
     }
+    /* the fault plumbing should be invisible on a healthy workload; the
+     * floor is generous because both sides are wall-clock measurements
+     * on shared CI hardware (the tracked ratio is gated more tightly by
+     * check_bench_regression.py against the committed baseline) */
+    if ( degrade_healthy_ratio < 0.80 )
+    {
+      std::printf( "E11: FAIL degrade-policy healthy throughput %.2fx of strict (< 0.80x)\n",
+                   degrade_healthy_ratio );
+      failed = true;
+    }
+    if ( degrade_8.stats.degraded != 0u || degrade_8.stats.failed != 0u )
+    {
+      std::printf( "E11: FAIL healthy degrade run reported %llu degraded, %llu failed jobs\n",
+                   static_cast<unsigned long long>( degrade_8.stats.degraded ),
+                   static_cast<unsigned long long>( degrade_8.stats.failed ) );
+      failed = true;
+    }
     if ( failed )
     {
       return 1;
     }
-    std::printf( "floors: amortized speedup >= 4x, structural > exact-text hit rate\n" );
+    std::printf( "floors: amortized speedup >= 4x, structural > exact-text hit rate, "
+                 "healthy degrade-path >= 0.80x strict throughput\n" );
   }
   return 0;
 }

@@ -1,0 +1,205 @@
+/*! \file cancel.hpp
+ *  \brief Cooperative cancellation and per-job deadlines.
+ *
+ *  A `cancel_source` owns the request side (the server's job handle
+ *  calls `request_cancel()`, the submit path arms a deadline); the
+ *  `cancel_token` it hands out is threaded through the pass manager
+ *  into the long loops of tpar resynthesis, SABRE routing, and the
+ *  simulator's fusion compiler.  Tokens are cheap to copy (one
+ *  shared_ptr) and every check is one-or-two relaxed atomic loads plus
+ *  an occasional clock read, so hot loops can poll them with a stride
+ *  (`checkpoint`) at effectively zero cost.
+ *
+ *  `check()` throws the typed taxonomy error (`cancelled` or
+ *  `deadline_exceeded`), so a single catch at the pass-manager boundary
+ *  classifies why the loop unwound.
+ */
+#pragma once
+
+#include "error.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace qda
+{
+
+using fault_clock = std::chrono::steady_clock;
+
+namespace detail
+{
+
+struct cancel_state
+{
+  std::atomic<bool> cancelled{ false };
+  /*! deadline as steady-clock nanoseconds-since-epoch; 0 = unarmed */
+  std::atomic<int64_t> deadline_ns{ 0 };
+};
+
+} // namespace detail
+
+/*! \brief Copyable view onto a cancellation request / deadline.
+ *
+ *  A default-constructed token is *detached*: never cancelled, never
+ *  expires, and `stop_possible()` is false — the fast path for all
+ *  callers that don't opt into cancellation.
+ */
+class cancel_token
+{
+public:
+  cancel_token() = default;
+
+  /*! \brief True when a source (or deadline) is attached at all. */
+  bool stop_possible() const noexcept { return state_ != nullptr; }
+
+  /*! \brief True once `request_cancel()` was called. */
+  bool cancel_requested() const noexcept
+  {
+    return state_ && state_->cancelled.load( std::memory_order_relaxed );
+  }
+
+  /*! \brief True once the armed deadline has passed. */
+  bool deadline_expired() const noexcept
+  {
+    if ( !state_ || !honor_deadline_ )
+    {
+      return false;
+    }
+    const auto ns = state_->deadline_ns.load( std::memory_order_relaxed );
+    return ns != 0 && fault_clock::now().time_since_epoch().count() >= ns;
+  }
+
+  /*! \brief A view of the same channel that ignores the deadline.
+   *
+   *  The pass manager hands this to *mandatory* passes under the
+   *  `degrade` policy: they must complete even after the budget
+   *  expired (without them there is no valid circuit to return), while
+   *  an explicit cancel still aborts them.
+   */
+  cancel_token without_deadline() const noexcept
+  {
+    cancel_token copy( state_ );
+    copy.honor_deadline_ = false;
+    return copy;
+  }
+
+  /*! \brief True when the work should stop for either reason. */
+  bool stop_requested() const noexcept
+  {
+    return cancel_requested() || deadline_expired();
+  }
+
+  /*! \brief Throws the typed error when the work should stop.
+   *  \param what context prefix for the error message (e.g. a pass name)
+   */
+  void check( const char* what = "compilation" ) const
+  {
+    if ( !state_ )
+    {
+      return;
+    }
+    if ( state_->cancelled.load( std::memory_order_relaxed ) )
+    {
+      throw qda_error( error_code::cancelled, std::string( what ) + " cancelled" );
+    }
+    if ( deadline_expired() )
+    {
+      throw qda_error( error_code::deadline_exceeded, std::string( what ) + " exceeded its deadline" );
+    }
+  }
+
+private:
+  friend class cancel_source;
+  explicit cancel_token( std::shared_ptr<detail::cancel_state> state )
+      : state_( std::move( state ) )
+  {
+  }
+
+  std::shared_ptr<detail::cancel_state> state_;
+  bool honor_deadline_ = true;
+};
+
+/*! \brief Owner of the request side of a cancellation channel. */
+class cancel_source
+{
+public:
+  cancel_source() : state_( std::make_shared<detail::cancel_state>() ) {}
+
+  cancel_token token() const noexcept { return cancel_token( state_ ); }
+
+  void request_cancel() noexcept
+  {
+    state_->cancelled.store( true, std::memory_order_relaxed );
+  }
+
+  bool cancel_requested() const noexcept
+  {
+    return state_->cancelled.load( std::memory_order_relaxed );
+  }
+
+  /*! \brief Arms (or re-arms) an absolute deadline. */
+  void set_deadline( fault_clock::time_point when ) noexcept
+  {
+    state_->deadline_ns.store( when.time_since_epoch().count(), std::memory_order_relaxed );
+  }
+
+  /*! \brief Arms a deadline \p budget from now. */
+  void set_deadline_after( std::chrono::nanoseconds budget ) noexcept
+  {
+    set_deadline( fault_clock::now() + budget );
+  }
+
+  /*! \brief Keeps the later of the current and \p when (used when
+   *         coalescing waiters: the job may run as long as its most
+   *         patient client allows). */
+  void extend_deadline( fault_clock::time_point when ) noexcept
+  {
+    const auto ns = when.time_since_epoch().count();
+    auto cur = state_->deadline_ns.load( std::memory_order_relaxed );
+    while ( cur != 0 && cur < ns &&
+            !state_->deadline_ns.compare_exchange_weak( cur, ns, std::memory_order_relaxed ) )
+    {
+    }
+  }
+
+  bool has_deadline() const noexcept
+  {
+    return state_->deadline_ns.load( std::memory_order_relaxed ) != 0;
+  }
+
+private:
+  std::shared_ptr<detail::cancel_state> state_;
+};
+
+/*! \brief Strided cancellation poll for hot loops.
+ *
+ *  `if ( guard.due() ) token.check("tpar") ;` costs one decrement on
+ *  the off-iterations; the token (and the clock) are only consulted
+ *  every \p stride iterations.
+ */
+class cancel_checkpoint
+{
+public:
+  explicit cancel_checkpoint( uint32_t stride = 1024 ) noexcept
+      : stride_( stride == 0 ? 1 : stride ), left_( stride_ )
+  {
+  }
+
+  bool due() noexcept
+  {
+    if ( --left_ != 0 )
+    {
+      return false;
+    }
+    left_ = stride_;
+    return true;
+  }
+
+private:
+  uint32_t stride_;
+  uint32_t left_;
+};
+
+} // namespace qda

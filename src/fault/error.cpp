@@ -1,0 +1,32 @@
+#include "error.hpp"
+
+#include <new>
+
+namespace qda
+{
+
+error_code classify_current_exception( error_code code_fallback )
+{
+  try
+  {
+    throw;
+  }
+  catch ( const error& typed )
+  {
+    return typed.code();
+  }
+  catch ( const std::bad_alloc& )
+  {
+    return error_code::resource_exhausted;
+  }
+  catch ( const std::invalid_argument& )
+  {
+    return error_code::spec_parse;
+  }
+  catch ( ... )
+  {
+    return code_fallback;
+  }
+}
+
+} // namespace qda

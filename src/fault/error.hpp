@@ -1,0 +1,144 @@
+/*! \file error.hpp
+ *  \brief Structured error taxonomy of the compilation service.
+ *
+ *  Every failure the pipeline or the compile server can produce maps to
+ *  one stable `error_code`, so clients branch on the code instead of
+ *  parsing what()-strings.  The taxonomy is a *mixin* hierarchy:
+ *  `qda::error` is an abstract interface carrying the code, and the
+ *  concrete error classes pair it with the standard exception type the
+ *  pre-taxonomy code threw (`std::runtime_error`, `std::invalid_argument`,
+ *  `std::logic_error`), so existing `catch` sites keep working while new
+ *  code catches `const qda::error&` and reads `code()`.
+ *
+ *  `transient()` marks failures worth retrying (injected faults, queue
+ *  overload); deterministic failures (malformed specs, resource
+ *  ceilings, cancellation) are permanent.
+ */
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace qda
+{
+
+/*! \brief Stable failure codes of the compilation service. */
+enum class error_code : uint8_t
+{
+  ok = 0,             /*!< no error */
+  spec_parse,         /*!< malformed or unresolvable pipeline spec */
+  pass_failure,       /*!< a pass threw while executing */
+  deadline_exceeded,  /*!< the job's deadline fired */
+  resource_exhausted, /*!< a resource ceiling (gates, qubits, memory) was hit */
+  cancelled,          /*!< the client cancelled the job */
+  overloaded,         /*!< admission control rejected the job (queue full) */
+  server_shutdown,    /*!< submitted after shutdown began */
+  internal            /*!< unclassified failure */
+};
+
+/*! \brief Stable printable code name ("deadline_exceeded"). */
+inline const char* error_code_name( error_code code ) noexcept
+{
+  switch ( code )
+  {
+  case error_code::ok: return "ok";
+  case error_code::spec_parse: return "spec_parse";
+  case error_code::pass_failure: return "pass_failure";
+  case error_code::deadline_exceeded: return "deadline_exceeded";
+  case error_code::resource_exhausted: return "resource_exhausted";
+  case error_code::cancelled: return "cancelled";
+  case error_code::overloaded: return "overloaded";
+  case error_code::server_shutdown: return "server_shutdown";
+  case error_code::internal: return "internal";
+  }
+  return "unknown";
+}
+
+/*! \brief Abstract taxonomy mixin: anything catchable as `qda::error`
+ *         carries a stable code.  Deliberately does NOT derive from
+ *         std::exception -- concrete classes pair it with the standard
+ *         exception type callers already catch, without a diamond.
+ */
+class error
+{
+public:
+  virtual ~error() = default;
+
+  virtual error_code code() const noexcept = 0;
+
+  /*! \brief True when retrying the same job may succeed. */
+  virtual bool transient() const noexcept { return false; }
+};
+
+/*! \brief General typed runtime failure (pass failures, deadlines,
+ *         cancellation, resource ceilings, server lifecycle).
+ */
+class qda_error : public std::runtime_error, public error
+{
+public:
+  qda_error( error_code code, const std::string& what, bool transient = false )
+      : std::runtime_error( what ), code_( code ), transient_( transient )
+  {
+  }
+
+  error_code code() const noexcept override { return code_; }
+  bool transient() const noexcept override { return transient_; }
+
+private:
+  error_code code_;
+  bool transient_;
+};
+
+/*! \brief Malformed pipeline spec, with the 1-based segment index and
+ *         the character offset of the offending command in the raw
+ *         text.  Derives std::invalid_argument (what the parser always
+ *         threw), so pre-taxonomy catch sites keep working.
+ */
+class spec_parse_error : public std::invalid_argument, public error
+{
+public:
+  spec_parse_error( const std::string& what, uint32_t segment, size_t offset )
+      : std::invalid_argument( what ), segment_( segment ), offset_( offset )
+  {
+  }
+
+  error_code code() const noexcept override { return error_code::spec_parse; }
+
+  /*! \brief 1-based index of the offending `;`-separated command. */
+  uint32_t segment() const noexcept { return segment_; }
+  /*! \brief Character offset of that command in the submitted text. */
+  size_t offset() const noexcept { return offset_; }
+
+private:
+  uint32_t segment_;
+  size_t offset_;
+};
+
+/*! \brief Illegal stage transition in a spec (e.g. `tbs` with no
+ *         permutation loaded).  Derives std::logic_error (the
+ *         pre-taxonomy type) and reports as `spec_parse`: the spec is
+ *         statically wrong, no execution happened.
+ */
+class spec_stage_error : public std::logic_error, public error
+{
+public:
+  spec_stage_error( const std::string& what, uint32_t segment )
+      : std::logic_error( what ), segment_( segment )
+  {
+  }
+
+  error_code code() const noexcept override { return error_code::spec_parse; }
+  uint32_t segment() const noexcept { return segment_; }
+
+private:
+  uint32_t segment_;
+};
+
+/*! \brief Classifies an arbitrary in-flight exception into the
+ *         taxonomy: typed errors report their own code, bad_alloc maps
+ *         to `resource_exhausted`, everything else to `code_fallback`.
+ */
+error_code classify_current_exception( error_code code_fallback = error_code::internal );
+
+} // namespace qda

@@ -1,0 +1,169 @@
+#include "failpoint.hpp"
+
+#if QDA_FAILPOINTS_ENABLED
+
+#include "error.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace qda::failpoint
+{
+
+std::vector<site_config> parse_spec( const std::string& spec )
+{
+  std::vector<site_config> configs;
+  std::stringstream entries( spec );
+  std::string entry;
+  while ( std::getline( entries, entry, ',' ) )
+  {
+    if ( entry.empty() )
+    {
+      continue;
+    }
+    std::stringstream fields( entry );
+    std::string site, kind_name, prob_text, seed_text;
+    if ( !std::getline( fields, site, ':' ) || site.empty() ||
+         !std::getline( fields, kind_name, ':' ) ||
+         !std::getline( fields, prob_text, ':' ) ||
+         !std::getline( fields, seed_text, ':' ) )
+    {
+      throw std::invalid_argument( "failpoint entry '" + entry +
+                                   "' is not site:kind:prob:seed" );
+    }
+
+    site_config config;
+    config.site = site;
+    if ( kind_name == "fail" )
+    {
+      config.action = kind::fail;
+    }
+    else if ( kind_name == "sleep" )
+    {
+      config.action = kind::sleep;
+    }
+    else
+    {
+      throw std::invalid_argument( "failpoint kind '" + kind_name +
+                                   "' unknown (expected fail|sleep)" );
+    }
+
+    try
+    {
+      config.probability = std::stod( prob_text );
+      config.seed = std::stoull( seed_text );
+    }
+    catch ( const std::exception& )
+    {
+      throw std::invalid_argument( "failpoint entry '" + entry +
+                                   "' has a non-numeric prob or seed" );
+    }
+    if ( config.probability < 0.0 || config.probability > 1.0 )
+    {
+      throw std::invalid_argument( "failpoint probability " + prob_text +
+                                   " outside [0,1]" );
+    }
+    configs.push_back( std::move( config ) );
+  }
+  return configs;
+}
+
+registry& registry::instance()
+{
+  static registry the_registry;
+  /* arm from QDA_FAILPOINTS exactly once, on first use from any thread;
+   * tests that call arm()/reset() afterwards simply overwrite this */
+  static const bool env_armed = []() {
+    the_registry.arm_from_env();
+    return true;
+  }();
+  (void)env_armed;
+  return the_registry;
+}
+
+void registry::arm( const std::vector<site_config>& configs )
+{
+  std::lock_guard<std::mutex> lock( mutex_ );
+  sites_.clear();
+  for ( const auto& config : configs )
+  {
+    armed_site site;
+    site.config = config;
+    site.rng.seed( config.seed );
+    sites_.emplace( config.site, std::move( site ) );
+  }
+  armed_.store( !sites_.empty(), std::memory_order_relaxed );
+}
+
+void registry::arm_from_env()
+{
+  const char* spec = std::getenv( "QDA_FAILPOINTS" );
+  if ( !spec || !*spec )
+  {
+    return;
+  }
+  try
+  {
+    arm( parse_spec( spec ) );
+  }
+  catch ( const std::invalid_argument& )
+  {
+    // a typo in the environment must not take the process down
+  }
+}
+
+void registry::reset()
+{
+  std::lock_guard<std::mutex> lock( mutex_ );
+  sites_.clear();
+  armed_.store( false, std::memory_order_relaxed );
+}
+
+void registry::hit( const char* site )
+{
+  kind action;
+  {
+    std::lock_guard<std::mutex> lock( mutex_ );
+    auto it = sites_.find( site );
+    if ( it == sites_.end() )
+    {
+      return;
+    }
+    auto& armed = it->second;
+    if ( armed.config.probability < 1.0 )
+    {
+      std::uniform_real_distribution<double> coin( 0.0, 1.0 );
+      if ( coin( armed.rng ) >= armed.config.probability )
+      {
+        return;
+      }
+    }
+    ++armed.triggers;
+    action = armed.config.action;
+  }
+
+  switch ( action )
+  {
+  case kind::fail:
+    throw qda_error( error_code::pass_failure,
+                     std::string( "injected fault at " ) + site,
+                     /*transient=*/true );
+  case kind::sleep:
+    std::this_thread::sleep_for( std::chrono::milliseconds( 5 ) );
+    break;
+  }
+}
+
+uint64_t registry::trigger_count( const char* site ) const
+{
+  std::lock_guard<std::mutex> lock( mutex_ );
+  auto it = sites_.find( site );
+  return it == sites_.end() ? 0 : it->second.triggers;
+}
+
+} // namespace qda::failpoint
+
+#endif // QDA_FAILPOINTS_ENABLED

@@ -1,0 +1,129 @@
+/*! \file failpoint.hpp
+ *  \brief Deterministic, seeded fault-injection registry.
+ *
+ *  A *failpoint* is a named site in production code that can be armed
+ *  (normally from the `QDA_FAILPOINTS` environment variable) to inject
+ *  a failure with a given probability from a seeded RNG — so every
+ *  failure path in the server and the pipeline is exercisable on
+ *  demand, deterministically, in CI.
+ *
+ *  Syntax: `QDA_FAILPOINTS=site:kind:prob:seed[,site:kind:prob:seed...]`
+ *    - `site`  registered site name, e.g. `pass.tpar`, `cache.store`,
+ *              `server.worker`, `prefix.snapshot`
+ *    - `kind`  `fail`  -> throw a *transient* `pass_failure` error
+ *              `sleep` -> sleep ~5ms (turns fast paths into slow ones,
+ *                         for deadline tests)
+ *    - `prob`  trigger probability in [0,1] (evaluated per hit from the
+ *              site's own seeded mt19937_64, so the decision sequence
+ *              at one site is independent of other sites and of thread
+ *              interleaving *per evaluation order at that site*)
+ *    - `seed`  RNG seed (uint64)
+ *
+ *  Like telemetry, the whole subsystem compiles out by default: with
+ *  `QDA_FAILPOINTS_ENABLED=0` the `QDA_FAILPOINT(site)` macro expands
+ *  to nothing.  When compiled in but not armed, each hit is a single
+ *  relaxed atomic load.
+ */
+#pragma once
+
+#ifndef QDA_FAILPOINTS_ENABLED
+#define QDA_FAILPOINTS_ENABLED 1
+#endif
+
+#if QDA_FAILPOINTS_ENABLED
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace qda::failpoint
+{
+
+enum class kind : uint8_t
+{
+  fail, /*!< throw a transient pass_failure qda_error */
+  sleep /*!< sleep ~5ms at the site */
+};
+
+struct site_config
+{
+  std::string site;
+  kind action = kind::fail;
+  double probability = 1.0;
+  uint64_t seed = 0;
+};
+
+/*! \brief Parses a `site:kind:prob:seed[,...]` spec.
+ *  \throws std::invalid_argument on malformed specs.
+ */
+std::vector<site_config> parse_spec( const std::string& spec );
+
+/*! \brief Process-wide failpoint registry (thread-safe). */
+class registry
+{
+public:
+  static registry& instance();
+
+  /*! \brief Arms the sites in \p configs (replacing any earlier arming). */
+  void arm( const std::vector<site_config>& configs );
+
+  /*! \brief Arms from `QDA_FAILPOINTS` if set (silently ignores a
+   *         malformed variable — production must not crash on a typo). */
+  void arm_from_env();
+
+  /*! \brief Disarms every site. */
+  void reset();
+
+  /*! \brief Fast pre-check: false unless at least one site is armed. */
+  bool any_armed() const noexcept
+  {
+    return armed_.load( std::memory_order_relaxed );
+  }
+
+  /*! \brief Evaluates the site: may throw or sleep per its config. */
+  void hit( const char* site );
+
+  /*! \brief Number of times \p site triggered (for determinism tests). */
+  uint64_t trigger_count( const char* site ) const;
+
+private:
+  registry() = default;
+
+  struct armed_site
+  {
+    site_config config;
+    std::mt19937_64 rng;
+    uint64_t triggers = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, armed_site> sites_;
+  std::atomic<bool> armed_{ false };
+};
+
+} // namespace qda::failpoint
+
+/*! \brief Marks a fault-injection site.  Near-free when disarmed. */
+#define QDA_FAILPOINT( site )                                     \
+  do                                                              \
+  {                                                               \
+    auto& qda_fp_reg_ = ::qda::failpoint::registry::instance();   \
+    if ( qda_fp_reg_.any_armed() )                                \
+    {                                                             \
+      qda_fp_reg_.hit( site );                                    \
+    }                                                             \
+  } while ( false )
+
+#else // !QDA_FAILPOINTS_ENABLED
+
+#define QDA_FAILPOINT( site ) \
+  do                          \
+  {                           \
+  } while ( false )
+
+#endif // QDA_FAILPOINTS_ENABLED

@@ -19,6 +19,7 @@
  */
 #pragma once
 
+#include "fault/cancel.hpp"
 #include "mapping/coupling_map.hpp"
 #include "quantum/qcircuit.hpp"
 
@@ -81,6 +82,9 @@ struct router_options
   /*! Fixed initial layout (logical -> physical, one entry per device
    *  qubit); disables the layout search. */
   std::optional<std::vector<uint32_t>> initial_layout{};
+
+  /*! Cooperative cancellation, polled in the SABRE swap loop. */
+  cancel_token cancel{};
 };
 
 /*! \brief Validates a logical -> physical layout for a device of

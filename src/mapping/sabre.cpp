@@ -317,9 +317,16 @@ struct sabre_run
 
   void run()
   {
+    /* a swap choice scores every candidate edge, so a poll every few
+     * iterations keeps cancellation latency small even on big devices */
+    cancel_checkpoint checkpoint( 64u );
     drain();
     while ( executed < dag.size() )
     {
+      if ( checkpoint.due() )
+      {
+        options.cancel.check( "route" );
+      }
       choose_and_apply_swap();
       drain();
     }

@@ -161,7 +161,7 @@ bool one_sweep( qcircuit::core_type& core, qcircuit::rewriter& rewriter,
 
 } // namespace
 
-void peephole_in_place( qcircuit& circuit, uint32_t max_rounds )
+void peephole_in_place( qcircuit& circuit, uint32_t max_rounds, cancel_token cancel )
 {
   /* phase fusion (t t -> s etc.) is delegated to phase folding, which
    * merges phase gates globally; this pass handles the non-diagonal
@@ -171,6 +171,7 @@ void peephole_in_place( qcircuit& circuit, uint32_t max_rounds )
   std::vector<uint32_t> qubits;
   for ( uint32_t round = 0u; round < max_rounds; ++round )
   {
+    cancel.check( "peephole" );
     bool changed = false;
     while ( one_sweep( core, rewriter, qubits ) )
     {

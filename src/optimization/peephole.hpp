@@ -13,15 +13,18 @@
  */
 #pragma once
 
+#include "fault/cancel.hpp"
 #include "quantum/qcircuit.hpp"
 
 namespace qda
 {
 
 /*! \brief Cancels and fuses gates in place; the result is equivalent
- *         up to the explicitly tracked global phase.
+ *         up to the explicitly tracked global phase.  `cancel` is
+ *         polled once per sweep round.
  */
-void peephole_in_place( qcircuit& circuit, uint32_t max_rounds = 8u );
+void peephole_in_place( qcircuit& circuit, uint32_t max_rounds = 8u,
+                        cancel_token cancel = {} );
 
 /*! \brief Optimized copy of `circuit`. */
 qcircuit peephole_optimize( const qcircuit& circuit, uint32_t max_rounds = 8u );

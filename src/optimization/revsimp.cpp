@@ -130,12 +130,13 @@ bool sweep( rev_circuit::core_type& core, rev_circuit::rewriter& rewriter )
 
 } // namespace
 
-void revsimp_in_place( rev_circuit& circuit, uint32_t max_rounds )
+void revsimp_in_place( rev_circuit& circuit, uint32_t max_rounds, cancel_token cancel )
 {
   auto& core = circuit.core();
   auto rewriter = circuit.rewrite();
   for ( uint32_t round = 0u; round < max_rounds; ++round )
   {
+    cancel.check( "revsimp" );
     bool changed = false;
     while ( sweep( core, rewriter ) )
     {

@@ -17,13 +17,17 @@
  */
 #pragma once
 
+#include "fault/cancel.hpp"
 #include "reversible/rev_circuit.hpp"
 
 namespace qda
 {
 
-/*! \brief Simplifies `circuit` in place; the result is equivalent. */
-void revsimp_in_place( rev_circuit& circuit, uint32_t max_rounds = 16u );
+/*! \brief Simplifies `circuit` in place; the result is equivalent.
+ *         `cancel` is polled once per sweep round.
+ */
+void revsimp_in_place( rev_circuit& circuit, uint32_t max_rounds = 16u,
+                       cancel_token cancel = {} );
 
 /*! \brief Simplified copy of a reversible circuit. */
 rev_circuit revsimp( const rev_circuit& circuit, uint32_t max_rounds = 16u );

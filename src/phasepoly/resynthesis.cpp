@@ -68,7 +68,8 @@ bool is_region_kind( gate_kind kind )
 } // namespace
 
 parity_network synthesize_parity_network( const phase_polynomial& poly,
-                                          uint32_t section_size )
+                                          uint32_t section_size,
+                                          cancel_token cancel )
 {
   const uint32_t m = poly.num_vars;
   parity_network network;
@@ -103,6 +104,9 @@ parity_network synthesize_parity_network( const phase_polynomial& poly,
   bitvec coefficients, best_coefficients;
   while ( !remaining.empty() )
   {
+    /* each placement scans every remaining term, so one poll per
+     * placement bounds the cancellation latency at O(terms * wires) */
+    cancel.check( "tpar" );
     /* greedy Gray-order stand-in: place the parity that is cheapest in
      * the current frame, so consecutive placements share CNOT chains */
     size_t best_position = 0u;
@@ -234,8 +238,13 @@ void resynthesize_parity_regions_in_place( qcircuit& circuit,
   std::unordered_map<std::string, cached_network> patterns;
 
   uint32_t begin = 0u;
+  cancel_checkpoint checkpoint( 256u );
   while ( begin < num_slots )
   {
+    if ( checkpoint.due() )
+    {
+      options.cancel.check( "tpar" );
+    }
     if ( !is_region_kind( cols.kind[begin] ) )
     {
       ++begin;
@@ -311,7 +320,8 @@ void resynthesize_parity_regions_in_place( qcircuit& circuit,
         const auto poly = extract_phase_polynomial( circuit, begin, end, touched );
         if ( poly.terms.size() <= options.max_region_terms )
         {
-          auto network = synthesize_parity_network( poly, options.section_size );
+          auto network =
+              synthesize_parity_network( poly, options.section_size, options.cancel );
           if ( network.gates.size() < static_cast<size_t>( end - begin ) )
           {
             cached.gates = std::move( network.gates );

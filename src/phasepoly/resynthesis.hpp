@@ -14,6 +14,7 @@
  */
 #pragma once
 
+#include "fault/cancel.hpp"
 #include "phasepoly/phase_polynomial.hpp"
 #include "quantum/qcircuit.hpp"
 
@@ -27,6 +28,7 @@ struct resynthesis_options
 {
   uint32_t section_size = 2u;       /*!< PMH epilogue block width */
   uint32_t max_region_terms = 512u; /*!< skip regions with more terms (greedy is O(T^2 n)) */
+  cancel_token cancel;              /*!< polled between regions and parity placements */
 };
 
 /*! \brief A synthesized parity network over `poly.num_vars` wires. */
@@ -40,7 +42,8 @@ struct parity_network
  *         greedy parity network, PMH linear epilogue, X constants.
  */
 parity_network synthesize_parity_network( const phase_polynomial& poly,
-                                          uint32_t section_size = 2u );
+                                          uint32_t section_size = 2u,
+                                          cancel_token cancel = {} );
 
 /*! \brief Carves maximal {CNOT, X, SWAP, phase} regions out of the
  *         circuit and replaces each with its resynthesized parity

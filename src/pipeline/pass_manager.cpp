@@ -1,5 +1,6 @@
 #include "pipeline/pass_manager.hpp"
 
+#include "fault/failpoint.hpp"
 #include "telemetry/clock.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -36,10 +37,13 @@ pass_manager::pass_manager( std::shared_ptr<compilation_cache> cache,
 
 pass_report pass_manager::apply_pass( staged_ir& ir, const pass_invocation& invocation,
                                       const pass_registry& registry,
-                                      const std::optional<circuit_statistics>* stats_before )
+                                      const std::optional<circuit_statistics>* stats_before,
+                                      const pass_context& context )
 {
   const auto& info = registry.at( invocation.name );
   info.check_arguments( invocation.args );
+  context.cancel.check( invocation.name.c_str() );
+  QDA_FAILPOINT( ( "pass." + invocation.name ).c_str() );
   if ( !info.accepts_stage( ir.current ) )
   {
     throw std::logic_error( std::string( "pipeline: pass '" ) + invocation.name +
@@ -63,7 +67,7 @@ pass_report pass_manager::apply_pass( staged_ir& ir, const pass_invocation& invo
   pass_span.attr( "gates_in", static_cast<int64_t>( report.gates_before ) );
 
   const auto start = steady_clock::now();
-  info.run( ir, invocation.args );
+  info.run( ir, invocation.args, context );
   report.elapsed_ms = elapsed_ms_since( start );
   QDA_COUNT( "pipeline.passes_run" );
 
@@ -168,7 +172,17 @@ compilation_result pass_manager::run( const pipeline_spec& spec, staged_ir initi
   }
   if ( cache_ && plan.lookup )
   {
-    if ( auto cached = cache_->lookup( key ) )
+    std::shared_ptr<const compilation_result> cached;
+    try
+    {
+      cached = cache_->lookup( key );
+    }
+    catch ( ... )
+    {
+      /* a failing cache backend degrades to a miss */
+      QDA_COUNT( "pipeline.cache.lookup_failed" );
+    }
+    if ( cached )
     {
       run_span.attr( "cache", std::string( "hit" ) );
       /* deep copy outside any cache lock */
@@ -195,22 +209,135 @@ compilation_result pass_manager::run( const pipeline_spec& spec, staged_ir initi
     run_span.attr( "reused_passes", static_cast<int64_t>( result.reused_passes ) );
     QDA_COUNT_N( "pipeline.passes_reused", result.reused_passes );
   }
+  pass_context context;
+  context.cancel = plan.cancel;
+  /* deadline-blind view for mandatory passes under degrade: an expired
+   * budget skips optimizations but must not abort synthesis/mapping */
+  pass_context lenient_context;
+  lenient_context.cancel = plan.cancel.without_deadline();
   for ( size_t i = plan.first_pass; i < spec.size(); ++i )
   {
+    const auto& invocation = spec.passes[i];
+    const auto& info = registry_.at( invocation.name );
+    const bool may_degrade =
+        plan.policy == failure_policy::degrade && info.degradable;
+
+    /* an explicit cancel always aborts; an expired deadline only skips
+     * the degradable passes (mandatory passes still run: without them
+     * there is no valid circuit to return) */
+    if ( plan.cancel.cancel_requested() )
+    {
+      throw qda_error( error_code::cancelled, "compilation cancelled before pass '" +
+                                                  invocation.name + "'" );
+    }
+    const bool expired = plan.cancel.deadline_expired();
+    if ( expired && plan.policy == failure_policy::strict )
+    {
+      throw qda_error( error_code::deadline_exceeded,
+                       "deadline exceeded before pass '" + invocation.name + "'" );
+    }
+
     const auto* stats_hint =
         result.reports.empty() ? nullptr : &result.reports.back().statistics_after;
-    result.reports.push_back(
-        apply_pass( result.ir, spec.passes[i], registry_, stats_hint ) );
-    if ( observer )
+    const auto skip_degraded = [&]( error_code reason ) {
+      pass_report report;
+      report.name = invocation.name;
+      report.arguments = invocation.args.to_string();
+      report.stage_before = report.stage_after = result.ir.current;
+      report.gates_before = report.gates_after = result.ir.current_gate_count();
+      report.helpers_before = report.helpers_after =
+          result.ir.quantum ? result.ir.quantum->num_helper_qubits : 0u;
+      report.statistics_before = report.statistics_after =
+          stats_hint ? *stats_hint : result.ir.current_statistics();
+      report.degraded = true;
+      report.degraded_reason = error_code_name( reason );
+      result.reports.push_back( std::move( report ) );
+      result.degraded = true;
+      ++result.degraded_passes;
+      QDA_COUNT( "pipeline.passes_degraded" );
+    };
+
+    if ( !may_degrade )
+    {
+      result.reports.push_back( apply_pass(
+          result.ir, invocation, registry_, stats_hint,
+          plan.policy == failure_policy::degrade ? lenient_context : context ) );
+    }
+    else if ( expired )
+    {
+      skip_degraded( error_code::deadline_exceeded );
+    }
+    else
+    {
+      /* degradable: snapshot the IR so a mid-pass failure (thrown or
+       * injected) rolls back to a valid, merely unoptimized circuit */
+      staged_ir backup = result.ir;
+      const size_t reports_before = result.reports.size();
+      try
+      {
+        result.reports.push_back(
+            apply_pass( result.ir, invocation, registry_, stats_hint, context ) );
+      }
+      catch ( ... )
+      {
+        const auto code = classify_current_exception( error_code::pass_failure );
+        if ( code == error_code::cancelled )
+        {
+          throw;
+        }
+        result.ir = std::move( backup );
+        result.reports.resize( reports_before );
+        skip_degraded( code );
+      }
+    }
+
+    if ( plan.limits.max_gates != 0u &&
+         result.ir.current_gate_count() > plan.limits.max_gates )
+    {
+      throw qda_error( error_code::resource_exhausted,
+                       "pass '" + invocation.name + "' grew the circuit to " +
+                           std::to_string( result.ir.current_gate_count() ) +
+                           " gates (budget " + std::to_string( plan.limits.max_gates ) +
+                           ")" );
+    }
+    if ( plan.limits.max_helper_qubits != 0u && result.ir.quantum &&
+         result.ir.quantum->num_helper_qubits > plan.limits.max_helper_qubits )
+    {
+      throw qda_error( error_code::resource_exhausted,
+                       "pass '" + invocation.name + "' allocated " +
+                           std::to_string( result.ir.quantum->num_helper_qubits ) +
+                           " helper qubits (budget " +
+                           std::to_string( plan.limits.max_helper_qubits ) + ")" );
+    }
+
+    /* once any pass degraded, the IR no longer matches what the
+     * canonical prefix keys describe -- stop publishing snapshots so a
+     * degraded IR can never seed the cross-job prefix cache */
+    if ( observer && !result.degraded )
     {
       observer( i, result.ir, result.reports );
     }
   }
   result.total_ms = elapsed_ms_since( start );
-
-  if ( cache_ )
+  if ( result.degraded )
   {
-    cache_->store( key, std::make_shared<const compilation_result>( result ) );
+    run_span.attr( "degraded_passes", static_cast<int64_t>( result.degraded_passes ) );
+  }
+
+  /* degraded results are never cached: a later strict client hashing to
+   * the same structural key must not receive the unoptimized circuit */
+  if ( cache_ && !result.degraded )
+  {
+    try
+    {
+      cache_->store( key, std::make_shared<const compilation_result>( result ) );
+    }
+    catch ( ... )
+    {
+      /* memoization is an optimization; a failing backend must not
+       * fail a compilation that already succeeded */
+      QDA_COUNT( "pipeline.cache.store_failed" );
+    }
   }
   return result;
 }
@@ -240,12 +367,15 @@ std::string format_report( const compilation_result& result )
   {
     const auto t_count =
         report.statistics_after ? std::to_string( report.statistics_after->t_count ) : "-";
+    const auto marker = report.degraded
+                            ? " (degraded: " + report.degraded_reason + ")"
+                            : std::string( report.reused ? " (reused)" : "" );
     std::snprintf( line, sizeof( line ), "%-10s %-12s %-12s %10llu %10llu %9s %9.3f%s\n",
                    report.name.c_str(), stage_name( report.stage_before ),
                    stage_name( report.stage_after ),
                    static_cast<unsigned long long>( report.gates_before ),
                    static_cast<unsigned long long>( report.gates_after ), t_count.c_str(),
-                   report.elapsed_ms, report.reused ? " (reused)" : "" );
+                   report.elapsed_ms, marker.c_str() );
     out << line;
   }
   std::snprintf( line, sizeof( line ), "total: %.3f ms%s\n", result.total_ms,

@@ -20,6 +20,8 @@
  */
 #pragma once
 
+#include "fault/cancel.hpp"
+#include "fault/error.hpp"
 #include "pipeline/compilation_cache.hpp"
 #include "pipeline/ir.hpp"
 #include "pipeline/spec_parser.hpp"
@@ -50,6 +52,13 @@ struct pass_report
    *  the cost of the run that originally executed it). */
   bool reused = false;
 
+  /*! True when the pass was skipped (or its partial effect rolled
+   *  back) under a `degrade` failure policy; the circuit at this point
+   *  is valid but unoptimized by this pass.  `degraded_reason` holds
+   *  the stable error-code name that caused the skip. */
+  bool degraded = false;
+  std::string degraded_reason;
+
   /*! Gate count at the pass boundary (reversible or quantum stage;
    *  0 when the stage has no circuit yet). */
   uint64_t gates_before = 0u;
@@ -75,6 +84,12 @@ struct compilation_result
   bool cache_hit = false;
   uint32_t reused_passes = 0u; /*!< leading passes replayed from a prefix snapshot */
   double total_ms = 0.0;
+
+  /*! True when at least one pass was skipped under a `degrade` policy;
+   *  the result is valid but not fully optimized.  Degraded results
+   *  are never stored in the compilation cache. */
+  bool degraded = false;
+  uint32_t degraded_passes = 0u;
 };
 
 /*! \brief Called after every pass a run actually executes.
@@ -87,6 +102,26 @@ struct compilation_result
 using pass_observer =
     std::function<void( size_t pass_index, const staged_ir& ir,
                         const std::vector<pass_report>& reports )>;
+
+/*! \brief What happens when an optional optimization pass fails or the
+ *         job's deadline fires mid-pipeline.
+ */
+enum class failure_policy : uint8_t
+{
+  strict, /*!< any pass failure or expired deadline fails the run */
+  degrade /*!< degradable passes are rolled back and skipped; the run
+               still produces a valid (less optimized) circuit */
+};
+
+/*! \brief Hard ceilings that convert runaway synthesis into a typed
+ *         `resource_exhausted` failure.  0 = unlimited; checked after
+ *         every executed pass.
+ */
+struct resource_limits
+{
+  uint64_t max_gates = 0u;
+  uint32_t max_helper_qubits = 0u;
+};
 
 /*! \brief How a run starts and how its result is keyed.
  *
@@ -112,6 +147,17 @@ struct run_plan
   /*! When false, the cache is not probed before executing (the caller
    *  already did); the result is still stored. */
   bool lookup = true;
+
+  /*! Cooperative cancellation / deadline, polled at every pass
+   *  boundary and inside the long pass loops.  An explicit cancel
+   *  always aborts the run (qda::error_code::cancelled); an expired
+   *  deadline aborts under `strict` and skips the remaining degradable
+   *  passes under `degrade`. */
+  cancel_token cancel;
+
+  failure_policy policy = failure_policy::strict;
+
+  resource_limits limits;
 };
 
 /*! \brief Executes pipelines over the staged IR. */
@@ -157,7 +203,8 @@ public:
    */
   static pass_report apply_pass( staged_ir& ir, const pass_invocation& invocation,
                                  const pass_registry& registry = pass_registry::instance(),
-                                 const std::optional<circuit_statistics>* stats_before = nullptr );
+                                 const std::optional<circuit_statistics>* stats_before = nullptr,
+                                 const pass_context& context = {} );
 
   static pass_report apply_pass( staged_ir& ir, const std::string& name,
                                  const pass_arguments& args = {},

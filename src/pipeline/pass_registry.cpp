@@ -340,7 +340,7 @@ void register_builtin_passes( pass_registry& registry )
       { "hwb", "adder", "addend", "rotl", "shift", "gray", "mult", "factor", "random", "seed" },
       { "fig7" },
       { "hwb", "adder", "addend", "rotl", "shift", "gray", "mult", "factor", "random", "seed" },
-      []( staged_ir& ir, const pass_arguments& args ) {
+      []( staged_ir& ir, const pass_arguments& args, const pass_context& ) {
         ir.set_permutation( run_revgen( args ) );
       } } );
 
@@ -352,7 +352,7 @@ void register_builtin_passes( pass_registry& registry )
       {},
       { "bidirectional" },
       {},
-      []( staged_ir& ir, const pass_arguments& args ) {
+      []( staged_ir& ir, const pass_arguments& args, const pass_context& ) {
         const auto& target = ir.require_permutation();
         ir.set_reversible( args.has_flag( "bidirectional" )
                                ? transformation_based_synthesis_bidirectional( target )
@@ -367,7 +367,7 @@ void register_builtin_passes( pass_registry& registry )
       {},
       {},
       {},
-      []( staged_ir& ir, const pass_arguments& ) {
+      []( staged_ir& ir, const pass_arguments&, const pass_context& ) {
         ir.set_reversible( decomposition_based_synthesis( ir.require_permutation() ) );
       } } );
 
@@ -379,14 +379,15 @@ void register_builtin_passes( pass_registry& registry )
       { "max-rounds" },
       {},
       { "max-rounds" },
-      []( staged_ir& ir, const pass_arguments& args ) {
+      []( staged_ir& ir, const pass_arguments& args, const pass_context& ctx ) {
         const auto rounds = static_cast<uint32_t>(
             args.option_uint_or( "revsimp", "max-rounds", 16u ) );
         ir.require_reversible();
         auto circuit = std::move( *ir.reversible );
-        revsimp_in_place( circuit, rounds );
+        revsimp_in_place( circuit, rounds, ctx.cancel );
         ir.set_reversible( std::move( circuit ) );
-      } } );
+      },
+      /*degradable=*/true } );
 
   registry.register_pass( pass_info{
       "rptm",
@@ -396,7 +397,7 @@ void register_builtin_passes( pass_registry& registry )
       { "strategy", "cost-target" },
       { "no-relative-phase", "keep-toffoli" },
       {},
-      []( staged_ir& ir, const pass_arguments& args ) {
+      []( staged_ir& ir, const pass_arguments& args, const pass_context& ) {
         clifford_t_options options;
         options.use_relative_phase = !args.has_flag( "no-relative-phase" );
         options.keep_toffoli = args.has_flag( "keep-toffoli" );
@@ -433,15 +434,17 @@ void register_builtin_passes( pass_registry& registry )
       {},
       { "fold-only", "no-resynth" },
       {},
-      []( staged_ir& ir, const pass_arguments& args ) {
+      []( staged_ir& ir, const pass_arguments& args, const pass_context& ctx ) {
         phasepoly::tpar_options options;
         options.resynthesize =
             !args.has_flag( "fold-only" ) && !args.has_flag( "no-resynth" );
+        options.resynthesis.cancel = ctx.cancel;
         ir.require_quantum();
         auto result = std::move( *ir.quantum );
         phasepoly::tpar_in_place( result.circuit, options );
         ir.set_quantum( std::move( result ) );
-      } } );
+      },
+      /*degradable=*/true } );
 
   registry.register_pass( pass_info{
       "peephole",
@@ -451,14 +454,15 @@ void register_builtin_passes( pass_registry& registry )
       { "max-rounds" },
       {},
       { "max-rounds" },
-      []( staged_ir& ir, const pass_arguments& args ) {
+      []( staged_ir& ir, const pass_arguments& args, const pass_context& ctx ) {
         const auto rounds = static_cast<uint32_t>(
             args.option_uint_or( "peephole", "max-rounds", 8u ) );
         ir.require_quantum();
         auto result = std::move( *ir.quantum );
-        peephole_in_place( result.circuit, rounds );
+        peephole_in_place( result.circuit, rounds, ctx.cancel );
         ir.set_quantum( std::move( result ) );
-      } } );
+      },
+      /*degradable=*/true } );
 
   registry.register_pass( pass_info{
       "route",
@@ -468,7 +472,7 @@ void register_builtin_passes( pass_registry& registry )
       { "device", "linear", "ring", "router", "lookahead", "layout-trials" },
       {},
       { "linear", "ring", "lookahead", "layout-trials" },
-      []( staged_ir& ir, const pass_arguments& args ) {
+      []( staged_ir& ir, const pass_arguments& args, const pass_context& ctx ) {
         router_options options;
         if ( const auto name = args.option( "router" ) )
         {
@@ -484,6 +488,7 @@ void register_builtin_passes( pass_registry& registry )
             args.option_uint_or( "route", "lookahead", options.extended_set_size ) );
         options.layout_iterations = static_cast<uint32_t>(
             args.option_uint_or( "route", "layout-trials", options.layout_iterations ) );
+        options.cancel = ctx.cancel;
         ir.set_mapped(
             route_circuit( ir.require_quantum().circuit, resolve_device( args ), options ) );
       } } );
@@ -496,7 +501,7 @@ void register_builtin_passes( pass_registry& registry )
       {},
       { "c" },
       {},
-      []( staged_ir& ir, const pass_arguments& ) {
+      []( staged_ir& ir, const pass_arguments&, const pass_context& ) {
         ir.last_statistics = compute_statistics( ir.current_circuit() );
       } } );
 }

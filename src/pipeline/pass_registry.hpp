@@ -11,6 +11,7 @@
  */
 #pragma once
 
+#include "fault/cancel.hpp"
 #include "pipeline/ir.hpp"
 
 #include <functional>
@@ -80,6 +81,20 @@ private:
   std::vector<std::string> positional_;
 };
 
+/*! \brief Execution context handed to every pass invocation.
+ *
+ *  Carries the job's cooperative cancellation token; passes with long
+ *  inner loops (tpar resynthesis, SABRE, simulator compilation) thread
+ *  it into their subsystem options so deadlines and client cancels
+ *  take effect mid-pass, not just at pass boundaries.  Default
+ *  construction yields a detached context (nothing cancellable) for
+ *  direct `apply_pass` callers like `qda::flow`.
+ */
+struct pass_context
+{
+  cancel_token cancel;
+};
+
 /*! \brief One registered pass. */
 struct pass_info
 {
@@ -99,7 +114,14 @@ struct pass_info
    *  integers (validated statically by check_arguments). */
   std::vector<std::string> uint_options;
 
-  std::function<void( staged_ir&, const pass_arguments& )> run;
+  std::function<void( staged_ir&, const pass_arguments&, const pass_context& )> run;
+
+  /*! True when the pass is an optional optimization the pass manager
+   *  may skip (rolling its effect back) under a `degrade` failure
+   *  policy.  Only passes whose produced stage equals their input stage
+   *  (revsimp, tpar, peephole) qualify; synthesis and mapping stay
+   *  strict because skipping them yields no valid circuit. */
+  bool degradable = false;
 
   /*! \brief True if the pass may start from stage `s`. */
   bool accepts_stage( stage s ) const;

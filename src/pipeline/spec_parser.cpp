@@ -1,5 +1,7 @@
 #include "pipeline/spec_parser.hpp"
 
+#include "fault/error.hpp"
+
 #include <cctype>
 #include <sstream>
 #include <stdexcept>
@@ -43,13 +45,24 @@ std::vector<std::string> tokenize( const std::string& command )
   return tokens;
 }
 
-pass_invocation parse_command( const std::vector<std::string>& tokens )
+std::string at_segment( uint32_t segment, size_t offset )
+{
+  return " at segment " + std::to_string( segment ) + " (offset " +
+         std::to_string( offset ) + ")";
+}
+
+pass_invocation parse_command( const std::vector<std::string>& tokens, uint32_t segment,
+                               size_t offset )
 {
   pass_invocation invocation;
   invocation.name = tokens.front();
+  invocation.source_segment = segment;
+  invocation.source_offset = offset;
   if ( !is_valid_pass_name( invocation.name ) )
   {
-    throw std::invalid_argument( "pipeline spec: invalid pass name '" + invocation.name + "'" );
+    throw spec_parse_error( "pipeline spec: invalid pass name '" + invocation.name + "'" +
+                                at_segment( segment, offset ),
+                            segment, offset );
   }
 
   for ( size_t i = 1u; i < tokens.size(); ++i )
@@ -60,8 +73,9 @@ pass_invocation parse_command( const std::vector<std::string>& tokens )
       const auto key = token.substr( 2u );
       if ( key.empty() )
       {
-        throw std::invalid_argument( "pipeline spec: empty option name in '" +
-                                     invocation.name + "'" );
+        throw spec_parse_error( "pipeline spec: empty option name in '" + invocation.name +
+                                    "'" + at_segment( segment, offset ),
+                                segment, offset );
       }
       /* `--key value` is an option; `--key` followed by another switch
        * (or nothing) is a long flag */
@@ -121,22 +135,32 @@ pipeline_spec parse_pipeline( const std::string& text )
 {
   pipeline_spec spec;
   std::string command;
+  uint32_t segment = 0u;                      /* 1-based, non-empty commands only */
+  size_t command_offset = std::string::npos;  /* offset of the first token char */
   const auto flush = [&]() {
     const auto tokens = tokenize( command );
     if ( !tokens.empty() )
     {
-      spec.passes.push_back( parse_command( tokens ) );
+      ++segment;
+      spec.passes.push_back( parse_command( tokens, segment, command_offset ) );
     }
     command.clear();
+    command_offset = std::string::npos;
   };
-  for ( const char c : text )
+  for ( size_t pos = 0u; pos < text.size(); ++pos )
   {
+    const char c = text[pos];
     if ( c == ';' || c == '\n' )
     {
       flush();
     }
     else
     {
+      if ( command_offset == std::string::npos &&
+           std::isspace( static_cast<unsigned char>( c ) ) == 0 )
+      {
+        command_offset = pos;
+      }
       command += c;
     }
   }
@@ -148,14 +172,40 @@ stage validate_pipeline( const pipeline_spec& spec, const pass_registry& registr
                          stage initial )
 {
   stage current = initial;
+  uint32_t index = 0u;
   for ( const auto& invocation : spec.passes )
   {
-    const auto& info = registry.at( invocation.name ); /* throws if unknown */
-    info.check_arguments( invocation.args );
+    ++index;
+    /* programmatically built invocations carry no source location;
+     * fall back to their position in the spec */
+    const auto segment = invocation.source_segment != 0u ? invocation.source_segment : index;
+    const auto offset = invocation.source_offset;
+    if ( !registry.contains( invocation.name ) )
+    {
+      throw spec_parse_error( "pipeline spec: pass '" + invocation.name + "' unknown" +
+                                  at_segment( segment, offset ),
+                              segment, offset );
+    }
+    const auto& info = registry.at( invocation.name );
+    try
+    {
+      info.check_arguments( invocation.args );
+    }
+    catch ( const spec_parse_error& )
+    {
+      throw;
+    }
+    catch ( const std::invalid_argument& e )
+    {
+      throw spec_parse_error( std::string( e.what() ) + at_segment( segment, offset ),
+                              segment, offset );
+    }
     if ( !info.accepts_stage( current ) )
     {
-      throw std::logic_error( std::string( "pipeline spec: pass '" ) + invocation.name +
-                              "' cannot run at stage '" + stage_name( current ) + "'" );
+      throw spec_stage_error( std::string( "pipeline spec: pass '" ) + invocation.name +
+                                  "' cannot run at stage '" + stage_name( current ) + "'" +
+                                  at_segment( segment, offset ),
+                              segment );
     }
     current = info.produces.value_or( current );
   }

@@ -27,6 +27,14 @@ struct pass_invocation
   std::string name;
   pass_arguments args;
 
+  /*! Source location in the submitted spec text: 1-based index of the
+   *  `;`/newline-separated segment and the character offset of the
+   *  command's first token.  Diagnostics only -- never part of the
+   *  canonical rendering or the structural cache key (invocations built
+   *  programmatically leave them 0). */
+  uint32_t source_segment = 0u;
+  size_t source_offset = 0u;
+
   /*! \brief Canonical shell rendering ("revgen --hwb 4"). */
   std::string to_string() const;
 };
@@ -51,18 +59,20 @@ struct pipeline_spec
  *  Parsing normalizes: whitespace, empty segments, and flag/option
  *  order never affect the resulting spec, so equivalent spellings of a
  *  pipeline share one canonical form (and one structural cache key).
- *  Throws std::invalid_argument on malformed input (bad pass name,
- *  empty option name).  Pass names are not resolved here -- use
+ *  Throws qda::spec_parse_error (a std::invalid_argument carrying the
+ *  segment index and character offset) on malformed input (bad pass
+ *  name, empty option name).  Pass names are not resolved here -- use
  *  `validate_pipeline` for that.
  */
 pipeline_spec parse_pipeline( const std::string& text );
 
 /*! \brief Statically validates a pipeline against a registry.
  *
- *  Checks that every pass exists (std::invalid_argument), that its
- *  arguments are within the declared vocabulary (std::invalid_argument)
- *  and that the stage transitions are legal starting from `initial`
- *  (std::logic_error).  Returns the stage after the last pass.
+ *  Checks that every pass exists and that its arguments are within the
+ *  declared vocabulary (qda::spec_parse_error, a std::invalid_argument
+ *  with segment/offset diagnostics) and that the stage transitions are
+ *  legal starting from `initial` (qda::spec_stage_error, a
+ *  std::logic_error).  Returns the stage after the last pass.
  */
 stage validate_pipeline( const pipeline_spec& spec,
                          const pass_registry& registry = pass_registry::instance(),

@@ -1,5 +1,6 @@
 #include "server/compile_server.hpp"
 
+#include "fault/failpoint.hpp"
 #include "telemetry/clock.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -14,8 +15,23 @@ namespace qda::server
 namespace
 {
 
-using detail::elapsed_ms_since;
-using detail::steady_clock;
+using qda::detail::elapsed_ms_since;
+using qda::detail::steady_clock;
+
+/*! Capped exponential backoff: 1 ms base, doubling, 50 ms ceiling. */
+std::chrono::milliseconds retry_backoff( uint32_t attempt )
+{
+  const auto exponent = std::min<uint32_t>( attempt, 6u );
+  return std::chrono::milliseconds( std::min<int64_t>( int64_t{ 1 } << exponent, 50 ) );
+}
+
+bool same_job_options( const job_options& a, const job_options& b )
+{
+  return a.policy == b.policy && a.max_retries == b.max_retries &&
+         a.limits.max_gates == b.limits.max_gates &&
+         a.limits.max_helper_qubits == b.limits.max_helper_qubits &&
+         ( a.deadline.count() == 0 ) == ( b.deadline.count() == 0 );
+}
 
 void set_queue_depth_gauge( size_t depth )
 {
@@ -62,6 +78,16 @@ compile_server::~compile_server()
 
 std::future<compile_response> compile_server::submit( const std::string& spec_text )
 {
+  return std::move( do_submit( spec_text, job_options{} ).future_ );
+}
+
+job_handle compile_server::submit( const std::string& spec_text, const job_options& options )
+{
+  return do_submit( spec_text, options );
+}
+
+job_handle compile_server::do_submit( const std::string& spec_text, const job_options& opts )
+{
   const auto submit_time = steady_clock::now();
   /* parse + validate before admission: malformed requests fail the
    * caller directly and never consume queue capacity */
@@ -72,11 +98,14 @@ std::future<compile_response> compile_server::submit( const std::string& spec_te
                        : compute_text_key( spec_text );
 
   const bool use_cache = options_.enable_result_cache && options_.cache_capacity > 0u;
+  const auto shutdown_error = [] {
+    return qda_error( error_code::server_shutdown, "compile_server: submit after shutdown" );
+  };
 
   std::unique_lock<std::mutex> lock( state_mutex_ );
   if ( stopping_ )
   {
-    throw std::runtime_error( "compile_server: submit after shutdown" );
+    throw shutdown_error();
   }
   ++stats_.submitted;
   QDA_COUNT( "server.jobs.submitted" );
@@ -84,7 +113,18 @@ std::future<compile_response> compile_server::submit( const std::string& spec_te
   /* fast path: an earlier identical job already produced the result */
   if ( use_cache )
   {
-    if ( auto cached = cache_->lookup( key ) )
+    std::shared_ptr<const compilation_result> cached;
+    try
+    {
+      cached = cache_->lookup( key );
+    }
+    catch ( ... )
+    {
+      /* a failing cache backend degrades to a miss, never to a failed
+       * submission */
+      QDA_COUNT( "server.cache.lookup_failed" );
+    }
+    if ( cached )
     {
       ++stats_.completed;
       ++stats_.cache_hits;
@@ -97,30 +137,62 @@ std::future<compile_response> compile_server::submit( const std::string& spec_te
       response.reused_passes = 0u;
       response.total_ms = elapsed_ms_since( submit_time );
       std::promise<compile_response> promise;
-      auto future = promise.get_future();
+      job_handle handle;
+      handle.future_ = promise.get_future();
       promise.set_value( std::move( response ) );
-      return future;
+      return handle;
     }
   }
 
-  /* coalesce: attach to an identical job that is queued or in flight */
+  /* coalesce: attach to an identical job that is queued or in flight.
+   * Only jobs with matching options share a compilation (one waiter's
+   * policy must not change another's semantics), and never a job whose
+   * waiters have all cancelled already. */
   if ( options_.coalesce_identical )
   {
     const auto it = active_.find( key );
-    if ( it != active_.end() )
+    if ( it != active_.end() && same_job_options( it->second->opts, opts ) &&
+         !it->second->ctl->source.cancel_requested() )
     {
+      auto& existing = *it->second;
       ++stats_.coalesced;
       QDA_COUNT( "server.jobs.coalesced" );
-      it->second->waiters.emplace_back( std::promise<compile_response>{}, submit_time );
-      return it->second->waiters.back().first.get_future();
+      existing.ctl->waiters.fetch_add( 1u, std::memory_order_acq_rel );
+      if ( opts.deadline.count() > 0 )
+      {
+        /* the job may run as long as its most patient client allows */
+        existing.ctl->source.extend_deadline( submit_time + opts.deadline );
+      }
+      existing.waiters.emplace_back( std::promise<compile_response>{}, submit_time );
+      job_handle handle;
+      handle.future_ = existing.waiters.back().first.get_future();
+      handle.ctl_ = existing.ctl;
+      return handle;
     }
   }
 
   /* admission control */
+  uint32_t admission_attempts = 0u;
   while ( queue_.size() >= options_.max_queue_depth && !stopping_ )
   {
     if ( options_.reject_when_full )
     {
+      if ( admission_attempts < opts.max_retries )
+      {
+        /* transient overload: back off briefly and retry admission
+         * before bouncing the request back to the client */
+        ++admission_attempts;
+        ++stats_.retried;
+        QDA_COUNT( "server.jobs.retried" );
+        const auto backoff = retry_backoff( admission_attempts );
+        QDA_HISTOGRAM( "server.retry_backoff_ms",
+                       static_cast<double>( backoff.count() ),
+                       { 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0 } );
+        lock.unlock();
+        std::this_thread::sleep_for( backoff );
+        lock.lock();
+        continue;
+      }
       ++stats_.rejected;
       QDA_COUNT( "server.jobs.rejected" );
       throw server_overloaded( "compile_server: queue full (" +
@@ -130,7 +202,7 @@ std::future<compile_response> compile_server::submit( const std::string& spec_te
   }
   if ( stopping_ )
   {
-    throw std::runtime_error( "compile_server: submit after shutdown" );
+    throw shutdown_error();
   }
 
   auto job_ptr = std::make_shared<job>();
@@ -138,18 +210,30 @@ std::future<compile_response> compile_server::submit( const std::string& spec_te
   job_ptr->canonical = job_ptr->spec.to_string();
   job_ptr->key = key;
   job_ptr->enqueued_at = submit_time;
+  job_ptr->opts = opts;
+  job_ptr->ctl = std::make_shared<detail::job_cancel>();
+  job_ptr->ctl->waiters.store( 1u, std::memory_order_relaxed );
+  if ( opts.deadline.count() > 0 )
+  {
+    /* armed from submission, so queue wait counts against the budget */
+    job_ptr->ctl->source.set_deadline( submit_time + opts.deadline );
+  }
   job_ptr->waiters.emplace_back( std::promise<compile_response>{}, submit_time );
-  auto future = job_ptr->waiters.back().first.get_future();
+  job_handle handle;
+  handle.future_ = job_ptr->waiters.back().first.get_future();
+  handle.ctl_ = job_ptr->ctl;
 
   queue_.push_back( job_ptr );
   if ( options_.coalesce_identical )
   {
-    active_.emplace( key, job_ptr );
+    /* a same-key job may still be registered if its waiters all
+     * cancelled or its options differ; latest wins as coalesce target */
+    active_[key] = job_ptr;
   }
   stats_.peak_queue_depth = std::max<uint64_t>( stats_.peak_queue_depth, queue_.size() );
   set_queue_depth_gauge( queue_.size() );
   work_available_.notify_one();
-  return future;
+  return handle;
 }
 
 void compile_server::worker_loop()
@@ -201,6 +285,7 @@ void compile_server::execute( const std::shared_ptr<job>& job_ptr )
   job_span.attr( "queue_wait_ms", queue_wait_ms );
 
   const auto& spec = job_ptr->spec;
+  const auto token = job_ptr->ctl->source.token();
   const bool use_prefixes = options_.enable_prefix_reuse &&
                             options_.prefix_capacity > 0u && spec.size() >= 2u;
 
@@ -221,6 +306,9 @@ void compile_server::execute( const std::shared_ptr<job>& job_ptr )
   run_plan plan;
   plan.cache_key = job_ptr->key;
   plan.lookup = false; /* already probed at admission */
+  plan.cancel = token;
+  plan.policy = job_ptr->opts.policy;
+  plan.limits = job_ptr->opts.limits;
   staged_ir initial;
   double resumed_saved_ms = 0.0;
   if ( use_prefixes )
@@ -256,26 +344,98 @@ void compile_server::execute( const std::shared_ptr<job>& job_ptr )
       {
         return;
       }
-      prefixes_.store( key, prefix_entry{ ir, reports } );
-      QDA_COUNT( "server.prefix.snapshot" );
+      try
+      {
+        QDA_FAILPOINT( "prefix.snapshot" );
+        prefixes_.store( key, prefix_entry{ ir, reports } );
+        QDA_COUNT( "server.prefix.snapshot" );
+      }
+      catch ( ... )
+      {
+        /* a snapshot is pure opportunity; dropping it never fails the
+         * compilation it was harvested from */
+        QDA_COUNT( "server.prefix.snapshot_failed" );
+      }
     };
   }
 
+  /* compile, retrying transient failures with capped exponential
+   * backoff; every outcome -- success, degradation, typed failure --
+   * is delivered by value so the worker thread never dies */
   compile_response response;
-  std::exception_ptr error;
-  try
+  response.queue_wait_ms = queue_wait_ms;
+  const auto max_retries = job_ptr->opts.max_retries;
+  for ( uint32_t attempt = 0u;; )
   {
-    auto result = manager_.run( spec, std::move( initial ), plan, observer );
-    response.reused_passes = result.reused_passes;
-    response.queue_wait_ms = queue_wait_ms;
-    response.result = std::make_shared<const compilation_result>( std::move( result ) );
-  }
-  catch ( ... )
-  {
-    error = std::current_exception();
+    try
+    {
+      if ( token.cancel_requested() )
+      {
+        throw qda_error( error_code::cancelled,
+                         "compilation cancelled while queued for '" +
+                             job_ptr->canonical + "'" );
+      }
+      if ( job_ptr->opts.policy == failure_policy::strict )
+      {
+        /* fast-fail jobs whose budget elapsed during the queue wait;
+         * under degrade the run itself skips what no longer fits */
+        token.check( "server.pickup" );
+      }
+      QDA_FAILPOINT( "server.worker" );
+      /* each attempt compiles a fresh copy of the input; the final
+       * attempt may consume it */
+      staged_ir input =
+          attempt >= max_retries ? std::move( initial ) : staged_ir( initial );
+      auto result = manager_.run( spec, std::move( input ), plan, observer );
+      response.reused_passes = result.reused_passes;
+      response.degraded = result.degraded;
+      response.code = error_code::ok;
+      response.error_message.clear();
+      response.result = std::make_shared<const compilation_result>( std::move( result ) );
+      break;
+    }
+    catch ( const qda_error& e )
+    {
+      response.code = e.code();
+      response.error_message = e.what();
+      const bool retryable = e.transient() && attempt < max_retries &&
+                             !token.cancel_requested() && !token.deadline_expired();
+      if ( !retryable )
+      {
+        break;
+      }
+    }
+    catch ( const std::exception& e )
+    {
+      response.code = classify_current_exception( error_code::pass_failure );
+      response.error_message = e.what();
+      break; /* untyped failures are never retried */
+    }
+    catch ( ... )
+    {
+      response.code = error_code::internal;
+      response.error_message = "unknown compile failure";
+      break;
+    }
+    ++attempt;
+    ++response.retries;
+    QDA_COUNT( "server.jobs.retried" );
+    const auto backoff = retry_backoff( attempt );
+    QDA_HISTOGRAM( "server.retry_backoff_ms", static_cast<double>( backoff.count() ),
+                   { 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0 } );
+    std::this_thread::sleep_for( backoff );
   }
   const auto compile_ms = elapsed_ms_since( started );
   job_span.attr( "compile_ms", compile_ms );
+  job_span.attr( "error_code", std::string( error_code_name( response.code ) ) );
+  if ( response.degraded )
+  {
+    job_span.attr( "degraded", int64_t{ 1 } );
+  }
+  if ( response.retries > 0u )
+  {
+    job_span.attr( "retries", static_cast<int64_t>( response.retries ) );
+  }
 
   /* completion: detach the job, then fulfill every attached submission */
   decltype( job_ptr->waiters ) waiters;
@@ -283,18 +443,19 @@ void compile_server::execute( const std::shared_ptr<job>& job_ptr )
     std::lock_guard<std::mutex> guard( state_mutex_ );
     if ( options_.coalesce_identical )
     {
-      /* the result is already stored in the shared cache, so any
-       * submission racing this erase hits the cache instead */
-      active_.erase( job_ptr->key );
+      /* erase only our own registration: a later same-key submission
+       * may have replaced it (e.g. after this job was cancelled) */
+      const auto it = active_.find( job_ptr->key );
+      if ( it != active_.end() && it->second == job_ptr )
+      {
+        active_.erase( it );
+      }
     }
     record_queue_wait( queue_wait_ms );
-    if ( error )
+    stats_.retried += response.retries;
+    switch ( response.code )
     {
-      ++stats_.failed;
-      QDA_COUNT( "server.jobs.failed" );
-    }
-    else
-    {
+    case error_code::ok:
       ++stats_.compiled;
       stats_.completed += job_ptr->waiters.size();
       stats_.passes_executed += job_ptr->spec.size() - response.reused_passes;
@@ -304,8 +465,26 @@ void compile_server::execute( const std::shared_ptr<job>& job_ptr )
         stats_.prefix_passes_skipped += response.reused_passes;
         stats_.prefix_saved_ms += resumed_saved_ms;
       }
+      if ( response.degraded )
+      {
+        ++stats_.degraded;
+        QDA_COUNT( "server.jobs.degraded" );
+      }
       QDA_COUNT( "server.jobs.compiled" );
       QDA_COUNT_N( "server.jobs.completed", job_ptr->waiters.size() );
+      break;
+    case error_code::cancelled:
+      ++stats_.cancelled;
+      QDA_COUNT( "server.jobs.cancelled" );
+      break;
+    case error_code::deadline_exceeded:
+      ++stats_.deadline_exceeded;
+      QDA_COUNT( "server.jobs.deadline" );
+      break;
+    default:
+      ++stats_.failed;
+      QDA_COUNT( "server.jobs.failed" );
+      break;
     }
     waiters.swap( job_ptr->waiters );
   }
@@ -313,17 +492,10 @@ void compile_server::execute( const std::shared_ptr<job>& job_ptr )
   bool first = true;
   for ( auto& [promise, submit_time] : waiters )
   {
-    if ( error )
-    {
-      promise.set_exception( error );
-    }
-    else
-    {
-      auto copy = response;
-      copy.coalesced = !first;
-      copy.total_ms = elapsed_ms_since( submit_time );
-      promise.set_value( std::move( copy ) );
-    }
+    auto copy = response;
+    copy.coalesced = !first;
+    copy.total_ms = elapsed_ms_since( submit_time );
+    promise.set_value( std::move( copy ) );
     first = false;
   }
 }
@@ -379,6 +551,14 @@ std::string format_server_report( const server_statistics& stats )
                  static_cast<unsigned long long>( stats.compiled ),
                  static_cast<unsigned long long>( stats.rejected ),
                  static_cast<unsigned long long>( stats.failed ) );
+  out << line;
+  std::snprintf( line, sizeof( line ),
+                 "  faults: %llu cancelled, %llu deadline-exceeded, %llu degraded, "
+                 "%llu retries\n",
+                 static_cast<unsigned long long>( stats.cancelled ),
+                 static_cast<unsigned long long>( stats.deadline_exceeded ),
+                 static_cast<unsigned long long>( stats.degraded ),
+                 static_cast<unsigned long long>( stats.retried ) );
   out << line;
   std::snprintf( line, sizeof( line ),
                  "  result cache: %llu entries / %zu shards, %llu hits, %llu misses, "

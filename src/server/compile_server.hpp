@@ -26,12 +26,15 @@
  */
 #pragma once
 
+#include "fault/cancel.hpp"
+#include "fault/error.hpp"
 #include "pipeline/pass_manager.hpp"
 #include "server/prefix_cache.hpp"
 #include "server/sharded_cache.hpp"
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -82,7 +85,35 @@ struct server_options
   const pass_registry* registry = nullptr;
 };
 
-/*! \brief One served request. */
+/*! \brief Per-job execution options (deadline, degradation, retries). */
+struct job_options
+{
+  /*! Wall-clock budget measured from submission (queue wait counts);
+   *  zero = unbounded.  An expired deadline fails the job with
+   *  `deadline_exceeded` under `strict` policy, or skips the remaining
+   *  degradable passes under `degrade`. */
+  std::chrono::milliseconds deadline{ 0 };
+
+  failure_policy policy = failure_policy::strict;
+
+  /*! Gate / helper-qubit ceilings -> `resource_exhausted`. */
+  resource_limits limits;
+
+  /*! Worker-side retries of *transient* compile failures (injected
+   *  faults, overload), with capped exponential backoff (1 ms base,
+   *  doubling, 50 ms cap).  In reject-when-full mode the same budget
+   *  also retries admission before `server_overloaded` is thrown. */
+  uint32_t max_retries = 0u;
+};
+
+/*! \brief One served request.
+ *
+ *  Compile failures are delivered by value: `code != error_code::ok`
+ *  with `result == nullptr` and the diagnostic in `error_message`, so
+ *  clients branch on the stable code instead of catching exceptions.
+ *  (Submission-time failures -- malformed specs, overload, shutdown --
+ *  still throw from `submit`, before a future exists.)
+ */
 struct compile_response
 {
   std::shared_ptr<const compilation_result> result;
@@ -91,13 +122,92 @@ struct compile_response
   uint32_t reused_passes = 0u; /*!< passes skipped via the prefix cache */
   double queue_wait_ms = 0.0;  /*!< admission -> worker pickup (0 for hits) */
   double total_ms = 0.0;       /*!< submit -> response */
+
+  error_code code = error_code::ok;
+  std::string error_message;
+  bool degraded = false;  /*!< >= 1 pass skipped under the degrade policy */
+  uint32_t retries = 0u;  /*!< transient-failure retries this job consumed */
+
+  bool ok() const noexcept { return code == error_code::ok; }
 };
 
-/*! \brief Rejected by admission control (queue full, reject mode). */
-class server_overloaded : public std::runtime_error
+/*! \brief Rejected by admission control (queue full, reject mode).
+ *         Typed `overloaded` and transient: the same request may be
+ *         admitted later.
+ */
+class server_overloaded : public qda_error
 {
 public:
-  explicit server_overloaded( const std::string& what ) : std::runtime_error( what ) {}
+  explicit server_overloaded( const std::string& what )
+      : qda_error( error_code::overloaded, what, /*transient=*/true )
+  {
+  }
+};
+
+namespace detail
+{
+
+/*! \brief Shared cancel bookkeeping of one queued or in-flight job.
+ *
+ *  Coalesced submissions share one compilation, so one waiter's
+ *  cancel must not abort the others: the job's cancel_source fires
+ *  only once every attached waiter has cancelled.
+ */
+struct job_cancel
+{
+  cancel_source source;
+  std::atomic<uint32_t> waiters{ 0u };
+  std::atomic<uint32_t> cancelled{ 0u };
+
+  void cancel_one() noexcept
+  {
+    const auto done = cancelled.fetch_add( 1u, std::memory_order_acq_rel ) + 1u;
+    if ( done >= waiters.load( std::memory_order_acquire ) )
+    {
+      source.request_cancel();
+    }
+  }
+};
+
+} // namespace detail
+
+/*! \brief Client handle to one submission: the response future plus
+ *         cooperative cancellation.
+ */
+class job_handle
+{
+public:
+  job_handle() = default;
+
+  std::future<compile_response>& future() noexcept { return future_; }
+
+  /*! \brief Blocks for the response (shorthand for future().get()). */
+  compile_response get() { return future_.get(); }
+
+  bool valid() const noexcept { return future_.valid(); }
+
+  /*! \brief Requests cooperative cancellation of this submission.
+   *
+   *  The shared compilation aborts (typed `cancelled`) once every
+   *  coalesced waiter has cancelled; until then the job keeps running
+   *  for the remaining waiters and this handle still receives the
+   *  outcome.  Idempotent; a no-op for cache hits.
+   */
+  void cancel() noexcept
+  {
+    if ( ctl_ && !cancel_sent_ )
+    {
+      cancel_sent_ = true;
+      ctl_->cancel_one();
+    }
+  }
+
+private:
+  friend class compile_server;
+
+  std::future<compile_response> future_;
+  std::shared_ptr<detail::job_cancel> ctl_;
+  bool cancel_sent_ = false;
 };
 
 /*! \brief Queue-wait histogram bucket upper bounds, in ms. */
@@ -113,7 +223,11 @@ struct server_statistics
   uint64_t coalesced = 0u;  /*!< attached to an identical pending job */
   uint64_t compiled = 0u;   /*!< jobs that actually executed passes */
   uint64_t rejected = 0u;
-  uint64_t failed = 0u;
+  uint64_t failed = 0u;    /*!< pass failures / resource exhaustion */
+  uint64_t cancelled = 0u; /*!< jobs aborted by client cancel */
+  uint64_t deadline_exceeded = 0u;
+  uint64_t degraded = 0u;  /*!< completed jobs with >= 1 degraded pass */
+  uint64_t retried = 0u;   /*!< transient-failure retry attempts */
 
   uint64_t prefix_hits = 0u;          /*!< compiles resumed mid-pipeline */
   uint64_t prefix_passes_skipped = 0u;
@@ -153,13 +267,21 @@ public:
 
   /*! \brief Parses, validates and admits one request.
    *
-   *  Throws std::invalid_argument / std::logic_error on malformed
-   *  specs (before admission), `server_overloaded` when the queue is
-   *  full in reject mode, and std::runtime_error after shutdown began;
-   *  otherwise blocks while the queue is full.  The future holds the
-   *  response, or the exception the compilation raised.
+   *  Throws qda::spec_parse_error (a std::invalid_argument) /
+   *  qda::spec_stage_error (a std::logic_error) on malformed specs
+   *  (before admission), `server_overloaded` when the queue is full in
+   *  reject mode, and a typed `server_shutdown` qda_error (a
+   *  std::runtime_error) after shutdown began; otherwise blocks while
+   *  the queue is full.  The future always delivers a value: compile
+   *  failures arrive as `compile_response::code != ok`.
    */
   std::future<compile_response> submit( const std::string& spec_text );
+
+  /*! \brief Like submit(), with per-job deadline / degradation /
+   *         retry options and a cancellable handle.  Jobs coalesce
+   *         only with identical options (deadlines max-merge).
+   */
+  job_handle submit( const std::string& spec_text, const job_options& options );
 
   /*! \brief Stops admission, drains every admitted job, joins the
    *         worker pool (idempotent).
@@ -187,11 +309,14 @@ private:
     structural_key key;
     std::vector<structural_key> prefix_keys; /*!< [len] = key of first len passes */
     std::chrono::steady_clock::time_point enqueued_at;
+    job_options opts;
+    std::shared_ptr<detail::job_cancel> ctl;
     /*! Each attached submission: its promise and submit time. */
     std::vector<std::pair<std::promise<compile_response>,
                           std::chrono::steady_clock::time_point>> waiters;
   };
 
+  job_handle do_submit( const std::string& spec_text, const job_options& options );
   void worker_loop();
   void execute( const std::shared_ptr<job>& job_ptr );
   void record_queue_wait( double wait_ms );

@@ -1,5 +1,6 @@
 #include "server/sharded_cache.hpp"
 
+#include "fault/failpoint.hpp"
 #include "pipeline/pass_manager.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -14,6 +15,7 @@ sharded_compilation_cache::sharded_compilation_cache( size_t num_shards, size_t 
 std::shared_ptr<const compilation_result>
 sharded_compilation_cache::lookup( const structural_key& key )
 {
+  QDA_FAILPOINT( "cache.lookup" );
   auto result = map_.find( key );
   if ( result )
   {
@@ -31,6 +33,7 @@ sharded_compilation_cache::lookup( const structural_key& key )
 void sharded_compilation_cache::store( const structural_key& key,
                                        std::shared_ptr<const compilation_result> result )
 {
+  QDA_FAILPOINT( "cache.store" );
   const auto evicted = map_.insert( key, std::move( result ) );
   QDA_COUNT_N( "pipeline.cache.evict", evicted );
 }

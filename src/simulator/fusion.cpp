@@ -622,8 +622,13 @@ program compile_impl( const qcircuit& circuit, std::vector<uint32_t>* measured,
 {
   QDA_TRACE_SPAN_NAMED( compile_span, "sim.compile" );
   compiler c( circuit.num_qubits(), options );
+  cancel_checkpoint checkpoint( 4096u );
   for ( const auto& gate : circuit.gates() )
   {
+    if ( checkpoint.due() )
+    {
+      options.cancel.check( "sim.compile" );
+    }
     c.add_gate( gate, measured );
   }
   auto prog = c.finish();

@@ -25,6 +25,7 @@
  */
 #pragma once
 
+#include "fault/cancel.hpp"
 #include "quantum/qcircuit.hpp"
 #include "simulator/kernels.hpp"
 
@@ -86,6 +87,8 @@ struct compile_options
    *         amplitudes = 1 MiB, sized for L2).
    */
   uint32_t tile_qubits = 0u;
+  /*! \brief Cooperative cancellation, polled in the gate-fusion loop. */
+  cancel_token cancel{};
 };
 
 /*! \brief A run of consecutive ops in execution order.  A tiled segment

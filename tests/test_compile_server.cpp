@@ -293,7 +293,7 @@ pass_registry make_gated_registry( gate_control& gate )
   blocked.accepts = { stage::permutation };
   blocked.produces = stage::permutation;
   blocked.known_options = { "id" };
-  blocked.run = [&gate]( staged_ir&, const pass_arguments& ) {
+  blocked.run = [&gate]( staged_ir&, const pass_arguments&, const pass_context& ) {
     gate.started.fetch_add( 1u );
     while ( !gate.release.load() )
     {

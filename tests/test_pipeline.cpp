@@ -144,7 +144,7 @@ TEST( pass_registry_test, duplicate_registration_is_rejected )
   duplicate.name = "tbs";
   duplicate.accepts = { stage::permutation };
   duplicate.produces = stage::reversible;
-  duplicate.run = []( staged_ir&, const pass_arguments& ) {};
+  duplicate.run = []( staged_ir&, const pass_arguments&, const pass_context& ) {};
   EXPECT_THROW( registry.register_pass( std::move( duplicate ) ), std::invalid_argument );
 }
 
@@ -157,7 +157,7 @@ TEST( pass_registry_test, custom_pass_participates_in_pipelines )
   reverse_pass.summary = "replace the reversible circuit by its inverse";
   reverse_pass.accepts = { stage::reversible };
   reverse_pass.produces = stage::reversible;
-  reverse_pass.run = []( staged_ir& ir, const pass_arguments& ) {
+  reverse_pass.run = []( staged_ir& ir, const pass_arguments&, const pass_context& ) {
     ir.set_reversible( ir.require_reversible().inverse() );
   };
   registry.register_pass( std::move( reverse_pass ) );
