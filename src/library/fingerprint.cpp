@@ -1,0 +1,508 @@
+#include "library/fingerprint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+namespace qda::library
+{
+
+namespace
+{
+
+constexpr uint64_t fnv_offset = 0xcbf29ce484222325ull;
+constexpr uint64_t fnv_check_seed = 0x9e3779b97f4a7c15ull;
+constexpr uint64_t fnv_prime = 0x100000001b3ull;
+
+uint64_t fnv_accumulate( uint64_t state, const void* data, size_t size ) noexcept
+{
+  const auto* bytes = static_cast<const unsigned char*>( data );
+  for ( size_t i = 0u; i < size; ++i )
+  {
+    state ^= bytes[i];
+    state *= fnv_prime;
+  }
+  return state;
+}
+
+/*! splitmix64 finalizer: decorrelates WL colors between rounds. */
+uint64_t mix( uint64_t value ) noexcept
+{
+  value += 0x9e3779b97f4a7c15ull;
+  value = ( value ^ ( value >> 30u ) ) * 0xbf58476d1ce4e5b9ull;
+  value = ( value ^ ( value >> 27u ) ) * 0x94d049bb133111ebull;
+  return value ^ ( value >> 31u );
+}
+
+void append_u8( std::string& bytes, uint8_t value )
+{
+  bytes.push_back( static_cast<char>( value ) );
+}
+
+void append_u32( std::string& bytes, uint32_t value )
+{
+  char buffer[sizeof( value )];
+  std::memcpy( buffer, &value, sizeof( value ) );
+  bytes.append( buffer, sizeof( value ) );
+}
+
+void append_u64( std::string& bytes, uint64_t value )
+{
+  char buffer[sizeof( value )];
+  std::memcpy( buffer, &value, sizeof( value ) );
+  bytes.append( buffer, sizeof( value ) );
+}
+
+void append_angle( std::string& bytes, double angle )
+{
+  /* exact bit pattern: the verified spelling never tolerates angle
+   * drift, so a splice reproduces the stored form bit-for-bit */
+  uint64_t value;
+  std::memcpy( &value, &angle, sizeof( value ) );
+  append_u64( bytes, value );
+}
+
+void finish_probe( phasepoly::splice_probe& probe )
+{
+  probe.key = fingerprint_bytes( probe.bytes );
+  probe.valid = true;
+}
+
+/* ---- WL-style canonicalization of a phase polynomial ---- */
+
+/*! One hyperedge of the region graph: a phase term (colored by its
+ *  quantized angle) or an output row (colored by its anchor wire). */
+struct poly_edge
+{
+  std::vector<uint32_t> vars;
+  uint64_t color = 0u;
+  uint32_t anchor = 0u;     /* rows only: the output wire */
+  bool is_row = false;
+};
+
+struct poly_graph
+{
+  uint32_t num_vars = 0u;
+  std::vector<poly_edge> edges;
+  std::vector<std::vector<uint32_t>> incident; /* var -> edge indices */
+  std::vector<uint8_t> constant_bit;
+};
+
+poly_graph build_graph( const phasepoly::phase_polynomial& poly )
+{
+  poly_graph graph;
+  graph.num_vars = poly.num_vars;
+  graph.incident.resize( poly.num_vars );
+  graph.constant_bit.resize( poly.num_vars, 0u );
+  poly.output_constants.for_each_set_bit( [&]( uint32_t var ) {
+    if ( var < poly.num_vars )
+    {
+      graph.constant_bit[var] = 1u;
+    }
+  } );
+
+  for ( const auto& term : poly.terms )
+  {
+    poly_edge edge;
+    edge.color = mix( 0x7465726du ^ static_cast<uint64_t>( quantize_angle( term.angle ) ) );
+    term.parity.for_each_set_bit( [&]( uint32_t var ) { edge.vars.push_back( var ); } );
+    const auto index = static_cast<uint32_t>( graph.edges.size() );
+    for ( const uint32_t var : edge.vars )
+    {
+      graph.incident[var].push_back( index );
+    }
+    graph.edges.push_back( std::move( edge ) );
+  }
+  for ( uint32_t row = 0u; row < poly.num_vars; ++row )
+  {
+    poly_edge edge;
+    edge.is_row = true;
+    edge.anchor = row;
+    edge.color = mix( 0x726f77u );
+    poly.output_linear[row].for_each_set_bit(
+        [&]( uint32_t var ) { edge.vars.push_back( var ); } );
+    const auto index = static_cast<uint32_t>( graph.edges.size() );
+    for ( const uint32_t var : edge.vars )
+    {
+      graph.incident[var].push_back( index );
+    }
+    graph.edges.push_back( std::move( edge ) );
+  }
+  return graph;
+}
+
+size_t count_classes( const std::vector<uint64_t>& colors )
+{
+  auto sorted = colors;
+  std::sort( sorted.begin(), sorted.end() );
+  return static_cast<size_t>( std::unique( sorted.begin(), sorted.end() ) - sorted.begin() );
+}
+
+/*! One-round WL refinement; returns the number of color classes. */
+size_t refine_to_stable( const poly_graph& graph, std::vector<uint64_t>& colors )
+{
+  const uint32_t m = graph.num_vars;
+  size_t classes = count_classes( colors );
+  std::vector<uint64_t> next( m );
+  std::vector<uint64_t> signature;
+  for ( uint32_t round = 0u; round < m + 2u; ++round )
+  {
+    /* commutative member digest per edge (order-free multiset hash) */
+    std::vector<uint64_t> edge_sum( graph.edges.size(), 0u );
+    std::vector<uint64_t> edge_xor( graph.edges.size(), 0u );
+    for ( size_t e = 0u; e < graph.edges.size(); ++e )
+    {
+      for ( const uint32_t var : graph.edges[e].vars )
+      {
+        const uint64_t mixed = mix( colors[var] );
+        edge_sum[e] += mixed;
+        edge_xor[e] ^= mixed;
+      }
+    }
+    for ( uint32_t var = 0u; var < m; ++var )
+    {
+      signature.clear();
+      for ( const uint32_t e : graph.incident[var] )
+      {
+        const auto& edge = graph.edges[e];
+        const uint64_t anchor_color = edge.is_row ? mix( colors[edge.anchor] ) : 0u;
+        signature.push_back( mix( edge.color ^ mix( edge_sum[e] ) ^
+                                  mix( edge_xor[e] + anchor_color ) ) );
+      }
+      /* the row anchored here sees its member digest even when the var
+       * is not a member (identity rows distinguish wires) */
+      const auto& row = graph.edges[graph.edges.size() - m + var];
+      signature.push_back( mix( 0x616e63u ^ mix( edge_sum[graph.edges.size() - m + var] ) ^
+                                row.color ) );
+      std::sort( signature.begin(), signature.end() );
+      uint64_t state = colors[var];
+      for ( const uint64_t item : signature )
+      {
+        state = fnv_accumulate( state, &item, sizeof( item ) );
+      }
+      next[var] = state;
+    }
+    colors = next;
+    const size_t refined = count_classes( colors );
+    if ( refined == classes )
+    {
+      return refined;
+    }
+    classes = refined;
+    if ( classes == m )
+    {
+      return classes;
+    }
+  }
+  return classes;
+}
+
+std::vector<uint32_t> order_of( const std::vector<uint64_t>& colors )
+{
+  std::vector<uint32_t> order( colors.size() );
+  for ( uint32_t var = 0u; var < colors.size(); ++var )
+  {
+    order[var] = var;
+  }
+  std::stable_sort( order.begin(), order.end(), [&]( uint32_t a, uint32_t b ) {
+    return colors[a] != colors[b] ? colors[a] < colors[b] : a < b;
+  } );
+  return order;
+}
+
+/*! Serializes the polynomial under the labeling `order` (canonical
+ *  label c = variable order[c]). */
+std::string serialize_poly( const phasepoly::phase_polynomial& poly, std::string_view tag,
+                            const std::vector<uint32_t>& order )
+{
+  const uint32_t m = poly.num_vars;
+  std::vector<uint32_t> to_canonical( m );
+  for ( uint32_t c = 0u; c < m; ++c )
+  {
+    to_canonical[order[c]] = c;
+  }
+
+  std::string bytes;
+  bytes.append( "poly1|" );
+  bytes.append( tag );
+  bytes.push_back( '|' );
+  append_u32( bytes, m );
+
+  for ( uint32_t c = 0u; c < m; ++c )
+  {
+    append_u8( bytes, poly.output_constants.test( order[c] ) ? 1u : 0u );
+  }
+  std::vector<uint32_t> members;
+  for ( uint32_t c = 0u; c < m; ++c )
+  {
+    members.clear();
+    poly.output_linear[order[c]].for_each_set_bit(
+        [&]( uint32_t var ) { members.push_back( to_canonical[var] ); } );
+    std::sort( members.begin(), members.end() );
+    append_u32( bytes, static_cast<uint32_t>( members.size() ) );
+    for ( const uint32_t member : members )
+    {
+      append_u32( bytes, member );
+    }
+  }
+
+  std::vector<std::string> terms;
+  terms.reserve( poly.terms.size() );
+  for ( const auto& term : poly.terms )
+  {
+    members.clear();
+    term.parity.for_each_set_bit(
+        [&]( uint32_t var ) { members.push_back( to_canonical[var] ); } );
+    std::sort( members.begin(), members.end() );
+    std::string spelled;
+    append_u32( spelled, static_cast<uint32_t>( members.size() ) );
+    for ( const uint32_t member : members )
+    {
+      append_u32( spelled, member );
+    }
+    append_angle( spelled, term.angle );
+    terms.push_back( std::move( spelled ) );
+  }
+  std::sort( terms.begin(), terms.end() );
+  append_u32( bytes, static_cast<uint32_t>( terms.size() ) );
+  for ( const auto& term : terms )
+  {
+    bytes.append( term );
+  }
+  append_angle( bytes, poly.global_phase );
+  return bytes;
+}
+
+} // namespace
+
+std::array<uint64_t, 2> fingerprint_bytes( std::string_view bytes ) noexcept
+{
+  return { fnv_accumulate( fnv_offset, bytes.data(), bytes.size() ),
+           fnv_accumulate( fnv_check_seed, bytes.data(), bytes.size() ) };
+}
+
+int64_t quantize_angle( double angle ) noexcept
+{
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  double folded = std::fmod( angle, two_pi );
+  if ( folded < 0.0 )
+  {
+    folded += two_pi;
+  }
+  /* pi/4 grid times 2^20 sub-buckets: ulp noise never splits a bucket,
+   * and a nearby-but-different angle only costs a missed hit (the
+   * byte-exact verify keeps wrong splices impossible) */
+  constexpr double resolution = std::numbers::pi / 4.0 / static_cast<double>( 1u << 20u );
+  const auto bucket = std::llround( folded / resolution );
+  constexpr int64_t wrap = int64_t{ 8 } << 20u;
+  return bucket >= wrap ? 0 : bucket;
+}
+
+void fingerprint_phase_polynomial( const phasepoly::phase_polynomial& poly,
+                                   std::string_view tag, phasepoly::splice_probe& probe )
+{
+  const uint32_t m = poly.num_vars;
+  const auto graph = build_graph( poly );
+  std::vector<uint64_t> colors( m );
+  for ( uint32_t var = 0u; var < m; ++var )
+  {
+    colors[var] = mix( 0x696e6974u ^ graph.constant_bit[var] );
+  }
+  size_t classes = refine_to_stable( graph, colors );
+
+  /* budgeted individualization: refinement-stable ties are broken by
+   * the candidate whose fully refined serialization is smallest -- a
+   * relabeling-invariant choice (the achievable set is invariant and
+   * we take its minimum); past the budget ties fall back to input
+   * order, which can only cost a missed hit */
+  uint32_t budget = 32u;
+  while ( classes < m && budget > 0u )
+  {
+    uint64_t tie_color = 0u;
+    uint32_t tie_count = 0u;
+    for ( uint32_t var = 0u; var < m; ++var )
+    {
+      uint32_t same = 0u;
+      for ( uint32_t other = 0u; other < m; ++other )
+      {
+        same += colors[other] == colors[var] ? 1u : 0u;
+      }
+      if ( same > 1u && ( tie_count == 0u || colors[var] < tie_color ) )
+      {
+        tie_color = colors[var];
+        tie_count = same;
+      }
+    }
+    if ( tie_count == 0u || tie_count > 16u )
+    {
+      break;
+    }
+    int best = -1;
+    std::string best_bytes;
+    std::vector<uint64_t> best_colors;
+    for ( uint32_t var = 0u; var < m; ++var )
+    {
+      if ( colors[var] != tie_color )
+      {
+        continue;
+      }
+      auto trial = colors;
+      trial[var] = mix( trial[var] ^ 0x6964ull );
+      refine_to_stable( graph, trial );
+      auto bytes = serialize_poly( poly, tag, order_of( trial ) );
+      if ( best < 0 || bytes < best_bytes )
+      {
+        best = static_cast<int>( var );
+        best_bytes = std::move( bytes );
+        best_colors = std::move( trial );
+      }
+    }
+    colors = std::move( best_colors );
+    classes = count_classes( colors );
+    --budget;
+  }
+
+  const auto order = order_of( colors );
+  probe.before = { poly.terms.size(), 0u, 0u };
+  probe.bytes = serialize_poly( poly, tag, order );
+  probe.wires = order; /* canonical label -> region-local variable */
+  probe.perm.assign( m, 0u );
+  for ( uint32_t c = 0u; c < m; ++c )
+  {
+    probe.perm[order[c]] = c; /* region-local variable -> canonical */
+  }
+  finish_probe( probe );
+}
+
+void append_gate_bytes( std::string& bytes, const qgate_view& gate )
+{
+  append_u8( bytes, static_cast<uint8_t>( gate.kind ) );
+  switch ( gate.kind )
+  {
+  case gate_kind::global_phase:
+    append_angle( bytes, gate.angle );
+    return;
+  case gate_kind::barrier:
+    return;
+  default:
+    break;
+  }
+  append_u8( bytes, static_cast<uint8_t>( gate.controls.size() ) );
+  for ( const uint32_t control : gate.controls )
+  {
+    append_u32( bytes, control );
+  }
+  append_u32( bytes, gate.target );
+  if ( gate.kind == gate_kind::swap )
+  {
+    append_u32( bytes, gate.target2 );
+  }
+  if ( gate.kind == gate_kind::rx || gate.kind == gate_kind::ry ||
+       gate.kind == gate_kind::rz )
+  {
+    append_angle( bytes, gate.angle );
+  }
+}
+
+void fingerprint_circuit( const qcircuit& circuit, std::string_view tag,
+                          phasepoly::splice_probe& probe )
+{
+  probe.bytes.clear();
+  probe.bytes.append( "qc1|" );
+  probe.bytes.append( tag );
+  probe.bytes.push_back( '|' );
+  probe.wires.clear();
+  probe.perm.clear();
+
+  std::vector<uint32_t> local_of( circuit.num_qubits(), 0u );
+  std::vector<uint8_t> seen( circuit.num_qubits(), 0u );
+  const auto local = [&]( uint32_t qubit ) {
+    if ( seen[qubit] == 0u )
+    {
+      seen[qubit] = 1u;
+      local_of[qubit] = static_cast<uint32_t>( probe.wires.size() );
+      probe.wires.push_back( qubit );
+    }
+    return local_of[qubit];
+  };
+
+  probe.before = { 0u, 0u, 0u };
+  qgate relabeled;
+  for ( const auto& gate : circuit.gates() )
+  {
+    ++probe.before[0];
+    probe.before[1] += gate.is_t_gate() ? 1u : 0u;
+    probe.before[2] += gate.kind == gate_kind::cx ? 1u : 0u;
+    relabeled.kind = gate.kind;
+    relabeled.angle = gate.angle;
+    relabeled.target = 0u;
+    relabeled.target2 = 0u;
+    relabeled.controls.clear();
+    if ( gate.kind != gate_kind::global_phase && gate.kind != gate_kind::barrier )
+    {
+      for ( const uint32_t control : gate.controls )
+      {
+        relabeled.controls.push_back( local( control ) );
+      }
+      relabeled.target = local( gate.target );
+      if ( gate.kind == gate_kind::swap )
+      {
+        relabeled.target2 = local( gate.target2 );
+      }
+    }
+    append_gate_bytes( probe.bytes, relabeled );
+  }
+  finish_probe( probe );
+}
+
+void fingerprint_rev_circuit( const rev_circuit& circuit, std::string_view tag,
+                              phasepoly::splice_probe& probe )
+{
+  probe.bytes.clear();
+  probe.bytes.append( "rev1|" );
+  probe.bytes.append( tag );
+  probe.bytes.push_back( '|' );
+  probe.wires.clear();
+  probe.perm.clear();
+
+  const uint32_t num_lines = circuit.num_lines();
+  std::vector<uint32_t> local_of( num_lines, 0u );
+  std::vector<uint8_t> seen( num_lines, 0u );
+  const auto local = [&]( uint32_t line ) {
+    if ( seen[line] == 0u )
+    {
+      seen[line] = 1u;
+      local_of[line] = static_cast<uint32_t>( probe.wires.size() );
+      probe.wires.push_back( line );
+    }
+    return local_of[line];
+  };
+
+  probe.before = { 0u, 0u, 0u };
+  std::vector<std::pair<uint32_t, uint8_t>> controls;
+  for ( const auto& gate : circuit.gates() )
+  {
+    ++probe.before[0];
+    controls.clear();
+    for ( uint32_t line = 0u; line < num_lines; ++line )
+    {
+      if ( ( gate.controls >> line ) & 1u )
+      {
+        controls.emplace_back( local( line ),
+                               static_cast<uint8_t>( ( gate.polarity >> line ) & 1u ) );
+      }
+    }
+    std::sort( controls.begin(), controls.end() );
+    append_u8( probe.bytes, static_cast<uint8_t>( controls.size() ) );
+    for ( const auto& [id, polarity] : controls )
+    {
+      append_u32( probe.bytes, id );
+      append_u8( probe.bytes, polarity );
+    }
+    append_u32( probe.bytes, local( gate.target ) );
+  }
+  finish_probe( probe );
+}
+
+} // namespace qda::library

@@ -1,0 +1,215 @@
+/*! \file subcircuit_library.hpp
+ *  \brief Persistent cross-compilation library of optimized subcircuits.
+ *
+ *  ROADMAP item 2: the middle tier between tpar's per-spelling memo
+ *  (one circuit) and the compile server's whole-compilation result
+ *  cache (one exact pipeline).  Recurring shapes -- whole rptm/tpar
+ *  pass inputs, phase-polynomial regions, MCT V-chain ladders -- are
+ *  fingerprinted canonically (library/fingerprint.hpp), admitted when
+ *  the hotness profile says the amortized saving is worth it
+ *  (library/profile.hpp), and spliced back on later sightings instead
+ *  of re-running synthesis.  Storage is two-tier:
+ *
+ *   - in-memory: `server::sharded_lru` keyed on the dual-seed
+ *     fingerprint, shared by every pass manager in the process;
+ *   - on disk (`QDA_LIBRARY_PATH`): a versioned append-only record
+ *     file loaded at startup, giving warm starts across processes.
+ *     Loads are contained: a truncated tail keeps the valid prefix, a
+ *     corrupt or version-mismatched file cold-starts with a telemetry
+ *     counter, and failpoint site `library.load` injects both.
+ *
+ *  Every hit is verified byte-exactly against the stored canonical
+ *  spelling before splicing; the hash only buckets.
+ */
+#pragma once
+
+#include "library/fingerprint.hpp"
+#include "library/profile.hpp"
+#include "phasepoly/splice.hpp"
+#include "quantum/qcircuit.hpp"
+#include "reversible/rev_circuit.hpp"
+#include "server/sharded_lru.hpp"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qda::library
+{
+
+/*! \brief What one library entry replaces. */
+enum class entry_kind : uint32_t
+{
+  region = 1u,       /*!< one phase-polynomial region (canonical labels) */
+  tpar_circuit = 2u, /*!< a whole tpar input (first-touch labels) */
+  rptm_circuit = 3u, /*!< a whole rptm input (first-touch labels + helpers) */
+  mct_ladder = 4u    /*!< one clean V-chain MCT lowering */
+};
+
+/*! \brief Cost metadata of one entry (before -> after the stored form). */
+struct entry_costs
+{
+  uint64_t gates_before = 0u;
+  uint64_t gates_after = 0u;
+  uint64_t t_after = 0u;
+  uint64_t cnot_after = 0u;
+  uint64_t depth_after = 0u;
+};
+
+/*! \brief One stored optimized form, gates over local labels. */
+struct library_entry
+{
+  entry_kind kind = entry_kind::region;
+  uint32_t num_wires = 0u; /*!< size of the local label space */
+  uint32_t aux = 0u;       /*!< rptm: helper count; mct: control count */
+  std::string verify;      /*!< canonical spelling, compared on every hit */
+  std::vector<qgate> gates;
+  double global_phase = 0.0; /*!< region networks only */
+  entry_costs costs;
+  double cost_ms = 0.0; /*!< what synthesizing this form once cost */
+};
+
+/*! \brief Counter snapshot of one library. */
+struct library_statistics
+{
+  uint64_t hits = 0u;
+  uint64_t misses = 0u;
+  uint64_t verify_mismatches = 0u; /*!< bucket hit, spelling differed */
+  uint64_t admits = 0u;
+  uint64_t rejected_cold = 0u; /*!< offers below the hotness threshold */
+  uint64_t unsplicable = 0u;   /*!< offers/hits dropped defensively */
+  uint64_t entries = 0u;
+  uint64_t evictions = 0u;
+  uint64_t loaded_entries = 0u;
+  uint64_t load_failures = 0u;   /*!< corrupt header / injected fault */
+  uint64_t load_truncated = 0u;  /*!< torn tail dropped, prefix kept */
+  uint64_t version_mismatches = 0u;
+  uint64_t store_failures = 0u;
+};
+
+/*! \brief Configuration of a subcircuit library. */
+struct library_options
+{
+  size_t shards = 8u;
+  size_t capacity = 4096u; /*!< in-memory entries; 0 disables storage */
+  /*! Admission threshold: cumulative sightings x synthesis cost must
+   *  reach this many milliseconds before a shape is stored.  Whole
+   *  pass inputs clear it on first sighting; trivial regions have to
+   *  earn their slot. */
+  double admit_cost_ms = 0.05;
+  std::string path; /*!< append-only store; empty = memory only */
+};
+
+/*! \brief The subcircuit library; implements the tpar splice hook. */
+class subcircuit_library final : public phasepoly::splice_provider
+{
+public:
+  explicit subcircuit_library( library_options options = {} );
+
+  /*! \brief Process-wide library, configured from `QDA_LIBRARY_PATH`,
+   *         `QDA_LIBRARY_CAPACITY` and `QDA_LIBRARY_ADMIT_MS`.
+   */
+  static subcircuit_library& instance();
+
+  /* ---- core keyed access ---- */
+
+  /*! \brief Verified lookup: nullptr on miss or spelling mismatch. */
+  std::shared_ptr<const library_entry> lookup( const std::array<uint64_t, 2>& key,
+                                               entry_kind kind,
+                                               std::string_view verify );
+
+  /*! \brief Stores `entry` (memory tier + disk append when persistent).
+   *         Not profile-gated; callers gate via `note_miss`.
+   */
+  void admit( const std::array<uint64_t, 2>& key, library_entry entry );
+
+  /*! \brief Records a sighting of a missed shape and reports whether
+   *         its accumulated hotness now clears the admission bar.
+   */
+  bool note_miss( const std::array<uint64_t, 2>& key, double cost_ms );
+
+  /* ---- phasepoly::splice_provider ---- */
+
+  bool splice_circuit( const qcircuit& in, std::string_view tag,
+                       phasepoly::splice_probe& probe, qcircuit& out ) override;
+  void offer_circuit( const phasepoly::splice_probe& probe, const qcircuit& out,
+                      double cost_ms ) override;
+  bool lookup_region( const phasepoly::phase_polynomial& poly, std::string_view tag,
+                      phasepoly::splice_probe& probe,
+                      phasepoly::parity_network& out ) override;
+  void offer_region( const phasepoly::splice_probe& probe,
+                     const phasepoly::parity_network& network, double cost_ms ) override;
+
+  /* ---- mapping-level splices (rptm) ---- */
+
+  /*! \brief Whole-rptm-input splice: on a verified hit rebuilds the
+   *         mapped circuit (touched lines relabeled back, helpers
+   *         appended after `in.num_lines()`) and returns true.
+   */
+  bool splice_rev_mapping( const rev_circuit& in, std::string_view tag,
+                           phasepoly::splice_probe& probe, qcircuit& out,
+                           uint32_t& num_helpers );
+  void offer_rev_mapping( const phasepoly::splice_probe& probe, const qcircuit& mapped,
+                          uint32_t num_lines, uint32_t num_helpers, double cost_ms );
+
+  /*! \brief Clean V-chain ladder of `k` controls: gates over local
+   *         labels [controls 0..k-1, target k, helpers k+1..2k-2].
+   */
+  std::shared_ptr<const library_entry> lookup_ladder( uint32_t num_controls,
+                                                      bool relative_phase,
+                                                      bool keep_toffoli );
+  void offer_ladder( uint32_t num_controls, bool relative_phase, bool keep_toffoli,
+                     std::vector<qgate> gates );
+
+  /* ---- persistence ---- */
+
+  /*! \brief Points the library at `path` and loads whatever valid
+   *         prefix it holds (contained: never throws for file damage).
+   *         Returns the number of entries loaded.
+   */
+  size_t set_path( std::string path );
+
+  /*! \brief Re-reads the store (e.g. after another process appended). */
+  size_t load_from_disk();
+
+  const std::string& path() const noexcept { return options_.path; }
+
+  /* ---- introspection ---- */
+
+  region_profile& profile() noexcept { return profile_; }
+  library_statistics statistics() const;
+  void clear(); /*!< memory tier + profile + counters; disk untouched */
+
+private:
+  std::shared_ptr<const library_entry> find_verified( const std::array<uint64_t, 2>& key,
+                                                      entry_kind kind,
+                                                      std::string_view verify );
+  void append_to_disk( const std::array<uint64_t, 2>& key, const library_entry& entry );
+
+  library_options options_;
+  server::sharded_lru<library_entry> entries_;
+  region_profile profile_;
+  std::mutex file_mutex_;
+
+  std::atomic<uint64_t> hits_{ 0u };
+  std::atomic<uint64_t> misses_{ 0u };
+  std::atomic<uint64_t> verify_mismatches_{ 0u };
+  std::atomic<uint64_t> admits_{ 0u };
+  std::atomic<uint64_t> rejected_cold_{ 0u };
+  std::atomic<uint64_t> unsplicable_{ 0u };
+  std::atomic<uint64_t> loaded_entries_{ 0u };
+  std::atomic<uint64_t> load_failures_{ 0u };
+  std::atomic<uint64_t> load_truncated_{ 0u };
+  std::atomic<uint64_t> version_mismatches_{ 0u };
+  std::atomic<uint64_t> store_failures_{ 0u };
+};
+
+/*! \brief One-line human-readable summary (hits / misses / admits). */
+std::string format_library_report( const library_statistics& stats );
+
+} // namespace qda::library

@@ -1,11 +1,15 @@
 #include "mapping/clifford_t.hpp"
 
 #include "kernel/bits.hpp"
+#include "library/subcircuit_library.hpp"
 #include "mapping/ancilla.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstring>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace qda
@@ -46,7 +50,26 @@ namespace
 mct_emit_options emit_options_of( const clifford_t_options& options )
 {
   return { options.use_relative_phase, options.keep_toffoli, options.strategy,
-           options.weights };
+           options.weights, options.library };
+}
+
+/*! Entries mapped under different options must never alias: the tag
+ *  spells every knob the emission depends on (weights as exact bits). */
+std::string rptm_library_tag( const clifford_t_options& options )
+{
+  std::string tag = "rptm|";
+  tag += options.use_relative_phase ? 'r' : '-';
+  tag += options.keep_toffoli ? 'k' : '-';
+  tag += mct_strategy_name( options.strategy );
+  tag += '|';
+  const double weights[4] = { options.weights.t, options.weights.cnot,
+                              options.weights.h, options.weights.depth };
+  char bytes[sizeof( weights )];
+  std::memcpy( bytes, weights, sizeof( weights ) );
+  tag.append( bytes, sizeof( weights ) );
+  tag += "|q";
+  tag += options.max_qubits ? std::to_string( *options.max_qubits ) : "-";
+  return tag;
 }
 
 qcircuit build_circuit( const ancilla_manager& ancillas, std::vector<qgate>&& gates )
@@ -64,6 +87,23 @@ qcircuit build_circuit( const ancilla_manager& ancillas, std::vector<qgate>&& ga
 clifford_t_result map_to_clifford_t( const rev_circuit& source, const clifford_t_options& options )
 {
   const uint32_t num_lines = source.num_lines();
+
+  phasepoly::splice_probe probe;
+  if ( options.library )
+  {
+    /* whole-input tier: a verified fingerprint hit replays the stored
+     * Clifford+T circuit (touched lines relabeled back, helpers
+     * re-appended after the data lines) and skips emission entirely */
+    qcircuit spliced( num_lines );
+    uint32_t num_helpers = 0u;
+    if ( options.library->splice_rev_mapping( source, rptm_library_tag( options ), probe,
+                                              spliced, num_helpers ) )
+    {
+      return { std::move( spliced ), num_helpers };
+    }
+  }
+  const auto started = std::chrono::steady_clock::now();
+
   ancilla_manager ancillas( num_lines, options.max_qubits );
   const auto emit_options = emit_options_of( options );
   std::vector<qgate> out;
@@ -108,7 +148,17 @@ clifford_t_result map_to_clifford_t( const rev_circuit& source, const clifford_t
       out.push_back( std::move( x ) );
     }
   }
-  return { build_circuit( ancillas, std::move( out ) ), ancillas.num_helpers() };
+  clifford_t_result result{ build_circuit( ancillas, std::move( out ) ),
+                            ancillas.num_helpers() };
+  if ( options.library && probe.valid )
+  {
+    const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - started )
+                                  .count();
+    options.library->offer_rev_mapping( probe, result.circuit, num_lines,
+                                        result.num_helper_qubits, elapsed_ms );
+  }
+  return result;
 }
 
 clifford_t_result lower_multi_controlled_gates( const qcircuit& source,

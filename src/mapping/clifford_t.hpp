@@ -40,6 +40,11 @@ struct clifford_t_options
   /*! Total qubit budget (data lines + helpers), e.g. the device size.
    *  Unset = clean helpers may grow freely. */
   std::optional<uint32_t> max_qubits{};
+  /*! Cross-compilation subcircuit library: whole rptm inputs whose
+   *  canonical fingerprint hits splice the stored Clifford+T circuit
+   *  (skipping emission entirely), and clean V-chain ladders are
+   *  replayed per control count.  Null disables both tiers. */
+  library::subcircuit_library* library = nullptr;
 };
 
 /*! \brief Result of the mapping. */

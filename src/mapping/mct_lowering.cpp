@@ -1,7 +1,10 @@
 #include "mapping/mct_lowering.hpp"
 
+#include "library/subcircuit_library.hpp"
+
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace qda
 {
@@ -424,7 +427,56 @@ void emit_mct_gate( std::vector<qgate>& out, ancilla_manager& ancillas,
   case mct_strategy::clean:
   {
     const auto helpers = ancillas.acquire_clean( chain );
+    /* the clean V-chain only depends on (k, options): cache it in the
+     * library over canonical labels [controls 0..k-1, target k,
+     * helpers k+1..2k-2] and replay through the wire map */
+    const auto wire_of = [&]( uint32_t local ) -> uint32_t {
+      if ( local < k )
+      {
+        return controls[local];
+      }
+      return local == k ? target : helpers[local - k - 1u];
+    };
+    if ( options.library )
+    {
+      if ( const auto ladder = options.library->lookup_ladder(
+               k, options.use_relative_phase, options.keep_toffoli ) )
+      {
+        for ( const auto& stored : ladder->gates )
+        {
+          qgate gate = stored;
+          gate.target = wire_of( gate.target );
+          for ( auto& control : gate.controls )
+          {
+            control = wire_of( control );
+          }
+          out.push_back( std::move( gate ) );
+        }
+        ancillas.release_clean( helpers );
+        break;
+      }
+    }
+    const size_t emitted_from = out.size();
     emitter.clean_chain( controls, target, helpers );
+    if ( options.library )
+    {
+      std::unordered_map<uint32_t, uint32_t> local_of;
+      for ( uint32_t local = 0u; local < 2u * k - 1u; ++local )
+      {
+        local_of.emplace( wire_of( local ), local );
+      }
+      std::vector<qgate> gates( out.begin() + emitted_from, out.end() );
+      for ( auto& gate : gates )
+      {
+        gate.target = local_of.at( gate.target );
+        for ( auto& control : gate.controls )
+        {
+          control = local_of.at( control );
+        }
+      }
+      options.library->offer_ladder( k, options.use_relative_phase,
+                                     options.keep_toffoli, std::move( gates ) );
+    }
     ancillas.release_clean( helpers );
     break;
   }

@@ -30,6 +30,11 @@
 #include <string>
 #include <vector>
 
+namespace qda::library
+{
+class subcircuit_library;
+}
+
 namespace qda
 {
 
@@ -114,6 +119,10 @@ struct mct_emit_options
   bool keep_toffoli = false; /*!< keep ccx opaque instead of 7-T expansion */
   mct_strategy strategy = mct_strategy::automatic;
   mapping_cost_weights weights{};
+  /*! Subcircuit library caching clean V-chain ladders per control
+   *  count: the canonical ladder is emitted once and replayed through
+   *  a wire remap on every later k-control gate.  Null disables. */
+  library::subcircuit_library* library = nullptr;
 };
 
 /*! \brief Emits one multi-controlled X (positive controls) as gates

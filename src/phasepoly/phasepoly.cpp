@@ -1,14 +1,45 @@
 #include "phasepoly/phasepoly.hpp"
 
+#include <chrono>
+#include <string>
+#include <utility>
+
 namespace qda::phasepoly
 {
 
 void tpar_in_place( qcircuit& circuit, const tpar_options& options )
 {
+  splice_provider* library = options.resynthesis.library;
+  splice_probe probe;
+  if ( library )
+  {
+    /* the whole pass input is the largest splice candidate: a verified
+     * hit replays the stored optimized circuit and skips both phase
+     * folding and resynthesis */
+    std::string tag = "tpar|";
+    tag += options.resynthesize ? 'r' : '-';
+    tag += "|s" + std::to_string( options.resynthesis.section_size );
+    tag += "|t" + std::to_string( options.resynthesis.max_region_terms );
+    qcircuit spliced( circuit.num_qubits() );
+    if ( library->splice_circuit( circuit, tag, probe, spliced ) )
+    {
+      circuit = std::move( spliced );
+      return;
+    }
+  }
+
+  const auto started = std::chrono::steady_clock::now();
   fold_phases_in_place( circuit );
   if ( options.resynthesize )
   {
     resynthesize_parity_regions_in_place( circuit, options.resynthesis );
+  }
+  if ( library && probe.valid )
+  {
+    const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - started )
+                                  .count();
+    library->offer_circuit( probe, circuit, elapsed_ms );
   }
 }
 

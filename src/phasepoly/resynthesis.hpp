@@ -16,6 +16,7 @@
 
 #include "fault/cancel.hpp"
 #include "phasepoly/phase_polynomial.hpp"
+#include "phasepoly/splice.hpp"
 #include "quantum/qcircuit.hpp"
 
 #include <cstdint>
@@ -29,6 +30,11 @@ struct resynthesis_options
   uint32_t section_size = 2u;       /*!< PMH epilogue block width */
   uint32_t max_region_terms = 512u; /*!< skip regions with more terms (greedy is O(T^2 n)) */
   cancel_token cancel;              /*!< polled between regions and parity placements */
+  /*! Cross-compilation subcircuit library; regions whose canonical
+   *  fingerprint hits splice the stored network instead of re-running
+   *  GraySynth.  Null disables the library tier (the per-spelling memo
+   *  still applies). */
+  splice_provider* library = nullptr;
 };
 
 /*! \brief A synthesized parity network over `poly.num_vars` wires. */

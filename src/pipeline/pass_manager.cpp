@@ -1,6 +1,7 @@
 #include "pipeline/pass_manager.hpp"
 
 #include "fault/failpoint.hpp"
+#include "library/subcircuit_library.hpp"
 #include "telemetry/clock.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
@@ -211,10 +212,15 @@ compilation_result pass_manager::run( const pipeline_spec& spec, staged_ir initi
   }
   pass_context context;
   context.cancel = plan.cancel;
+  context.library = plan.use_library
+                        ? ( plan.library ? plan.library
+                                         : &library::subcircuit_library::instance() )
+                        : nullptr;
   /* deadline-blind view for mandatory passes under degrade: an expired
    * budget skips optimizations but must not abort synthesis/mapping */
   pass_context lenient_context;
   lenient_context.cancel = plan.cancel.without_deadline();
+  lenient_context.library = context.library;
   for ( size_t i = plan.first_pass; i < spec.size(); ++i )
   {
     const auto& invocation = spec.passes[i];
@@ -289,6 +295,14 @@ compilation_result pass_manager::run( const pipeline_spec& spec, staged_ir initi
         result.reports.resize( reports_before );
         skip_degraded( code );
       }
+    }
+
+    /* TraceAtlas-style hotness feed: per-pass cost observed across
+     * compilations steers the library's admission profile */
+    if ( context.library && !result.reports.back().degraded )
+    {
+      context.library->profile().observe_pass( invocation.name,
+                                               result.reports.back().elapsed_ms );
     }
 
     if ( plan.limits.max_gates != 0u &&

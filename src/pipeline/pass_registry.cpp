@@ -1,5 +1,6 @@
 #include "pipeline/pass_registry.hpp"
 
+#include "library/subcircuit_library.hpp"
 #include "mapping/clifford_t.hpp"
 #include "mapping/coupling_map.hpp"
 #include "mapping/router.hpp"
@@ -395,12 +396,16 @@ void register_builtin_passes( pass_registry& registry )
       { stage::reversible },
       stage::quantum,
       { "strategy", "cost-target" },
-      { "no-relative-phase", "keep-toffoli" },
+      { "no-relative-phase", "keep-toffoli", "no-library" },
       {},
-      []( staged_ir& ir, const pass_arguments& args, const pass_context& ) {
+      []( staged_ir& ir, const pass_arguments& args, const pass_context& ctx ) {
         clifford_t_options options;
         options.use_relative_phase = !args.has_flag( "no-relative-phase" );
         options.keep_toffoli = args.has_flag( "keep-toffoli" );
+        if ( !args.has_flag( "no-library" ) )
+        {
+          options.library = ctx.library;
+        }
         if ( const auto name = args.option( "strategy" ) )
         {
           const auto strategy = parse_mct_strategy( *name );
@@ -432,13 +437,17 @@ void register_builtin_passes( pass_registry& registry )
       { stage::quantum },
       stage::quantum,
       {},
-      { "fold-only", "no-resynth" },
+      { "fold-only", "no-resynth", "no-library" },
       {},
       []( staged_ir& ir, const pass_arguments& args, const pass_context& ctx ) {
         phasepoly::tpar_options options;
         options.resynthesize =
             !args.has_flag( "fold-only" ) && !args.has_flag( "no-resynth" );
         options.resynthesis.cancel = ctx.cancel;
+        if ( !args.has_flag( "no-library" ) )
+        {
+          options.resynthesis.library = ctx.library;
+        }
         ir.require_quantum();
         auto result = std::move( *ir.quantum );
         phasepoly::tpar_in_place( result.circuit, options );

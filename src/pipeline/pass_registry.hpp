@@ -21,6 +21,11 @@
 #include <utility>
 #include <vector>
 
+namespace qda::library
+{
+class subcircuit_library;
+}
+
 namespace qda
 {
 
@@ -93,6 +98,10 @@ private:
 struct pass_context
 {
   cancel_token cancel;
+  /*! Cross-compilation subcircuit library; rptm and tpar splice cached
+   *  optimized forms through it.  Null (the default for direct
+   *  `apply_pass` callers) disables splicing entirely. */
+  library::subcircuit_library* library = nullptr;
 };
 
 /*! \brief One registered pass. */

@@ -65,11 +65,6 @@ public:
   void cx( uint32_t control, uint32_t target );
   void cz( uint32_t control, uint32_t target );
   void swap_( uint32_t a, uint32_t b );
-  [[deprecated( "renamed to swap_ for builder-vocabulary consistency" )]] void
-  swap_gate( uint32_t a, uint32_t b )
-  {
-    swap_( a, b );
-  }
   void mcx( std::vector<uint32_t> controls, uint32_t target );
   void mcz( std::vector<uint32_t> controls, uint32_t target );
   void ccx( uint32_t c0, uint32_t c1, uint32_t target ) { mcx( { c0, c1 }, target ); }

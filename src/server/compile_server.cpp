@@ -59,6 +59,12 @@ compile_server::compile_server( server_options options )
                     : nullptr,
                 registry_ )
 {
+  if ( options_.enable_library && !options_.library_path.empty() )
+  {
+    /* warm start: entries admitted by earlier processes splice from
+     * the first sighting of this one */
+    library::subcircuit_library::instance().set_path( options_.library_path );
+  }
   auto workers = options_.num_workers;
   if ( workers == 0u )
   {
@@ -309,6 +315,7 @@ void compile_server::execute( const std::shared_ptr<job>& job_ptr )
   plan.cancel = token;
   plan.policy = job_ptr->opts.policy;
   plan.limits = job_ptr->opts.limits;
+  plan.use_library = options_.enable_library;
   staged_ir initial;
   double resumed_saved_ms = 0.0;
   if ( use_prefixes )
@@ -527,6 +534,10 @@ server_statistics compile_server::statistics() const
   stats.result_cache = cache_->statistics();
   stats.result_shards = cache_->per_shard_statistics();
   stats.prefix_cache = prefixes_.statistics();
+  if ( options_.enable_library )
+  {
+    stats.library = library::subcircuit_library::instance().statistics();
+  }
   return stats;
 }
 
@@ -578,6 +589,7 @@ std::string format_server_report( const server_statistics& stats )
                  stats.prefix_saved_ms,
                  static_cast<unsigned long long>( stats.prefix_cache.entries ) );
   out << line;
+  out << "  " << library::format_library_report( stats.library ) << "\n";
   const auto waits = static_cast<double>( stats.compiled );
   std::snprintf( line, sizeof( line ),
                  "  queue: peak depth %llu, mean wait %.3f ms over %llu executed jobs\n",

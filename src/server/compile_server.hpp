@@ -28,6 +28,7 @@
 
 #include "fault/cancel.hpp"
 #include "fault/error.hpp"
+#include "library/subcircuit_library.hpp"
 #include "pipeline/pass_manager.hpp"
 #include "server/prefix_cache.hpp"
 #include "server/sharded_cache.hpp"
@@ -79,6 +80,15 @@ struct server_options
   bool coalesce_identical = true;
 
   key_mode keying = key_mode::structural;
+
+  /*! Thread the process-wide subcircuit library through every job's
+   *  pass context, so hot rptm/tpar shapes splice across jobs. */
+  bool enable_library = true;
+
+  /*! When nonempty, points the library singleton at this append-only
+   *  store at construction: entries admitted by earlier processes are
+   *  loaded for a warm start, new admissions are appended. */
+  std::string library_path;
 
   /*! Pass registry to resolve specs against; nullptr = the built-in
    *  process-wide registry. */
@@ -241,6 +251,7 @@ struct server_statistics
   cache_statistics result_cache;            /*!< aggregate backend counters */
   std::vector<shard_statistics> result_shards; /*!< per-shard hit/miss/evict */
   shard_statistics prefix_cache;            /*!< snapshot-store counters */
+  library::library_statistics library;      /*!< subcircuit-library counters */
 
   /*! Served-from-cache fraction of completed requests (hits + coalesced
    *  over completed; 0 when nothing completed). */

@@ -266,13 +266,10 @@ TEST( circuit_ir_test, qcircuit_inverse_matches_adjoint_parity )
   EXPECT_TRUE( circuits_equivalent( composed, qcircuit( 2u ) ) );
 }
 
-TEST( circuit_ir_test, deprecated_swap_gate_alias_still_works )
+TEST( circuit_ir_test, swap_builder_emits_swap_gate )
 {
   qcircuit circuit( 2u );
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  circuit.swap_gate( 0u, 1u );
-#pragma GCC diagnostic pop
+  circuit.swap_( 0u, 1u );
   EXPECT_EQ( circuit.gate( 0u ).kind, gate_kind::swap );
 }
 

@@ -259,10 +259,14 @@ TEST( deadline_test, short_deadline_fails_a_slow_compile_fast )
 TEST( deadline_test, deadline_interrupts_tpar_mid_pass )
 {
   /* self-calibrating: compile once to find this build's pass boundary
-   * times, then arm a deadline that lands inside the tpar pass */
+   * times, then arm a deadline that lands inside the tpar pass.  The
+   * subcircuit library must stay out of both runs: a library splice
+   * would skip the very tpar work the deadline is aimed at. */
   pass_manager manager( /*enable_cache=*/false );
   const auto spec = parse_pipeline( "revgen --hwb 10; tbs; revsimp; rptm; tpar; ps" );
-  const auto reference = manager.run( spec, staged_ir{} );
+  run_plan reference_plan;
+  reference_plan.use_library = false;
+  const auto reference = manager.run( spec, staged_ir{}, reference_plan );
   double before_tpar_ms = 0.0;
   double tpar_ms = 0.0;
   for ( const auto& report : reference.reports )
@@ -279,6 +283,7 @@ TEST( deadline_test, deadline_interrupts_tpar_mid_pass )
   cancel_source source;
   run_plan plan;
   plan.cancel = source.token();
+  plan.use_library = false;
   source.set_deadline_after( std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::duration<double, std::milli>( before_tpar_ms + tpar_ms / 2.0 ) ) );
   try

@@ -1,0 +1,638 @@
+#include "fault/failpoint.hpp"
+#include "library/fingerprint.hpp"
+#include "library/subcircuit_library.hpp"
+#include "mapping/clifford_t.hpp"
+#include "phasepoly/phasepoly.hpp"
+#include "simulator/unitary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <numbers>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h> /* ::truncate */
+
+namespace qda
+{
+namespace
+{
+
+/* ---------------------------------------------------------------- */
+/* helpers                                                          */
+/* ---------------------------------------------------------------- */
+
+/*! Library that admits every offered shape on first sighting. */
+library::library_options eager_options()
+{
+  library::library_options options;
+  options.admit_cost_ms = 0.0;
+  return options;
+}
+
+phasepoly::tpar_options with_library( library::subcircuit_library& lib )
+{
+  phasepoly::tpar_options options;
+  options.resynthesis.library = &lib;
+  return options;
+}
+
+/*! Removes a store file before and after a persistence test. */
+struct scoped_store_file
+{
+  explicit scoped_store_file( std::string name ) : path( std::move( name ) )
+  {
+    std::remove( path.c_str() );
+  }
+  ~scoped_store_file() { std::remove( path.c_str() ); }
+
+  std::string path;
+};
+
+void write_file( const std::string& path, const std::string& bytes )
+{
+  std::FILE* file = std::fopen( path.c_str(), "wb" );
+  ASSERT_NE( file, nullptr );
+  ASSERT_EQ( std::fwrite( bytes.data(), 1u, bytes.size(), file ), bytes.size() );
+  std::fclose( file );
+}
+
+long file_size( const std::string& path )
+{
+  std::FILE* file = std::fopen( path.c_str(), "rb" );
+  if ( !file )
+  {
+    return -1;
+  }
+  std::fseek( file, 0, SEEK_END );
+  const long size = std::ftell( file );
+  std::fclose( file );
+  return size;
+}
+
+/*! A circuit with two phase-poly regions split by an H wall. */
+qcircuit sample_circuit()
+{
+  qcircuit circuit( 4u );
+  circuit.t( 0u );
+  circuit.cx( 0u, 1u );
+  circuit.t( 1u );
+  circuit.cx( 1u, 2u );
+  circuit.tdg( 2u );
+  circuit.cx( 0u, 1u );
+  circuit.t( 1u );
+  circuit.h( 1u );
+  circuit.t( 1u );
+  circuit.cx( 1u, 3u );
+  circuit.t( 3u );
+  circuit.cx( 1u, 3u );
+  circuit.tdg( 1u );
+  return circuit;
+}
+
+qcircuit random_clifford_t_circuit( std::mt19937_64& rng, uint32_t num_qubits,
+                                    uint32_t num_gates )
+{
+  qcircuit circuit( num_qubits );
+  for ( uint32_t g = 0u; g < num_gates; ++g )
+  {
+    const uint32_t q = rng() % num_qubits;
+    switch ( rng() % 9u )
+    {
+    case 0u: circuit.t( q ); break;
+    case 1u: circuit.tdg( q ); break;
+    case 2u: circuit.s( q ); break;
+    case 3u: circuit.h( q ); break;
+    case 4u: circuit.x( q ); break;
+    case 5u: circuit.z( q ); break;
+    case 6u: circuit.cx( q, ( q + 1u ) % num_qubits ); break;
+    case 7u: circuit.swap_( q, ( q + 1u ) % num_qubits ); break;
+    default: circuit.cz( q, ( q + 2u ) % num_qubits ); break;
+    }
+  }
+  return circuit;
+}
+
+/* ---------------------------------------------------------------- */
+/* canonical fingerprints                                           */
+/* ---------------------------------------------------------------- */
+
+/*! Relabels a phase polynomial's variables: `perm[v]` is the new label
+ *  of variable `v`; wires (output rows) move with their variable.
+ */
+phasepoly::phase_polynomial permuted( const phasepoly::phase_polynomial& poly,
+                                      const std::vector<uint32_t>& perm )
+{
+  const auto map_bits = [&]( const bitvec& bits ) {
+    bitvec out;
+    for ( uint32_t v = 0u; v < poly.num_vars; ++v )
+    {
+      if ( bits.test( v ) )
+      {
+        out.set( perm[v] );
+      }
+    }
+    return out;
+  };
+
+  phasepoly::phase_polynomial result;
+  result.num_vars = poly.num_vars;
+  result.global_phase = poly.global_phase;
+  for ( const auto& term : poly.terms )
+  {
+    result.terms.push_back( { map_bits( term.parity ), term.angle } );
+  }
+  result.output_linear.resize( poly.num_vars );
+  for ( uint32_t v = 0u; v < poly.num_vars; ++v )
+  {
+    result.output_linear[perm[v]] = map_bits( poly.output_linear[v] );
+    if ( poly.output_constants.test( v ) )
+    {
+      result.output_constants.set( perm[v] );
+    }
+  }
+  return result;
+}
+
+phasepoly::phase_polynomial sample_polynomial()
+{
+  constexpr double pi = std::numbers::pi;
+  phasepoly::phase_polynomial poly;
+  poly.num_vars = 3u;
+  poly.terms.push_back( { bitvec{ 0b011u }, pi / 4.0 } );
+  poly.terms.push_back( { bitvec{ 0b100u }, pi / 2.0 } );
+  poly.terms.push_back( { bitvec{ 0b101u }, -pi / 4.0 } );
+  poly.output_linear = { bitvec{ 0b011u }, bitvec{ 0b010u }, bitvec{ 0b100u } };
+  poly.output_constants.set( 1u );
+  return poly;
+}
+
+TEST( library_fingerprint_test, qubit_relabeled_polynomials_hash_equal )
+{
+  const auto poly = sample_polynomial();
+  const auto relabeled = permuted( poly, { 2u, 0u, 1u } );
+
+  phasepoly::splice_probe a;
+  phasepoly::splice_probe b;
+  library::fingerprint_phase_polynomial( poly, "tag", a );
+  library::fingerprint_phase_polynomial( relabeled, "tag", b );
+
+  ASSERT_TRUE( a.valid );
+  ASSERT_TRUE( b.valid );
+  EXPECT_EQ( a.key, b.key );
+  EXPECT_EQ( a.bytes, b.bytes );
+}
+
+TEST( library_fingerprint_test, commuting_reorder_hashes_equal )
+{
+  /* the T gates on distinct qubits commute: different spellings, same
+   * phase polynomial, same fingerprint */
+  qcircuit first( 2u );
+  first.t( 0u );
+  first.t( 1u );
+  first.cx( 0u, 1u );
+  first.t( 1u );
+
+  qcircuit second( 2u );
+  second.t( 1u );
+  second.t( 0u );
+  second.cx( 0u, 1u );
+  second.t( 1u );
+
+  const std::vector<uint32_t> qubits{ 0u, 1u };
+  const auto poly_a = phasepoly::extract_phase_polynomial(
+      first, 0u, static_cast<uint32_t>( first.num_gates() ), qubits );
+  const auto poly_b = phasepoly::extract_phase_polynomial(
+      second, 0u, static_cast<uint32_t>( second.num_gates() ), qubits );
+
+  phasepoly::splice_probe a;
+  phasepoly::splice_probe b;
+  library::fingerprint_phase_polynomial( poly_a, "tag", a );
+  library::fingerprint_phase_polynomial( poly_b, "tag", b );
+  EXPECT_EQ( a.key, b.key );
+  EXPECT_EQ( a.bytes, b.bytes );
+}
+
+TEST( library_fingerprint_test, near_miss_one_extra_t_hashes_distinct )
+{
+  const auto poly = sample_polynomial();
+  auto near_miss = poly;
+  near_miss.terms.push_back( { bitvec{ 0b010u }, std::numbers::pi / 4.0 } );
+
+  phasepoly::splice_probe a;
+  phasepoly::splice_probe b;
+  library::fingerprint_phase_polynomial( poly, "tag", a );
+  library::fingerprint_phase_polynomial( near_miss, "tag", b );
+  EXPECT_NE( a.bytes, b.bytes );
+  EXPECT_NE( a.key, b.key );
+}
+
+TEST( library_fingerprint_test, option_tag_separates_entries )
+{
+  const auto poly = sample_polynomial();
+  phasepoly::splice_probe a;
+  phasepoly::splice_probe b;
+  library::fingerprint_phase_polynomial( poly, "tpar-region|s4", a );
+  library::fingerprint_phase_polynomial( poly, "tpar-region|s6", b );
+  EXPECT_NE( a.key, b.key );
+}
+
+TEST( library_fingerprint_test, circuit_fingerprint_is_first_touch_canonical )
+{
+  qcircuit small( 2u );
+  small.h( 0u );
+  small.cx( 0u, 1u );
+  small.t( 1u );
+
+  /* the same gates moved to qubits {1, 2} of a wider circuit: the
+   * first-touch relabeling erases the shift */
+  qcircuit shifted( 3u );
+  shifted.h( 1u );
+  shifted.cx( 1u, 2u );
+  shifted.t( 2u );
+
+  phasepoly::splice_probe a;
+  phasepoly::splice_probe b;
+  library::fingerprint_circuit( small, "tag", a );
+  library::fingerprint_circuit( shifted, "tag", b );
+  EXPECT_EQ( a.key, b.key );
+  EXPECT_EQ( a.bytes, b.bytes );
+  EXPECT_EQ( a.wires, ( std::vector<uint32_t>{ 0u, 1u } ) );
+  EXPECT_EQ( b.wires, ( std::vector<uint32_t>{ 1u, 2u } ) );
+}
+
+/* ---------------------------------------------------------------- */
+/* tpar splicing                                                    */
+/* ---------------------------------------------------------------- */
+
+TEST( library_splice_test, second_sighting_splices_whole_tpar_input )
+{
+  library::subcircuit_library lib{ eager_options() };
+  const auto circuit = sample_circuit();
+
+  const auto first = phasepoly::tpar( circuit, with_library( lib ) );
+  const auto cold = lib.statistics();
+  EXPECT_EQ( cold.hits, 0u );
+  EXPECT_GT( cold.admits, 0u );
+
+  const auto second = phasepoly::tpar( circuit, with_library( lib ) );
+  const auto warm = lib.statistics();
+  EXPECT_GT( warm.hits, cold.hits );
+
+  EXPECT_EQ( first, second ); /* splices are byte-exact */
+  EXPECT_TRUE( circuits_equivalent( second, circuit, 1e-12 ) );
+}
+
+TEST( library_splice_test, region_hit_survives_different_surroundings )
+{
+  /* two circuits with different whole-input spellings sharing one
+   * region up to qubit relabeling: the region tier must hit */
+  qcircuit first( 3u );
+  first.h( 2u );
+  first.t( 0u );
+  first.cx( 0u, 1u );
+  first.t( 1u );
+  first.cx( 0u, 1u );
+  first.tdg( 0u );
+
+  qcircuit second( 3u );
+  second.h( 2u );
+  second.h( 2u ); /* changes the whole-circuit fingerprint without
+                   * joining the phase-poly region (h is not a region
+                   * kind, x would be) */
+  second.t( 1u );
+  second.cx( 1u, 0u );
+  second.t( 0u );
+  second.cx( 1u, 0u );
+  second.tdg( 1u );
+
+  library::subcircuit_library lib{ eager_options() };
+  const auto out_first = phasepoly::tpar( first, with_library( lib ) );
+  const auto cold = lib.statistics();
+  const auto out_second = phasepoly::tpar( second, with_library( lib ) );
+  const auto warm = lib.statistics();
+
+  EXPECT_GT( warm.hits, cold.hits );
+  EXPECT_TRUE( circuits_equivalent( out_first, first, 1e-12 ) );
+  EXPECT_TRUE( circuits_equivalent( out_second, second, 1e-12 ) );
+}
+
+TEST( library_splice_test, randomized_splices_match_resynthesis_exactly )
+{
+  std::mt19937_64 rng( 77u );
+  for ( uint32_t trial = 0u; trial < 20u; ++trial )
+  {
+    const auto circuit = random_clifford_t_circuit( rng, 4u, 50u );
+
+    library::subcircuit_library lib{ eager_options() };
+    const auto reference = phasepoly::tpar( circuit ); /* no library */
+    const auto cold = phasepoly::tpar( circuit, with_library( lib ) );
+    const auto warm = phasepoly::tpar( circuit, with_library( lib ) );
+
+    ASSERT_EQ( cold, reference ) << "trial=" << trial;
+    ASSERT_EQ( warm, reference ) << "trial=" << trial;
+    ASSERT_TRUE( circuits_equivalent( warm, circuit, 1e-12 ) ) << "trial=" << trial;
+  }
+}
+
+TEST( library_splice_test, admission_threshold_rejects_cold_shapes )
+{
+  library::library_options options;
+  options.admit_cost_ms = 1e9; /* nothing is ever hot enough */
+  library::subcircuit_library lib{ options };
+
+  const auto circuit = sample_circuit();
+  phasepoly::tpar( circuit, with_library( lib ) );
+  phasepoly::tpar( circuit, with_library( lib ) );
+
+  const auto stats = lib.statistics();
+  EXPECT_EQ( stats.hits, 0u );
+  EXPECT_EQ( stats.entries, 0u );
+  EXPECT_GT( stats.rejected_cold, 0u );
+}
+
+TEST( library_splice_test, zero_capacity_disables_storage )
+{
+  library::library_options options;
+  options.admit_cost_ms = 0.0;
+  options.capacity = 0u;
+  library::subcircuit_library lib{ options };
+
+  const auto circuit = sample_circuit();
+  const auto first = phasepoly::tpar( circuit, with_library( lib ) );
+  const auto second = phasepoly::tpar( circuit, with_library( lib ) );
+
+  EXPECT_EQ( lib.statistics().hits, 0u );
+  EXPECT_EQ( lib.statistics().entries, 0u );
+  EXPECT_EQ( first, second );
+}
+
+/* ---------------------------------------------------------------- */
+/* rptm and MCT-ladder splicing                                     */
+/* ---------------------------------------------------------------- */
+
+TEST( library_splice_test, rptm_second_sighting_splices_mapped_circuit )
+{
+  rev_circuit source( 3u );
+  source.add_toffoli( 0u, 1u, 2u );
+  source.add_cnot( 0u, 1u );
+  source.add_not( 2u );
+  source.add_toffoli( 1u, 2u, 0u );
+
+  library::subcircuit_library lib{ eager_options() };
+  clifford_t_options options;
+  options.library = &lib;
+
+  const auto reference = map_to_clifford_t( source ); /* no library */
+  const auto cold = map_to_clifford_t( source, options );
+  const auto hits_after_cold = lib.statistics().hits;
+  const auto warm = map_to_clifford_t( source, options );
+
+  EXPECT_GT( lib.statistics().hits, hits_after_cold );
+  EXPECT_EQ( cold.circuit, reference.circuit );
+  EXPECT_EQ( warm.circuit, reference.circuit );
+  EXPECT_EQ( warm.num_helper_qubits, reference.num_helper_qubits );
+  EXPECT_TRUE( circuits_equivalent( warm.circuit, cold.circuit, 1e-12 ) );
+}
+
+TEST( library_splice_test, rptm_splice_relabels_first_touch_equivalent_input )
+{
+  /* the same MCT cascade shifted onto lines {1, 2, 3} of a wider
+   * circuit: first-touch order is preserved, so the second mapping
+   * must splice and relabel back */
+  rev_circuit narrow( 3u );
+  narrow.add_toffoli( 0u, 1u, 2u );
+  narrow.add_cnot( 0u, 2u );
+
+  rev_circuit wide( 4u );
+  wide.add_toffoli( 1u, 2u, 3u );
+  wide.add_cnot( 1u, 3u );
+
+  library::subcircuit_library lib{ eager_options() };
+  clifford_t_options options;
+  options.library = &lib;
+
+  map_to_clifford_t( narrow, options );
+  const auto hits_before = lib.statistics().hits;
+  const auto spliced = map_to_clifford_t( wide, options );
+  EXPECT_GT( lib.statistics().hits, hits_before );
+
+  const auto reference = map_to_clifford_t( wide );
+  EXPECT_EQ( spliced.circuit, reference.circuit );
+  EXPECT_EQ( spliced.num_helper_qubits, reference.num_helper_qubits );
+}
+
+TEST( library_splice_test, mct_ladder_replay_matches_fresh_lowering )
+{
+  qcircuit circuit( 6u );
+  circuit.mcx( { 0u, 1u, 2u, 3u, 4u }, 5u );
+
+  library::subcircuit_library lib{ eager_options() };
+  clifford_t_options options;
+  options.strategy = mct_strategy::clean;
+  options.library = &lib;
+
+  const auto reference = lower_multi_controlled_gates( circuit );
+  const auto cold = lower_multi_controlled_gates( circuit, options );
+  EXPECT_GT( lib.statistics().entries, 0u );
+
+  /* replay goes through lookup_ladder even when the whole-input tier
+   * is bypassed: lower a differently-shaped circuit with the same
+   * control count */
+  qcircuit shifted( 7u );
+  shifted.h( 0u );
+  shifted.mcx( { 1u, 2u, 3u, 4u, 5u }, 6u );
+
+  const auto hits_before = lib.statistics().hits;
+  const auto warm = lower_multi_controlled_gates( shifted, options );
+  EXPECT_GT( lib.statistics().hits, hits_before );
+
+  const auto warm_reference = lower_multi_controlled_gates( shifted );
+  EXPECT_EQ( cold.circuit, reference.circuit );
+  EXPECT_EQ( warm.circuit, warm_reference.circuit );
+}
+
+/* ---------------------------------------------------------------- */
+/* persistence                                                      */
+/* ---------------------------------------------------------------- */
+
+TEST( library_persistence_test, warm_restart_reloads_admitted_entries )
+{
+  scoped_store_file store{ "qda_test_library_roundtrip.bin" };
+  const auto circuit = sample_circuit();
+
+  auto options = eager_options();
+  options.path = store.path;
+  uint64_t admitted = 0u;
+  qcircuit cold( 1u );
+  {
+    library::subcircuit_library writer{ options };
+    cold = phasepoly::tpar( circuit, with_library( writer ) );
+    admitted = writer.statistics().admits;
+    ASSERT_GT( admitted, 0u );
+  }
+
+  /* a fresh "process": a new library instance over the same file */
+  library::subcircuit_library reader{ options };
+  const auto loaded = reader.statistics();
+  EXPECT_EQ( loaded.loaded_entries, admitted );
+  EXPECT_EQ( loaded.load_failures, 0u );
+  EXPECT_EQ( loaded.load_truncated, 0u );
+
+  const auto warm = phasepoly::tpar( circuit, with_library( reader ) );
+  EXPECT_GT( reader.statistics().hits, 0u );
+  EXPECT_EQ( warm, cold );
+}
+
+TEST( library_persistence_test, corrupt_header_cold_starts_with_counter )
+{
+  scoped_store_file store{ "qda_test_library_corrupt.bin" };
+  write_file( store.path, "this is not a library file at all" );
+
+  auto options = eager_options();
+  options.path = store.path;
+  library::subcircuit_library lib{ options };
+
+  const auto stats = lib.statistics();
+  EXPECT_EQ( stats.loaded_entries, 0u );
+  EXPECT_EQ( stats.load_failures, 1u );
+
+  /* the library must stay fully usable after a cold start */
+  const auto circuit = sample_circuit();
+  const auto first = phasepoly::tpar( circuit, with_library( lib ) );
+  const auto second = phasepoly::tpar( circuit, with_library( lib ) );
+  EXPECT_EQ( first, second );
+  EXPECT_GT( lib.statistics().hits, 0u );
+}
+
+TEST( library_persistence_test, version_mismatch_cold_starts_with_counter )
+{
+  scoped_store_file store{ "qda_test_library_version.bin" };
+  std::string bytes( "QDALIB1\n", 8u );
+  const uint32_t future_version = 2u;
+  bytes.append( reinterpret_cast<const char*>( &future_version ), sizeof( future_version ) );
+  write_file( store.path, bytes );
+
+  auto options = eager_options();
+  options.path = store.path;
+  library::subcircuit_library lib{ options };
+
+  const auto stats = lib.statistics();
+  EXPECT_EQ( stats.loaded_entries, 0u );
+  EXPECT_EQ( stats.version_mismatches, 1u );
+  EXPECT_EQ( stats.load_failures, 0u );
+}
+
+TEST( library_persistence_test, truncated_tail_keeps_valid_prefix )
+{
+  scoped_store_file store{ "qda_test_library_truncated.bin" };
+
+  auto options = eager_options();
+  options.path = store.path;
+  uint64_t admitted = 0u;
+  {
+    library::subcircuit_library writer{ options };
+    phasepoly::tpar( sample_circuit(), with_library( writer ) );
+    std::mt19937_64 rng( 5u );
+    phasepoly::tpar( random_clifford_t_circuit( rng, 4u, 40u ), with_library( writer ) );
+    admitted = writer.statistics().admits;
+    ASSERT_GE( admitted, 2u );
+  }
+
+  const long size = file_size( store.path );
+  ASSERT_GT( size, 16 );
+  ASSERT_EQ( ::truncate( store.path.c_str(), size - 7 ), 0 );
+
+  library::subcircuit_library reader{ options };
+  const auto stats = reader.statistics();
+  EXPECT_EQ( stats.load_truncated, 1u );
+  EXPECT_GE( stats.loaded_entries, 1u );
+  EXPECT_LT( stats.loaded_entries, admitted );
+}
+
+#if QDA_FAILPOINTS_ENABLED
+
+TEST( library_persistence_test, load_failpoint_cold_starts_without_crashing )
+{
+  scoped_store_file store{ "qda_test_library_failpoint.bin" };
+
+  auto options = eager_options();
+  options.path = store.path;
+  {
+    library::subcircuit_library writer{ options };
+    phasepoly::tpar( sample_circuit(), with_library( writer ) );
+    ASSERT_GT( writer.statistics().admits, 0u );
+  }
+
+  failpoint::registry::instance().arm(
+      failpoint::parse_spec( "library.load:fail:1:1" ) );
+  library::subcircuit_library lib{ options };
+  failpoint::registry::instance().reset();
+
+  const auto stats = lib.statistics();
+  EXPECT_EQ( stats.loaded_entries, 0u );
+  EXPECT_GE( stats.load_failures, 1u );
+
+  /* disarmed, the same file loads fine again */
+  library::subcircuit_library retry{ options };
+  EXPECT_GT( retry.statistics().loaded_entries, 0u );
+}
+
+#endif
+
+/* ---------------------------------------------------------------- */
+/* concurrency (exercised under TSan in CI)                         */
+/* ---------------------------------------------------------------- */
+
+TEST( library_concurrency_test, parallel_compilations_share_one_library )
+{
+  constexpr uint32_t num_shapes = 4u;
+  constexpr uint32_t num_threads = 8u;
+  constexpr uint32_t rounds = 4u;
+
+  std::vector<qcircuit> shapes;
+  std::vector<qcircuit> references;
+  std::mt19937_64 rng( 23u );
+  for ( uint32_t s = 0u; s < num_shapes; ++s )
+  {
+    shapes.push_back( random_clifford_t_circuit( rng, 4u, 40u ) );
+    references.push_back( phasepoly::tpar( shapes.back() ) );
+  }
+
+  library::subcircuit_library lib{ eager_options() };
+  std::atomic<uint32_t> mismatches{ 0u };
+
+  std::vector<std::thread> workers;
+  for ( uint32_t thread_id = 0u; thread_id < num_threads; ++thread_id )
+  {
+    workers.emplace_back( [&, thread_id] {
+      for ( uint32_t round = 0u; round < rounds; ++round )
+      {
+        const uint32_t shape = ( thread_id + round ) % num_shapes;
+        const auto out = phasepoly::tpar( shapes[shape], with_library( lib ) );
+        if ( !( out == references[shape] ) )
+        {
+          mismatches.fetch_add( 1u );
+        }
+        lib.statistics(); /* concurrent snapshotting must be safe */
+      }
+    } );
+  }
+  for ( auto& worker : workers )
+  {
+    worker.join();
+  }
+
+  EXPECT_EQ( mismatches.load(), 0u );
+  const auto stats = lib.statistics();
+  EXPECT_GT( stats.hits, 0u );
+  EXPECT_GT( stats.entries, 0u );
+}
+
+} // namespace
+} // namespace qda
